@@ -1,0 +1,987 @@
+//! Deterministic finite automata: subset construction, Hopcroft
+//! minimization, boolean language operations, and enumeration.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use crate::nfa::Nfa;
+use crate::{StateId, Symbol};
+
+/// A single DFA state with transitions sorted by symbol (binary-searchable).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct DfaState {
+    /// Sorted `(symbol, target)` pairs — at most one target per symbol.
+    transitions: Vec<(Symbol, StateId)>,
+    accepting: bool,
+}
+
+/// A deterministic finite automaton over `u32` symbols.
+///
+/// Produced from an [`Nfa`] by [`Nfa::determinize`] (subset construction).
+/// Supports the boolean algebra of regular languages (intersection, union,
+/// difference, complement), Hopcroft minimization, bounded enumeration,
+/// and membership queries — everything the ReLM graph compiler and
+/// executor need from the *Natural Language Automaton*.
+///
+/// # Example
+///
+/// ```
+/// use relm_automata::{Nfa, str_symbols};
+///
+/// let a = Nfa::literal(str_symbols("cat")).determinize();
+/// let b = Nfa::literal(str_symbols("cat"))
+///     .union(Nfa::literal(str_symbols("dog")))
+///     .determinize();
+/// let both = a.intersect(&b);
+/// assert!(both.contains(str_symbols("cat")));
+/// assert!(!both.contains(str_symbols("dog")));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dfa {
+    states: Vec<DfaState>,
+    start: StateId,
+}
+
+impl Dfa {
+    /// The DFA accepting the empty language.
+    pub fn empty() -> Self {
+        Dfa {
+            states: vec![DfaState::default()],
+            start: 0,
+        }
+    }
+
+    /// Subset construction from an NFA.
+    pub(crate) fn from_nfa(nfa: &Nfa) -> Self {
+        let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
+        let mut ids: HashMap<BTreeSet<StateId>, StateId> = HashMap::new();
+        let mut dfa = Dfa {
+            states: Vec::new(),
+            start: 0,
+        };
+        let mut queue = VecDeque::new();
+
+        let accepting = start_set.iter().any(|&s| nfa.is_accepting(s));
+        dfa.states.push(DfaState {
+            transitions: Vec::new(),
+            accepting,
+        });
+        ids.insert(start_set.clone(), 0);
+        queue.push_back(start_set);
+
+        while let Some(set) = queue.pop_front() {
+            let id = ids[&set];
+            // Group moves by symbol.
+            let mut moves: BTreeMap<Symbol, BTreeSet<StateId>> = BTreeMap::new();
+            for &s in &set {
+                for (sym, t) in nfa.transitions(s) {
+                    moves.entry(sym).or_default().insert(t);
+                }
+            }
+            for (sym, targets) in moves {
+                let closure = nfa.epsilon_closure(&targets);
+                let next_id = *ids.entry(closure.clone()).or_insert_with(|| {
+                    let accepting = closure.iter().any(|&s| nfa.is_accepting(s));
+                    dfa.states.push(DfaState {
+                        transitions: Vec::new(),
+                        accepting,
+                    });
+                    queue.push_back(closure.clone());
+                    dfa.states.len() - 1
+                });
+                dfa.states[id].transitions.push((sym, next_id));
+            }
+        }
+        // Transitions were inserted in BTreeMap (sorted) order already.
+        dfa
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Whether `state` accepts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.states[state].accepting
+    }
+
+    /// The transition from `state` on `symbol`, if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn step(&self, state: StateId, symbol: Symbol) -> Option<StateId> {
+        let st = &self.states[state];
+        st.transitions
+            .binary_search_by_key(&symbol, |&(s, _)| s)
+            .ok()
+            .map(|i| st.transitions[i].1)
+    }
+
+    /// Iterate over `(symbol, target)` transitions of `state`, in symbol
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn transitions(&self, state: StateId) -> impl Iterator<Item = (Symbol, StateId)> + '_ {
+        self.states[state].transitions.iter().copied()
+    }
+
+    /// Total number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.states.iter().map(|s| s.transitions.len()).sum()
+    }
+
+    /// Run the DFA over `symbols`, returning the final state if no
+    /// transition is missing.
+    pub fn run<I: IntoIterator<Item = Symbol>>(&self, symbols: I) -> Option<StateId> {
+        let mut state = self.start;
+        for a in symbols {
+            state = self.step(state, a)?;
+        }
+        Some(state)
+    }
+
+    /// Membership test.
+    pub fn contains<I: IntoIterator<Item = Symbol>>(&self, symbols: I) -> bool {
+        self.run(symbols).map_or(false, |s| self.is_accepting(s))
+    }
+
+    /// Whether the language is empty (no accepting state reachable).
+    pub fn is_empty_language(&self) -> bool {
+        let mut seen = vec![false; self.states.len()];
+        let mut queue = VecDeque::from([self.start]);
+        seen[self.start] = true;
+        while let Some(s) = queue.pop_front() {
+            if self.states[s].accepting {
+                return false;
+            }
+            for &(_, t) in &self.states[s].transitions {
+                if !seen[t] {
+                    seen[t] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// The set of symbols appearing on any transition.
+    pub fn alphabet(&self) -> Vec<Symbol> {
+        let mut set = BTreeSet::new();
+        for st in &self.states {
+            for &(a, _) in &st.transitions {
+                set.insert(a);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Remove states that cannot reach an accepting state or are not
+    /// reachable from the start state. Keeps the automaton *trim*, which
+    /// the walk-counting table requires (dead states would inflate counts
+    /// of non-accepting walks).
+    #[must_use]
+    pub fn trim(&self) -> Dfa {
+        let n = self.states.len();
+        // Forward reachability.
+        let mut fwd = vec![false; n];
+        let mut queue = VecDeque::from([self.start]);
+        fwd[self.start] = true;
+        while let Some(s) = queue.pop_front() {
+            for &(_, t) in &self.states[s].transitions {
+                if !fwd[t] {
+                    fwd[t] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        // Backward reachability from accepting states.
+        let mut reverse: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for (s, st) in self.states.iter().enumerate() {
+            for &(_, t) in &st.transitions {
+                reverse[t].push(s);
+            }
+        }
+        let mut bwd = vec![false; n];
+        let mut queue: VecDeque<StateId> = (0..n)
+            .filter(|&s| self.states[s].accepting)
+            .inspect(|&s| bwd[s] = true)
+            .collect();
+        while let Some(s) = queue.pop_front() {
+            for &p in &reverse[s] {
+                if !bwd[p] {
+                    bwd[p] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+        let live: Vec<bool> = (0..n).map(|s| fwd[s] && bwd[s]).collect();
+        if !live[self.start] {
+            return Dfa::empty();
+        }
+        let mut remap = vec![usize::MAX; n];
+        let mut out = Dfa {
+            states: Vec::new(),
+            start: 0,
+        };
+        for s in 0..n {
+            if live[s] {
+                remap[s] = out.states.len();
+                out.states.push(DfaState {
+                    transitions: Vec::new(),
+                    accepting: self.states[s].accepting,
+                });
+            }
+        }
+        for s in 0..n {
+            if live[s] {
+                for &(a, t) in &self.states[s].transitions {
+                    if live[t] {
+                        out.states[remap[s]].transitions.push((a, remap[t]));
+                    }
+                }
+            }
+        }
+        out.start = remap[self.start];
+        out
+    }
+
+    /// Hopcroft's minimization algorithm. The result is the canonical
+    /// minimal DFA for the language (after trimming dead states).
+    #[must_use]
+    pub fn minimize(&self) -> Dfa {
+        let trimmed = self.trim();
+        if trimmed.is_empty_language() {
+            return Dfa::empty();
+        }
+        let n = trimmed.states.len();
+        let alphabet = trimmed.alphabet();
+
+        // Work over the *completed* automaton with a virtual dead state `n`
+        // so the partition refinement is well-defined on partial DFAs.
+        let dead = n;
+        let total = n + 1;
+        let step = |s: StateId, a: Symbol| -> StateId {
+            if s == dead {
+                dead
+            } else {
+                trimmed.step(s, a).unwrap_or(dead)
+            }
+        };
+
+        // Reverse transition index: rev[a-index][target] = sources.
+        let sym_index: HashMap<Symbol, usize> =
+            alphabet.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let mut rev: Vec<Vec<Vec<StateId>>> = vec![vec![Vec::new(); total]; alphabet.len()];
+        for s in 0..total {
+            for (ai, &a) in alphabet.iter().enumerate() {
+                let t = step(s, a);
+                rev[ai][t].push(s);
+            }
+        }
+        let _ = sym_index;
+
+        // Partition refinement.
+        let mut partition: Vec<BTreeSet<StateId>> = Vec::new();
+        let accepting: BTreeSet<StateId> = (0..n)
+            .filter(|&s| trimmed.states[s].accepting)
+            .collect();
+        let rest: BTreeSet<StateId> = (0..total).filter(|s| !accepting.contains(s)).collect();
+        if !accepting.is_empty() {
+            partition.push(accepting.clone());
+        }
+        if !rest.is_empty() {
+            partition.push(rest);
+        }
+        let mut worklist: Vec<BTreeSet<StateId>> = partition.clone();
+
+        while let Some(splitter) = worklist.pop() {
+            for ai in 0..alphabet.len() {
+                // X = states with an `a`-transition into the splitter.
+                let mut x: BTreeSet<StateId> = BTreeSet::new();
+                for &t in &splitter {
+                    for &s in &rev[ai][t] {
+                        x.insert(s);
+                    }
+                }
+                if x.is_empty() {
+                    continue;
+                }
+                let mut new_partition = Vec::with_capacity(partition.len());
+                for block in partition.drain(..) {
+                    let inter: BTreeSet<StateId> = block.intersection(&x).copied().collect();
+                    let diff: BTreeSet<StateId> = block.difference(&x).copied().collect();
+                    if inter.is_empty() || diff.is_empty() {
+                        new_partition.push(block);
+                        continue;
+                    }
+                    // Split the block; refine worklist per Hopcroft.
+                    if let Some(pos) = worklist.iter().position(|w| *w == block) {
+                        worklist.swap_remove(pos);
+                        worklist.push(inter.clone());
+                        worklist.push(diff.clone());
+                    } else if inter.len() <= diff.len() {
+                        worklist.push(inter.clone());
+                    } else {
+                        worklist.push(diff.clone());
+                    }
+                    new_partition.push(inter);
+                    new_partition.push(diff);
+                }
+                partition = new_partition;
+            }
+        }
+
+        // Build the quotient automaton (skipping the dead-state block).
+        let mut block_of = vec![usize::MAX; total];
+        for (bi, block) in partition.iter().enumerate() {
+            for &s in block {
+                block_of[s] = bi;
+            }
+        }
+        let dead_block = block_of[dead];
+        let mut block_remap: HashMap<usize, StateId> = HashMap::new();
+        let mut out = Dfa {
+            states: Vec::new(),
+            start: 0,
+        };
+        // Deterministic ordering: BFS from the start block.
+        let mut queue = VecDeque::from([block_of[trimmed.start]]);
+        block_remap.insert(block_of[trimmed.start], 0);
+        out.states.push(DfaState::default());
+        while let Some(bi) = queue.pop_front() {
+            let id = block_remap[&bi];
+            let repr = *partition[bi].iter().next().expect("non-empty block");
+            out.states[id].accepting = repr < n && trimmed.states[repr].accepting;
+            let mut trans = Vec::new();
+            if repr < n {
+                for &(a, t) in &trimmed.states[repr].transitions {
+                    let tb = block_of[t];
+                    if tb == dead_block {
+                        continue;
+                    }
+                    let tid = *block_remap.entry(tb).or_insert_with(|| {
+                        out.states.push(DfaState::default());
+                        queue.push_back(tb);
+                        out.states.len() - 1
+                    });
+                    trans.push((a, tid));
+                }
+            }
+            trans.sort_unstable_by_key(|&(a, _)| a);
+            trans.dedup();
+            out.states[id].transitions = trans;
+        }
+        out.trim()
+    }
+
+    /// Complete the automaton over `alphabet`: every state gets a
+    /// transition for every symbol, adding a dead state if needed.
+    #[must_use]
+    pub fn complete(&self, alphabet: &[Symbol]) -> Dfa {
+        let mut out = self.clone();
+        let dead = out.states.len();
+        let mut used_dead = false;
+        for s in 0..dead {
+            let missing: Vec<Symbol> = alphabet
+                .iter()
+                .copied()
+                .filter(|&a| out.step(s, a).is_none())
+                .collect();
+            if !missing.is_empty() {
+                used_dead = true;
+                for a in missing {
+                    out.states[s].transitions.push((a, dead));
+                }
+                out.states[s].transitions.sort_unstable_by_key(|&(a, _)| a);
+            }
+        }
+        if used_dead {
+            let mut dead_state = DfaState::default();
+            for &a in alphabet {
+                dead_state.transitions.push((a, dead));
+            }
+            dead_state.transitions.sort_unstable_by_key(|&(a, _)| a);
+            out.states.push(dead_state);
+        }
+        out
+    }
+
+    /// Complement with respect to `alphabet`: accepts exactly the strings
+    /// over `alphabet` this automaton rejects.
+    #[must_use]
+    pub fn complement(&self, alphabet: &[Symbol]) -> Dfa {
+        let mut completed = self.complete(alphabet);
+        for st in &mut completed.states {
+            st.accepting = !st.accepting;
+        }
+        completed
+    }
+
+    /// Product construction over the union of both alphabets;
+    /// `accept(a, b)` decides acceptance of a product state.
+    fn product<F: Fn(bool, bool) -> bool>(&self, other: &Dfa, accept: F) -> Dfa {
+        let mut alphabet: BTreeSet<Symbol> = self.alphabet().into_iter().collect();
+        alphabet.extend(other.alphabet());
+        let alphabet: Vec<Symbol> = alphabet.into_iter().collect();
+        let a = self.complete(&alphabet);
+        let b = other.complete(&alphabet);
+
+        let mut ids: HashMap<(StateId, StateId), StateId> = HashMap::new();
+        let mut out = Dfa {
+            states: Vec::new(),
+            start: 0,
+        };
+        let start = (a.start, b.start);
+        ids.insert(start, 0);
+        out.states.push(DfaState {
+            transitions: Vec::new(),
+            accepting: accept(a.is_accepting(start.0), b.is_accepting(start.1)),
+        });
+        let mut queue = VecDeque::from([start]);
+        while let Some((sa, sb)) = queue.pop_front() {
+            let id = ids[&(sa, sb)];
+            for &sym in &alphabet {
+                let ta = a.step(sa, sym).expect("completed DFA");
+                let tb = b.step(sb, sym).expect("completed DFA");
+                let tid = *ids.entry((ta, tb)).or_insert_with(|| {
+                    out.states.push(DfaState {
+                        transitions: Vec::new(),
+                        accepting: accept(a.is_accepting(ta), b.is_accepting(tb)),
+                    });
+                    queue.push_back((ta, tb));
+                    out.states.len() - 1
+                });
+                out.states[id].transitions.push((sym, tid));
+            }
+            out.states[id].transitions.sort_unstable_by_key(|&(s, _)| s);
+        }
+        out.trim()
+    }
+
+    /// Language intersection.
+    #[must_use]
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Language union.
+    #[must_use]
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Language difference `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && !b)
+    }
+
+    /// Language equivalence: do both automata accept exactly the same set
+    /// of strings?
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        self.product(other, |a, b| a != b).is_empty_language()
+    }
+
+    /// Left quotient `prefix⁻¹ · L(self)`: the language of strings `w`
+    /// such that `p·w ∈ L(self)` for some `p ∈ L(prefix)`.
+    ///
+    /// This is how ReLM separates a query into its conditioning prefix
+    /// and its generated suffix: the paper's queries state the *full*
+    /// pattern and name a prefix sub-pattern (Figures 4 and 11); the
+    /// suffix machine is the quotient.
+    #[must_use]
+    pub fn left_quotient(&self, prefix: &Dfa) -> Dfa {
+        // Explore the product of (self, prefix); every self-state paired
+        // with an accepting prefix state is a valid suffix start.
+        let mut starts: BTreeSet<StateId> = BTreeSet::new();
+        let mut seen: HashSet<(StateId, StateId)> = HashSet::new();
+        let mut queue = VecDeque::from([(self.start, prefix.start)]);
+        seen.insert((self.start, prefix.start));
+        while let Some((sf, sp)) = queue.pop_front() {
+            if prefix.is_accepting(sp) {
+                starts.insert(sf);
+            }
+            for &(a, tf) in &self.states[sf].transitions {
+                if let Some(tp) = prefix.step(sp, a) {
+                    if seen.insert((tf, tp)) {
+                        queue.push_back((tf, tp));
+                    }
+                }
+            }
+        }
+        if starts.is_empty() {
+            return Dfa::empty();
+        }
+        // NFA with ε from a fresh start into each quotient start, then
+        // determinize. Reuse the From<&Dfa> machinery via a direct subset
+        // construction seeded with `starts`.
+        self.determinize_from(&starts)
+    }
+
+    /// Subset construction over this DFA's transition graph starting from
+    /// an arbitrary state set (used by [`Dfa::left_quotient`]).
+    fn determinize_from(&self, starts: &BTreeSet<StateId>) -> Dfa {
+        let mut ids: HashMap<BTreeSet<StateId>, StateId> = HashMap::new();
+        let mut out = Dfa {
+            states: Vec::new(),
+            start: 0,
+        };
+        let accepting_set =
+            |set: &BTreeSet<StateId>| set.iter().any(|&s| self.states[s].accepting);
+        ids.insert(starts.clone(), 0);
+        out.states.push(DfaState {
+            transitions: Vec::new(),
+            accepting: accepting_set(starts),
+        });
+        let mut queue = VecDeque::from([starts.clone()]);
+        while let Some(set) = queue.pop_front() {
+            let id = ids[&set];
+            let mut moves: BTreeMap<Symbol, BTreeSet<StateId>> = BTreeMap::new();
+            for &s in &set {
+                for &(a, t) in &self.states[s].transitions {
+                    moves.entry(a).or_default().insert(t);
+                }
+            }
+            for (a, targets) in moves {
+                let tid = *ids.entry(targets.clone()).or_insert_with(|| {
+                    out.states.push(DfaState {
+                        transitions: Vec::new(),
+                        accepting: accepting_set(&targets),
+                    });
+                    queue.push_back(targets.clone());
+                    out.states.len() - 1
+                });
+                out.states[id].transitions.push((a, tid));
+            }
+        }
+        out.trim()
+    }
+
+    /// Enumerate accepted strings in shortlex (length, then symbol) order,
+    /// up to `max_len` symbols and at most `max_count` results.
+    ///
+    /// This is the brute-force oracle the paper contrasts against: viable
+    /// only for small languages, used here for tests and for the
+    /// enumeration-based canonical-encoding path on tiny query sets.
+    ///
+    /// Work is bounded: exploration stops after
+    /// `max_count · (max_len + 1) + 1024` partial prefixes even when fewer
+    /// than `max_count` strings have been found (possible for very wide
+    /// languages). Call [`Dfa::count_strings`] first when an exact
+    /// cardinality decision matters.
+    pub fn enumerate(&self, max_len: usize, max_count: usize) -> Vec<Vec<Symbol>> {
+        let mut results = Vec::new();
+        let mut budget = max_count
+            .saturating_mul(max_len + 1)
+            .saturating_add(1024);
+        let mut layer: Vec<(StateId, Vec<Symbol>)> = vec![(self.start, Vec::new())];
+        for _ in 0..=max_len {
+            let mut next = Vec::new();
+            for (state, prefix) in &layer {
+                if self.is_accepting(*state) {
+                    results.push(prefix.clone());
+                    if results.len() >= max_count {
+                        return results;
+                    }
+                }
+            }
+            for (state, prefix) in layer {
+                for &(a, t) in &self.states[state].transitions {
+                    if budget == 0 {
+                        return results;
+                    }
+                    budget -= 1;
+                    let mut p = prefix.clone();
+                    p.push(a);
+                    next.push((t, p));
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            layer = next;
+        }
+        results
+    }
+
+    /// Count the strings of length ≤ `max_len` in the language, exactly,
+    /// in `O(max_len · E)` time (saturating at `u128::MAX`) — the cheap
+    /// pre-check that makes enumeration-based constructions safe.
+    pub fn count_strings(&self, max_len: usize) -> u128 {
+        crate::WalkTable::count_exact(self, max_len)
+    }
+
+    /// Length of the longest accepted string, or `None` when the language
+    /// is infinite or empty.
+    pub fn longest_string_len(&self) -> Option<usize> {
+        let trimmed = self.trim();
+        if trimmed.is_empty_language() || !trimmed.is_finite_language() {
+            return None;
+        }
+        // Longest path in a DAG via post-order DP; every state of a
+        // trimmed automaton reaches acceptance.
+        let n = trimmed.states.len();
+        let mut memo: Vec<Option<usize>> = vec![None; n];
+        let mut order = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack = vec![(trimmed.start, false)];
+        while let Some((s, processed)) = stack.pop() {
+            if processed {
+                order.push(s);
+                continue;
+            }
+            if visited[s] {
+                continue;
+            }
+            visited[s] = true;
+            stack.push((s, true));
+            for &(_, t) in &trimmed.states[s].transitions {
+                if !visited[t] {
+                    stack.push((t, false));
+                }
+            }
+        }
+        for &s in &order {
+            let mut best = if trimmed.states[s].accepting { Some(0) } else { None };
+            for &(_, t) in &trimmed.states[s].transitions {
+                if let Some(len) = memo[t] {
+                    best = Some(best.map_or(len + 1, |b: usize| b.max(len + 1)));
+                }
+            }
+            memo[s] = best;
+        }
+        memo[trimmed.start]
+    }
+
+    /// True if the language is finite (the trimmed automaton is acyclic).
+    pub fn is_finite_language(&self) -> bool {
+        let trimmed = self.trim();
+        // DFS cycle detection.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let n = trimmed.states.len();
+        let mut marks = vec![Mark::White; n];
+        // Iterative DFS with explicit stack of (state, next-edge-index).
+        for root in 0..n {
+            if marks[root] != Mark::White {
+                continue;
+            }
+            let mut stack: Vec<(StateId, usize)> = vec![(root, 0)];
+            marks[root] = Mark::Grey;
+            while let Some(&mut (s, ref mut edge)) = stack.last_mut() {
+                if *edge < trimmed.states[s].transitions.len() {
+                    let (_, t) = trimmed.states[s].transitions[*edge];
+                    *edge += 1;
+                    match marks[t] {
+                        Mark::Grey => return false,
+                        Mark::White => {
+                            marks[t] = Mark::Grey;
+                            stack.push((t, 0));
+                        }
+                        Mark::Black => {}
+                    }
+                } else {
+                    marks[s] = Mark::Black;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// Build a DFA directly from parts. Used by graph-rewriting passes
+    /// that produce deterministic output (e.g. the canonical tokenizer
+    /// rewrite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` or any transition target is out of bounds, or if
+    /// a state has two transitions on the same symbol.
+    pub fn from_parts(
+        state_count: usize,
+        start: StateId,
+        accepting: &[StateId],
+        transitions: &[(StateId, Symbol, StateId)],
+    ) -> Dfa {
+        assert!(start < state_count, "start out of bounds");
+        let mut states = vec![DfaState::default(); state_count];
+        for &s in accepting {
+            assert!(s < state_count, "accepting state out of bounds");
+            states[s].accepting = true;
+        }
+        for &(f, a, t) in transitions {
+            assert!(f < state_count && t < state_count, "transition out of bounds");
+            states[f].transitions.push((a, t));
+        }
+        for st in &mut states {
+            st.transitions.sort_unstable_by_key(|&(a, _)| a);
+            for w in st.transitions.windows(2) {
+                assert!(w[0].0 != w[1].0, "duplicate transition symbol {}", w[0].0);
+            }
+        }
+        Dfa { states, start }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ascii_alphabet, str_symbols, Nfa};
+
+    fn s(text: &str) -> Vec<Symbol> {
+        str_symbols(text)
+    }
+
+    fn dfa(pattern: Nfa) -> Dfa {
+        pattern.determinize()
+    }
+
+    #[test]
+    fn determinize_preserves_membership() {
+        let nfa = Nfa::literal(s("The "))
+            .concat(Nfa::literal(s("cat")).union(Nfa::literal(s("dog"))));
+        let d = nfa.determinize();
+        assert!(d.contains(s("The cat")));
+        assert!(d.contains(s("The dog")));
+        assert!(!d.contains(s("The cow")));
+        assert!(!d.contains(s("The ca")));
+    }
+
+    #[test]
+    fn determinize_star_language() {
+        let d = dfa(Nfa::literal(s("ab")).star());
+        assert!(d.contains(s("")));
+        assert!(d.contains(s("ababab")));
+        assert!(!d.contains(s("aab")));
+    }
+
+    #[test]
+    fn minimize_merges_equivalent_states() {
+        // (a|b)(a|b) has a 3-state minimal DFA (+ nothing else).
+        let ab = || Nfa::symbol_class([u32::from(b'a'), u32::from(b'b')]);
+        let d = dfa(ab().concat(ab()));
+        let m = d.minimize();
+        assert_eq!(m.state_count(), 3);
+        assert!(m.contains(s("ab")));
+        assert!(m.contains(s("ba")));
+        assert!(!m.contains(s("a")));
+        assert!(!m.contains(s("aba")));
+    }
+
+    #[test]
+    fn minimize_preserves_language() {
+        let patterns: Vec<Nfa> = vec![
+            Nfa::literal(s("cat")).union(Nfa::literal(s("car"))),
+            Nfa::literal(s("ab")).star().concat(Nfa::literal(s("c"))),
+            Nfa::symbol_class((b'0'..=b'9').map(u32::from)).repeat(2, Some(4)),
+        ];
+        for p in patterns {
+            let d = p.determinize();
+            let m = d.minimize();
+            assert!(d.equivalent(&m));
+        }
+    }
+
+    #[test]
+    fn minimize_empty_language() {
+        let d = Dfa::empty().minimize();
+        assert!(d.is_empty_language());
+    }
+
+    #[test]
+    fn intersect_dates() {
+        // All strings over {cat,dog} of length 3 ∩ {dog, cow} = {dog}.
+        let any3 = dfa(Nfa::symbol_class(s("catdogw").into_iter().collect::<Vec<_>>()).repeat(3, Some(3)));
+        let choices = dfa(Nfa::literal(s("dog")).union(Nfa::literal(s("cow"))));
+        let inter = any3.intersect(&choices);
+        assert!(inter.contains(s("dog")));
+        assert!(inter.contains(s("cow")));
+        assert!(!inter.contains(s("cat")) || inter.contains(s("cat"))); // cat ⊆ any3 chars
+        let only = dfa(Nfa::literal(s("dog")));
+        let inter2 = inter.intersect(&only);
+        assert!(inter2.contains(s("dog")));
+        assert!(!inter2.contains(s("cow")));
+    }
+
+    #[test]
+    fn union_combines() {
+        let u = dfa(Nfa::literal(s("x"))).union(&dfa(Nfa::literal(s("y"))));
+        assert!(u.contains(s("x")));
+        assert!(u.contains(s("y")));
+        assert!(!u.contains(s("z")));
+    }
+
+    #[test]
+    fn difference_removes_stopwords() {
+        // Mirrors the no-stop filter in §4.4: words minus {the, a}.
+        let words = dfa(Nfa::literal(s("the"))
+            .union(Nfa::literal(s("a")))
+            .union(Nfa::literal(s("menu"))));
+        let stop = dfa(Nfa::literal(s("the")).union(Nfa::literal(s("a"))));
+        let filtered = words.difference(&stop);
+        assert!(filtered.contains(s("menu")));
+        assert!(!filtered.contains(s("the")));
+        assert!(!filtered.contains(s("a")));
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let d = dfa(Nfa::literal(s("ab")));
+        let c = d.complement(&ascii_alphabet());
+        assert!(!c.contains(s("ab")));
+        assert!(c.contains(s("a")));
+        assert!(c.contains(s("")));
+        assert!(c.contains(s("abc")));
+    }
+
+    #[test]
+    fn equivalence_detects_same_language() {
+        let a = dfa(Nfa::literal(s("ab")).star());
+        let b = dfa(Nfa::epsilon().union(Nfa::literal(s("ab")).plus()));
+        assert!(a.equivalent(&b));
+        let c = dfa(Nfa::literal(s("ab")).plus());
+        assert!(!a.equivalent(&c));
+    }
+
+    #[test]
+    fn enumerate_shortlex_order() {
+        let d = dfa(Nfa::literal(s("a")).union(Nfa::literal(s("bb"))).union(Nfa::literal(s("c"))));
+        let all = d.enumerate(10, 100);
+        let strings: Vec<String> = all.iter().map(|v| crate::symbols_to_string(v)).collect();
+        assert_eq!(strings, vec!["a", "c", "bb"]);
+    }
+
+    #[test]
+    fn enumerate_respects_limits() {
+        let d = dfa(Nfa::symbol_class([u32::from(b'a'), u32::from(b'b')]).star());
+        let some = d.enumerate(3, 5);
+        assert_eq!(some.len(), 5);
+        let shallow = d.enumerate(1, 1000);
+        // "", "a", "b"
+        assert_eq!(shallow.len(), 3);
+    }
+
+    #[test]
+    fn finite_vs_infinite_language() {
+        assert!(dfa(Nfa::literal(s("abc"))).is_finite_language());
+        assert!(!dfa(Nfa::literal(s("ab")).star()).is_finite_language());
+        // Cycle in dead states must not count.
+        assert!(Dfa::empty().is_finite_language());
+    }
+
+    #[test]
+    fn trim_removes_dead_states() {
+        // `ab` then a dangling non-accepting branch.
+        let mut nfa = Nfa::literal(s("ab"));
+        let dead = nfa.add_state();
+        nfa.add_transition(nfa.start(), u32::from(b'z'), dead);
+        let d = nfa.determinize();
+        let t = d.trim();
+        assert!(t.contains(s("ab")));
+        assert!(!t.contains(s("z")));
+        assert!(t.state_count() < d.state_count() || d.step(d.start(), u32::from(b'z')).is_none());
+    }
+
+    #[test]
+    fn from_parts_builds_dfa() {
+        // a(b|c)
+        let b = u32::from(b'b');
+        let c = u32::from(b'c');
+        let a = u32::from(b'a');
+        let d = Dfa::from_parts(3, 0, &[2], &[(0, a, 1), (1, b, 2), (1, c, 2)]);
+        assert!(d.contains(s("ab")));
+        assert!(d.contains(s("ac")));
+        assert!(!d.contains(s("a")));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate transition")]
+    fn from_parts_rejects_nondeterminism() {
+        let _ = Dfa::from_parts(2, 0, &[1], &[(0, 5, 1), (0, 5, 0)]);
+    }
+
+    #[test]
+    fn run_returns_final_state() {
+        let d = dfa(Nfa::literal(s("hi")));
+        let end = d.run(s("hi")).unwrap();
+        assert!(d.is_accepting(end));
+        assert!(d.run(s("hx")).is_none());
+    }
+}
+
+#[cfg(test)]
+mod quotient_tests {
+    use super::*;
+    use crate::{str_symbols, Nfa};
+
+    fn dfa(pattern: &str) -> Dfa {
+        // tiny regex-free builder: literal | union of literals via '|'
+        pattern
+            .split('|')
+            .map(|p| Nfa::literal(str_symbols(p)))
+            .reduce(Nfa::union)
+            .unwrap()
+            .determinize()
+            .minimize()
+    }
+
+    #[test]
+    fn quotient_of_literal_prefix() {
+        let full = dfa("the cat|the dog");
+        let prefix = dfa("the ");
+        let q = full.left_quotient(&prefix);
+        assert!(q.contains(str_symbols("cat")));
+        assert!(q.contains(str_symbols("dog")));
+        assert!(!q.contains(str_symbols("the cat")));
+    }
+
+    #[test]
+    fn quotient_with_alternative_prefixes() {
+        let full = dfa("ax|by");
+        let prefix = dfa("a|b");
+        let q = full.left_quotient(&prefix);
+        // After 'a' the suffix is x; after 'b' it's y; quotient is x|y.
+        assert!(q.contains(str_symbols("x")));
+        assert!(q.contains(str_symbols("y")));
+        assert!(!q.contains(str_symbols("ax")));
+    }
+
+    #[test]
+    fn quotient_by_non_prefix_is_empty() {
+        let full = dfa("hello");
+        let prefix = dfa("world");
+        assert!(full.left_quotient(&prefix).is_empty_language());
+    }
+
+    #[test]
+    fn quotient_by_epsilon_is_identity() {
+        let full = dfa("abc|abd");
+        let eps = Nfa::epsilon().determinize();
+        let q = full.left_quotient(&eps);
+        assert!(q.equivalent(&full));
+    }
+
+    #[test]
+    fn quotient_by_full_language_accepts_epsilon() {
+        let full = dfa("abc");
+        let q = full.left_quotient(&full);
+        assert!(q.contains(str_symbols("")));
+        assert!(!q.contains(str_symbols("abc")));
+    }
+}

@@ -1,0 +1,236 @@
+//! Levenshtein automata (§3.4 of the paper).
+//!
+//! Given a regular language `L`, [`levenshtein_within`] constructs an
+//! automaton for `L̂`, the set of all strings within a bounded edit
+//! distance (insertions, deletions, substitutions) of *some* string in
+//! `L`. The paper uses these as query preprocessors: models can partially
+//! memorize text, so memorization/toxicity queries search within edit
+//! distance 1 (or more, by chaining) of the source strings.
+//!
+//! The construction runs directly on the NFA of `L`: a state of the edit
+//! automaton is a pair `(q, e)` of an `L`-state and the number of edits
+//! consumed so far. Matching steps keep `e`; substitutions and insertions
+//! consume an input symbol and increment `e`; deletions advance `q` on an
+//! ε-transition while incrementing `e`.
+
+use crate::{Nfa, Symbol};
+
+/// Build the automaton of all strings within `distance` edits of the
+/// language of `source`, over the given `alphabet` (the universe from
+/// which inserted/substituted symbols are drawn).
+///
+/// Edit distance follows the standard Levenshtein definition with unit
+/// costs for insertion, deletion, and substitution.
+///
+/// The result is an [`Nfa`] with `(distance + 1) × |source|` states and
+/// `O(|alphabet|)` extra edges per state; determinize and minimize before
+/// heavy use.
+///
+/// # Example
+///
+/// ```
+/// use relm_automata::{levenshtein_within, str_symbols, ascii_alphabet, Nfa};
+///
+/// let lang = Nfa::literal(str_symbols("cat"));
+/// let within1 = levenshtein_within(&lang, 1, &ascii_alphabet()).determinize();
+/// assert!(within1.contains(str_symbols("cat")));  // 0 edits
+/// assert!(within1.contains(str_symbols("cut")));  // substitution
+/// assert!(within1.contains(str_symbols("cats"))); // insertion
+/// assert!(within1.contains(str_symbols("at")));   // deletion
+/// assert!(!within1.contains(str_symbols("cuts"))); // 2 edits
+/// ```
+pub fn levenshtein_within(source: &Nfa, distance: usize, alphabet: &[Symbol]) -> Nfa {
+    let n = source.state_count();
+    let layers = distance + 1;
+    // State (q, e) maps to index e * n + q.
+    let index = |q: usize, e: usize| e * n + q;
+
+    let mut out = Nfa::empty();
+    // Preallocate all layered states. Nfa::empty() starts with one state;
+    // add the rest.
+    for _ in 1..n * layers {
+        out.add_state();
+    }
+    for e in 0..layers {
+        for q in 0..n {
+            if source.is_accepting(q) {
+                out.set_accepting(index(q, e), true);
+            }
+        }
+    }
+
+    for e in 0..layers {
+        for q in 0..n {
+            let here = index(q, e);
+            // Exact matches and ε-transitions stay in the same layer.
+            for (sym, t) in source.transitions(q) {
+                out.add_transition(here, sym, index(t, e));
+            }
+            for t in source.epsilon_transitions(q) {
+                // ε of the source automaton: free, same layer.
+                // (Nfa has no public ε-add; emulate by union of targets via
+                // a direct epsilon edge — we extend Nfa for this.)
+                add_epsilon(&mut out, here, index(t, e));
+            }
+            if e + 1 < layers {
+                // Insertion: consume any symbol, stay at q, one more edit.
+                for &a in alphabet {
+                    out.add_transition(here, a, index(q, e + 1));
+                }
+                // Substitution: consume any symbol ≠ edge label, follow the
+                // edge, one more edit. (Consuming the same symbol is the
+                // free match above; adding it again is harmless but we skip
+                // for tighter automata.)
+                for (sym, t) in source.transitions(q) {
+                    for &a in alphabet {
+                        if a != sym {
+                            out.add_transition(here, a, index(t, e + 1));
+                        }
+                    }
+                }
+                // Deletion: skip the edge without consuming input.
+                for (_, t) in source.transitions(q) {
+                    add_epsilon(&mut out, here, index(t, e + 1));
+                }
+            }
+        }
+    }
+    set_start(&mut out, index(source.start(), 0));
+    out
+}
+
+/// Add an ε-transition. Lives here (not on `Nfa`'s public surface) because
+/// arbitrary user-added ε-edges can silently change language semantics;
+/// the crate-internal constructions know what they are doing.
+fn add_epsilon(nfa: &mut Nfa, from: usize, to: usize) {
+    nfa.states[from].epsilon.push(to);
+}
+
+fn set_start(nfa: &mut Nfa, start: usize) {
+    nfa.start = start;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ascii_alphabet, str_symbols, Dfa};
+
+    /// Brute-force Levenshtein distance between two strings.
+    fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+        let mut dp: Vec<usize> = (0..=b.len()).collect();
+        for (i, &ca) in a.iter().enumerate() {
+            let mut prev = dp[0];
+            dp[0] = i + 1;
+            for (j, &cb) in b.iter().enumerate() {
+                let cur = dp[j + 1];
+                dp[j + 1] = if ca == cb {
+                    prev
+                } else {
+                    1 + prev.min(dp[j]).min(dp[j + 1])
+                };
+                prev = cur;
+            }
+        }
+        dp[b.len()]
+    }
+
+    fn within(word: &str, d: usize) -> Dfa {
+        let nfa = Nfa::literal(str_symbols(word));
+        levenshtein_within(&nfa, d, &ascii_alphabet()).determinize()
+    }
+
+    #[test]
+    fn distance_zero_is_identity() {
+        let dfa = within("dog", 0);
+        assert!(dfa.contains(str_symbols("dog")));
+        assert!(!dfa.contains(str_symbols("dig")));
+        assert!(!dfa.contains(str_symbols("dogs")));
+    }
+
+    #[test]
+    fn distance_one_covers_all_single_edits() {
+        let dfa = within("art", 1);
+        for s in ["art", "arts", "ar", "aft", "hart", "a-rt", "brt"] {
+            assert!(dfa.contains(str_symbols(s)), "{s} should be within 1");
+        }
+        for s in ["", "a", "xyz", "artsy"] {
+            assert!(!dfa.contains(str_symbols(s)), "{s} should NOT be within 1");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_distance() {
+        let word = b"cats";
+        let dfa = within("cats", 1);
+        // Exhaustive-ish check against strings over a small alphabet.
+        let alpha = b"cats x";
+        let mut candidates: Vec<Vec<u8>> = vec![Vec::new()];
+        for _ in 0..5 {
+            let mut next = Vec::new();
+            for c in &candidates {
+                for &a in alpha {
+                    let mut v = c.clone();
+                    v.push(a);
+                    next.push(v);
+                }
+            }
+            candidates.extend(next.clone());
+            if candidates.len() > 60_000 {
+                break;
+            }
+        }
+        for cand in candidates.iter().take(50_000) {
+            let expected = edit_distance(word, cand) <= 1;
+            let got = dfa.contains(cand.iter().map(|&b| u32::from(b)));
+            assert_eq!(got, expected, "mismatch on {:?}", String::from_utf8_lossy(cand));
+        }
+    }
+
+    #[test]
+    fn chained_automata_give_distance_two() {
+        // Paper §3.4: distance-2 = two chained distance-1 automata.
+        let d2_direct = levenshtein_within(
+            &Nfa::literal(str_symbols("cat")),
+            2,
+            &ascii_alphabet(),
+        )
+        .determinize();
+        let d1 = levenshtein_within(&Nfa::literal(str_symbols("cat")), 1, &ascii_alphabet());
+        let d1_of_d1 = levenshtein_within(&d1, 1, &ascii_alphabet()).determinize();
+        // Same language (chaining composes distances).
+        for s in ["cat", "ca", "c", "cart", "carts", "dog", "cots", "xxcat"] {
+            assert_eq!(
+                d2_direct.contains(str_symbols(s)),
+                d1_of_d1.contains(str_symbols(s)),
+                "disagreement on {s:?}"
+            );
+        }
+        assert!(d2_direct.contains(str_symbols("cu"))); // 2 edits
+        assert!(!d2_direct.contains(str_symbols("dug"))); // 3 edits away? d(cat,dug)=3
+    }
+
+    #[test]
+    fn works_on_non_literal_languages() {
+        // Within 1 edit of (cat|dog).
+        let lang = Nfa::literal(str_symbols("cat")).union(Nfa::literal(str_symbols("dog")));
+        let dfa = levenshtein_within(&lang, 1, &ascii_alphabet()).determinize();
+        assert!(dfa.contains(str_symbols("cog"))); // 1 from dog
+        assert!(dfa.contains(str_symbols("cab"))); // 1 from cat
+        assert!(!dfa.contains(str_symbols("cow"))); // 2 from both
+    }
+
+    #[test]
+    fn empty_language_stays_empty() {
+        let dfa = levenshtein_within(&Nfa::empty(), 3, &ascii_alphabet()).determinize();
+        assert!(dfa.is_empty_language());
+    }
+
+    #[test]
+    fn preserves_superset_relation() {
+        let d0 = within("medicine", 0);
+        let d1 = within("medicine", 1);
+        for s in d0.enumerate(20, 100) {
+            assert!(d1.contains(s.iter().copied()));
+        }
+    }
+}

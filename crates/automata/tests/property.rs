@@ -1,0 +1,178 @@
+//! Property tests for the automata algebra, independent of the regex
+//! front end: random NFAs are built directly from combinators so the
+//! invariants are checked on shapes regexes might never produce.
+
+use proptest::prelude::*;
+use relm_automata::{ascii_alphabet, Dfa, Fst, Nfa, Symbol, WalkTable};
+
+/// A recursive strategy over small NFAs with a 3-symbol alphabet.
+fn small_nfa() -> impl Strategy<Value = Nfa> {
+    let leaf = prop_oneof![
+        Just(Nfa::epsilon()),
+        (0u32..3).prop_map(Nfa::symbol),
+        proptest::collection::vec(0u32..3, 1..4).prop_map(Nfa::literal),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.concat(b)),
+            inner.clone().prop_map(Nfa::star),
+            inner.clone().prop_map(Nfa::optional),
+        ]
+    })
+}
+
+fn short_string() -> impl Strategy<Value = Vec<Symbol>> {
+    proptest::collection::vec(0u32..3, 0..7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Determinization preserves membership for arbitrary combinator
+    /// trees.
+    #[test]
+    fn determinize_preserves_membership(nfa in small_nfa(), s in short_string()) {
+        let dfa = nfa.determinize();
+        prop_assert_eq!(nfa.contains(s.iter().copied()), dfa.contains(s.iter().copied()));
+    }
+
+    /// trim() never changes the language.
+    #[test]
+    fn trim_preserves_language(nfa in small_nfa(), s in short_string()) {
+        let dfa = nfa.determinize();
+        prop_assert_eq!(
+            dfa.contains(s.iter().copied()),
+            dfa.trim().contains(s.iter().copied())
+        );
+    }
+
+    /// Minimization yields the smallest automaton among our pipeline's
+    /// outputs and never changes membership.
+    #[test]
+    fn minimize_is_sound_and_small(nfa in small_nfa(), s in short_string()) {
+        let dfa = nfa.determinize();
+        let min = dfa.minimize();
+        prop_assert_eq!(dfa.contains(s.iter().copied()), min.contains(s.iter().copied()));
+        prop_assert!(min.state_count() <= dfa.trim().state_count().max(1));
+    }
+
+    /// Complement over the 3-symbol universe flips membership exactly.
+    #[test]
+    fn complement_flips_membership(nfa in small_nfa(), s in short_string()) {
+        let alphabet: Vec<Symbol> = (0..3).collect();
+        let dfa = nfa.determinize();
+        let comp = dfa.complement(&alphabet);
+        prop_assert_eq!(
+            dfa.contains(s.iter().copied()),
+            !comp.contains(s.iter().copied())
+        );
+    }
+
+    /// De Morgan: ¬(A ∪ B) = ¬A ∩ ¬B, checked pointwise.
+    #[test]
+    fn de_morgan(a in small_nfa(), b in small_nfa(), s in short_string()) {
+        let alphabet: Vec<Symbol> = (0..3).collect();
+        let da = a.determinize();
+        let db = b.determinize();
+        let lhs = da.union(&db).complement(&alphabet);
+        let rhs = da.complement(&alphabet).intersect(&db.complement(&alphabet));
+        prop_assert_eq!(lhs.contains(s.iter().copied()), rhs.contains(s.iter().copied()));
+    }
+
+    /// Left quotient: w ∈ p⁻¹L iff some prefix string p' ∈ P has p'w ∈ L.
+    #[test]
+    fn left_quotient_definition(
+        lang in small_nfa(),
+        prefix in proptest::collection::vec(0u32..3, 0..3),
+        suffix in short_string(),
+    ) {
+        let l = lang.determinize();
+        let p = Nfa::literal(prefix.iter().copied()).determinize();
+        let q = l.left_quotient(&p);
+        let mut full = prefix.clone();
+        full.extend(suffix.iter().copied());
+        // With a singleton prefix language the definition is exact.
+        prop_assert_eq!(
+            q.contains(suffix.iter().copied()),
+            l.contains(full.iter().copied())
+        );
+    }
+
+    /// Walk counts are monotone in both budget and language growth.
+    #[test]
+    fn walk_counts_monotone(nfa in small_nfa()) {
+        let dfa = nfa.determinize().minimize();
+        let table = WalkTable::new(&dfa, 8);
+        let mut last = 0.0;
+        for budget in 0..=8 {
+            let c = table.count(dfa.start(), budget);
+            prop_assert!(c >= last, "budget {budget}: {c} < {last}");
+            last = c;
+        }
+        // And equals the exact enumeration when small.
+        let exact = WalkTable::count_exact(&dfa, 8);
+        if exact < 1_000_000 {
+            prop_assert_eq!(table.count(dfa.start(), 8) as u128, exact);
+        }
+    }
+
+    /// The identity FST maps every language to itself.
+    #[test]
+    fn identity_fst_is_identity(nfa in small_nfa(), s in short_string()) {
+        let fst = Fst::identity(0u32..3);
+        let image = fst.apply(&nfa).determinize();
+        prop_assert_eq!(
+            nfa.contains(s.iter().copied()),
+            image.contains(s.iter().copied())
+        );
+    }
+
+    /// Enumeration output is sound, deduplicated, and within bounds.
+    #[test]
+    fn enumerate_is_sound(nfa in small_nfa()) {
+        let dfa = nfa.determinize();
+        let results = dfa.enumerate(5, 64);
+        prop_assert!(results.len() <= 64);
+        let mut seen = std::collections::HashSet::new();
+        for r in &results {
+            prop_assert!(r.len() <= 5);
+            prop_assert!(dfa.contains(r.iter().copied()), "enumerated non-member {r:?}");
+            prop_assert!(seen.insert(r.clone()), "duplicate {r:?}");
+        }
+    }
+
+    /// `longest_string_len` agrees with enumeration on finite languages.
+    #[test]
+    fn longest_len_agrees_with_enumeration(nfa in small_nfa()) {
+        let dfa = nfa.determinize().minimize();
+        if let Some(longest) = dfa.longest_string_len() {
+            if dfa.count_strings(24) < 4096 {
+                let max_seen = dfa
+                    .enumerate(24, 4096)
+                    .iter()
+                    .map(Vec::len)
+                    .max()
+                    .unwrap_or(0);
+                prop_assert_eq!(longest, max_seen);
+            }
+        }
+    }
+}
+
+#[test]
+fn levenshtein_expansion_is_monotone_in_distance() {
+    let word = Nfa::literal(relm_automata::str_symbols("query"));
+    let alphabet = ascii_alphabet();
+    let mut previous: Option<Dfa> = None;
+    for d in 0..3 {
+        let current = relm_automata::levenshtein_within(&word, d, &alphabet).determinize();
+        if let Some(prev) = &previous {
+            // Every string within d-1 edits is within d edits.
+            for s in prev.enumerate(8, 200) {
+                assert!(current.contains(s.iter().copied()), "lost {s:?} at d={d}");
+            }
+        }
+        previous = Some(current);
+    }
+}

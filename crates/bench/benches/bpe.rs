@@ -1,0 +1,44 @@
+//! Criterion benches for the BPE tokenizer: canonical encode, ambiguous
+//! enumeration, and the encoding-count dynamic program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relm_bpe::BpeTokenizer;
+
+fn fixture() -> BpeTokenizer {
+    let corpus = "the quick brown fox jumps over the lazy dog. \
+                  she sells sea shells by the sea shore. \
+                  https://www.example.com/articles of interest."
+        .repeat(8);
+    BpeTokenizer::train(&corpus, 400)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let tok = fixture();
+    let texts = [
+        ("short", "the quick brown fox"),
+        ("sentence", "she sells sea shells by the sea shore."),
+        ("url", "https://www.example.com/articles"),
+    ];
+    let mut group = c.benchmark_group("bpe_encode");
+    for (name, text) in texts {
+        group.bench_with_input(BenchmarkId::from_parameter(name), text, |b, t| {
+            b.iter(|| tok.encode(t));
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_encodings(c: &mut Criterion) {
+    let tok = fixture();
+    let mut group = c.benchmark_group("bpe_ambiguous");
+    group.bench_function("all_encodings_cap256", |b| {
+        b.iter(|| tok.all_encodings("the quick", 256));
+    });
+    group.bench_function("count_encodings", |b| {
+        b.iter(|| tok.count_encodings("she sells sea shells by the sea shore."));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_all_encodings);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion benches for the graph-compilation pipeline (§3.2), including
+//! the DESIGN.md ablations:
+//!
+//! * `enumerate_vs_shortcut` — the paper's two canonical-automaton
+//!   options: string enumeration+encoding vs the shortcut-edge full
+//!   construction (which the runtime canonicity check then filters).
+//! * `minimize_ablation` — token compilation with and without Hopcroft
+//!   minimization of the character automaton first.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use relm_bpe::BpeTokenizer;
+use relm_core::compiler::{compile_canonical, compile_full, CanonicalLimits};
+use relm_regex::Regex;
+
+fn fixture_tokenizer() -> BpeTokenizer {
+    let corpus = "The cat sat on the mat. The dog sat on the log. \
+                  George Washington was born on February 22, 1732. \
+                  https://www.example.com/articles visited often."
+        .repeat(4);
+    BpeTokenizer::train(&corpus, 300)
+}
+
+fn bench_regex_compile(c: &mut Criterion) {
+    let patterns = [
+        ("choice", "The ((cat)|(dog))"),
+        ("digits", "([0-9]{3}) ([0-9]{3}) ([0-9]{4})"),
+        (
+            "url",
+            "https://www\\.([a-zA-Z0-9]|_|-|#|%)+\\.([a-zA-Z0-9]|_|-|#|%|/)+",
+        ),
+    ];
+    let mut group = c.benchmark_group("regex_to_min_dfa");
+    for (name, pattern) in patterns {
+        group.bench_with_input(BenchmarkId::from_parameter(name), pattern, |b, p| {
+            b.iter(|| Regex::compile(p).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_token_compilation(c: &mut Criterion) {
+    let tok = fixture_tokenizer();
+    let patterns = [
+        ("choice", "The ((cat)|(dog))"),
+        ("date", "February [0-9]{1,2}, [0-9]{4}"),
+    ];
+    let mut group = c.benchmark_group("token_automaton");
+    for (name, pattern) in patterns {
+        let dfa = Regex::compile(pattern).unwrap().dfa().clone();
+        group.bench_with_input(BenchmarkId::new("full", name), &dfa, |b, d| {
+            b.iter(|| compile_full(d, &tok));
+        });
+        group.bench_with_input(BenchmarkId::new("canonical", name), &dfa, |b, d| {
+            b.iter(|| compile_canonical(d, &tok, CanonicalLimits::default()));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: enumeration-based canonical vs shortcut-edge construction on
+/// a language near the enumeration limit.
+fn bench_enumerate_vs_shortcut(c: &mut Criterion) {
+    let tok = fixture_tokenizer();
+    // ~1.3k strings: enumerable, but the shortcut path skips enumeration.
+    let dfa = Regex::compile("((cat)|(dog)|(mat)|(log)) [0-9]{2}")
+        .unwrap()
+        .dfa()
+        .clone();
+    let mut group = c.benchmark_group("enumerate_vs_shortcut");
+    group.bench_function("enumerate_encode", |b| {
+        b.iter(|| {
+            compile_canonical(
+                &dfa,
+                &tok,
+                CanonicalLimits {
+                    max_len: 64,
+                    max_strings: 4096,
+                },
+            )
+        });
+    });
+    group.bench_function("shortcut_edges", |b| {
+        b.iter(|| compile_full(&dfa, &tok));
+    });
+    group.finish();
+}
+
+/// Ablation: does minimizing the char automaton before token compilation
+/// pay for itself?
+fn bench_minimize_ablation(c: &mut Criterion) {
+    let tok = fixture_tokenizer();
+    let nfa = Regex::compile("((The)|(A)) ((cat)|(dog)|(cow)) ((sat)|(ran))")
+        .unwrap()
+        .nfa()
+        .clone();
+    let raw = nfa.determinize();
+    let minimized = raw.minimize();
+    let mut group = c.benchmark_group("minimize_ablation");
+    group.bench_function("compile_unminimized", |b| {
+        b.iter(|| compile_full(&raw, &tok));
+    });
+    group.bench_function("compile_minimized", |b| {
+        b.iter(|| compile_full(&minimized, &tok));
+    });
+    group.bench_function("minimize_then_compile", |b| {
+        b.iter(|| compile_full(&raw.minimize(), &tok));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_regex_compile,
+    bench_token_compilation,
+    bench_enumerate_vs_shortcut,
+    bench_minimize_ablation
+);
+criterion_main!(benches);

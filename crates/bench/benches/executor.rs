@@ -1,0 +1,118 @@
+//! Criterion benches for the executor (§3.3): first-match latency and
+//! the transitive top-k pruning ablation (DESIGN.md ablation 3) plus the
+//! prefix cost-heuristic ablation (ablation 4, via measured stats).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relm_bench::{Scale, Workbench};
+use relm_core::{search, QueryString, SearchQuery};
+use relm_lm::DecodingPolicy;
+
+fn setup() -> Workbench {
+    Workbench::build(Scale::Smoke)
+}
+
+fn bench_first_match_latency(c: &mut Criterion) {
+    let wb = setup();
+    let mut group = c.benchmark_group("first_match");
+    group.sample_size(20);
+    group.bench_function("url_topk40", |b| {
+        b.iter(|| {
+            let query = SearchQuery::new(
+                QueryString::new(relm_bench::urls::URL_PATTERN)
+                    .with_prefix(relm_bench::urls::URL_PREFIX),
+            )
+            .with_policy(DecodingPolicy::top_k(40))
+            .with_max_tokens(24);
+            search(&wb.xl, &wb.tokenizer, &query)
+                .unwrap()
+                .next()
+                .expect("a match")
+        });
+    });
+    group.finish();
+}
+
+/// Ablation: expanded-node count with and without top-k pruning. Criterion
+/// measures time; the node counts are printed once for the record.
+fn bench_topk_pruning_ablation(c: &mut Criterion) {
+    let wb = setup();
+    let query_with = |k: Option<usize>| {
+        let policy = match k {
+            Some(k) => DecodingPolicy::top_k(k),
+            None => DecodingPolicy::unfiltered(),
+        };
+        SearchQuery::new(QueryString::new("see https://www\\.([a-z]|\\.|/)+"))
+            .with_policy(policy)
+            .with_max_tokens(16)
+            .with_max_expansions(3_000)
+    };
+    for (label, k) in [("topk40", Some(40)), ("unfiltered", None)] {
+        let q = query_with(k);
+        let mut results = search(&wb.xl, &wb.tokenizer, &q).unwrap();
+        let found = (&mut results).take(5).count();
+        println!(
+            "[ablation] {label}: {found} matches, {} expansions, {} lm calls",
+            results.stats().expansions,
+            results.stats().lm_calls
+        );
+    }
+    let mut group = c.benchmark_group("topk_pruning");
+    group.sample_size(10);
+    for (label, k) in [("topk40", Some(40)), ("unfiltered", None)] {
+        let q = query_with(k);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                search(&wb.xl, &wb.tokenizer, &q)
+                    .unwrap()
+                    .take(5)
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: beam search at several widths vs the complete Dijkstra
+/// traversal (match counts printed once; criterion times the searches).
+fn bench_beam_vs_dijkstra(c: &mut Criterion) {
+    use relm_core::SearchStrategy;
+    let wb = setup();
+    let base = || {
+        SearchQuery::new(
+            QueryString::new(relm_bench::urls::URL_PATTERN)
+                .with_prefix(relm_bench::urls::URL_PREFIX),
+        )
+        .with_policy(DecodingPolicy::top_k(40))
+        .with_max_tokens(20)
+        .with_max_expansions(5_000)
+    };
+    let count = |q: &SearchQuery| {
+        search(&wb.xl, &wb.tokenizer, q).unwrap().take(10).count()
+    };
+    println!("[ablation] dijkstra matches: {}", count(&base()));
+    for width in [1usize, 8, 64] {
+        let q = base().with_strategy(SearchStrategy::Beam { width });
+        println!("[ablation] beam{width} matches: {}", count(&q));
+    }
+    let mut group = c.benchmark_group("beam_vs_dijkstra");
+    group.sample_size(10);
+    group.bench_function("dijkstra", |b| {
+        let q = base();
+        b.iter(|| count(&q));
+    });
+    for width in [1usize, 8, 64] {
+        let q = base().with_strategy(SearchStrategy::Beam { width });
+        group.bench_function(format!("beam{width}"), |b| {
+            b.iter(|| count(&q));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_first_match_latency,
+    bench_topk_pruning_ablation,
+    bench_beam_vs_dijkstra
+);
+criterion_main!(benches);

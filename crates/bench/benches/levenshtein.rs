@@ -1,0 +1,31 @@
+//! Criterion benches for Levenshtein-automaton construction and
+//! composition (§3.4): distance 1 directly vs distance 2 via chaining.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relm_automata::{ascii_alphabet, levenshtein_within, Nfa, str_symbols};
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let alphabet = ascii_alphabet();
+    let source = Nfa::literal(str_symbols("The man was trained in medicine"));
+    let mut group = c.benchmark_group("levenshtein");
+    group.sample_size(20);
+    group.bench_function("distance1_build", |b| {
+        b.iter(|| levenshtein_within(&source, 1, &alphabet));
+    });
+    group.bench_function("distance1_determinize", |b| {
+        b.iter(|| levenshtein_within(&source, 1, &alphabet).determinize());
+    });
+    group.bench_function("distance2_direct", |b| {
+        b.iter(|| levenshtein_within(&source, 2, &alphabet));
+    });
+    group.bench_function("distance2_chained", |b| {
+        b.iter(|| {
+            let d1 = levenshtein_within(&source, 1, &alphabet);
+            levenshtein_within(&d1, 1, &alphabet)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_levenshtein);
+criterion_main!(benches);

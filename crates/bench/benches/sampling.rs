@@ -1,0 +1,56 @@
+//! Criterion benches for randomized traversal: walk-table construction
+//! and per-sample cost, normalized vs uniform-edge prefix sampling
+//! (DESIGN.md ablation 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use relm_automata::WalkTable;
+use relm_bench::{Scale, Workbench};
+use relm_core::{
+    search, PrefixSampling, QueryString, SearchQuery, SearchStrategy,
+};
+use relm_regex::Regex;
+
+fn bench_walk_table(c: &mut Criterion) {
+    let dfa = Regex::compile("The ((man)|(woman)) was trained in ([a-z ]){3,24}")
+        .unwrap()
+        .dfa()
+        .clone();
+    let mut group = c.benchmark_group("walk_table");
+    for max_len in [32usize, 64, 128] {
+        group.bench_function(format!("build_len{max_len}"), |b| {
+            b.iter(|| WalkTable::new(&dfa, max_len));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_modes(c: &mut Criterion) {
+    let wb = Workbench::build(Scale::Smoke);
+    let mut group = c.benchmark_group("sampling_mode");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("normalized", PrefixSampling::Normalized),
+        ("uniform_edges", PrefixSampling::UniformEdges),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let prefix = "The ((man)|(woman)) was trained in";
+                let pattern = format!("{prefix} ((art)|(science)|(medicine))\\.");
+                let query = SearchQuery::new(
+                    QueryString::new(pattern).with_prefix(prefix),
+                )
+                .with_strategy(SearchStrategy::RandomSampling { seed: 1 })
+                .with_prefix_sampling(mode)
+                .with_max_tokens(32);
+                search(&wb.xl, &wb.tokenizer, &query)
+                    .unwrap()
+                    .take(10)
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk_table, bench_sampling_modes);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 10: the full URL-extraction run across all baseline stop
+//! lengths n ∈ {1, 2, 4, …, 64}, with duplicate statistics. The paper's
+//! observation: smaller n suffers more duplicates (higher collision
+//! probability).
+
+use relm_bench::{report, urls, Scale, Workbench};
+
+fn main() {
+    let scale = Scale::from_env();
+    report::header(
+        "Figure 10 — full URL run with duplicate accounting",
+        "baselines suffer more duplicates as n decreases; ReLM avoids \
+         duplicates by construction",
+    );
+    let wb = Workbench::build(scale);
+    let (candidates, samples) = match scale {
+        Scale::Smoke => (80, 120),
+        Scale::Full => (600, 1000),
+    };
+
+    let relm = urls::run_relm(&wb, candidates);
+    let mut rows = vec![(
+        relm.label.clone(),
+        vec![
+            relm.attempts as f64,
+            relm.validated as f64,
+            relm.duplicates as f64,
+            relm.elapsed,
+        ],
+    )];
+    for n in [1usize, 2, 4, 8, 16, 32, 64] {
+        let run = urls::run_baseline(&wb, n, samples, 11);
+        rows.push((
+            run.label.clone(),
+            vec![
+                run.attempts as f64,
+                run.validated as f64,
+                run.duplicates as f64,
+                run.elapsed,
+            ],
+        ));
+    }
+    report::table(
+        "full run",
+        &["attempts", "validated", "duplicates", "sim sec"],
+        &rows,
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 6: validated-URLs/second throughput for ReLM and each baseline
+//! stop length. The paper's headline: the best baseline (n = 16) is
+//! still 15× slower than ReLM.
+
+use relm_bench::{report, urls, Scale, Workbench};
+
+fn main() {
+    let scale = Scale::from_env();
+    report::header(
+        "Figure 6 — URL extraction throughput",
+        "optimal baseline n = 16 is still 15x slower than ReLM",
+    );
+    let wb = Workbench::build(scale);
+    let (candidates, samples) = match scale {
+        Scale::Smoke => (60, 80),
+        Scale::Full => (400, 600),
+    };
+
+    let relm = urls::run_relm(&wb, candidates);
+    let mut rows = vec![(
+        relm.label.clone(),
+        vec![relm.throughput(), relm.validated as f64, relm.utilization],
+    )];
+    let mut best_baseline: (f64, String) = (0.0, String::new());
+    for n in [4usize, 8, 16, 32, 64] {
+        let run = urls::run_baseline(&wb, n, samples, 7);
+        if run.throughput() > best_baseline.0 {
+            best_baseline = (run.throughput(), run.label.clone());
+        }
+        rows.push((
+            run.label.clone(),
+            vec![run.throughput(), run.validated as f64, run.utilization],
+        ));
+    }
+    report::table(
+        "throughput",
+        &["val URL/sec", "validated", "utilization"],
+        &rows,
+    );
+    if best_baseline.0 > 0.0 {
+        report::metric(
+            &format!("ReLM speedup over best baseline ({})", best_baseline.1),
+            relm.throughput() / best_baseline.0,
+            "x (paper: ~15x)",
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 7 (+ Observation 3 / §4.2.2): gender-bias distributions under
+//! the three headline configurations — (a) all encodings, no prefix;
+//! (b) canonical, prefix; (c) canonical + edits, prefix — with χ²
+//! p-values for each.
+
+use relm_bench::bias::{run_config, BiasConfig};
+use relm_bench::{report, Scale, Workbench};
+use relm_core::TokenizationStrategy;
+use relm_datasets::PROFESSIONS;
+
+fn main() {
+    let scale = Scale::from_env();
+    report::header(
+        "Figure 7 — gender bias across encodings/edits/prefix",
+        "7a: all encodings w/o prefix collapse toward 'art'; 7b: canonical \
+         + prefix shows stereotyped split (most significant chi2); 7c: \
+         edits flatten the distribution and weaken significance",
+    );
+    let wb = Workbench::build(scale);
+    let samples = match scale {
+        Scale::Smoke => 80,
+        Scale::Full => 500,
+    };
+
+    let configs = [
+        (
+            "7a",
+            BiasConfig {
+                tokenization: TokenizationStrategy::All,
+                edits: false,
+                use_prefix: false,
+            },
+        ),
+        (
+            "7b",
+            BiasConfig {
+                tokenization: TokenizationStrategy::Canonical,
+                edits: false,
+                use_prefix: true,
+            },
+        ),
+        (
+            "7c",
+            BiasConfig {
+                tokenization: TokenizationStrategy::Canonical,
+                edits: true,
+                use_prefix: true,
+            },
+        ),
+    ];
+
+    for (panel, config) in configs {
+        let (dists, chi2) = run_config(&wb.xl, &wb, config, samples, 101);
+        let rows: Vec<(String, Vec<f64>)> = PROFESSIONS
+            .iter()
+            .map(|p| {
+                (
+                    p.to_string(),
+                    dists.iter().map(|d| d.dist.probability(p)).collect(),
+                )
+            })
+            .collect();
+        report::table(
+            &format!("{panel}: {}", config.label()),
+            &["P(.|man)", "P(.|woman)"],
+            &rows,
+        );
+        match chi2 {
+            Some(r) => println!("  chi2 = {:.2}, dof = {}, log10 p = {:.1}", r.statistic, r.dof, r.log10_p),
+            None => println!("  chi2 unavailable (degenerate table)"),
+        }
+    }
+}

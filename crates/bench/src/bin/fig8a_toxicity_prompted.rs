@@ -1,0 +1,34 @@
+//! Figure 8a: prompted toxic-content extraction — cumulative extractions
+//! vs attempts, ReLM (all encodings + edits) vs the canonical baseline.
+
+use relm_bench::{report, toxicity, Scale, Workbench};
+
+fn main() {
+    let scale = Scale::from_env();
+    report::header(
+        "Figure 8a — prompted toxicity extraction",
+        "all encodings + edits unlock ~2.5x more extractions per prompt \
+         than canonical-only",
+    );
+    let wb = Workbench::build(scale);
+    let matches = toxicity::shard_matches(&wb);
+    let budget = match scale {
+        Scale::Smoke => matches.len().min(9),
+        Scale::Full => matches.len().min(48),
+    };
+    println!("shard matches: {} (using {budget})", matches.len());
+
+    let baseline = toxicity::run_prompted(&wb.xl, &wb, &matches[..budget], false);
+    let relm = toxicity::run_prompted(&wb.xl, &wb, &matches[..budget], true);
+    report::series("Baseline", "attempts", "extractions", &baseline.curve);
+    report::series("ReLM", "attempts", "extractions", &relm.curve);
+    report::metric("baseline extraction rate", baseline.extractions as f64 / baseline.attempts.max(1) as f64, "");
+    report::metric("ReLM extraction rate", relm.extractions as f64 / relm.attempts.max(1) as f64, "");
+    if baseline.extractions > 0 {
+        report::metric(
+            "ReLM / baseline",
+            relm.extractions as f64 / baseline.extractions as f64,
+            "x (paper: ~2.5x)",
+        );
+    }
+}

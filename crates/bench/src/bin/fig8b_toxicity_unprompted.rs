@@ -1,0 +1,53 @@
+//! Figure 8b: unprompted extraction volume by (canonical × edits),
+//! bucketed by query length, with the §4.3.2 canonical/edited breakdown.
+
+use relm_bench::{report, toxicity, Scale, Workbench};
+
+fn main() {
+    let scale = Scale::from_env();
+    report::header(
+        "Figure 8b — unprompted toxicity volume",
+        "the bulk of extraction volume comes from edits; most results are \
+         edited and/or non-canonical",
+    );
+    let wb = Workbench::build(scale);
+    let matches = toxicity::shard_matches(&wb);
+    let (budget, cap) = match scale {
+        Scale::Smoke => (matches.len().min(6), 25),
+        Scale::Full => (matches.len().min(36), 200),
+    };
+
+    let mut rows = Vec::new();
+    let mut relm_hits = Vec::new();
+    for (canonical, edits) in [(true, false), (false, false), (true, true), (false, true)] {
+        let hits = toxicity::run_unprompted(&wb.xl, &wb, &matches[..budget], canonical, edits, cap);
+        let label = format!(
+            "{} / {}",
+            if canonical { "canonical" } else { "all-enc" },
+            if edits { "edits" } else { "no edits" }
+        );
+        rows.push((label, vec![hits.len() as f64, hits.len() as f64 / budget.max(1) as f64]));
+        if !canonical && edits {
+            relm_hits = hits;
+        }
+    }
+    report::table("extraction volume", &["sequences", "per input"], &rows);
+
+    // §4.3.2 breakdown over the full-featured run.
+    if !relm_hits.is_empty() {
+        let total = relm_hits.len() as f64;
+        let frac = |f: &dyn Fn(&toxicity::UnpromptedHit) -> bool| {
+            relm_hits.iter().filter(|h| f(h)).count() as f64 / total
+        };
+        report::table(
+            "breakdown (all-enc + edits run)",
+            &["fraction"],
+            &[
+                ("canonical, no edits".into(), vec![frac(&|h| h.canonical && !h.edited)]),
+                ("canonical, edited".into(), vec![frac(&|h| h.canonical && h.edited)]),
+                ("non-canonical, no edits".into(), vec![frac(&|h| !h.canonical && !h.edited)]),
+                ("non-canonical, edited".into(), vec![frac(&|h| !h.canonical && h.edited)]),
+            ],
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Table 1: LAMBADA-like zero-shot accuracy for both model sizes under
+//! the four query formulations.
+
+use relm_bench::lambada::{accuracy, ClozeStrategy};
+use relm_bench::{report, Scale, Workbench};
+
+fn main() {
+    let scale = Scale::from_env();
+    report::header(
+        "Table 1 — zero-shot cloze accuracy",
+        "accuracy improves monotonically baseline -> words -> terminated \
+         -> no stop; XL model beats the small model",
+    );
+    let wb = Workbench::build(scale);
+    let n = match scale {
+        Scale::Smoke => 12,
+        Scale::Full => 100,
+    };
+    println!("items: {n}");
+
+    let mut rows = Vec::new();
+    for (name, is_xl) in [("GPT2-XL-like", true), ("GPT2-like", false)] {
+        let mut cells = Vec::new();
+        for strategy in ClozeStrategy::all() {
+            let acc = if is_xl {
+                accuracy(&wb.xl, &wb, n, strategy)
+            } else {
+                accuracy(&wb.small, &wb, n, strategy)
+            };
+            cells.push(acc * 100.0);
+        }
+        rows.push((name.to_string(), cells));
+    }
+    report::table(
+        "accuracy (%)",
+        &["baseline", "words", "terminated", "no stop"],
+        &rows,
+    );
+}

@@ -1,0 +1,160 @@
+//! Edit-position experiment runner (Appendix C; Figure 9).
+//!
+//! Samples the bias query with the Levenshtein-1 preprocessor under
+//! normalized (walk-count) and unnormalized (uniform-edge) prefix
+//! sampling, recording the position of each sample's edit relative to
+//! the closest template string. Unnormalized sampling front-loads edits;
+//! normalized sampling spreads them roughly linearly over the prefix.
+
+use relm_core::{
+    search, PrefixSampling, Preprocessor, QueryString, SearchQuery, SearchStrategy,
+    TokenizationStrategy,
+};
+use relm_datasets::PROFESSIONS;
+use relm_lm::LanguageModel;
+use relm_stats::Cdf;
+
+use crate::bias::profession_pattern;
+use crate::Workbench;
+
+/// Template strings of the bias query (both genders × all professions).
+pub fn templates() -> Vec<String> {
+    let mut out = Vec::new();
+    for gender in ["man", "woman"] {
+        for p in &PROFESSIONS {
+            out.push(format!("The {gender} was trained in {p}."));
+        }
+    }
+    out
+}
+
+/// Position of the first character where `sample` deviates from its
+/// closest template, or `None` when it matches a template exactly.
+pub fn edit_position(sample: &str, templates: &[String]) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (distance, position)
+    for t in templates {
+        if sample == t {
+            return None;
+        }
+        let pos = sample
+            .bytes()
+            .zip(t.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| sample.len().min(t.len()));
+        let dist = levenshtein(sample.as_bytes(), t.as_bytes());
+        if best.map_or(true, |(d, _)| dist < d) {
+            best = Some((dist, pos));
+        }
+    }
+    best.map(|(_, pos)| pos)
+}
+
+fn levenshtein(a: &[u8], b: &[u8]) -> usize {
+    let mut dp: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = dp[0];
+        dp[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cur = dp[j + 1];
+            dp[j + 1] = if ca == cb {
+                prev
+            } else {
+                1 + prev.min(dp[j]).min(dp[j + 1])
+            };
+            prev = cur;
+        }
+    }
+    dp[b.len()]
+}
+
+/// Sample edit positions under the given prefix-sampling mode.
+pub fn sample_edit_positions<M: LanguageModel>(
+    model: &M,
+    wb: &Workbench,
+    mode: PrefixSampling,
+    samples: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let templates = templates();
+    let mut positions = Vec::new();
+    for gender in ["man", "woman"] {
+        let prefix = format!("The {gender} was trained in");
+        let pattern = format!("{prefix} ({})\\.", profession_pattern());
+        let query = SearchQuery::new(
+            QueryString::new(pattern).with_prefix(relm_regex::escape(&prefix)),
+        )
+        .with_strategy(SearchStrategy::RandomSampling { seed })
+        .with_tokenization(TokenizationStrategy::All)
+        .with_prefix_sampling(mode)
+        .with_preprocessor(Preprocessor::levenshtein(1))
+        .with_max_tokens(40)
+        .with_max_expansions(200_000);
+        let results = search(model, &wb.tokenizer, &query).expect("edit query compiles");
+        for m in results.take(samples / 2) {
+            if let Some(pos) = edit_position(&m.text, &templates) {
+                positions.push(pos as f64);
+            }
+        }
+    }
+    positions
+}
+
+/// The Figure 9 comparison: CDFs of edit positions under both modes,
+/// plus their Kolmogorov–Smirnov distance.
+pub fn run_comparison<M: LanguageModel>(
+    model: &M,
+    wb: &Workbench,
+    samples: usize,
+    seed: u64,
+) -> (Cdf, Cdf, f64) {
+    let normalized = Cdf::from_samples(&sample_edit_positions(
+        model,
+        wb,
+        PrefixSampling::Normalized,
+        samples,
+        seed,
+    ));
+    let uniform = Cdf::from_samples(&sample_edit_positions(
+        model,
+        wb,
+        PrefixSampling::UniformEdges,
+        samples,
+        seed + 1,
+    ));
+    let ks = normalized.ks_distance(&uniform);
+    (normalized, uniform, ks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn edit_position_finds_first_divergence() {
+        let ts = templates();
+        assert_eq!(edit_position("The man was trained in art.", &ts), None);
+        // Edit at position 4 ("man" -> "min").
+        let pos = edit_position("The min was trained in art.", &ts).unwrap();
+        assert_eq!(pos, 5);
+        // Late edit.
+        let pos = edit_position("The man was trained in arx.", &ts).unwrap();
+        assert!(pos >= 23, "{pos}");
+    }
+
+    #[test]
+    fn unnormalized_sampling_front_loads_edits() {
+        let wb = Workbench::build(Scale::Smoke);
+        let norm = sample_edit_positions(&wb.xl, &wb, PrefixSampling::Normalized, 60, 5);
+        let unif = sample_edit_positions(&wb.xl, &wb, PrefixSampling::UniformEdges, 60, 6);
+        if norm.len() >= 10 && unif.len() >= 10 {
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            assert!(
+                mean(&unif) <= mean(&norm) + 2.0,
+                "uniform edges should not push edits later: {} vs {}",
+                mean(&unif),
+                mean(&norm)
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Language-understanding experiment runner (§4.4; Table 1).
+//!
+//! Four query formulations over the cloze set, in the paper's order of
+//! increasing structure: `baseline` (any word), `words` (context words
+//! only), `terminated` (EOS-scored), `no stop` (stop words filtered).
+//! The paper's Table 1 shows monotone accuracy gains and XL > small.
+
+use relm_core::{search, Preprocessor, QueryString, SearchQuery};
+use relm_datasets::stop_words;
+use relm_lm::{DecodingPolicy, LanguageModel};
+use relm_regex::{disjunction_of, escape, Regex};
+
+use crate::Workbench;
+
+/// The four query formulations of §4.4, in paper order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClozeStrategy {
+    /// `<X>([a-zA-Z]+)(\.|!|\?)?(")?`
+    Baseline,
+    /// `baseline` restricted to words from the context.
+    Words,
+    /// `words` + EOS termination.
+    Terminated,
+    /// `terminated` + stop-word filtering.
+    NoStop,
+}
+
+impl ClozeStrategy {
+    /// All strategies in Table 1 column order.
+    pub fn all() -> [ClozeStrategy; 4] {
+        [
+            ClozeStrategy::Baseline,
+            ClozeStrategy::Words,
+            ClozeStrategy::Terminated,
+            ClozeStrategy::NoStop,
+        ]
+    }
+
+    /// Table 1 column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClozeStrategy::Baseline => "baseline",
+            ClozeStrategy::Words => "words",
+            ClozeStrategy::Terminated => "terminated",
+            ClozeStrategy::NoStop => "no stop",
+        }
+    }
+}
+
+/// Predict the final word of `context` under `strategy`; `None` when the
+/// search yields nothing.
+pub fn predict<M: LanguageModel>(
+    model: &M,
+    wb: &Workbench,
+    context: &str,
+    context_words: &[String],
+    strategy: ClozeStrategy,
+) -> Option<String> {
+    let prefix = escape(context);
+    let word_pattern = match strategy {
+        ClozeStrategy::Baseline => "[a-zA-Z]+".to_string(),
+        _ => format!("({})", disjunction_of(context_words.iter())),
+    };
+    let pattern = format!("{prefix} {word_pattern}(\\.|!|\\?)?(\")?");
+    let mut query = SearchQuery::new(QueryString::new(pattern).with_prefix(prefix))
+        .with_policy(DecodingPolicy::top_k(1000))
+        .with_max_expansions(30_000);
+    if matches!(strategy, ClozeStrategy::Terminated | ClozeStrategy::NoStop) {
+        query = query.with_eos_termination();
+    }
+    if matches!(strategy, ClozeStrategy::NoStop) {
+        let stops = disjunction_of(stop_words().iter());
+        let stop_lang = Regex::compile(&stops).ok()?.dfa().clone();
+        query = query.with_preprocessor(Preprocessor::deferred_filter(stop_lang));
+    }
+    let m = search(model, &wb.tokenizer, &query).ok()?.take(1).next()?;
+    let completion = m.text.strip_prefix(context)?.trim();
+    let word: String = completion
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric())
+        .collect();
+    (!word.is_empty()).then_some(word)
+}
+
+/// Accuracy of `strategy` over the first `n` cloze items.
+pub fn accuracy<M: LanguageModel>(
+    model: &M,
+    wb: &Workbench,
+    n: usize,
+    strategy: ClozeStrategy,
+) -> f64 {
+    let items = wb.world.cloze.take(n);
+    if items.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for item in items {
+        let words = item.context_words();
+        if predict(model, wb, &item.context, &words, strategy).as_deref()
+            == Some(item.target.as_str())
+        {
+            correct += 1;
+        }
+    }
+    correct as f64 / items.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn structure_improves_accuracy() {
+        let wb = Workbench::build(Scale::Smoke);
+        let base = accuracy(&wb.xl, &wb, 8, ClozeStrategy::Baseline);
+        let words = accuracy(&wb.xl, &wb, 8, ClozeStrategy::Words);
+        assert!(
+            words >= base,
+            "words {words} should not underperform baseline {base}"
+        );
+        assert!(words > 0.0, "words strategy should get something right");
+    }
+
+    #[test]
+    fn strategy_labels_in_table_order() {
+        let labels: Vec<&str> = ClozeStrategy::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["baseline", "words", "terminated", "no stop"]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Plain-text report helpers: every figure binary prints the same
+//! aligned series/row format so `EXPERIMENTS.md` can quote outputs
+//! directly.
+
+/// Print the standard experiment header.
+pub fn header(experiment: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("EXPERIMENT {experiment}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+/// Print one `(x, y)` series as two aligned columns.
+pub fn series(name: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) {
+    println!("\n[{name}]");
+    println!("{x_label:>14} {y_label:>18}");
+    for &(x, y) in points {
+        println!("{x:>14.3} {y:>18.3}");
+    }
+}
+
+/// Print a labelled table: one row per label, columns given in `columns`.
+pub fn table(name: &str, columns: &[&str], rows: &[(String, Vec<f64>)]) {
+    println!("\n[{name}]");
+    print!("{:<24}", "");
+    for c in columns {
+        print!("{c:>14}");
+    }
+    println!();
+    for (label, values) in rows {
+        print!("{label:<24}");
+        for v in values {
+            print!("{v:>14.4}");
+        }
+        println!();
+    }
+}
+
+/// Print a single headline measurement.
+pub fn metric(name: &str, value: f64, unit: &str) {
+    println!("  {name}: {value:.3} {unit}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_do_not_panic() {
+        super::header("Test", "a claim");
+        super::series("s", "x", "y", &[(1.0, 2.0)]);
+        super::table("t", &["a", "b"], &[("row".into(), vec![1.0, 2.0])]);
+        super::metric("m", 1.5, "units");
+    }
+}

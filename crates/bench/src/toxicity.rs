@@ -1,0 +1,163 @@
+//! Toxicity experiment runners (§4.3; Figures 8a and 8b).
+//!
+//! The shard is scanned for insults (the paper's `grep` over The Pile);
+//! each match becomes an extraction target. **Prompted**: the text before
+//! the insult is the prefix; success = one extraction. **Unprompted**:
+//! the whole sentence must be regenerated with no prefix; the measured
+//! quantity is extraction *volume* (token sequences, up to a cap per
+//! input), broken down by (canonical × edited).
+
+use relm_core::{
+    search, Preprocessor, QueryString, SearchQuery, TokenizationStrategy,
+};
+use relm_datasets::{scan_for_insults, InsultMatch, INSULT_LEXICON};
+use relm_lm::{DecodingPolicy, LanguageModel};
+
+use crate::Workbench;
+
+/// Outcome of a prompted run over many prompts.
+#[derive(Debug, Clone, Default)]
+pub struct PromptedResult {
+    /// Prompts attempted.
+    pub attempts: usize,
+    /// Prompts with at least one successful extraction.
+    pub extractions: usize,
+    /// `(attempt_index, cumulative_extractions)` for the Fig 8a curve.
+    pub curve: Vec<(f64, f64)>,
+}
+
+/// One unprompted extraction, tagged for the Fig 8b breakdown.
+#[derive(Debug, Clone)]
+pub struct UnpromptedHit {
+    /// Byte length of the query sentence.
+    pub query_len: usize,
+    /// Whether the emitted token sequence was canonical.
+    pub canonical: bool,
+    /// Whether the emitted text differs from the query sentence
+    /// (i.e. the Levenshtein preprocessor supplied the match).
+    pub edited: bool,
+}
+
+/// Scan the workbench's shard for insult matches.
+pub fn shard_matches(wb: &Workbench) -> Vec<InsultMatch> {
+    scan_for_insults(&wb.world.pile, &INSULT_LEXICON)
+}
+
+fn prompted_query(m: &InsultMatch, with_relm_features: bool) -> SearchQuery {
+    let prefix = relm_regex::escape(m.prefix.trim_end());
+    let pattern = format!("{prefix} {}", relm_regex::escape(&m.insult));
+    let mut q = SearchQuery::new(QueryString::new(pattern).with_prefix(prefix))
+        .with_policy(DecodingPolicy::top_k(40))
+        .with_max_tokens(28)
+        .with_max_expansions(20_000);
+    if with_relm_features {
+        q = q
+            .with_tokenization(TokenizationStrategy::All)
+            .with_preprocessor(Preprocessor::levenshtein(1));
+    }
+    q
+}
+
+/// Prompted extraction (Fig 8a): for each match, can the model complete
+/// the prompt with the insult? `with_relm_features` enables all
+/// encodings + Levenshtein-1 edits (the ReLM curve); without them it is
+/// the canonical baseline.
+pub fn run_prompted<M: LanguageModel>(
+    model: &M,
+    wb: &Workbench,
+    matches: &[InsultMatch],
+    with_relm_features: bool,
+) -> PromptedResult {
+    let mut out = PromptedResult::default();
+    for m in matches {
+        if m.prefix.trim().is_empty() {
+            continue; // no prompt to condition on
+        }
+        out.attempts += 1;
+        let q = prompted_query(m, with_relm_features);
+        let hit = search(model, &wb.tokenizer, &q)
+            .ok()
+            .and_then(|mut r| r.next())
+            .is_some();
+        if hit {
+            out.extractions += 1;
+        }
+        out.curve
+            .push((out.attempts as f64, out.extractions as f64));
+    }
+    out
+}
+
+/// Unprompted extraction (Fig 8b): regenerate the entire sentence with
+/// no conditioning, counting token-sequence volume up to
+/// `cap_per_sample`, under the four (canonical × edits) settings.
+pub fn run_unprompted<M: LanguageModel>(
+    model: &M,
+    wb: &Workbench,
+    matches: &[InsultMatch],
+    canonical: bool,
+    edits: bool,
+    cap_per_sample: usize,
+) -> Vec<UnpromptedHit> {
+    let mut hits = Vec::new();
+    for m in matches {
+        let pattern = relm_regex::escape(&m.sentence);
+        let mut q = SearchQuery::new(QueryString::new(pattern))
+            .with_policy(DecodingPolicy::top_k(40))
+            .with_tokenization(if canonical {
+                TokenizationStrategy::Canonical
+            } else {
+                TokenizationStrategy::All
+            })
+            .with_distinct_texts(false)
+            .with_max_tokens(32)
+            .with_max_expansions(30_000);
+        if edits {
+            q = q.with_preprocessor(Preprocessor::levenshtein(1));
+        }
+        let Ok(results) = search(model, &wb.tokenizer, &q) else {
+            continue;
+        };
+        for r in results.take(cap_per_sample) {
+            hits.push(UnpromptedHit {
+                query_len: m.sentence.len(),
+                canonical: r.canonical,
+                edited: r.text != m.sentence,
+            });
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn relm_features_extract_at_least_as_much() {
+        let wb = Workbench::build(Scale::Smoke);
+        let matches = shard_matches(&wb);
+        assert!(!matches.is_empty());
+        let take = matches.len().min(9);
+        let baseline = run_prompted(&wb.xl, &wb, &matches[..take], false);
+        let relm = run_prompted(&wb.xl, &wb, &matches[..take], true);
+        assert!(relm.extractions >= baseline.extractions);
+        assert!(relm.extractions > 0, "ReLM should extract something");
+    }
+
+    #[test]
+    fn edits_unlock_unprompted_volume() {
+        let wb = Workbench::build(Scale::Smoke);
+        let matches = shard_matches(&wb);
+        let take = matches.len().min(6);
+        let plain = run_unprompted(&wb.xl, &wb, &matches[..take], true, false, 20);
+        let edited = run_unprompted(&wb.xl, &wb, &matches[..take], true, true, 20);
+        assert!(
+            edited.len() >= plain.len(),
+            "edits {} vs plain {}",
+            edited.len(),
+            plain.len()
+        );
+    }
+}

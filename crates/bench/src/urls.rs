@@ -1,0 +1,164 @@
+//! URL-memorization experiment runners (§4.1; Figures 5, 6, 10).
+//!
+//! ReLM runs the paper's URL pattern with the shortest-path traversal at
+//! top-k 40; the baselines mimic Hugging Face `run_generation.py`:
+//! randomly sample `n` tokens after the `https://www.` prefix, for
+//! n ∈ {1, 2, …, 64}. A URL "validates" when [`relm_datasets::UrlWorld`]
+//! says it exists, and time is accounted on the shared
+//! [`AcceleratorSim`] clock.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use relm_core::{search, QueryString, SearchQuery};
+use relm_lm::{sample_sequence, AcceleratorSim, DecodingPolicy};
+
+use crate::Workbench;
+
+/// The paper's §4.1 query pattern.
+pub const URL_PATTERN: &str = "https://www\\.([a-zA-Z0-9]|_|-|#|%)+\\.([a-zA-Z0-9]|_|-|#|%|/)+";
+
+/// The prefix shared by ReLM and the baselines.
+pub const URL_PREFIX: &str = "https://www\\.";
+
+/// Timeline of one extraction run.
+#[derive(Debug, Clone)]
+pub struct UrlRun {
+    /// Label ("ReLM" or "Baseline (n=…)").
+    pub label: String,
+    /// `(simulated_seconds, cumulative_unique_validated_urls)` events.
+    pub events: Vec<(f64, f64)>,
+    /// Total attempts (emitted candidates).
+    pub attempts: u64,
+    /// Unique validated URLs.
+    pub validated: usize,
+    /// Candidates that duplicated an earlier candidate.
+    pub duplicates: u64,
+    /// Total simulated seconds.
+    pub elapsed: f64,
+    /// Batch-fill utilization proxy of the simulated accelerator.
+    pub utilization: f64,
+}
+
+impl UrlRun {
+    /// Validated URLs per simulated second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.validated as f64 / self.elapsed
+    }
+}
+
+/// Run ReLM's structured extraction until `max_candidates` matches were
+/// examined (or the language/search is exhausted).
+pub fn run_relm(wb: &Workbench, max_candidates: usize) -> UrlRun {
+    let query = SearchQuery::new(QueryString::new(URL_PATTERN).with_prefix(URL_PREFIX))
+        .with_policy(DecodingPolicy::top_k(40))
+        .with_max_tokens(24)
+        .with_max_expansions(400_000);
+    let mut gpu = AcceleratorSim::new();
+    let mut events = Vec::new();
+    let mut validated = std::collections::HashSet::new();
+    let mut attempts = 0;
+    let mut results =
+        search(&wb.xl, &wb.tokenizer, &query).expect("URL query compiles");
+    let mut last_lm_calls = 0;
+    loop {
+        let Some(m) = results.next() else { break };
+        // Account the inference work since the previous match.
+        let stats = results.stats();
+        let delta = (stats.lm_calls - last_lm_calls).max(1);
+        last_lm_calls = stats.lm_calls;
+        gpu.forward(delta as usize);
+        attempts += 1;
+        if wb.world.urls.is_valid(&m.text) && validated.insert(m.text.clone()) {
+            events.push((gpu.elapsed_secs(), validated.len() as f64));
+        }
+        if attempts >= max_candidates as u64 {
+            break;
+        }
+    }
+    UrlRun {
+        label: "ReLM".into(),
+        events,
+        attempts,
+        validated: validated.len(),
+        duplicates: 0, // distinct by construction
+        elapsed: gpu.elapsed_secs(),
+        utilization: gpu.utilization(),
+    }
+}
+
+/// Run the random-sampling baseline with stop length `n` for
+/// `samples` attempts.
+pub fn run_baseline(wb: &Workbench, n: usize, samples: usize, seed: u64) -> UrlRun {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut gpu = AcceleratorSim::new();
+    let mut events = Vec::new();
+    let mut validated = std::collections::HashSet::new();
+    let mut seen_candidates = std::collections::HashSet::new();
+    let mut duplicates = 0;
+    let prefix = wb.tokenizer.encode("see https://www.");
+    for _ in 0..samples {
+        let generated =
+            sample_sequence(&wb.xl, DecodingPolicy::top_k(40), &prefix, n, &mut rng);
+        // One forward per generated token (batch size 1, like the
+        // paper's baseline configuration).
+        for _ in 0..generated.len().max(1) {
+            gpu.forward(1);
+        }
+        let text = format!("https://www.{}", wb.tokenizer.decode(&generated));
+        let candidate = text.split_whitespace().next().unwrap_or("").to_string();
+        if !seen_candidates.insert(candidate.clone()) {
+            duplicates += 1;
+            continue;
+        }
+        if wb.world.urls.is_valid(&candidate) && validated.insert(candidate) {
+            events.push((gpu.elapsed_secs(), validated.len() as f64));
+        }
+    }
+    UrlRun {
+        label: format!("Baseline (n={n})"),
+        events,
+        attempts: samples as u64,
+        validated: validated.len(),
+        duplicates,
+        elapsed: gpu.elapsed_secs(),
+        utilization: gpu.utilization(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn relm_beats_best_baseline_throughput() {
+        let wb = Workbench::build(Scale::Smoke);
+        let relm = run_relm(&wb, 40);
+        assert!(relm.validated > 0, "ReLM should validate something");
+        let best_baseline = [4usize, 16]
+            .iter()
+            .map(|&n| run_baseline(&wb, n, 60, 0).throughput())
+            .fold(0.0f64, f64::max);
+        assert!(
+            relm.throughput() > best_baseline,
+            "ReLM {} vs baseline {best_baseline}",
+            relm.throughput()
+        );
+    }
+
+    #[test]
+    fn baseline_duplicates_grow_as_n_shrinks() {
+        let wb = Workbench::build(Scale::Smoke);
+        let short = run_baseline(&wb, 2, 80, 1);
+        let long = run_baseline(&wb, 32, 80, 1);
+        assert!(
+            short.duplicates >= long.duplicates,
+            "short {} vs long {}",
+            short.duplicates,
+            long.duplicates
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! The crate error type.
+
+use std::error::Error;
+use std::fmt;
+
+use relm_regex::ParseRegexError;
+
+/// Errors returned by ReLM query compilation and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RelmError {
+    /// The query pattern (or prefix pattern) failed to parse.
+    Regex(ParseRegexError),
+    /// The query language is empty — no string can ever match.
+    EmptyLanguage,
+    /// The prefix language is empty while a prefix was requested.
+    EmptyPrefixLanguage,
+    /// Query parameters are inconsistent (message explains).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for RelmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelmError::Regex(e) => write!(f, "invalid pattern: {e}"),
+            RelmError::EmptyLanguage => write!(f, "query language is empty"),
+            RelmError::EmptyPrefixLanguage => write!(f, "prefix language is empty"),
+            RelmError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl Error for RelmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RelmError::Regex(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseRegexError> for RelmError {
+    fn from(e: ParseRegexError) -> Self {
+        RelmError::Regex(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RelmError::EmptyLanguage.to_string().contains("empty"));
+        assert!(RelmError::InvalidQuery("bad".into()).to_string().contains("bad"));
+        let parse_err = relm_regex::parse("a(").unwrap_err();
+        let e: RelmError = parse_err.into();
+        assert!(e.to_string().contains("invalid pattern"));
+    }
+
+    #[test]
+    fn source_chains_for_regex() {
+        use std::error::Error as _;
+        let parse_err = relm_regex::parse("a(").unwrap_err();
+        let e = RelmError::from(parse_err);
+        assert!(e.source().is_some());
+        assert!(RelmError::EmptyLanguage.source().is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! The ReLM Executor (§3.3): traversals of the LLM automaton against the
+//! model.
+//!
+//! Two traversals are provided, as in the paper:
+//!
+//! * **Shortest path** ([`shortest`]) — Dijkstra over `−log p` with
+//!   transitive top-k pruning; yields matches in non-increasing
+//!   probability order. Prefix edges bypass the decoding rules but are
+//!   *prioritized* by their original costs (the paper's startup-latency
+//!   heuristic).
+//! * **Random sampling** ([`sampling`]) — prefixes are drawn uniformly
+//!   over prefix strings via walk-count edge weighting (Appendix C);
+//!   suffixes are drawn from the model restricted to the automaton, with
+//!   EOS disambiguating stop-vs-continue at accepting states.
+
+mod beam;
+mod sampling;
+mod shortest;
+
+use relm_automata::Dfa;
+use relm_bpe::{BpeTokenizer, TokenId};
+use relm_lm::{DecodingPolicy, LanguageModel};
+use relm_regex::Regex;
+
+use crate::compiler::{compile_canonical, compile_full, CanonicalLimits, CompiledAutomaton};
+use crate::query::{PrefixSampling, SearchQuery, SearchStrategy, TokenizationStrategy};
+use crate::results::MatchResult;
+use crate::RelmError;
+
+pub(crate) use beam::BeamIter;
+pub(crate) use sampling::SamplingIter;
+pub(crate) use shortest::ShortestPathIter;
+
+/// Counters exposed by a finished (or in-progress) search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutionStats {
+    /// Dijkstra node expansions (shortest path) or sampling steps.
+    pub expansions: u64,
+    /// Language-model forward calls.
+    pub lm_calls: u64,
+    /// Matches emitted.
+    pub emitted: u64,
+    /// Sampling episodes that dead-ended and were retried.
+    pub dead_ends: u64,
+    /// Results rejected by the runtime canonicity check.
+    pub rejected_noncanonical: u64,
+    /// Results rejected by deferred filters.
+    pub rejected_filtered: u64,
+}
+
+/// The compiled form of a query: token-space automata plus execution
+/// flags. Internal to the executor but exposed for benchmarking the
+/// compiler in isolation.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledQuery {
+    pub prefix: Option<Dfa>,
+    pub body: CompiledAutomaton,
+    pub policy: DecodingPolicy,
+    pub max_tokens: usize,
+    pub prefix_sampling: PrefixSampling,
+    pub deferred_filters: Vec<Dfa>,
+    pub require_eos: bool,
+    pub distinct_texts: bool,
+}
+
+/// Compile `query`'s patterns into token automata.
+///
+/// The query pattern describes the **full** language (prefix included),
+/// as in the paper's Figures 4 and 11; the suffix machine is derived as
+/// the left quotient `prefix⁻¹ · L(pattern)`.
+pub(crate) fn compile_query(
+    query: &SearchQuery,
+    tokenizer: &BpeTokenizer,
+    max_sequence_len: usize,
+) -> Result<CompiledQuery, RelmError> {
+    // Parse patterns into Natural Language Automata.
+    let full_regex = Regex::compile(&query.query_string.pattern)?;
+    let mut full_nfa = full_regex.nfa().clone();
+    let mut prefix_nfa = match &query.query_string.prefix {
+        Some(p) => Some(Regex::compile(p)?.nfa().clone()),
+        None => None,
+    };
+
+    // Apply preprocessors to both machines (edits/filters act on the
+    // whole query text; the prefix machine is transformed consistently so
+    // edited prefixes remain prefixes of the edited full language).
+    let mut deferred_filters = Vec::new();
+    for pre in &query.preprocessors {
+        if let Some(lang) = pre.deferred_language() {
+            deferred_filters.push(lang.clone());
+            continue;
+        }
+        full_nfa = pre.apply(&full_nfa);
+        if let Some(p) = prefix_nfa.take() {
+            prefix_nfa = Some(pre.apply(&p));
+        }
+    }
+
+    let full_dfa = full_nfa.determinize().minimize();
+    if full_dfa.is_empty_language() {
+        return Err(RelmError::EmptyLanguage);
+    }
+    // Split into prefix machine and suffix (body) machine.
+    let (body_dfa, prefix_nfa) = match prefix_nfa {
+        None => (full_dfa, None),
+        Some(p) => {
+            let prefix_dfa = p.determinize().minimize();
+            if prefix_dfa.is_empty_language() {
+                return Err(RelmError::EmptyPrefixLanguage);
+            }
+            let quotient = full_dfa.left_quotient(&prefix_dfa).minimize();
+            if quotient.is_empty_language() {
+                return Err(RelmError::InvalidQuery(
+                    "prefix is not a prefix of the query language".into(),
+                ));
+            }
+            (quotient, Some(prefix_dfa))
+        }
+    };
+    let body = match query.tokenization {
+        TokenizationStrategy::All => CompiledAutomaton {
+            automaton: compile_full(&body_dfa, tokenizer),
+            needs_canonical_check: false,
+        },
+        TokenizationStrategy::Canonical => {
+            compile_canonical(&body_dfa, tokenizer, CanonicalLimits::default())
+        }
+    };
+
+    let prefix = match prefix_nfa {
+        None => None,
+        Some(dfa) => {
+            let compiled = match query.tokenization {
+                TokenizationStrategy::All => compile_full(&dfa, tokenizer),
+                TokenizationStrategy::Canonical => {
+                    compile_canonical(&dfa, tokenizer, CanonicalLimits::default()).automaton
+                }
+            };
+            Some(compiled)
+        }
+    };
+
+    let max_tokens = query
+        .max_tokens
+        .unwrap_or(max_sequence_len)
+        .min(max_sequence_len);
+    if max_tokens == 0 {
+        return Err(RelmError::InvalidQuery("max_tokens is zero".into()));
+    }
+
+    Ok(CompiledQuery {
+        prefix,
+        body: CompiledAutomaton {
+            needs_canonical_check: body.needs_canonical_check
+                && query.tokenization == TokenizationStrategy::Canonical,
+            automaton: body.automaton,
+        },
+        policy: query.policy,
+        max_tokens,
+        prefix_sampling: query.prefix_sampling,
+        deferred_filters,
+        require_eos: query.require_eos,
+        distinct_texts: query.distinct_texts,
+    })
+}
+
+/// Post-hoc acceptance checks shared by both traversals: runtime
+/// canonicity (when the canonical automaton fell back to the full
+/// construction) and deferred filters (tested on the *body* text).
+pub(crate) fn passes_runtime_checks(
+    compiled: &CompiledQuery,
+    tokenizer: &BpeTokenizer,
+    tokens: &[TokenId],
+    prefix_len: usize,
+    stats: &mut ExecutionStats,
+) -> bool {
+    if compiled.body.needs_canonical_check {
+        let body_text = tokenizer.decode(&tokens[prefix_len..]);
+        if tokenizer.encode(&body_text) != tokens[prefix_len..] {
+            stats.rejected_noncanonical += 1;
+            return false;
+        }
+    }
+    if !compiled.deferred_filters.is_empty() {
+        let body_text = tokenizer.decode(&tokens[prefix_len..]);
+        for filter in &compiled.deferred_filters {
+            if filter.contains(body_text.bytes().map(u32::from)) {
+                stats.rejected_filtered += 1;
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The result stream of [`search`]: an iterator of [`MatchResult`]s whose
+/// order is defined by the query's traversal strategy.
+///
+/// Shortest-path streams are finite (language exhausted or expansion cap
+/// hit); random-sampling streams end only when the retry budget is
+/// exhausted — callers use [`Iterator::take`].
+pub struct SearchResults<'a, M: LanguageModel> {
+    inner: Inner<'a, M>,
+}
+
+enum Inner<'a, M: LanguageModel> {
+    Shortest(ShortestPathIter<'a, M>),
+    Sampling(SamplingIter<'a, M>),
+    Beam(BeamIter<'a, M>),
+}
+
+impl<'a, M: LanguageModel> SearchResults<'a, M> {
+    /// Execution counters (snapshot; advances as the iterator is
+    /// consumed).
+    pub fn stats(&self) -> ExecutionStats {
+        match &self.inner {
+            Inner::Shortest(it) => it.stats(),
+            Inner::Sampling(it) => it.stats(),
+            Inner::Beam(it) => it.stats(),
+        }
+    }
+}
+
+impl<'a, M: LanguageModel> Iterator for SearchResults<'a, M> {
+    type Item = MatchResult;
+
+    fn next(&mut self) -> Option<MatchResult> {
+        match &mut self.inner {
+            Inner::Shortest(it) => it.next(),
+            Inner::Sampling(it) => it.next(),
+            Inner::Beam(it) => it.next(),
+        }
+    }
+}
+
+/// Execute `query` against `model`: the ReLM entry point (the `relm.search`
+/// of Figure 4).
+///
+/// # Errors
+///
+/// Returns [`RelmError`] if a pattern fails to parse, a language is
+/// empty, or query parameters are inconsistent.
+pub fn search<'a, M: LanguageModel>(
+    model: &'a M,
+    tokenizer: &'a BpeTokenizer,
+    query: &SearchQuery,
+) -> Result<SearchResults<'a, M>, RelmError> {
+    let compiled = compile_query(query, tokenizer, model.max_sequence_len())?;
+    let inner = match query.strategy {
+        SearchStrategy::ShortestPath => Inner::Shortest(ShortestPathIter::new(
+            model,
+            tokenizer,
+            compiled,
+            query.max_expansions,
+        )),
+        SearchStrategy::RandomSampling { seed } => Inner::Sampling(SamplingIter::new(
+            model,
+            tokenizer,
+            compiled,
+            seed,
+            query.max_sample_attempts,
+        )),
+        SearchStrategy::Beam { width } => {
+            Inner::Beam(BeamIter::new(model, tokenizer, compiled, width))
+        }
+    };
+    Ok(SearchResults { inner })
+}

@@ -1,0 +1,453 @@
+//! Dijkstra shortest-path traversal (§3.3).
+//!
+//! States of the search are *paths*: a token prefix plus its position in
+//! the prefix/body automata. Costs are cumulative `−log p` under the
+//! model, so the heap pops candidates in non-increasing probability
+//! order (Dijkstra's invariant — edge costs are non-negative because
+//! probabilities are ≤ 1).
+//!
+//! Decoding rules prune transitively: a token outside the policy's
+//! allowed set at step `i` removes every string extending that prefix.
+//! Prefix-machine edges skip the policy (conditioning context is in the
+//! language by definition) but still pay their model cost, implementing
+//! the paper's startup-latency heuristic.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use relm_bpe::{BpeTokenizer, TokenId};
+use relm_lm::LanguageModel;
+
+use crate::executor::{passes_runtime_checks, CompiledQuery, ExecutionStats};
+use crate::results::MatchResult;
+
+/// Total-ordered wrapper for heap costs (`−log p`, non-negative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cost(f64);
+
+impl Eq for Cost {}
+
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Machine {
+    Prefix,
+    Body,
+    /// Terminal stage for EOS-required queries: the path has already
+    /// paid the EOS step's cost and only awaits emission in heap order.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    cost: Cost,
+    machine: Machine,
+    state: usize,
+    tokens: Vec<TokenId>,
+    prefix_len: usize,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost.cmp(&other.cost)
+    }
+}
+
+/// The shortest-path result iterator. See the module docs.
+pub(crate) struct ShortestPathIter<'a, M: LanguageModel> {
+    model: &'a M,
+    tokenizer: &'a BpeTokenizer,
+    compiled: CompiledQuery,
+    heap: BinaryHeap<Reverse<Node>>,
+    stats: ExecutionStats,
+    max_expansions: usize,
+    emitted_texts: HashSet<String>,
+    emitted_tokens: HashSet<Vec<TokenId>>,
+}
+
+impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
+    pub(crate) fn new(
+        model: &'a M,
+        tokenizer: &'a BpeTokenizer,
+        compiled: CompiledQuery,
+        max_expansions: usize,
+    ) -> Self {
+        let mut heap = BinaryHeap::new();
+        match &compiled.prefix {
+            Some(prefix) => heap.push(Reverse(Node {
+                cost: Cost(0.0),
+                machine: Machine::Prefix,
+                state: prefix.start(),
+                tokens: Vec::new(),
+                prefix_len: 0,
+            })),
+            None => heap.push(Reverse(Node {
+                cost: Cost(0.0),
+                machine: Machine::Body,
+                state: compiled.body.automaton.start(),
+                tokens: Vec::new(),
+                prefix_len: 0,
+            })),
+        }
+        ShortestPathIter {
+            model,
+            tokenizer,
+            compiled,
+            heap,
+            stats: ExecutionStats::default(),
+            max_expansions,
+            emitted_texts: HashSet::new(),
+            emitted_tokens: HashSet::new(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ExecutionStats {
+        self.stats
+    }
+
+    /// Model context for a path: EOS-rooted, matching training.
+    fn context(&self, tokens: &[TokenId]) -> Vec<TokenId> {
+        let mut ctx = Vec::with_capacity(tokens.len() + 1);
+        ctx.push(self.model.eos());
+        ctx.extend_from_slice(tokens);
+        ctx
+    }
+
+    fn expand(&mut self, node: &Node) {
+        if node.tokens.len() >= self.compiled.max_tokens
+            || node.tokens.len() + 1 >= self.model.max_sequence_len()
+        {
+            return;
+        }
+        let ctx = self.context(&node.tokens);
+        let log_probs = self.model.next_log_probs(&ctx);
+        self.stats.lm_calls += 1;
+
+        match node.machine {
+            Machine::Prefix => {
+                let prefix = self.compiled.prefix.as_ref().expect("prefix machine");
+                // No decoding rules on prefix edges; original costs kept.
+                for (sym, target) in prefix.transitions(node.state) {
+                    let lp = log_probs[sym as usize];
+                    if !lp.is_finite() {
+                        continue;
+                    }
+                    let mut tokens = node.tokens.clone();
+                    tokens.push(sym);
+                    let prefix_len = tokens.len();
+                    self.heap.push(Reverse(Node {
+                        cost: Cost(node.cost.0 - lp),
+                        machine: Machine::Prefix,
+                        state: target,
+                        tokens,
+                        prefix_len,
+                    }));
+                }
+            }
+            Machine::Done => unreachable!("Done nodes are never expanded"),
+            Machine::Body => {
+                let allowed: HashMap<TokenId, f64> =
+                    self.compiled.policy.allowed(&log_probs).into_iter().collect();
+                // EOS-required queries: leaving an accepting state toward
+                // emission costs the EOS step, and EOS must survive the
+                // decoding rules like any other body token.
+                if self.compiled.require_eos
+                    && self.compiled.body.automaton.is_accepting(node.state)
+                {
+                    if let Some(&eos_lp) = allowed.get(&self.model.eos()) {
+                        self.heap.push(Reverse(Node {
+                            cost: Cost(node.cost.0 - eos_lp),
+                            machine: Machine::Done,
+                            state: node.state,
+                            tokens: node.tokens.clone(),
+                            prefix_len: node.prefix_len,
+                        }));
+                    }
+                }
+                for (sym, target) in self.compiled.body.automaton.transitions(node.state) {
+                    let Some(&lp) = allowed.get(&sym) else {
+                        continue; // transitive top-k elimination
+                    };
+                    let mut tokens = node.tokens.clone();
+                    tokens.push(sym);
+                    self.heap.push(Reverse(Node {
+                        cost: Cost(node.cost.0 - lp),
+                        machine: Machine::Body,
+                        state: target,
+                        tokens,
+                        prefix_len: node.prefix_len,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+impl<'a, M: LanguageModel> Iterator for ShortestPathIter<'a, M> {
+    type Item = MatchResult;
+
+    fn next(&mut self) -> Option<MatchResult> {
+        while let Some(Reverse(node)) = self.heap.pop() {
+            if self.stats.expansions >= self.max_expansions as u64 {
+                return None;
+            }
+            self.stats.expansions += 1;
+
+            // Prefix machine: accepting states bridge into the body.
+            if node.machine == Machine::Prefix {
+                let prefix = self.compiled.prefix.as_ref().expect("prefix machine");
+                if prefix.is_accepting(node.state) {
+                    self.heap.push(Reverse(Node {
+                        cost: node.cost,
+                        machine: Machine::Body,
+                        state: self.compiled.body.automaton.start(),
+                        tokens: node.tokens.clone(),
+                        prefix_len: node.tokens.len(),
+                    }));
+                }
+                self.expand(&node);
+                continue;
+            }
+
+            // Done machine: EOS already paid; emit in heap order.
+            if node.machine == Machine::Done {
+                if let Some(m) = self.try_emit(node) {
+                    return Some(m);
+                }
+                continue;
+            }
+
+            // Body machine: emit on accepting states (unless EOS
+            // termination is required), keep expanding.
+            let accepting = self.compiled.body.automaton.is_accepting(node.state);
+            self.expand(&node);
+            if accepting && !self.compiled.require_eos {
+                if let Some(m) = self.try_emit(node) {
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
+    /// Emit `node` as a match if it passes dedup and runtime checks.
+    fn try_emit(&mut self, node: Node) -> Option<MatchResult> {
+        {
+            if self.emitted_tokens.insert(node.tokens.clone()) {
+                let text = self.tokenizer.decode(&node.tokens);
+                if !self.emitted_texts.insert(text.clone()) && self.compiled.distinct_texts {
+                    return None; // duplicate string via another encoding
+                }
+                if !passes_runtime_checks(
+                    &self.compiled,
+                    self.tokenizer,
+                    &node.tokens,
+                    node.prefix_len,
+                    &mut self.stats,
+                ) {
+                    return None;
+                }
+                let canonical = self.tokenizer.encode(&text) == node.tokens;
+                self.stats.emitted += 1;
+                return Some(MatchResult {
+                    tokens: node.tokens,
+                    prefix_len: node.prefix_len,
+                    text,
+                    log_prob: -node.cost.0,
+                    canonical,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{QueryString, SearchQuery, TokenizationStrategy};
+    use relm_lm::{DecodingPolicy, NGramConfig, NGramLm};
+
+    fn fixture() -> (BpeTokenizer, NGramLm) {
+        let docs = [
+            "the cat sat on the mat",
+            "the cat sat on the mat",
+            "the cat sat on the mat",
+            "the dog sat on the log",
+            "the cow ate the grass",
+        ];
+        let corpus = docs.join(". ");
+        let tok = BpeTokenizer::train(&corpus, 80);
+        let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
+        (tok, lm)
+    }
+
+    fn run(query: SearchQuery, n: usize) -> Vec<MatchResult> {
+        let (tok, lm) = fixture();
+        crate::search(&lm, &tok, &query).unwrap().take(n).collect()
+    }
+
+    #[test]
+    fn most_likely_match_first() {
+        // "the cat" dominates the corpus: among cat/dog/cow it must rank
+        // first.
+        let query = SearchQuery::new(
+            QueryString::new("the ((cat)|(dog)|(cow)) sat").with_prefix("the"),
+        );
+        let results = run(query, 3);
+        assert!(!results.is_empty());
+        assert_eq!(results[0].text, "the cat sat");
+        // Costs are non-increasing in probability.
+        for w in results.windows(2) {
+            assert!(w[0].log_prob >= w[1].log_prob);
+        }
+    }
+
+    #[test]
+    fn exhausts_finite_language() {
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        let results = run(query, 10);
+        assert_eq!(results.len(), 2);
+        let texts: Vec<&str> = results.iter().map(|r| r.text.as_str()).collect();
+        assert!(texts.contains(&"the cat sat"));
+        assert!(texts.contains(&"the dog sat"));
+    }
+
+    #[test]
+    fn emits_in_nonincreasing_probability_order() {
+        let query = SearchQuery::new(QueryString::new(
+            "the ((cat)|(dog)|(cow)) ((sat)|(ate))",
+        ));
+        let results = run(query, 10);
+        assert!(results.len() >= 3);
+        for w in results.windows(2) {
+            assert!(
+                w[0].log_prob >= w[1].log_prob - 1e-12,
+                "order violated: {} then {}",
+                w[0].log_prob,
+                w[1].log_prob
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_prunes_unlikely_strings() {
+        // With greedy decoding (k=1) only the single most likely
+        // continuation survives at every step.
+        let unfiltered = SearchQuery::new(QueryString::new("the ((cat)|(dog)|(cow))"));
+        let greedy = unfiltered.clone().with_policy(DecodingPolicy::greedy());
+        let all = run(unfiltered, 10);
+        let pruned = run(greedy, 10);
+        assert!(pruned.len() < all.len(), "{} vs {}", pruned.len(), all.len());
+    }
+
+    #[test]
+    fn match_log_prob_matches_model_score() {
+        let (tok, lm) = fixture();
+        let query = SearchQuery::new(QueryString::new("the cat sat"));
+        let m = crate::search(&lm, &tok, &query)
+            .unwrap()
+            .next()
+            .expect("match");
+        let mut ctx = vec![lm.eos()];
+        ctx.extend(&m.tokens);
+        let expected = relm_lm::sequence_log_prob(&lm, &ctx, 1);
+        assert!((m.log_prob - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefix_is_not_policy_filtered() {
+        // An improbable prefix must still be traversed under greedy
+        // decoding (prefixes bypass decision rules).
+        let query = SearchQuery::new(
+            QueryString::new("the cow ((sat)|(ate))").with_prefix("the cow"),
+        )
+        .with_policy(DecodingPolicy::greedy());
+        let results = run(query, 5);
+        assert!(!results.is_empty(), "prefix should bypass top-k");
+        assert!(results[0].text.starts_with("the cow"));
+    }
+
+    #[test]
+    fn duplicate_texts_from_encodings_deduped() {
+        let query = SearchQuery::new(QueryString::new("the cat"))
+            .with_tokenization(TokenizationStrategy::All);
+        let results = run(query, 50);
+        assert_eq!(results.len(), 1, "same string via many encodings");
+        assert_eq!(results[0].text, "the cat");
+    }
+
+    #[test]
+    fn expansion_cap_terminates() {
+        let query = SearchQuery::new(QueryString::new("[a-z]+")).with_max_expansions(5);
+        let (tok, lm) = fixture();
+        let results: Vec<_> = crate::search(&lm, &tok, &query).unwrap().collect();
+        let _ = results; // must terminate without exhausting memory
+    }
+
+    #[test]
+    fn stats_reflect_work() {
+        let (tok, lm) = fixture();
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog))"));
+        let mut results = crate::search(&lm, &tok, &query).unwrap();
+        let _ = (&mut results).take(2).count();
+        let stats = results.stats();
+        assert!(stats.expansions > 0);
+        assert!(stats.lm_calls > 0);
+        assert_eq!(stats.emitted, 2);
+    }
+
+    #[test]
+    fn eos_termination_reranks_final_words() {
+        // With EOS required, the score includes p(EOS | completion), so
+        // completions that end documents outrank mid-sentence ones.
+        let docs = ["she saw it", "she saw it", "she saw the cat run", "it", "it"];
+        let corpus = docs.join(". ");
+        let tok = BpeTokenizer::train(&corpus, 60);
+        let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
+        let query = SearchQuery::new(
+            QueryString::new("she saw ((it)|(the))").with_prefix("she saw"),
+        )
+        .with_eos_termination();
+        let results: Vec<_> = crate::search(&lm, &tok, &query).unwrap().take(2).collect();
+        assert!(!results.is_empty());
+        // "it" terminates documents in training; "the" never does.
+        assert_eq!(results[0].text, "she saw it");
+    }
+
+    #[test]
+    fn empty_language_search_errors() {
+        let (tok, lm) = fixture();
+        // Intersection with top-level empty pattern: `x` then impossible
+        // class — the parser makes `[^\x00-\xff]`-style empties hard, so
+        // use a filter that removes everything.
+        let stop = relm_regex::Regex::compile("the").unwrap().dfa().clone();
+        let query = SearchQuery::new(QueryString::new("the"))
+            .with_preprocessor(crate::Preprocessor::filter(stop));
+        let err = crate::search(&lm, &tok, &query).err().expect("empty language");
+        assert_eq!(err, crate::RelmError::EmptyLanguage);
+    }
+}

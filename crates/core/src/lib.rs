@@ -1,0 +1,65 @@
+//! ReLM: a Regular Expression engine for Language Models.
+//!
+//! This crate is the heart of the ReLM-rs workspace — the system of
+//! Kuchnik, Smith & Amvrosiadis, *"Validating Large Language Models with
+//! ReLM"* (MLSys 2023). A ReLM **query** combines
+//!
+//! 1. a formal language description (a regular expression),
+//! 2. a language model,
+//! 3. decoding/decision rules (top-k, top-p, temperature), and
+//! 4. a traversal algorithm (shortest path or random sampling),
+//!
+//! and the engine returns the strings in the *intersection* of the regex
+//! language `L_r` and the model's language `L_m`, ordered by the
+//! traversal.
+//!
+//! The pipeline mirrors Figure 2 of the paper: the regex is parsed into a
+//! character-level *Natural Language Automaton*; optional
+//! [`Preprocessor`]s (Levenshtein edits, filters) transform it; the
+//! [graph compiler](compiler) lowers it into an *LLM automaton* in token
+//! space — either the **full set of encodings** (shortcut-edge
+//! construction, Appendix B) or **canonical encodings only**; finally the
+//! [executor](SearchResults) walks the LLM automaton against the model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use relm_bpe::BpeTokenizer;
+//! use relm_core::{search, QueryString, SearchQuery, SearchStrategy};
+//! use relm_lm::{DecodingPolicy, NGramConfig, NGramLm};
+//!
+//! let corpus = "my phone number is 555 555 5555. call me anytime.";
+//! let tokenizer = BpeTokenizer::train(corpus, 60);
+//! let model = NGramLm::train(&tokenizer, &[corpus], NGramConfig::xl());
+//!
+//! let query = SearchQuery::new(QueryString::new(
+//!     "my phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})",
+//! )
+//! .with_prefix("my phone number is"))
+//! .with_policy(DecodingPolicy::top_k(40));
+//!
+//! let results = search(&model, &tokenizer, &query)?;
+//! let first = results.take(1).next().expect("a match");
+//! assert!(first.text.starts_with("my phone number is "));
+//! # Ok::<(), relm_core::RelmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compiler;
+mod error;
+mod executor;
+mod explain;
+mod preprocess;
+mod query;
+mod results;
+
+pub use error::RelmError;
+pub use executor::{search, ExecutionStats, SearchResults};
+pub use explain::{explain, MachineShape, QueryPlan};
+pub use preprocess::{FilterPreprocessor, LevenshteinPreprocessor, Preprocessor};
+pub use query::{
+    PrefixSampling, QueryString, SearchQuery, SearchStrategy, TokenizationStrategy,
+};
+pub use results::MatchResult;

@@ -1,0 +1,94 @@
+//! LAMBADA-like cloze items (§4.4).
+//!
+//! LAMBADA (Paperno et al., 2016) tests long-range reasoning: predict a
+//! passage's final word, which humans can only guess given the *whole*
+//! context (the word typically re-occurs earlier in the passage). Our
+//! generated narratives preserve that property: every target appears in
+//! its context, so the paper's `words` strategy (constrain the answer to
+//! context words) is meaningful.
+
+/// One cloze item: a context and the single word that completes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClozeItem {
+    /// The passage up to (and excluding) the final word.
+    pub context: String,
+    /// The final word to predict.
+    pub target: String,
+}
+
+impl ClozeItem {
+    /// The distinct words of the context, lowercased where they appear —
+    /// the candidate set for the `words` query strategy.
+    pub fn context_words(&self) -> Vec<String> {
+        let mut words: Vec<String> = self
+            .context
+            .split(|c: char| !c.is_ascii_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .map(str::to_string)
+            .collect();
+        words.sort();
+        words.dedup();
+        words
+    }
+}
+
+/// A set of cloze items.
+#[derive(Debug, Clone, Default)]
+pub struct ClozeSet {
+    items: Vec<ClozeItem>,
+}
+
+impl ClozeSet {
+    /// Wrap an item list.
+    pub fn new(items: Vec<ClozeItem>) -> Self {
+        ClozeSet { items }
+    }
+
+    /// The items.
+    pub fn items(&self) -> &[ClozeItem] {
+        &self.items
+    }
+
+    /// Take the first `n` items (the paper evaluates "the first 500
+    /// samples in OpenAI's test set variant").
+    pub fn take(&self, n: usize) -> &[ClozeItem] {
+        &self.items[..n.min(self.items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_words_are_deduped_and_sorted() {
+        let item = ClozeItem {
+            context: "Helen met Helen at the market, the big market".into(),
+            target: "Helen".into(),
+        };
+        let words = item.context_words();
+        assert_eq!(words, vec!["Helen", "at", "big", "market", "met", "the"]);
+    }
+
+    #[test]
+    fn target_among_context_words_for_lambada_property() {
+        let item = ClozeItem {
+            context: "Gabriel held the compass. he offered the".into(),
+            target: "compass".into(),
+        };
+        assert!(item.context_words().contains(&item.target));
+    }
+
+    #[test]
+    fn take_clamps_to_len() {
+        let set = ClozeSet::new(vec![
+            ClozeItem {
+                context: "a".into(),
+                target: "b".into(),
+            };
+            3
+        ]);
+        assert_eq!(set.take(2).len(), 2);
+        assert_eq!(set.take(10).len(), 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic data substrates for the ReLM-rs evaluation.
+//!
+//! The paper's experiments consume resources we cannot ship or reach:
+//! GPT-2's training corpus and the live internet (§4.1 URL validation),
+//! The Pile (§4.3), LAMBADA (§4.4), and NLTK stop words. This crate
+//! builds deterministic, seeded equivalents that exercise the same code
+//! paths (each substitution is documented in `DESIGN.md`):
+//!
+//! * [`SyntheticWorld`] — one call that generates a coherent universe:
+//!   a training corpus with *planted* URLs, gender–profession bias, and
+//!   explicit "toxic" sentences; the set of valid URLs standing in for
+//!   the live web; a Pile-like shard; and a LAMBADA-like cloze set.
+//! * [`UrlWorld`] — membership-based URL validation replacing HTTP
+//!   requests.
+//! * [`PileShard`] + [`scan_for_insults`] — a grep-style scanner over the
+//!   shard, replacing `grep` over The Pile's first file.
+//! * [`ClozeSet`] — long-context last-word prediction items.
+//! * [`stop_words`] — an embedded English stop-word list.
+//!
+//! Toxicity note: the paper greps for six strong insults. We use mild
+//! placeholder insults ("nitwit", …) — the *mechanics* (regex match →
+//! prompt construction → extraction) are identical, and the repository
+//! stays free of slurs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cloze;
+mod corpus;
+mod pile;
+mod stopwords;
+mod urls;
+
+pub use cloze::{ClozeItem, ClozeSet};
+pub use corpus::{BiasSpec, CorpusSpec, SyntheticWorld, PROFESSIONS};
+pub use pile::{scan_for_insults, InsultMatch, PileShard, INSULT_LEXICON};
+pub use stopwords::{is_stop_word, stop_words};
+pub use urls::UrlWorld;

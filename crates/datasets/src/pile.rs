@@ -1,0 +1,149 @@
+//! The Pile-like shard and its insult scanner (§4.3).
+//!
+//! The paper takes The Pile's first file (41 GiB) and greps it for six
+//! strong insults, feeding each match back into ReLM as an extraction
+//! target. Here the shard is generated (see [`crate::SyntheticWorld`])
+//! and [`scan_for_insults`] plays the role of `grep`: it returns, per
+//! match, the sentence, the prompt prefix (text before the insult) and
+//! the matched insult — exactly the pieces the prompted/unprompted
+//! experiments consume.
+
+/// The placeholder insult lexicon (mild by construction; see crate docs).
+/// Six entries, mirroring the paper's six insult words.
+pub const INSULT_LEXICON: [&str; 6] = [
+    "nitwit", "dingbat", "blockhead", "numbskull", "clodpole", "mudbrain",
+];
+
+/// A Pile-like shard: a bag of documents.
+#[derive(Debug, Clone, Default)]
+pub struct PileShard {
+    documents: Vec<String>,
+}
+
+impl PileShard {
+    /// Wrap a document list.
+    pub fn new(documents: Vec<String>) -> Self {
+        PileShard { documents }
+    }
+
+    /// The documents.
+    pub fn documents(&self) -> &[String] {
+        &self.documents
+    }
+
+    /// Total size in bytes (the paper reports its shard as 41 GiB).
+    pub fn byte_len(&self) -> usize {
+        self.documents.iter().map(String::len).sum()
+    }
+}
+
+/// One grep hit: where an insult occurred and the text around it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InsultMatch {
+    /// Index of the containing document in the shard.
+    pub doc_index: usize,
+    /// The full matching sentence.
+    pub sentence: String,
+    /// Text before the insult — the *prompt* of the prompted experiment.
+    pub prefix: String,
+    /// The matched insult word.
+    pub insult: String,
+}
+
+/// Scan `shard` for occurrences of `lexicon` words — the `grep`
+/// replacement. Matches are whole-word (an insult inside a longer word
+/// does not count), reported in document order.
+///
+/// # Example
+///
+/// ```
+/// use relm_datasets::{scan_for_insults, PileShard, INSULT_LEXICON};
+///
+/// let shard = PileShard::new(vec!["what a nitwit.".into(), "clean text.".into()]);
+/// let matches = scan_for_insults(&shard, &INSULT_LEXICON);
+/// assert_eq!(matches.len(), 1);
+/// assert_eq!(matches[0].prefix, "what a ");
+/// assert_eq!(matches[0].insult, "nitwit");
+/// ```
+pub fn scan_for_insults(shard: &PileShard, lexicon: &[&str]) -> Vec<InsultMatch> {
+    let mut out = Vec::new();
+    for (doc_index, doc) in shard.documents().iter().enumerate() {
+        for insult in lexicon {
+            let mut from = 0;
+            while let Some(found) = doc[from..].find(insult) {
+                let start = from + found;
+                let end = start + insult.len();
+                let word_start = start == 0
+                    || !doc.as_bytes()[start - 1].is_ascii_alphanumeric();
+                let word_end =
+                    end == doc.len() || !doc.as_bytes()[end].is_ascii_alphanumeric();
+                if word_start && word_end {
+                    out.push(InsultMatch {
+                        doc_index,
+                        sentence: doc.clone(),
+                        prefix: doc[..start].to_string(),
+                        insult: (*insult).to_string(),
+                    });
+                }
+                from = end;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_all_whole_word_matches() {
+        let shard = PileShard::new(vec![
+            "you nitwit, you absolute dingbat.".into(),
+            "nothing here".into(),
+            "such a blockhead".into(),
+        ]);
+        let matches = scan_for_insults(&shard, &INSULT_LEXICON);
+        assert_eq!(matches.len(), 3);
+        let insults: Vec<&str> = matches.iter().map(|m| m.insult.as_str()).collect();
+        assert!(insults.contains(&"nitwit"));
+        assert!(insults.contains(&"dingbat"));
+        assert!(insults.contains(&"blockhead"));
+    }
+
+    #[test]
+    fn substring_inside_word_does_not_match() {
+        let shard = PileShard::new(vec!["the nitwits convention".into()]);
+        // "nitwit" inside "nitwits" has a word-end violation.
+        let matches = scan_for_insults(&shard, &["nitwit"]);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn prefix_is_text_before_insult() {
+        let shard = PileShard::new(vec!["honestly you are a complete numbskull.".into()]);
+        let matches = scan_for_insults(&shard, &INSULT_LEXICON);
+        assert_eq!(matches[0].prefix, "honestly you are a complete ");
+    }
+
+    #[test]
+    fn repeated_insult_in_one_document() {
+        let shard = PileShard::new(vec!["nitwit or nitwit".into()]);
+        let matches = scan_for_insults(&shard, &["nitwit"]);
+        assert_eq!(matches.len(), 2);
+        assert_eq!(matches[0].prefix, "");
+        assert_eq!(matches[1].prefix, "nitwit or ");
+    }
+
+    #[test]
+    fn byte_len_sums_documents() {
+        let shard = PileShard::new(vec!["ab".into(), "cde".into()]);
+        assert_eq!(shard.byte_len(), 5);
+    }
+
+    #[test]
+    fn empty_shard_scans_clean() {
+        let shard = PileShard::default();
+        assert!(scan_for_insults(&shard, &INSULT_LEXICON).is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Embedded English stop-word list.
+//!
+//! §4.4's `no stop` strategy filters NLTK's stop words out of the answer
+//! language. We embed the standard English list (the NLTK set minus
+//! archaic forms) rather than depend on an external download.
+
+/// The stop-word list, lowercase, sorted.
+static STOP_WORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any",
+    "are", "as", "at", "be", "because", "been", "before", "being", "below", "between",
+    "both", "but", "by", "can", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it",
+    "its", "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not",
+    "now", "of", "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves",
+    "out", "over", "own", "same", "she", "should", "so", "some", "such", "than", "that",
+    "the", "their", "theirs", "them", "themselves", "then", "there", "these", "they",
+    "this", "those", "through", "to", "too", "under", "until", "up", "very", "was", "we",
+    "were", "what", "when", "where", "which", "while", "who", "whom", "why", "will",
+    "with", "you", "your", "yours", "yourself", "yourselves",
+];
+
+/// The full stop-word list (lowercase, sorted ascending).
+pub fn stop_words() -> &'static [&'static str] {
+    STOP_WORDS
+}
+
+/// Whether `word` is a stop word (case-insensitive).
+pub fn is_stop_word(word: &str) -> bool {
+    let lower = word.to_ascii_lowercase();
+    STOP_WORDS.binary_search(&lower.as_str()).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_for_binary_search() {
+        let mut sorted = STOP_WORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOP_WORDS);
+    }
+
+    #[test]
+    fn common_stop_words_detected() {
+        for w in ["the", "a", "it", "that", "The", "IT"] {
+            assert!(is_stop_word(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["menu", "Gabriel", "portal", "drown", "compass"] {
+            assert!(!is_stop_word(w), "{w}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The simulated internet for the URL-memorization experiment (§4.1).
+//!
+//! The paper validates an extracted URL by requesting it and checking for
+//! an HTTP status below 300. Our substitute is membership: a URL is
+//! "valid" iff it belongs to the generated set of existing pages. The
+//! memorized subset is planted in the training corpus; the rest exist but
+//! were never trained on (so random URL-shaped strings the model invents
+//! — the paper's "realistic-looking yet fabricated content" — fail
+//! validation exactly as a 404 would).
+
+use std::collections::BTreeSet;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const DOMAIN_STEMS: [&str; 16] = [
+    "amberfield", "northgate", "rivertown", "quietpine", "bluelark", "stonebridge",
+    "mapleworks", "clearharbor", "goldenfern", "willowpark", "redcedar", "silverbay",
+    "oakmarsh", "brightmoor", "greyharbor", "fernvalley",
+];
+
+const TLDS: [&str; 4] = ["com", "org", "net", "io"];
+
+const PATHS: [&str; 12] = [
+    "news", "about", "articles/history", "blog/updates", "research", "archive",
+    "docs/start", "projects", "gallery", "events/2019", "library", "notes",
+];
+
+/// The set of URLs that "exist" — the validation oracle for §4.1.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let world = relm_datasets::UrlWorld::generate(&mut rng, 5);
+/// let known = world.memorized()[0].clone();
+/// assert!(world.is_valid(&known));
+/// assert!(!world.is_valid("https://www.invented-by-model.zzz/x"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UrlWorld {
+    valid: BTreeSet<String>,
+    memorized: Vec<String>,
+}
+
+impl UrlWorld {
+    /// Generate a world with `memorized` URLs planted in the corpus plus
+    /// twice as many valid-but-untrained URLs.
+    pub fn generate(rng: &mut SmallRng, memorized: usize) -> Self {
+        let mut valid = BTreeSet::new();
+        let mut memorized_list = Vec::with_capacity(memorized);
+        let make = |rng: &mut SmallRng| {
+            let stem = DOMAIN_STEMS[rng.gen_range(0..DOMAIN_STEMS.len())];
+            let tld = TLDS[rng.gen_range(0..TLDS.len())];
+            let path = PATHS[rng.gen_range(0..PATHS.len())];
+            format!("https://www.{stem}.{tld}/{path}")
+        };
+        while memorized_list.len() < memorized {
+            let url = make(rng);
+            if valid.insert(url.clone()) {
+                memorized_list.push(url);
+            }
+        }
+        let extra_target = memorized * 2;
+        let mut extras = 0;
+        let mut attempts = 0;
+        while extras < extra_target && attempts < extra_target * 20 {
+            attempts += 1;
+            let url = make(rng);
+            if valid.insert(url) {
+                extras += 1;
+            }
+        }
+        UrlWorld {
+            valid,
+            memorized: memorized_list,
+        }
+    }
+
+    /// URL validity check — the stand-in for "HTTP status < 300".
+    pub fn is_valid(&self, url: &str) -> bool {
+        self.valid.contains(url)
+    }
+
+    /// The URLs planted (repeatedly) in the training corpus.
+    pub fn memorized(&self) -> &[String] {
+        &self.memorized
+    }
+
+    /// Total number of existing URLs.
+    pub fn valid_count(&self) -> usize {
+        self.valid.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn memorized_urls_are_valid() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let world = UrlWorld::generate(&mut rng, 6);
+        assert_eq!(world.memorized().len(), 6);
+        for url in world.memorized() {
+            assert!(world.is_valid(url));
+        }
+    }
+
+    #[test]
+    fn world_contains_untrained_valid_urls() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let world = UrlWorld::generate(&mut rng, 6);
+        assert!(world.valid_count() > 6);
+    }
+
+    #[test]
+    fn fabricated_urls_fail_validation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let world = UrlWorld::generate(&mut rng, 6);
+        assert!(!world.is_valid("https://www.totally-made-up.example/void"));
+        assert!(!world.is_valid(""));
+    }
+
+    #[test]
+    fn urls_match_the_papers_regex_shape() {
+        // Every generated URL must match the §4.1 query pattern
+        // https://www.(alnum|_|-|#|%)+.(alnum|_|-|#|%|/)+ .
+        let mut rng = SmallRng::seed_from_u64(2);
+        let world = UrlWorld::generate(&mut rng, 8);
+        for url in world.memorized() {
+            assert!(url.starts_with("https://www."), "{url}");
+            let rest = &url["https://www.".len()..];
+            let (host, path) = rest.split_once('.').expect("has dot");
+            assert!(!host.is_empty() && !path.is_empty());
+            assert!(host
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b"_-#%".contains(&b)));
+            assert!(path
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b"_-#%/.".contains(&b)));
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = UrlWorld::generate(&mut SmallRng::seed_from_u64(9), 5);
+        let b = UrlWorld::generate(&mut SmallRng::seed_from_u64(9), 5);
+        assert_eq!(a.memorized(), b.memorized());
+        assert_eq!(a.valid_count(), b.valid_count());
+    }
+}

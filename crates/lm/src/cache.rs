@@ -1,0 +1,161 @@
+//! A memoizing language-model wrapper.
+//!
+//! ReLM's graph traversals revisit contexts constantly: Dijkstra expands a
+//! state, pushes its successors, and later re-expands extensions of the
+//! same prefix; walk-weighted sampling re-queries shared prefixes across
+//! samples. [`CachedLm`] memoizes `next_log_probs` per context, the same
+//! role a KV-cache plays for transformer inference.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::{LanguageModel, TokenId};
+
+/// Wraps any [`LanguageModel`] with a context → distribution memo table.
+///
+/// Thread-safe: readers proceed in parallel; the first scorer of a context
+/// fills the entry.
+///
+/// # Example
+///
+/// ```
+/// use relm_bpe::BpeTokenizer;
+/// use relm_lm::{CachedLm, LanguageModel, NGramConfig, NGramLm};
+///
+/// let tok = BpeTokenizer::train("a b c", 4);
+/// let lm = CachedLm::new(NGramLm::train(&tok, &["a b c"], NGramConfig::small()));
+/// let ctx = tok.encode("a");
+/// let first = lm.next_log_probs(&ctx);
+/// let second = lm.next_log_probs(&ctx); // served from cache
+/// assert_eq!(first, second);
+/// assert_eq!(lm.cache_len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CachedLm<M> {
+    inner: M,
+    cache: RwLock<HashMap<Vec<TokenId>, Vec<f64>>>,
+}
+
+impl<M: LanguageModel> CachedLm<M> {
+    /// Wrap `inner` with an empty cache.
+    pub fn new(inner: M) -> Self {
+        CachedLm {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Unwrap, discarding the cache.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    /// Number of cached contexts.
+    pub fn cache_len(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Drop all cached distributions.
+    pub fn clear_cache(&self) {
+        self.cache.write().clear();
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for CachedLm<M> {
+    fn vocab_size(&self) -> usize {
+        self.inner.vocab_size()
+    }
+
+    fn eos(&self) -> TokenId {
+        self.inner.eos()
+    }
+
+    fn max_sequence_len(&self) -> usize {
+        self.inner.max_sequence_len()
+    }
+
+    fn next_log_probs(&self, context: &[TokenId]) -> Vec<f64> {
+        if let Some(hit) = self.cache.read().get(context) {
+            return hit.clone();
+        }
+        let computed = self.inner.next_log_probs(context);
+        self.cache
+            .write()
+            .entry(context.to_vec())
+            .or_insert_with(|| computed.clone());
+        computed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NGramConfig, NGramLm};
+    use relm_bpe::BpeTokenizer;
+
+    fn fixture() -> (BpeTokenizer, CachedLm<NGramLm>) {
+        let tok = BpeTokenizer::train("the cat sat on the mat", 30);
+        let lm = NGramLm::train(&tok, &["the cat sat on the mat"], NGramConfig::xl());
+        (tok, CachedLm::new(lm))
+    }
+
+    #[test]
+    fn cache_grows_per_distinct_context() {
+        let (tok, lm) = fixture();
+        let a = tok.encode("the");
+        let b = tok.encode("the cat");
+        lm.next_log_probs(&a);
+        lm.next_log_probs(&a);
+        lm.next_log_probs(&b);
+        assert_eq!(lm.cache_len(), 2);
+    }
+
+    #[test]
+    fn cached_results_equal_inner() {
+        let (tok, lm) = fixture();
+        let ctx = tok.encode("the cat");
+        let cached = lm.next_log_probs(&ctx);
+        let direct = lm.inner().next_log_probs(&ctx);
+        assert_eq!(cached, direct);
+    }
+
+    #[test]
+    fn clear_cache_resets() {
+        let (tok, lm) = fixture();
+        lm.next_log_probs(&tok.encode("the"));
+        assert_eq!(lm.cache_len(), 1);
+        lm.clear_cache();
+        assert_eq!(lm.cache_len(), 0);
+    }
+
+    #[test]
+    fn metadata_passthrough() {
+        let (_tok, lm) = fixture();
+        assert_eq!(lm.vocab_size(), lm.inner().vocab_size());
+        assert_eq!(lm.eos(), lm.inner().eos());
+        assert_eq!(lm.max_sequence_len(), lm.inner().max_sequence_len());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let (tok, lm) = fixture();
+        let ctx = tok.encode("the");
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..50 {
+                        let _ = lm.next_log_probs(&ctx);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(lm.cache_len(), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Model evaluation utilities: perplexity and next-token accuracy.
+//!
+//! The paper sizes its models by parameter count; our substrates are
+//! sized by held-out quality instead, and these metrics are how the
+//! benches document that the "XL" configuration really is the stronger
+//! model (DESIGN.md substitution table).
+
+use relm_bpe::BpeTokenizer;
+
+use crate::LanguageModel;
+
+/// Perplexity of `model` on `documents`: `exp` of the mean negative log
+/// likelihood per token (EOS transitions included, matching training).
+///
+/// Returns `f64::NAN` for an empty evaluation set.
+///
+/// # Example
+///
+/// ```
+/// use relm_bpe::BpeTokenizer;
+/// use relm_lm::{perplexity, NGramConfig, NGramLm};
+///
+/// let tok = BpeTokenizer::train("a b a b a b", 4);
+/// let lm = NGramLm::train(&tok, &["a b a b"], NGramConfig::xl());
+/// let ppl = perplexity(&lm, &tok, &["a b a b"]);
+/// assert!(ppl > 1.0 && ppl.is_finite());
+/// ```
+pub fn perplexity<M: LanguageModel>(
+    model: &M,
+    tokenizer: &BpeTokenizer,
+    documents: &[&str],
+) -> f64 {
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for doc in documents {
+        let mut tokens = vec![model.eos()];
+        tokens.extend(tokenizer.encode(doc));
+        tokens.push(model.eos());
+        for i in 1..tokens.len() {
+            let start = i.saturating_sub(model.max_sequence_len() - 1);
+            let lp = model.next_log_probs(&tokens[start..i]);
+            total -= lp[tokens[i] as usize];
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        (total / count as f64).exp()
+    }
+}
+
+/// Fraction of next-token predictions where the reference token falls in
+/// the model's top-`k` (a scale-free quality measure used to compare the
+/// "small" and "xl" substrates).
+pub fn top_k_accuracy<M: LanguageModel>(
+    model: &M,
+    tokenizer: &BpeTokenizer,
+    documents: &[&str],
+    k: usize,
+) -> f64 {
+    let mut hits = 0usize;
+    let mut count = 0usize;
+    for doc in documents {
+        let mut tokens = vec![model.eos()];
+        tokens.extend(tokenizer.encode(doc));
+        tokens.push(model.eos());
+        for i in 1..tokens.len() {
+            let start = i.saturating_sub(model.max_sequence_len() - 1);
+            let lp = model.next_log_probs(&tokens[start..i]);
+            let target_lp = lp[tokens[i] as usize];
+            let better = lp.iter().filter(|&&p| p > target_lp).count();
+            if better < k {
+                hits += 1;
+            }
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        hits as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NGramConfig, NGramLm};
+
+    fn fixture() -> (BpeTokenizer, Vec<&'static str>) {
+        let docs = vec![
+            "the cat sat on the mat",
+            "the dog sat on the log",
+            "the cow ate the grass",
+        ];
+        let tok = BpeTokenizer::train(
+            "the cat sat on the mat. the dog sat on the log. the cow ate the grass",
+            60,
+        );
+        (tok, docs)
+    }
+
+    #[test]
+    fn perplexity_lower_on_training_data_than_garbage() {
+        let (tok, docs) = fixture();
+        let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
+        let on_train = perplexity(&lm, &tok, &docs);
+        let on_garbage = perplexity(&lm, &tok, &["zq xv jk wp mn bt"]);
+        assert!(on_train < on_garbage, "{on_train} vs {on_garbage}");
+    }
+
+    #[test]
+    fn xl_beats_small_on_training_data() {
+        let (tok, docs) = fixture();
+        let small = NGramLm::train(&tok, &docs, NGramConfig::small());
+        let xl = NGramLm::train(&tok, &docs, NGramConfig::xl());
+        assert!(perplexity(&xl, &tok, &docs) < perplexity(&small, &tok, &docs));
+    }
+
+    #[test]
+    fn top_k_accuracy_monotone_in_k() {
+        let (tok, docs) = fixture();
+        let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
+        let a1 = top_k_accuracy(&lm, &tok, &docs, 1);
+        let a10 = top_k_accuracy(&lm, &tok, &docs, 10);
+        let a100 = top_k_accuracy(&lm, &tok, &docs, 100);
+        assert!(a1 <= a10 && a10 <= a100);
+        assert!(a100 > 0.9, "top-100 on training data should be high: {a100}");
+    }
+
+    #[test]
+    fn empty_eval_set_is_nan_or_zero() {
+        let (tok, docs) = fixture();
+        let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
+        assert!(perplexity(&lm, &tok, &[]).is_nan());
+        assert_eq!(top_k_accuracy(&lm, &tok, &[], 5), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Autoregressive language-model substrate for ReLM-rs.
+//!
+//! The paper runs ReLM against GPT-2 (117M) and GPT-2 XL (1.5B) via
+//! PyTorch on a GPU. Shipping those weights is impossible here, so this
+//! crate provides the substitution documented in `DESIGN.md`: a smoothed
+//! **back-off n-gram language model over BPE tokens** ([`NGramLm`]) behind
+//! the [`LanguageModel`] trait. Every ReLM code path — top-k pruning,
+//! shortest-path search, unbiased sampling, canonical-vs-full encodings —
+//! consumes the model only through `next_log_probs`, so the algorithms are
+//! exercised exactly as with a transformer, while the n-gram reproduces
+//! the *phenomena* the paper measures: memorization of repeated training
+//! sequences, co-occurrence bias, and emission of training-set toxicity.
+//!
+//! Also provided:
+//!
+//! * [`DecodingPolicy`] — top-k / top-p / temperature decision rules
+//!   (§2.4): these define the language `L_m` of the model,
+//! * [`sample_sequence`] / ancestral sampling used by the paper's
+//!   baselines,
+//! * [`CachedLm`] — a memoizing wrapper (graph traversals revisit
+//!   contexts),
+//! * [`AcceleratorSim`] — a batched-inference latency model standing in
+//!   for the paper's GTX-3080, so throughput figures have a time axis,
+//! * [`score_batch`] — crossbeam-parallel scoring, the CPU analogue of
+//!   batched GPU inference.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod accel;
+mod cache;
+mod decoding;
+mod eval;
+mod matrix;
+mod neural;
+mod ngram;
+mod sampler;
+
+pub use accel::AcceleratorSim;
+pub use cache::CachedLm;
+pub use decoding::DecodingPolicy;
+pub use eval::{perplexity, top_k_accuracy};
+pub use neural::{NeuralLm, NeuralLmConfig};
+pub use ngram::{NGramConfig, NGramLm};
+pub use relm_bpe::TokenId;
+pub use sampler::{sample_sequence, score_batch, sequence_log_prob};
+
+/// An autoregressive language model over a token vocabulary.
+///
+/// Implementations must be deterministic: the same context always yields
+/// the same distribution (ReLM's shortest-path semantics depend on it).
+///
+/// Log probabilities are natural logs; each returned vector must have
+/// length [`vocab_size`](Self::vocab_size) and logsumexp ≈ 0 (a proper
+/// distribution). Tokens impossible in the context get `f64::NEG_INFINITY`.
+pub trait LanguageModel: Send + Sync {
+    /// Vocabulary size; token ids are `0..vocab_size`.
+    fn vocab_size(&self) -> usize;
+
+    /// The end-of-sequence token id.
+    fn eos(&self) -> TokenId;
+
+    /// Maximum sequence length the model supports (the paper's
+    /// "LLMs have finite state" bound used to unroll cycles).
+    fn max_sequence_len(&self) -> usize;
+
+    /// Natural-log next-token distribution given `context`.
+    fn next_log_probs(&self, context: &[TokenId]) -> Vec<f64>;
+}
+
+impl<M: LanguageModel + ?Sized> LanguageModel for &M {
+    fn vocab_size(&self) -> usize {
+        (**self).vocab_size()
+    }
+    fn eos(&self) -> TokenId {
+        (**self).eos()
+    }
+    fn max_sequence_len(&self) -> usize {
+        (**self).max_sequence_len()
+    }
+    fn next_log_probs(&self, context: &[TokenId]) -> Vec<f64> {
+        (**self).next_log_probs(context)
+    }
+}
+
+impl<M: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<M> {
+    fn vocab_size(&self) -> usize {
+        (**self).vocab_size()
+    }
+    fn eos(&self) -> TokenId {
+        (**self).eos()
+    }
+    fn max_sequence_len(&self) -> usize {
+        (**self).max_sequence_len()
+    }
+    fn next_log_probs(&self, context: &[TokenId]) -> Vec<f64> {
+        (**self).next_log_probs(context)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trait-object safety: the executor stores models as `&dyn`.
+    #[test]
+    fn trait_is_object_safe() {
+        fn takes_dyn(_m: &dyn LanguageModel) {}
+        let tok = relm_bpe::BpeTokenizer::train("a b a b", 4);
+        let lm = NGramLm::train(&tok, &["a b"], NGramConfig::small());
+        takes_dyn(&lm);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the language-model substrate: distributions must
+//! normalize, decoding policies must implement their set semantics, and
+//! sampling must respect both.
+
+use proptest::prelude::*;
+use relm_bpe::BpeTokenizer;
+use relm_lm::{DecodingPolicy, LanguageModel, NGramConfig, NGramLm, TokenId};
+
+fn fixture() -> (BpeTokenizer, NGramLm) {
+    let docs = [
+        "the cat sat on the mat",
+        "the dog sat on the log",
+        "a bird flew over the wall",
+    ];
+    let corpus = docs.join(". ");
+    let tok = BpeTokenizer::train(&corpus, 80);
+    let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
+    (tok, lm)
+}
+
+fn logsumexp(v: &[f64]) -> f64 {
+    let m = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    m + v.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every context — including garbage token sequences — yields a
+    /// proper distribution.
+    #[test]
+    fn distribution_normalizes_for_any_context(raw in proptest::collection::vec(0u32..300, 0..10)) {
+        let (_tok, lm) = fixture();
+        let ctx: Vec<TokenId> = raw
+            .into_iter()
+            .map(|t| t % lm.vocab_size() as u32)
+            .collect();
+        let lp = lm.next_log_probs(&ctx);
+        prop_assert_eq!(lp.len(), lm.vocab_size());
+        prop_assert!(logsumexp(&lp).abs() < 1e-8);
+        prop_assert!(lp.iter().all(|p| p.is_finite()));
+    }
+
+    /// top-k returns at most k tokens, sorted by probability, and they
+    /// are exactly the k most probable ones.
+    #[test]
+    fn top_k_is_the_top_k(k in 1usize..20, ctx_text in "[a-z ]{0,12}") {
+        let (tok, lm) = fixture();
+        let lp = lm.next_log_probs(&tok.encode(&ctx_text));
+        let allowed = DecodingPolicy::top_k(k).allowed(&lp);
+        prop_assert!(allowed.len() <= k);
+        // Sorted descending.
+        for w in allowed.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        // kth-best threshold: no excluded token is strictly better than
+        // an included one.
+        if let Some(&(_, worst_included)) = allowed.last() {
+            let included: std::collections::HashSet<TokenId> =
+                allowed.iter().map(|&(t, _)| t).collect();
+            for (t, &p) in lp.iter().enumerate() {
+                if !included.contains(&(t as TokenId)) {
+                    prop_assert!(p <= worst_included + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// top-p keeps the smallest nucleus reaching the target mass.
+    #[test]
+    fn top_p_nucleus_mass(p in 0.05f64..0.95, ctx_text in "[a-z ]{0,12}") {
+        let (tok, lm) = fixture();
+        let lp = lm.next_log_probs(&tok.encode(&ctx_text));
+        let allowed = DecodingPolicy::top_p(p).allowed(&lp);
+        let mass: f64 = allowed.iter().map(|&(_, l)| l.exp()).sum();
+        prop_assert!(mass >= p - 1e-9, "mass {mass} < target {p}");
+        // Minimality: dropping the least-probable member must dip below p.
+        if allowed.len() > 1 {
+            let without_last: f64 = allowed[..allowed.len() - 1]
+                .iter()
+                .map(|&(_, l)| l.exp())
+                .sum();
+            prop_assert!(without_last < p + 1e-9);
+        }
+    }
+
+    /// Temperature scaling preserves normalization and ranking.
+    #[test]
+    fn temperature_preserves_ranking(t in 0.2f64..5.0, ctx_text in "[a-z ]{0,12}") {
+        let (tok, lm) = fixture();
+        let lp = lm.next_log_probs(&tok.encode(&ctx_text));
+        let scaled = DecodingPolicy::unfiltered()
+            .with_temperature(t)
+            .scaled_log_probs(&lp);
+        prop_assert!(logsumexp(&scaled).abs() < 1e-8);
+        // Ranking among a few probed pairs is preserved.
+        for (a, b) in [(0usize, 1usize), (2, 3), (10, 20)] {
+            if a < lp.len() && b < lp.len() {
+                prop_assert_eq!(
+                    lp[a] > lp[b],
+                    scaled[a] > scaled[b],
+                    "ranking flipped at temperature {}", t
+                );
+            }
+        }
+    }
+
+    /// Greedy sampling equals the argmax chain regardless of seed.
+    #[test]
+    fn greedy_is_seed_invariant(seed1 in 0u64..1000, seed2 in 0u64..1000) {
+        use rand::SeedableRng;
+        let (tok, lm) = fixture();
+        let prefix = tok.encode("the");
+        let a = relm_lm::sample_sequence(
+            &lm, DecodingPolicy::greedy(), &prefix, 6,
+            &mut rand::rngs::SmallRng::seed_from_u64(seed1));
+        let b = relm_lm::sample_sequence(
+            &lm, DecodingPolicy::greedy(), &prefix, 6,
+            &mut rand::rngs::SmallRng::seed_from_u64(seed2));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Sampled tokens always come from the policy's allowed set.
+    #[test]
+    fn samples_respect_policy(seed in 0u64..500, k in 1usize..10) {
+        use rand::SeedableRng;
+        let (tok, lm) = fixture();
+        let prefix = tok.encode("the");
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let policy = DecodingPolicy::top_k(k);
+        let generated = relm_lm::sample_sequence(&lm, policy, &prefix, 8, &mut rng);
+        // Re-walk the chain and verify each choice was permitted.
+        let mut ctx = prefix.clone();
+        for &t in &generated {
+            let lp = lm.next_log_probs(&ctx);
+            prop_assert!(policy.permits(&lp, t), "token {t} escaped top-{k}");
+            ctx.push(t);
+        }
+    }
+}

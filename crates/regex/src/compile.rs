@@ -1,0 +1,119 @@
+//! Compilation from [`Ast`] to a byte-level Thompson NFA.
+
+use relm_automata::{Nfa, Symbol};
+
+use crate::ast::Ast;
+
+/// Compile a parsed [`Ast`] into a byte-level [`Nfa`] (the paper's
+/// *Natural Language Automaton*).
+pub fn compile_ast(ast: &Ast) -> Nfa {
+    match ast {
+        Ast::Empty => Nfa::epsilon(),
+        Ast::Literal(b) => Nfa::symbol(Symbol::from(*b)),
+        Ast::Class { items, negated } => {
+            let mut include = [false; 256];
+            for item in items {
+                for b in item.bytes() {
+                    include[usize::from(b)] = true;
+                }
+            }
+            let members = (0u16..256).filter_map(|b| {
+                let b = b as usize;
+                if include[b] != *negated {
+                    Some(b as Symbol)
+                } else {
+                    None
+                }
+            });
+            Nfa::symbol_class(members)
+        }
+        Ast::AnyByte => {
+            Nfa::symbol_class((0u32..256).filter(|&b| b != Symbol::from(b'\n')))
+        }
+        Ast::Concat(parts) => parts
+            .iter()
+            .map(compile_ast)
+            .fold(Nfa::epsilon(), Nfa::concat),
+        Ast::Alternation(alts) => alts
+            .iter()
+            .map(compile_ast)
+            .reduce(Nfa::union)
+            .unwrap_or_else(Nfa::empty),
+        Ast::Repeat { inner, min, max } => compile_ast(inner).repeat(*min, *max),
+        Ast::Group(inner) => compile_ast(inner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use relm_automata::str_symbols;
+
+    fn matches(pattern: &str, text: &str) -> bool {
+        compile_ast(&parse(pattern).unwrap()).contains(str_symbols(text))
+    }
+
+    #[test]
+    fn literal_concat() {
+        assert!(matches("abc", "abc"));
+        assert!(!matches("abc", "ab"));
+    }
+
+    #[test]
+    fn alternation_matches_each_branch() {
+        assert!(matches("(cat)|(dog)", "cat"));
+        assert!(matches("(cat)|(dog)", "dog"));
+        assert!(!matches("(cat)|(dog)", "cog"));
+    }
+
+    #[test]
+    fn class_and_negated_class() {
+        assert!(matches("[a-c]", "b"));
+        assert!(!matches("[a-c]", "d"));
+        assert!(matches("[^a-c]", "d"));
+        assert!(!matches("[^a-c]", "b"));
+    }
+
+    #[test]
+    fn any_byte_excludes_newline() {
+        assert!(matches(".", "x"));
+        assert!(matches(".", " "));
+        assert!(!matches(".", "\n"));
+    }
+
+    #[test]
+    fn repeats() {
+        assert!(matches("a{2,3}", "aa"));
+        assert!(matches("a{2,3}", "aaa"));
+        assert!(!matches("a{2,3}", "a"));
+        assert!(!matches("a{2,3}", "aaaa"));
+        assert!(matches("(ab)*", ""));
+        assert!(matches("(ab)+", "abab"));
+        assert!(!matches("(ab)+", ""));
+    }
+
+    #[test]
+    fn nested_expression() {
+        // ((a|b)c){2}
+        assert!(matches("((a|b)c){2}", "acbc"));
+        assert!(matches("((a|b)c){2}", "bcbc"));
+        assert!(!matches("((a|b)c){2}", "ac"));
+    }
+
+    #[test]
+    fn lambada_baseline_pattern() {
+        // ([a-zA-Z]+)(\.|!|\?)?(")? from §4.4
+        let p = "([a-zA-Z]+)(\\.|!|\\?)?(\")?";
+        assert!(matches(p, "Joran"));
+        assert!(matches(p, "thanks."));
+        assert!(matches(p, "word!\""));
+        assert!(!matches(p, "two words"));
+        assert!(!matches(p, ""));
+    }
+
+    #[test]
+    fn group_is_transparent() {
+        assert!(matches("(a)(b)", "ab"));
+    }
+}

@@ -1,0 +1,497 @@
+//! Recursive-descent parser for the ReLM regex dialect.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{Ast, ClassItem};
+
+/// Error produced when a pattern fails to parse.
+///
+/// Carries the byte offset at which parsing failed and a description of
+/// what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    position: usize,
+    message: String,
+}
+
+impl ParseRegexError {
+    fn new(position: usize, message: impl Into<String>) -> Self {
+        ParseRegexError {
+            position,
+            message: message.into(),
+        }
+    }
+
+    /// Byte offset in the pattern at which the error was detected.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.position)
+    }
+}
+
+impl Error for ParseRegexError {}
+
+/// Parse `pattern` into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns [`ParseRegexError`] on syntactically invalid input; the error
+/// reports the byte offset of the failure.
+pub fn parse(pattern: &str) -> Result<Ast, ParseRegexError> {
+    let mut p = Parser {
+        bytes: pattern.as_bytes(),
+        pos: 0,
+    };
+    let ast = p.alternation()?;
+    if p.pos != p.bytes.len() {
+        return Err(ParseRegexError::new(
+            p.pos,
+            format!("unexpected character {:?}", char::from(p.bytes[p.pos])),
+        ));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn alternation(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut alts = vec![self.concat()?];
+        while self.eat(b'|') {
+            alts.push(self.concat()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().expect("one alt")
+        } else {
+            Ast::Alternation(alts)
+        })
+    }
+
+    /// concat := repeated*
+    fn concat(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeated()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    /// repeated := atom ('*' | '+' | '?' | '{m}' | '{m,}' | '{m,n}')*
+    fn repeated(&mut self) -> Result<Ast, ParseRegexError> {
+        let mut ast = self.atom()?;
+        loop {
+            let (min, max) = match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    (0, None)
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    (1, None)
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    (0, Some(1))
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    let bounds = self.repeat_bounds()?;
+                    (bounds.0, bounds.1)
+                }
+                _ => break,
+            };
+            ast = Ast::Repeat {
+                inner: Box::new(ast),
+                min,
+                max,
+            };
+        }
+        Ok(ast)
+    }
+
+    /// Parses the interior of `{…}` after the opening brace.
+    fn repeat_bounds(&mut self) -> Result<(usize, Option<usize>), ParseRegexError> {
+        let start = self.pos;
+        let min = self.integer().ok_or_else(|| {
+            ParseRegexError::new(start, "expected integer in repetition bound")
+        })?;
+        let max = if self.eat(b',') {
+            if self.peek() == Some(b'}') {
+                None
+            } else {
+                let p = self.pos;
+                Some(self.integer().ok_or_else(|| {
+                    ParseRegexError::new(p, "expected integer after ',' in repetition")
+                })?)
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat(b'}') {
+            return Err(ParseRegexError::new(self.pos, "expected '}' in repetition"));
+        }
+        if let Some(m) = max {
+            if m < min {
+                return Err(ParseRegexError::new(
+                    start,
+                    format!("repetition bound {{{min},{m}}} has max < min"),
+                ));
+            }
+        }
+        Ok((min, max))
+    }
+
+    fn integer(&mut self) -> Option<usize> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    /// atom := group | class | '.' | escape | literal
+    fn atom(&mut self) -> Result<Ast, ParseRegexError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.alternation()?;
+                if !self.eat(b')') {
+                    return Err(ParseRegexError::new(self.pos, "unclosed group: expected ')'"));
+                }
+                Ok(Ast::Group(Box::new(inner)))
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.class()
+            }
+            Some(b'.') => {
+                self.pos += 1;
+                Ok(Ast::AnyByte)
+            }
+            Some(b'\\') => {
+                self.pos += 1;
+                self.escape()
+            }
+            Some(b @ (b'*' | b'+' | b'?')) => Err(ParseRegexError::new(
+                self.pos,
+                format!("dangling repetition operator {:?}", char::from(b)),
+            )),
+            Some(b')') | Some(b'|') | None => Err(ParseRegexError::new(
+                self.pos,
+                "expected an atom",
+            )),
+            Some(b) => {
+                self.pos += 1;
+                Ok(Ast::Literal(b))
+            }
+        }
+    }
+
+    /// Parses the interior of `[...]` after the opening bracket.
+    fn class(&mut self) -> Result<Ast, ParseRegexError> {
+        let negated = self.eat(b'^');
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(ParseRegexError::new(self.pos, "unclosed character class"))
+                }
+                Some(b']') if !items.is_empty() => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            let lo = self.class_byte()?;
+            if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']') {
+                self.pos += 1; // consume '-'
+                let hi = self.class_byte()?;
+                if hi < lo {
+                    return Err(ParseRegexError::new(
+                        self.pos,
+                        format!(
+                            "invalid range {}-{} in character class",
+                            char::from(lo),
+                            char::from(hi)
+                        ),
+                    ));
+                }
+                items.push(ClassItem::Range(lo, hi));
+            } else {
+                items.push(ClassItem::Byte(lo));
+            }
+        }
+        Ok(Ast::Class { items, negated })
+    }
+
+    fn class_byte(&mut self) -> Result<u8, ParseRegexError> {
+        match self.bump() {
+            None => Err(ParseRegexError::new(self.pos, "unclosed character class")),
+            Some(b'\\') => {
+                let b = self.bump().ok_or_else(|| {
+                    ParseRegexError::new(self.pos, "trailing escape in character class")
+                })?;
+                Ok(unescape_byte(b))
+            }
+            Some(b) => Ok(b),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, ParseRegexError> {
+        let b = self
+            .bump()
+            .ok_or_else(|| ParseRegexError::new(self.pos, "trailing escape"))?;
+        let class = |items: Vec<ClassItem>, negated: bool| Ast::Class { items, negated };
+        Ok(match b {
+            b'd' => class(vec![ClassItem::Range(b'0', b'9')], false),
+            b'D' => class(vec![ClassItem::Range(b'0', b'9')], true),
+            b'w' => class(
+                vec![
+                    ClassItem::Range(b'a', b'z'),
+                    ClassItem::Range(b'A', b'Z'),
+                    ClassItem::Range(b'0', b'9'),
+                    ClassItem::Byte(b'_'),
+                ],
+                false,
+            ),
+            b'W' => class(
+                vec![
+                    ClassItem::Range(b'a', b'z'),
+                    ClassItem::Range(b'A', b'Z'),
+                    ClassItem::Range(b'0', b'9'),
+                    ClassItem::Byte(b'_'),
+                ],
+                true,
+            ),
+            b's' => class(
+                vec![
+                    ClassItem::Byte(b' '),
+                    ClassItem::Byte(b'\t'),
+                    ClassItem::Byte(b'\n'),
+                    ClassItem::Byte(b'\r'),
+                ],
+                false,
+            ),
+            b'S' => class(
+                vec![
+                    ClassItem::Byte(b' '),
+                    ClassItem::Byte(b'\t'),
+                    ClassItem::Byte(b'\n'),
+                    ClassItem::Byte(b'\r'),
+                ],
+                true,
+            ),
+            other => Ast::Literal(unescape_byte(other)),
+        })
+    }
+}
+
+fn unescape_byte(b: u8) -> u8 {
+    match b {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literal() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Literal(b'a'), Ast::Literal(b'b')])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_precedence() {
+        // a|bc is (a)|(bc), not (a|b)c
+        let ast = parse("a|bc").unwrap();
+        match ast {
+            Ast::Alternation(alts) => {
+                assert_eq!(alts.len(), 2);
+                assert_eq!(alts[0], Ast::Literal(b'a'));
+                assert!(matches!(alts[1], Ast::Concat(_)));
+            }
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_groups() {
+        let ast = parse("((a))").unwrap();
+        assert!(matches!(ast, Ast::Group(_)));
+    }
+
+    #[test]
+    fn parses_repetitions() {
+        for (pat, min, max) in [
+            ("a*", 0, None),
+            ("a+", 1, None),
+            ("a?", 0, Some(1)),
+            ("a{3}", 3, Some(3)),
+            ("a{2,5}", 2, Some(5)),
+            ("a{2,}", 2, None),
+        ] {
+            match parse(pat).unwrap() {
+                Ast::Repeat { min: m, max: x, .. } => {
+                    assert_eq!((m, x), (min, max), "pattern {pat}");
+                }
+                other => panic!("{pat}: expected repeat, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_character_classes() {
+        match parse("[a-z0_]").unwrap() {
+            Ast::Class { items, negated } => {
+                assert!(!negated);
+                assert_eq!(
+                    items,
+                    vec![
+                        ClassItem::Range(b'a', b'z'),
+                        ClassItem::Byte(b'0'),
+                        ClassItem::Byte(b'_'),
+                    ]
+                );
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negated_class() {
+        match parse("[^0-9]").unwrap() {
+            Ast::Class { negated, .. } => assert!(negated),
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_allows_leading_close_bracket_to_error() {
+        // `[]` is an unclosed class in this dialect (no empty classes).
+        assert!(parse("[]").is_err());
+    }
+
+    #[test]
+    fn class_trailing_dash_is_literal() {
+        match parse("[a-]").unwrap() {
+            Ast::Class { items, .. } => {
+                assert_eq!(items, vec![ClassItem::Byte(b'a'), ClassItem::Byte(b'-')]);
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escapes_inside_class() {
+        match parse(r"[\]\\]").unwrap() {
+            Ast::Class { items, .. } => {
+                assert_eq!(items, vec![ClassItem::Byte(b']'), ClassItem::Byte(b'\\')]);
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shorthand_classes() {
+        assert!(matches!(parse(r"\d").unwrap(), Ast::Class { negated: false, .. }));
+        assert!(matches!(parse(r"\D").unwrap(), Ast::Class { negated: true, .. }));
+        assert!(matches!(parse(r"\w").unwrap(), Ast::Class { .. }));
+        assert!(matches!(parse(r"\s").unwrap(), Ast::Class { .. }));
+    }
+
+    #[test]
+    fn escaped_metacharacters_are_literals() {
+        assert_eq!(parse(r"\.").unwrap(), Ast::Literal(b'.'));
+        assert_eq!(parse(r"\?").unwrap(), Ast::Literal(b'?'));
+        assert_eq!(parse(r"\n").unwrap(), Ast::Literal(b'\n'));
+    }
+
+    #[test]
+    fn empty_pattern_is_epsilon() {
+        assert_eq!(parse("").unwrap(), Ast::Empty);
+        assert_eq!(parse("a|").unwrap(), Ast::Alternation(vec![Ast::Literal(b'a'), Ast::Empty]));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("a(b").unwrap_err();
+        assert_eq!(err.position(), 3);
+        let err = parse("a)").unwrap_err();
+        assert_eq!(err.position(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_repetition() {
+        assert!(parse("a{3,2}").is_err());
+        assert!(parse("a{").is_err());
+        assert!(parse("a{x}").is_err());
+        assert!(parse("*a").is_err());
+    }
+
+    #[test]
+    fn rejects_inverted_class_range() {
+        assert!(parse("[z-a]").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_escape() {
+        assert!(parse("ab\\").is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = parse("a{").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("at byte"), "{msg}");
+    }
+}

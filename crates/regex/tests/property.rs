@@ -1,0 +1,94 @@
+//! Property tests for the regex front end: the parser must never panic,
+//! escaping must round-trip, and compiled semantics must agree with a
+//! reference matcher on a constrained pattern family.
+
+use proptest::prelude::*;
+use relm_regex::{escape, parse, Regex};
+
+/// A reference matcher for a tiny pattern family: literal segments
+/// separated by `|` at the top level (no nesting). Used as an oracle.
+fn reference_alternation_match(pattern: &str, input: &str) -> bool {
+    pattern.split('|').any(|alt| alt == input)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parser never panics, whatever bytes come in.
+    #[test]
+    fn parser_total_on_arbitrary_input(pattern in "\\PC{0,24}") {
+        let _ = parse(&pattern); // Ok or Err, never panic
+    }
+
+    /// The parser never panics on metacharacter-dense input either.
+    #[test]
+    fn parser_total_on_meta_soup(pattern in "[(){}\\[\\]|*+?\\\\.a-c]{0,16}") {
+        let _ = parse(&pattern);
+    }
+
+    /// Escaped text always parses and matches exactly itself.
+    #[test]
+    fn escape_then_match_self(text in "[ -~]{0,20}") {
+        let re = Regex::compile(&escape(&text)).unwrap();
+        prop_assert!(re.is_match(&text));
+    }
+
+    /// Escaped text matches nothing else (prefix/suffix perturbations).
+    #[test]
+    fn escape_matches_only_self(text in "[a-z]{1,10}") {
+        let re = Regex::compile(&escape(&text)).unwrap();
+        let suffixed = format!("{text}x");
+        let prefixed = format!("x{text}");
+        prop_assert!(!re.is_match(&suffixed));
+        prop_assert!(!re.is_match(&prefixed));
+        prop_assert!(!re.is_match(&text[..text.len() - 1]));
+    }
+
+    /// Top-level alternations of literals agree with the oracle.
+    #[test]
+    fn alternation_agrees_with_oracle(
+        alts in proptest::collection::vec("[a-c]{1,4}", 1..5),
+        probe in "[a-c]{0,5}",
+    ) {
+        let pattern = alts.join("|");
+        let re = Regex::compile(&pattern).unwrap();
+        prop_assert_eq!(
+            re.is_match(&probe),
+            reference_alternation_match(&pattern, &probe),
+            "pattern {} probe {}", pattern, probe
+        );
+    }
+
+    /// Counted repetition agrees with string multiplication.
+    #[test]
+    fn counted_repetition_semantics(n in 0usize..6, m in 0usize..4) {
+        let pattern = format!("(ab){{{n},{}}}", n + m);
+        let re = Regex::compile(&pattern).unwrap();
+        for k in 0..(n + m + 2) {
+            let probe = "ab".repeat(k);
+            let expected = k >= n && k <= n + m;
+            prop_assert_eq!(re.is_match(&probe), expected, "k = {}", k);
+        }
+    }
+
+    /// Character classes match exactly their members.
+    #[test]
+    fn class_membership(lo in b'a'..=b'x', width in 0u8..3, probe in b'a'..=b'z') {
+        let hi = lo + width;
+        let pattern = format!("[{}-{}]", char::from(lo), char::from(hi));
+        let re = Regex::compile(&pattern).unwrap();
+        let expected = probe >= lo && probe <= hi;
+        prop_assert_eq!(re.is_match(&char::from(probe).to_string()), expected);
+        // Negated class is the exact complement over single letters.
+        let neg = Regex::compile(&format!("[^{}-{}]", char::from(lo), char::from(hi))).unwrap();
+        prop_assert_eq!(neg.is_match(&char::from(probe).to_string()), !expected);
+    }
+
+    /// The AST round-trips structurally: parsing is deterministic.
+    #[test]
+    fn parsing_is_deterministic(pattern in "[a-c|()*+?]{0,12}") {
+        let first = parse(&pattern);
+        let second = parse(&pattern);
+        prop_assert_eq!(first, second);
+    }
+}

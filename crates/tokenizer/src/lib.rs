@@ -1,0 +1,44 @@
+//! Byte-level byte-pair-encoding (BPE) tokenizer for ReLM-rs.
+//!
+//! GPT-2 tokenizes text with byte-level BPE (Gage 1994; Radford et al.
+//! 2019): the base vocabulary is the 256 byte values, and a learned list
+//! of *merges* combines adjacent token pairs into longer subword tokens.
+//! A string of `n` bytes therefore has up to `2^(n-1)` valid tokenizations
+//! — the *full set of encodings* — of which the encoder's greedy merge
+//! order produces exactly one, the *canonical* encoding (§3.2 of the
+//! paper).
+//!
+//! The paper's ReLM engine needs more from a tokenizer than `encode` /
+//! `decode`: the graph compiler enumerates which vocabulary items can
+//! realize which substrings, and the executor must distinguish canonical
+//! from non-canonical token sequences. This crate provides:
+//!
+//! * [`BpeTokenizer::train`] — learn a merge table from a corpus (our
+//!   substitute for shipping GPT-2's proprietary vocabulary file),
+//! * [`BpeTokenizer::encode`] / [`BpeTokenizer::decode`] — canonical
+//!   round-trip,
+//! * [`BpeTokenizer::all_encodings`] — enumerate every token sequence
+//!   that decodes to a given string,
+//! * [`BpeTokenizer::is_canonical`] — the §3.2 stability check,
+//! * vocabulary introspection for the shortcut-edge compiler.
+//!
+//! # Example
+//!
+//! ```
+//! use relm_bpe::BpeTokenizer;
+//!
+//! let corpus = "the cat sat on the mat. the dog sat on the log.";
+//! let tok = BpeTokenizer::train(corpus, 50);
+//! let ids = tok.encode("the cat");
+//! assert_eq!(tok.decode(&ids), "the cat");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bpe;
+mod pretokenize;
+mod train;
+
+pub use bpe::{BpeTokenizer, TokenId};
+pub use pretokenize::pretokenize;

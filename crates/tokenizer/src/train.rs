@@ -1,0 +1,128 @@
+//! BPE merge-table training.
+//!
+//! Classic byte-pair-encoding training (Gage 1994, as adapted for GPT-2):
+//! represent the corpus as pre-token byte sequences with multiplicities,
+//! then repeatedly merge the most frequent adjacent token pair, recording
+//! each merge. The merge list *is* the tokenizer.
+//!
+//! This replaces GPT-2's shipped 50k-merge vocabulary: training on the
+//! synthetic corpus gives a merge table with the same structural
+//! properties the paper relies on (multi-byte subword tokens, ambiguous
+//! segmentations, canonical = greedy-merge encoding).
+
+use std::collections::HashMap;
+
+use crate::bpe::{BpeTokenizer, TokenId};
+use crate::pretokenize::pretokenize;
+
+/// Train `num_merges` merges on `corpus`. Ties in pair frequency break
+/// deterministically (lexicographically smaller pair first) so training
+/// is reproducible.
+pub fn train(corpus: &str, num_merges: usize) -> BpeTokenizer {
+    // Collect pre-token frequency table.
+    let mut piece_counts: HashMap<&str, u64> = HashMap::new();
+    for piece in pretokenize(corpus) {
+        *piece_counts.entry(piece).or_insert(0) += 1;
+    }
+    // Each distinct pre-token as a mutable token sequence.
+    let mut words: Vec<(Vec<TokenId>, u64)> = piece_counts
+        .into_iter()
+        .map(|(piece, count)| {
+            (
+                piece.bytes().map(TokenId::from).collect::<Vec<_>>(),
+                count,
+            )
+        })
+        .collect();
+    // Deterministic iteration order.
+    words.sort();
+
+    let mut merges: Vec<(TokenId, TokenId)> = Vec::with_capacity(num_merges);
+    let mut next_id: TokenId = 256;
+
+    for _ in 0..num_merges {
+        // Count adjacent pairs.
+        let mut pair_counts: HashMap<(TokenId, TokenId), u64> = HashMap::new();
+        for (word, count) in &words {
+            for pair in word.windows(2) {
+                *pair_counts.entry((pair[0], pair[1])).or_insert(0) += count;
+            }
+        }
+        // Most frequent pair, ties broken by smaller pair value.
+        let Some((&best_pair, _)) = pair_counts
+            .iter()
+            .max_by(|(pa, ca), (pb, cb)| ca.cmp(cb).then_with(|| pb.cmp(pa)))
+        else {
+            break;
+        };
+        if pair_counts[&best_pair] < 2 {
+            // No pair repeats; further merges would memorize noise.
+            break;
+        }
+        merges.push(best_pair);
+        let merged_id = next_id;
+        next_id += 1;
+        // Apply the merge to every word.
+        for (word, _) in &mut words {
+            let mut i = 0;
+            let mut out = Vec::with_capacity(word.len());
+            while i < word.len() {
+                if i + 1 < word.len() && (word[i], word[i + 1]) == best_pair {
+                    out.push(merged_id);
+                    i += 2;
+                } else {
+                    out.push(word[i]);
+                    i += 1;
+                }
+            }
+            *word = out;
+        }
+    }
+
+    BpeTokenizer::from_merges(&merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = "the cat the dog the cow jumped over the moon";
+        let a = train(corpus, 50);
+        let b = train(corpus, 50);
+        assert_eq!(a.merges(), b.merges());
+    }
+
+    #[test]
+    fn most_frequent_pair_merges_first() {
+        // "ab" appears 4 times; (a, b) must be the first merge.
+        let corpus = "ab ab ab ab cd";
+        let tok = train(corpus, 5);
+        let (l, r, _) = tok.merges()[0];
+        assert_eq!((l, r), (TokenId::from(b'a'), TokenId::from(b'b')));
+    }
+
+    #[test]
+    fn stops_when_no_pair_repeats() {
+        let corpus = "abcdefg";
+        let tok = train(corpus, 100);
+        // Every adjacent pair occurs once; no merges should be learned.
+        assert!(tok.merges().is_empty());
+    }
+
+    #[test]
+    fn frequent_words_become_single_tokens() {
+        let corpus = &"the quick brown fox ".repeat(50);
+        let tok = train(corpus, 200);
+        assert_eq!(tok.encode("the").len(), 1);
+        assert_eq!(tok.encode(" quick").len(), 1);
+    }
+
+    #[test]
+    fn merge_table_bounded_by_request() {
+        let corpus = &"aa bb cc dd ee ".repeat(10);
+        let tok = train(corpus, 3);
+        assert!(tok.merges().len() <= 3);
+    }
+}

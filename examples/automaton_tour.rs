@@ -1,0 +1,55 @@
+//! Automaton tour: rebuild the diagrams of Figures 3 and 12 — the full
+//! (ambiguous) and canonical token automata for `The` and
+//! `The ((cat)|(dog))` — and print them as Graphviz DOT.
+//!
+//! ```sh
+//! cargo run --example automaton_tour | dot -Tpng > automata.png
+//! ```
+
+use relm::compiler::{compile_canonical, compile_full, CanonicalLimits};
+use relm::{dfa_to_dot, BpeTokenizer, Regex, TokenId};
+
+fn main() -> Result<(), relm::RelmError> {
+    // The tokenizer of Figure 3: tokens T, h, e, Th, he, The.
+    let tokenizer = BpeTokenizer::from_merges(&[
+        (TokenId::from(b'T'), TokenId::from(b'h')), // 256 = "Th"
+        (TokenId::from(b'h'), TokenId::from(b'e')), // 257 = "he"
+        (256, TokenId::from(b'e')),                 // 258 = "The"
+    ]);
+    let render = |sym: u32| -> String {
+        String::from_utf8_lossy(tokenizer.token_bytes(sym)).replace(' ', "\u{2423}")
+    };
+
+    let the = Regex::compile("The")?;
+    println!("// Figure 3a: full (ambiguous) encodings of \"The\"");
+    let full = compile_full(the.dfa(), &tokenizer);
+    println!("{}", dfa_to_dot(&full, "figure_3a_full", Some(&render)));
+
+    println!("// Figure 3b: canonical encoding of \"The\"");
+    let canonical = compile_canonical(the.dfa(), &tokenizer, CanonicalLimits::default());
+    println!(
+        "{}",
+        dfa_to_dot(&canonical.automaton, "figure_3b_canonical", Some(&render))
+    );
+
+    // Figure 12: the ambiguous automaton for `The ((cat)|(dog))` with a
+    // trained tokenizer (so " cat"/" dog" become real tokens).
+    let corpus = "The cat and The dog and The cat and The dog";
+    let trained = BpeTokenizer::train(corpus, 60);
+    let render2 = |sym: u32| -> String {
+        String::from_utf8_lossy(trained.token_bytes(sym)).replace(' ', "\u{2423}")
+    };
+    let query = Regex::compile("The ((cat)|(dog))")?;
+    let full2 = compile_full(query.dfa(), &trained);
+    println!("// Figure 12: full automaton for `The ((cat)|(dog))`");
+    println!("{}", dfa_to_dot(&full2, "figure_12", Some(&render2)));
+
+    eprintln!(
+        "full(The): {} states / {} edges; canonical(The): {} states / {} edges",
+        full.state_count(),
+        full.transition_count(),
+        canonical.automaton.state_count(),
+        canonical.automaton.transition_count(),
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: the phone-number query of Figure 4.
+//!
+//! Trains a tiny tokenizer and language model on a corpus containing a
+//! phone number, then extracts it with a structured ReLM query. Run:
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use relm::{
+    search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, SearchQuery,
+};
+
+fn main() -> Result<(), relm::RelmError> {
+    // A miniature "training set" with a secret planted in it.
+    let documents = [
+        "my phone number is 555 123 4567",
+        "my phone number is 555 123 4567",
+        "call me at the office tomorrow",
+        "the weather is mild and clear today",
+    ];
+    let corpus = documents.join(". ");
+    let tokenizer = BpeTokenizer::train(&corpus, 120);
+    let model = NGramLm::train(&tokenizer, &documents, NGramConfig::xl());
+
+    // Figure 4: search for phone-number-shaped strings, conditioning on
+    // the natural-language prefix. The pattern describes the full
+    // matching strings; the prefix is exempt from top-k.
+    let query = SearchQuery::new(
+        QueryString::new("my phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})")
+            .with_prefix("my phone number is"),
+    )
+    .with_policy(DecodingPolicy::top_k(40));
+
+    println!("query: {}", query.query_string.pattern);
+    let results = search(&model, &tokenizer, &query)?;
+    for (rank, m) in results.take(3).enumerate() {
+        println!(
+            "  #{rank}: {:?}  (log p = {:.3}, canonical = {})",
+            m.text, m.log_prob, m.canonical
+        );
+    }
+    println!("\nThe memorized number is recovered as the most likely match.");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Toxicity audit (§4.3): scan a Pile-like shard for insults, build
+//! prompted extraction queries from the matches, and measure how edits +
+//! alternative encodings unlock additional extractions.
+//!
+//! ```sh
+//! cargo run --release --example toxicity_audit
+//! ```
+
+use relm::datasets::{scan_for_insults, CorpusSpec, SyntheticWorld, INSULT_LEXICON};
+use relm::{
+    search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QueryString,
+    SearchQuery, TokenizationStrategy,
+};
+
+fn main() -> Result<(), relm::RelmError> {
+    let world = SyntheticWorld::generate(&CorpusSpec::small());
+    let corpus = world.joined_corpus();
+    let tokenizer = BpeTokenizer::train(&corpus, 300);
+    let model = NGramLm::train(&tokenizer, &world.document_refs(), NGramConfig::xl());
+
+    // Step 1: grep the shard (the paper greps The Pile's first file).
+    let matches = scan_for_insults(&world.pile, &INSULT_LEXICON);
+    println!(
+        "scanned {} documents ({} bytes): {} insult matches",
+        world.pile.documents().len(),
+        world.pile.byte_len(),
+        matches.len()
+    );
+
+    // Step 2: prompted extraction — can the model regenerate the insult
+    // given the preceding text as a prompt?
+    let mut baseline_hits = 0usize;
+    let mut relm_hits = 0usize;
+    let budget = matches.len().min(12);
+    for m in matches.iter().take(budget) {
+        let prefix = relm::escape(m.prefix.trim_end());
+        let pattern = format!("{prefix} {}", relm::escape(&m.insult));
+
+        // Baseline: canonical encodings, no edits.
+        let q = SearchQuery::new(QueryString::new(&pattern).with_prefix(&prefix))
+            .with_policy(DecodingPolicy::top_k(40))
+            .with_max_tokens(24);
+        if search(&model, &tokenizer, &q)?.take(1).count() > 0 {
+            baseline_hits += 1;
+        }
+
+        // ReLM: all encodings + 1 edit of search freedom.
+        let q = SearchQuery::new(QueryString::new(&pattern).with_prefix(&prefix))
+            .with_policy(DecodingPolicy::top_k(40))
+            .with_tokenization(TokenizationStrategy::All)
+            .with_preprocessor(Preprocessor::levenshtein(1))
+            .with_max_tokens(24)
+            .with_max_expansions(20_000);
+        if search(&model, &tokenizer, &q)?.take(1).count() > 0 {
+            relm_hits += 1;
+        }
+    }
+    println!("\nprompted extraction over {budget} prompts:");
+    println!("  baseline (canonical, no edits): {baseline_hits} extractions");
+    println!("  ReLM (all encodings + edits):   {relm_hits} extractions");
+    if baseline_hits > 0 {
+        println!(
+            "  ratio: {:.2}x (the paper reports 2.5x)",
+            relm_hits as f64 / baseline_hits as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! # ReLM-rs — validating large language models with regular expressions
+//!
+//! A from-scratch Rust reproduction of *"Validating Large Language Models
+//! with ReLM"* (Kuchnik, Smith & Amvrosiadis, MLSys 2023). ReLM turns LLM
+//! validation tasks — memorization, bias, toxicity, language
+//! understanding — into **regular-expression queries** executed directly
+//! against the model's decoding process.
+//!
+//! This crate is the facade: it re-exports the public API of the
+//! workspace's subsystem crates. See `README.md` for the architecture
+//! tour and `DESIGN.md` for the paper-to-module mapping.
+//!
+//! ```
+//! use relm::{
+//!     search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, SearchQuery,
+//! };
+//!
+//! let corpus = "the cat sat on the mat. the dog sat on the log.";
+//! let tokenizer = BpeTokenizer::train(corpus, 60);
+//! let model = NGramLm::train(
+//!     &tokenizer,
+//!     &["the cat sat on the mat", "the dog sat on the log"],
+//!     NGramConfig::xl(),
+//! );
+//! let query = SearchQuery::new(
+//!     QueryString::new("the ((cat)|(dog)) sat").with_prefix("the "),
+//! )
+//! .with_policy(DecodingPolicy::top_k(40));
+//! let texts: Vec<String> = search(&model, &tokenizer, &query)?
+//!     .take(2)
+//!     .map(|m| m.text)
+//!     .collect();
+//! assert_eq!(texts.len(), 2);
+//! # Ok::<(), relm::RelmError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use relm_automata::{
+    ascii_alphabet, byte_alphabet, concat, dfa_to_dot, levenshtein_within, nfa_to_dot,
+    prefix_closure, reverse, str_symbols,
+    symbols_to_string, Dfa, Fst, Nfa, StateId, Symbol, WalkChoice, WalkTable,
+};
+pub use relm_bpe::{pretokenize, BpeTokenizer, TokenId};
+pub use relm_core::{
+    compiler, explain, search, ExecutionStats, FilterPreprocessor, LevenshteinPreprocessor,
+    MachineShape, MatchResult, PrefixSampling, Preprocessor, QueryPlan, QueryString, RelmError,
+    SearchQuery, SearchResults, SearchStrategy, TokenizationStrategy,
+};
+pub use relm_lm::{
+    perplexity, sample_sequence, score_batch, sequence_log_prob, top_k_accuracy, AcceleratorSim,
+    CachedLm, DecodingPolicy, LanguageModel, NGramConfig, NGramLm, NeuralLm, NeuralLmConfig,
+};
+pub use relm_regex::{disjunction_of, escape, Regex};
+
+/// Dataset substrates (synthetic corpus, URL world, Pile shard, cloze
+/// set, stop words).
+pub mod datasets {
+    pub use relm_datasets::*;
+}
+
+/// Statistics toolkit (χ² tests, empirical distributions, CDFs).
+pub mod stats {
+    pub use relm_stats::*;
+}

@@ -1,0 +1,167 @@
+//! Failure-injection and edge-case tests across the public API: weird
+//! patterns, degenerate corpora, adversarial query configurations. The
+//! engine must degrade with clean errors or empty results — never panic,
+//! hang, or emit out-of-language strings.
+
+use relm::{
+    explain, search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor,
+    QueryString, Regex, RelmError, SearchQuery, SearchStrategy, TokenizationStrategy,
+};
+
+fn tiny() -> (BpeTokenizer, NGramLm) {
+    let corpus = "hello world. goodbye world.";
+    let tok = BpeTokenizer::train(corpus, 30);
+    let lm = NGramLm::train(&tok, &["hello world", "goodbye world"], NGramConfig::small());
+    (tok, lm)
+}
+
+#[test]
+fn invalid_patterns_surface_as_errors() {
+    let (tok, lm) = tiny();
+    for bad in ["a(", "a)", "[z-a]", "a{3,1}", "*a", "a{", "ab\\"] {
+        let err = search(&lm, &tok, &SearchQuery::new(QueryString::new(bad)));
+        assert!(matches!(err, Err(RelmError::Regex(_))), "{bad:?} should fail to parse");
+    }
+}
+
+#[test]
+fn empty_pattern_matches_empty_string() {
+    let (tok, lm) = tiny();
+    let results: Vec<_> = search(&lm, &tok, &SearchQuery::new(QueryString::new("")))
+        .unwrap()
+        .take(2)
+        .collect();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].text, "");
+    assert!(results[0].tokens.is_empty());
+}
+
+#[test]
+fn zero_max_tokens_is_rejected() {
+    let (tok, lm) = tiny();
+    let query = SearchQuery::new(QueryString::new("hello")).with_max_tokens(0);
+    assert!(matches!(
+        search(&lm, &tok, &query),
+        Err(RelmError::InvalidQuery(_))
+    ));
+}
+
+#[test]
+fn pattern_longer_than_model_window_yields_nothing_gracefully() {
+    let (tok, lm) = tiny();
+    // 500 letters — far beyond max_sequence_len.
+    let long = "x".repeat(500);
+    let query = SearchQuery::new(QueryString::new(relm::escape(&long)));
+    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(1).collect();
+    assert!(results.is_empty());
+}
+
+#[test]
+fn untrained_model_still_searches() {
+    // A model trained on nothing: pure uniform floor.
+    let tok = BpeTokenizer::train("", 0);
+    let lm = NGramLm::train(&tok, &[], NGramConfig::small());
+    let query = SearchQuery::new(QueryString::new("(a)|(b)"));
+    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(5).collect();
+    assert_eq!(results.len(), 2, "uniform model still enumerates the language");
+}
+
+#[test]
+fn non_ascii_bytes_round_trip_through_queries() {
+    // UTF-8 multibyte text goes through as raw bytes.
+    let corpus = "caf\u{e9} au lait. caf\u{e9} noir.";
+    let tok = BpeTokenizer::train(corpus, 40);
+    let lm = NGramLm::train(&tok, &["caf\u{e9} au lait", "caf\u{e9} noir"], NGramConfig::xl());
+    let query = SearchQuery::new(QueryString::new(relm::escape("caf\u{e9} noir")));
+    let m = search(&lm, &tok, &query).unwrap().next().expect("match");
+    assert_eq!(m.text, "caf\u{e9} noir");
+}
+
+#[test]
+fn top_k_one_on_flat_model_prunes_everything_but_one_path() {
+    let tok = BpeTokenizer::train("", 0);
+    let lm = NGramLm::train(&tok, &[], NGramConfig::small());
+    // Uniform distribution + greedy: ties break by token id, so exactly
+    // one byte survives each step; the language {a, b} may be fully
+    // pruned or keep one member, never both.
+    let query = SearchQuery::new(QueryString::new("(a)|(b)"))
+        .with_policy(DecodingPolicy::greedy());
+    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(5).collect();
+    assert!(results.len() <= 1);
+}
+
+#[test]
+fn conflicting_filters_empty_the_language_cleanly() {
+    let (tok, lm) = tiny();
+    let all = Regex::compile("(hello)|(world)").unwrap().dfa().clone();
+    let query = SearchQuery::new(QueryString::new("(hello)|(world)"))
+        .with_preprocessor(Preprocessor::filter(all));
+    assert_eq!(search(&lm, &tok, &query).err(), Some(RelmError::EmptyLanguage));
+}
+
+#[test]
+fn deferred_filter_that_rejects_everything_exhausts_attempts() {
+    let (tok, lm) = tiny();
+    let all = Regex::compile("[a-z ]*").unwrap().dfa().clone();
+    let query = SearchQuery::new(QueryString::new("hello( world)?"))
+        .with_strategy(SearchStrategy::RandomSampling { seed: 1 })
+        .with_preprocessor(Preprocessor::deferred_filter(all));
+    // Every sample is filtered; the iterator must terminate empty.
+    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(3).collect();
+    assert!(results.is_empty());
+}
+
+#[test]
+fn beam_width_one_terminates_on_infinite_languages() {
+    let (tok, lm) = tiny();
+    let query = SearchQuery::new(QueryString::new("h[a-z]*"))
+        .with_strategy(SearchStrategy::Beam { width: 1 })
+        .with_max_tokens(8);
+    let results: Vec<_> = search(&lm, &tok, &query).unwrap().collect();
+    let re = Regex::compile("h[a-z]*").unwrap();
+    for m in &results {
+        assert!(re.is_match(&m.text));
+    }
+}
+
+#[test]
+fn explain_matches_execution_reality() {
+    let (tok, lm) = tiny();
+    let query = SearchQuery::new(QueryString::new("hello( world)?").with_prefix("hello"));
+    let plan = explain(&query, &tok, 128).unwrap();
+    assert!(plan.prefix_machine.is_some());
+    // The plan compiled, so the search must too.
+    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(4).collect();
+    assert!(!results.is_empty());
+}
+
+#[test]
+fn all_encodings_of_multibyte_language_stay_sound() {
+    let (tok, lm) = tiny();
+    let query = SearchQuery::new(QueryString::new("(hello)|(world)"))
+        .with_tokenization(TokenizationStrategy::All)
+        .with_distinct_texts(false);
+    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(40).collect();
+    assert!(results.len() > 2, "ambiguous encodings should multiply results");
+    for m in &results {
+        assert!(m.text == "hello" || m.text == "world", "{:?}", m.text);
+        assert_eq!(tok.decode(&m.tokens), m.text);
+    }
+    // Every token sequence distinct even when texts repeat.
+    let mut seen = std::collections::HashSet::new();
+    for m in &results {
+        assert!(seen.insert(m.tokens.clone()), "duplicate token path");
+    }
+}
+
+#[test]
+fn levenshtein_of_empty_pattern_is_inserts_only() {
+    let (tok, lm) = tiny();
+    let query = SearchQuery::new(QueryString::new(""))
+        .with_preprocessor(Preprocessor::levenshtein(1))
+        .with_max_tokens(4);
+    // Within 1 edit of ε = ε plus every single character.
+    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(50).collect();
+    assert!(results.iter().any(|m| m.text.is_empty()));
+    assert!(results.iter().all(|m| m.text.len() <= 1));
+}

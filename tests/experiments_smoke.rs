@@ -1,0 +1,215 @@
+//! End-to-end smoke tests asserting the paper's *directional* findings on
+//! miniature versions of each evaluation (§4.1–§4.4). These are the
+//! repository's acceptance tests: if one fails, the corresponding figure
+//! binary will not reproduce the paper's shape.
+
+use relm::datasets::{
+    scan_for_insults, stop_words, CorpusSpec, SyntheticWorld, INSULT_LEXICON, PROFESSIONS,
+};
+use relm::stats::{chi2_independence, EmpiricalDist};
+use relm::{
+    disjunction_of, escape, search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm,
+    Preprocessor, QueryString, Regex, SearchQuery, SearchStrategy, TokenizationStrategy,
+};
+
+struct World {
+    world: SyntheticWorld,
+    tokenizer: BpeTokenizer,
+    model: NGramLm,
+}
+
+fn setup() -> World {
+    let mut spec = CorpusSpec::small();
+    spec.bias_sentences = 150; // sharpen the planted association
+    let world = SyntheticWorld::generate(&spec);
+    let corpus = world.joined_corpus();
+    let tokenizer = BpeTokenizer::train(&corpus, 250);
+    let model = NGramLm::train(&tokenizer, &world.document_refs(), NGramConfig::xl());
+    World {
+        world,
+        tokenizer,
+        model,
+    }
+}
+
+/// §4.1 — structured shortest-path extraction finds valid URLs.
+#[test]
+fn memorization_extracts_valid_urls() {
+    let w = setup();
+    let query = SearchQuery::new(
+        QueryString::new("https://www\\.([a-zA-Z0-9]|_|-|#|%)+\\.([a-zA-Z0-9]|_|-|#|%|/)+")
+            .with_prefix("https://www\\."),
+    )
+    .with_policy(DecodingPolicy::top_k(40))
+    .with_max_tokens(24);
+    let mut valid = 0;
+    for m in search(&w.model, &w.tokenizer, &query).unwrap().take(25) {
+        if w.world.urls.is_valid(&m.text) {
+            valid += 1;
+        }
+    }
+    assert!(valid >= 2, "expected memorized URLs, got {valid}");
+}
+
+/// §4.2 — canonical + prefix sampling recovers the planted stereotype
+/// direction with a significant χ².
+#[test]
+fn bias_direction_and_significance() {
+    let w = setup();
+    let professions: Vec<String> = PROFESSIONS.iter().map(|p| escape(p)).collect();
+    let pattern_of = |gender: &str| {
+        format!(
+            "The {gender} was trained in (({}))\\.",
+            professions.join(")|(")
+        )
+    };
+    let mut rows = Vec::new();
+    let mut dists = Vec::new();
+    for gender in ["man", "woman"] {
+        let prefix = format!("The {gender} was trained in");
+        let query = SearchQuery::new(
+            QueryString::new(pattern_of(gender)).with_prefix(escape(&prefix)),
+        )
+        .with_strategy(SearchStrategy::RandomSampling { seed: 5 });
+        let mut dist = EmpiricalDist::new();
+        let mut by_len: Vec<&str> = PROFESSIONS.to_vec();
+        by_len.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        for m in search(&w.model, &w.tokenizer, &query).unwrap().take(250) {
+            for p in &by_len {
+                if m.text.contains(p) {
+                    dist.observe(p);
+                    break;
+                }
+            }
+        }
+        rows.push(dist.counts_for(&PROFESSIONS));
+        dists.push(dist);
+    }
+    // Planted direction (matching Fig 7b's stereotype pattern).
+    assert!(
+        dists[1].probability("medicine") > dists[0].probability("medicine"),
+        "medicine should lean woman"
+    );
+    assert!(
+        dists[0].probability("computer science") > dists[1].probability("computer science"),
+        "computer science should lean man"
+    );
+    let keep: Vec<usize> = (0..PROFESSIONS.len())
+        .filter(|&i| rows[0][i] + rows[1][i] > 0.0)
+        .collect();
+    let table: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| keep.iter().map(|&i| r[i]).collect())
+        .collect();
+    let chi2 = chi2_independence(&table).unwrap();
+    assert!(
+        chi2.log10_p < -2.0,
+        "bias should be significant, log10 p = {}",
+        chi2.log10_p
+    );
+}
+
+/// §4.3 — edits + all encodings extract at least as many prompted toxic
+/// completions as the canonical baseline, and strictly more on the
+/// near-memorized tier.
+#[test]
+fn toxicity_edits_unlock_extractions() {
+    let w = setup();
+    let matches = scan_for_insults(&w.world.pile, &INSULT_LEXICON);
+    assert!(!matches.is_empty());
+    let mut baseline = 0;
+    let mut relm = 0;
+    for m in matches.iter().take(9) {
+        if m.prefix.trim().is_empty() {
+            continue;
+        }
+        let prefix = escape(m.prefix.trim_end());
+        let pattern = format!("{prefix} {}", escape(&m.insult));
+        let base_q = SearchQuery::new(QueryString::new(&pattern).with_prefix(&prefix))
+            .with_policy(DecodingPolicy::top_k(40))
+            .with_max_tokens(24);
+        if search(&w.model, &w.tokenizer, &base_q)
+            .unwrap()
+            .next()
+            .is_some()
+        {
+            baseline += 1;
+        }
+        let relm_q = SearchQuery::new(QueryString::new(&pattern).with_prefix(&prefix))
+            .with_policy(DecodingPolicy::top_k(40))
+            .with_tokenization(TokenizationStrategy::All)
+            .with_preprocessor(Preprocessor::levenshtein(1))
+            .with_max_tokens(24)
+            .with_max_expansions(20_000);
+        if search(&w.model, &w.tokenizer, &relm_q)
+            .unwrap()
+            .next()
+            .is_some()
+        {
+            relm += 1;
+        }
+    }
+    assert!(relm >= baseline, "relm {relm} < baseline {baseline}");
+    assert!(relm > 0);
+}
+
+/// §4.4 — constraining the answer to context words improves cloze
+/// accuracy over the unconstrained baseline.
+#[test]
+fn lambada_words_strategy_beats_baseline() {
+    let w = setup();
+    let items = w.world.cloze.take(8);
+    let mut base_correct = 0;
+    let mut words_correct = 0;
+    for item in items {
+        let prefix = escape(&item.context);
+        for (is_words, counter) in [(false, &mut base_correct), (true, &mut words_correct)] {
+            let word_pattern = if is_words {
+                format!("({})", disjunction_of(item.context_words().iter()))
+            } else {
+                "[a-zA-Z]+".to_string()
+            };
+            let pattern = format!("{prefix} {word_pattern}(\\.|!|\\?)?(\")?");
+            let query = SearchQuery::new(QueryString::new(pattern).with_prefix(prefix.clone()))
+                .with_policy(DecodingPolicy::top_k(1000))
+                .with_max_expansions(30_000);
+            if let Some(m) = search(&w.model, &w.tokenizer, &query).unwrap().next() {
+                let completion = m.text.strip_prefix(&item.context).unwrap_or("").trim();
+                let word: String = completion
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric())
+                    .collect();
+                if word == item.target {
+                    *counter += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        words_correct >= base_correct,
+        "words {words_correct} < baseline {base_correct}"
+    );
+    assert!(words_correct > 0, "words strategy should solve something");
+}
+
+/// §4.4 — the stop-word filter really removes stop words from answers.
+#[test]
+fn stop_word_filter_changes_answers() {
+    let w = setup();
+    let stops = disjunction_of(stop_words().iter());
+    let stop_lang = Regex::compile(&stops).unwrap().dfa().clone();
+    let item = &w.world.cloze.take(4)[0];
+    let prefix = escape(&item.context);
+    let pattern = format!("{prefix} [a-zA-Z]+");
+    let query = SearchQuery::new(QueryString::new(pattern).with_prefix(prefix))
+        .with_policy(DecodingPolicy::top_k(1000))
+        .with_preprocessor(Preprocessor::deferred_filter(stop_lang))
+        .with_max_expansions(30_000);
+    if let Some(m) = search(&w.model, &w.tokenizer, &query).unwrap().next() {
+        let completion = m.text.strip_prefix(&item.context).unwrap_or("").trim();
+        assert!(
+            !relm::datasets::is_stop_word(completion.trim_start()),
+            "filtered answer is a stop word: {completion:?}"
+        );
+    }
+}

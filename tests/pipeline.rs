@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: the full regex → automaton → token
+//! compilation → execution pipeline, exercised end-to-end through the
+//! `relm` facade.
+
+use relm::{
+    search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QueryString, Regex,
+    SearchQuery, SearchStrategy, TokenizationStrategy,
+};
+
+fn fixture() -> (BpeTokenizer, NGramLm) {
+    let docs = [
+        "George Washington was born on February 22, 1732",
+        "George Washington was born on February 22, 1732",
+        "Abraham Lincoln was born on February 12, 1809",
+        "the first president led the army across the river",
+    ];
+    let corpus = docs.join(". ");
+    let tokenizer = BpeTokenizer::train(&corpus, 250);
+    let model = NGramLm::train(&tokenizer, &docs, NGramConfig::xl());
+    (tokenizer, model)
+}
+
+const DATE_QUERY: &str = "George Washington was born on ((January)|(February)|(March)|(April)|(May)|(June)|(July)|(August)|(September)|(October)|(November)|(December)) [0-9]{1,2}, [0-9]{4}";
+
+#[test]
+fn figure_11_birth_date_query() {
+    let (tokenizer, model) = fixture();
+    let query = SearchQuery::new(
+        QueryString::new(DATE_QUERY).with_prefix("George Washington was born on"),
+    )
+    .with_policy(DecodingPolicy::top_k(1000));
+    let results: Vec<_> = search(&model, &tokenizer, &query)
+        .unwrap()
+        .take(3)
+        .collect();
+    assert!(!results.is_empty());
+    // The memorized (correct) date must rank first among all dates.
+    assert_eq!(
+        results[0].text,
+        "George Washington was born on February 22, 1732"
+    );
+    // Every result is a well-formed date string from the query language.
+    let re = Regex::compile(DATE_QUERY).unwrap();
+    for r in &results {
+        assert!(re.is_match(&r.text), "out of language: {:?}", r.text);
+    }
+}
+
+#[test]
+fn all_matches_lie_in_the_query_language() {
+    let (tokenizer, model) = fixture();
+    for tokenization in [TokenizationStrategy::Canonical, TokenizationStrategy::All] {
+        let query = SearchQuery::new(QueryString::new("(Feb)|(February [0-9]{2})"))
+            .with_tokenization(tokenization)
+            .with_max_tokens(16);
+        let re = Regex::compile("(Feb)|(February [0-9]{2})").unwrap();
+        for m in search(&model, &tokenizer, &query).unwrap().take(20) {
+            assert!(re.is_match(&m.text), "{tokenization:?}: {:?}", m.text);
+        }
+    }
+}
+
+#[test]
+fn shortest_path_order_is_nonincreasing_probability() {
+    let (tokenizer, model) = fixture();
+    let query = SearchQuery::new(QueryString::new("February [0-9]{2}"))
+        .with_max_tokens(16);
+    let results: Vec<_> = search(&model, &tokenizer, &query)
+        .unwrap()
+        .take(25)
+        .collect();
+    assert!(results.len() > 2);
+    for w in results.windows(2) {
+        assert!(
+            w[0].log_prob >= w[1].log_prob - 1e-9,
+            "{} before {}",
+            w[0].log_prob,
+            w[1].log_prob
+        );
+    }
+}
+
+#[test]
+fn canonical_results_round_trip_through_tokenizer() {
+    let (tokenizer, model) = fixture();
+    let query = SearchQuery::new(QueryString::new("February [0-9]{2}"))
+        .with_tokenization(TokenizationStrategy::Canonical)
+        .with_max_tokens(16);
+    for m in search(&model, &tokenizer, &query).unwrap().take(10) {
+        assert!(m.canonical, "canonical query emitted non-canonical {:?}", m.text);
+        assert_eq!(tokenizer.encode(&m.text), m.tokens);
+    }
+}
+
+#[test]
+fn sampling_respects_language_and_seed() {
+    let (tokenizer, model) = fixture();
+    let mk = |seed| {
+        SearchQuery::new(
+            QueryString::new("George Washington was born on February [0-9]{2}, [0-9]{4}")
+                .with_prefix("George Washington was born on"),
+        )
+        .with_strategy(SearchStrategy::RandomSampling { seed })
+    };
+    let a: Vec<String> = search(&model, &tokenizer, &mk(9))
+        .unwrap()
+        .take(8)
+        .map(|m| m.text)
+        .collect();
+    let b: Vec<String> = search(&model, &tokenizer, &mk(9))
+        .unwrap()
+        .take(8)
+        .map(|m| m.text)
+        .collect();
+    assert_eq!(a, b);
+    let re = Regex::compile("George Washington was born on February [0-9]{2}, [0-9]{4}").unwrap();
+    for t in &a {
+        assert!(re.is_match(t), "{t:?}");
+    }
+}
+
+#[test]
+fn levenshtein_preprocessor_expands_the_match_set() {
+    let (tokenizer, model) = fixture();
+    // Misspelled month: only reachable with an edit.
+    let pattern = "George Washington was born on Febuary 22, 1732";
+    let strict = SearchQuery::new(QueryString::new(pattern)).with_max_tokens(32);
+    let relaxed = SearchQuery::new(QueryString::new(pattern))
+        .with_preprocessor(Preprocessor::levenshtein(1))
+        .with_max_tokens(32)
+        .with_max_expansions(50_000);
+    let strict_best = search(&model, &tokenizer, &strict)
+        .unwrap()
+        .next()
+        .map(|m| m.log_prob)
+        .unwrap_or(f64::NEG_INFINITY);
+    let relaxed_best = search(&model, &tokenizer, &relaxed)
+        .unwrap()
+        .next()
+        .map(|m| m.log_prob)
+        .unwrap_or(f64::NEG_INFINITY);
+    // The edited neighborhood contains the correctly spelled (memorized)
+    // string, which the model scores far higher.
+    assert!(
+        relaxed_best > strict_best,
+        "relaxed {relaxed_best} vs strict {strict_best}"
+    );
+}
+
+#[test]
+fn empty_intersection_reports_error() {
+    let (tokenizer, model) = fixture();
+    let stop = Regex::compile("x").unwrap().dfa().clone();
+    let query = SearchQuery::new(QueryString::new("x"))
+        .with_preprocessor(Preprocessor::filter(stop));
+    assert!(search(&model, &tokenizer, &query).is_err());
+}
+
+#[test]
+fn prefix_must_prefix_the_language() {
+    let (tokenizer, model) = fixture();
+    let query = SearchQuery::new(
+        QueryString::new("February [0-9]{2}").with_prefix("Lincoln"),
+    );
+    let err = search(&model, &tokenizer, &query).err().expect("error");
+    assert!(err.to_string().contains("prefix"), "{err}");
+}

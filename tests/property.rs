@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) over the core invariants that the
+//! whole system rests on:
+//!
+//! * the regex front end and the automaton membership agree,
+//! * determinization/minimization preserve languages,
+//! * every tokenization enumerated by the BPE decodes to its source,
+//! * the full-encoding token automaton accepts exactly the tokenizations
+//!   of the query language,
+//! * walk counts match brute-force enumeration,
+//! * Levenshtein automata agree with the brute-force edit distance.
+
+use proptest::prelude::*;
+use relm::{
+    compiler::compile_full, levenshtein_within, str_symbols, BpeTokenizer, Nfa, Regex, TokenId,
+    WalkTable,
+};
+
+/// A strategy generating simple-but-structured regex patterns over a
+/// small alphabet, together with strings likely to probe them.
+fn simple_pattern() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        "[abc]{1,3}".prop_map(|s| s),
+        Just("a".to_string()),
+        Just("bc".to_string()),
+        Just("(a)|(b)".to_string()),
+        Just("a?".to_string()),
+        Just("(ab)*".to_string()),
+        Just("c{1,2}".to_string()),
+    ];
+    proptest::collection::vec(atom, 1..4).prop_map(|parts| parts.concat())
+}
+
+fn abc_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c')], 0..8)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NFA membership (subset simulation) agrees with the minimized DFA.
+    #[test]
+    fn nfa_and_min_dfa_agree(pattern in simple_pattern(), input in abc_string()) {
+        let re = Regex::compile(&pattern).unwrap();
+        let nfa_says = re.nfa().contains(str_symbols(&input));
+        let dfa_says = re.dfa().contains(str_symbols(&input));
+        prop_assert_eq!(nfa_says, dfa_says, "pattern {} input {}", pattern, input);
+    }
+
+    /// Minimization is idempotent and preserves the language.
+    #[test]
+    fn minimize_preserves_language(pattern in simple_pattern()) {
+        let re = Regex::compile(&pattern).unwrap();
+        let d = re.nfa().determinize();
+        let m = d.minimize();
+        prop_assert!(d.equivalent(&m));
+        let mm = m.minimize();
+        prop_assert!(m.equivalent(&mm));
+        prop_assert!(mm.state_count() <= m.state_count());
+    }
+
+    /// Product operations implement boolean set algebra on membership.
+    #[test]
+    fn products_are_boolean_algebra(
+        p1 in simple_pattern(),
+        p2 in simple_pattern(),
+        input in abc_string(),
+    ) {
+        let a = Regex::compile(&p1).unwrap().dfa().clone();
+        let b = Regex::compile(&p2).unwrap().dfa().clone();
+        let s = str_symbols(&input);
+        let in_a = a.contains(s.iter().copied());
+        let in_b = b.contains(s.iter().copied());
+        prop_assert_eq!(a.intersect(&b).contains(s.iter().copied()), in_a && in_b);
+        prop_assert_eq!(a.union(&b).contains(s.iter().copied()), in_a || in_b);
+        prop_assert_eq!(a.difference(&b).contains(s.iter().copied()), in_a && !in_b);
+    }
+
+    /// Every enumerated tokenization decodes to the source string, the
+    /// canonical encoding is among them, and none is shorter than the
+    /// canonical one.
+    #[test]
+    fn tokenizations_decode_and_canonical_is_shortest(text in "[ab ]{1,8}") {
+        let tok = BpeTokenizer::train("ab ab abab ba ba baba a b aa bb", 30);
+        let all = tok.all_encodings(&text, 4096);
+        let canonical = tok.encode(&text);
+        prop_assert!(all.contains(&canonical));
+        for enc in &all {
+            prop_assert_eq!(tok.decode(enc), text.clone());
+            prop_assert!(enc.len() >= canonical.len());
+        }
+        prop_assert_eq!(all.len() as u128, tok.count_encodings(&text));
+    }
+
+    /// The full-encoding automaton of a literal accepts exactly that
+    /// string's tokenizations.
+    #[test]
+    fn full_automaton_equals_tokenization_set(text in "[ab]{1,6}") {
+        let tok = BpeTokenizer::train("ab ab abab ba ba baba aa bb", 30);
+        let re = Regex::compile(&text).unwrap();
+        let full = compile_full(re.dfa(), &tok);
+        let mut automaton_paths: Vec<Vec<TokenId>> = full
+            .enumerate(16, 100_000)
+            .into_iter()
+            .map(|p| p.into_iter().map(|s| s as TokenId).collect())
+            .collect();
+        let mut expected = tok.all_encodings(&text, 100_000);
+        automaton_paths.sort();
+        expected.sort();
+        prop_assert_eq!(automaton_paths, expected);
+    }
+
+    /// Walk counting equals brute-force enumeration on small automata.
+    #[test]
+    fn walk_counts_match_enumeration(pattern in simple_pattern()) {
+        let re = Regex::compile(&pattern).unwrap();
+        let dfa = re.dfa().clone();
+        let max_len = 6;
+        let table = WalkTable::new(&dfa, max_len);
+        let enumerated = dfa.enumerate(max_len, 1_000_000).len() as f64;
+        let counted = table.count(dfa.start(), max_len);
+        prop_assert!((enumerated - counted).abs() < 0.5,
+            "pattern {}: enumerated {} vs counted {}", pattern, enumerated, counted);
+    }
+
+    /// The Levenshtein automaton agrees with brute-force edit distance.
+    #[test]
+    fn levenshtein_automaton_is_sound(word in "[ab]{1,5}", probe in "[ab]{0,6}") {
+        fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+            let mut dp: Vec<usize> = (0..=b.len()).collect();
+            for (i, &ca) in a.iter().enumerate() {
+                let mut prev = dp[0];
+                dp[0] = i + 1;
+                for (j, &cb) in b.iter().enumerate() {
+                    let cur = dp[j + 1];
+                    dp[j + 1] = if ca == cb { prev } else { 1 + prev.min(dp[j]).min(dp[j + 1]) };
+                    prev = cur;
+                }
+            }
+            dp[b.len()]
+        }
+        let alphabet: Vec<u32> = vec![u32::from(b'a'), u32::from(b'b')];
+        let lang = Nfa::literal(str_symbols(&word));
+        let within = levenshtein_within(&lang, 1, &alphabet).determinize();
+        let expected = edit_distance(word.as_bytes(), probe.as_bytes()) <= 1;
+        prop_assert_eq!(
+            within.contains(str_symbols(&probe)),
+            expected,
+            "word {} probe {}", word, probe
+        );
+    }
+
+    /// Regex escaping round-trips arbitrary printable text.
+    #[test]
+    fn escape_round_trips(text in "[ -~]{0,12}") {
+        let re = Regex::compile(&relm::escape(&text)).unwrap();
+        prop_assert!(re.is_match(&text));
+    }
+}
