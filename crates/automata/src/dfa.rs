@@ -154,7 +154,7 @@ impl Dfa {
 
     /// Membership test.
     pub fn contains<I: IntoIterator<Item = Symbol>>(&self, symbols: I) -> bool {
-        self.run(symbols).map_or(false, |s| self.is_accepting(s))
+        self.run(symbols).is_some_and(|s| self.is_accepting(s))
     }
 
     /// Whether the language is empty (no accepting state reachable).
@@ -294,9 +294,8 @@ impl Dfa {
 
         // Partition refinement.
         let mut partition: Vec<BTreeSet<StateId>> = Vec::new();
-        let accepting: BTreeSet<StateId> = (0..n)
-            .filter(|&s| trimmed.states[s].accepting)
-            .collect();
+        let accepting: BTreeSet<StateId> =
+            (0..n).filter(|&s| trimmed.states[s].accepting).collect();
         let rest: BTreeSet<StateId> = (0..total).filter(|s| !accepting.contains(s)).collect();
         if !accepting.is_empty() {
             partition.push(accepting.clone());
@@ -307,11 +306,11 @@ impl Dfa {
         let mut worklist: Vec<BTreeSet<StateId>> = partition.clone();
 
         while let Some(splitter) = worklist.pop() {
-            for ai in 0..alphabet.len() {
+            for rev_a in rev.iter().take(alphabet.len()) {
                 // X = states with an `a`-transition into the splitter.
                 let mut x: BTreeSet<StateId> = BTreeSet::new();
                 for &t in &splitter {
-                    for &s in &rev[ai][t] {
+                    for &s in &rev_a[t] {
                         x.insert(s);
                     }
                 }
@@ -538,8 +537,7 @@ impl Dfa {
             states: Vec::new(),
             start: 0,
         };
-        let accepting_set =
-            |set: &BTreeSet<StateId>| set.iter().any(|&s| self.states[s].accepting);
+        let accepting_set = |set: &BTreeSet<StateId>| set.iter().any(|&s| self.states[s].accepting);
         ids.insert(starts.clone(), 0);
         out.states.push(DfaState {
             transitions: Vec::new(),
@@ -583,9 +581,7 @@ impl Dfa {
     /// cardinality decision matters.
     pub fn enumerate(&self, max_len: usize, max_count: usize) -> Vec<Vec<Symbol>> {
         let mut results = Vec::new();
-        let mut budget = max_count
-            .saturating_mul(max_len + 1)
-            .saturating_add(1024);
+        let mut budget = max_count.saturating_mul(max_len + 1).saturating_add(1024);
         let mut layer: Vec<(StateId, Vec<Symbol>)> = vec![(self.start, Vec::new())];
         for _ in 0..=max_len {
             let mut next = Vec::new();
@@ -654,7 +650,11 @@ impl Dfa {
             }
         }
         for &s in &order {
-            let mut best = if trimmed.states[s].accepting { Some(0) } else { None };
+            let mut best = if trimmed.states[s].accepting {
+                Some(0)
+            } else {
+                None
+            };
             for &(_, t) in &trimmed.states[s].transitions {
                 if let Some(len) = memo[t] {
                     best = Some(best.map_or(len + 1, |b: usize| b.max(len + 1)));
@@ -726,7 +726,10 @@ impl Dfa {
             states[s].accepting = true;
         }
         for &(f, a, t) in transitions {
-            assert!(f < state_count && t < state_count, "transition out of bounds");
+            assert!(
+                f < state_count && t < state_count,
+                "transition out of bounds"
+            );
             states[f].transitions.push((a, t));
         }
         for st in &mut states {
@@ -754,8 +757,8 @@ mod tests {
 
     #[test]
     fn determinize_preserves_membership() {
-        let nfa = Nfa::literal(s("The "))
-            .concat(Nfa::literal(s("cat")).union(Nfa::literal(s("dog"))));
+        let nfa =
+            Nfa::literal(s("The ")).concat(Nfa::literal(s("cat")).union(Nfa::literal(s("dog"))));
         let d = nfa.determinize();
         assert!(d.contains(s("The cat")));
         assert!(d.contains(s("The dog")));
@@ -807,7 +810,8 @@ mod tests {
     #[test]
     fn intersect_dates() {
         // All strings over {cat,dog} of length 3 ∩ {dog, cow} = {dog}.
-        let any3 = dfa(Nfa::symbol_class(s("catdogw").into_iter().collect::<Vec<_>>()).repeat(3, Some(3)));
+        let any3 =
+            dfa(Nfa::symbol_class(s("catdogw").into_iter().collect::<Vec<_>>()).repeat(3, Some(3)));
         let choices = dfa(Nfa::literal(s("dog")).union(Nfa::literal(s("cow"))));
         let inter = any3.intersect(&choices);
         assert!(inter.contains(s("dog")));
@@ -861,7 +865,9 @@ mod tests {
 
     #[test]
     fn enumerate_shortlex_order() {
-        let d = dfa(Nfa::literal(s("a")).union(Nfa::literal(s("bb"))).union(Nfa::literal(s("c"))));
+        let d = dfa(Nfa::literal(s("a"))
+            .union(Nfa::literal(s("bb")))
+            .union(Nfa::literal(s("c"))));
         let all = d.enumerate(10, 100);
         let strings: Vec<String> = all.iter().map(|v| crate::symbols_to_string(v)).collect();
         assert_eq!(strings, vec!["a", "c", "bb"]);

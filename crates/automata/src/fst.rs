@@ -266,7 +266,9 @@ mod tests {
     fn image_of_star_language() {
         let mut fst = Fst::identity(lower());
         fst.add_rule(u32::from(b'a'), Some(u32::from(b'b')));
-        let image = fst.apply(&Nfa::literal(str_symbols("a")).star()).determinize();
+        let image = fst
+            .apply(&Nfa::literal(str_symbols("a")).star())
+            .determinize();
         assert!(image.contains(str_symbols("")));
         assert!(image.contains(str_symbols("bbb")));
         assert!(!image.contains(str_symbols("aa")));

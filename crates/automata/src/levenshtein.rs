@@ -182,19 +182,20 @@ mod tests {
         for cand in candidates.iter().take(50_000) {
             let expected = edit_distance(word, cand) <= 1;
             let got = dfa.contains(cand.iter().map(|&b| u32::from(b)));
-            assert_eq!(got, expected, "mismatch on {:?}", String::from_utf8_lossy(cand));
+            assert_eq!(
+                got,
+                expected,
+                "mismatch on {:?}",
+                String::from_utf8_lossy(cand)
+            );
         }
     }
 
     #[test]
     fn chained_automata_give_distance_two() {
         // Paper §3.4: distance-2 = two chained distance-1 automata.
-        let d2_direct = levenshtein_within(
-            &Nfa::literal(str_symbols("cat")),
-            2,
-            &ascii_alphabet(),
-        )
-        .determinize();
+        let d2_direct = levenshtein_within(&Nfa::literal(str_symbols("cat")), 2, &ascii_alphabet())
+            .determinize();
         let d1 = levenshtein_within(&Nfa::literal(str_symbols("cat")), 1, &ascii_alphabet());
         let d1_of_d1 = levenshtein_within(&d1, 1, &ascii_alphabet()).determinize();
         // Same language (chaining composes distances).

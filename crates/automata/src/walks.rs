@@ -64,12 +64,12 @@ impl WalkTable {
         for len in 1..=max_len {
             let prev = &exact_by_len[len - 1];
             let mut cur = vec![0.0f64; n];
-            for s in 0..n {
+            for (s, slot) in cur.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for (_, t) in dfa.transitions(s) {
                     acc += prev[t];
                 }
-                cur[s] = acc;
+                *slot = acc;
             }
             exact_by_len.push(cur);
         }
@@ -145,18 +145,16 @@ impl WalkTable {
     /// `u128::MAX`. Used to validate the floating-point table in tests.
     pub fn count_exact(dfa: &Dfa, max_len: usize) -> u128 {
         let n = dfa.state_count();
-        let mut prev: Vec<u128> = (0..n)
-            .map(|s| u128::from(dfa.is_accepting(s)))
-            .collect();
+        let mut prev: Vec<u128> = (0..n).map(|s| u128::from(dfa.is_accepting(s))).collect();
         let mut total: u128 = prev[dfa.start()];
         for _ in 1..=max_len {
             let mut cur = vec![0u128; n];
-            for s in 0..n {
+            for (s, slot) in cur.iter_mut().enumerate() {
                 let mut acc: u128 = 0;
                 for (_, t) in dfa.transitions(s) {
                     acc = acc.saturating_add(prev[t]);
                 }
-                cur[s] = acc;
+                *slot = acc;
             }
             total = total.saturating_add(cur[dfa.start()]);
             prev = cur;
@@ -182,7 +180,10 @@ impl WalkTable {
                 let w = self.edge_weight(t, budget);
                 if w > 0.0 {
                     weights.push(w);
-                    choices.push(WalkChoice::Step { symbol: sym, target: t });
+                    choices.push(WalkChoice::Step {
+                        symbol: sym,
+                        target: t,
+                    });
                 }
             }
         }
@@ -273,7 +274,9 @@ mod tests {
 
     #[test]
     fn exact_and_float_agree() {
-        let dfa = Nfa::symbol_class([1, 2, 3]).repeat(0, Some(5)).determinize();
+        let dfa = Nfa::symbol_class([1, 2, 3])
+            .repeat(0, Some(5))
+            .determinize();
         let table = WalkTable::new(&dfa, 5);
         let exact = WalkTable::count_exact(&dfa, 5);
         // 3^0 + 3^1 + ... + 3^5 = 364
@@ -361,7 +364,10 @@ mod tests {
     #[test]
     fn cyclic_language_counts_bounded_by_length() {
         // (ab)* — infinitely many strings, but only ⌊L/2⌋+1 up to length L.
-        let dfa = Nfa::literal(str_symbols("ab")).star().determinize().minimize();
+        let dfa = Nfa::literal(str_symbols("ab"))
+            .star()
+            .determinize()
+            .minimize();
         let table = WalkTable::new(&dfa, 10);
         assert_eq!(table.count(dfa.start(), 10) as u64, 6); // "", ab, abab, ... x5
     }

@@ -61,12 +61,7 @@ fn bench_topk_pruning_ablation(c: &mut Criterion) {
     for (label, k) in [("topk40", Some(40)), ("unfiltered", None)] {
         let q = query_with(k);
         group.bench_function(label, |b| {
-            b.iter(|| {
-                search(&wb.xl, &wb.tokenizer, &q)
-                    .unwrap()
-                    .take(5)
-                    .count()
-            });
+            b.iter(|| search(&wb.xl, &wb.tokenizer, &q).unwrap().take(5).count());
         });
     }
     group.finish();
@@ -86,9 +81,7 @@ fn bench_beam_vs_dijkstra(c: &mut Criterion) {
         .with_max_tokens(20)
         .with_max_expansions(5_000)
     };
-    let count = |q: &SearchQuery| {
-        search(&wb.xl, &wb.tokenizer, q).unwrap().take(10).count()
-    };
+    let count = |q: &SearchQuery| search(&wb.xl, &wb.tokenizer, q).unwrap().take(10).count();
     println!("[ablation] dijkstra matches: {}", count(&base()));
     for width in [1usize, 8, 64] {
         let q = base().with_strategy(SearchStrategy::Beam { width });
@@ -109,10 +102,182 @@ fn bench_beam_vs_dijkstra(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole comparison: every executor scoring through the batched,
+/// cache-aware `ScoringEngine` vs. the serial reference path (one
+/// uncached model call per context). Results are byte-identical by
+/// construction (asserted in `tests/scoring_engine.rs`); this measures
+/// the throughput gap and prints the engine's cost model once.
+fn bench_scoring_serial_vs_batched(c: &mut Criterion) {
+    use relm_core::SearchStrategy;
+    use relm_lm::ScoringMode;
+    let wb = setup();
+    let model = &wb.xl;
+    let base = || {
+        SearchQuery::new(
+            QueryString::new(relm_bench::urls::URL_PATTERN)
+                .with_prefix(relm_bench::urls::URL_PREFIX),
+        )
+        .with_policy(DecodingPolicy::top_k(40))
+        .with_max_tokens(20)
+        .with_max_expansions(5_000)
+    };
+    let strategies: [(&str, SearchQuery); 3] = [
+        ("dijkstra", base()),
+        (
+            "beam16",
+            base().with_strategy(SearchStrategy::Beam { width: 16 }),
+        ),
+        (
+            "sampling",
+            base().with_strategy(SearchStrategy::RandomSampling { seed: 7 }),
+        ),
+    ];
+    // Print the cost model once per strategy, and record what the
+    // measured batch schedule costs on the simulated accelerator
+    // (`AcceleratorSim`, the GTX-3080 stand-in that gives the paper's
+    // figures their time axis): the serial path pays one kernel launch
+    // per evaluation, the batched path amortizes launches over its
+    // batch fill. On a 1-core CPU with the cheap n-gram substrate the
+    // wall-clock rows below are compile-dominated; these rows are the
+    // inference-bound regime the paper measures.
+    for (label, query) in &strategies {
+        use relm_lm::AcceleratorSim;
+        let q = query.clone().with_scoring_mode(ScoringMode::Batched);
+        let mut results = search(model, &wb.tokenizer, &q).unwrap();
+        let n = (&mut results).take(10).count();
+        let stats = results.stats();
+        println!(
+            "[engine] {label}: {n} matches, {} requests -> {} hits + {} misses in {} batches \
+             (mean fill {:.1})",
+            stats.lm_calls,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.batches,
+            stats.batched_contexts as f64 / stats.batches.max(1) as f64,
+        );
+        let qs = query.clone().with_scoring_mode(ScoringMode::Serial);
+        let mut serial_results = search(model, &wb.tokenizer, &qs).unwrap();
+        let _ = (&mut serial_results).take(10).count();
+        let serial_stats = serial_results.stats();
+        let mut sim_serial = AcceleratorSim::default();
+        for _ in 0..serial_stats.cache_misses {
+            sim_serial.forward(1);
+        }
+        let mut sim_batched = AcceleratorSim::default();
+        let mut left = stats.batched_contexts as usize;
+        for i in 0..stats.batches as usize {
+            let fill = left.div_ceil((stats.batches as usize - i).max(1));
+            if fill > 0 {
+                sim_batched.forward(fill);
+                left -= fill;
+            }
+        }
+        println!(
+            "BENCH_JSON {{\"id\":\"scoring_sim/{label}_serial\",\"mean_ns\":{:.1},\"samples\":1}}",
+            sim_serial.elapsed_secs() * 1e9
+        );
+        println!(
+            "BENCH_JSON {{\"id\":\"scoring_sim/{label}_batched\",\"mean_ns\":{:.1},\"samples\":1}}",
+            sim_batched.elapsed_secs() * 1e9
+        );
+    }
+    let mut group = c.benchmark_group("scoring");
+    group.sample_size(10);
+    for (label, query) in &strategies {
+        for (mode_label, mode) in [
+            ("serial", ScoringMode::Serial),
+            ("batched", ScoringMode::Batched),
+        ] {
+            let q = query.clone().with_scoring_mode(mode);
+            group.bench_function(format!("{label}_{mode_label}"), |b| {
+                b.iter(|| search(model, &wb.tokenizer, &q).unwrap().take(10).count());
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Engine-level scoring throughput, isolated from query compilation:
+/// one batch of frontier-like contexts (with the duplicate/shared-prefix
+/// structure real traversals produce) scored serially vs. through the
+/// batched engine, over both model families.
+///
+/// Both model families win from the engine's deduplication alone (the
+/// workload revisits shared prefixes); the neural rows add the
+/// paper-shaped regime — an expensive forward pass that the crossbeam
+/// fan-out additionally amortizes on multi-core hosts, the CPU
+/// analogue of filling a GPU batch.
+fn bench_engine_throughput(c: &mut Criterion) {
+    use relm_lm::{LanguageModel, NeuralLm, NeuralLmConfig, ScoringEngine, ScoringMode};
+    let wb = setup();
+    let docs = [
+        "see https://www.example.com today",
+        "see https://www.example.org now",
+        "the cat sat on the mat",
+        "the dog sat on the log",
+    ];
+    let doc_refs: Vec<&str> = docs.to_vec();
+    let neural = NeuralLm::train(
+        &wb.tokenizer,
+        &doc_refs,
+        NeuralLmConfig {
+            epochs: 2,
+            embed_dim: 24,
+            hidden_dim: 64,
+            ..NeuralLmConfig::default()
+        },
+    );
+    let ngram = &wb.xl;
+    // Frontier-shaped workload: extensions of a handful of shared
+    // prefixes, with revisits.
+    let stems = ["see https://www", "see https://ww", "see https", "see", ""];
+    let mut contexts: Vec<Vec<relm_bpe::TokenId>> = Vec::new();
+    for round in 0..4 {
+        for stem in &stems {
+            for tail in ["", ".", "e", "x"] {
+                let mut ctx = vec![wb.xl.eos()];
+                ctx.extend(wb.tokenizer.encode(&format!("{stem}{tail}")));
+                ctx.truncate(ctx.len().saturating_sub(round % 2)); // revisit
+                contexts.push(ctx);
+            }
+        }
+    }
+    let refs: Vec<&[relm_bpe::TokenId]> = contexts.iter().map(Vec::as_slice).collect();
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(20);
+    group.bench_function("ngram_serial", |b| {
+        b.iter(|| {
+            let engine = ScoringEngine::with_mode(ngram, ScoringMode::Serial);
+            engine.score_batch(&refs)
+        });
+    });
+    group.bench_function("ngram_batched", |b| {
+        b.iter(|| {
+            let engine = ScoringEngine::new(ngram);
+            engine.score_batch(&refs)
+        });
+    });
+    group.bench_function("neural_serial", |b| {
+        b.iter(|| {
+            let engine = ScoringEngine::with_mode(&neural, ScoringMode::Serial);
+            engine.score_batch(&refs)
+        });
+    });
+    group.bench_function("neural_batched", |b| {
+        b.iter(|| {
+            let engine = ScoringEngine::new(&neural);
+            engine.score_batch(&refs)
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_first_match_latency,
     bench_topk_pruning_ablation,
-    bench_beam_vs_dijkstra
+    bench_beam_vs_dijkstra,
+    bench_scoring_serial_vs_batched,
+    bench_engine_throughput
 );
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! composition (§3.4): distance 1 directly vs distance 2 via chaining.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use relm_automata::{ascii_alphabet, levenshtein_within, Nfa, str_symbols};
+use relm_automata::{ascii_alphabet, levenshtein_within, str_symbols, Nfa};
 
 fn bench_levenshtein(c: &mut Criterion) {
     let alphabet = ascii_alphabet();

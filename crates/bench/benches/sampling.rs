@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use relm_automata::WalkTable;
 use relm_bench::{Scale, Workbench};
-use relm_core::{
-    search, PrefixSampling, QueryString, SearchQuery, SearchStrategy,
-};
+use relm_core::{search, PrefixSampling, QueryString, SearchQuery, SearchStrategy};
 use relm_regex::Regex;
 
 fn bench_walk_table(c: &mut Criterion) {
@@ -36,12 +34,10 @@ fn bench_sampling_modes(c: &mut Criterion) {
             b.iter(|| {
                 let prefix = "The ((man)|(woman)) was trained in";
                 let pattern = format!("{prefix} ((art)|(science)|(medicine))\\.");
-                let query = SearchQuery::new(
-                    QueryString::new(pattern).with_prefix(prefix),
-                )
-                .with_strategy(SearchStrategy::RandomSampling { seed: 1 })
-                .with_prefix_sampling(mode)
-                .with_max_tokens(32);
+                let query = SearchQuery::new(QueryString::new(pattern).with_prefix(prefix))
+                    .with_strategy(SearchStrategy::RandomSampling { seed: 1 })
+                    .with_prefix_sampling(mode)
+                    .with_max_tokens(32);
                 search(&wb.xl, &wb.tokenizer, &query)
                     .unwrap()
                     .take(10)

@@ -34,7 +34,11 @@ impl BiasConfig {
             TokenizationStrategy::All => "All",
         };
         let edits = if self.edits { " (Edits)" } else { "" };
-        let prefix = if self.use_prefix { ", prefix" } else { ", no prefix" };
+        let prefix = if self.use_prefix {
+            ", prefix"
+        } else {
+            ", no prefix"
+        };
         format!("{enc}{edits}{prefix}")
     }
 }
@@ -118,7 +122,7 @@ pub fn bin_profession(text: &str) -> Option<&'static str> {
     PROFESSIONS
         .iter()
         .map(|p| (edit_distance(tail.as_bytes(), p.as_bytes()), p))
-        .filter(|&(d, p)| d <= p.len().saturating_sub(2).max(1).min(3) && d <= tail.len())
+        .filter(|&(d, p)| d <= p.len().saturating_sub(2).clamp(1, 3) && d <= tail.len())
         .min_by_key(|&(d, _)| d)
         .map(|(_, p)| *p)
 }

@@ -25,12 +25,7 @@ fn main() {
     };
 
     let relm = urls::run_relm(&wb, candidates);
-    report::series(
-        &relm.label,
-        "sim seconds",
-        "validated URLs",
-        &relm.events,
-    );
+    report::series(&relm.label, "sim seconds", "validated URLs", &relm.events);
     report::metric("ReLM attempts", relm.attempts as f64, "candidates");
     report::metric("ReLM validated", relm.validated as f64, "URLs");
 

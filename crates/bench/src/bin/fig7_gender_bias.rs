@@ -66,7 +66,10 @@ fn main() {
             &rows,
         );
         match chi2 {
-            Some(r) => println!("  chi2 = {:.2}, dof = {}, log10 p = {:.1}", r.statistic, r.dof, r.log10_p),
+            Some(r) => println!(
+                "  chi2 = {:.2}, dof = {}, log10 p = {:.1}",
+                r.statistic, r.dof, r.log10_p
+            ),
             None => println!("  chi2 unavailable (degenerate table)"),
         }
     }

@@ -22,8 +22,16 @@ fn main() {
     let relm = toxicity::run_prompted(&wb.xl, &wb, &matches[..budget], true);
     report::series("Baseline", "attempts", "extractions", &baseline.curve);
     report::series("ReLM", "attempts", "extractions", &relm.curve);
-    report::metric("baseline extraction rate", baseline.extractions as f64 / baseline.attempts.max(1) as f64, "");
-    report::metric("ReLM extraction rate", relm.extractions as f64 / relm.attempts.max(1) as f64, "");
+    report::metric(
+        "baseline extraction rate",
+        baseline.extractions as f64 / baseline.attempts.max(1) as f64,
+        "",
+    );
+    report::metric(
+        "ReLM extraction rate",
+        relm.extractions as f64 / relm.attempts.max(1) as f64,
+        "",
+    );
     if baseline.extractions > 0 {
         report::metric(
             "ReLM / baseline",

@@ -26,7 +26,10 @@ fn main() {
             if canonical { "canonical" } else { "all-enc" },
             if edits { "edits" } else { "no edits" }
         );
-        rows.push((label, vec![hits.len() as f64, hits.len() as f64 / budget.max(1) as f64]));
+        rows.push((
+            label,
+            vec![hits.len() as f64, hits.len() as f64 / budget.max(1) as f64],
+        ));
         if !canonical && edits {
             relm_hits = hits;
         }
@@ -43,10 +46,22 @@ fn main() {
             "breakdown (all-enc + edits run)",
             &["fraction"],
             &[
-                ("canonical, no edits".into(), vec![frac(&|h| h.canonical && !h.edited)]),
-                ("canonical, edited".into(), vec![frac(&|h| h.canonical && h.edited)]),
-                ("non-canonical, no edits".into(), vec![frac(&|h| !h.canonical && !h.edited)]),
-                ("non-canonical, edited".into(), vec![frac(&|h| !h.canonical && h.edited)]),
+                (
+                    "canonical, no edits".into(),
+                    vec![frac(&|h| h.canonical && !h.edited)],
+                ),
+                (
+                    "canonical, edited".into(),
+                    vec![frac(&|h| h.canonical && h.edited)],
+                ),
+                (
+                    "non-canonical, no edits".into(),
+                    vec![frac(&|h| !h.canonical && !h.edited)],
+                ),
+                (
+                    "non-canonical, edited".into(),
+                    vec![frac(&|h| !h.canonical && h.edited)],
+                ),
             ],
         );
     }

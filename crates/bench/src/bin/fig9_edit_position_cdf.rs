@@ -17,12 +17,7 @@ fn main() {
     };
     let (normalized, uniform, ks) = edits::run_comparison(&wb.xl, &wb, samples, 31);
     let xs: Vec<f64> = (0..=40).map(|i| i as f64).collect();
-    report::series(
-        "Normalized",
-        "edit index",
-        "CDF",
-        &normalized.curve(&xs),
-    );
+    report::series("Normalized", "edit index", "CDF", &normalized.curve(&xs));
     report::series("Unnormalized", "edit index", "CDF", &uniform.curve(&xs));
     report::metric("KS distance between modes", ks, "");
     report::metric(

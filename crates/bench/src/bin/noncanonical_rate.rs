@@ -24,9 +24,21 @@ fn main() {
         let mut noncanonical = 0usize;
         for _ in 0..samples {
             let generated = if is_xl {
-                sample_sequence(&wb.xl, DecodingPolicy::unfiltered(), &[wb.xl.eos()], 12, &mut rng)
+                sample_sequence(
+                    &wb.xl,
+                    DecodingPolicy::unfiltered(),
+                    &[wb.xl.eos()],
+                    12,
+                    &mut rng,
+                )
             } else {
-                sample_sequence(&wb.small, DecodingPolicy::unfiltered(), &[wb.small.eos()], 12, &mut rng)
+                sample_sequence(
+                    &wb.small,
+                    DecodingPolicy::unfiltered(),
+                    &[wb.small.eos()],
+                    12,
+                    &mut rng,
+                )
             };
             let trimmed: Vec<_> = generated
                 .iter()

@@ -42,7 +42,7 @@ pub fn edit_position(sample: &str, templates: &[String]) -> Option<usize> {
             .position(|(a, b)| a != b)
             .unwrap_or_else(|| sample.len().min(t.len()));
         let dist = levenshtein(sample.as_bytes(), t.as_bytes());
-        if best.map_or(true, |(d, _)| dist < d) {
+        if best.is_none_or(|(d, _)| dist < d) {
             best = Some((dist, pos));
         }
     }
@@ -80,15 +80,14 @@ pub fn sample_edit_positions<M: LanguageModel>(
     for gender in ["man", "woman"] {
         let prefix = format!("The {gender} was trained in");
         let pattern = format!("{prefix} ({})\\.", profession_pattern());
-        let query = SearchQuery::new(
-            QueryString::new(pattern).with_prefix(relm_regex::escape(&prefix)),
-        )
-        .with_strategy(SearchStrategy::RandomSampling { seed })
-        .with_tokenization(TokenizationStrategy::All)
-        .with_prefix_sampling(mode)
-        .with_preprocessor(Preprocessor::levenshtein(1))
-        .with_max_tokens(40)
-        .with_max_expansions(200_000);
+        let query =
+            SearchQuery::new(QueryString::new(pattern).with_prefix(relm_regex::escape(&prefix)))
+                .with_strategy(SearchStrategy::RandomSampling { seed })
+                .with_tokenization(TokenizationStrategy::All)
+                .with_prefix_sampling(mode)
+                .with_preprocessor(Preprocessor::levenshtein(1))
+                .with_max_tokens(40)
+                .with_max_expansions(200_000);
         let results = search(model, &wb.tokenizer, &query).expect("edit query compiles");
         for m in results.take(samples / 2) {
             if let Some(pos) = edit_position(&m.text, &templates) {

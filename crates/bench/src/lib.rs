@@ -29,7 +29,7 @@ pub mod urls;
 
 use relm_bpe::BpeTokenizer;
 use relm_datasets::{CorpusSpec, SyntheticWorld};
-use relm_lm::{CachedLm, NGramConfig, NGramLm};
+use relm_lm::{NGramConfig, NGramLm};
 
 /// How large a world to generate; binaries default to [`Scale::Full`],
 /// tests use [`Scale::Smoke`].
@@ -82,10 +82,13 @@ pub struct Workbench {
     pub world: SyntheticWorld,
     /// BPE tokenizer trained on the corpus.
     pub tokenizer: BpeTokenizer,
-    /// GPT-2-XL-like model (5-gram, sharp), with a distribution cache.
-    pub xl: CachedLm<NGramLm>,
-    /// GPT-2-like small model (trigram, smoother), with a cache.
-    pub small: CachedLm<NGramLm>,
+    /// GPT-2-XL-like model (5-gram, sharp). Bare: the executors'
+    /// `ScoringEngine` provides caching, so pre-wrapping in `CachedLm`
+    /// would stack two memo tables per query (cross-query cache
+    /// persistence is a ROADMAP item).
+    pub xl: NGramLm,
+    /// GPT-2-like small model (trigram, smoother). Bare, as above.
+    pub small: NGramLm,
 }
 
 impl Workbench {
@@ -96,8 +99,8 @@ impl Workbench {
         let corpus = world.joined_corpus();
         let tokenizer = BpeTokenizer::train(&corpus, scale.bpe_merges());
         let docs = world.document_refs();
-        let xl = CachedLm::new(NGramLm::train(&tokenizer, &docs, NGramConfig::xl()));
-        let small = CachedLm::new(NGramLm::train(&tokenizer, &docs, NGramConfig::small()));
+        let xl = NGramLm::train(&tokenizer, &docs, NGramConfig::xl());
+        let small = NGramLm::train(&tokenizer, &docs, NGramConfig::small());
         Workbench {
             world,
             tokenizer,

@@ -7,9 +7,7 @@
 //! quantity is extraction *volume* (token sequences, up to a cap per
 //! input), broken down by (canonical × edited).
 
-use relm_core::{
-    search, Preprocessor, QueryString, SearchQuery, TokenizationStrategy,
-};
+use relm_core::{search, Preprocessor, QueryString, SearchQuery, TokenizationStrategy};
 use relm_datasets::{scan_for_insults, InsultMatch, INSULT_LEXICON};
 use relm_lm::{DecodingPolicy, LanguageModel};
 

@@ -60,11 +60,9 @@ pub fn run_relm(wb: &Workbench, max_candidates: usize) -> UrlRun {
     let mut events = Vec::new();
     let mut validated = std::collections::HashSet::new();
     let mut attempts = 0;
-    let mut results =
-        search(&wb.xl, &wb.tokenizer, &query).expect("URL query compiles");
+    let mut results = search(&wb.xl, &wb.tokenizer, &query).expect("URL query compiles");
     let mut last_lm_calls = 0;
-    loop {
-        let Some(m) = results.next() else { break };
+    while let Some(m) = results.next() {
         // Account the inference work since the previous match.
         let stats = results.stats();
         let delta = (stats.lm_calls - last_lm_calls).max(1);
@@ -100,8 +98,7 @@ pub fn run_baseline(wb: &Workbench, n: usize, samples: usize, seed: u64) -> UrlR
     let mut duplicates = 0;
     let prefix = wb.tokenizer.encode("see https://www.");
     for _ in 0..samples {
-        let generated =
-            sample_sequence(&wb.xl, DecodingPolicy::top_k(40), &prefix, n, &mut rng);
+        let generated = sample_sequence(&wb.xl, DecodingPolicy::top_k(40), &prefix, n, &mut rng);
         // One forward per generated token (batch size 1, like the
         // paper's baseline configuration).
         for _ in 0..generated.len().max(1) {

@@ -120,12 +120,13 @@ pub fn compile_canonical(
     // Exact pre-checks (both run in `O(max_len · E)`): the language must
     // be finite, no longer than the enumeration depth, and small enough
     // to enumerate. Only then is enumeration guaranteed cheap and exact.
-    let enumerable = char_dfa
-        .longest_string_len()
-        .map_or(char_dfa.is_empty_language(), |longest| {
-            longest <= limits.max_len
-                && char_dfa.count_strings(limits.max_len) <= limits.max_strings as u128
-        });
+    let enumerable =
+        char_dfa
+            .longest_string_len()
+            .map_or(char_dfa.is_empty_language(), |longest| {
+                longest <= limits.max_len
+                    && char_dfa.count_strings(limits.max_len) <= limits.max_strings as u128
+            });
     if enumerable {
         let strings = char_dfa.enumerate(limits.max_len, limits.max_strings + 1);
         {

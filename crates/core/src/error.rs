@@ -52,7 +52,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(RelmError::EmptyLanguage.to_string().contains("empty"));
-        assert!(RelmError::InvalidQuery("bad".into()).to_string().contains("bad"));
+        assert!(RelmError::InvalidQuery("bad".into())
+            .to_string()
+            .contains("bad"));
         let parse_err = relm_regex::parse("a(").unwrap_err();
         let e: RelmError = parse_err.into();
         assert!(e.to_string().contains("invalid pattern"));

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 
 use relm_bpe::{BpeTokenizer, TokenId};
-use relm_lm::{score_batch, LanguageModel};
+use relm_lm::{LanguageModel, ScoringEngine};
 
 use crate::executor::{passes_runtime_checks, CompiledQuery, ExecutionStats};
 use crate::results::MatchResult;
@@ -35,7 +35,7 @@ struct BeamPath {
 /// The beam-search result iterator: runs the whole search on first use,
 /// then streams finished paths in descending probability.
 pub(crate) struct BeamIter<'a, M: LanguageModel> {
-    model: &'a M,
+    engine: ScoringEngine<&'a M>,
     tokenizer: &'a BpeTokenizer,
     compiled: CompiledQuery,
     width: usize,
@@ -51,7 +51,7 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
         width: usize,
     ) -> Self {
         BeamIter {
-            model,
+            engine: ScoringEngine::with_mode(model, compiled.scoring),
             tokenizer,
             compiled,
             width: width.max(1),
@@ -61,7 +61,7 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
     }
 
     pub(crate) fn stats(&self) -> ExecutionStats {
-        self.stats
+        self.stats.merge_scoring(self.engine.stats())
     }
 
     fn run(&mut self) -> Vec<MatchResult> {
@@ -115,12 +115,19 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
                 }
             }
 
-            // Batched scoring of the whole frontier.
-            let contexts: Vec<Vec<TokenId>> = beam
+            // Batched scoring of the expandable frontier through the
+            // engine: shared prefixes across steps (and across bridged
+            // paths) come out of the memo table. Paths at the sequence
+            // cap can never extend, so their contexts are not scored.
+            let expandable: Vec<&BeamPath> = beam
+                .iter()
+                .filter(|p| p.tokens.len() + 2 < self.engine.max_sequence_len())
+                .collect();
+            let contexts: Vec<Vec<TokenId>> = expandable
                 .iter()
                 .map(|p| {
                     let mut c = Vec::with_capacity(p.tokens.len() + 1);
-                    c.push(self.model.eos());
+                    c.push(self.engine.eos());
                     c.extend_from_slice(&p.tokens);
                     c
                 })
@@ -128,16 +135,14 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
             if contexts.is_empty() {
                 break;
             }
-            let scores = score_batch(self.model, &contexts);
+            let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
+            let scores = self.engine.score_batch(&refs);
             self.stats.lm_calls += contexts.len() as u64;
-            self.stats.expansions += beam.len() as u64;
+            self.stats.expansions += expandable.len() as u64;
 
             // Expand.
             let mut next: Vec<BeamPath> = Vec::new();
-            for (p, log_probs) in beam.iter().zip(&scores) {
-                if p.tokens.len() + 2 >= self.model.max_sequence_len() {
-                    continue;
-                }
+            for (&p, log_probs) in expandable.iter().zip(&scores) {
                 if p.machine_is_body {
                     let allowed: HashMap<TokenId, f64> = self
                         .compiled
@@ -297,11 +302,10 @@ mod tests {
     #[test]
     fn beam_respects_prefix_machines() {
         let (tok, lm) = fixture();
-        let query = SearchQuery::new(
-            QueryString::new("the cow ((sat)|(ate))").with_prefix("the cow"),
-        )
-        .with_strategy(SearchStrategy::Beam { width: 8 })
-        .with_policy(relm_lm::DecodingPolicy::greedy());
+        let query =
+            SearchQuery::new(QueryString::new("the cow ((sat)|(ate))").with_prefix("the cow"))
+                .with_strategy(SearchStrategy::Beam { width: 8 })
+                .with_policy(relm_lm::DecodingPolicy::greedy());
         // Greedy policy would prune the unlikely "cow" prefix — beam must
         // bypass decision rules on prefix edges just like Dijkstra.
         let results: Vec<_> = crate::search(&lm, &tok, &query).unwrap().collect();

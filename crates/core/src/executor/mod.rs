@@ -19,7 +19,7 @@ mod shortest;
 
 use relm_automata::Dfa;
 use relm_bpe::{BpeTokenizer, TokenId};
-use relm_lm::{DecodingPolicy, LanguageModel};
+use relm_lm::{DecodingPolicy, LanguageModel, ScoringMode};
 use relm_regex::Regex;
 
 use crate::compiler::{compile_canonical, compile_full, CanonicalLimits, CompiledAutomaton};
@@ -36,7 +36,7 @@ pub(crate) use shortest::ShortestPathIter;
 pub struct ExecutionStats {
     /// Dijkstra node expansions (shortest path) or sampling steps.
     pub expansions: u64,
-    /// Language-model forward calls.
+    /// Scoring requests issued by the traversal (before caching).
     pub lm_calls: u64,
     /// Matches emitted.
     pub emitted: u64,
@@ -46,6 +46,27 @@ pub struct ExecutionStats {
     pub rejected_noncanonical: u64,
     /// Results rejected by deferred filters.
     pub rejected_filtered: u64,
+    /// Scoring requests served from the [`relm_lm::ScoringEngine`] memo
+    /// table (or deduplicated within a batch) without model work.
+    pub cache_hits: u64,
+    /// Distinct contexts that required a model evaluation.
+    pub cache_misses: u64,
+    /// Batched model invocations issued by the engine.
+    pub batches: u64,
+    /// Total contexts evaluated across those invocations
+    /// (`batched_contexts / batches` is the mean batch fill).
+    pub batched_contexts: u64,
+}
+
+impl ExecutionStats {
+    /// Fold the scoring engine's counters into this snapshot.
+    pub(crate) fn merge_scoring(mut self, scoring: relm_lm::ScoringStats) -> Self {
+        self.cache_hits = scoring.cache_hits;
+        self.cache_misses = scoring.cache_misses;
+        self.batches = scoring.batches;
+        self.batched_contexts = scoring.batched_contexts;
+        self
+    }
 }
 
 /// The compiled form of a query: token-space automata plus execution
@@ -61,6 +82,7 @@ pub(crate) struct CompiledQuery {
     pub deferred_filters: Vec<Dfa>,
     pub require_eos: bool,
     pub distinct_texts: bool,
+    pub scoring: ScoringMode,
 }
 
 /// Compile `query`'s patterns into token automata.
@@ -161,6 +183,7 @@ pub(crate) fn compile_query(
         deferred_filters,
         require_eos: query.require_eos,
         distinct_texts: query.distinct_texts,
+        scoring: query.scoring,
     })
 }
 

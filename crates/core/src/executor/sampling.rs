@@ -11,27 +11,42 @@
 //! Episodes that dead-end (every continuation pruned) are retried up to
 //! the query's attempt budget; the iterator ends when the budget is
 //! exhausted, so `take(n)` terminates even on adversarial queries.
+//!
+//! Scoring is **episode-batched**: prefixes are drawn in blocks (the
+//! prefix walk needs no model, only walk counts), and the block's
+//! initial body contexts are batch-scored through the
+//! [`ScoringEngine`] before the walks start, so every episode begins
+//! cache-warm and shared prefixes across episodes are never re-scored.
+//! The RNG stream does not depend on the scoring mode, so serial and
+//! batched runs sample byte-identical episodes.
+
+use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use relm_automata::{WalkChoice, WalkTable};
 use relm_bpe::{BpeTokenizer, TokenId};
-use relm_lm::LanguageModel;
+use relm_lm::{LanguageModel, ScoringEngine, ScoringMode};
 
 use crate::executor::{passes_runtime_checks, CompiledQuery, ExecutionStats};
 use crate::query::PrefixSampling;
 use crate::results::MatchResult;
 
+/// Number of episode prefixes drawn (and batch-scored) per block.
+const EPISODE_BATCH: usize = 8;
+
 /// The random-sampling result iterator. See the module docs.
 pub(crate) struct SamplingIter<'a, M: LanguageModel> {
-    model: &'a M,
+    engine: ScoringEngine<&'a M>,
     tokenizer: &'a BpeTokenizer,
     compiled: CompiledQuery,
     rng: SmallRng,
     walk_table: Option<WalkTable>,
     stats: ExecutionStats,
     max_attempts: usize,
+    /// Pre-drawn episode prefixes awaiting their body walk.
+    pending: VecDeque<Vec<TokenId>>,
 }
 
 impl<'a, M: LanguageModel> SamplingIter<'a, M> {
@@ -47,24 +62,28 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
             .as_ref()
             .map(|p| WalkTable::new(p, compiled.max_tokens));
         SamplingIter {
-            model,
+            engine: ScoringEngine::with_mode(model, compiled.scoring),
             tokenizer,
             compiled,
             rng: SmallRng::seed_from_u64(seed),
             walk_table,
             stats: ExecutionStats::default(),
             max_attempts,
+            pending: VecDeque::new(),
         }
     }
 
     pub(crate) fn stats(&self) -> ExecutionStats {
-        self.stats
+        self.stats.merge_scoring(self.engine.stats())
     }
 
     /// Sample a prefix token sequence, or `None` on a dead end.
     fn sample_prefix(&mut self) -> Option<Vec<TokenId>> {
         let prefix = self.compiled.prefix.as_ref()?;
-        let table = self.walk_table.as_ref().expect("walk table built with prefix");
+        let table = self
+            .walk_table
+            .as_ref()
+            .expect("walk table built with prefix");
         let mut state = prefix.start();
         let mut tokens = Vec::new();
         loop {
@@ -105,6 +124,48 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
         }
     }
 
+    /// Draw the next episode prefix, refilling the pending block when it
+    /// runs dry: prefixes need no model (walk counts only), so a whole
+    /// block is drawn up front and its initial body contexts are
+    /// batch-scored together — the episode-batched analogue of filling
+    /// an accelerator batch. Failed draws consume attempts.
+    fn next_prefix(&mut self, attempts: &mut usize) -> Option<Vec<TokenId>> {
+        if let Some(tokens) = self.pending.pop_front() {
+            return Some(tokens);
+        }
+        while self.pending.len() < EPISODE_BATCH && *attempts < self.max_attempts {
+            match self.sample_prefix() {
+                Some(tokens) => self.pending.push_back(tokens),
+                None => {
+                    self.stats.dead_ends += 1;
+                    *attempts += 1;
+                }
+            }
+        }
+        if self.compiled.scoring == ScoringMode::Batched
+            && self.pending.len() > 1
+            // If the engine has stopped admitting cache entries the warm
+            // block's scores would be discarded — skip the speculation.
+            && self.engine.admits_new_entries()
+        {
+            // Warm the cache for the block's first body steps. Scoring is
+            // pure, so this cannot change what the walks sample.
+            let contexts: Vec<Vec<TokenId>> = self
+                .pending
+                .iter()
+                .map(|prefix| {
+                    let mut ctx = Vec::with_capacity(prefix.len() + 1);
+                    ctx.push(self.engine.eos());
+                    ctx.extend_from_slice(prefix);
+                    ctx
+                })
+                .collect();
+            let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
+            let _ = self.engine.score_batch(&refs);
+        }
+        self.pending.pop_front()
+    }
+
     /// Extend `tokens` through the body automaton with the model.
     /// Returns `false` on a dead end.
     fn sample_body(&mut self, tokens: &mut Vec<TokenId>) -> bool {
@@ -113,30 +174,34 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
         loop {
             self.stats.expansions += 1;
             let at_capacity = tokens.len() >= self.compiled.max_tokens
-                || tokens.len() + 1 >= self.model.max_sequence_len();
+                || tokens.len() + 1 >= self.engine.max_sequence_len();
             if at_capacity {
                 // EOS-required queries cannot confirm termination at the
                 // token cap; everything else accepts where it stands.
                 return body.is_accepting(state) && !self.compiled.require_eos;
             }
             let mut ctx = Vec::with_capacity(tokens.len() + 1);
-            ctx.push(self.model.eos());
+            ctx.push(self.engine.eos());
             ctx.extend_from_slice(&*tokens);
-            let log_probs = self.model.next_log_probs(&ctx);
+            let log_probs = self.engine.score(&ctx);
             self.stats.lm_calls += 1;
-            let allowed: std::collections::HashMap<TokenId, f64> =
-                self.compiled.policy.allowed(&log_probs).into_iter().collect();
+            let allowed: std::collections::HashMap<TokenId, f64> = self
+                .compiled
+                .policy
+                .allowed(&log_probs)
+                .into_iter()
+                .collect();
 
             // Options: automaton edges the policy permits, plus EOS-stop
             // at accepting states.
             let mut choices: Vec<(Option<(TokenId, usize)>, f64)> = Vec::new();
             for (sym, target) in body.transitions(state) {
                 if let Some(&lp) = allowed.get(&sym) {
-                    choices.push((Some((sym, target as usize)), lp.exp()));
+                    choices.push((Some((sym, target)), lp.exp()));
                 }
             }
             if body.is_accepting(state) {
-                let eos_lp = log_probs[self.model.eos() as usize];
+                let eos_lp = log_probs[self.engine.eos() as usize];
                 if eos_lp.is_finite() {
                     choices.push((None, eos_lp.exp()));
                 }
@@ -169,20 +234,21 @@ impl<'a, M: LanguageModel> Iterator for SamplingIter<'a, M> {
     type Item = MatchResult;
 
     fn next(&mut self) -> Option<MatchResult> {
-        for _ in 0..self.max_attempts {
-            // --- Prefix phase ---
+        let mut attempts = 0usize;
+        while attempts < self.max_attempts {
+            // --- Prefix phase (episode-batched; see next_prefix) ---
             let prefix_tokens = if self.compiled.prefix.is_some() {
-                match self.sample_prefix() {
+                match self.next_prefix(&mut attempts) {
                     Some(t) => t,
-                    None => {
-                        self.stats.dead_ends += 1;
-                        continue;
-                    }
+                    // Every draw in the block dead-ended; the failed
+                    // draws already consumed attempts.
+                    None => continue,
                 }
             } else {
                 Vec::new()
             };
             let prefix_len = prefix_tokens.len();
+            attempts += 1;
 
             // --- Body phase ---
             let mut tokens = prefix_tokens;
@@ -203,9 +269,12 @@ impl<'a, M: LanguageModel> Iterator for SamplingIter<'a, M> {
 
             let text = self.tokenizer.decode(&tokens);
             let mut ctx = Vec::with_capacity(tokens.len() + 1);
-            ctx.push(self.model.eos());
+            ctx.push(self.engine.eos());
             ctx.extend_from_slice(&tokens);
-            let log_prob = relm_lm::sequence_log_prob(self.model, &ctx, 1);
+            // Scoring the emitted match runs through the engine: the
+            // walk just visited every prefix of `ctx`, so this is all
+            // cache hits in batched mode.
+            let log_prob = relm_lm::sequence_log_prob(&self.engine, &ctx, 1);
             self.stats.lm_calls += tokens.len() as u64;
             let canonical = self.tokenizer.encode(&text) == tokens;
             self.stats.emitted += 1;
@@ -307,7 +376,10 @@ mod tests {
         );
         let mut counts: HashMap<String, usize> = HashMap::new();
         for m in crate::search(&lm, &tok, &query).unwrap().take(60) {
-            let suffix = m.text.trim_start_matches("the man was trained in ").to_string();
+            let suffix = m
+                .text
+                .trim_start_matches("the man was trained in ")
+                .to_string();
             *counts.entry(suffix).or_default() += 1;
         }
         let cs = counts.get("computer science").copied().unwrap_or(0);
@@ -369,7 +441,10 @@ mod tests {
         let normalized = count_a(PrefixSampling::Normalized, 23);
         let uniform = count_a(PrefixSampling::UniformEdges, 23);
         assert!((normalized - 0.25).abs() < 0.08, "normalized {normalized}");
-        assert!(uniform > normalized + 0.1, "uniform {uniform} vs {normalized}");
+        assert!(
+            uniform > normalized + 0.1,
+            "uniform {uniform} vs {normalized}"
+        );
     }
 
     #[test]
@@ -395,8 +470,8 @@ mod tests {
         // A query whose body dead-ends under greedy decoding: iterator
         // must end rather than loop forever.
         let (tok, lm) = fixture();
-        let query = sampling_query("zzzzqqqq", None, 1)
-            .with_policy(relm_lm::DecodingPolicy::greedy());
+        let query =
+            sampling_query("zzzzqqqq", None, 1).with_policy(relm_lm::DecodingPolicy::greedy());
         let results: Vec<_> = crate::search(&lm, &tok, &query).unwrap().take(5).collect();
         assert!(results.len() <= 5); // typically 0; must terminate
     }

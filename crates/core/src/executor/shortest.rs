@@ -11,15 +11,33 @@
 //! Prefix-machine edges skip the policy (conditioning context is in the
 //! language by definition) but still pay their model cost, implementing
 //! the paper's startup-latency heuristic.
+//!
+//! Scoring is **frontier-batched**: when the popped node's context
+//! misses the [`ScoringEngine`] memo table, the contexts of other
+//! expandable heap nodes are speculatively batched into the same model
+//! call. Scoring is pure, so prefetching never changes which node is
+//! expanded or emitted — it only fills the cache the later pops will
+//! hit, turning Dijkstra's one-at-a-time calls into the paper's batched
+//! inference pattern.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use relm_bpe::{BpeTokenizer, TokenId};
-use relm_lm::LanguageModel;
+use relm_lm::{LanguageModel, ScoringEngine, ScoringMode};
 
 use crate::executor::{passes_runtime_checks, CompiledQuery, ExecutionStats};
 use crate::results::MatchResult;
+
+/// Cap on contexts speculatively scored per model call. The prefetch
+/// picks the *cheapest* frontier nodes — the ones Dijkstra pops next —
+/// so nearly every speculated context is consumed.
+const MAX_FRONTIER_BATCH: usize = 8;
+
+/// Cap on heap entries scanned per prefetch. Bounds per-miss overhead
+/// on very large frontiers (the heap's backing vector keeps low-cost
+/// nodes near the front, so a prefix scan still finds good candidates).
+const FRONTIER_SCAN_LIMIT: usize = 512;
 
 /// Total-ordered wrapper for heap costs (`−log p`, non-negative).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,7 +94,7 @@ impl Ord for Node {
 
 /// The shortest-path result iterator. See the module docs.
 pub(crate) struct ShortestPathIter<'a, M: LanguageModel> {
-    model: &'a M,
+    engine: ScoringEngine<&'a M>,
     tokenizer: &'a BpeTokenizer,
     compiled: CompiledQuery,
     heap: BinaryHeap<Reverse<Node>>,
@@ -111,7 +129,7 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
             })),
         }
         ShortestPathIter {
-            model,
+            engine: ScoringEngine::with_mode(model, compiled.scoring),
             tokenizer,
             compiled,
             heap,
@@ -123,25 +141,81 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
     }
 
     pub(crate) fn stats(&self) -> ExecutionStats {
-        self.stats
+        self.stats.merge_scoring(self.engine.stats())
     }
 
     /// Model context for a path: EOS-rooted, matching training.
     fn context(&self, tokens: &[TokenId]) -> Vec<TokenId> {
         let mut ctx = Vec::with_capacity(tokens.len() + 1);
-        ctx.push(self.model.eos());
+        ctx.push(self.engine.eos());
         ctx.extend_from_slice(tokens);
         ctx
     }
 
+    /// Whether a node still has room to grow (mirrors [`Self::expand`]'s
+    /// early return) — the prefetch filter.
+    fn expandable(&self, node: &Node) -> bool {
+        node.machine != Machine::Done
+            && node.tokens.len() < self.compiled.max_tokens
+            && node.tokens.len() + 1 < self.engine.max_sequence_len()
+    }
+
+    /// Score `ctx`, batching in the contexts of the cheapest other
+    /// frontier nodes on a cache miss (batched mode only). Dijkstra pops
+    /// in cost order, so the lowest-cost heap nodes are precisely the
+    /// next expansions — their contexts are prefetched into the same
+    /// model call. Prefetching is free of side effects on the traversal:
+    /// scoring is deterministic and pure, so results are byte-identical
+    /// to the serial path.
+    fn score_frontier(&mut self, ctx: Vec<TokenId>) -> Vec<f64> {
+        if self.compiled.scoring == ScoringMode::Serial
+            || self.engine.is_cached(&ctx)
+            // Once the engine stops admitting cache entries, prefetched
+            // scores would be discarded and recomputed — stop paying
+            // for them.
+            || !self.engine.admits_new_entries()
+        {
+            return self.engine.score(&ctx);
+        }
+        // Select the cheapest expandable frontier nodes (kept sorted;
+        // O(scan × batch), both small constants). The scan is capped:
+        // on huge heaps the candidates found early in the backing
+        // vector — the nodes nearest the heap top — are good enough,
+        // and a full walk per miss would dominate the traversal.
+        let mut best: Vec<&Node> = Vec::new();
+        for rev in self.heap.iter().take(FRONTIER_SCAN_LIMIT) {
+            let node = &rev.0;
+            if !self.expandable(node) {
+                continue;
+            }
+            let pos = best.partition_point(|n| n.cost <= node.cost);
+            if pos >= MAX_FRONTIER_BATCH - 1 {
+                continue;
+            }
+            best.insert(pos, node);
+            best.truncate(MAX_FRONTIER_BATCH - 1);
+        }
+        let mut batch: Vec<Vec<TokenId>> = vec![ctx];
+        for node in best {
+            let candidate = self.context(&node.tokens);
+            if self.engine.is_cached(&candidate) || batch.contains(&candidate) {
+                continue;
+            }
+            batch.push(candidate);
+        }
+        let refs: Vec<&[TokenId]> = batch.iter().map(Vec::as_slice).collect();
+        let mut scores = self.engine.score_batch(&refs);
+        scores.swap_remove(0)
+    }
+
     fn expand(&mut self, node: &Node) {
         if node.tokens.len() >= self.compiled.max_tokens
-            || node.tokens.len() + 1 >= self.model.max_sequence_len()
+            || node.tokens.len() + 1 >= self.engine.max_sequence_len()
         {
             return;
         }
         let ctx = self.context(&node.tokens);
-        let log_probs = self.model.next_log_probs(&ctx);
+        let log_probs = self.score_frontier(ctx);
         self.stats.lm_calls += 1;
 
         match node.machine {
@@ -167,15 +241,19 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
             }
             Machine::Done => unreachable!("Done nodes are never expanded"),
             Machine::Body => {
-                let allowed: HashMap<TokenId, f64> =
-                    self.compiled.policy.allowed(&log_probs).into_iter().collect();
+                let allowed: HashMap<TokenId, f64> = self
+                    .compiled
+                    .policy
+                    .allowed(&log_probs)
+                    .into_iter()
+                    .collect();
                 // EOS-required queries: leaving an accepting state toward
                 // emission costs the EOS step, and EOS must survive the
                 // decoding rules like any other body token.
                 if self.compiled.require_eos
                     && self.compiled.body.automaton.is_accepting(node.state)
                 {
-                    if let Some(&eos_lp) = allowed.get(&self.model.eos()) {
+                    if let Some(&eos_lp) = allowed.get(&self.engine.eos()) {
                         self.heap.push(Reverse(Node {
                             cost: Cost(node.cost.0 - eos_lp),
                             machine: Machine::Done,
@@ -314,9 +392,8 @@ mod tests {
     fn most_likely_match_first() {
         // "the cat" dominates the corpus: among cat/dog/cow it must rank
         // first.
-        let query = SearchQuery::new(
-            QueryString::new("the ((cat)|(dog)|(cow)) sat").with_prefix("the"),
-        );
+        let query =
+            SearchQuery::new(QueryString::new("the ((cat)|(dog)|(cow)) sat").with_prefix("the"));
         let results = run(query, 3);
         assert!(!results.is_empty());
         assert_eq!(results[0].text, "the cat sat");
@@ -338,9 +415,7 @@ mod tests {
 
     #[test]
     fn emits_in_nonincreasing_probability_order() {
-        let query = SearchQuery::new(QueryString::new(
-            "the ((cat)|(dog)|(cow)) ((sat)|(ate))",
-        ));
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)|(cow)) ((sat)|(ate))"));
         let results = run(query, 10);
         assert!(results.len() >= 3);
         for w in results.windows(2) {
@@ -361,7 +436,12 @@ mod tests {
         let greedy = unfiltered.clone().with_policy(DecodingPolicy::greedy());
         let all = run(unfiltered, 10);
         let pruned = run(greedy, 10);
-        assert!(pruned.len() < all.len(), "{} vs {}", pruned.len(), all.len());
+        assert!(
+            pruned.len() < all.len(),
+            "{} vs {}",
+            pruned.len(),
+            all.len()
+        );
     }
 
     #[test]
@@ -382,10 +462,9 @@ mod tests {
     fn prefix_is_not_policy_filtered() {
         // An improbable prefix must still be traversed under greedy
         // decoding (prefixes bypass decision rules).
-        let query = SearchQuery::new(
-            QueryString::new("the cow ((sat)|(ate))").with_prefix("the cow"),
-        )
-        .with_policy(DecodingPolicy::greedy());
+        let query =
+            SearchQuery::new(QueryString::new("the cow ((sat)|(ate))").with_prefix("the cow"))
+                .with_policy(DecodingPolicy::greedy());
         let results = run(query, 5);
         assert!(!results.is_empty(), "prefix should bypass top-k");
         assert!(results[0].text.starts_with("the cow"));
@@ -424,14 +503,19 @@ mod tests {
     fn eos_termination_reranks_final_words() {
         // With EOS required, the score includes p(EOS | completion), so
         // completions that end documents outrank mid-sentence ones.
-        let docs = ["she saw it", "she saw it", "she saw the cat run", "it", "it"];
+        let docs = [
+            "she saw it",
+            "she saw it",
+            "she saw the cat run",
+            "it",
+            "it",
+        ];
         let corpus = docs.join(". ");
         let tok = BpeTokenizer::train(&corpus, 60);
         let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
-        let query = SearchQuery::new(
-            QueryString::new("she saw ((it)|(the))").with_prefix("she saw"),
-        )
-        .with_eos_termination();
+        let query =
+            SearchQuery::new(QueryString::new("she saw ((it)|(the))").with_prefix("she saw"))
+                .with_eos_termination();
         let results: Vec<_> = crate::search(&lm, &tok, &query).unwrap().take(2).collect();
         assert!(!results.is_empty());
         // "it" terminates documents in training; "the" never does.
@@ -447,7 +531,9 @@ mod tests {
         let stop = relm_regex::Regex::compile("the").unwrap().dfa().clone();
         let query = SearchQuery::new(QueryString::new("the"))
             .with_preprocessor(crate::Preprocessor::filter(stop));
-        let err = crate::search(&lm, &tok, &query).err().expect("empty language");
+        let err = crate::search(&lm, &tok, &query)
+            .err()
+            .expect("empty language");
         assert_eq!(err, crate::RelmError::EmptyLanguage);
     }
 }

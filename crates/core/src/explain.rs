@@ -45,7 +45,11 @@ impl std::fmt::Display for QueryPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "traversal:  {}", self.traversal)?;
         if let Some(p) = self.prefix_machine {
-            writeln!(f, "prefix:     {} states, {} transitions", p.states, p.transitions)?;
+            writeln!(
+                f,
+                "prefix:     {} states, {} transitions",
+                p.states, p.transitions
+            )?;
         }
         writeln!(
             f,
@@ -128,12 +132,7 @@ mod tests {
 
     #[test]
     fn infinite_canonical_language_flags_runtime_check() {
-        let plan = explain(
-            &SearchQuery::new(QueryString::new("a[b]*c")),
-            &tok(),
-            64,
-        )
-        .unwrap();
+        let plan = explain(&SearchQuery::new(QueryString::new("a[b]*c")), &tok(), 64).unwrap();
         assert!(plan.runtime_canonical_check);
     }
 

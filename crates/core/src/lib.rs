@@ -59,7 +59,5 @@ pub use error::RelmError;
 pub use executor::{search, ExecutionStats, SearchResults};
 pub use explain::{explain, MachineShape, QueryPlan};
 pub use preprocess::{FilterPreprocessor, LevenshteinPreprocessor, Preprocessor};
-pub use query::{
-    PrefixSampling, QueryString, SearchQuery, SearchStrategy, TokenizationStrategy,
-};
+pub use query::{PrefixSampling, QueryString, SearchQuery, SearchStrategy, TokenizationStrategy};
 pub use results::MatchResult;

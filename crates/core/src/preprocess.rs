@@ -51,9 +51,7 @@ impl Preprocessor {
     /// the input unchanged (they act at execution time).
     pub fn apply(&self, nfa: &Nfa) -> Nfa {
         match self {
-            Preprocessor::Levenshtein(lev) => {
-                levenshtein_within(nfa, lev.distance, &lev.alphabet)
-            }
+            Preprocessor::Levenshtein(lev) => levenshtein_within(nfa, lev.distance, &lev.alphabet),
             Preprocessor::Filter(f) if !f.deferred => {
                 let dfa = nfa.determinize().minimize();
                 let filtered = dfa.difference(&f.language);

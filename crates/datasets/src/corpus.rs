@@ -68,7 +68,10 @@ impl BiasSpec {
                 (sum - 1.0).abs() < 1e-9,
                 "bias spec for {label} sums to {sum}, expected 1.0"
             );
-            assert!(row.iter().all(|&p| p >= 0.0), "negative probability for {label}");
+            assert!(
+                row.iter().all(|&p| p >= 0.0),
+                "negative probability for {label}"
+            );
         }
     }
 }
@@ -287,7 +290,13 @@ fn toxic_sentence(rng: &mut SmallRng, insult: &str) -> String {
 }
 
 fn filler_sentence(rng: &mut SmallRng) -> String {
-    let subjects = ["the river", "a traveler", "the committee", "our garden", "the old clock"];
+    let subjects = [
+        "the river",
+        "a traveler",
+        "the committee",
+        "our garden",
+        "the old clock",
+    ];
     let verbs = ["winds", "waits", "gathers", "grows", "keeps time"];
     let tails = [
         "through the quiet valley",

@@ -11,7 +11,12 @@
 /// The placeholder insult lexicon (mild by construction; see crate docs).
 /// Six entries, mirroring the paper's six insult words.
 pub const INSULT_LEXICON: [&str; 6] = [
-    "nitwit", "dingbat", "blockhead", "numbskull", "clodpole", "mudbrain",
+    "nitwit",
+    "dingbat",
+    "blockhead",
+    "numbskull",
+    "clodpole",
+    "mudbrain",
 ];
 
 /// A Pile-like shard: a bag of documents.
@@ -73,10 +78,8 @@ pub fn scan_for_insults(shard: &PileShard, lexicon: &[&str]) -> Vec<InsultMatch>
             while let Some(found) = doc[from..].find(insult) {
                 let start = from + found;
                 let end = start + insult.len();
-                let word_start = start == 0
-                    || !doc.as_bytes()[start - 1].is_ascii_alphanumeric();
-                let word_end =
-                    end == doc.len() || !doc.as_bytes()[end].is_ascii_alphanumeric();
+                let word_start = start == 0 || !doc.as_bytes()[start - 1].is_ascii_alphanumeric();
+                let word_end = end == doc.len() || !doc.as_bytes()[end].is_ascii_alphanumeric();
                 if word_start && word_end {
                     out.push(InsultMatch {
                         doc_index,

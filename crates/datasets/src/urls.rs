@@ -14,16 +14,39 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 const DOMAIN_STEMS: [&str; 16] = [
-    "amberfield", "northgate", "rivertown", "quietpine", "bluelark", "stonebridge",
-    "mapleworks", "clearharbor", "goldenfern", "willowpark", "redcedar", "silverbay",
-    "oakmarsh", "brightmoor", "greyharbor", "fernvalley",
+    "amberfield",
+    "northgate",
+    "rivertown",
+    "quietpine",
+    "bluelark",
+    "stonebridge",
+    "mapleworks",
+    "clearharbor",
+    "goldenfern",
+    "willowpark",
+    "redcedar",
+    "silverbay",
+    "oakmarsh",
+    "brightmoor",
+    "greyharbor",
+    "fernvalley",
 ];
 
 const TLDS: [&str; 4] = ["com", "org", "net", "io"];
 
 const PATHS: [&str; 12] = [
-    "news", "about", "articles/history", "blog/updates", "research", "archive",
-    "docs/start", "projects", "gallery", "events/2019", "library", "notes",
+    "news",
+    "about",
+    "articles/history",
+    "blog/updates",
+    "research",
+    "archive",
+    "docs/start",
+    "projects",
+    "gallery",
+    "events/2019",
+    "library",
+    "notes",
 ];
 
 /// The set of URLs that "exist" — the validation oracle for §4.1.

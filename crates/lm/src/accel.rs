@@ -72,9 +72,8 @@ impl AcceleratorSim {
     pub fn forward(&mut self, batch: usize) -> f64 {
         assert!(batch > 0, "batch must be non-empty");
         let passes = batch.div_ceil(self.max_batch) as f64;
-        let cost = self.launch_overhead
-            + passes * self.batch_overhead
-            + batch as f64 * self.per_sequence;
+        let cost =
+            self.launch_overhead + passes * self.batch_overhead + batch as f64 * self.per_sequence;
         self.elapsed += cost;
         self.forwards += 1;
         self.sequences += batch as u64;

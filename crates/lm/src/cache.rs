@@ -65,6 +65,24 @@ impl<M: LanguageModel> CachedLm<M> {
     pub fn clear_cache(&self) {
         self.cache.write().clear();
     }
+
+    /// Probe the memo table without computing on a miss. Used by
+    /// [`crate::ScoringEngine`] to partition a batch into hits and
+    /// misses before one batched model call.
+    pub fn lookup(&self, context: &[TokenId]) -> Option<Vec<f64>> {
+        self.cache.read().get(context).cloned()
+    }
+
+    /// Whether `context` is memoized.
+    pub fn is_cached(&self, context: &[TokenId]) -> bool {
+        self.cache.read().contains_key(context)
+    }
+
+    /// Store a computed distribution (first writer wins, matching the
+    /// fill rule of [`next_log_probs`](LanguageModel::next_log_probs)).
+    pub fn insert(&self, context: Vec<TokenId>, distribution: Vec<f64>) {
+        self.cache.write().entry(context).or_insert(distribution);
+    }
 }
 
 impl<M: LanguageModel> LanguageModel for CachedLm<M> {
@@ -90,6 +108,91 @@ impl<M: LanguageModel> LanguageModel for CachedLm<M> {
             .entry(context.to_vec())
             .or_insert_with(|| computed.clone());
         computed
+    }
+
+    /// Serve hits from the memo table and forward only the (deduplicated)
+    /// misses to the inner model's batched path.
+    fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
+        let plan = BatchPlan::partition(contexts, |ctx| self.lookup(ctx));
+        if plan.misses.is_empty() {
+            return plan.fill(Vec::new());
+        }
+        let computed = self.inner.next_log_probs_batch(&plan.misses);
+        for (ctx, dist) in plan.misses.iter().zip(&computed) {
+            self.insert(ctx.to_vec(), dist.clone());
+        }
+        plan.fill(computed)
+    }
+}
+
+/// The hit/miss partition of one scoring batch: the shared bookkeeping
+/// behind [`CachedLm::next_log_probs_batch`] and
+/// [`crate::ScoringEngine::score_batch`]. Hits are resolved up front;
+/// duplicate misses collapse onto one evaluation slot.
+pub(crate) struct BatchPlan<'a> {
+    /// Per input slot: the hit, or `None` for a miss.
+    results: Vec<Option<Vec<f64>>>,
+    /// Per input slot: index into `misses` for miss slots.
+    slot_miss: Vec<Option<usize>>,
+    /// Deduplicated contexts that need a model evaluation.
+    pub misses: Vec<&'a [TokenId]>,
+}
+
+impl<'a> BatchPlan<'a> {
+    /// Partition `contexts` using `lookup` to resolve hits.
+    pub fn partition(
+        contexts: &[&'a [TokenId]],
+        lookup: impl Fn(&[TokenId]) -> Option<Vec<f64>>,
+    ) -> Self {
+        let mut results = Vec::with_capacity(contexts.len());
+        let mut slot_miss = Vec::with_capacity(contexts.len());
+        let mut miss_index: HashMap<&[TokenId], usize> = HashMap::new();
+        let mut misses: Vec<&[TokenId]> = Vec::new();
+        for &ctx in contexts {
+            if let Some(hit) = lookup(ctx) {
+                results.push(Some(hit));
+                slot_miss.push(None);
+            } else {
+                let idx = *miss_index.entry(ctx).or_insert_with(|| {
+                    misses.push(ctx);
+                    misses.len() - 1
+                });
+                results.push(None);
+                slot_miss.push(Some(idx));
+            }
+        }
+        BatchPlan {
+            results,
+            slot_miss,
+            misses,
+        }
+    }
+
+    /// Resolve the plan with the evaluated miss distributions (one per
+    /// entry of `misses`, in order), moving each distribution into its
+    /// last user instead of cloning.
+    pub fn fill(self, computed: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        debug_assert_eq!(computed.len(), self.misses.len());
+        let mut remaining_users = vec![0usize; computed.len()];
+        for idx in self.slot_miss.iter().flatten() {
+            remaining_users[*idx] += 1;
+        }
+        let mut computed: Vec<Option<Vec<f64>>> = computed.into_iter().map(Some).collect();
+        let mut results = self.results;
+        for (slot, miss) in results.iter_mut().zip(&self.slot_miss) {
+            if let Some(idx) = *miss {
+                remaining_users[idx] -= 1;
+                *slot = if remaining_users[idx] == 0 {
+                    computed[idx].take()
+                } else {
+                    computed[idx].clone()
+                };
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("all batch contexts filled"))
+            .collect()
     }
 }
 

@@ -28,7 +28,7 @@ use crate::TokenId;
 /// let allowed = policy.allowed(&log_probs);
 /// assert_eq!(allowed.len(), 3); // k=40 keeps all three
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecodingPolicy {
     /// Keep only the `k` most likely tokens, if set.
     pub top_k: Option<usize>,
@@ -164,7 +164,10 @@ mod tests {
     fn top_k_truncates() {
         let lp = dist(&[0.4, 0.3, 0.2, 0.1]);
         let allowed = DecodingPolicy::top_k(2).allowed(&lp);
-        assert_eq!(allowed.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(
+            allowed.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
     }
 
     #[test]
@@ -211,7 +214,10 @@ mod tests {
     fn top_k_tie_broken_by_token_id() {
         let lp = dist(&[0.25, 0.25, 0.25, 0.25]);
         let allowed = DecodingPolicy::top_k(2).allowed(&lp);
-        assert_eq!(allowed.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(
+            allowed.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
     }
 
     #[test]

@@ -1,0 +1,425 @@
+//! The batched, cache-aware scoring engine.
+//!
+//! The paper's throughput comes from driving the LLM with *batched*
+//! queries over the compiled token automaton (§3.3): the executor
+//! schedules sets of contexts, the accelerator evaluates them together,
+//! and a KV-cache-like memo avoids re-evaluating shared prefixes.
+//! [`ScoringEngine`] is that layer for this workspace: it sits between
+//! the executors and any [`LanguageModel`] and provides
+//!
+//! 1. **memoization** — a [`CachedLm`] table serves revisited contexts
+//!    without model work (graph traversals revisit constantly),
+//! 2. **deduplication** — identical contexts inside one batch are
+//!    evaluated once,
+//! 3. **batching** — the surviving misses go to the model through
+//!    [`LanguageModel::next_log_probs_batch`] in a single fan-out call,
+//! 4. **accounting** — hit/miss/batch counters feed
+//!    `ExecutionStats`, giving every benchmark a cost model,
+//! 5. **admission control** — workloads that never revisit a context
+//!    (level-synchronous beam search) stop paying for memo writes: once
+//!    a warmed-up hit rate is ~zero, new entries are no longer admitted.
+//!
+//! [`ScoringMode::Serial`] bypasses all of it and scores one context at
+//! a time straight through the model — the reference path that batched
+//! executors are tested byte-identical against, and the baseline the
+//! executor benches compare throughput with.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use relm_bpe::TokenId;
+
+use crate::{CachedLm, LanguageModel};
+
+/// Requests observed before the admission policy may turn memoization
+/// off.
+const ADMISSION_WARMUP: u64 = 128;
+
+/// Memo writes stop when fewer than 1 request in this many is a hit
+/// after warmup (level-synchronous traversals like beam search never
+/// revisit a context, so populating the table is pure overhead).
+const ADMISSION_MIN_HIT_DIVISOR: u64 = 32;
+
+/// How a [`ScoringEngine`] services scoring requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Deduplicate, serve cache hits, batch the misses (the default).
+    #[default]
+    Batched,
+    /// One `next_log_probs` call per request with no engine-level
+    /// caching, deduplication, or batching — the serial reference path
+    /// used for correctness tests and bench baselines. Note: if the
+    /// wrapped model memoizes on its own (e.g. a [`CachedLm`]), serial
+    /// requests still hit *that* cache; benchmark baselines should wrap
+    /// the bare model.
+    Serial,
+}
+
+/// Counters describing the work a [`ScoringEngine`] has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScoringStats {
+    /// Requests served from the memo table (or deduplicated inside a
+    /// batch) without touching the model.
+    pub cache_hits: u64,
+    /// Distinct contexts that required a model evaluation.
+    pub cache_misses: u64,
+    /// Batched model invocations issued.
+    pub batches: u64,
+    /// Total contexts evaluated across those invocations
+    /// (`batched_contexts / batches` is the mean batch fill).
+    pub batched_contexts: u64,
+}
+
+/// Batched, memoizing scoring front-end over any [`LanguageModel`].
+///
+/// The engine itself implements [`LanguageModel`], so model-generic
+/// helpers (`sequence_log_prob`, `sample_sequence`, …) can run through
+/// it and share its cache and counters.
+///
+/// # Example
+///
+/// ```
+/// use relm_bpe::BpeTokenizer;
+/// use relm_lm::{NGramConfig, NGramLm, ScoringEngine};
+///
+/// let tok = BpeTokenizer::train("a b c", 4);
+/// let engine = ScoringEngine::new(NGramLm::train(&tok, &["a b c"], NGramConfig::small()));
+/// let (a, b) = (tok.encode("a"), tok.encode("a b"));
+/// let batch = engine.score_batch(&[&a, &b, &a]); // `a` deduplicated
+/// assert_eq!(batch.len(), 3);
+/// assert_eq!(batch[0], batch[2]);
+/// let stats = engine.stats();
+/// assert_eq!(stats.cache_misses, 2);
+/// assert_eq!(stats.cache_hits, 1);
+/// assert_eq!(stats.batches, 1);
+/// ```
+#[derive(Debug)]
+pub struct ScoringEngine<M> {
+    cached: CachedLm<M>,
+    mode: ScoringMode,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    batches: AtomicU64,
+    batched_contexts: AtomicU64,
+    /// Set once the admission policy observes a near-zero hit rate;
+    /// existing entries keep serving but no new ones are written.
+    write_bypass: AtomicBool,
+}
+
+impl<M: LanguageModel> ScoringEngine<M> {
+    /// A batched engine over `model` with an empty cache.
+    pub fn new(model: M) -> Self {
+        Self::with_mode(model, ScoringMode::Batched)
+    }
+
+    /// An engine with an explicit [`ScoringMode`].
+    pub fn with_mode(model: M, mode: ScoringMode) -> Self {
+        ScoringEngine {
+            cached: CachedLm::new(model),
+            mode,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_contexts: AtomicU64::new(0),
+            write_bypass: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the memo table still admits new entries. Turns false —
+    /// permanently — once a warmed-up hit rate shows the workload never
+    /// revisits contexts, so memoization is pure overhead.
+    fn admission_open(&self) -> bool {
+        if self.write_bypass.load(Ordering::Relaxed) {
+            return false;
+        }
+        let hits = self.hits.load(Ordering::Relaxed);
+        let total = hits + self.misses.load(Ordering::Relaxed);
+        if total >= ADMISSION_WARMUP && hits * ADMISSION_MIN_HIT_DIVISOR < total {
+            self.write_bypass.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        self.cached.inner()
+    }
+
+    /// The servicing mode.
+    pub fn mode(&self) -> ScoringMode {
+        self.mode
+    }
+
+    /// Snapshot of the work counters.
+    pub fn stats(&self) -> ScoringStats {
+        ScoringStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_contexts: self.batched_contexts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether `context` is already memoized (always `false` in serial
+    /// mode). Executors use this to pick prefetch candidates without
+    /// perturbing the counters.
+    pub fn is_cached(&self, context: &[TokenId]) -> bool {
+        self.mode == ScoringMode::Batched && self.cached.is_cached(context)
+    }
+
+    /// Whether the memo table still admits new entries. Executors
+    /// consult this before speculative work (frontier prefetch, episode
+    /// warm blocks): once admission closes, speculation's results would
+    /// be discarded and recomputed, so it should stop too.
+    pub fn admits_new_entries(&self) -> bool {
+        self.mode == ScoringMode::Batched && self.admission_open()
+    }
+
+    /// Number of memoized contexts.
+    pub fn cache_len(&self) -> usize {
+        self.cached.cache_len()
+    }
+
+    /// Score one context.
+    pub fn score(&self, context: &[TokenId]) -> Vec<f64> {
+        if self.mode == ScoringMode::Serial {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return self.model().next_log_probs(context);
+        }
+        if let Some(hit) = self.cached.lookup(context) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_contexts.fetch_add(1, Ordering::Relaxed);
+        let computed = self.model().next_log_probs(context);
+        if self.admission_open() {
+            self.cached.insert(context.to_vec(), computed.clone());
+        }
+        computed
+    }
+
+    /// Score a batch of contexts, in input order: hits come from the
+    /// memo table, duplicate misses collapse to one evaluation, and the
+    /// surviving misses go to the model in a single
+    /// [`LanguageModel::next_log_probs_batch`] call.
+    pub fn score_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
+        if contexts.is_empty() {
+            return Vec::new();
+        }
+        if self.mode == ScoringMode::Serial {
+            self.misses
+                .fetch_add(contexts.len() as u64, Ordering::Relaxed);
+            return contexts
+                .iter()
+                .map(|ctx| self.model().next_log_probs(ctx))
+                .collect();
+        }
+        let plan = crate::cache::BatchPlan::partition(contexts, |ctx| self.cached.lookup(ctx));
+        let miss_count = plan.misses.len() as u64;
+        self.misses.fetch_add(miss_count, Ordering::Relaxed);
+        // Duplicate misses within the batch are served without model
+        // work, so they count as hits alongside memo-table hits.
+        self.hits
+            .fetch_add(contexts.len() as u64 - miss_count, Ordering::Relaxed);
+        if plan.misses.is_empty() {
+            return plan.fill(Vec::new());
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_contexts
+            .fetch_add(miss_count, Ordering::Relaxed);
+        let computed = self.model().next_log_probs_batch(&plan.misses);
+        if self.admission_open() {
+            for (ctx, dist) in plan.misses.iter().zip(&computed) {
+                self.cached.insert(ctx.to_vec(), dist.clone());
+            }
+        }
+        plan.fill(computed)
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for ScoringEngine<M> {
+    fn vocab_size(&self) -> usize {
+        self.model().vocab_size()
+    }
+
+    fn eos(&self) -> TokenId {
+        self.model().eos()
+    }
+
+    fn max_sequence_len(&self) -> usize {
+        self.model().max_sequence_len()
+    }
+
+    fn next_log_probs(&self, context: &[TokenId]) -> Vec<f64> {
+        self.score(context)
+    }
+
+    fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
+        self.score_batch(contexts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NGramConfig, NGramLm};
+    use relm_bpe::BpeTokenizer;
+
+    fn fixture() -> (BpeTokenizer, NGramLm) {
+        let corpus = "the cat sat on the mat. the dog sat on the log.";
+        let tok = BpeTokenizer::train(corpus, 60);
+        let lm = NGramLm::train(
+            &tok,
+            &["the cat sat on the mat.", "the dog sat on the log."],
+            NGramConfig::xl(),
+        );
+        (tok, lm)
+    }
+
+    #[test]
+    fn batch_matches_direct_model_scores() {
+        let (tok, lm) = fixture();
+        let engine = ScoringEngine::new(&lm);
+        let contexts: Vec<Vec<_>> = ["the", "the cat", "", "the dog sat"]
+            .iter()
+            .map(|s| tok.encode(s))
+            .collect();
+        let refs: Vec<&[_]> = contexts.iter().map(Vec::as_slice).collect();
+        let batched = engine.score_batch(&refs);
+        for (ctx, out) in contexts.iter().zip(&batched) {
+            assert_eq!(out, &lm.next_log_probs(ctx));
+        }
+    }
+
+    #[test]
+    fn duplicates_in_one_batch_are_deduplicated() {
+        let (tok, lm) = fixture();
+        let engine = ScoringEngine::new(&lm);
+        let a = tok.encode("the");
+        let b = tok.encode("the cat");
+        let out = engine.score_batch(&[&a, &b, &a, &a]);
+        assert_eq!(out[0], out[2]);
+        assert_eq!(out[0], out[3]);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_misses, 2, "a and b each evaluated once");
+        assert_eq!(stats.cache_hits, 2, "the two duplicate `a`s");
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_contexts, 2);
+    }
+
+    #[test]
+    fn repeat_batches_hit_the_memo_table() {
+        let (tok, lm) = fixture();
+        let engine = ScoringEngine::new(&lm);
+        let a = tok.encode("the");
+        let b = tok.encode("the cat");
+        engine.score_batch(&[&a, &b]);
+        engine.score_batch(&[&a, &b]);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.batches, 1, "second batch was all hits");
+        assert_eq!(engine.cache_len(), 2);
+    }
+
+    #[test]
+    fn single_scores_share_the_cache() {
+        let (tok, lm) = fixture();
+        let engine = ScoringEngine::new(&lm);
+        let a = tok.encode("the");
+        let first = engine.score(&a);
+        let second = engine.score(&a);
+        assert_eq!(first, second);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn serial_mode_is_uncached_and_unbatched() {
+        let (tok, lm) = fixture();
+        let engine = ScoringEngine::with_mode(&lm, ScoringMode::Serial);
+        let a = tok.encode("the");
+        engine.score(&a);
+        engine.score(&a);
+        let out = engine.score_batch(&[&a, &a]);
+        assert_eq!(out[0], lm.next_log_probs(&a));
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 4);
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.batched_contexts, 0);
+        assert!(!engine.is_cached(&a));
+    }
+
+    #[test]
+    fn serial_and_batched_agree_exactly() {
+        let (tok, lm) = fixture();
+        let serial = ScoringEngine::with_mode(&lm, ScoringMode::Serial);
+        let batched = ScoringEngine::new(&lm);
+        let contexts: Vec<Vec<_>> = ["", "the", "the cat", "the cat sat", "the"]
+            .iter()
+            .map(|s| tok.encode(s))
+            .collect();
+        let refs: Vec<&[_]> = contexts.iter().map(Vec::as_slice).collect();
+        assert_eq!(serial.score_batch(&refs), batched.score_batch(&refs));
+    }
+
+    #[test]
+    fn engine_is_a_language_model() {
+        let (tok, lm) = fixture();
+        let engine = ScoringEngine::new(&lm);
+        assert_eq!(engine.vocab_size(), lm.vocab_size());
+        assert_eq!(engine.eos(), lm.eos());
+        assert_eq!(engine.max_sequence_len(), lm.max_sequence_len());
+        let tokens = tok.encode("the cat");
+        let via_engine = crate::sequence_log_prob(&engine, &tokens, 0);
+        let direct = crate::sequence_log_prob(&lm, &tokens, 0);
+        assert!((via_engine - direct).abs() < 1e-12);
+        assert!(engine.stats().cache_misses > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let (_tok, lm) = fixture();
+        let engine = ScoringEngine::new(&lm);
+        assert!(engine.score_batch(&[]).is_empty());
+        assert_eq!(engine.stats(), ScoringStats::default());
+    }
+
+    #[test]
+    fn zero_reuse_workload_stops_admitting_cache_entries() {
+        let (_tok, lm) = fixture();
+        let engine = ScoringEngine::new(&lm);
+        // Distinct contexts, never repeated: past the warmup window the
+        // admission policy must stop growing the table.
+        for i in 0..(super::ADMISSION_WARMUP + 64) {
+            let ctx = vec![(i % lm.vocab_size() as u64) as TokenId, (i / 7) as TokenId];
+            let _ = engine.score(&ctx);
+        }
+        let len = engine.cache_len();
+        assert!(
+            (len as u64) <= super::ADMISSION_WARMUP + 1,
+            "table kept growing: {len}"
+        );
+        // Values are still correct after the bypass engages.
+        let probe = vec![3 as TokenId, 1];
+        assert_eq!(engine.score(&probe), lm.next_log_probs(&probe));
+    }
+
+    #[test]
+    fn reuse_heavy_workload_keeps_admitting() {
+        let (tok, lm) = fixture();
+        let engine = ScoringEngine::new(&lm);
+        let a = tok.encode("the");
+        for _ in 0..(super::ADMISSION_WARMUP + 64) {
+            let _ = engine.score(&a);
+        }
+        let b = tok.encode("the cat");
+        let _ = engine.score(&b);
+        assert_eq!(engine.cache_len(), 2, "high hit rate keeps admission open");
+        assert!(engine.is_cached(&b));
+    }
+}

@@ -126,7 +126,10 @@ mod tests {
         let a10 = top_k_accuracy(&lm, &tok, &docs, 10);
         let a100 = top_k_accuracy(&lm, &tok, &docs, 100);
         assert!(a1 <= a10 && a10 <= a100);
-        assert!(a100 > 0.9, "top-100 on training data should be high: {a100}");
+        assert!(
+            a100 > 0.9,
+            "top-100 on training data should be high: {a100}"
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@
 mod accel;
 mod cache;
 mod decoding;
+mod engine;
 mod eval;
 mod matrix;
 mod neural;
@@ -39,6 +40,7 @@ mod sampler;
 pub use accel::AcceleratorSim;
 pub use cache::CachedLm;
 pub use decoding::DecodingPolicy;
+pub use engine::{ScoringEngine, ScoringMode, ScoringStats};
 pub use eval::{perplexity, top_k_accuracy};
 pub use neural::{NeuralLm, NeuralLmConfig};
 pub use ngram::{NGramConfig, NGramLm};
@@ -66,6 +68,21 @@ pub trait LanguageModel: Send + Sync {
 
     /// Natural-log next-token distribution given `context`.
     fn next_log_probs(&self, context: &[TokenId]) -> Vec<f64>;
+
+    /// Natural-log next-token distributions for a *batch* of contexts,
+    /// in input order — the paper's batched-inference hot path (§3.3
+    /// "schedules massive sets of test vectors").
+    ///
+    /// The default implementation loops over
+    /// [`next_log_probs`](Self::next_log_probs); models whose forward
+    /// pass parallelizes ([`NGramLm`], [`NeuralLm`]) override it with a
+    /// crossbeam fan-out, the CPU analogue of filling a GPU batch.
+    fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
+        contexts
+            .iter()
+            .map(|ctx| self.next_log_probs(ctx))
+            .collect()
+    }
 }
 
 impl<M: LanguageModel + ?Sized> LanguageModel for &M {
@@ -81,6 +98,9 @@ impl<M: LanguageModel + ?Sized> LanguageModel for &M {
     fn next_log_probs(&self, context: &[TokenId]) -> Vec<f64> {
         (**self).next_log_probs(context)
     }
+    fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
+        (**self).next_log_probs_batch(contexts)
+    }
 }
 
 impl<M: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<M> {
@@ -95,6 +115,9 @@ impl<M: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<M> {
     }
     fn next_log_probs(&self, context: &[TokenId]) -> Vec<f64> {
         (**self).next_log_probs(context)
+    }
+    fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
+        (**self).next_log_probs_batch(contexts)
     }
 }
 

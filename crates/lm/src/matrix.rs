@@ -36,13 +36,13 @@ impl Matrix {
     }
 
     /// Number of rows.
-    #[cfg_attr(not(test), allow(dead_code))]
+    #[allow(dead_code)]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
-    #[cfg_attr(not(test), allow(dead_code))]
+    #[allow(dead_code)]
     pub fn cols(&self) -> usize {
         self.cols
     }

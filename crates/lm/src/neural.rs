@@ -33,7 +33,7 @@ use crate::matrix::{log_softmax, Matrix};
 use crate::LanguageModel;
 
 /// Hyperparameters for [`NeuralLm`].
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NeuralLmConfig {
     /// Number of context tokens fed to the network.
     pub context_len: usize,
@@ -68,7 +68,10 @@ impl Default for NeuralLmConfig {
 impl NeuralLmConfig {
     fn validate(self) -> Self {
         assert!(self.context_len >= 1, "context_len must be >= 1");
-        assert!(self.embed_dim >= 1 && self.hidden_dim >= 1, "dims must be >= 1");
+        assert!(
+            self.embed_dim >= 1 && self.hidden_dim >= 1,
+            "dims must be >= 1"
+        );
         assert!(self.learning_rate > 0.0, "learning rate must be positive");
         assert!(self.max_sequence_len >= 2, "max_sequence_len must be >= 2");
         self
@@ -255,6 +258,10 @@ impl LanguageModel for NeuralLm {
         let window = self.window(context);
         let (_, _, logits) = self.forward(&window);
         log_softmax(&logits)
+    }
+
+    fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
+        crate::sampler::fan_out_scores(self, contexts)
     }
 }
 

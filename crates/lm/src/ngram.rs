@@ -29,7 +29,7 @@ use crate::LanguageModel;
 /// order model that interpolates more aggressively toward its longest
 /// matching context (more "capacity" ⇒ more memorization, sharper
 /// distributions).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NGramConfig {
     /// Maximum n-gram order (context length + 1). Must be ≥ 1.
     pub order: usize,
@@ -113,7 +113,8 @@ impl NGramLm {
     pub fn train(tokenizer: &BpeTokenizer, documents: &[&str], config: NGramConfig) -> Self {
         let config = config.validate();
         let eos = tokenizer.eos();
-        let mut orders: Vec<OrderCounts> = (0..config.order).map(|_| OrderCounts::default()).collect();
+        let mut orders: Vec<OrderCounts> =
+            (0..config.order).map(|_| OrderCounts::default()).collect();
         for doc in documents {
             let mut tokens = vec![eos];
             tokens.extend(tokenizer.encode(doc));
@@ -225,6 +226,10 @@ impl LanguageModel for NGramLm {
             *p = (*p + floor).ln();
         }
         probs
+    }
+
+    fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
+        crate::sampler::fan_out_scores(self, contexts)
     }
 }
 

@@ -82,17 +82,44 @@ pub fn sequence_log_prob<M: LanguageModel>(
     total
 }
 
-/// Score a batch of contexts in parallel (one next-token distribution per
-/// context), standing in for batched accelerator inference. Threads are
-/// scoped via crossbeam; results keep input order.
+/// Score a batch of contexts (one next-token distribution per context),
+/// standing in for batched accelerator inference. Results keep input
+/// order.
+///
+/// This is a convenience wrapper over
+/// [`LanguageModel::next_log_probs_batch`], which models override with
+/// the crossbeam fan-out in [`fan_out_scores`]; prefer scoring through a
+/// [`crate::ScoringEngine`], which adds deduplication and memoization on
+/// top.
 pub fn score_batch<M: LanguageModel>(model: &M, contexts: &[Vec<TokenId>]) -> Vec<Vec<f64>> {
+    let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
+    model.next_log_probs_batch(&refs)
+}
+
+/// Crossbeam-parallel batched scoring: the shared implementation behind
+/// the `next_log_probs_batch` overrides of [`crate::NGramLm`] and
+/// [`crate::NeuralLm`]. Contexts are split into per-worker chunks so
+/// results keep input order.
+pub(crate) fn fan_out_scores<M: LanguageModel + ?Sized>(
+    model: &M,
+    contexts: &[&[TokenId]],
+) -> Vec<Vec<f64>> {
     if contexts.is_empty() {
         return Vec::new();
     }
+    // Keep every worker busy with at least a few contexts: spawning a
+    // thread per tiny slice costs more than the forward passes it runs.
+    const MIN_CHUNK: usize = 4;
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
-        .min(contexts.len());
+        .min(contexts.len().div_ceil(MIN_CHUNK));
+    if workers <= 1 {
+        return contexts
+            .iter()
+            .map(|ctx| model.next_log_probs(ctx))
+            .collect();
+    }
     let mut results: Vec<Vec<f64>> = vec![Vec::new(); contexts.len()];
     let chunk = contexts.len().div_ceil(workers);
     crossbeam::scope(|scope| {
@@ -131,8 +158,20 @@ mod tests {
     fn sampling_is_seed_deterministic() {
         let (tok, lm) = fixture();
         let prefix = tok.encode("the");
-        let a = sample_sequence(&lm, DecodingPolicy::top_k(5), &prefix, 10, &mut SmallRng::seed_from_u64(42));
-        let b = sample_sequence(&lm, DecodingPolicy::top_k(5), &prefix, 10, &mut SmallRng::seed_from_u64(42));
+        let a = sample_sequence(
+            &lm,
+            DecodingPolicy::top_k(5),
+            &prefix,
+            10,
+            &mut SmallRng::seed_from_u64(42),
+        );
+        let b = sample_sequence(
+            &lm,
+            DecodingPolicy::top_k(5),
+            &prefix,
+            10,
+            &mut SmallRng::seed_from_u64(42),
+        );
         assert_eq!(a, b);
     }
 
@@ -141,7 +180,13 @@ mod tests {
         let (tok, lm) = fixture();
         let prefix = tok.encode("the");
         for n in [1usize, 2, 4, 8] {
-            let g = sample_sequence(&lm, DecodingPolicy::unfiltered(), &prefix, n, &mut SmallRng::seed_from_u64(1));
+            let g = sample_sequence(
+                &lm,
+                DecodingPolicy::unfiltered(),
+                &prefix,
+                n,
+                &mut SmallRng::seed_from_u64(1),
+            );
             assert!(g.len() <= n, "stop length {n} produced {}", g.len());
         }
     }
@@ -150,8 +195,20 @@ mod tests {
     fn greedy_sampling_is_argmax_chain() {
         let (tok, lm) = fixture();
         let prefix = tok.encode("the cat");
-        let a = sample_sequence(&lm, DecodingPolicy::greedy(), &prefix, 5, &mut SmallRng::seed_from_u64(1));
-        let b = sample_sequence(&lm, DecodingPolicy::greedy(), &prefix, 5, &mut SmallRng::seed_from_u64(999));
+        let a = sample_sequence(
+            &lm,
+            DecodingPolicy::greedy(),
+            &prefix,
+            5,
+            &mut SmallRng::seed_from_u64(1),
+        );
+        let b = sample_sequence(
+            &lm,
+            DecodingPolicy::greedy(),
+            &prefix,
+            5,
+            &mut SmallRng::seed_from_u64(999),
+        );
         assert_eq!(a, b, "greedy must be seed-independent");
     }
 

@@ -64,9 +64,7 @@ impl Ast {
     /// Number of nodes in the tree (diagnostics and complexity tests).
     pub fn node_count(&self) -> usize {
         1 + match self {
-            Ast::Concat(parts) | Ast::Alternation(parts) => {
-                parts.iter().map(Ast::node_count).sum()
-            }
+            Ast::Concat(parts) | Ast::Alternation(parts) => parts.iter().map(Ast::node_count).sum(),
             Ast::Repeat { inner, .. } | Ast::Group(inner) => inner.node_count(),
             _ => 0,
         }
@@ -79,7 +77,10 @@ mod tests {
 
     #[test]
     fn class_item_bytes() {
-        assert_eq!(ClassItem::Byte(b'x').bytes().collect::<Vec<_>>(), vec![b'x']);
+        assert_eq!(
+            ClassItem::Byte(b'x').bytes().collect::<Vec<_>>(),
+            vec![b'x']
+        );
         assert_eq!(
             ClassItem::Range(b'a', b'c').bytes().collect::<Vec<_>>(),
             vec![b'a', b'b', b'c']

@@ -27,9 +27,7 @@ pub fn compile_ast(ast: &Ast) -> Nfa {
             });
             Nfa::symbol_class(members)
         }
-        Ast::AnyByte => {
-            Nfa::symbol_class((0u32..256).filter(|&b| b != Symbol::from(b'\n')))
-        }
+        Ast::AnyByte => Nfa::symbol_class((0u32..256).filter(|&b| b != Symbol::from(b'\n'))),
         Ast::Concat(parts) => parts
             .iter()
             .map(compile_ast)

@@ -121,7 +121,20 @@ pub fn escape(literal: &str) -> String {
     for c in literal.chars() {
         if matches!(
             c,
-            '\\' | '.' | '?' | '*' | '+' | '|' | '(' | ')' | '[' | ']' | '{' | '}' | '^' | '$' | '-'
+            '\\' | '.'
+                | '?'
+                | '*'
+                | '+'
+                | '|'
+                | '('
+                | ')'
+                | '['
+                | ']'
+                | '{'
+                | '}'
+                | '^'
+                | '$'
+                | '-'
         ) {
             out.push('\\');
         }
@@ -181,10 +194,8 @@ mod tests {
 
     #[test]
     fn url_pattern_from_section_4_1() {
-        let re = Regex::compile(
-            "https://www\\.([a-zA-Z0-9]|_|-|#|%)+\\.([a-zA-Z0-9]|_|-|#|%|/)+",
-        )
-        .unwrap();
+        let re = Regex::compile("https://www\\.([a-zA-Z0-9]|_|-|#|%)+\\.([a-zA-Z0-9]|_|-|#|%|/)+")
+            .unwrap();
         assert!(re.is_match("https://www.example.com"));
         assert!(re.is_match("https://www.npr.org/sections"));
         assert!(!re.is_match("http://www.example.com"));

@@ -148,9 +148,9 @@ impl<'a> Parser<'a> {
     /// Parses the interior of `{…}` after the opening brace.
     fn repeat_bounds(&mut self) -> Result<(usize, Option<usize>), ParseRegexError> {
         let start = self.pos;
-        let min = self.integer().ok_or_else(|| {
-            ParseRegexError::new(start, "expected integer in repetition bound")
-        })?;
+        let min = self
+            .integer()
+            .ok_or_else(|| ParseRegexError::new(start, "expected integer in repetition bound"))?;
         let max = if self.eat(b',') {
             if self.peek() == Some(b'}') {
                 None
@@ -198,7 +198,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
                 let inner = self.alternation()?;
                 if !self.eat(b')') {
-                    return Err(ParseRegexError::new(self.pos, "unclosed group: expected ')'"));
+                    return Err(ParseRegexError::new(
+                        self.pos,
+                        "unclosed group: expected ')'",
+                    ));
                 }
                 Ok(Ast::Group(Box::new(inner)))
             }
@@ -218,10 +221,9 @@ impl<'a> Parser<'a> {
                 self.pos,
                 format!("dangling repetition operator {:?}", char::from(b)),
             )),
-            Some(b')') | Some(b'|') | None => Err(ParseRegexError::new(
-                self.pos,
-                "expected an atom",
-            )),
+            Some(b')') | Some(b'|') | None => {
+                Err(ParseRegexError::new(self.pos, "expected an atom"))
+            }
             Some(b) => {
                 self.pos += 1;
                 Ok(Ast::Literal(b))
@@ -235,9 +237,7 @@ impl<'a> Parser<'a> {
         let mut items = Vec::new();
         loop {
             match self.peek() {
-                None => {
-                    return Err(ParseRegexError::new(self.pos, "unclosed character class"))
-                }
+                None => return Err(ParseRegexError::new(self.pos, "unclosed character class")),
                 Some(b']') if !items.is_empty() => {
                     self.pos += 1;
                     break;
@@ -443,8 +443,14 @@ mod tests {
 
     #[test]
     fn shorthand_classes() {
-        assert!(matches!(parse(r"\d").unwrap(), Ast::Class { negated: false, .. }));
-        assert!(matches!(parse(r"\D").unwrap(), Ast::Class { negated: true, .. }));
+        assert!(matches!(
+            parse(r"\d").unwrap(),
+            Ast::Class { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse(r"\D").unwrap(),
+            Ast::Class { negated: true, .. }
+        ));
         assert!(matches!(parse(r"\w").unwrap(), Ast::Class { .. }));
         assert!(matches!(parse(r"\s").unwrap(), Ast::Class { .. }));
     }
@@ -459,7 +465,10 @@ mod tests {
     #[test]
     fn empty_pattern_is_epsilon() {
         assert_eq!(parse("").unwrap(), Ast::Empty);
-        assert_eq!(parse("a|").unwrap(), Ast::Alternation(vec![Ast::Literal(b'a'), Ast::Empty]));
+        assert_eq!(
+            parse("a|").unwrap(),
+            Ast::Alternation(vec![Ast::Literal(b'a'), Ast::Empty])
+        );
     }
 
     #[test]

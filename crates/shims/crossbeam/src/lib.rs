@@ -1,0 +1,77 @@
+//! Offline stand-in for `crossbeam::scope`, backed by `std::thread::scope`.
+//!
+//! The workspace uses scoped threads for fan-out scoring of borrowed
+//! contexts. `std::thread::scope` (stable since 1.63) provides the same
+//! guarantee — children joined before the borrow ends — so the shim is a
+//! thin adapter that keeps crossbeam's call shape: the closure receives
+//! a scope handle, `spawn` passes the handle to the child (for nested
+//! spawns), and the result comes back as a `Result` to keep `.unwrap()`
+//! / `.expect()` call sites working.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// Scope handle passed to [`scope`]'s closure and to spawned children.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a child thread inside the scope. The child receives the
+    /// scope handle (crossbeam convention) so it can spawn siblings.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Run `f` with a thread scope; all spawned children are joined before
+/// this returns. A panicking child propagates its panic on join (the
+/// `std` semantics), so the `Err` arm is never constructed — it exists
+/// to keep crossbeam's `Result` call shape.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn nested_spawn_receives_scope() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Regex-literal string generation.
+//!
+//! Real proptest interprets `&str` strategies as full regexes via
+//! `regex-syntax`. This shim implements the subset the workspace's
+//! tests use: literal characters, escapes (`\t`, `\n`, `\\`, `\[`,
+//! `\]`, `\(`, `\)`, `\.`, `\|`, `\*`, `\+`, `\?`, `\{`, `\}`),
+//! character classes `[...]` with ranges and negation, the `\PC`
+//! (printable, non-control) class, and `{m,n}` counted repetition.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Element {
+    /// One char drawn uniformly from this set.
+    Class(Vec<char>),
+    /// Repeat the inner element `m..=n` times with fresh draws.
+    Repeat(Box<Element>, usize, usize),
+}
+
+/// All printable, non-control characters the `\PC` class draws from:
+/// printable ASCII plus a few multi-byte letters so Unicode handling is
+/// exercised.
+fn printable_alphabet() -> Vec<char> {
+    let mut chars: Vec<char> = (' '..='~').collect();
+    chars.extend(['é', 'λ', 'ß', '旗', '→']);
+    chars
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elements = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let element = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1);
+                i = next;
+                Element::Class(class)
+            }
+            '\\' => {
+                let (class, next) = parse_escape(&chars, i + 1);
+                i = next;
+                Element::Class(class)
+            }
+            c => {
+                i += 1;
+                Element::Class(vec![c])
+            }
+        };
+        // Optional {m,n} / {m} quantifier.
+        if i < chars.len() && chars[i] == '{' {
+            if let Some((lo, hi, next)) = parse_counts(&chars, i + 1) {
+                elements.push(Element::Repeat(Box::new(element), lo, hi));
+                i = next;
+                continue;
+            }
+        }
+        elements.push(element);
+    }
+    elements
+}
+
+/// Parse `m,n}` or `m}`; returns `(lo, hi, index after '}')`.
+fn parse_counts(chars: &[char], mut i: usize) -> Option<(usize, usize, usize)> {
+    let mut lo = String::new();
+    while i < chars.len() && chars[i].is_ascii_digit() {
+        lo.push(chars[i]);
+        i += 1;
+    }
+    let lo: usize = lo.parse().ok()?;
+    match chars.get(i) {
+        Some('}') => Some((lo, lo, i + 1)),
+        Some(',') => {
+            i += 1;
+            let mut hi = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                hi.push(chars[i]);
+                i += 1;
+            }
+            if chars.get(i) != Some(&'}') {
+                return None;
+            }
+            let hi: usize = hi.parse().ok()?;
+            Some((lo, hi, i + 1))
+        }
+        _ => None,
+    }
+}
+
+/// Parse the body of a `[...]` class starting after `[`; returns the
+/// member set and the index after `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut members = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            let (class, next) = parse_escape(chars, i);
+            i = next;
+            // Escapes inside classes contribute their member set.
+            members.extend(class);
+            continue;
+        } else {
+            let c = chars[i];
+            i += 1;
+            c
+        };
+        // Range `a-z` (a `-` in last position is a literal).
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            let hi = chars[i + 1];
+            i += 2;
+            let (lo, hi) = (c.min(hi), c.max(hi));
+            members.extend(lo..=hi);
+        } else {
+            members.push(c);
+        }
+    }
+    let after = if i < chars.len() { i + 1 } else { i };
+    if negated {
+        let excluded: std::collections::HashSet<char> = members.into_iter().collect();
+        let complement: Vec<char> = printable_alphabet()
+            .into_iter()
+            .filter(|c| !excluded.contains(c))
+            .collect();
+        (complement, after)
+    } else {
+        (members, after)
+    }
+}
+
+/// Parse one escape starting after `\`; returns the member set and the
+/// index after the escape.
+fn parse_escape(chars: &[char], i: usize) -> (Vec<char>, usize) {
+    match chars.get(i) {
+        Some('t') => (vec!['\t'], i + 1),
+        Some('n') => (vec!['\n'], i + 1),
+        Some('r') => (vec!['\r'], i + 1),
+        // \PC — "not in Unicode category C": printable characters.
+        Some('P') if chars.get(i + 1) == Some(&'C') => (printable_alphabet(), i + 2),
+        Some(&c) => (vec![c], i + 1),
+        None => (vec!['\\'], i),
+    }
+}
+
+fn generate_element(element: &Element, rng: &mut SmallRng, out: &mut String) {
+    match element {
+        Element::Class(members) => {
+            if !members.is_empty() {
+                out.push(members[rng.gen_range(0..members.len())]);
+            }
+        }
+        Element::Repeat(inner, lo, hi) => {
+            let n = if lo == hi {
+                *lo
+            } else {
+                rng.gen_range(*lo..hi + 1)
+            };
+            for _ in 0..n {
+                generate_element(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_from_pattern(pattern: &str, rng: &mut SmallRng) -> String {
+    let elements = parse(pattern);
+    let mut out = String::new();
+    for element in &elements {
+        generate_element(element, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let mut rng = SmallRng::seed_from_u64(9);
+        (0..200)
+            .map(|_| generate_from_pattern(pattern, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn class_with_counts() {
+        for s in gen_many("[abc]{1,3}") {
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_space() {
+        for s in gen_many("[a-z ]{0,12}") {
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_range_with_escapes() {
+        for s in gen_many("[ -~\\t\\n]{0,40}") {
+            assert!(s
+                .chars()
+                .all(|c| c == '\t' || c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn meta_soup_class() {
+        let allowed = "(){}[]|*+?\\.abc";
+        for s in gen_many("[(){}\\[\\]|*+?\\\\.a-c]{0,16}") {
+            assert!(s.chars().all(|c| allowed.contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_class_excludes_controls() {
+        for s in gen_many("\\PC{0,24}") {
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 24);
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        assert_eq!(gen_many("abc")[0], "abc");
+    }
+
+    #[test]
+    fn negated_class() {
+        for s in gen_many("[^a-y]{1,4}") {
+            assert!(s.chars().all(|c| !('a'..='y').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn lengths_cover_range() {
+        let lengths: std::collections::HashSet<usize> =
+            gen_many("[ab]{0,6}").iter().map(|s| s.len()).collect();
+        assert!(lengths.len() >= 5, "lengths seen: {lengths:?}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Test-runner configuration, mirroring `proptest::test_runner`.
+
+/// Number of generated cases per property test.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}

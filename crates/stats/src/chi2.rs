@@ -6,7 +6,7 @@ use std::fmt;
 use crate::chi2_survival;
 
 /// Result of a χ² independence test.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Chi2Result {
     /// The χ² statistic.
     pub statistic: f64,
@@ -78,7 +78,9 @@ pub fn chi2_independence(table: &[Vec<f64>]) -> Result<Chi2Result, InvalidTableE
         return Err(InvalidTableError("ragged rows".into()));
     }
     if table.iter().flatten().any(|&v| v < 0.0 || !v.is_finite()) {
-        return Err(InvalidTableError("counts must be finite and non-negative".into()));
+        return Err(InvalidTableError(
+            "counts must be finite and non-negative".into(),
+        ));
     }
 
     let row_sums: Vec<f64> = table.iter().map(|r| r.iter().sum()).collect();
@@ -86,7 +88,7 @@ pub fn chi2_independence(table: &[Vec<f64>]) -> Result<Chi2Result, InvalidTableE
         .map(|c| table.iter().map(|r| r[c]).sum())
         .collect();
     let total: f64 = row_sums.iter().sum();
-    if row_sums.iter().any(|&s| s == 0.0) || col_sums.iter().any(|&s| s == 0.0) {
+    if row_sums.contains(&0.0) || col_sums.contains(&0.0) {
         return Err(InvalidTableError("zero marginal".into()));
     }
 

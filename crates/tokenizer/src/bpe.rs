@@ -148,9 +148,8 @@ impl BpeTokenizer {
             // Find the lowest-rank applicable merge.
             let mut best: Option<(usize, usize, TokenId)> = None; // (rank, index, result)
             for i in 0.._tokens_pairs(&tokens) {
-                if let Some(&(rank, result)) = self.merge_lookup.get(&(tokens[i], tokens[i + 1]))
-                {
-                    if best.map_or(true, |(r, _, _)| rank < r) {
+                if let Some(&(rank, result)) = self.merge_lookup.get(&(tokens[i], tokens[i + 1])) {
+                    if best.is_none_or(|(r, _, _)| rank < r) {
                         best = Some((rank, i, result));
                     }
                 }

@@ -85,7 +85,10 @@ mod tests {
     #[test]
     fn digits_and_punctuation_separate() {
         assert_eq!(pretokenize("a1!b"), vec!["a", "1", "!", "b"]);
-        assert_eq!(pretokenize("call 555 5555."), vec!["call", " 555", " 5555", "."]);
+        assert_eq!(
+            pretokenize("call 555 5555."),
+            vec!["call", " 555", " 5555", "."]
+        );
     }
 
     #[test]

@@ -27,12 +27,7 @@ pub fn train(corpus: &str, num_merges: usize) -> BpeTokenizer {
     // Each distinct pre-token as a mutable token sequence.
     let mut words: Vec<(Vec<TokenId>, u64)> = piece_counts
         .into_iter()
-        .map(|(piece, count)| {
-            (
-                piece.bytes().map(TokenId::from).collect::<Vec<_>>(),
-                count,
-            )
-        })
+        .map(|(piece, count)| (piece.bytes().map(TokenId::from).collect::<Vec<_>>(), count))
         .collect();
     // Deterministic iteration order.
     words.sort();
@@ -40,6 +35,7 @@ pub fn train(corpus: &str, num_merges: usize) -> BpeTokenizer {
     let mut merges: Vec<(TokenId, TokenId)> = Vec::with_capacity(num_merges);
     let mut next_id: TokenId = 256;
 
+    #[allow(clippy::explicit_counter_loop)] // next_id is a token id, not a loop index
     for _ in 0..num_merges {
         // Count adjacent pairs.
         let mut pair_counts: HashMap<(TokenId, TokenId), u64> = HashMap::new();

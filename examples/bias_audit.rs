@@ -7,9 +7,7 @@
 
 use relm::datasets::{CorpusSpec, SyntheticWorld, PROFESSIONS};
 use relm::stats::{chi2_independence, EmpiricalDist};
-use relm::{
-    search, BpeTokenizer, NGramConfig, NGramLm, QueryString, SearchQuery, SearchStrategy,
-};
+use relm::{search, BpeTokenizer, NGramConfig, NGramLm, QueryString, SearchQuery, SearchStrategy};
 
 fn profession_pattern() -> String {
     let alts: Vec<String> = PROFESSIONS

@@ -12,8 +12,8 @@
 //! ```
 
 use relm::{
-    explain, search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString,
-    SearchQuery, SearchStrategy,
+    explain, search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, SearchQuery,
+    SearchStrategy,
 };
 
 fn main() -> Result<(), relm::RelmError> {
@@ -46,8 +46,7 @@ fn main() -> Result<(), relm::RelmError> {
 
     // 2. Structured completion: force a well-formed date.
     let date_query = SearchQuery::new(
-        QueryString::new("report filed on May [0-9]{1,2}, [0-9]{4}")
-            .with_prefix("report filed on"),
+        QueryString::new("report filed on May [0-9]{1,2}, [0-9]{4}").with_prefix("report filed on"),
     )
     .with_policy(DecodingPolicy::top_k(100));
     println!("\n--- structured completion: a date ---");

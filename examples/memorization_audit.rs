@@ -42,7 +42,11 @@ fn main() -> Result<(), relm::RelmError> {
     }
     println!("ReLM (shortest path):");
     println!("  validated URLs: {}", relm_valid.len());
-    println!("  lm calls: {}, simulated seconds: {:.2}", stats.lm_calls, gpu.elapsed_secs());
+    println!(
+        "  lm calls: {}, simulated seconds: {:.2}",
+        stats.lm_calls,
+        gpu.elapsed_secs()
+    );
     for url in relm_valid.iter().take(5) {
         println!("    {url}");
     }

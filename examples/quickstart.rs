@@ -7,9 +7,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use relm::{
-    search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, SearchQuery,
-};
+use relm::{search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, SearchQuery};
 
 fn main() -> Result<(), relm::RelmError> {
     // A miniature "training set" with a secret planted in it.

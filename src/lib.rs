@@ -39,8 +39,8 @@
 
 pub use relm_automata::{
     ascii_alphabet, byte_alphabet, concat, dfa_to_dot, levenshtein_within, nfa_to_dot,
-    prefix_closure, reverse, str_symbols,
-    symbols_to_string, Dfa, Fst, Nfa, StateId, Symbol, WalkChoice, WalkTable,
+    prefix_closure, reverse, str_symbols, symbols_to_string, Dfa, Fst, Nfa, StateId, Symbol,
+    WalkChoice, WalkTable,
 };
 pub use relm_bpe::{pretokenize, BpeTokenizer, TokenId};
 pub use relm_core::{
@@ -51,6 +51,7 @@ pub use relm_core::{
 pub use relm_lm::{
     perplexity, sample_sequence, score_batch, sequence_log_prob, top_k_accuracy, AcceleratorSim,
     CachedLm, DecodingPolicy, LanguageModel, NGramConfig, NGramLm, NeuralLm, NeuralLmConfig,
+    ScoringEngine, ScoringMode, ScoringStats,
 };
 pub use relm_regex::{disjunction_of, escape, Regex};
 

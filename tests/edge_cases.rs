@@ -4,14 +4,18 @@
 //! hang, or emit out-of-language strings.
 
 use relm::{
-    explain, search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor,
-    QueryString, Regex, RelmError, SearchQuery, SearchStrategy, TokenizationStrategy,
+    explain, search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QueryString,
+    Regex, RelmError, SearchQuery, SearchStrategy, TokenizationStrategy,
 };
 
 fn tiny() -> (BpeTokenizer, NGramLm) {
     let corpus = "hello world. goodbye world.";
     let tok = BpeTokenizer::train(corpus, 30);
-    let lm = NGramLm::train(&tok, &["hello world", "goodbye world"], NGramConfig::small());
+    let lm = NGramLm::train(
+        &tok,
+        &["hello world", "goodbye world"],
+        NGramConfig::small(),
+    );
     (tok, lm)
 }
 
@@ -20,7 +24,10 @@ fn invalid_patterns_surface_as_errors() {
     let (tok, lm) = tiny();
     for bad in ["a(", "a)", "[z-a]", "a{3,1}", "*a", "a{", "ab\\"] {
         let err = search(&lm, &tok, &SearchQuery::new(QueryString::new(bad)));
-        assert!(matches!(err, Err(RelmError::Regex(_))), "{bad:?} should fail to parse");
+        assert!(
+            matches!(err, Err(RelmError::Regex(_))),
+            "{bad:?} should fail to parse"
+        );
     }
 }
 
@@ -63,7 +70,11 @@ fn untrained_model_still_searches() {
     let lm = NGramLm::train(&tok, &[], NGramConfig::small());
     let query = SearchQuery::new(QueryString::new("(a)|(b)"));
     let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(5).collect();
-    assert_eq!(results.len(), 2, "uniform model still enumerates the language");
+    assert_eq!(
+        results.len(),
+        2,
+        "uniform model still enumerates the language"
+    );
 }
 
 #[test]
@@ -71,7 +82,11 @@ fn non_ascii_bytes_round_trip_through_queries() {
     // UTF-8 multibyte text goes through as raw bytes.
     let corpus = "caf\u{e9} au lait. caf\u{e9} noir.";
     let tok = BpeTokenizer::train(corpus, 40);
-    let lm = NGramLm::train(&tok, &["caf\u{e9} au lait", "caf\u{e9} noir"], NGramConfig::xl());
+    let lm = NGramLm::train(
+        &tok,
+        &["caf\u{e9} au lait", "caf\u{e9} noir"],
+        NGramConfig::xl(),
+    );
     let query = SearchQuery::new(QueryString::new(relm::escape("caf\u{e9} noir")));
     let m = search(&lm, &tok, &query).unwrap().next().expect("match");
     assert_eq!(m.text, "caf\u{e9} noir");
@@ -84,8 +99,7 @@ fn top_k_one_on_flat_model_prunes_everything_but_one_path() {
     // Uniform distribution + greedy: ties break by token id, so exactly
     // one byte survives each step; the language {a, b} may be fully
     // pruned or keep one member, never both.
-    let query = SearchQuery::new(QueryString::new("(a)|(b)"))
-        .with_policy(DecodingPolicy::greedy());
+    let query = SearchQuery::new(QueryString::new("(a)|(b)")).with_policy(DecodingPolicy::greedy());
     let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(5).collect();
     assert!(results.len() <= 1);
 }
@@ -96,7 +110,10 @@ fn conflicting_filters_empty_the_language_cleanly() {
     let all = Regex::compile("(hello)|(world)").unwrap().dfa().clone();
     let query = SearchQuery::new(QueryString::new("(hello)|(world)"))
         .with_preprocessor(Preprocessor::filter(all));
-    assert_eq!(search(&lm, &tok, &query).err(), Some(RelmError::EmptyLanguage));
+    assert_eq!(
+        search(&lm, &tok, &query).err(),
+        Some(RelmError::EmptyLanguage)
+    );
 }
 
 #[test]
@@ -142,7 +159,10 @@ fn all_encodings_of_multibyte_language_stay_sound() {
         .with_tokenization(TokenizationStrategy::All)
         .with_distinct_texts(false);
     let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(40).collect();
-    assert!(results.len() > 2, "ambiguous encodings should multiply results");
+    assert!(
+        results.len() > 2,
+        "ambiguous encodings should multiply results"
+    );
     for m in &results {
         assert!(m.text == "hello" || m.text == "world", "{:?}", m.text);
         assert_eq!(tok.decode(&m.tokens), m.text);

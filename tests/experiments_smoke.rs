@@ -67,10 +67,9 @@ fn bias_direction_and_significance() {
     let mut dists = Vec::new();
     for gender in ["man", "woman"] {
         let prefix = format!("The {gender} was trained in");
-        let query = SearchQuery::new(
-            QueryString::new(pattern_of(gender)).with_prefix(escape(&prefix)),
-        )
-        .with_strategy(SearchStrategy::RandomSampling { seed: 5 });
+        let query =
+            SearchQuery::new(QueryString::new(pattern_of(gender)).with_prefix(escape(&prefix)))
+                .with_strategy(SearchStrategy::RandomSampling { seed: 5 });
         let mut dist = EmpiricalDist::new();
         let mut by_len: Vec<&str> = PROFESSIONS.to_vec();
         by_len.sort_by_key(|p| std::cmp::Reverse(p.len()));

@@ -19,7 +19,11 @@ fn corpus() -> (BpeTokenizer, Vec<&'static str>) {
     (tok, docs)
 }
 
-fn run_query<M: LanguageModel>(model: &M, tok: &BpeTokenizer, strategy: SearchStrategy) -> Vec<String> {
+fn run_query<M: LanguageModel>(
+    model: &M,
+    tok: &BpeTokenizer,
+    strategy: SearchStrategy,
+) -> Vec<String> {
     let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"))
         .with_strategy(strategy)
         .with_policy(DecodingPolicy::top_k(1000));
@@ -46,7 +50,10 @@ fn ngram_and_neural_agree_on_the_dominant_string() {
     let from_neural = run_query(&neural, &tok, SearchStrategy::ShortestPath);
     // Both model families must rank the 3x-repeated sentence first.
     assert_eq!(from_ngram[0], "the cat sat");
-    assert_eq!(from_neural[0], "the cat sat", "neural LM should memorize the dominant string");
+    assert_eq!(
+        from_neural[0], "the cat sat",
+        "neural LM should memorize the dominant string"
+    );
 }
 
 #[test]

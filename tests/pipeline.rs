@@ -25,10 +25,9 @@ const DATE_QUERY: &str = "George Washington was born on ((January)|(February)|(M
 #[test]
 fn figure_11_birth_date_query() {
     let (tokenizer, model) = fixture();
-    let query = SearchQuery::new(
-        QueryString::new(DATE_QUERY).with_prefix("George Washington was born on"),
-    )
-    .with_policy(DecodingPolicy::top_k(1000));
+    let query =
+        SearchQuery::new(QueryString::new(DATE_QUERY).with_prefix("George Washington was born on"))
+            .with_policy(DecodingPolicy::top_k(1000));
     let results: Vec<_> = search(&model, &tokenizer, &query)
         .unwrap()
         .take(3)
@@ -63,8 +62,7 @@ fn all_matches_lie_in_the_query_language() {
 #[test]
 fn shortest_path_order_is_nonincreasing_probability() {
     let (tokenizer, model) = fixture();
-    let query = SearchQuery::new(QueryString::new("February [0-9]{2}"))
-        .with_max_tokens(16);
+    let query = SearchQuery::new(QueryString::new("February [0-9]{2}")).with_max_tokens(16);
     let results: Vec<_> = search(&model, &tokenizer, &query)
         .unwrap()
         .take(25)
@@ -87,7 +85,11 @@ fn canonical_results_round_trip_through_tokenizer() {
         .with_tokenization(TokenizationStrategy::Canonical)
         .with_max_tokens(16);
     for m in search(&model, &tokenizer, &query).unwrap().take(10) {
-        assert!(m.canonical, "canonical query emitted non-canonical {:?}", m.text);
+        assert!(
+            m.canonical,
+            "canonical query emitted non-canonical {:?}",
+            m.text
+        );
         assert_eq!(tokenizer.encode(&m.text), m.tokens);
     }
 }
@@ -151,17 +153,15 @@ fn levenshtein_preprocessor_expands_the_match_set() {
 fn empty_intersection_reports_error() {
     let (tokenizer, model) = fixture();
     let stop = Regex::compile("x").unwrap().dfa().clone();
-    let query = SearchQuery::new(QueryString::new("x"))
-        .with_preprocessor(Preprocessor::filter(stop));
+    let query =
+        SearchQuery::new(QueryString::new("x")).with_preprocessor(Preprocessor::filter(stop));
     assert!(search(&model, &tokenizer, &query).is_err());
 }
 
 #[test]
 fn prefix_must_prefix_the_language() {
     let (tokenizer, model) = fixture();
-    let query = SearchQuery::new(
-        QueryString::new("February [0-9]{2}").with_prefix("Lincoln"),
-    );
+    let query = SearchQuery::new(QueryString::new("February [0-9]{2}").with_prefix("Lincoln"));
     let err = search(&model, &tokenizer, &query).err().expect("error");
     assert!(err.to_string().contains("prefix"), "{err}");
 }

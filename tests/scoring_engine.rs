@@ -1,0 +1,176 @@
+//! Integration tests for the batched scoring path: every executor must
+//! produce **byte-identical results in identical order** whether it
+//! scores through the batched, cache-aware `ScoringEngine` or through
+//! the serial reference path (one uncached model call per context), and
+//! the engine's counters must surface in `ExecutionStats` so benchmarks
+//! have a cost model.
+
+use relm::{
+    search, BpeTokenizer, DecodingPolicy, MatchResult, NGramConfig, NGramLm, QueryString,
+    ScoringMode, SearchQuery, SearchStrategy,
+};
+
+fn fixture() -> (BpeTokenizer, NGramLm) {
+    let docs = [
+        "the cat sat on the mat",
+        "the cat sat on the mat",
+        "the cat sat on the mat",
+        "the dog sat on the log",
+        "the cow ate the grass",
+        "my phone number is 555 555 5555",
+        "my phone number is 555 867 5309",
+    ];
+    let corpus = docs.join(". ");
+    let tok = BpeTokenizer::train(&corpus, 120);
+    let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
+    (tok, lm)
+}
+
+/// Run `query` in both scoring modes and return (batched, serial)
+/// results plus the batched run's stats.
+fn both_modes(
+    tok: &BpeTokenizer,
+    lm: &NGramLm,
+    query: &SearchQuery,
+    take: usize,
+) -> (Vec<MatchResult>, Vec<MatchResult>, relm::ExecutionStats) {
+    let mut batched_iter = search(
+        lm,
+        tok,
+        &query.clone().with_scoring_mode(ScoringMode::Batched),
+    )
+    .expect("batched search");
+    let batched: Vec<MatchResult> = (&mut batched_iter).take(take).collect();
+    let stats = batched_iter.stats();
+    let serial: Vec<MatchResult> = search(
+        lm,
+        tok,
+        &query.clone().with_scoring_mode(ScoringMode::Serial),
+    )
+    .expect("serial search")
+    .take(take)
+    .collect();
+    (batched, serial, stats)
+}
+
+#[test]
+fn shortest_path_batched_is_byte_identical_to_serial() {
+    let (tok, lm) = fixture();
+    let query = SearchQuery::new(
+        QueryString::new("the ((cat)|(dog)|(cow)) ((sat)|(ate))").with_prefix("the"),
+    )
+    .with_policy(DecodingPolicy::top_k(40));
+    let (batched, serial, stats) = both_modes(&tok, &lm, &query, 10);
+    assert!(!batched.is_empty());
+    assert_eq!(batched, serial, "results must match exactly, in order");
+    assert!(
+        stats.batches > 0,
+        "frontier batching must engage: {stats:?}"
+    );
+    assert!(stats.cache_hits > 0, "prefetched contexts must be reused");
+}
+
+#[test]
+fn beam_batched_is_byte_identical_to_serial() {
+    let (tok, lm) = fixture();
+    let query = SearchQuery::new(
+        QueryString::new("the ((cat)|(dog)|(cow)) ((sat)|(ate))").with_prefix("the"),
+    )
+    .with_strategy(SearchStrategy::Beam { width: 16 });
+    let (batched, serial, stats) = both_modes(&tok, &lm, &query, 10);
+    assert!(!batched.is_empty());
+    assert_eq!(batched, serial);
+    assert!(stats.batches > 0, "{stats:?}");
+    assert!(
+        stats.batched_contexts >= stats.batches,
+        "each batch holds at least one context: {stats:?}"
+    );
+}
+
+#[test]
+fn sampling_batched_is_byte_identical_to_serial() {
+    let (tok, lm) = fixture();
+    let query = SearchQuery::new(
+        QueryString::new("the ((cat)|(dog)|(cow)) ((sat)|(ate))").with_prefix("the"),
+    )
+    .with_strategy(SearchStrategy::RandomSampling { seed: 41 });
+    let (batched, serial, stats) = both_modes(&tok, &lm, &query, 25);
+    assert!(!batched.is_empty());
+    assert_eq!(
+        batched, serial,
+        "the RNG stream must not depend on the scoring mode"
+    );
+    assert!(stats.batches > 0, "{stats:?}");
+    assert!(
+        stats.cache_hits > 0,
+        "episodes share prefixes; the walk must hit the memo table: {stats:?}"
+    );
+}
+
+#[test]
+fn quickstart_query_reports_batching_and_cache_hits() {
+    // The acceptance query: the crate-level quickstart (phone-number
+    // extraction) must show the batched cost model in its stats.
+    let (tok, lm) = fixture();
+    let query = SearchQuery::new(
+        QueryString::new("my phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})")
+            .with_prefix("my phone number is"),
+    )
+    .with_policy(DecodingPolicy::top_k(40));
+    let mut results = search(&lm, &tok, &query).expect("search");
+    let first = (&mut results).take(1).next().expect("a match");
+    assert!(first.text.starts_with("my phone number is "));
+    let stats = results.stats();
+    assert!(stats.batches > 0, "{stats:?}");
+    assert!(stats.cache_hits > 0, "{stats:?}");
+    assert!(stats.cache_misses > 0, "{stats:?}");
+    assert_eq!(
+        stats.batched_contexts, stats.cache_misses,
+        "every miss is evaluated in exactly one batch: {stats:?}"
+    );
+}
+
+#[test]
+fn serial_mode_reports_no_batching() {
+    let (tok, lm) = fixture();
+    let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"))
+        .with_scoring_mode(ScoringMode::Serial);
+    let mut results = search(&lm, &tok, &query).expect("search");
+    let n = (&mut results).take(2).count();
+    assert_eq!(n, 2);
+    let stats = results.stats();
+    assert_eq!(stats.batches, 0, "{stats:?}");
+    assert_eq!(stats.cache_hits, 0, "{stats:?}");
+    assert!(stats.cache_misses > 0, "serial work is still counted");
+}
+
+#[test]
+fn batched_mode_does_strictly_less_model_work() {
+    // The systems claim: caching + dedup means the batched path
+    // evaluates fewer distinct contexts than the serial path's raw call
+    // count, on a traversal that revisits prefixes.
+    let (tok, lm) = fixture();
+    let query = SearchQuery::new(
+        QueryString::new("the ((cat)|(dog)|(cow)) ((sat)|(ate))").with_prefix("the"),
+    );
+    let (batched, serial, _) = both_modes(&tok, &lm, &query, 6);
+    assert_eq!(batched, serial);
+
+    let mut batched_iter = search(&lm, &tok, &query).expect("search");
+    let _ = (&mut batched_iter).take(6).count();
+    let b = batched_iter.stats();
+    let mut serial_iter = search(
+        &lm,
+        &tok,
+        &query.clone().with_scoring_mode(ScoringMode::Serial),
+    )
+    .expect("search");
+    let _ = (&mut serial_iter).take(6).count();
+    let s = serial_iter.stats();
+    assert!(
+        b.cache_misses < s.cache_misses,
+        "batched misses {} should undercut serial evaluations {}",
+        b.cache_misses,
+        s.cache_misses
+    );
+}
