@@ -272,12 +272,84 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The session tentpole: a repeated-query audit (one pattern family,
+/// every executor) run cold — stateless `search()`, full compile + cold
+/// scoring cache per query — vs warm — one persistent `RelmSession`
+/// whose plan memo and shared scoring cache survive across queries.
+/// Results are byte-identical (asserted in `tests/session.rs`); this
+/// measures the wall-clock gap on the compile-dominated workloads named
+/// by `BENCH_*.json`, and prints the session's reuse counters once.
+fn bench_session_warm_vs_cold(c: &mut Criterion) {
+    use relm_core::{RelmSession, SearchStrategy};
+    let wb = setup();
+    let base = || {
+        SearchQuery::new(
+            QueryString::new(relm_bench::urls::URL_PATTERN)
+                .with_prefix(relm_bench::urls::URL_PREFIX),
+        )
+        .with_policy(DecodingPolicy::top_k(40))
+        .with_max_tokens(20)
+        .with_max_expansions(5_000)
+    };
+    let workloads: [(&str, SearchQuery, usize); 3] = [
+        ("url_dijkstra", base(), 5),
+        (
+            "url_beam16",
+            base().with_strategy(SearchStrategy::Beam { width: 16 }),
+            5,
+        ),
+        (
+            "url_sampling",
+            base().with_strategy(SearchStrategy::RandomSampling { seed: 7 }),
+            5,
+        ),
+    ];
+
+    let mut group = c.benchmark_group("session_cold");
+    group.sample_size(10);
+    for (label, query, take) in &workloads {
+        group.bench_function(*label, |b| {
+            b.iter(|| {
+                search(&wb.xl, &wb.tokenizer, query)
+                    .unwrap()
+                    .take(*take)
+                    .count()
+            });
+        });
+    }
+    group.finish();
+
+    // One session shared by all iterations of all workloads of the
+    // family — the audit-battery usage pattern.
+    let session = RelmSession::new(&wb.xl, wb.tokenizer.clone());
+    let mut group = c.benchmark_group("session_warm");
+    group.sample_size(10);
+    for (label, query, take) in &workloads {
+        group.bench_function(*label, |b| {
+            b.iter(|| session.search(query).unwrap().take(*take).count());
+        });
+    }
+    group.finish();
+    let stats = session.stats();
+    println!(
+        "[session] plans: {} hits / {} misses; scoring cache: {} hits / {} misses, \
+         {} entries, {} evictions",
+        stats.plan_hits,
+        stats.plan_misses,
+        stats.scoring.hits,
+        stats.scoring.misses,
+        stats.scoring.entries,
+        stats.scoring.evictions,
+    );
+}
+
 criterion_group!(
     benches,
     bench_first_match_latency,
     bench_topk_pruning_ablation,
     bench_beam_vs_dijkstra,
     bench_scoring_serial_vs_batched,
-    bench_engine_throughput
+    bench_engine_throughput,
+    bench_session_warm_vs_cold
 );
 criterion_main!(benches);

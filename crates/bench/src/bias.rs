@@ -7,13 +7,11 @@
 //! conditioning prefix.
 
 use relm_core::{
-    search, Preprocessor, QueryString, SearchQuery, SearchStrategy, TokenizationStrategy,
+    Preprocessor, QueryString, RelmSession, SearchQuery, SearchStrategy, TokenizationStrategy,
 };
 use relm_datasets::PROFESSIONS;
 use relm_lm::LanguageModel;
 use relm_stats::{chi2_independence, Chi2Result, EmpiricalDist};
-
-use crate::Workbench;
 
 /// One cell of the bias grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,8 +64,7 @@ pub fn profession_pattern() -> String {
 /// with edits — a profession name may itself be edited) are binned by
 /// their closest profession (≤ 1 edit) or dropped.
 pub fn sample_gender<M: LanguageModel>(
-    model: &M,
-    wb: &Workbench,
+    session: &RelmSession<M>,
     gender: &'static str,
     config: BiasConfig,
     samples: usize,
@@ -88,7 +85,7 @@ pub fn sample_gender<M: LanguageModel>(
         query = query.with_preprocessor(Preprocessor::levenshtein(1));
     }
     let mut dist = EmpiricalDist::new();
-    let results = search(model, &wb.tokenizer, &query).expect("bias query compiles");
+    let results = session.search(&query).expect("bias query compiles");
     for m in results.take(samples) {
         if let Some(prof) = bin_profession(&m.text) {
             dist.observe(prof);
@@ -149,14 +146,13 @@ fn edit_distance(a: &[u8], b: &[u8]) -> usize {
 /// over the (gender × profession) contingency table (professions with a
 /// zero column marginal are dropped, as required by the test).
 pub fn run_config<M: LanguageModel>(
-    model: &M,
-    wb: &Workbench,
+    session: &RelmSession<M>,
     config: BiasConfig,
     samples: usize,
     seed: u64,
 ) -> (Vec<GenderDistribution>, Option<Chi2Result>) {
-    let man = sample_gender(model, wb, "man", config, samples, seed);
-    let woman = sample_gender(model, wb, "woman", config, samples, seed + 1);
+    let man = sample_gender(session, "man", config, samples, seed);
+    let woman = sample_gender(session, "woman", config, samples, seed + 1);
     let man_counts = man.dist.counts_for(&PROFESSIONS);
     let woman_counts = woman.dist.counts_for(&PROFESSIONS);
     let keep: Vec<usize> = (0..PROFESSIONS.len())
@@ -173,7 +169,7 @@ pub fn run_config<M: LanguageModel>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Scale;
+    use crate::{Scale, Workbench};
 
     #[test]
     fn bin_profession_exact_and_edited() {
@@ -196,7 +192,7 @@ mod tests {
             edits: false,
             use_prefix: true,
         };
-        let (dists, chi2) = run_config(&wb.xl, &wb, config, 80, 3);
+        let (dists, chi2) = run_config(&wb.xl_session(), config, 80, 3);
         let man = &dists[0].dist;
         let woman = &dists[1].dist;
         // Planted direction: medicine leans woman; computer science man.

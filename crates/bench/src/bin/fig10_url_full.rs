@@ -18,7 +18,8 @@ fn main() {
         Scale::Full => (600, 1000),
     };
 
-    let relm = urls::run_relm(&wb, candidates);
+    let session = wb.xl_session();
+    let relm = urls::run_relm(&session, &wb, candidates);
     let mut rows = vec![(
         relm.label.clone(),
         vec![
@@ -45,4 +46,5 @@ fn main() {
         &["attempts", "validated", "duplicates", "sim sec"],
         &rows,
     );
+    report::session_stats("fig10", &session.stats());
 }

@@ -18,10 +18,12 @@ fn main() {
         Scale::Smoke => 60,
         Scale::Full => 400,
     };
-    run_grid(&wb.xl, &wb, samples);
+    let session = wb.xl_session();
+    run_grid(&session, samples);
+    report::session_stats("fig13", &session.stats());
 }
 
-fn run_grid<M: relm_lm::LanguageModel>(model: &M, wb: &Workbench, samples: usize) {
+fn run_grid<M: relm_lm::LanguageModel>(session: &relm_core::RelmSession<M>, samples: usize) {
     for tokenization in [TokenizationStrategy::All, TokenizationStrategy::Canonical] {
         for edits in [false, true] {
             let config = BiasConfig {
@@ -29,7 +31,7 @@ fn run_grid<M: relm_lm::LanguageModel>(model: &M, wb: &Workbench, samples: usize
                 edits,
                 use_prefix: true,
             };
-            let (dists, chi2) = run_config(model, wb, config, samples, 77);
+            let (dists, chi2) = run_config(session, config, samples, 77);
             let rows: Vec<(String, Vec<f64>)> = PROFESSIONS
                 .iter()
                 .map(|p| {

@@ -18,6 +18,7 @@ fn main() {
         Scale::Smoke => 60,
         Scale::Full => 400,
     };
+    let session = wb.small_session();
     for tokenization in [TokenizationStrategy::All, TokenizationStrategy::Canonical] {
         for edits in [false, true] {
             let config = BiasConfig {
@@ -25,7 +26,7 @@ fn main() {
                 edits,
                 use_prefix: true,
             };
-            let (dists, chi2) = run_config(&wb.small, &wb, config, samples, 78);
+            let (dists, chi2) = run_config(&session, config, samples, 78);
             let rows: Vec<(String, Vec<f64>)> = PROFESSIONS
                 .iter()
                 .map(|p| {
@@ -41,4 +42,5 @@ fn main() {
             }
         }
     }
+    report::session_stats("fig14", &session.stats());
 }

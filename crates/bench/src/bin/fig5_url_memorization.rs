@@ -24,7 +24,8 @@ fn main() {
         Scale::Full => (400, 600),
     };
 
-    let relm = urls::run_relm(&wb, candidates);
+    let session = wb.xl_session();
+    let relm = urls::run_relm(&session, &wb, candidates);
     report::series(&relm.label, "sim seconds", "validated URLs", &relm.events);
     report::metric("ReLM attempts", relm.attempts as f64, "candidates");
     report::metric("ReLM validated", relm.validated as f64, "URLs");
@@ -38,4 +39,5 @@ fn main() {
             "URLs",
         );
     }
+    report::session_stats("fig5", &session.stats());
 }

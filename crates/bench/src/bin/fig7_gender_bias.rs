@@ -49,8 +49,9 @@ fn main() {
         ),
     ];
 
+    let session = wb.xl_session();
     for (panel, config) in configs {
-        let (dists, chi2) = run_config(&wb.xl, &wb, config, samples, 101);
+        let (dists, chi2) = run_config(&session, config, samples, 101);
         let rows: Vec<(String, Vec<f64>)> = PROFESSIONS
             .iter()
             .map(|p| {
@@ -73,4 +74,5 @@ fn main() {
             None => println!("  chi2 unavailable (degenerate table)"),
         }
     }
+    report::session_stats("fig7", &session.stats());
 }

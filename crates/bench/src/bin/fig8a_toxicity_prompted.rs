@@ -18,8 +18,9 @@ fn main() {
     };
     println!("shard matches: {} (using {budget})", matches.len());
 
-    let baseline = toxicity::run_prompted(&wb.xl, &wb, &matches[..budget], false);
-    let relm = toxicity::run_prompted(&wb.xl, &wb, &matches[..budget], true);
+    let session = wb.xl_session();
+    let baseline = toxicity::run_prompted(&session, &matches[..budget], false);
+    let relm = toxicity::run_prompted(&session, &matches[..budget], true);
     report::series("Baseline", "attempts", "extractions", &baseline.curve);
     report::series("ReLM", "attempts", "extractions", &relm.curve);
     report::metric(
@@ -39,4 +40,5 @@ fn main() {
             "x (paper: ~2.5x)",
         );
     }
+    report::session_stats("fig8a", &session.stats());
 }

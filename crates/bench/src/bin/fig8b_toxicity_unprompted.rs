@@ -17,10 +17,11 @@ fn main() {
         Scale::Full => (matches.len().min(36), 200),
     };
 
+    let session = wb.xl_session();
     let mut rows = Vec::new();
     let mut relm_hits = Vec::new();
     for (canonical, edits) in [(true, false), (false, false), (true, true), (false, true)] {
-        let hits = toxicity::run_unprompted(&wb.xl, &wb, &matches[..budget], canonical, edits, cap);
+        let hits = toxicity::run_unprompted(&session, &matches[..budget], canonical, edits, cap);
         let label = format!(
             "{} / {}",
             if canonical { "canonical" } else { "all-enc" },
@@ -65,4 +66,5 @@ fn main() {
             ],
         );
     }
+    report::session_stats("fig8b", &session.stats());
 }

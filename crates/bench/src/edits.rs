@@ -7,7 +7,7 @@
 //! normalized sampling spreads them roughly linearly over the prefix.
 
 use relm_core::{
-    search, PrefixSampling, Preprocessor, QueryString, SearchQuery, SearchStrategy,
+    PrefixSampling, Preprocessor, QueryString, RelmSession, SearchQuery, SearchStrategy,
     TokenizationStrategy,
 };
 use relm_datasets::PROFESSIONS;
@@ -15,7 +15,6 @@ use relm_lm::LanguageModel;
 use relm_stats::Cdf;
 
 use crate::bias::profession_pattern;
-use crate::Workbench;
 
 /// Template strings of the bias query (both genders × all professions).
 pub fn templates() -> Vec<String> {
@@ -69,8 +68,7 @@ fn levenshtein(a: &[u8], b: &[u8]) -> usize {
 
 /// Sample edit positions under the given prefix-sampling mode.
 pub fn sample_edit_positions<M: LanguageModel>(
-    model: &M,
-    wb: &Workbench,
+    session: &RelmSession<M>,
     mode: PrefixSampling,
     samples: usize,
     seed: u64,
@@ -88,7 +86,7 @@ pub fn sample_edit_positions<M: LanguageModel>(
                 .with_preprocessor(Preprocessor::levenshtein(1))
                 .with_max_tokens(40)
                 .with_max_expansions(200_000);
-        let results = search(model, &wb.tokenizer, &query).expect("edit query compiles");
+        let results = session.search(&query).expect("edit query compiles");
         for m in results.take(samples / 2) {
             if let Some(pos) = edit_position(&m.text, &templates) {
                 positions.push(pos as f64);
@@ -101,21 +99,18 @@ pub fn sample_edit_positions<M: LanguageModel>(
 /// The Figure 9 comparison: CDFs of edit positions under both modes,
 /// plus their Kolmogorov–Smirnov distance.
 pub fn run_comparison<M: LanguageModel>(
-    model: &M,
-    wb: &Workbench,
+    session: &RelmSession<M>,
     samples: usize,
     seed: u64,
 ) -> (Cdf, Cdf, f64) {
     let normalized = Cdf::from_samples(&sample_edit_positions(
-        model,
-        wb,
+        session,
         PrefixSampling::Normalized,
         samples,
         seed,
     ));
     let uniform = Cdf::from_samples(&sample_edit_positions(
-        model,
-        wb,
+        session,
         PrefixSampling::UniformEdges,
         samples,
         seed + 1,
@@ -127,7 +122,7 @@ pub fn run_comparison<M: LanguageModel>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Scale;
+    use crate::{Scale, Workbench};
 
     #[test]
     fn edit_position_finds_first_divergence() {
@@ -144,8 +139,9 @@ mod tests {
     #[test]
     fn unnormalized_sampling_front_loads_edits() {
         let wb = Workbench::build(Scale::Smoke);
-        let norm = sample_edit_positions(&wb.xl, &wb, PrefixSampling::Normalized, 60, 5);
-        let unif = sample_edit_positions(&wb.xl, &wb, PrefixSampling::UniformEdges, 60, 6);
+        let session = wb.xl_session();
+        let norm = sample_edit_positions(&session, PrefixSampling::Normalized, 60, 5);
+        let unif = sample_edit_positions(&session, PrefixSampling::UniformEdges, 60, 6);
         if norm.len() >= 10 && unif.len() >= 10 {
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
             assert!(

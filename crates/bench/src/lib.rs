@@ -28,8 +28,9 @@ pub mod toxicity;
 pub mod urls;
 
 use relm_bpe::BpeTokenizer;
+use relm_core::RelmSession;
 use relm_datasets::{CorpusSpec, SyntheticWorld};
-use relm_lm::{NGramConfig, NGramLm};
+use relm_lm::{LanguageModel, NGramConfig, NGramLm};
 
 /// How large a world to generate; binaries default to [`Scale::Full`],
 /// tests use [`Scale::Smoke`].
@@ -107,6 +108,25 @@ impl Workbench {
             xl,
             small,
         }
+    }
+
+    /// A persistent session over any model sharing this workbench's
+    /// tokenizer. Experiment runners execute all their queries through
+    /// one session, so plan memoization and the shared scoring cache
+    /// persist across the whole battery (the figures print the reuse
+    /// counters).
+    pub fn session<'m, M: LanguageModel>(&self, model: &'m M) -> RelmSession<&'m M> {
+        RelmSession::new(model, self.tokenizer.clone())
+    }
+
+    /// A session over the GPT-2-XL-like model.
+    pub fn xl_session(&self) -> RelmSession<&NGramLm> {
+        self.session(&self.xl)
+    }
+
+    /// A session over the GPT-2-like small model.
+    pub fn small_session(&self) -> RelmSession<&NGramLm> {
+        self.session(&self.small)
     }
 }
 

@@ -41,6 +41,30 @@ pub fn metric(name: &str, value: f64, unit: &str) {
     println!("  {name}: {value:.3} {unit}");
 }
 
+/// Print a session's reuse counters — every figure binary runs its
+/// query battery through one `RelmSession`, and this records how much
+/// compilation and scoring the session layer saved.
+pub fn session_stats(label: &str, stats: &relm_core::SessionStats) {
+    println!("\n[session reuse: {label}]");
+    println!(
+        "  plans: {} compiled, {} memo hits ({:.0}% reuse), {} resident",
+        stats.plan_misses,
+        stats.plan_hits,
+        100.0 * stats.plan_hit_rate(),
+        stats.plan_entries
+    );
+    let s = &stats.scoring;
+    println!(
+        "  scoring cache: {} hits / {} misses ({:.0}% hit rate), {} entries, {:.1} MiB resident, {} evictions",
+        s.hits,
+        s.misses,
+        100.0 * s.hit_rate(),
+        s.entries,
+        s.bytes as f64 / (1 << 20) as f64,
+        s.evictions
+    );
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -49,5 +73,6 @@ mod tests {
         super::series("s", "x", "y", &[(1.0, 2.0)]);
         super::table("t", &["a", "b"], &[("row".into(), vec![1.0, 2.0])]);
         super::metric("m", 1.5, "units");
+        super::session_stats("test", &relm_core::SessionStats::default());
     }
 }

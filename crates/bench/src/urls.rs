@@ -9,8 +9,8 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use relm_core::{search, QueryString, SearchQuery};
-use relm_lm::{sample_sequence, AcceleratorSim, DecodingPolicy};
+use relm_core::{QueryString, RelmSession, SearchQuery};
+use relm_lm::{sample_sequence, AcceleratorSim, DecodingPolicy, LanguageModel};
 
 use crate::Workbench;
 
@@ -50,8 +50,14 @@ impl UrlRun {
 }
 
 /// Run ReLM's structured extraction until `max_candidates` matches were
-/// examined (or the language/search is exhausted).
-pub fn run_relm(wb: &Workbench, max_candidates: usize) -> UrlRun {
+/// examined (or the language/search is exhausted). Queries go through
+/// `session`, so repeated runs start with warm plans and a warm scoring
+/// cache.
+pub fn run_relm<M: LanguageModel>(
+    session: &RelmSession<M>,
+    wb: &Workbench,
+    max_candidates: usize,
+) -> UrlRun {
     let query = SearchQuery::new(QueryString::new(URL_PATTERN).with_prefix(URL_PREFIX))
         .with_policy(DecodingPolicy::top_k(40))
         .with_max_tokens(24)
@@ -60,7 +66,7 @@ pub fn run_relm(wb: &Workbench, max_candidates: usize) -> UrlRun {
     let mut events = Vec::new();
     let mut validated = std::collections::HashSet::new();
     let mut attempts = 0;
-    let mut results = search(&wb.xl, &wb.tokenizer, &query).expect("URL query compiles");
+    let mut results = session.search(&query).expect("URL query compiles");
     let mut last_lm_calls = 0;
     while let Some(m) = results.next() {
         // Account the inference work since the previous match.
@@ -133,7 +139,8 @@ mod tests {
     #[test]
     fn relm_beats_best_baseline_throughput() {
         let wb = Workbench::build(Scale::Smoke);
-        let relm = run_relm(&wb, 40);
+        let session = wb.xl_session();
+        let relm = run_relm(&session, &wb, 40);
         assert!(relm.validated > 0, "ReLM should validate something");
         let best_baseline = [4usize, 16]
             .iter()

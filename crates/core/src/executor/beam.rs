@@ -45,13 +45,13 @@ pub(crate) struct BeamIter<'a, M: LanguageModel> {
 
 impl<'a, M: LanguageModel> BeamIter<'a, M> {
     pub(crate) fn new(
-        model: &'a M,
+        engine: ScoringEngine<&'a M>,
         tokenizer: &'a BpeTokenizer,
         compiled: CompiledQuery,
         width: usize,
     ) -> Self {
         BeamIter {
-            engine: ScoringEngine::with_mode(model, compiled.scoring),
+            engine,
             tokenizer,
             compiled,
             width: width.max(1),
@@ -65,8 +65,8 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
     }
 
     fn run(&mut self) -> Vec<MatchResult> {
-        let body = &self.compiled.body.automaton;
-        let mut beam: Vec<BeamPath> = vec![match &self.compiled.prefix {
+        let body = &self.compiled.parts.body.automaton;
+        let mut beam: Vec<BeamPath> = vec![match &self.compiled.parts.prefix {
             Some(p) => BeamPath {
                 machine_is_body: false,
                 state: p.start(),
@@ -91,7 +91,7 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
             let mut bridged = Vec::new();
             for p in &beam {
                 if !p.machine_is_body {
-                    let prefix = self.compiled.prefix.as_ref().expect("prefix machine");
+                    let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
                     if prefix.is_accepting(p.state) {
                         bridged.push(BeamPath {
                             machine_is_body: true,
@@ -164,7 +164,7 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
                         }
                     }
                 } else {
-                    let prefix = self.compiled.prefix.as_ref().expect("prefix machine");
+                    let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
                     for (sym, target) in prefix.transitions(p.state) {
                         let lp = log_probs[sym as usize];
                         if !lp.is_finite() {

@@ -12,14 +12,25 @@
 //!   over prefix strings via walk-count edge weighting (Appendix C);
 //!   suffixes are drawn from the model restricted to the automaton, with
 //!   EOS disambiguating stop-vs-continue at accepting states.
+//!
+//! Since the session refactor the pipeline is split in two: [`plan`]
+//! compiles a query into a [`CompiledSearch`] (regex → NFA → DFA → token
+//! automaton — the expensive part), and [`execute`] runs a compiled plan
+//! against a model. [`search`] composes them for the stateless one-shot
+//! path; [`crate::RelmSession`] memoizes the plans and pools the scoring
+//! cache across queries.
 
 mod beam;
 mod sampling;
 mod shortest;
 
-use relm_automata::Dfa;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use relm_automata::{Dfa, WalkTable};
 use relm_bpe::{BpeTokenizer, TokenId};
-use relm_lm::{DecodingPolicy, LanguageModel, ScoringMode};
+use relm_lm::{DecodingPolicy, LanguageModel, ScoringEngine, ScoringMode};
 use relm_regex::Regex;
 
 use crate::compiler::{compile_canonical, compile_full, CanonicalLimits, CompiledAutomaton};
@@ -47,7 +58,8 @@ pub struct ExecutionStats {
     /// Results rejected by deferred filters.
     pub rejected_filtered: u64,
     /// Scoring requests served from the [`relm_lm::ScoringEngine`] memo
-    /// table (or deduplicated within a batch) without model work.
+    /// table (or deduplicated within a batch) without model work. In a
+    /// session, hits from earlier queries' work count here too.
     pub cache_hits: u64,
     /// Distinct contexts that required a model evaluation.
     pub cache_misses: u64,
@@ -56,6 +68,18 @@ pub struct ExecutionStats {
     /// Total contexts evaluated across those invocations
     /// (`batched_contexts / batches` is the mean batch fill).
     pub batched_contexts: u64,
+    /// Scoring-cache entries discarded by the eviction policy (for a
+    /// session's shared cache: the cache's lifetime total).
+    pub cache_evictions: u64,
+    /// Estimated resident bytes of the scoring cache (a gauge).
+    pub cache_bytes: u64,
+    /// Session plan-memo hits observed when this search was planned
+    /// (cumulative session counter; zero for stateless searches).
+    pub plan_cache_hits: u64,
+    /// Session plan-memo misses observed when this search was planned
+    /// (cumulative session counter; for stateless searches every plan is
+    /// compiled fresh, but the stateless path does not count).
+    pub plan_cache_misses: u64,
 }
 
 impl ExecutionStats {
@@ -65,36 +89,76 @@ impl ExecutionStats {
         self.cache_misses = scoring.cache_misses;
         self.batches = scoring.batches;
         self.batched_contexts = scoring.batched_contexts;
+        self.cache_evictions = scoring.cache_evictions;
+        self.cache_bytes = scoring.cache_bytes;
         self
     }
 }
 
-/// The compiled form of a query: token-space automata plus execution
-/// flags. Internal to the executor but exposed for benchmarking the
-/// compiler in isolation.
+/// The memoizable product of query compilation: the token-space automata
+/// and runtime-check languages. Everything here depends only on
+/// `(pattern, prefix, tokenization, preprocessors, tokenizer)` — never
+/// on the model or per-run execution flags — which is exactly what makes
+/// it shareable across queries via [`crate::RelmSession`]'s plan memo.
+#[derive(Debug)]
+pub(crate) struct PlanParts {
+    /// Compiled prefix machine, if the query has a conditioning prefix.
+    pub prefix: Option<Dfa>,
+    /// The body (suffix) machine plus its canonicity flag.
+    pub body: CompiledAutomaton,
+    /// Deferred (runtime) filter languages.
+    pub deferred_filters: Vec<Dfa>,
+    /// Lazily built walk-count table over the prefix machine
+    /// (`max_tokens` is an execution flag, not part of the plan key, so
+    /// the table is built at execute time). Only the largest-budget
+    /// table is kept — a table built for budget `L` answers any query
+    /// with budget `≤ L` — so a session sweeping `max_tokens` holds one
+    /// table, not one per budget. Warm sampling queries of a memoized
+    /// plan reuse it instead of rebuilding per execute.
+    walk_table: Mutex<Option<Arc<WalkTable>>>,
+}
+
+impl PlanParts {
+    /// The walk-count table for the prefix machine covering at least
+    /// `max_tokens`, building (or upgrading to the larger budget) and
+    /// memoizing it on first use. `None` when the plan has no prefix.
+    pub(crate) fn walk_table(&self, max_tokens: usize) -> Option<Arc<WalkTable>> {
+        let prefix = self.prefix.as_ref()?;
+        let mut table = self.walk_table.lock();
+        match table.as_ref() {
+            Some(existing) if existing.max_len() >= max_tokens => Some(Arc::clone(existing)),
+            _ => {
+                let built = Arc::new(WalkTable::new(prefix, max_tokens));
+                *table = Some(Arc::clone(&built));
+                Some(built)
+            }
+        }
+    }
+}
+
+/// The compiled form of a query: shared automata plus execution flags.
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledQuery {
-    pub prefix: Option<Dfa>,
-    pub body: CompiledAutomaton,
+    pub parts: Arc<PlanParts>,
     pub policy: DecodingPolicy,
     pub max_tokens: usize,
     pub prefix_sampling: PrefixSampling,
-    pub deferred_filters: Vec<Dfa>,
     pub require_eos: bool,
     pub distinct_texts: bool,
     pub scoring: ScoringMode,
 }
 
-/// Compile `query`'s patterns into token automata.
+/// Compile `query`'s patterns into token automata — the expensive,
+/// memoizable stage (regex parse, preprocessors, determinize/minimize,
+/// left quotient, token lowering).
 ///
 /// The query pattern describes the **full** language (prefix included),
 /// as in the paper's Figures 4 and 11; the suffix machine is derived as
 /// the left quotient `prefix⁻¹ · L(pattern)`.
-pub(crate) fn compile_query(
+pub(crate) fn compile_parts(
     query: &SearchQuery,
     tokenizer: &BpeTokenizer,
-    max_sequence_len: usize,
-) -> Result<CompiledQuery, RelmError> {
+) -> Result<PlanParts, RelmError> {
     // Parse patterns into Natural Language Automata.
     let full_regex = Regex::compile(&query.query_string.pattern)?;
     let mut full_nfa = full_regex.nfa().clone();
@@ -162,6 +226,24 @@ pub(crate) fn compile_query(
         }
     };
 
+    Ok(PlanParts {
+        prefix,
+        body: CompiledAutomaton {
+            needs_canonical_check: body.needs_canonical_check
+                && query.tokenization == TokenizationStrategy::Canonical,
+            automaton: body.automaton,
+        },
+        deferred_filters,
+        walk_table: Mutex::new(None),
+    })
+}
+
+/// Attach per-run execution flags to compiled (possibly memoized) parts.
+pub(crate) fn assemble_compiled(
+    query: &SearchQuery,
+    parts: Arc<PlanParts>,
+    max_sequence_len: usize,
+) -> Result<CompiledQuery, RelmError> {
     let max_tokens = query
         .max_tokens
         .unwrap_or(max_sequence_len)
@@ -169,22 +251,120 @@ pub(crate) fn compile_query(
     if max_tokens == 0 {
         return Err(RelmError::InvalidQuery("max_tokens is zero".into()));
     }
-
     Ok(CompiledQuery {
-        prefix,
-        body: CompiledAutomaton {
-            needs_canonical_check: body.needs_canonical_check
-                && query.tokenization == TokenizationStrategy::Canonical,
-            automaton: body.automaton,
-        },
+        parts,
         policy: query.policy,
         max_tokens,
         prefix_sampling: query.prefix_sampling,
-        deferred_filters,
         require_eos: query.require_eos,
         distinct_texts: query.distinct_texts,
         scoring: query.scoring,
     })
+}
+
+/// Compile `query` end-to-end (no memoization).
+pub(crate) fn compile_query(
+    query: &SearchQuery,
+    tokenizer: &BpeTokenizer,
+    max_sequence_len: usize,
+) -> Result<CompiledQuery, RelmError> {
+    let parts = Arc::new(compile_parts(query, tokenizer)?);
+    assemble_compiled(query, parts, max_sequence_len)
+}
+
+/// An executable, compiled ReLM query: the output of [`plan`] and the
+/// input of [`execute`].
+///
+/// Compilation (regex → NFA → DFA → token automaton) dominates the
+/// wall-clock of small searches, so separating it from execution lets
+/// callers run one plan many times — and lets [`crate::RelmSession`]
+/// memoize plans across structurally identical queries. The automata
+/// inside are behind an [`Arc`]; cloning a plan is cheap.
+#[derive(Debug, Clone)]
+pub struct CompiledSearch {
+    pub(crate) compiled: CompiledQuery,
+    pub(crate) strategy: SearchStrategy,
+    pub(crate) max_expansions: usize,
+    pub(crate) max_sample_attempts: usize,
+    /// Fingerprint of the tokenizer the automata were compiled against;
+    /// [`execute`] refuses to run the plan with any other tokenizer
+    /// (the token ids would mean different bytes).
+    pub(crate) tokenizer_fingerprint: u64,
+}
+
+impl CompiledSearch {
+    /// Attach `query`'s execution flags to its compiled form — the one
+    /// place the flag set is copied, shared by [`plan`] and
+    /// [`crate::RelmSession::plan`].
+    pub(crate) fn from_query(
+        query: &SearchQuery,
+        compiled: CompiledQuery,
+        tokenizer_fingerprint: u64,
+    ) -> Self {
+        CompiledSearch {
+            compiled,
+            strategy: query.strategy,
+            max_expansions: query.max_expansions,
+            max_sample_attempts: query.max_sample_attempts,
+            tokenizer_fingerprint,
+        }
+    }
+
+    /// Guard [`execute`] against a plan/runtime mismatch: the tokenizer
+    /// must be the one the automata were compiled over, and the plan's
+    /// token budget must fit the executing model's context window (a
+    /// plan compiled against a larger-context model would otherwise
+    /// drive a smaller model past its bound).
+    pub(crate) fn check_compatible(
+        &self,
+        tokenizer_fingerprint: u64,
+        max_sequence_len: usize,
+    ) -> Result<(), RelmError> {
+        if self.tokenizer_fingerprint != tokenizer_fingerprint {
+            return Err(RelmError::InvalidQuery(
+                "plan was compiled for a different tokenizer".into(),
+            ));
+        }
+        if self.compiled.max_tokens > max_sequence_len {
+            return Err(RelmError::InvalidQuery(
+                "plan token budget exceeds the model's max sequence length".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The traversal strategy this plan executes.
+    pub fn strategy(&self) -> SearchStrategy {
+        self.strategy
+    }
+
+    /// States in the body (suffix) token automaton.
+    pub fn body_states(&self) -> usize {
+        self.compiled.parts.body.automaton.state_count()
+    }
+}
+
+/// Compile `query` into an executable plan without running it.
+///
+/// `max_sequence_len` is the model bound used to cap per-match tokens
+/// (pass [`LanguageModel::max_sequence_len`] of the model you will
+/// execute against).
+///
+/// # Errors
+///
+/// The same errors as [`search`]: invalid patterns, empty languages,
+/// inconsistent parameters.
+pub fn plan(
+    query: &SearchQuery,
+    tokenizer: &BpeTokenizer,
+    max_sequence_len: usize,
+) -> Result<CompiledSearch, RelmError> {
+    let compiled = compile_query(query, tokenizer, max_sequence_len)?;
+    Ok(CompiledSearch::from_query(
+        query,
+        compiled,
+        tokenizer.fingerprint(),
+    ))
 }
 
 /// Post-hoc acceptance checks shared by both traversals: runtime
@@ -197,16 +377,16 @@ pub(crate) fn passes_runtime_checks(
     prefix_len: usize,
     stats: &mut ExecutionStats,
 ) -> bool {
-    if compiled.body.needs_canonical_check {
+    if compiled.parts.body.needs_canonical_check {
         let body_text = tokenizer.decode(&tokens[prefix_len..]);
         if tokenizer.encode(&body_text) != tokens[prefix_len..] {
             stats.rejected_noncanonical += 1;
             return false;
         }
     }
-    if !compiled.deferred_filters.is_empty() {
+    if !compiled.parts.deferred_filters.is_empty() {
         let body_text = tokenizer.decode(&tokens[prefix_len..]);
-        for filter in &compiled.deferred_filters {
+        for filter in &compiled.parts.deferred_filters {
             if filter.contains(body_text.bytes().map(u32::from)) {
                 stats.rejected_filtered += 1;
                 return false;
@@ -224,6 +404,10 @@ pub(crate) fn passes_runtime_checks(
 /// exhausted — callers use [`Iterator::take`].
 pub struct SearchResults<'a, M: LanguageModel> {
     inner: Inner<'a, M>,
+    /// Session plan-memo counters stamped at plan time (zero for the
+    /// stateless path); folded into [`Self::stats`].
+    plan_hits: u64,
+    plan_misses: u64,
 }
 
 enum Inner<'a, M: LanguageModel> {
@@ -236,11 +420,22 @@ impl<'a, M: LanguageModel> SearchResults<'a, M> {
     /// Execution counters (snapshot; advances as the iterator is
     /// consumed).
     pub fn stats(&self) -> ExecutionStats {
-        match &self.inner {
+        let mut stats = match &self.inner {
             Inner::Shortest(it) => it.stats(),
             Inner::Sampling(it) => it.stats(),
             Inner::Beam(it) => it.stats(),
-        }
+        };
+        stats.plan_cache_hits = self.plan_hits;
+        stats.plan_cache_misses = self.plan_misses;
+        stats
+    }
+
+    /// Stamp the session's plan-memo counters onto this stream (shown in
+    /// [`ExecutionStats`]).
+    pub(crate) fn with_plan_counters(mut self, hits: u64, misses: u64) -> Self {
+        self.plan_hits = hits;
+        self.plan_misses = misses;
+        self
     }
 }
 
@@ -256,8 +451,61 @@ impl<'a, M: LanguageModel> Iterator for SearchResults<'a, M> {
     }
 }
 
+/// Run a compiled plan through the given scoring engine — the common
+/// back end of [`execute`] and [`crate::RelmSession::execute`].
+pub(crate) fn execute_with_engine<'a, M: LanguageModel>(
+    engine: ScoringEngine<&'a M>,
+    tokenizer: &'a BpeTokenizer,
+    plan: &CompiledSearch,
+) -> SearchResults<'a, M> {
+    let compiled = plan.compiled.clone();
+    let inner = match plan.strategy {
+        SearchStrategy::ShortestPath => Inner::Shortest(ShortestPathIter::new(
+            engine,
+            tokenizer,
+            compiled,
+            plan.max_expansions,
+        )),
+        SearchStrategy::RandomSampling { seed } => Inner::Sampling(SamplingIter::new(
+            engine,
+            tokenizer,
+            compiled,
+            seed,
+            plan.max_sample_attempts,
+        )),
+        SearchStrategy::Beam { width } => {
+            Inner::Beam(BeamIter::new(engine, tokenizer, compiled, width))
+        }
+    };
+    SearchResults {
+        inner,
+        plan_hits: 0,
+        plan_misses: 0,
+    }
+}
+
+/// Execute a compiled plan against `model` with a fresh private scoring
+/// cache. Pair with [`plan`] to amortize compilation over repeated runs;
+/// use [`crate::RelmSession`] to also share the scoring cache.
+///
+/// # Errors
+///
+/// [`RelmError::InvalidQuery`] if `tokenizer` is not the tokenizer the
+/// plan was compiled against, or the plan's token budget exceeds
+/// `model`'s maximum sequence length.
+pub fn execute<'a, M: LanguageModel>(
+    model: &'a M,
+    tokenizer: &'a BpeTokenizer,
+    plan: &CompiledSearch,
+) -> Result<SearchResults<'a, M>, RelmError> {
+    plan.check_compatible(tokenizer.fingerprint(), model.max_sequence_len())?;
+    let engine = ScoringEngine::with_mode(model, plan.compiled.scoring);
+    Ok(execute_with_engine(engine, tokenizer, plan))
+}
+
 /// Execute `query` against `model`: the ReLM entry point (the `relm.search`
-/// of Figure 4).
+/// of Figure 4). A thin one-shot session: [`plan`] then [`execute`],
+/// with nothing retained afterwards.
 ///
 /// # Errors
 ///
@@ -268,24 +516,6 @@ pub fn search<'a, M: LanguageModel>(
     tokenizer: &'a BpeTokenizer,
     query: &SearchQuery,
 ) -> Result<SearchResults<'a, M>, RelmError> {
-    let compiled = compile_query(query, tokenizer, model.max_sequence_len())?;
-    let inner = match query.strategy {
-        SearchStrategy::ShortestPath => Inner::Shortest(ShortestPathIter::new(
-            model,
-            tokenizer,
-            compiled,
-            query.max_expansions,
-        )),
-        SearchStrategy::RandomSampling { seed } => Inner::Sampling(SamplingIter::new(
-            model,
-            tokenizer,
-            compiled,
-            seed,
-            query.max_sample_attempts,
-        )),
-        SearchStrategy::Beam { width } => {
-            Inner::Beam(BeamIter::new(model, tokenizer, compiled, width))
-        }
-    };
-    Ok(SearchResults { inner })
+    let compiled = plan(query, tokenizer, model.max_sequence_len())?;
+    execute(model, tokenizer, &compiled)
 }

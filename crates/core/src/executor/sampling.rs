@@ -25,6 +25,8 @@ use std::collections::VecDeque;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use std::sync::Arc;
+
 use relm_automata::{WalkChoice, WalkTable};
 use relm_bpe::{BpeTokenizer, TokenId};
 use relm_lm::{LanguageModel, ScoringEngine, ScoringMode};
@@ -42,7 +44,7 @@ pub(crate) struct SamplingIter<'a, M: LanguageModel> {
     tokenizer: &'a BpeTokenizer,
     compiled: CompiledQuery,
     rng: SmallRng,
-    walk_table: Option<WalkTable>,
+    walk_table: Option<Arc<WalkTable>>,
     stats: ExecutionStats,
     max_attempts: usize,
     /// Pre-drawn episode prefixes awaiting their body walk.
@@ -51,18 +53,15 @@ pub(crate) struct SamplingIter<'a, M: LanguageModel> {
 
 impl<'a, M: LanguageModel> SamplingIter<'a, M> {
     pub(crate) fn new(
-        model: &'a M,
+        engine: ScoringEngine<&'a M>,
         tokenizer: &'a BpeTokenizer,
         compiled: CompiledQuery,
         seed: u64,
         max_attempts: usize,
     ) -> Self {
-        let walk_table = compiled
-            .prefix
-            .as_ref()
-            .map(|p| WalkTable::new(p, compiled.max_tokens));
+        let walk_table = compiled.parts.walk_table(compiled.max_tokens);
         SamplingIter {
-            engine: ScoringEngine::with_mode(model, compiled.scoring),
+            engine,
             tokenizer,
             compiled,
             rng: SmallRng::seed_from_u64(seed),
@@ -79,7 +78,7 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
 
     /// Sample a prefix token sequence, or `None` on a dead end.
     fn sample_prefix(&mut self) -> Option<Vec<TokenId>> {
-        let prefix = self.compiled.prefix.as_ref()?;
+        let prefix = self.compiled.parts.prefix.as_ref()?;
         let table = self
             .walk_table
             .as_ref()
@@ -169,7 +168,7 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
     /// Extend `tokens` through the body automaton with the model.
     /// Returns `false` on a dead end.
     fn sample_body(&mut self, tokens: &mut Vec<TokenId>) -> bool {
-        let body = &self.compiled.body.automaton;
+        let body = &self.compiled.parts.body.automaton;
         let mut state = body.start();
         loop {
             self.stats.expansions += 1;
@@ -237,7 +236,7 @@ impl<'a, M: LanguageModel> Iterator for SamplingIter<'a, M> {
         let mut attempts = 0usize;
         while attempts < self.max_attempts {
             // --- Prefix phase (episode-batched; see next_prefix) ---
-            let prefix_tokens = if self.compiled.prefix.is_some() {
+            let prefix_tokens = if self.compiled.parts.prefix.is_some() {
                 match self.next_prefix(&mut attempts) {
                     Some(t) => t,
                     // Every draw in the block dead-ended; the failed

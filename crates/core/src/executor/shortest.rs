@@ -106,13 +106,13 @@ pub(crate) struct ShortestPathIter<'a, M: LanguageModel> {
 
 impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
     pub(crate) fn new(
-        model: &'a M,
+        engine: ScoringEngine<&'a M>,
         tokenizer: &'a BpeTokenizer,
         compiled: CompiledQuery,
         max_expansions: usize,
     ) -> Self {
         let mut heap = BinaryHeap::new();
-        match &compiled.prefix {
+        match &compiled.parts.prefix {
             Some(prefix) => heap.push(Reverse(Node {
                 cost: Cost(0.0),
                 machine: Machine::Prefix,
@@ -123,13 +123,13 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
             None => heap.push(Reverse(Node {
                 cost: Cost(0.0),
                 machine: Machine::Body,
-                state: compiled.body.automaton.start(),
+                state: compiled.parts.body.automaton.start(),
                 tokens: Vec::new(),
                 prefix_len: 0,
             })),
         }
         ShortestPathIter {
-            engine: ScoringEngine::with_mode(model, compiled.scoring),
+            engine,
             tokenizer,
             compiled,
             heap,
@@ -220,7 +220,7 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
 
         match node.machine {
             Machine::Prefix => {
-                let prefix = self.compiled.prefix.as_ref().expect("prefix machine");
+                let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
                 // No decoding rules on prefix edges; original costs kept.
                 for (sym, target) in prefix.transitions(node.state) {
                     let lp = log_probs[sym as usize];
@@ -251,7 +251,7 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
                 // emission costs the EOS step, and EOS must survive the
                 // decoding rules like any other body token.
                 if self.compiled.require_eos
-                    && self.compiled.body.automaton.is_accepting(node.state)
+                    && self.compiled.parts.body.automaton.is_accepting(node.state)
                 {
                     if let Some(&eos_lp) = allowed.get(&self.engine.eos()) {
                         self.heap.push(Reverse(Node {
@@ -263,7 +263,7 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
                         }));
                     }
                 }
-                for (sym, target) in self.compiled.body.automaton.transitions(node.state) {
+                for (sym, target) in self.compiled.parts.body.automaton.transitions(node.state) {
                     let Some(&lp) = allowed.get(&sym) else {
                         continue; // transitive top-k elimination
                     };
@@ -294,12 +294,12 @@ impl<'a, M: LanguageModel> Iterator for ShortestPathIter<'a, M> {
 
             // Prefix machine: accepting states bridge into the body.
             if node.machine == Machine::Prefix {
-                let prefix = self.compiled.prefix.as_ref().expect("prefix machine");
+                let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
                 if prefix.is_accepting(node.state) {
                     self.heap.push(Reverse(Node {
                         cost: node.cost,
                         machine: Machine::Body,
-                        state: self.compiled.body.automaton.start(),
+                        state: self.compiled.parts.body.automaton.start(),
                         tokens: node.tokens.clone(),
                         prefix_len: node.tokens.len(),
                     }));
@@ -318,7 +318,7 @@ impl<'a, M: LanguageModel> Iterator for ShortestPathIter<'a, M> {
 
             // Body machine: emit on accepting states (unless EOS
             // termination is required), keep expanding.
-            let accepting = self.compiled.body.automaton.is_accepting(node.state);
+            let accepting = self.compiled.parts.body.automaton.is_accepting(node.state);
             self.expand(&node);
             if accepting && !self.compiled.require_eos {
                 if let Some(m) = self.try_emit(node) {

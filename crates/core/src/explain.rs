@@ -83,16 +83,16 @@ pub fn explain(
 ) -> Result<QueryPlan, RelmError> {
     let compiled = compile_query(query, tokenizer, max_sequence_len)?;
     Ok(QueryPlan {
-        prefix_machine: compiled.prefix.as_ref().map(|p| MachineShape {
+        prefix_machine: compiled.parts.prefix.as_ref().map(|p| MachineShape {
             states: p.state_count(),
             transitions: p.transition_count(),
         }),
         body_machine: MachineShape {
-            states: compiled.body.automaton.state_count(),
-            transitions: compiled.body.automaton.transition_count(),
+            states: compiled.parts.body.automaton.state_count(),
+            transitions: compiled.parts.body.automaton.transition_count(),
         },
-        runtime_canonical_check: compiled.body.needs_canonical_check,
-        deferred_filters: compiled.deferred_filters.len(),
+        runtime_canonical_check: compiled.parts.body.needs_canonical_check,
+        deferred_filters: compiled.parts.deferred_filters.len(),
         max_tokens: compiled.max_tokens,
         traversal: match query.strategy {
             SearchStrategy::ShortestPath => "shortest path (Dijkstra)".to_string(),

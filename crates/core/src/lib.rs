@@ -54,10 +54,12 @@ mod explain;
 mod preprocess;
 mod query;
 mod results;
+mod session;
 
 pub use error::RelmError;
-pub use executor::{search, ExecutionStats, SearchResults};
+pub use executor::{execute, plan, search, CompiledSearch, ExecutionStats, SearchResults};
 pub use explain::{explain, MachineShape, QueryPlan};
 pub use preprocess::{FilterPreprocessor, LevenshteinPreprocessor, Preprocessor};
 pub use query::{PrefixSampling, QueryString, SearchQuery, SearchStrategy, TokenizationStrategy};
 pub use results::MatchResult;
+pub use session::{RelmSession, SessionConfig, SessionStats};

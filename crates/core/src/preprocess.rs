@@ -69,6 +69,49 @@ impl Preprocessor {
             _ => None,
         }
     }
+
+    /// Append this preprocessor's full configuration to `out` — part of
+    /// the plan-memo key of [`crate::RelmSession`]. The encoding is
+    /// *exact* (not a hash): two preprocessors encode identically iff
+    /// they transform automata identically (Levenshtein: distance +
+    /// alphabet; filter: the exact DFA structure + deferral flag), so a
+    /// memo hit can never serve the wrong automaton.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u64>) {
+        match self {
+            Preprocessor::Levenshtein(lev) => {
+                out.push(1);
+                out.push(lev.distance as u64);
+                out.push(lev.alphabet.len() as u64);
+                out.extend(lev.alphabet.iter().map(|&sym| u64::from(sym)));
+            }
+            Preprocessor::Filter(f) => {
+                out.push(2);
+                out.push(u64::from(f.deferred));
+                encode_dfa(out, &f.language);
+            }
+        }
+    }
+}
+
+/// Append a DFA's full structure (start, accepting set, every transition
+/// in iteration order — deterministic for a given machine) to `out`.
+/// Each state's transition list is length-prefixed so the flat stream is
+/// self-delimiting: without the count, a transition pair of one state
+/// could be misread as the accept flag + transition of the next, letting
+/// two distinct machines encode identically.
+pub(crate) fn encode_dfa(out: &mut Vec<u64>, dfa: &Dfa) {
+    out.push(dfa.state_count() as u64);
+    out.push(dfa.start() as u64);
+    for state in 0..dfa.state_count() {
+        out.push(u64::from(dfa.is_accepting(state)));
+        let mark = out.len();
+        out.push(0); // transition count, patched below
+        for (sym, target) in dfa.transitions(state) {
+            out.push(u64::from(sym));
+            out.push(target as u64);
+        }
+        out[mark] = ((out.len() - mark - 1) / 2) as u64;
+    }
 }
 
 /// Parameters of a Levenshtein expansion.
@@ -141,5 +184,38 @@ mod tests {
     fn eager_filter_has_no_deferred_language() {
         let pre = Preprocessor::filter(lang("x").determinize());
         assert!(pre.deferred_language().is_none());
+    }
+
+    #[test]
+    fn dfa_encoding_is_injective_on_adversarial_pair() {
+        // Without per-state transition-count framing these two distinct
+        // machines encode to the same flat stream: A's (sym 0 -> s1) +
+        // s1's accept flag reads exactly like B's s0 accept flag + no
+        // transitions + (sym 1 -> s1).
+        let a = Dfa::from_parts(2, 0, &[1], &[(0, 0, 1)]);
+        let b = Dfa::from_parts(2, 0, &[], &[(1, 1, 1)]);
+        let (mut enc_a, mut enc_b) = (Vec::new(), Vec::new());
+        encode_dfa(&mut enc_a, &a);
+        encode_dfa(&mut enc_b, &b);
+        assert_ne!(enc_a, enc_b, "distinct machines must encode distinctly");
+        // Deterministic: the same machine encodes identically.
+        let mut enc_a2 = Vec::new();
+        encode_dfa(&mut enc_a2, &a);
+        assert_eq!(enc_a, enc_a2);
+    }
+
+    #[test]
+    fn preprocessor_encodings_discriminate_configs() {
+        let mut lev1 = Vec::new();
+        Preprocessor::levenshtein(1).encode_into(&mut lev1);
+        let mut lev2 = Vec::new();
+        Preprocessor::levenshtein(2).encode_into(&mut lev2);
+        assert_ne!(lev1, lev2);
+        let stop = lang("the").determinize();
+        let mut eager = Vec::new();
+        Preprocessor::filter(stop.clone()).encode_into(&mut eager);
+        let mut deferred = Vec::new();
+        Preprocessor::deferred_filter(stop).encode_into(&mut deferred);
+        assert_ne!(eager, deferred, "deferral flag is part of the identity");
     }
 }

@@ -65,7 +65,7 @@ pub enum SearchStrategy {
 
 /// Which token encodings of each string the LLM automaton represents
 /// (§3.2, Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TokenizationStrategy {
     /// Canonical encodings only — conditional-generation semantics
     /// (Figure 3b). The default, matching common practice.

@@ -1,0 +1,538 @@
+//! The persistent ReLM runtime: cross-query plan memoization and a
+//! shared, bounded scoring cache.
+//!
+//! ReLM audits are batteries, not one-shots: a memorization sweep runs
+//! the same URL pattern against hundreds of prefixes, a bias panel runs
+//! one template per gender × configuration, a toxicity battery compiles
+//! a query per shard match. The stateless [`crate::search`] recompiles
+//! the query (regex → NFA → DFA → token automaton — the measured
+//! wall-clock majority on small searches) and throws away the scoring
+//! memo after every call. [`RelmSession`] keeps both:
+//!
+//! * a **compiled-plan memo** keyed by `(pattern, prefix, tokenization
+//!   strategy, preprocessors, tokenizer fingerprint)` — repeated or
+//!   structurally shared queries skip compilation entirely;
+//! * a **size-bounded shared scoring cache**
+//!   ([`relm_lm::SharedScoringCache`]: byte-budgeted, clock-evicted,
+//!   generation-tagged) consulted by the [`relm_lm::ScoringEngine`] of
+//!   every query the session executes — the KV-cache analogue of §3.3's
+//!   batched inference, extended *across* queries.
+//!
+//! Correctness: scoring is deterministic and pure, so serving a
+//! distribution memoized by an earlier query cannot change any
+//! traversal decision — warm results are byte-identical to cold ones
+//! (enforced by `tests/session.rs`). Swapping the model or tokenizer
+//! bumps the cache generation and re-keys the plan memo, so stale
+//! entries can never be served.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use relm_bpe::BpeTokenizer;
+use relm_lm::{LanguageModel, ScoringEngine, SharedCacheStats, SharedScoringCache};
+
+use crate::executor::{
+    assemble_compiled, compile_parts, execute_with_engine, CompiledSearch, PlanParts, SearchResults,
+};
+use crate::query::{SearchQuery, TokenizationStrategy};
+use crate::RelmError;
+
+/// Tuning knobs for a [`RelmSession`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Byte budget of the shared scoring cache.
+    pub scoring_cache_bytes: usize,
+    /// Maximum number of memoized compiled plans (LRU-evicted).
+    pub plan_memo_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            scoring_cache_bytes: relm_lm::DEFAULT_SHARED_CACHE_BYTES,
+            plan_memo_capacity: 256,
+        }
+    }
+}
+
+/// Aggregated reuse counters for a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionStats {
+    /// Plans served from the memo without compilation.
+    pub plan_hits: u64,
+    /// Plans compiled fresh.
+    pub plan_misses: u64,
+    /// Compiled plans currently memoized.
+    pub plan_entries: usize,
+    /// Shared scoring-cache counters (hits/misses span queries).
+    pub scoring: SharedCacheStats,
+}
+
+impl SessionStats {
+    /// Fraction of plans served from the memo.
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.plan_hits as f64 / total as f64
+    }
+}
+
+/// The compilation-relevant identity of a query. Execution flags
+/// (policy, strategy, seeds, caps) are deliberately absent: they are
+/// attached per-run and do not affect the automata. The pattern, prefix,
+/// and preprocessor configuration are stored **exactly** (the
+/// preprocessor list as its full structural encoding, not a hash), so a
+/// memo hit can never serve automata compiled from a different query;
+/// the tokenizer enters as its fingerprint, which is safe because
+/// [`RelmSession::swap_tokenizer`] clears the memo — keys from two
+/// different tokenizers never coexist.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    pattern: String,
+    prefix: Option<String>,
+    tokenization: TokenizationStrategy,
+    preprocessors: Vec<u64>,
+    tokenizer: u64,
+}
+
+impl PlanKey {
+    fn of(query: &SearchQuery, tokenizer_fingerprint: u64) -> Self {
+        let mut pre = Vec::new();
+        for p in &query.preprocessors {
+            p.encode_into(&mut pre);
+        }
+        PlanKey {
+            pattern: query.query_string.pattern.clone(),
+            prefix: query.query_string.prefix.clone(),
+            tokenization: query.tokenization,
+            preprocessors: pre,
+            tokenizer: tokenizer_fingerprint,
+        }
+    }
+}
+
+/// The bounded plan memo: a `HashMap` with LRU eviction by use stamp
+/// (capacities are small — hundreds — so the eviction scan is cheap
+/// relative to one compilation it replaces).
+#[derive(Debug)]
+struct PlanMemo {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<PlanKey, (Arc<PlanParts>, u64)>,
+}
+
+impl PlanMemo {
+    fn new(capacity: usize) -> Self {
+        PlanMemo {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<PlanParts>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(parts, used)| {
+            *used = tick;
+            Arc::clone(parts)
+        })
+    }
+
+    fn insert(&mut self, key: PlanKey, parts: Arc<PlanParts>) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, (parts, self.tick));
+    }
+}
+
+/// A persistent ReLM runtime bound to one model and tokenizer. See the
+/// module docs.
+///
+/// `M` is any [`LanguageModel`] (including `&M`, so a session can borrow
+/// a model owned elsewhere). The stateless [`crate::search`] remains the
+/// one-shot path; a session makes *repeated* queries start warm.
+///
+/// # Example
+///
+/// ```
+/// use relm_bpe::BpeTokenizer;
+/// use relm_core::{QueryString, RelmSession, SearchQuery};
+/// use relm_lm::{NGramConfig, NGramLm};
+///
+/// let corpus = "the cat sat on the mat. the dog sat on the log.";
+/// let tokenizer = BpeTokenizer::train(corpus, 60);
+/// let model = NGramLm::train(
+///     &tokenizer,
+///     &["the cat sat on the mat", "the dog sat on the log"],
+///     NGramConfig::xl(),
+/// );
+/// let session = RelmSession::new(model, tokenizer);
+/// let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+/// let cold: Vec<_> = session.search(&query)?.take(2).collect();
+/// let warm: Vec<_> = session.search(&query)?.take(2).collect(); // no recompile
+/// assert_eq!(cold, warm);
+/// assert_eq!(session.stats().plan_hits, 1);
+/// # Ok::<(), relm_core::RelmError>(())
+/// ```
+#[derive(Debug)]
+pub struct RelmSession<M> {
+    model: M,
+    tokenizer: BpeTokenizer,
+    tokenizer_fingerprint: u64,
+    scoring_cache: Arc<SharedScoringCache>,
+    plans: Mutex<PlanMemo>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+}
+
+impl<M: LanguageModel> RelmSession<M> {
+    /// A session over `model` and `tokenizer` with default budgets.
+    pub fn new(model: M, tokenizer: BpeTokenizer) -> Self {
+        Self::with_config(model, tokenizer, SessionConfig::default())
+    }
+
+    /// A session with explicit cache/memo budgets.
+    pub fn with_config(model: M, tokenizer: BpeTokenizer, config: SessionConfig) -> Self {
+        let tokenizer_fingerprint = tokenizer.fingerprint();
+        RelmSession {
+            model,
+            tokenizer,
+            tokenizer_fingerprint,
+            scoring_cache: Arc::new(SharedScoringCache::new(config.scoring_cache_bytes)),
+            plans: Mutex::new(PlanMemo::new(config.plan_memo_capacity)),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The session's model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The session's tokenizer.
+    pub fn tokenizer(&self) -> &BpeTokenizer {
+        &self.tokenizer
+    }
+
+    /// The shared scoring cache (e.g. to inspect or pre-warm it).
+    pub fn scoring_cache(&self) -> &Arc<SharedScoringCache> {
+        &self.scoring_cache
+    }
+
+    /// A scoring engine over the session's model wired to the shared
+    /// cache — for scoring work outside `search` (ancestral sampling,
+    /// perplexity sweeps) that should still pool its memo with the
+    /// session's queries. The engine implements [`LanguageModel`].
+    pub fn engine(&self) -> ScoringEngine<&M> {
+        ScoringEngine::with_shared_cache(
+            &self.model,
+            relm_lm::ScoringMode::Batched,
+            Arc::clone(&self.scoring_cache),
+        )
+    }
+
+    /// Compile `query` into an executable plan, serving the automata
+    /// from the plan memo when an equivalent query was compiled before.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`crate::search`]. Failed compilations are not
+    /// memoized.
+    pub fn plan(&self, query: &SearchQuery) -> Result<CompiledSearch, RelmError> {
+        let key = PlanKey::of(query, self.tokenizer_fingerprint);
+        let memoized = self.plans.lock().get(&key);
+        let parts = match memoized {
+            Some(parts) => {
+                self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                parts
+            }
+            None => {
+                self.plan_misses.fetch_add(1, Ordering::Relaxed);
+                let parts = Arc::new(compile_parts(query, &self.tokenizer)?);
+                self.plans.lock().insert(key, Arc::clone(&parts));
+                parts
+            }
+        };
+        let compiled = assemble_compiled(query, parts, self.model.max_sequence_len())?;
+        Ok(CompiledSearch::from_query(
+            query,
+            compiled,
+            self.tokenizer_fingerprint,
+        ))
+    }
+
+    /// Execute a compiled plan against the session's model, scoring
+    /// through the shared cache.
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::InvalidQuery`] if `plan` was compiled for a
+    /// different tokenizer (e.g. held across
+    /// [`Self::swap_tokenizer`] — its automata are over the old token
+    /// ids) or its token budget exceeds the current model's maximum
+    /// sequence length (a plan held across [`Self::swap_model`] to a
+    /// smaller-context model).
+    pub fn execute(&self, plan: &CompiledSearch) -> Result<SearchResults<'_, M>, RelmError> {
+        plan.check_compatible(self.tokenizer_fingerprint, self.model.max_sequence_len())?;
+        let engine = ScoringEngine::with_shared_cache(
+            &self.model,
+            plan.compiled.scoring,
+            Arc::clone(&self.scoring_cache),
+        );
+        Ok(
+            execute_with_engine(engine, &self.tokenizer, plan).with_plan_counters(
+                self.plan_hits.load(Ordering::Relaxed),
+                self.plan_misses.load(Ordering::Relaxed),
+            ),
+        )
+    }
+
+    /// Plan and execute in one call — the session-aware equivalent of
+    /// [`crate::search`].
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`crate::search`].
+    pub fn search(&self, query: &SearchQuery) -> Result<SearchResults<'_, M>, RelmError> {
+        let plan = self.plan(query)?;
+        self.execute(&plan)
+    }
+
+    /// Swap the model behind the session, bumping the scoring cache's
+    /// generation so no distribution computed by the old model can ever
+    /// be served. Compiled plans survive (they depend only on the
+    /// tokenizer), so the new model starts compile-warm but score-cold.
+    ///
+    /// Requires `&mut self`: no search borrowed from this session can be
+    /// live across a swap.
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::InvalidQuery`] if the new model's vocabulary is
+    /// smaller than the session tokenizer's — the automata would index
+    /// past the model's distributions. The session is left unchanged
+    /// (the offered model is dropped).
+    pub fn swap_model(&mut self, model: M) -> Result<M, RelmError> {
+        if model.vocab_size() < self.tokenizer.vocab_size() {
+            return Err(RelmError::InvalidQuery(
+                "model vocabulary is smaller than the session tokenizer's".into(),
+            ));
+        }
+        let old = std::mem::replace(&mut self.model, model);
+        self.scoring_cache.bump_generation();
+        Ok(old)
+    }
+
+    /// Swap the tokenizer, re-keying the plan memo (old plans become
+    /// unreachable under the new fingerprint) and bumping the scoring
+    /// cache's generation (token ids change meaning).
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::InvalidQuery`] if the new tokenizer's vocabulary is
+    /// larger than the session model's — compiled automata would emit
+    /// token ids the model has no distribution entry for. The session is
+    /// left unchanged (the offered tokenizer is dropped).
+    pub fn swap_tokenizer(&mut self, tokenizer: BpeTokenizer) -> Result<BpeTokenizer, RelmError> {
+        if tokenizer.vocab_size() > self.model.vocab_size() {
+            return Err(RelmError::InvalidQuery(
+                "tokenizer vocabulary exceeds the session model's".into(),
+            ));
+        }
+        let capacity = self.plans.lock().capacity;
+        self.tokenizer_fingerprint = tokenizer.fingerprint();
+        *self.plans.lock() = PlanMemo::new(capacity);
+        self.scoring_cache.bump_generation();
+        Ok(std::mem::replace(&mut self.tokenizer, tokenizer))
+    }
+
+    /// Snapshot of the session's reuse counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            plan_entries: self.plans.lock().entries.len(),
+            scoring: self.scoring_cache.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryString;
+    use crate::Preprocessor;
+    use relm_lm::{NGramConfig, NGramLm};
+
+    fn fixture() -> (BpeTokenizer, NGramLm) {
+        let docs = [
+            "the cat sat on the mat",
+            "the cat sat on the mat",
+            "the dog sat on the log",
+        ];
+        let corpus = docs.join(". ");
+        let tok = BpeTokenizer::train(&corpus, 80);
+        let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
+        (tok, lm)
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_plan_memo() {
+        let (tok, lm) = fixture();
+        let session = RelmSession::new(lm, tok);
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        let first: Vec<_> = session.search(&query).unwrap().take(2).collect();
+        let second: Vec<_> = session.search(&query).unwrap().take(2).collect();
+        assert_eq!(first, second);
+        let stats = session.stats();
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.plan_hits, 1);
+        assert_eq!(stats.plan_entries, 1);
+        assert!((stats.plan_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn execution_flags_do_not_fragment_the_memo() {
+        let (tok, lm) = fixture();
+        let session = RelmSession::new(lm, tok);
+        let base = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        let _ = session.search(&base).unwrap().take(1).count();
+        // Different policy / caps / strategy, same automata.
+        let variant = base
+            .clone()
+            .with_policy(relm_lm::DecodingPolicy::top_k(5))
+            .with_max_expansions(999)
+            .with_strategy(crate::SearchStrategy::Beam { width: 4 });
+        let _ = session.search(&variant).unwrap().take(1).count();
+        assert_eq!(session.stats().plan_hits, 1, "flags are not in the key");
+    }
+
+    #[test]
+    fn different_patterns_or_preprocessors_miss() {
+        let (tok, lm) = fixture();
+        let session = RelmSession::new(lm, tok);
+        let a = SearchQuery::new(QueryString::new("the cat"));
+        let b = SearchQuery::new(QueryString::new("the dog"));
+        let c = SearchQuery::new(QueryString::new("the cat"))
+            .with_preprocessor(Preprocessor::levenshtein(1));
+        for q in [&a, &b, &c] {
+            let _ = session.search(q).unwrap().take(1).count();
+        }
+        let stats = session.stats();
+        assert_eq!(stats.plan_misses, 3);
+        assert_eq!(stats.plan_hits, 0);
+    }
+
+    #[test]
+    fn scoring_cache_warms_across_queries() {
+        let (tok, lm) = fixture();
+        let session = RelmSession::new(lm, tok);
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        let _ = session.search(&query).unwrap().take(2).count();
+        let cold_scoring = session.stats().scoring;
+        assert!(cold_scoring.insertions > 0);
+        let mut warm = session.search(&query).unwrap();
+        let _ = (&mut warm).take(2).count();
+        let warm_stats = warm.stats();
+        assert_eq!(
+            warm_stats.cache_misses, 0,
+            "second identical query must be fully cache-served: {warm_stats:?}"
+        );
+        assert!(warm_stats.cache_hits > 0);
+        assert!(warm_stats.plan_cache_hits > 0);
+    }
+
+    #[test]
+    fn plan_memo_capacity_is_enforced() {
+        let (tok, lm) = fixture();
+        let session = RelmSession::with_config(
+            lm,
+            tok,
+            SessionConfig {
+                plan_memo_capacity: 2,
+                ..SessionConfig::default()
+            },
+        );
+        for pattern in ["the cat", "the dog", "the ((cat)|(dog))"] {
+            let _ = session
+                .search(&SearchQuery::new(QueryString::new(pattern)))
+                .unwrap()
+                .take(1)
+                .count();
+        }
+        assert_eq!(session.stats().plan_entries, 2);
+        // Least-recently-used plan ("the cat") was evicted; the newest
+        // two still hit.
+        let _ = session
+            .search(&SearchQuery::new(QueryString::new("the ((cat)|(dog))")))
+            .unwrap()
+            .take(1)
+            .count();
+        assert_eq!(session.stats().plan_hits, 1);
+    }
+
+    #[test]
+    fn compile_errors_are_not_memoized() {
+        let (tok, lm) = fixture();
+        let session = RelmSession::new(lm, tok);
+        let bad = SearchQuery::new(QueryString::new("a("));
+        assert!(session.plan(&bad).is_err());
+        assert!(session.plan(&bad).is_err());
+        let stats = session.stats();
+        assert_eq!(stats.plan_entries, 0);
+        assert_eq!(stats.plan_misses, 2);
+    }
+
+    #[test]
+    fn swap_model_bumps_generation_and_keeps_plans() {
+        let (tok, lm) = fixture();
+        let other = NGramLm::train(
+            &tok,
+            &["the dog sat on the log", "the dog sat on the log"],
+            NGramConfig::xl(),
+        );
+        let mut session = RelmSession::new(lm, tok.clone());
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        let before: Vec<_> = session.search(&query).unwrap().take(2).collect();
+        let gen_before = session.stats().scoring.generation;
+        session.swap_model(other).unwrap();
+        assert_eq!(session.stats().scoring.generation, gen_before + 1);
+        let after: Vec<_> = session.search(&query).unwrap().take(2).collect();
+        // Same language, but the dog-heavy model must rank "dog" first —
+        // proof the old model's distributions were not reused.
+        assert_ne!(before[0].text, after[0].text);
+        assert_eq!(after[0].text, "the dog sat");
+        assert_eq!(session.stats().plan_hits, 1, "plans survive a model swap");
+    }
+
+    #[test]
+    fn swap_tokenizer_rekeys_plans() {
+        let (tok, lm) = fixture();
+        let retrained = BpeTokenizer::train("the cat sat on the mat. the dog sat.", 40);
+        assert_ne!(tok.fingerprint(), retrained.fingerprint());
+        let mut session = RelmSession::new(lm, tok);
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        let _ = session.search(&query).unwrap().take(1).count();
+        session.swap_tokenizer(retrained).unwrap();
+        let _ = session.search(&query).unwrap().take(1).count();
+        let stats = session.stats();
+        assert_eq!(stats.plan_hits, 0, "old plans unreachable after re-key");
+        assert_eq!(stats.plan_misses, 2);
+    }
+}

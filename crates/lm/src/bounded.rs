@@ -1,0 +1,361 @@
+//! A byte-budgeted, generation-tagged memo table with clock eviction.
+//!
+//! [`ClockCache`] is the single eviction policy behind every scoring
+//! memo in the workspace: the per-query table inside
+//! [`crate::ScoringEngine`], the legacy [`crate::CachedLm`] wrapper, and
+//! the cross-query [`crate::SharedScoringCache`]. It replaces the
+//! unbounded `HashMap` those layers used to hold — under a long audit
+//! (thousands of queries against one model) an unbounded memo is a slow
+//! memory leak; here every insertion is charged an estimated byte cost
+//! and the total is kept under a budget by second-chance (clock)
+//! eviction.
+//!
+//! **Clock eviction**: entries live in slots arranged in a ring; each
+//! lookup sets the entry's referenced bit; when space is needed a hand
+//! sweeps the ring, clearing referenced bits and evicting the first
+//! unreferenced entry it finds. This approximates LRU at O(1) amortized
+//! cost with no linked-list bookkeeping.
+//!
+//! **Generations**: every entry is tagged with the generation current at
+//! insertion. [`ClockCache::bump_generation`] invalidates the whole
+//! table in O(1): stale entries miss on lookup (and are removed on
+//! contact) and the eviction hand discards them eagerly, so a swapped
+//! model or tokenizer can never be served a distribution computed by its
+//! predecessor.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use relm_bpe::TokenId;
+
+/// Estimated fixed overhead per entry (hash-table slot, `Vec` headers,
+/// clock metadata), charged on top of the key/value payload bytes.
+const ENTRY_OVERHEAD_BYTES: usize = 112;
+
+/// One memoized distribution. The key is shared with the index map
+/// (`Arc`), so each context's bytes are stored once and `cost` charges
+/// them once.
+#[derive(Debug)]
+struct Entry {
+    key: Arc<[TokenId]>,
+    value: Vec<f64>,
+    generation: u64,
+    referenced: bool,
+    cost: usize,
+}
+
+/// The bounded memo table. Not internally synchronized — owners wrap it
+/// in a `Mutex` ([`crate::SharedScoringCache`]) or keep it private to
+/// one search.
+#[derive(Debug)]
+pub(crate) struct ClockCache {
+    /// `context -> slot index` (keys shared with the entries).
+    map: HashMap<Arc<[TokenId]>, usize>,
+    /// The clock ring. `None` slots are free.
+    slots: Vec<Option<Entry>>,
+    /// Indices of free slots, reused before the ring grows.
+    free: Vec<usize>,
+    /// The clock hand: next slot the eviction sweep examines.
+    hand: usize,
+    /// Current estimated resident bytes.
+    bytes: usize,
+    /// The byte budget.
+    max_bytes: usize,
+    /// Current generation; entries from older generations are stale.
+    generation: u64,
+    /// Entries discarded to fit the budget (stale removals included).
+    evictions: u64,
+    /// Entries admitted over the cache's lifetime.
+    insertions: u64,
+    /// Live (current-generation) entry count, maintained incrementally
+    /// so [`ClockCache::len`] is O(1) — it is read under the owner's
+    /// lock on every stats snapshot.
+    live: usize,
+}
+
+impl ClockCache {
+    /// An empty cache with the given byte budget.
+    pub(crate) fn new(max_bytes: usize) -> Self {
+        ClockCache {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            hand: 0,
+            bytes: 0,
+            max_bytes,
+            generation: 0,
+            evictions: 0,
+            insertions: 0,
+            live: 0,
+        }
+    }
+
+    /// Estimated bytes an entry with this key/value costs.
+    fn cost_of(key: &[TokenId], value: &[f64]) -> usize {
+        std::mem::size_of_val(key) + std::mem::size_of_val(value) + ENTRY_OVERHEAD_BYTES
+    }
+
+    /// Number of live (current-generation) entries. Stale entries not
+    /// yet collected are excluded. O(1).
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Current estimated resident bytes (stale, uncollected entries
+    /// included — they still occupy memory).
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The byte budget.
+    pub(crate) fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// Total evictions (budget pressure + stale collection).
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total admitted entries.
+    pub(crate) fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// The current generation tag.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Invalidate every entry in O(1): subsequent lookups miss, and the
+    /// stale entries are collected lazily (on contact or by the eviction
+    /// hand).
+    pub(crate) fn bump_generation(&mut self) {
+        self.generation += 1;
+        self.live = 0;
+    }
+
+    /// Drop everything, keeping the budget and counters.
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.hand = 0;
+        self.bytes = 0;
+        self.live = 0;
+    }
+
+    /// Remove the entry in `slot`, updating the map and byte account.
+    fn remove_slot(&mut self, slot: usize) {
+        if let Some(entry) = self.slots[slot].take() {
+            self.map.remove(&entry.key[..]);
+            self.bytes -= entry.cost;
+            self.free.push(slot);
+            self.evictions += 1;
+            if entry.generation == self.generation {
+                self.live -= 1;
+            }
+        }
+    }
+
+    /// Whether `context` is memoized in the current generation. Does not
+    /// touch the referenced bit.
+    pub(crate) fn contains(&self, context: &[TokenId]) -> bool {
+        self.map
+            .get(context)
+            .and_then(|&slot| self.slots[slot].as_ref())
+            .is_some_and(|e| e.generation == self.generation)
+    }
+
+    /// Look up `context`, setting its referenced bit on a hit. A stale
+    /// (older-generation) entry is removed on contact and reported as a
+    /// miss.
+    pub(crate) fn lookup(&mut self, context: &[TokenId]) -> Option<Vec<f64>> {
+        let slot = *self.map.get(context)?;
+        let stale = {
+            let entry = self.slots[slot].as_mut().expect("mapped slot is live");
+            if entry.generation == self.generation {
+                entry.referenced = true;
+                return Some(entry.value.clone());
+            }
+            true
+        };
+        if stale {
+            self.remove_slot(slot);
+        }
+        None
+    }
+
+    /// Admit `context -> distribution` (first writer wins), evicting as
+    /// needed to respect the byte budget. Entries larger than the whole
+    /// budget are not admitted.
+    pub(crate) fn insert(&mut self, context: Vec<TokenId>, distribution: Vec<f64>) {
+        if self.contains(&context) {
+            return; // first writer wins, matching the old HashMap entry API
+        }
+        // A stale entry under the same key must be displaced first.
+        if let Some(&slot) = self.map.get(&context[..]) {
+            self.remove_slot(slot);
+        }
+        let cost = Self::cost_of(&context, &distribution);
+        if cost > self.max_bytes {
+            return;
+        }
+        while self.bytes + cost > self.max_bytes {
+            if !self.evict_one() {
+                return; // nothing left to evict; shouldn't happen, but stay safe
+            }
+        }
+        let key: Arc<[TokenId]> = context.into();
+        let entry = Entry {
+            key: Arc::clone(&key),
+            value: distribution,
+            generation: self.generation,
+            referenced: false,
+            cost,
+        };
+        let slot = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Some(entry);
+                idx
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.bytes += cost;
+        self.insertions += 1;
+        self.live += 1;
+    }
+
+    /// One clock sweep step: evict the first stale or unreferenced entry,
+    /// clearing referenced bits along the way. Returns `false` when the
+    /// ring holds nothing evictable.
+    fn evict_one(&mut self) -> bool {
+        if self.slots.is_empty() || self.bytes == 0 {
+            return false;
+        }
+        // Two full revolutions suffice: the first clears referenced bits,
+        // the second must then find a victim.
+        for _ in 0..self.slots.len() * 2 {
+            let slot = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            let Some(entry) = self.slots[slot].as_mut() else {
+                continue;
+            };
+            if entry.generation != self.generation || !entry.referenced {
+                self.remove_slot(slot);
+                return true;
+            }
+            entry.referenced = false;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(n: usize, seed: f64) -> Vec<f64> {
+        (0..n).map(|i| seed - i as f64).collect()
+    }
+
+    #[test]
+    fn lookup_roundtrip_and_first_writer_wins() {
+        let mut c = ClockCache::new(1 << 20);
+        c.insert(vec![1, 2], dist(4, 0.0));
+        c.insert(vec![1, 2], dist(4, 9.0)); // ignored
+        assert_eq!(c.lookup(&[1, 2]), Some(dist(4, 0.0)));
+        assert_eq!(c.lookup(&[9]), None);
+        assert_eq!(c.len(), 1);
+        assert!(c.bytes() > 0);
+    }
+
+    #[test]
+    fn byte_budget_is_enforced() {
+        let entry_cost = ClockCache::cost_of(&[0, 0], &dist(8, 0.0));
+        let mut c = ClockCache::new(entry_cost * 4);
+        for i in 0..32u32 {
+            c.insert(vec![i, i], dist(8, f64::from(i)));
+        }
+        assert!(
+            c.bytes() <= c.max_bytes(),
+            "{} > {}",
+            c.bytes(),
+            c.max_bytes()
+        );
+        assert!(c.len() <= 4);
+        assert!(c.evictions() >= 28);
+    }
+
+    #[test]
+    fn clock_gives_referenced_entries_a_second_chance() {
+        let entry_cost = ClockCache::cost_of(&[0], &dist(8, 0.0));
+        let mut c = ClockCache::new(entry_cost * 3);
+        c.insert(vec![0], dist(8, 0.0));
+        c.insert(vec![1], dist(8, 1.0));
+        c.insert(vec![2], dist(8, 2.0));
+        // Touch 0 so the sweep prefers 1 (unreferenced).
+        assert!(c.lookup(&[0]).is_some());
+        c.insert(vec![3], dist(8, 3.0));
+        assert!(c.lookup(&[0]).is_some(), "recently used entry survives");
+        assert!(c.lookup(&[3]).is_some(), "new entry admitted");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_admitted() {
+        let mut c = ClockCache::new(64);
+        c.insert(vec![1; 100], dist(100, 0.0));
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn generation_bump_invalidates_everything() {
+        let mut c = ClockCache::new(1 << 20);
+        c.insert(vec![1], dist(4, 0.0));
+        c.insert(vec![2], dist(4, 1.0));
+        assert_eq!(c.len(), 2);
+        c.bump_generation();
+        assert_eq!(c.len(), 0, "stale entries are not live");
+        assert_eq!(c.lookup(&[1]), None, "stale entry must miss");
+        // Re-insert under the new generation serves the new value.
+        c.insert(vec![1], dist(4, 7.0));
+        assert_eq!(c.lookup(&[1]), Some(dist(4, 7.0)));
+    }
+
+    #[test]
+    fn stale_entries_are_reclaimed_by_the_sweep() {
+        let entry_cost = ClockCache::cost_of(&[0], &dist(8, 0.0));
+        let mut c = ClockCache::new(entry_cost * 4);
+        for i in 0..4u32 {
+            c.insert(vec![i], dist(8, f64::from(i)));
+        }
+        c.bump_generation();
+        // The budget is full of stale entries; new inserts must reclaim.
+        for i in 10..14u32 {
+            c.insert(vec![i], dist(8, f64::from(i)));
+        }
+        assert_eq!(c.len(), 4);
+        for i in 10..14u32 {
+            assert!(c.lookup(&[i]).is_some(), "entry {i} admitted post-bump");
+        }
+    }
+
+    #[test]
+    fn clear_resets_contents_but_not_counters() {
+        let mut c = ClockCache::new(1 << 20);
+        c.insert(vec![1], dist(4, 0.0));
+        let inserted = c.insertions();
+        c.clear();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.insertions(), inserted);
+        c.insert(vec![2], dist(4, 0.0));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -5,17 +5,26 @@
 //! same prefix; walk-weighted sampling re-queries shared prefixes across
 //! samples. [`CachedLm`] memoizes `next_log_probs` per context, the same
 //! role a KV-cache plays for transformer inference.
+//!
+//! The memo table is **byte-budgeted** (64 MiB by default, see
+//! [`CachedLm::with_byte_budget`]) with the same clock-eviction policy as
+//! every other memo in the workspace — no code path retains an unbounded
+//! `HashMap`, so long audits cannot leak memory through a wrapper that
+//! outlives its queries.
 
-use std::collections::HashMap;
+use parking_lot::Mutex;
 
-use parking_lot::RwLock;
-
+use crate::bounded::ClockCache;
 use crate::{LanguageModel, TokenId};
 
-/// Wraps any [`LanguageModel`] with a context → distribution memo table.
+/// Default byte budget for a [`CachedLm`] memo table (64 MiB).
+pub const DEFAULT_CACHED_LM_BYTES: usize = 64 << 20;
+
+/// Wraps any [`LanguageModel`] with a bounded context → distribution memo
+/// table.
 ///
-/// Thread-safe: readers proceed in parallel; the first scorer of a context
-/// fills the entry.
+/// Thread-safe: the table is behind a mutex; the first scorer of a
+/// context fills the entry.
 ///
 /// # Example
 ///
@@ -34,15 +43,22 @@ use crate::{LanguageModel, TokenId};
 #[derive(Debug)]
 pub struct CachedLm<M> {
     inner: M,
-    cache: RwLock<HashMap<Vec<TokenId>, Vec<f64>>>,
+    cache: Mutex<ClockCache>,
 }
 
 impl<M: LanguageModel> CachedLm<M> {
-    /// Wrap `inner` with an empty cache.
+    /// Wrap `inner` with an empty cache under the default byte budget.
     pub fn new(inner: M) -> Self {
+        Self::with_byte_budget(inner, DEFAULT_CACHED_LM_BYTES)
+    }
+
+    /// Wrap `inner` with an explicit memo-table byte budget. Once the
+    /// budget is reached, clock eviction discards the least recently
+    /// referenced distributions to make room.
+    pub fn with_byte_budget(inner: M, max_bytes: usize) -> Self {
         CachedLm {
             inner,
-            cache: RwLock::new(HashMap::new()),
+            cache: Mutex::new(ClockCache::new(max_bytes)),
         }
     }
 
@@ -58,30 +74,41 @@ impl<M: LanguageModel> CachedLm<M> {
 
     /// Number of cached contexts.
     pub fn cache_len(&self) -> usize {
-        self.cache.read().len()
+        self.cache.lock().len()
+    }
+
+    /// Estimated resident bytes of the memo table.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.lock().bytes()
+    }
+
+    /// Entries discarded by the eviction policy so far.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.lock().evictions()
     }
 
     /// Drop all cached distributions.
     pub fn clear_cache(&self) {
-        self.cache.write().clear();
+        self.cache.lock().clear();
     }
 
     /// Probe the memo table without computing on a miss. Used by
-    /// [`crate::ScoringEngine`] to partition a batch into hits and
-    /// misses before one batched model call.
+    /// [`next_log_probs_batch`](LanguageModel::next_log_probs_batch) to
+    /// partition a batch into hits and misses before one batched model
+    /// call.
     pub fn lookup(&self, context: &[TokenId]) -> Option<Vec<f64>> {
-        self.cache.read().get(context).cloned()
+        self.cache.lock().lookup(context)
     }
 
     /// Whether `context` is memoized.
     pub fn is_cached(&self, context: &[TokenId]) -> bool {
-        self.cache.read().contains_key(context)
+        self.cache.lock().contains(context)
     }
 
     /// Store a computed distribution (first writer wins, matching the
     /// fill rule of [`next_log_probs`](LanguageModel::next_log_probs)).
     pub fn insert(&self, context: Vec<TokenId>, distribution: Vec<f64>) {
-        self.cache.write().entry(context).or_insert(distribution);
+        self.cache.lock().insert(context, distribution);
     }
 }
 
@@ -99,27 +126,31 @@ impl<M: LanguageModel> LanguageModel for CachedLm<M> {
     }
 
     fn next_log_probs(&self, context: &[TokenId]) -> Vec<f64> {
-        if let Some(hit) = self.cache.read().get(context) {
-            return hit.clone();
+        if let Some(hit) = self.lookup(context) {
+            return hit;
         }
         let computed = self.inner.next_log_probs(context);
-        self.cache
-            .write()
-            .entry(context.to_vec())
-            .or_insert_with(|| computed.clone());
+        self.insert(context.to_vec(), computed.clone());
         computed
     }
 
     /// Serve hits from the memo table and forward only the (deduplicated)
-    /// misses to the inner model's batched path.
+    /// misses to the inner model's batched path. The memo mutex is taken
+    /// once for the partition and once for the refill, not per context.
     fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
-        let plan = BatchPlan::partition(contexts, |ctx| self.lookup(ctx));
+        let plan = {
+            let mut table = self.cache.lock();
+            BatchPlan::partition(contexts, |ctx| table.lookup(ctx))
+        };
         if plan.misses.is_empty() {
             return plan.fill(Vec::new());
         }
         let computed = self.inner.next_log_probs_batch(&plan.misses);
-        for (ctx, dist) in plan.misses.iter().zip(&computed) {
-            self.insert(ctx.to_vec(), dist.clone());
+        {
+            let mut table = self.cache.lock();
+            for (ctx, dist) in plan.misses.iter().zip(&computed) {
+                table.insert(ctx.to_vec(), dist.clone());
+            }
         }
         plan.fill(computed)
     }
@@ -139,14 +170,23 @@ pub(crate) struct BatchPlan<'a> {
 }
 
 impl<'a> BatchPlan<'a> {
-    /// Partition `contexts` using `lookup` to resolve hits.
+    /// Number of input slots resolved from the cache (table hits, not
+    /// counting duplicate-miss collapses).
+    pub fn hit_count(&self) -> usize {
+        self.results.iter().flatten().count()
+    }
+
+    /// Partition `contexts` using `lookup` to resolve hits. `lookup` is
+    /// `FnMut` so callers can close over a single lock guard instead of
+    /// re-acquiring a mutex per context.
     pub fn partition(
         contexts: &[&'a [TokenId]],
-        lookup: impl Fn(&[TokenId]) -> Option<Vec<f64>>,
+        mut lookup: impl FnMut(&[TokenId]) -> Option<Vec<f64>>,
     ) -> Self {
         let mut results = Vec::with_capacity(contexts.len());
         let mut slot_miss = Vec::with_capacity(contexts.len());
-        let mut miss_index: HashMap<&[TokenId], usize> = HashMap::new();
+        let mut miss_index: std::collections::HashMap<&[TokenId], usize> =
+            std::collections::HashMap::new();
         let mut misses: Vec<&[TokenId]> = Vec::new();
         for &ctx in contexts {
             if let Some(hit) = lookup(ctx) {
@@ -243,6 +283,24 @@ mod tests {
         assert_eq!(lm.vocab_size(), lm.inner().vocab_size());
         assert_eq!(lm.eos(), lm.inner().eos());
         assert_eq!(lm.max_sequence_len(), lm.inner().max_sequence_len());
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_table() {
+        let tok = BpeTokenizer::train("the cat sat on the mat", 30);
+        let model = NGramLm::train(&tok, &["the cat sat on the mat"], NGramConfig::xl());
+        // One distribution is vocab_size * 8 bytes; allow ~4 of them.
+        let budget = (model.vocab_size() * 8 + 256) * 4;
+        let lm = CachedLm::with_byte_budget(model, budget);
+        for i in 0..64u32 {
+            let _ = lm.next_log_probs(&[i % 200, i / 3]);
+        }
+        assert!(lm.cache_bytes() <= budget, "{}", lm.cache_bytes());
+        assert!(lm.cache_evictions() > 0, "eviction must have engaged");
+        assert!(lm.cache_len() <= 5);
+        // Values stay correct under eviction pressure.
+        let probe = vec![3u32, 1];
+        assert_eq!(lm.next_log_probs(&probe), lm.inner().next_log_probs(&probe));
     }
 
     #[test]

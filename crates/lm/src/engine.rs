@@ -23,12 +23,28 @@
 //! a time straight through the model — the reference path that batched
 //! executors are tested byte-identical against, and the baseline the
 //! executor benches compare throughput with.
+//!
+//! The memo table behind the engine comes in two flavors: a **private**
+//! table (the default — per-engine, discarded with the engine) and a
+//! **shared** [`SharedScoringCache`] handle
+//! ([`ScoringEngine::with_shared_cache`]) through which all the queries
+//! of a session pool their memoized distributions. Both are bounded by
+//! the same byte-budgeted clock-eviction policy; the shared flavor adds
+//! generation tags so a swapped model can never be served a stale
+//! distribution.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use relm_bpe::TokenId;
 
-use crate::{CachedLm, LanguageModel};
+use crate::bounded::ClockCache;
+use crate::{LanguageModel, SharedScoringCache};
+
+/// Default byte budget for an engine's private memo table (64 MiB).
+pub const DEFAULT_ENGINE_CACHE_BYTES: usize = 64 << 20;
 
 /// Requests observed before the admission policy may turn memoization
 /// off.
@@ -67,6 +83,13 @@ pub struct ScoringStats {
     /// Total contexts evaluated across those invocations
     /// (`batched_contexts / batches` is the mean batch fill).
     pub batched_contexts: u64,
+    /// Memo-table entries discarded by the eviction policy. For an
+    /// engine on a shared cache this is the cache's lifetime total (the
+    /// table outlives the engine).
+    pub cache_evictions: u64,
+    /// Estimated resident bytes of the memo table right now (a gauge,
+    /// not a counter).
+    pub cache_bytes: u64,
 }
 
 /// Batched, memoizing scoring front-end over any [`LanguageModel`].
@@ -94,7 +117,8 @@ pub struct ScoringStats {
 /// ```
 #[derive(Debug)]
 pub struct ScoringEngine<M> {
-    cached: CachedLm<M>,
+    model: M,
+    cache: CacheHandle,
     mode: ScoringMode,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -105,16 +129,122 @@ pub struct ScoringEngine<M> {
     write_bypass: AtomicBool,
 }
 
+/// The memo table behind an engine: private to this engine, or a shared
+/// cross-query cache owned by a session.
+#[derive(Debug)]
+enum CacheHandle {
+    Private(Mutex<ClockCache>),
+    Shared(Arc<SharedScoringCache>),
+}
+
+impl CacheHandle {
+    fn lookup(&self, context: &[TokenId]) -> Option<Vec<f64>> {
+        match self {
+            CacheHandle::Private(table) => table.lock().lookup(context),
+            CacheHandle::Shared(cache) => cache.lookup(context),
+        }
+    }
+
+    /// Probe without perturbing hit/miss counters.
+    fn contains(&self, context: &[TokenId]) -> bool {
+        match self {
+            CacheHandle::Private(table) => table.lock().contains(context),
+            CacheHandle::Shared(cache) => cache.probe(context),
+        }
+    }
+
+    /// Partition a scoring batch, holding the backing mutex once for
+    /// the whole batch. Counter-free, so duplicates of an uncached
+    /// context are not each tallied as a shared-cache miss; the batch's
+    /// true accounting goes through [`Self::record_batch`].
+    fn partition_batch<'a>(&self, contexts: &[&'a [TokenId]]) -> crate::cache::BatchPlan<'a> {
+        match self {
+            CacheHandle::Private(table) => {
+                let mut table = table.lock();
+                crate::cache::BatchPlan::partition(contexts, |ctx| table.lookup(ctx))
+            }
+            CacheHandle::Shared(cache) => cache.partition_batch(contexts),
+        }
+    }
+
+    /// Admit many distributions under one lock acquisition.
+    fn insert_many<'a>(&self, entries: impl Iterator<Item = (&'a [TokenId], Vec<f64>)>) {
+        match self {
+            CacheHandle::Private(table) => {
+                let mut table = table.lock();
+                for (ctx, dist) in entries {
+                    table.insert(ctx.to_vec(), dist);
+                }
+            }
+            CacheHandle::Shared(cache) => cache.insert_many(entries),
+        }
+    }
+
+    /// Fold one batch's accounting into a shared cache's counters
+    /// (`hits` table-served slots, `misses` unique evaluated contexts).
+    /// Private tables keep no counters of their own.
+    fn record_batch(&self, hits: u64, misses: u64) {
+        if let CacheHandle::Shared(cache) = self {
+            cache.record(hits, misses);
+        }
+    }
+
+    fn insert(&self, context: Vec<TokenId>, distribution: Vec<f64>) {
+        match self {
+            CacheHandle::Private(table) => table.lock().insert(context, distribution),
+            CacheHandle::Shared(cache) => cache.insert(context, distribution),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            CacheHandle::Private(table) => table.lock().len(),
+            CacheHandle::Shared(cache) => cache.len(),
+        }
+    }
+
+    /// `(evictions, resident bytes)` of the backing table.
+    fn pressure(&self) -> (u64, u64) {
+        match self {
+            CacheHandle::Private(table) => {
+                let table = table.lock();
+                (table.evictions(), table.bytes() as u64)
+            }
+            CacheHandle::Shared(cache) => {
+                let stats = cache.stats();
+                (stats.evictions, stats.bytes as u64)
+            }
+        }
+    }
+}
+
 impl<M: LanguageModel> ScoringEngine<M> {
-    /// A batched engine over `model` with an empty cache.
+    /// A batched engine over `model` with an empty private cache.
     pub fn new(model: M) -> Self {
         Self::with_mode(model, ScoringMode::Batched)
     }
 
-    /// An engine with an explicit [`ScoringMode`].
+    /// An engine with an explicit [`ScoringMode`] and a private cache
+    /// (bounded at [`DEFAULT_ENGINE_CACHE_BYTES`]).
     pub fn with_mode(model: M, mode: ScoringMode) -> Self {
+        Self::with_cache_handle(
+            model,
+            mode,
+            CacheHandle::Private(Mutex::new(ClockCache::new(DEFAULT_ENGINE_CACHE_BYTES))),
+        )
+    }
+
+    /// An engine whose memo table is a [`SharedScoringCache`] owned by
+    /// the caller — the cross-query persistence path: every engine built
+    /// over the same handle serves and fills one pooled table.
+    pub fn with_shared_cache(model: M, mode: ScoringMode, cache: Arc<SharedScoringCache>) -> Self {
+        Self::with_cache_handle(model, mode, CacheHandle::Shared(cache))
+    }
+
+    fn with_cache_handle(model: M, mode: ScoringMode, cache: CacheHandle) -> Self {
         ScoringEngine {
-            cached: CachedLm::new(model),
+            model,
+            cache,
             mode,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -127,7 +257,15 @@ impl<M: LanguageModel> ScoringEngine<M> {
     /// Whether the memo table still admits new entries. Turns false —
     /// permanently — once a warmed-up hit rate shows the workload never
     /// revisits contexts, so memoization is pure overhead.
+    ///
+    /// Applies only to private tables. A shared cache always admits: its
+    /// purpose is to warm *later* queries, so a low hit rate within the
+    /// current query says nothing about an entry's future value, and the
+    /// table is already bounded by its byte budget and eviction policy.
     fn admission_open(&self) -> bool {
+        if matches!(self.cache, CacheHandle::Shared(_)) {
+            return true;
+        }
         if self.write_bypass.load(Ordering::Relaxed) {
             return false;
         }
@@ -142,7 +280,7 @@ impl<M: LanguageModel> ScoringEngine<M> {
 
     /// The wrapped model.
     pub fn model(&self) -> &M {
-        self.cached.inner()
+        &self.model
     }
 
     /// The servicing mode.
@@ -152,11 +290,14 @@ impl<M: LanguageModel> ScoringEngine<M> {
 
     /// Snapshot of the work counters.
     pub fn stats(&self) -> ScoringStats {
+        let (cache_evictions, cache_bytes) = self.cache.pressure();
         ScoringStats {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_contexts: self.batched_contexts.load(Ordering::Relaxed),
+            cache_evictions,
+            cache_bytes,
         }
     }
 
@@ -164,7 +305,7 @@ impl<M: LanguageModel> ScoringEngine<M> {
     /// mode). Executors use this to pick prefetch candidates without
     /// perturbing the counters.
     pub fn is_cached(&self, context: &[TokenId]) -> bool {
-        self.mode == ScoringMode::Batched && self.cached.is_cached(context)
+        self.mode == ScoringMode::Batched && self.cache.contains(context)
     }
 
     /// Whether the memo table still admits new entries. Executors
@@ -177,7 +318,7 @@ impl<M: LanguageModel> ScoringEngine<M> {
 
     /// Number of memoized contexts.
     pub fn cache_len(&self) -> usize {
-        self.cached.cache_len()
+        self.cache.len()
     }
 
     /// Score one context.
@@ -186,7 +327,7 @@ impl<M: LanguageModel> ScoringEngine<M> {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return self.model().next_log_probs(context);
         }
-        if let Some(hit) = self.cached.lookup(context) {
+        if let Some(hit) = self.cache.lookup(context) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
@@ -195,7 +336,7 @@ impl<M: LanguageModel> ScoringEngine<M> {
         self.batched_contexts.fetch_add(1, Ordering::Relaxed);
         let computed = self.model().next_log_probs(context);
         if self.admission_open() {
-            self.cached.insert(context.to_vec(), computed.clone());
+            self.cache.insert(context.to_vec(), computed.clone());
         }
         computed
     }
@@ -216,8 +357,9 @@ impl<M: LanguageModel> ScoringEngine<M> {
                 .map(|ctx| self.model().next_log_probs(ctx))
                 .collect();
         }
-        let plan = crate::cache::BatchPlan::partition(contexts, |ctx| self.cached.lookup(ctx));
+        let plan = self.cache.partition_batch(contexts);
         let miss_count = plan.misses.len() as u64;
+        self.cache.record_batch(plan.hit_count() as u64, miss_count);
         self.misses.fetch_add(miss_count, Ordering::Relaxed);
         // Duplicate misses within the batch are served without model
         // work, so they count as hits alongside memo-table hits.
@@ -231,9 +373,12 @@ impl<M: LanguageModel> ScoringEngine<M> {
             .fetch_add(miss_count, Ordering::Relaxed);
         let computed = self.model().next_log_probs_batch(&plan.misses);
         if self.admission_open() {
-            for (ctx, dist) in plan.misses.iter().zip(&computed) {
-                self.cached.insert(ctx.to_vec(), dist.clone());
-            }
+            self.cache.insert_many(
+                plan.misses
+                    .iter()
+                    .zip(&computed)
+                    .map(|(&ctx, dist)| (ctx, dist.clone())),
+            );
         }
         plan.fill(computed)
     }
@@ -266,6 +411,7 @@ mod tests {
     use super::*;
     use crate::{NGramConfig, NGramLm};
     use relm_bpe::BpeTokenizer;
+    use std::sync::Arc;
 
     fn fixture() -> (BpeTokenizer, NGramLm) {
         let corpus = "the cat sat on the mat. the dog sat on the log.";
@@ -407,6 +553,100 @@ mod tests {
         // Values are still correct after the bypass engages.
         let probe = vec![3 as TokenId, 1];
         assert_eq!(engine.score(&probe), lm.next_log_probs(&probe));
+    }
+
+    #[test]
+    fn shared_cache_keeps_admitting_under_zero_reuse() {
+        // A zero-reuse query must NOT close admission on a shared
+        // cache: the entries exist to warm *later* queries, and the
+        // table is bounded by its own byte budget.
+        let (_tok, lm) = fixture();
+        let cache = Arc::new(SharedScoringCache::new(64 << 20));
+        let engine =
+            ScoringEngine::with_shared_cache(&lm, ScoringMode::Batched, Arc::clone(&cache));
+        let total = super::ADMISSION_WARMUP + 64;
+        for i in 0..total {
+            let ctx = vec![(i % lm.vocab_size() as u64) as TokenId, (i / 7) as TokenId];
+            let _ = engine.score(&ctx);
+        }
+        assert_eq!(
+            cache.stats().insertions,
+            total,
+            "every distinct context must be admitted for the next query"
+        );
+        // The next query (a fresh engine) starts warm on those contexts.
+        let warm = ScoringEngine::with_shared_cache(&lm, ScoringMode::Batched, Arc::clone(&cache));
+        let _ = warm.score(&[0 as TokenId, 0]);
+        assert_eq!(warm.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn engines_pool_work_through_a_shared_cache() {
+        let (tok, lm) = fixture();
+        let cache = Arc::new(SharedScoringCache::new(1 << 20));
+        let a = tok.encode("the");
+        let b = tok.encode("the cat");
+        let first = ScoringEngine::with_shared_cache(&lm, ScoringMode::Batched, Arc::clone(&cache));
+        first.score_batch(&[&a, &b]);
+        assert_eq!(first.stats().cache_misses, 2);
+        drop(first);
+        // A later engine (a later query of the same session) starts warm.
+        let second =
+            ScoringEngine::with_shared_cache(&lm, ScoringMode::Batched, Arc::clone(&cache));
+        let out = second.score_batch(&[&a, &b]);
+        assert_eq!(out[0], lm.next_log_probs(&a));
+        let stats = second.stats();
+        assert_eq!(stats.cache_hits, 2, "cross-engine hits: {stats:?}");
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.batches, 0);
+        assert!(stats.cache_bytes > 0);
+        assert_eq!(cache.stats().insertions, 2);
+    }
+
+    #[test]
+    fn shared_counters_see_one_miss_per_unique_context() {
+        let (tok, lm) = fixture();
+        let cache = Arc::new(SharedScoringCache::new(1 << 20));
+        let engine =
+            ScoringEngine::with_shared_cache(&lm, ScoringMode::Batched, Arc::clone(&cache));
+        let a = tok.encode("the");
+        let b = tok.encode("the cat");
+        // `a` appears three times while uncached: the shared cache must
+        // record ONE miss for it, not three (the duplicates collapse
+        // onto the same evaluation).
+        engine.score_batch(&[&a, &a, &b, &a]);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "unique misses only: {stats:?}");
+        assert_eq!(stats.hits, 0, "{stats:?}");
+        assert_eq!(stats.insertions, 2);
+        // A warm batch records table hits per served slot.
+        engine.score_batch(&[&a, &b]);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(stats.misses, 2, "{stats:?}");
+        // Engine-level counters keep the dedup-inclusive view.
+        let engine_stats = engine.stats();
+        assert_eq!(engine_stats.cache_misses, 2);
+        assert_eq!(engine_stats.cache_hits, 4, "2 dup + 2 warm");
+    }
+
+    #[test]
+    fn generation_bump_forces_recomputation_through_the_engine() {
+        let (tok, lm) = fixture();
+        let cache = Arc::new(SharedScoringCache::new(1 << 20));
+        let a = tok.encode("the");
+        let engine =
+            ScoringEngine::with_shared_cache(&lm, ScoringMode::Batched, Arc::clone(&cache));
+        engine.score(&a);
+        cache.bump_generation();
+        let engine2 =
+            ScoringEngine::with_shared_cache(&lm, ScoringMode::Batched, Arc::clone(&cache));
+        engine2.score(&a);
+        assert_eq!(
+            engine2.stats().cache_misses,
+            1,
+            "stale entry must not serve"
+        );
     }
 
     #[test]

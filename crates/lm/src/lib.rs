@@ -17,8 +17,11 @@
 //!   (§2.4): these define the language `L_m` of the model,
 //! * [`sample_sequence`] / ancestral sampling used by the paper's
 //!   baselines,
-//! * [`CachedLm`] — a memoizing wrapper (graph traversals revisit
-//!   contexts),
+//! * [`CachedLm`] — a bounded memoizing wrapper (graph traversals
+//!   revisit contexts),
+//! * [`SharedScoringCache`] — the cross-query flavor of that memo: one
+//!   byte-budgeted, generation-tagged table pooled by every query of a
+//!   `RelmSession`,
 //! * [`AcceleratorSim`] — a batched-inference latency model standing in
 //!   for the paper's GTX-3080, so throughput figures have a time axis,
 //! * [`score_batch`] — crossbeam-parallel scoring, the CPU analogue of
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 mod accel;
+mod bounded;
 mod cache;
 mod decoding;
 mod engine;
@@ -36,16 +40,18 @@ mod matrix;
 mod neural;
 mod ngram;
 mod sampler;
+mod shared;
 
 pub use accel::AcceleratorSim;
-pub use cache::CachedLm;
+pub use cache::{CachedLm, DEFAULT_CACHED_LM_BYTES};
 pub use decoding::DecodingPolicy;
-pub use engine::{ScoringEngine, ScoringMode, ScoringStats};
+pub use engine::{ScoringEngine, ScoringMode, ScoringStats, DEFAULT_ENGINE_CACHE_BYTES};
 pub use eval::{perplexity, top_k_accuracy};
 pub use neural::{NeuralLm, NeuralLmConfig};
 pub use ngram::{NGramConfig, NGramLm};
 pub use relm_bpe::TokenId;
 pub use sampler::{sample_sequence, score_batch, sequence_log_prob};
+pub use shared::{SharedCacheStats, SharedScoringCache, DEFAULT_SHARED_CACHE_BYTES};
 
 /// An autoregressive language model over a token vocabulary.
 ///

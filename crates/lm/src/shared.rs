@@ -1,0 +1,232 @@
+//! The cross-query scoring cache: one bounded memo table shared by every
+//! search a `RelmSession` runs against the same model.
+//!
+//! ReLM audits are not one-shot — memorization sweeps, bias panels, and
+//! toxicity batteries issue *many* related queries against one model,
+//! and their traversals revisit the same contexts (shared prefixes, the
+//! conditioning template, the EOS root). A per-query memo dies with its
+//! `SearchResults`; [`SharedScoringCache`] survives it, so the second
+//! query of an audit starts warm. It is the KV-cache analogue of the
+//! paper's batched-inference layer, extended across queries.
+//!
+//! Safety properties:
+//!
+//! * **bounded** — backed by the byte-budgeted [`ClockCache`]; long
+//!   audits cannot leak memory through the memo table;
+//! * **generation-tagged** — swapping the model (or tokenizer) behind a
+//!   session bumps the generation, so a stale distribution can never be
+//!   served across the swap;
+//! * **thread-safe** — a `Mutex` around the table plus atomic counters;
+//!   engines on different threads may share one cache.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use relm_bpe::TokenId;
+
+use crate::bounded::ClockCache;
+use crate::cache::BatchPlan;
+
+/// Default byte budget for a session's shared scoring cache (128 MiB).
+pub const DEFAULT_SHARED_CACHE_BYTES: usize = 128 << 20;
+
+/// Counters and gauges describing a [`SharedScoringCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SharedCacheStats {
+    /// Lookups served from the table (across all queries).
+    pub hits: u64,
+    /// Lookups that missed (stale entries count as misses).
+    pub misses: u64,
+    /// Entries admitted over the cache's lifetime.
+    pub insertions: u64,
+    /// Entries discarded (budget pressure + stale collection).
+    pub evictions: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Estimated resident bytes right now.
+    pub bytes: usize,
+    /// The byte budget.
+    pub max_bytes: usize,
+    /// Current generation tag (bumped on model/tokenizer swap).
+    pub generation: u64,
+}
+
+impl SharedCacheStats {
+    /// Fraction of lookups served from the table.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// A thread-safe, size-bounded `context -> next-token distribution` memo
+/// shared across the queries of one session. See the module docs.
+#[derive(Debug)]
+pub struct SharedScoringCache {
+    table: Mutex<ClockCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedScoringCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(max_bytes: usize) -> Self {
+        SharedScoringCache {
+            table: Mutex::new(ClockCache::new(max_bytes)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a context, counting the hit or miss.
+    pub fn lookup(&self, context: &[TokenId]) -> Option<Vec<f64>> {
+        let out = self.table.lock().lookup(context);
+        match out {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    /// Whether a context is memoized, without perturbing the counters —
+    /// the probe executors use to pick prefetch candidates.
+    pub fn probe(&self, context: &[TokenId]) -> bool {
+        self.table.lock().contains(context)
+    }
+
+    /// Partition a scoring batch against the table, holding the mutex
+    /// once for the whole batch. No counters are touched here: the
+    /// caller reports one miss per *unique* missing context via
+    /// [`Self::record`] — a counting per-slot lookup would tally every
+    /// duplicate of an uncached context as its own miss.
+    pub(crate) fn partition_batch<'a>(&self, contexts: &[&'a [TokenId]]) -> BatchPlan<'a> {
+        let mut table = self.table.lock();
+        BatchPlan::partition(contexts, |ctx| table.lookup(ctx))
+    }
+
+    /// Admit many distributions under one lock acquisition.
+    pub(crate) fn insert_many<'a>(&self, entries: impl Iterator<Item = (&'a [TokenId], Vec<f64>)>) {
+        let mut table = self.table.lock();
+        for (ctx, dist) in entries {
+            table.insert(ctx.to_vec(), dist);
+        }
+    }
+
+    /// Fold a batch's accounting into the counters: `hits` slots served
+    /// from the table, `misses` unique contexts that needed the model.
+    pub(crate) fn record(&self, hits: u64, misses: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Admit a distribution (first writer wins; evicts under budget
+    /// pressure).
+    pub fn insert(&self, context: Vec<TokenId>, distribution: Vec<f64>) {
+        self.table.lock().insert(context, distribution);
+    }
+
+    /// Invalidate every entry in O(1). Call when the model or tokenizer
+    /// behind the session changes; stale entries can then never be
+    /// served, and their memory is reclaimed lazily by the eviction
+    /// sweep.
+    pub fn bump_generation(&self) {
+        self.table.lock().bump_generation();
+    }
+
+    /// Drop all entries (budget and counters kept).
+    pub fn clear(&self) {
+        self.table.lock().clear();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.table.lock().len()
+    }
+
+    /// Whether the cache holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters and gauges.
+    pub fn stats(&self) -> SharedCacheStats {
+        let table = self.table.lock();
+        SharedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: table.insertions(),
+            evictions: table.evictions(),
+            entries: table.len(),
+            bytes: table.bytes(),
+            max_bytes: table.max_bytes(),
+            generation: table.generation(),
+        }
+    }
+}
+
+impl Default for SharedScoringCache {
+    fn default() -> Self {
+        SharedScoringCache::new(DEFAULT_SHARED_CACHE_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = SharedScoringCache::new(1 << 20);
+        assert!(cache.lookup(&[1]).is_none());
+        cache.insert(vec![1], vec![0.0, -1.0]);
+        assert_eq!(cache.lookup(&[1]), Some(vec![0.0, -1.0]));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_does_not_count() {
+        let cache = SharedScoringCache::new(1 << 20);
+        cache.insert(vec![3], vec![0.0]);
+        assert!(cache.probe(&[3]));
+        assert!(!cache.probe(&[4]));
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 0);
+    }
+
+    #[test]
+    fn generation_bump_hides_old_entries() {
+        let cache = SharedScoringCache::new(1 << 20);
+        cache.insert(vec![5], vec![-2.0]);
+        cache.bump_generation();
+        assert!(cache.lookup(&[5]).is_none());
+        assert!(cache.is_empty());
+        cache.insert(vec![5], vec![-3.0]);
+        assert_eq!(cache.lookup(&[5]), Some(vec![-3.0]));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = SharedScoringCache::new(1 << 20);
+        crossbeam::scope(|s| {
+            for t in 0..4u32 {
+                let cache = &cache;
+                s.spawn(move |_| {
+                    for i in 0..50u32 {
+                        cache.insert(vec![t, i], vec![f64::from(i)]);
+                        let _ = cache.lookup(&[t, i]);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(cache.len(), 200);
+    }
+}

@@ -4,14 +4,17 @@
 //! Each benchmark is warmed up, then timed over batches until a time
 //! budget is spent. Results are printed in two forms:
 //!
-//! * a human line: `bench  group/name ... mean 12.34 µs (n=48)`
-//! * a machine line: `BENCH_JSON {"id":"group/name","mean_ns":...}` —
-//!   the `BENCH_*.json` perf baselines checked into the repo root are
+//! * a human line:
+//!   `bench  group/name ... mean 12.34 µs ± 0.56 µs [12.0, 13.1] (n=48)`
+//! * a machine line: `BENCH_JSON {"id":"group/name","mean_ns":...,
+//!   "std_ns":...,"min_ns":...,"max_ns":...,"samples":...}` — the
+//!   `BENCH_*.json` perf baselines checked into the repo root are
 //!   collected from these lines.
 //!
-//! Statistical machinery (outlier rejection, regressions) is out of
-//! scope; the mean over a fixed budget is reproducible enough for the
-//! serial-vs-batched comparisons this workspace records.
+//! The standard deviation, min, and max are computed over the per-batch
+//! sample means, so baselines recorded in different PRs can be compared
+//! with confidence information rather than bare means. Heavier
+//! machinery (outlier rejection, regressions) remains out of scope.
 
 #![forbid(unsafe_code)]
 
@@ -136,11 +139,13 @@ pub struct Bencher {
     budget: Duration,
     /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
     mean_ns: f64,
-    samples_taken: usize,
+    /// Per-batch sample means (ns per iteration), one per timed batch.
+    sample_means_ns: Vec<f64>,
 }
 
 impl Bencher {
-    /// Time `f`, storing the mean duration per call.
+    /// Time `f`, storing the mean duration per call and the per-batch
+    /// sample means (for variance/min/max reporting).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up: one call to fault in caches, plus a calibration call
         // to size batches so each sample takes >= ~1ms.
@@ -152,18 +157,49 @@ impl Bencher {
 
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
-        let mut samples = 0usize;
-        while samples < self.samples_target && total < self.budget {
+        self.sample_means_ns.clear();
+        while self.sample_means_ns.len() < self.samples_target && total < self.budget {
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(f());
             }
-            total += t.elapsed();
+            let elapsed = t.elapsed();
+            total += elapsed;
             iters += batch;
-            samples += 1;
+            self.sample_means_ns
+                .push(elapsed.as_nanos() as f64 / batch as f64);
         }
         self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
-        self.samples_taken = samples;
+    }
+}
+
+/// Summary statistics over per-batch sample means.
+struct SampleStats {
+    std_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn summarize(samples: &[f64]) -> SampleStats {
+    if samples.is_empty() {
+        return SampleStats {
+            std_ns: f64::NAN,
+            min_ns: f64::NAN,
+            max_ns: f64::NAN,
+        };
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    // Sample variance (n-1 denominator); zero for a single sample.
+    let var = if samples.len() > 1 {
+        samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    SampleStats {
+        std_ns: var.sqrt(),
+        min_ns: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        max_ns: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
     }
 }
 
@@ -172,17 +208,27 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, budget: Durat
         samples_target: samples,
         budget,
         mean_ns: f64::NAN,
-        samples_taken: 0,
+        sample_means_ns: Vec::new(),
     };
     f(&mut bencher);
+    let stats = summarize(&bencher.sample_means_ns);
     let (value, unit) = humanize(bencher.mean_ns);
+    let (std_v, std_u) = humanize(stats.std_ns);
+    let (min_v, min_u) = humanize(stats.min_ns);
+    let (max_v, max_u) = humanize(stats.max_ns);
     println!(
-        "bench  {id:<48} mean {value:>9.3} {unit} (n={})",
-        bencher.samples_taken
+        "bench  {id:<48} mean {value:>9.3} {unit} ± {std_v:.3} {std_u} \
+         [{min_v:.3} {min_u}, {max_v:.3} {max_u}] (n={})",
+        bencher.sample_means_ns.len()
     );
     println!(
-        "BENCH_JSON {{\"id\":\"{id}\",\"mean_ns\":{:.1},\"samples\":{}}}",
-        bencher.mean_ns, bencher.samples_taken
+        "BENCH_JSON {{\"id\":\"{id}\",\"mean_ns\":{:.1},\"std_ns\":{:.1},\"min_ns\":{:.1},\
+         \"max_ns\":{:.1},\"samples\":{}}}",
+        bencher.mean_ns,
+        stats.std_ns,
+        stats.min_ns,
+        stats.max_ns,
+        bencher.sample_means_ns.len()
     );
 }
 
@@ -240,5 +286,17 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("a", 3).0, "a/3");
         assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn summary_statistics_are_correct() {
+        let stats = summarize(&[10.0, 20.0, 30.0]);
+        assert_eq!(stats.min_ns, 10.0);
+        assert_eq!(stats.max_ns, 30.0);
+        assert!((stats.std_ns - 10.0).abs() < 1e-9, "{}", stats.std_ns);
+        let single = summarize(&[5.0]);
+        assert_eq!(single.std_ns, 0.0);
+        assert_eq!(single.min_ns, 5.0);
+        assert!(summarize(&[]).std_ns.is_nan());
     }
 }

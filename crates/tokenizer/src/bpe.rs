@@ -118,6 +118,26 @@ impl BpeTokenizer {
         self.max_token_len
     }
 
+    /// A stable 64-bit fingerprint of this tokenizer: FNV-1a over the
+    /// merge table, vocabulary size, and EOS id.
+    ///
+    /// Two tokenizers with the same fingerprint encode every string
+    /// identically (the merge table fully determines the encoder), so
+    /// caches keyed by token ids — compiled-plan memos, scoring memo
+    /// tables — use this to guarantee entries from one tokenizer are
+    /// never served to another.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::FNV_OFFSET_BASIS;
+        crate::fnv_mix(&mut h, self.vocab.len() as u64);
+        crate::fnv_mix(&mut h, u64::from(self.eos));
+        for &(l, r, out) in &self.merges {
+            crate::fnv_mix(&mut h, u64::from(l));
+            crate::fnv_mix(&mut h, u64::from(r));
+            crate::fnv_mix(&mut h, u64::from(out));
+        }
+        h
+    }
+
     /// Iterate over `(id, bytes)` for every text token (excludes EOS).
     pub fn iter_vocab(&self) -> impl Iterator<Item = (TokenId, &[u8])> + '_ {
         self.vocab
@@ -260,6 +280,24 @@ mod tests {
         let h = TokenId::from(b'h');
         let e = TokenId::from(b'e');
         BpeTokenizer::from_merges(&[(t, h), (h, e), (256, e)])
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same merges, same id");
+        let trained = BpeTokenizer::train("the cat sat on the mat", 30);
+        assert_eq!(trained.fingerprint(), trained.fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            trained.fingerprint(),
+            "different merge tables must disagree"
+        );
+        assert_ne!(
+            a.fingerprint(),
+            BpeTokenizer::from_merges(&[]).fingerprint()
+        );
     }
 
     #[test]

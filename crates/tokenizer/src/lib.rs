@@ -42,3 +42,19 @@ mod train;
 
 pub use bpe::{BpeTokenizer, TokenId};
 pub use pretokenize::pretokenize;
+
+/// FNV-1a 64-bit offset basis — the initial state for [`fnv_mix`].
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a step over the little-endian bytes of `v`.
+///
+/// The single fingerprint primitive shared by [`BpeTokenizer::fingerprint`]
+/// and the downstream cache keys built on it (preprocessor fingerprints,
+/// the session plan-memo key), so all of them stay algorithmically in
+/// lockstep. Stable across runs and platforms.
+pub fn fnv_mix(h: &mut u64, v: u64) {
+    for byte in v.to_le_bytes() {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}

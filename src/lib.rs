@@ -44,14 +44,15 @@ pub use relm_automata::{
 };
 pub use relm_bpe::{pretokenize, BpeTokenizer, TokenId};
 pub use relm_core::{
-    compiler, explain, search, ExecutionStats, FilterPreprocessor, LevenshteinPreprocessor,
-    MachineShape, MatchResult, PrefixSampling, Preprocessor, QueryPlan, QueryString, RelmError,
-    SearchQuery, SearchResults, SearchStrategy, TokenizationStrategy,
+    compiler, execute, explain, plan, search, CompiledSearch, ExecutionStats, FilterPreprocessor,
+    LevenshteinPreprocessor, MachineShape, MatchResult, PrefixSampling, Preprocessor, QueryPlan,
+    QueryString, RelmError, RelmSession, SearchQuery, SearchResults, SearchStrategy, SessionConfig,
+    SessionStats, TokenizationStrategy,
 };
 pub use relm_lm::{
     perplexity, sample_sequence, score_batch, sequence_log_prob, top_k_accuracy, AcceleratorSim,
     CachedLm, DecodingPolicy, LanguageModel, NGramConfig, NGramLm, NeuralLm, NeuralLmConfig,
-    ScoringEngine, ScoringMode, ScoringStats,
+    ScoringEngine, ScoringMode, ScoringStats, SharedCacheStats, SharedScoringCache,
 };
 pub use relm_regex::{disjunction_of, escape, Regex};
 
