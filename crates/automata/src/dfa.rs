@@ -142,6 +142,17 @@ impl Dfa {
         self.states.iter().map(|s| s.transitions.len()).sum()
     }
 
+    /// Estimated resident heap bytes of this automaton (states, sorted
+    /// transition arrays, and per-`Vec` headers). Used by byte-budgeted
+    /// caches (a session's plan memo) to charge compiled automata their
+    /// real footprint rather than counting entries.
+    pub fn estimated_bytes(&self) -> usize {
+        let per_state = std::mem::size_of::<Vec<(Symbol, StateId)>>() + std::mem::size_of::<bool>();
+        std::mem::size_of::<Self>()
+            + self.states.len() * per_state
+            + self.transition_count() * std::mem::size_of::<(Symbol, StateId)>()
+    }
+
     /// Run the DFA over `symbols`, returning the final state if no
     /// transition is missing.
     pub fn run<I: IntoIterator<Item = Symbol>>(&self, symbols: I) -> Option<StateId> {

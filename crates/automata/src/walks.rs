@@ -88,6 +88,22 @@ impl WalkTable {
         }
     }
 
+    /// Estimated resident heap bytes of the count tables — the dominant
+    /// cost of a memoized plan once a table is built, charged by the
+    /// session plan memo's byte accounting.
+    pub fn estimated_bytes(&self) -> usize {
+        let rows = self.exact_by_len.len() + self.cumulative.len();
+        let cells: usize = self
+            .exact_by_len
+            .iter()
+            .chain(self.cumulative.iter())
+            .map(Vec::len)
+            .sum();
+        std::mem::size_of::<Self>()
+            + rows * std::mem::size_of::<Vec<f64>>()
+            + cells * std::mem::size_of::<f64>()
+    }
+
     /// Maximum walk length covered by this table.
     pub fn max_len(&self) -> usize {
         self.max_len

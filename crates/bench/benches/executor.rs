@@ -2,6 +2,10 @@
 //! the transitive top-k pruning ablation (DESIGN.md ablation 3) plus the
 //! prefix cost-heuristic ablation (ablation 4, via measured stats).
 
+// The deprecated one-shot `search` shim is the cold/stateless baseline
+// these benches measure against — kept on purpose.
+#![allow(deprecated)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use relm_bench::{Scale, Workbench};
 use relm_core::{search, QueryString, SearchQuery};
@@ -343,6 +347,122 @@ fn bench_session_warm_vs_cold(c: &mut Criterion) {
     );
 }
 
+/// The client tentpole: a mixed fig5/fig7-style query set (URL
+/// extraction via Dijkstra and beam, bias-template sampling) run
+/// sequentially — one query at a time through a fresh client — vs
+/// submitted together through `Relm::run_many`, whose interleaving
+/// driver coalesces the queries' scoring requests into shared batches.
+/// Per-query results are byte-identical (asserted in
+/// `tests/client.rs`); this measures the batch-fill gain and the
+/// wall-clock delta, and prints the cross-query provenance counters.
+fn bench_client_run_many(c: &mut Criterion) {
+    use relm_core::{QuerySet, SearchStrategy};
+    use relm_datasets::PROFESSIONS;
+    let wb = setup();
+    let url_query = SearchQuery::new(
+        QueryString::new(relm_bench::urls::URL_PATTERN).with_prefix(relm_bench::urls::URL_PREFIX),
+    )
+    .with_policy(DecodingPolicy::top_k(40))
+    .with_max_tokens(20)
+    .with_max_expansions(5_000);
+    let professions = PROFESSIONS
+        .iter()
+        .map(|p| format!("({})", relm_regex::escape(p)))
+        .collect::<Vec<_>>()
+        .join("|");
+    let bias_query = |gender: &str, seed: u64| {
+        let prefix = format!("The {gender} was trained in");
+        let pattern = format!("{prefix} ({professions})\\.");
+        SearchQuery::new(QueryString::new(pattern).with_prefix(relm_regex::escape(&prefix)))
+            .with_strategy(SearchStrategy::RandomSampling { seed })
+            .with_max_tokens(32)
+            .with_max_expansions(200_000)
+    };
+    let specs: Vec<(SearchQuery, usize)> = vec![
+        (url_query.clone(), 5),
+        (bias_query("man", 7), 8),
+        (bias_query("woman", 8), 8),
+        (
+            url_query.with_strategy(SearchStrategy::Beam { width: 16 }),
+            5,
+        ),
+    ];
+    let set: QuerySet = specs.iter().cloned().collect();
+
+    // One instrumented pass of each mode for the coalescing record.
+    let sequential = wb.xl_client();
+    let (mut seq_batches, mut seq_contexts) = (0u64, 0u64);
+    for (query, take) in &specs {
+        let mut results = sequential.search(query).unwrap();
+        let _ = (&mut results).take(*take).count();
+        let stats = results.stats();
+        seq_batches += stats.batches;
+        seq_contexts += stats.batched_contexts;
+    }
+    let seq_mean = seq_contexts as f64 / seq_batches.max(1) as f64;
+    let coalesced = wb.xl_client();
+    let report = coalesced.run_many(&set).unwrap();
+    println!(
+        "[client] run_many coalescing: {} queries -> mean batch {:.2} vs sequential {:.2}, \
+         {} coalesced batches ({} cross-query), {} contexts in coalesced batches",
+        set.len(),
+        report.mean_batch_size(),
+        seq_mean,
+        report.scoring.coalesced_batches,
+        report.scoring.cross_query_batches,
+        report.scoring.coalesced_contexts,
+    );
+    assert!(
+        report.scoring.cross_query_batches > 0,
+        "run_many must produce cross-query shared batches"
+    );
+
+    // What the two batch schedules cost on the simulated accelerator
+    // (kernel launches amortize over batch fill): the inference-bound
+    // regime the paper measures, where bigger shared batches pay off
+    // even when the 1-core n-gram wall clock below is compile-bound.
+    let sim_schedule = |batches: u64, contexts: u64| {
+        use relm_lm::AcceleratorSim;
+        let mut sim = AcceleratorSim::default();
+        let mut left = contexts as usize;
+        for i in 0..batches as usize {
+            let fill = left.div_ceil((batches as usize - i).max(1));
+            if fill > 0 {
+                sim.forward(fill);
+                left -= fill;
+            }
+        }
+        sim.elapsed_secs()
+    };
+    println!(
+        "BENCH_JSON {{\"id\":\"client_sim/mixed_sequential\",\"mean_ns\":{:.1},\"samples\":1}}",
+        sim_schedule(seq_batches, seq_contexts) * 1e9
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"client_sim/mixed_coalesced\",\"mean_ns\":{:.1},\"samples\":1}}",
+        sim_schedule(report.scoring.batches, report.scoring.batched_contexts) * 1e9
+    );
+
+    let mut group = c.benchmark_group("client_run_many");
+    group.sample_size(10);
+    group.bench_function("mixed_sequential", |b| {
+        b.iter(|| {
+            let client = wb.xl_client();
+            specs
+                .iter()
+                .map(|(query, take)| client.search(query).unwrap().take(*take).count())
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("mixed_coalesced", |b| {
+        b.iter(|| {
+            let client = wb.xl_client();
+            client.run_many(&set).unwrap().total_matches()
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_first_match_latency,
@@ -350,6 +470,7 @@ criterion_group!(
     bench_beam_vs_dijkstra,
     bench_scoring_serial_vs_batched,
     bench_engine_throughput,
-    bench_session_warm_vs_cold
+    bench_session_warm_vs_cold,
+    bench_client_run_many
 );
 criterion_main!(benches);

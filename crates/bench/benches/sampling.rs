@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use relm_automata::WalkTable;
 use relm_bench::{Scale, Workbench};
-use relm_core::{search, PrefixSampling, QueryString, SearchQuery, SearchStrategy};
+use relm_core::{PrefixSampling, QueryString, SearchQuery, SearchStrategy};
 use relm_regex::Regex;
 
 fn bench_walk_table(c: &mut Criterion) {
@@ -24,6 +24,7 @@ fn bench_walk_table(c: &mut Criterion) {
 
 fn bench_sampling_modes(c: &mut Criterion) {
     let wb = Workbench::build(Scale::Smoke);
+    let client = wb.xl_client();
     let mut group = c.benchmark_group("sampling_mode");
     group.sample_size(10);
     for (label, mode) in [
@@ -38,10 +39,7 @@ fn bench_sampling_modes(c: &mut Criterion) {
                     .with_strategy(SearchStrategy::RandomSampling { seed: 1 })
                     .with_prefix_sampling(mode)
                     .with_max_tokens(32);
-                search(&wb.xl, &wb.tokenizer, &query)
-                    .unwrap()
-                    .take(10)
-                    .count()
+                client.search(&query).unwrap().take(10).count()
             });
         });
     }

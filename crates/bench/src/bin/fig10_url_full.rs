@@ -18,8 +18,8 @@ fn main() {
         Scale::Full => (600, 1000),
     };
 
-    let session = wb.xl_session();
-    let relm = urls::run_relm(&session, &wb, candidates);
+    let client = wb.xl_client();
+    let relm = urls::run_relm(&client, &wb, candidates);
     let mut rows = vec![(
         relm.label.clone(),
         vec![
@@ -46,5 +46,5 @@ fn main() {
         &["attempts", "validated", "duplicates", "sim sec"],
         &rows,
     );
-    report::session_stats("fig10", &session.stats());
+    report::session_stats("fig10", &client.stats());
 }

@@ -18,12 +18,12 @@ fn main() {
         Scale::Smoke => 60,
         Scale::Full => 400,
     };
-    let session = wb.xl_session();
-    run_grid(&session, samples);
-    report::session_stats("fig13", &session.stats());
+    let client = wb.xl_client();
+    run_grid(&client, samples);
+    report::session_stats("fig13", &client.stats());
 }
 
-fn run_grid<M: relm_lm::LanguageModel>(session: &relm_core::RelmSession<M>, samples: usize) {
+fn run_grid<M: relm_lm::LanguageModel>(client: &relm_core::Relm<M>, samples: usize) {
     for tokenization in [TokenizationStrategy::All, TokenizationStrategy::Canonical] {
         for edits in [false, true] {
             let config = BiasConfig {
@@ -31,20 +31,21 @@ fn run_grid<M: relm_lm::LanguageModel>(session: &relm_core::RelmSession<M>, samp
                 edits,
                 use_prefix: true,
             };
-            let (dists, chi2) = run_config(session, config, samples, 77);
+            let run = run_config(client, config, samples, 77);
             let rows: Vec<(String, Vec<f64>)> = PROFESSIONS
                 .iter()
                 .map(|p| {
                     (
                         p.to_string(),
-                        dists.iter().map(|d| d.dist.probability(p)).collect(),
+                        run.dists.iter().map(|d| d.dist.probability(p)).collect(),
                     )
                 })
                 .collect();
             report::table(&config.label(), &["P(.|man)", "P(.|woman)"], &rows);
-            if let Some(r) = chi2 {
+            if let Some(r) = &run.chi2 {
                 println!("  chi2 = {:.2}, log10 p = {:.1}", r.statistic, r.log10_p);
             }
+            report::coalescing_stats(&config.label(), &run.scoring);
         }
     }
 }

@@ -18,7 +18,7 @@ fn main() {
         Scale::Smoke => 60,
         Scale::Full => 400,
     };
-    let session = wb.small_session();
+    let client = wb.small_client();
     for tokenization in [TokenizationStrategy::All, TokenizationStrategy::Canonical] {
         for edits in [false, true] {
             let config = BiasConfig {
@@ -26,21 +26,22 @@ fn main() {
                 edits,
                 use_prefix: true,
             };
-            let (dists, chi2) = run_config(&session, config, samples, 78);
+            let run = run_config(&client, config, samples, 78);
             let rows: Vec<(String, Vec<f64>)> = PROFESSIONS
                 .iter()
                 .map(|p| {
                     (
                         p.to_string(),
-                        dists.iter().map(|d| d.dist.probability(p)).collect(),
+                        run.dists.iter().map(|d| d.dist.probability(p)).collect(),
                     )
                 })
                 .collect();
             report::table(&config.label(), &["P(.|man)", "P(.|woman)"], &rows);
-            if let Some(r) = chi2 {
+            if let Some(r) = &run.chi2 {
                 println!("  chi2 = {:.2}, log10 p = {:.1}", r.statistic, r.log10_p);
             }
+            report::coalescing_stats(&config.label(), &run.scoring);
         }
     }
-    report::session_stats("fig14", &session.stats());
+    report::session_stats("fig14", &client.stats());
 }

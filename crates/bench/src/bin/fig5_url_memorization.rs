@@ -24,8 +24,8 @@ fn main() {
         Scale::Full => (400, 600),
     };
 
-    let session = wb.xl_session();
-    let relm = urls::run_relm(&session, &wb, candidates);
+    let client = wb.xl_client();
+    let relm = urls::run_relm(&client, &wb, candidates);
     report::series(&relm.label, "sim seconds", "validated URLs", &relm.events);
     report::metric("ReLM attempts", relm.attempts as f64, "candidates");
     report::metric("ReLM validated", relm.validated as f64, "URLs");
@@ -39,5 +39,5 @@ fn main() {
             "URLs",
         );
     }
-    report::session_stats("fig5", &session.stats());
+    report::session_stats("fig5", &client.stats());
 }

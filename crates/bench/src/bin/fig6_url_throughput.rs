@@ -16,8 +16,8 @@ fn main() {
         Scale::Full => (400, 600),
     };
 
-    let session = wb.xl_session();
-    let relm = urls::run_relm(&session, &wb, candidates);
+    let client = wb.xl_client();
+    let relm = urls::run_relm(&client, &wb, candidates);
     let mut rows = vec![(
         relm.label.clone(),
         vec![relm.throughput(), relm.validated as f64, relm.utilization],
@@ -45,5 +45,5 @@ fn main() {
             "x (paper: ~15x)",
         );
     }
-    report::session_stats("fig6", &session.stats());
+    report::session_stats("fig6", &client.stats());
 }

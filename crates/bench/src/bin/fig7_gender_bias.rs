@@ -49,15 +49,15 @@ fn main() {
         ),
     ];
 
-    let session = wb.xl_session();
+    let client = wb.xl_client();
     for (panel, config) in configs {
-        let (dists, chi2) = run_config(&session, config, samples, 101);
+        let run = run_config(&client, config, samples, 101);
         let rows: Vec<(String, Vec<f64>)> = PROFESSIONS
             .iter()
             .map(|p| {
                 (
                     p.to_string(),
-                    dists.iter().map(|d| d.dist.probability(p)).collect(),
+                    run.dists.iter().map(|d| d.dist.probability(p)).collect(),
                 )
             })
             .collect();
@@ -66,13 +66,14 @@ fn main() {
             &["P(.|man)", "P(.|woman)"],
             &rows,
         );
-        match chi2 {
+        match &run.chi2 {
             Some(r) => println!(
                 "  chi2 = {:.2}, dof = {}, log10 p = {:.1}",
                 r.statistic, r.dof, r.log10_p
             ),
             None => println!("  chi2 unavailable (degenerate table)"),
         }
+        report::coalescing_stats(panel, &run.scoring);
     }
-    report::session_stats("fig7", &session.stats());
+    report::session_stats("fig7", &client.stats());
 }

@@ -18,9 +18,9 @@ fn main() {
     };
     println!("shard matches: {} (using {budget})", matches.len());
 
-    let session = wb.xl_session();
-    let baseline = toxicity::run_prompted(&session, &matches[..budget], false);
-    let relm = toxicity::run_prompted(&session, &matches[..budget], true);
+    let client = wb.xl_client();
+    let baseline = toxicity::run_prompted(&client, &matches[..budget], false);
+    let relm = toxicity::run_prompted(&client, &matches[..budget], true);
     report::series("Baseline", "attempts", "extractions", &baseline.curve);
     report::series("ReLM", "attempts", "extractions", &relm.curve);
     report::metric(
@@ -40,5 +40,5 @@ fn main() {
             "x (paper: ~2.5x)",
         );
     }
-    report::session_stats("fig8a", &session.stats());
+    report::session_stats("fig8a", &client.stats());
 }

@@ -17,11 +17,11 @@ fn main() {
         Scale::Full => (matches.len().min(36), 200),
     };
 
-    let session = wb.xl_session();
+    let client = wb.xl_client();
     let mut rows = Vec::new();
     let mut relm_hits = Vec::new();
     for (canonical, edits) in [(true, false), (false, false), (true, true), (false, true)] {
-        let hits = toxicity::run_unprompted(&session, &matches[..budget], canonical, edits, cap);
+        let hits = toxicity::run_unprompted(&client, &matches[..budget], canonical, edits, cap);
         let label = format!(
             "{} / {}",
             if canonical { "canonical" } else { "all-enc" },
@@ -66,5 +66,5 @@ fn main() {
             ],
         );
     }
-    report::session_stats("fig8b", &session.stats());
+    report::session_stats("fig8b", &client.stats());
 }

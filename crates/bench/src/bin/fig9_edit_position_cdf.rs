@@ -15,8 +15,8 @@ fn main() {
         Scale::Smoke => 120,
         Scale::Full => 600,
     };
-    let session = wb.xl_session();
-    let (normalized, uniform, ks) = edits::run_comparison(&session, samples, 31);
+    let client = wb.xl_client();
+    let (normalized, uniform, ks) = edits::run_comparison(&client, samples, 31);
     let xs: Vec<f64> = (0..=40).map(|i| i as f64).collect();
     report::series("Normalized", "edit index", "CDF", &normalized.curve(&xs));
     report::series("Unnormalized", "edit index", "CDF", &uniform.curve(&xs));
@@ -27,5 +27,5 @@ fn main() {
         "(paper: ~0.8 of edits in first 6 chars)",
     );
     report::metric("normalized CDF at index 6", normalized.at(6.0), "");
-    report::session_stats("fig9", &session.stats());
+    report::session_stats("fig9", &client.stats());
 }

@@ -2,9 +2,9 @@
 //! model are non-canonical token sequences (the paper reports ~3% for
 //! GPT-2 and ~2% for GPT-2 XL).
 //!
-//! Sampling goes through each model's `RelmSession` scoring engine, so
-//! the contexts shared across samples (the EOS root, popular
-//! continuations) are scored once and served from the session cache
+//! Sampling goes through each model's `Relm` client engine, so the
+//! contexts shared across samples (the EOS root, popular continuations)
+//! are scored once and served from the client's shared cache
 //! thereafter — the reuse counters are printed at the end.
 
 use rand::rngs::SmallRng;
@@ -23,18 +23,18 @@ fn main() {
         Scale::Smoke => 300,
         Scale::Full => 3000,
     };
-    let xl_session = wb.xl_session();
-    let small_session = wb.small_session();
+    let xl_client = wb.xl_client();
+    let small_client = wb.small_client();
     let mut rows = Vec::new();
     for (name, is_xl) in [("GPT2-XL-like", true), ("GPT2-like", false)] {
         let mut rng = SmallRng::seed_from_u64(4);
         let mut noncanonical = 0usize;
-        // One session engine per model family: every sample's scoring
-        // requests pool into the session's shared cache.
+        // One client engine per model family: every sample's scoring
+        // requests pool into the client's shared cache.
         let engine = if is_xl {
-            xl_session.engine()
+            xl_client.engine()
         } else {
-            small_session.engine()
+            small_client.engine()
         };
         for _ in 0..samples {
             let generated = sample_sequence(
@@ -59,6 +59,6 @@ fn main() {
         ));
     }
     report::table("non-canonical rate", &["% of samples"], &rows);
-    report::session_stats("noncanonical_rate/xl", &xl_session.stats());
-    report::session_stats("noncanonical_rate/small", &small_session.stats());
+    report::session_stats("noncanonical_rate/xl", &xl_client.stats());
+    report::session_stats("noncanonical_rate/small", &small_client.stats());
 }

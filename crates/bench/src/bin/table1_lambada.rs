@@ -18,14 +18,16 @@ fn main() {
     };
     println!("items: {n}");
 
+    let xl_client = wb.xl_client();
+    let small_client = wb.small_client();
     let mut rows = Vec::new();
     for (name, is_xl) in [("GPT2-XL-like", true), ("GPT2-like", false)] {
         let mut cells = Vec::new();
         for strategy in ClozeStrategy::all() {
             let acc = if is_xl {
-                accuracy(&wb.xl, &wb, n, strategy)
+                accuracy(&xl_client, &wb, n, strategy)
             } else {
-                accuracy(&wb.small, &wb, n, strategy)
+                accuracy(&small_client, &wb, n, strategy)
             };
             cells.push(acc * 100.0);
         }
@@ -36,4 +38,6 @@ fn main() {
         &["baseline", "words", "terminated", "no stop"],
         &rows,
     );
+    report::session_stats("table1/xl", &xl_client.stats());
+    report::session_stats("table1/small", &small_client.stats());
 }

@@ -7,7 +7,7 @@
 //! normalized sampling spreads them roughly linearly over the prefix.
 
 use relm_core::{
-    PrefixSampling, Preprocessor, QueryString, RelmSession, SearchQuery, SearchStrategy,
+    PrefixSampling, Preprocessor, QueryString, Relm, SearchQuery, SearchStrategy,
     TokenizationStrategy,
 };
 use relm_datasets::PROFESSIONS;
@@ -68,7 +68,7 @@ fn levenshtein(a: &[u8], b: &[u8]) -> usize {
 
 /// Sample edit positions under the given prefix-sampling mode.
 pub fn sample_edit_positions<M: LanguageModel>(
-    session: &RelmSession<M>,
+    client: &Relm<M>,
     mode: PrefixSampling,
     samples: usize,
     seed: u64,
@@ -86,7 +86,7 @@ pub fn sample_edit_positions<M: LanguageModel>(
                 .with_preprocessor(Preprocessor::levenshtein(1))
                 .with_max_tokens(40)
                 .with_max_expansions(200_000);
-        let results = session.search(&query).expect("edit query compiles");
+        let results = client.search(&query).expect("edit query compiles");
         for m in results.take(samples / 2) {
             if let Some(pos) = edit_position(&m.text, &templates) {
                 positions.push(pos as f64);
@@ -99,18 +99,18 @@ pub fn sample_edit_positions<M: LanguageModel>(
 /// The Figure 9 comparison: CDFs of edit positions under both modes,
 /// plus their Kolmogorov–Smirnov distance.
 pub fn run_comparison<M: LanguageModel>(
-    session: &RelmSession<M>,
+    client: &Relm<M>,
     samples: usize,
     seed: u64,
 ) -> (Cdf, Cdf, f64) {
     let normalized = Cdf::from_samples(&sample_edit_positions(
-        session,
+        client,
         PrefixSampling::Normalized,
         samples,
         seed,
     ));
     let uniform = Cdf::from_samples(&sample_edit_positions(
-        session,
+        client,
         PrefixSampling::UniformEdges,
         samples,
         seed + 1,
@@ -139,9 +139,9 @@ mod tests {
     #[test]
     fn unnormalized_sampling_front_loads_edits() {
         let wb = Workbench::build(Scale::Smoke);
-        let session = wb.xl_session();
-        let norm = sample_edit_positions(&session, PrefixSampling::Normalized, 60, 5);
-        let unif = sample_edit_positions(&session, PrefixSampling::UniformEdges, 60, 6);
+        let client = wb.xl_client();
+        let norm = sample_edit_positions(&client, PrefixSampling::Normalized, 60, 5);
+        let unif = sample_edit_positions(&client, PrefixSampling::UniformEdges, 60, 6);
         if norm.len() >= 10 && unif.len() >= 10 {
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
             assert!(

@@ -5,7 +5,7 @@
 //! only), `terminated` (EOS-scored), `no stop` (stop words filtered).
 //! The paper's Table 1 shows monotone accuracy gains and XL > small.
 
-use relm_core::{search, Preprocessor, QueryString, SearchQuery};
+use relm_core::{Preprocessor, QueryString, Relm, SearchQuery};
 use relm_datasets::stop_words;
 use relm_lm::{DecodingPolicy, LanguageModel};
 use relm_regex::{disjunction_of, escape, Regex};
@@ -48,10 +48,10 @@ impl ClozeStrategy {
 }
 
 /// Predict the final word of `context` under `strategy`; `None` when the
-/// search yields nothing.
+/// search yields nothing. Queries run through `client`, so the whole
+/// cloze battery shares one plan memo and scoring cache.
 pub fn predict<M: LanguageModel>(
-    model: &M,
-    wb: &Workbench,
+    client: &Relm<M>,
     context: &str,
     context_words: &[String],
     strategy: ClozeStrategy,
@@ -73,7 +73,7 @@ pub fn predict<M: LanguageModel>(
         let stop_lang = Regex::compile(&stops).ok()?.dfa().clone();
         query = query.with_preprocessor(Preprocessor::deferred_filter(stop_lang));
     }
-    let m = search(model, &wb.tokenizer, &query).ok()?.take(1).next()?;
+    let m = client.search(&query).ok()?.take(1).next()?;
     let completion = m.text.strip_prefix(context)?.trim();
     let word: String = completion
         .chars()
@@ -84,7 +84,7 @@ pub fn predict<M: LanguageModel>(
 
 /// Accuracy of `strategy` over the first `n` cloze items.
 pub fn accuracy<M: LanguageModel>(
-    model: &M,
+    client: &Relm<M>,
     wb: &Workbench,
     n: usize,
     strategy: ClozeStrategy,
@@ -96,8 +96,7 @@ pub fn accuracy<M: LanguageModel>(
     let mut correct = 0usize;
     for item in items {
         let words = item.context_words();
-        if predict(model, wb, &item.context, &words, strategy).as_deref()
-            == Some(item.target.as_str())
+        if predict(client, &item.context, &words, strategy).as_deref() == Some(item.target.as_str())
         {
             correct += 1;
         }
@@ -113,8 +112,9 @@ mod tests {
     #[test]
     fn structure_improves_accuracy() {
         let wb = Workbench::build(Scale::Smoke);
-        let base = accuracy(&wb.xl, &wb, 8, ClozeStrategy::Baseline);
-        let words = accuracy(&wb.xl, &wb, 8, ClozeStrategy::Words);
+        let client = wb.xl_client();
+        let base = accuracy(&client, &wb, 8, ClozeStrategy::Baseline);
+        let words = accuracy(&client, &wb, 8, ClozeStrategy::Words);
         assert!(
             words >= base,
             "words {words} should not underperform baseline {base}"

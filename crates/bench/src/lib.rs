@@ -28,7 +28,7 @@ pub mod toxicity;
 pub mod urls;
 
 use relm_bpe::BpeTokenizer;
-use relm_core::RelmSession;
+use relm_core::Relm;
 use relm_datasets::{CorpusSpec, SyntheticWorld};
 use relm_lm::{LanguageModel, NGramConfig, NGramLm};
 
@@ -110,23 +110,24 @@ impl Workbench {
         }
     }
 
-    /// A persistent session over any model sharing this workbench's
-    /// tokenizer. Experiment runners execute all their queries through
-    /// one session, so plan memoization and the shared scoring cache
-    /// persist across the whole battery (the figures print the reuse
-    /// counters).
-    pub fn session<'m, M: LanguageModel>(&self, model: &'m M) -> RelmSession<&'m M> {
-        RelmSession::new(model, self.tokenizer.clone())
+    /// A persistent `Relm` client over any model sharing this
+    /// workbench's tokenizer. Experiment runners execute all their
+    /// queries through one client, so plan memoization and the shared
+    /// scoring cache persist across the whole battery (the figures
+    /// print the reuse counters), and whole query sets can coalesce
+    /// their scoring via `run_many`.
+    pub fn client<'m, M: LanguageModel>(&self, model: &'m M) -> Relm<&'m M> {
+        Relm::new(model, self.tokenizer.clone()).expect("workbench model/tokenizer pair is valid")
     }
 
-    /// A session over the GPT-2-XL-like model.
-    pub fn xl_session(&self) -> RelmSession<&NGramLm> {
-        self.session(&self.xl)
+    /// A client over the GPT-2-XL-like model.
+    pub fn xl_client(&self) -> Relm<&NGramLm> {
+        self.client(&self.xl)
     }
 
-    /// A session over the GPT-2-like small model.
-    pub fn small_session(&self) -> RelmSession<&NGramLm> {
-        self.session(&self.small)
+    /// A client over the GPT-2-like small model.
+    pub fn small_client(&self) -> Relm<&NGramLm> {
+        self.client(&self.small)
     }
 }
 

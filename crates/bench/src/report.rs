@@ -47,11 +47,13 @@ pub fn metric(name: &str, value: f64, unit: &str) {
 pub fn session_stats(label: &str, stats: &relm_core::SessionStats) {
     println!("\n[session reuse: {label}]");
     println!(
-        "  plans: {} compiled, {} memo hits ({:.0}% reuse), {} resident",
+        "  plans: {} compiled, {} memo hits ({:.0}% reuse), {} resident ({:.1} MiB, {} evicted)",
         stats.plan_misses,
         stats.plan_hits,
         100.0 * stats.plan_hit_rate(),
-        stats.plan_entries
+        stats.plan_entries,
+        stats.plan_bytes as f64 / (1 << 20) as f64,
+        stats.plan_evictions
     );
     let s = &stats.scoring;
     println!(
@@ -65,6 +67,22 @@ pub fn session_stats(label: &str, stats: &relm_core::SessionStats) {
     );
 }
 
+/// Print a `run_many` query set's coalescing counters — how much
+/// scoring was shared *across* the set's queries (the provenance the
+/// sequential per-query path can never show).
+pub fn coalescing_stats(label: &str, scoring: &relm_lm::ScoringStats) {
+    let tick_fill = scoring.coalesced_contexts as f64 / scoring.coalesced_batches.max(1) as f64;
+    println!(
+        "[run_many coalescing: {label}] {} coalesced batches ({} cross-query), \
+         {} contexts (mean tick fill {:.2}); engine-wide mean batch {:.2}",
+        scoring.coalesced_batches,
+        scoring.cross_query_batches,
+        scoring.coalesced_contexts,
+        tick_fill,
+        scoring.mean_batch_size()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -74,5 +92,6 @@ mod tests {
         super::table("t", &["a", "b"], &[("row".into(), vec![1.0, 2.0])]);
         super::metric("m", 1.5, "units");
         super::session_stats("test", &relm_core::SessionStats::default());
+        super::coalescing_stats("test", &relm_lm::ScoringStats::default());
     }
 }

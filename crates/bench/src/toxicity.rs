@@ -7,7 +7,7 @@
 //! quantity is extraction *volume* (token sequences, up to a cap per
 //! input), broken down by (canonical × edited).
 
-use relm_core::{Preprocessor, QueryString, RelmSession, SearchQuery, TokenizationStrategy};
+use relm_core::{Preprocessor, QueryString, Relm, SearchQuery, TokenizationStrategy};
 use relm_datasets::{scan_for_insults, InsultMatch, INSULT_LEXICON};
 use relm_lm::{DecodingPolicy, LanguageModel};
 
@@ -61,7 +61,7 @@ fn prompted_query(m: &InsultMatch, with_relm_features: bool) -> SearchQuery {
 /// encodings + Levenshtein-1 edits (the ReLM curve); without them it is
 /// the canonical baseline.
 pub fn run_prompted<M: LanguageModel>(
-    session: &RelmSession<M>,
+    client: &Relm<M>,
     matches: &[InsultMatch],
     with_relm_features: bool,
 ) -> PromptedResult {
@@ -72,7 +72,7 @@ pub fn run_prompted<M: LanguageModel>(
         }
         out.attempts += 1;
         let q = prompted_query(m, with_relm_features);
-        let hit = session.search(&q).ok().and_then(|mut r| r.next()).is_some();
+        let hit = client.search(&q).ok().and_then(|mut r| r.next()).is_some();
         if hit {
             out.extractions += 1;
         }
@@ -86,7 +86,7 @@ pub fn run_prompted<M: LanguageModel>(
 /// no conditioning, counting token-sequence volume up to
 /// `cap_per_sample`, under the four (canonical × edits) settings.
 pub fn run_unprompted<M: LanguageModel>(
-    session: &RelmSession<M>,
+    client: &Relm<M>,
     matches: &[InsultMatch],
     canonical: bool,
     edits: bool,
@@ -108,7 +108,7 @@ pub fn run_unprompted<M: LanguageModel>(
         if edits {
             q = q.with_preprocessor(Preprocessor::levenshtein(1));
         }
-        let Ok(results) = session.search(&q) else {
+        let Ok(results) = client.search(&q) else {
             continue;
         };
         for r in results.take(cap_per_sample) {
@@ -133,9 +133,9 @@ mod tests {
         let matches = shard_matches(&wb);
         assert!(!matches.is_empty());
         let take = matches.len().min(9);
-        let session = wb.xl_session();
-        let baseline = run_prompted(&session, &matches[..take], false);
-        let relm = run_prompted(&session, &matches[..take], true);
+        let client = wb.xl_client();
+        let baseline = run_prompted(&client, &matches[..take], false);
+        let relm = run_prompted(&client, &matches[..take], true);
         assert!(relm.extractions >= baseline.extractions);
         assert!(relm.extractions > 0, "ReLM should extract something");
     }
@@ -145,9 +145,9 @@ mod tests {
         let wb = Workbench::build(Scale::Smoke);
         let matches = shard_matches(&wb);
         let take = matches.len().min(6);
-        let session = wb.xl_session();
-        let plain = run_unprompted(&session, &matches[..take], true, false, 20);
-        let edited = run_unprompted(&session, &matches[..take], true, true, 20);
+        let client = wb.xl_client();
+        let plain = run_unprompted(&client, &matches[..take], true, false, 20);
+        let edited = run_unprompted(&client, &matches[..take], true, true, 20);
         assert!(
             edited.len() >= plain.len(),
             "edits {} vs plain {}",

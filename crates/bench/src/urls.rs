@@ -9,7 +9,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use relm_core::{QueryString, RelmSession, SearchQuery};
+use relm_core::{QueryString, Relm, SearchQuery};
 use relm_lm::{sample_sequence, AcceleratorSim, DecodingPolicy, LanguageModel};
 
 use crate::Workbench;
@@ -51,10 +51,10 @@ impl UrlRun {
 
 /// Run ReLM's structured extraction until `max_candidates` matches were
 /// examined (or the language/search is exhausted). Queries go through
-/// `session`, so repeated runs start with warm plans and a warm scoring
+/// `client`, so repeated runs start with warm plans and a warm scoring
 /// cache.
 pub fn run_relm<M: LanguageModel>(
-    session: &RelmSession<M>,
+    client: &Relm<M>,
     wb: &Workbench,
     max_candidates: usize,
 ) -> UrlRun {
@@ -66,7 +66,7 @@ pub fn run_relm<M: LanguageModel>(
     let mut events = Vec::new();
     let mut validated = std::collections::HashSet::new();
     let mut attempts = 0;
-    let mut results = session.search(&query).expect("URL query compiles");
+    let mut results = client.search(&query).expect("URL query compiles");
     let mut last_lm_calls = 0;
     while let Some(m) = results.next() {
         // Account the inference work since the previous match.
@@ -139,8 +139,8 @@ mod tests {
     #[test]
     fn relm_beats_best_baseline_throughput() {
         let wb = Workbench::build(Scale::Smoke);
-        let session = wb.xl_session();
-        let relm = run_relm(&session, &wb, 40);
+        let client = wb.xl_client();
+        let relm = run_relm(&client, &wb, 40);
         assert!(relm.validated > 0, "ReLM should validate something");
         let best_baseline = [4usize, 16]
             .iter()

@@ -1,0 +1,573 @@
+//! The `Relm` client — the blessed public entry point of ReLM-rs.
+//!
+//! The paper frames ReLM as a *system* users hand queries to (the
+//! `SimpleSearchQuery` front end of Figure 11): callers describe what
+//! they want validated and the system owns the machinery. [`Relm`] is
+//! that handle for this workspace — it owns the model, the tokenizer,
+//! the session runtime (compiled-plan memo + shared scoring cache), and
+//! the scoring engine, so a caller builds one client and runs whole
+//! audit batteries through it:
+//!
+//! * [`Relm::search`] / [`Relm::plan`] / [`Relm::execute`] — the
+//!   single-query paths, plan-memoized and score-pooled across calls;
+//! * [`Relm::run_many`] — the multi-query submission path: a whole
+//!   [`QuerySet`] executes against **one shared scoring engine**, with
+//!   the three executor types stepped round-robin so scoring requests
+//!   from *different* queries coalesce into shared batches (the
+//!   fleet-level extension of §3.3's batched inference). Per-query
+//!   results are byte-identical to running each query alone — scoring
+//!   is pure, so pre-scoring another query's frontier can never change
+//!   a traversal — which `tests/client.rs` enforces bit-for-bit.
+//!
+//! The legacy free functions (`search`/`plan`/`execute`) remain as
+//! deprecated one-shot shims; new code should hold a client.
+
+use std::sync::Arc;
+
+use relm_bpe::{BpeTokenizer, TokenId};
+use relm_lm::{LanguageModel, ScoringEngine, ScoringMode, ScoringStats, SharedScoringCache};
+
+use crate::executor::{CompiledSearch, ExecutionStats, SearchResults, StepOutcome};
+use crate::query::{QuerySet, SearchQuery};
+use crate::results::MatchResult;
+use crate::session::{RelmSession, SessionConfig, SessionStats};
+use crate::RelmError;
+
+/// Uncached frontier contexts gathered per in-flight query per
+/// coalescing tick. Generous enough to cover a whole beam level or
+/// episode block, so a tick absorbs the executor's next batch instead
+/// of splitting it; executors whose lookahead is speculative (Dijkstra)
+/// self-cap below this at their own prefetch bound.
+const COALESCE_LOOKAHEAD: usize = 32;
+
+/// Configures and validates a [`Relm`] client. Obtained from
+/// [`Relm::builder`]; consumed by [`RelmBuilder::build`].
+#[derive(Debug)]
+#[must_use = "builders do nothing until `.build()` is called"]
+pub struct RelmBuilder<M> {
+    model: M,
+    tokenizer: BpeTokenizer,
+    config: SessionConfig,
+}
+
+impl<M: LanguageModel> RelmBuilder<M> {
+    /// Replace the whole runtime configuration.
+    pub fn config(mut self, config: SessionConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the shared scoring cache's byte budget.
+    pub fn scoring_cache_bytes(mut self, bytes: usize) -> Self {
+        self.config = self.config.with_scoring_cache_bytes(bytes);
+        self
+    }
+
+    /// Set the plan memo's entry-count cap.
+    pub fn plan_memo_capacity(mut self, capacity: usize) -> Self {
+        self.config = self.config.with_plan_memo_capacity(capacity);
+        self
+    }
+
+    /// Set the plan memo's byte budget.
+    pub fn plan_memo_bytes(mut self, bytes: usize) -> Self {
+        self.config = self.config.with_plan_memo_bytes(bytes);
+        self
+    }
+
+    /// Validate the model/tokenizer pairing and build the client.
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::InvalidQuery`] if the model's vocabulary is smaller
+    /// than the tokenizer's — compiled automata would emit token ids
+    /// the model has no distribution entry for (the same invariant
+    /// [`RelmSession::swap_model`] enforces, checked once up front
+    /// instead of failing obscurely mid-search).
+    pub fn build(self) -> Result<Relm<M>, RelmError> {
+        if self.model.vocab_size() < self.tokenizer.vocab_size() {
+            return Err(RelmError::InvalidQuery(
+                "model vocabulary is smaller than the tokenizer's".into(),
+            ));
+        }
+        Ok(Relm {
+            session: RelmSession::with_config(self.model, self.tokenizer, self.config),
+        })
+    }
+}
+
+/// What one query of a [`QuerySet`] produced under [`Relm::run_many`]:
+/// its matches in the query's own deterministic order, plus execution
+/// counters.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct QueryOutcome {
+    /// The matches, capped at the spec's `max_results`, in exactly the
+    /// order a sequential run of the same query would emit them.
+    pub matches: Vec<MatchResult>,
+    /// Execution counters. Traversal counters (expansions, emissions,
+    /// dead ends) are per-query; the scoring counters reflect the
+    /// engine the query scored through — for batched queries that is
+    /// the set's **shared** engine, so those counters pool across the
+    /// set (see [`QuerySetReport::scoring`] for the set-wide view).
+    pub stats: ExecutionStats,
+}
+
+/// The result of [`Relm::run_many`]: per-query outcomes in submission
+/// order plus the shared engine's set-wide scoring counters — including
+/// the cross-query batch provenance
+/// ([`ScoringStats::cross_query_batches`]) that distinguishes coalesced
+/// execution from sequential.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct QuerySetReport {
+    /// One outcome per submitted query, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// The shared scoring engine's counters for the whole set.
+    pub scoring: ScoringStats,
+}
+
+impl QuerySetReport {
+    /// Mean contexts per model batch across the whole set — the number
+    /// that grows when coalescing works (compare against sequential
+    /// runs of the same queries).
+    pub fn mean_batch_size(&self) -> f64 {
+        self.scoring.mean_batch_size()
+    }
+
+    /// Total matches across all queries.
+    pub fn total_matches(&self) -> usize {
+        self.outcomes.iter().map(|o| o.matches.len()).sum()
+    }
+}
+
+/// One in-flight execution of the `run_many` driver.
+struct Live<'a, M: LanguageModel> {
+    results: SearchResults<'a, M>,
+    matches: Vec<MatchResult>,
+    limit: usize,
+    done: bool,
+}
+
+/// The ReLM client: one handle owning model, tokenizer, session
+/// runtime, and scoring engine — the single blessed entry point of the
+/// public API.
+///
+/// `M` is any [`LanguageModel`], including `&M` for a model owned
+/// elsewhere. Construction validates that the model and tokenizer fit
+/// together; every later call can then assume it.
+///
+/// # Example
+///
+/// ```
+/// use relm_bpe::BpeTokenizer;
+/// use relm_core::{QuerySet, QueryString, Relm, SearchQuery};
+/// use relm_lm::{NGramConfig, NGramLm};
+///
+/// let corpus = "the cat sat on the mat. the dog sat on the log.";
+/// let tokenizer = BpeTokenizer::train(corpus, 60);
+/// let model = NGramLm::train(
+///     &tokenizer,
+///     &["the cat sat on the mat", "the dog sat on the log"],
+///     NGramConfig::xl(),
+/// );
+/// let client = Relm::builder(model, tokenizer).build()?;
+///
+/// // Single query: plan-memoized, score-pooled.
+/// let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+/// let texts: Vec<String> = client.search(&query)?.take(2).map(|m| m.text).collect();
+/// assert_eq!(texts.len(), 2);
+///
+/// // A whole set: scoring coalesces across the queries.
+/// let set = QuerySet::new()
+///     .with_query(SearchQuery::new(QueryString::new("the cat sat")), 1)
+///     .with_query(SearchQuery::new(QueryString::new("the dog sat")), 1);
+/// let report = client.run_many(&set)?;
+/// assert_eq!(report.outcomes.len(), 2);
+/// # Ok::<(), relm_core::RelmError>(())
+/// ```
+#[derive(Debug)]
+pub struct Relm<M> {
+    session: RelmSession<M>,
+}
+
+impl<M: LanguageModel> Relm<M> {
+    /// Start building a client over `model` and `tokenizer`.
+    pub fn builder(model: M, tokenizer: BpeTokenizer) -> RelmBuilder<M> {
+        RelmBuilder {
+            model,
+            tokenizer,
+            config: SessionConfig::default(),
+        }
+    }
+
+    /// A client with the default budgets — shorthand for
+    /// `Relm::builder(model, tokenizer).build()`.
+    ///
+    /// # Errors
+    ///
+    /// The same validation as [`RelmBuilder::build`].
+    pub fn new(model: M, tokenizer: BpeTokenizer) -> Result<Self, RelmError> {
+        Relm::builder(model, tokenizer).build()
+    }
+
+    /// The client's model.
+    pub fn model(&self) -> &M {
+        self.session.model()
+    }
+
+    /// The client's tokenizer.
+    pub fn tokenizer(&self) -> &BpeTokenizer {
+        self.session.tokenizer()
+    }
+
+    /// The underlying session runtime (plan memo + shared scoring
+    /// cache) — the escape hatch for callers composing lower-level
+    /// pieces.
+    pub fn session(&self) -> &RelmSession<M> {
+        &self.session
+    }
+
+    /// The shared scoring cache (e.g. to inspect or pre-warm it).
+    pub fn scoring_cache(&self) -> &Arc<SharedScoringCache> {
+        self.session.scoring_cache()
+    }
+
+    /// A scoring engine over the client's model wired to its shared
+    /// cache — for scoring work outside `search` (ancestral sampling,
+    /// perplexity sweeps) that should pool its memo with the client's
+    /// queries.
+    pub fn engine(&self) -> ScoringEngine<&M> {
+        self.session.engine()
+    }
+
+    /// Compile `query` into an executable plan, served from the plan
+    /// memo when an equivalent query was compiled before.
+    ///
+    /// # Errors
+    ///
+    /// Invalid patterns, empty languages, inconsistent parameters.
+    pub fn plan(&self, query: &SearchQuery) -> Result<CompiledSearch, RelmError> {
+        self.session.plan(query)
+    }
+
+    /// Execute a compiled plan, scoring through the shared cache.
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::InvalidQuery`] on a plan/runtime mismatch (plan
+    /// compiled for a different tokenizer, or a token budget exceeding
+    /// the model's context).
+    pub fn execute(&self, plan: &CompiledSearch) -> Result<SearchResults<'_, M>, RelmError> {
+        self.session.execute(plan)
+    }
+
+    /// Plan and execute one query — the client's primary single-query
+    /// path, byte-identical to the legacy `search()` free function.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`Self::plan`] and [`Self::execute`].
+    pub fn search(&self, query: &SearchQuery) -> Result<SearchResults<'_, M>, RelmError> {
+        self.session.search(query)
+    }
+
+    /// Execute a batch of heterogeneous queries through **one shared
+    /// scoring engine**, interleaving the executions so that scoring
+    /// requests from different queries coalesce into shared batches.
+    ///
+    /// The driver alternates two phases until every query finishes:
+    ///
+    /// 1. **coalescing tick** — every live execution reports the
+    ///    uncached contexts it is about to score (its frontier:
+    ///    Dijkstra's cheapest heap nodes, the beam's next level, a
+    ///    sampler's episode block); the union goes to the model as one
+    ///    shared batch ([`ScoringEngine::score_batch_coalesced`]),
+    ///    recorded in [`ScoringStats::cross_query_batches`] when two or
+    ///    more queries contributed;
+    /// 2. **round-robin step** — each execution advances one bounded
+    ///    unit of work (one pop / one beam level / one episode),
+    ///    serving its scores from the now-warm cache.
+    ///
+    /// Scoring is deterministic and pure, so the interleaving cannot
+    /// change any traversal decision: each query's matches come back in
+    /// exactly the order (and with bit-identical scores) a sequential
+    /// run would produce. Queries with [`ScoringMode::Serial`] keep
+    /// their one-call-per-context contract: they are stepped in the
+    /// same rotation but neither feed nor read the shared batches.
+    ///
+    /// # Errors
+    ///
+    /// If any query fails to plan, the whole set fails with the first
+    /// error in submission order and nothing executes.
+    pub fn run_many(&self, set: &QuerySet) -> Result<QuerySetReport, RelmError> {
+        let plans: Vec<CompiledSearch> = set
+            .specs()
+            .iter()
+            .map(|spec| self.session.plan(&spec.query))
+            .collect::<Result<_, _>>()?;
+
+        // The one engine every batched execution of the set scores
+        // through (declared before `lives` so it outlives them).
+        let engine = ScoringEngine::with_shared_cache(
+            self.session.model(),
+            ScoringMode::Batched,
+            Arc::clone(self.session.scoring_cache()),
+        );
+        let mut lives: Vec<Live<'_, M>> = Vec::with_capacity(plans.len());
+        for (spec, plan) in set.specs().iter().zip(&plans) {
+            let results = if spec.query.scoring == ScoringMode::Serial {
+                // Serial contract: a private engine, no coalescing.
+                self.session.execute(plan)?
+            } else {
+                self.session.execute_shared(&engine, plan)?
+            };
+            lives.push(Live {
+                results,
+                matches: Vec::new(),
+                limit: spec.max_results,
+                done: spec.max_results == 0,
+            });
+        }
+
+        loop {
+            // Phase 1: the coalescing tick. Only worth an engine call
+            // while two or more batched executions are in flight — a
+            // lone query already batches internally, and serial queries
+            // never participate.
+            let batched_live = set
+                .specs()
+                .iter()
+                .zip(&lives)
+                .filter(|(spec, live)| !live.done && spec.query.scoring != ScoringMode::Serial)
+                .count();
+            if batched_live >= 2 {
+                let mut batch: Vec<Vec<TokenId>> = Vec::new();
+                let mut seen: std::collections::HashSet<Vec<TokenId>> =
+                    std::collections::HashSet::new();
+                let mut sources = 0usize;
+                for live in lives.iter_mut().filter(|l| !l.done) {
+                    let frontier = live.results.frontier_contexts(COALESCE_LOOKAHEAD);
+                    if !frontier.is_empty() {
+                        // A query whose frontier duplicates another's is
+                        // still a source: the batch serves both (that
+                        // overlap IS the sharing).
+                        sources += 1;
+                    }
+                    for ctx in frontier {
+                        if seen.insert(ctx.clone()) {
+                            batch.push(ctx);
+                        }
+                    }
+                }
+                if !batch.is_empty() {
+                    let refs: Vec<&[TokenId]> = batch.iter().map(Vec::as_slice).collect();
+                    let _ = engine.score_batch_coalesced(&refs, sources);
+                }
+            }
+
+            // Phase 2: round-robin stepping.
+            let mut any_live = false;
+            for live in lives.iter_mut() {
+                if live.done {
+                    continue;
+                }
+                any_live = true;
+                match live.results.step() {
+                    StepOutcome::Match(m) => {
+                        live.matches.push(m);
+                        if live.matches.len() >= live.limit {
+                            live.done = true;
+                        }
+                    }
+                    StepOutcome::Working => {}
+                    StepOutcome::Done => live.done = true,
+                }
+            }
+            if !any_live {
+                break;
+            }
+        }
+
+        let outcomes = lives
+            .into_iter()
+            .map(|live| QueryOutcome {
+                stats: live.results.stats(),
+                matches: live.matches,
+            })
+            .collect();
+        Ok(QuerySetReport {
+            outcomes,
+            scoring: engine.stats(),
+        })
+    }
+
+    /// Aggregated reuse counters (plan memo + shared scoring cache).
+    pub fn stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+
+    /// The budgets this client was built with.
+    pub fn config(&self) -> SessionConfig {
+        self.session.config()
+    }
+
+    /// Swap the model behind the client; compiled plans survive, the
+    /// scoring cache's generation is bumped. See
+    /// [`RelmSession::swap_model`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::InvalidQuery`] if the new model's vocabulary is
+    /// smaller than the tokenizer's (client left unchanged).
+    pub fn swap_model(&mut self, model: M) -> Result<M, RelmError> {
+        self.session.swap_model(model)
+    }
+
+    /// Swap the tokenizer behind the client; the plan memo re-keys and
+    /// the scoring cache's generation is bumped. See
+    /// [`RelmSession::swap_tokenizer`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::InvalidQuery`] if the new tokenizer's vocabulary
+    /// exceeds the model's (client left unchanged).
+    pub fn swap_tokenizer(&mut self, tokenizer: BpeTokenizer) -> Result<BpeTokenizer, RelmError> {
+        self.session.swap_tokenizer(tokenizer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryString;
+    use crate::SearchStrategy;
+    use relm_lm::{NGramConfig, NGramLm};
+
+    fn fixture() -> (BpeTokenizer, NGramLm) {
+        let docs = [
+            "the cat sat on the mat",
+            "the cat sat on the mat",
+            "the dog sat on the log",
+            "the cow ate the grass",
+        ];
+        let corpus = docs.join(". ");
+        let tok = BpeTokenizer::train(&corpus, 80);
+        let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
+        (tok, lm)
+    }
+
+    #[test]
+    fn builder_validates_vocabulary_fit() {
+        let (tok, lm) = fixture();
+        assert!(Relm::new(lm, tok).is_ok());
+
+        let big_tok = BpeTokenizer::train("a b c d e f g h i j k l m n o p", 400);
+        let (tok, lm) = fixture();
+        assert!(big_tok.vocab_size() > lm.vocab_size() || big_tok.vocab_size() <= tok.vocab_size());
+        if big_tok.vocab_size() > lm.vocab_size() {
+            let err = Relm::new(lm, big_tok).unwrap_err();
+            assert_eq!(err.kind(), crate::RelmErrorKind::InvalidQuery);
+        }
+    }
+
+    #[test]
+    fn client_search_memoizes_plans() {
+        let (tok, lm) = fixture();
+        let client = Relm::new(lm, tok).unwrap();
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        let first: Vec<_> = client.search(&query).unwrap().take(2).collect();
+        let second: Vec<_> = client.search(&query).unwrap().take(2).collect();
+        assert_eq!(first, second);
+        assert_eq!(client.stats().plan_hits, 1);
+    }
+
+    #[test]
+    fn run_many_preserves_submission_order_and_limits() {
+        let (tok, lm) = fixture();
+        let client = Relm::new(lm, tok).unwrap();
+        let set = QuerySet::new()
+            .with_query(
+                SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat")),
+                2,
+            )
+            .with_query(SearchQuery::new(QueryString::new("the cow ate")), 1)
+            .with_query(
+                SearchQuery::new(QueryString::new("the ((cat)|(cow)) ((sat)|(ate))"))
+                    .with_strategy(SearchStrategy::Beam { width: 8 }),
+                2,
+            );
+        let report = client.run_many(&set).unwrap();
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.outcomes[0].matches.len(), 2);
+        assert_eq!(report.outcomes[1].matches.len(), 1);
+        assert_eq!(report.outcomes[1].matches[0].text, "the cow ate");
+        assert_eq!(report.outcomes[2].matches.len(), 2);
+        assert_eq!(report.total_matches(), 5);
+    }
+
+    #[test]
+    fn run_many_coalesces_across_queries() {
+        let (tok, lm) = fixture();
+        let client = Relm::new(lm, tok).unwrap();
+        let set = QuerySet::new()
+            .with_query(
+                SearchQuery::new(QueryString::new("the cat sat on the mat")),
+                1,
+            )
+            .with_query(
+                SearchQuery::new(QueryString::new("the dog sat on the log")),
+                1,
+            )
+            .with_query(
+                SearchQuery::new(QueryString::new("the cow ate the grass")),
+                1,
+            );
+        let report = client.run_many(&set).unwrap();
+        assert!(
+            report.scoring.cross_query_batches > 0,
+            "no cross-query shared batches: {:?}",
+            report.scoring
+        );
+        assert!(report.scoring.coalesced_contexts > 0);
+    }
+
+    #[test]
+    fn run_many_fails_whole_set_on_bad_query() {
+        let (tok, lm) = fixture();
+        let client = Relm::new(lm, tok).unwrap();
+        let set = QuerySet::new()
+            .with_query(SearchQuery::new(QueryString::new("the cat")), 1)
+            .with_query(SearchQuery::new(QueryString::new("a(")), 1);
+        assert!(client.run_many(&set).is_err());
+    }
+
+    #[test]
+    fn empty_set_and_zero_limits_are_fine() {
+        let (tok, lm) = fixture();
+        let client = Relm::new(lm, tok).unwrap();
+        let report = client.run_many(&QuerySet::new()).unwrap();
+        assert!(report.outcomes.is_empty());
+        let set = QuerySet::new().with_query(SearchQuery::new(QueryString::new("the cat")), 0);
+        let report = client.run_many(&set).unwrap();
+        assert!(report.outcomes[0].matches.is_empty());
+    }
+
+    #[test]
+    fn serial_queries_keep_their_contract_inside_a_set() {
+        let (tok, lm) = fixture();
+        let client = Relm::new(lm, tok).unwrap();
+        let serial = SearchQuery::new(QueryString::new("the cat sat"))
+            .with_scoring_mode(ScoringMode::Serial);
+        let batched = SearchQuery::new(QueryString::new("the dog sat"));
+        let report = client
+            .run_many(
+                &QuerySet::new()
+                    .with_query(serial.clone(), 1)
+                    .with_query(batched, 1),
+            )
+            .unwrap();
+        let alone: Vec<_> = client.search(&serial).unwrap().take(1).collect();
+        assert_eq!(report.outcomes[0].matches, alone);
+    }
+}

@@ -6,6 +6,13 @@ use std::fmt;
 use relm_regex::ParseRegexError;
 
 /// Errors returned by ReLM query compilation and execution.
+///
+/// The enum is `#[non_exhaustive]`: downstream `match`es must carry a
+/// wildcard arm, so new failure modes can be added without a breaking
+/// release. For stable programmatic dispatch, prefer
+/// [`RelmError::kind`] — the [`RelmErrorKind`] classification is the
+/// supported way to branch on "what went wrong" without matching
+/// variant payloads.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum RelmError {
@@ -17,6 +24,37 @@ pub enum RelmError {
     EmptyPrefixLanguage,
     /// Query parameters are inconsistent (message explains).
     InvalidQuery(String),
+}
+
+/// The stable, payload-free classification of a [`RelmError`] — what
+/// downstream code should branch on. Also `#[non_exhaustive]`; a
+/// wildcard arm stays mandatory, but existing kinds never change
+/// meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RelmErrorKind {
+    /// A pattern failed to parse.
+    Pattern,
+    /// The query (or prefix) language is empty.
+    EmptyLanguage,
+    /// The query's parameters, plan, model, and tokenizer do not fit
+    /// together.
+    InvalidQuery,
+}
+
+impl RelmError {
+    /// Classify this error. Stable across releases even as new
+    /// `RelmError` variants appear (each new variant maps to an
+    /// existing kind or adds a new one).
+    pub fn kind(&self) -> RelmErrorKind {
+        match self {
+            RelmError::Regex(_) => RelmErrorKind::Pattern,
+            RelmError::EmptyLanguage | RelmError::EmptyPrefixLanguage => {
+                RelmErrorKind::EmptyLanguage
+            }
+            RelmError::InvalidQuery(_) => RelmErrorKind::InvalidQuery,
+        }
+    }
 }
 
 impl fmt::Display for RelmError {
@@ -58,6 +96,24 @@ mod tests {
         let parse_err = relm_regex::parse("a(").unwrap_err();
         let e: RelmError = parse_err.into();
         assert!(e.to_string().contains("invalid pattern"));
+    }
+
+    #[test]
+    fn kinds_classify_all_variants() {
+        assert_eq!(
+            RelmError::EmptyLanguage.kind(),
+            RelmErrorKind::EmptyLanguage
+        );
+        assert_eq!(
+            RelmError::EmptyPrefixLanguage.kind(),
+            RelmErrorKind::EmptyLanguage
+        );
+        assert_eq!(
+            RelmError::InvalidQuery("x".into()).kind(),
+            RelmErrorKind::InvalidQuery
+        );
+        let parse_err = relm_regex::parse("a(").unwrap_err();
+        assert_eq!(RelmError::from(parse_err).kind(), RelmErrorKind::Pattern);
     }
 
     #[test]

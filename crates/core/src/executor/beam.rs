@@ -15,12 +15,14 @@
 //! emission order is only approximately by probability. The executor
 //! bench quantifies the trade-off.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use relm_bpe::{BpeTokenizer, TokenId};
-use relm_lm::{LanguageModel, ScoringEngine};
+use relm_lm::{LanguageModel, ScoringMode};
 
-use crate::executor::{passes_runtime_checks, CompiledQuery, ExecutionStats};
+use crate::executor::{
+    passes_runtime_checks, CompiledQuery, EngineHandle, ExecutionStats, StepOutcome,
+};
 use crate::results::MatchResult;
 
 #[derive(Debug, Clone)]
@@ -32,41 +34,35 @@ struct BeamPath {
     log_prob: f64,
 }
 
-/// The beam-search result iterator: runs the whole search on first use,
-/// then streams finished paths in descending probability.
+/// The beam-search result iterator: level-synchronous stepping (one
+/// beam level per [`BeamIter::step`] — the unit an interleaving driver
+/// pumps), then streams finished paths in descending probability.
 pub(crate) struct BeamIter<'a, M: LanguageModel> {
-    engine: ScoringEngine<&'a M>,
+    engine: EngineHandle<'a, M>,
     tokenizer: &'a BpeTokenizer,
     compiled: CompiledQuery,
     width: usize,
     stats: ExecutionStats,
-    finished: Option<std::vec::IntoIter<MatchResult>>,
+    /// The live frontier (drained once the level loop finishes).
+    beam: Vec<BeamPath>,
+    completed: Vec<BeamPath>,
+    seen_tokens: HashSet<Vec<TokenId>>,
+    /// Levels advanced so far (the search runs `max_tokens` levels).
+    level: usize,
+    /// Sorted, checked matches awaiting emission; `Some` once the level
+    /// loop has finished.
+    emit: Option<std::vec::IntoIter<MatchResult>>,
 }
 
 impl<'a, M: LanguageModel> BeamIter<'a, M> {
     pub(crate) fn new(
-        engine: ScoringEngine<&'a M>,
+        engine: EngineHandle<'a, M>,
         tokenizer: &'a BpeTokenizer,
         compiled: CompiledQuery,
         width: usize,
     ) -> Self {
-        BeamIter {
-            engine,
-            tokenizer,
-            compiled,
-            width: width.max(1),
-            stats: ExecutionStats::default(),
-            finished: None,
-        }
-    }
-
-    pub(crate) fn stats(&self) -> ExecutionStats {
-        self.stats.merge_scoring(self.engine.stats())
-    }
-
-    fn run(&mut self) -> Vec<MatchResult> {
-        let body = &self.compiled.parts.body.automaton;
-        let mut beam: Vec<BeamPath> = vec![match &self.compiled.parts.prefix {
+        let body = &compiled.parts.body.automaton;
+        let beam = vec![match &compiled.parts.prefix {
             Some(p) => BeamPath {
                 machine_is_body: false,
                 state: p.start(),
@@ -82,119 +78,199 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
                 log_prob: 0.0,
             },
         }];
-        let mut completed: Vec<BeamPath> = Vec::new();
-        let mut seen_tokens: std::collections::HashSet<Vec<TokenId>> =
-            std::collections::HashSet::new();
+        BeamIter {
+            engine,
+            tokenizer,
+            compiled,
+            width: width.max(1),
+            stats: ExecutionStats::default(),
+            beam,
+            completed: Vec::new(),
+            seen_tokens: HashSet::new(),
+            level: 0,
+            emit: None,
+        }
+    }
 
-        for _step in 0..self.compiled.max_tokens {
-            // Bridge prefix-accepting paths into the body (cost-free).
-            let mut bridged = Vec::new();
-            for p in &beam {
-                if !p.machine_is_body {
-                    let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
-                    if prefix.is_accepting(p.state) {
-                        bridged.push(BeamPath {
-                            machine_is_body: true,
-                            state: body.start(),
-                            prefix_len: p.tokens.len(),
-                            tokens: p.tokens.clone(),
-                            log_prob: p.log_prob,
-                        });
-                    }
-                }
+    pub(crate) fn stats(&self) -> ExecutionStats {
+        self.stats.merge_scoring(self.engine.stats())
+    }
+
+    /// One unit of beam work: advance one level while the search runs,
+    /// then emit one finished path per step.
+    pub(crate) fn step(&mut self) -> StepOutcome {
+        match &mut self.emit {
+            None => {
+                self.advance_level();
+                StepOutcome::Working
             }
-            beam.extend(bridged);
+            Some(iter) => match iter.next() {
+                Some(m) => StepOutcome::Match(m),
+                None => StepOutcome::Done,
+            },
+        }
+    }
 
-            // Record completed paths (body accepting states).
-            for p in &beam {
-                if p.machine_is_body
-                    && body.is_accepting(p.state)
-                    && seen_tokens.insert(p.tokens.clone())
-                {
-                    completed.push(p.clone());
-                }
-            }
-
-            // Batched scoring of the expandable frontier through the
-            // engine: shared prefixes across steps (and across bridged
-            // paths) come out of the memo table. Paths at the sequence
-            // cap can never extend, so their contexts are not scored.
-            let expandable: Vec<&BeamPath> = beam
-                .iter()
-                .filter(|p| p.tokens.len() + 2 < self.engine.max_sequence_len())
-                .collect();
-            let contexts: Vec<Vec<TokenId>> = expandable
-                .iter()
-                .map(|p| {
-                    let mut c = Vec::with_capacity(p.tokens.len() + 1);
-                    c.push(self.engine.eos());
-                    c.extend_from_slice(&p.tokens);
-                    c
-                })
-                .collect();
-            if contexts.is_empty() {
+    /// Contexts the next level will batch-score (the expandable
+    /// frontier), uncached only, up to `limit` — what the coalescing
+    /// driver merges into a shared engine tick. Paths still in the
+    /// prefix machine bridge into the body with identical token
+    /// sequences, so scanning the pre-bridge beam covers them too.
+    pub(crate) fn frontier_contexts(&self, limit: usize) -> Vec<Vec<TokenId>> {
+        if limit == 0
+            || self.emit.is_some()
+            // Out of level budget: the next step finalizes without
+            // scoring, so the current beam's contexts are dead.
+            || self.level >= self.compiled.max_tokens
+            || self.compiled.scoring == ScoringMode::Serial
+            || !self.engine.admits_new_entries()
+        {
+            return Vec::new();
+        }
+        let mut out: Vec<Vec<TokenId>> = Vec::new();
+        for p in &self.beam {
+            if out.len() >= limit {
                 break;
             }
-            let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
-            let scores = self.engine.score_batch(&refs);
-            self.stats.lm_calls += contexts.len() as u64;
-            self.stats.expansions += expandable.len() as u64;
+            if p.tokens.len() + 2 >= self.engine.max_sequence_len() {
+                continue;
+            }
+            let mut ctx = Vec::with_capacity(p.tokens.len() + 1);
+            ctx.push(self.engine.eos());
+            ctx.extend_from_slice(&p.tokens);
+            if !self.engine.is_cached(&ctx) && !out.contains(&ctx) {
+                out.push(ctx);
+            }
+        }
+        out
+    }
 
-            // Expand.
-            let mut next: Vec<BeamPath> = Vec::new();
-            for (&p, log_probs) in expandable.iter().zip(&scores) {
-                if p.machine_is_body {
-                    let allowed: HashMap<TokenId, f64> = self
-                        .compiled
-                        .policy
-                        .allowed(log_probs)
-                        .into_iter()
-                        .collect();
-                    for (sym, target) in body.transitions(p.state) {
-                        if let Some(&lp) = allowed.get(&sym) {
-                            let mut tokens = p.tokens.clone();
-                            tokens.push(sym);
-                            next.push(BeamPath {
-                                machine_is_body: true,
-                                state: target,
-                                tokens,
-                                prefix_len: p.prefix_len,
-                                log_prob: p.log_prob + lp,
-                            });
-                        }
-                    }
-                } else {
-                    let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
-                    for (sym, target) in prefix.transitions(p.state) {
-                        let lp = log_probs[sym as usize];
-                        if !lp.is_finite() {
-                            continue;
-                        }
+    /// Advance one beam level (bridge, record completions, batch-score
+    /// the frontier, expand, prune); finalize when the level budget or
+    /// the frontier is exhausted.
+    fn advance_level(&mut self) {
+        if self.level >= self.compiled.max_tokens {
+            self.finalize();
+            return;
+        }
+        self.level += 1;
+        let body = &self.compiled.parts.body.automaton;
+
+        // Bridge prefix-accepting paths into the body (cost-free).
+        let mut bridged = Vec::new();
+        for p in &self.beam {
+            if !p.machine_is_body {
+                let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
+                if prefix.is_accepting(p.state) {
+                    bridged.push(BeamPath {
+                        machine_is_body: true,
+                        state: body.start(),
+                        prefix_len: p.tokens.len(),
+                        tokens: p.tokens.clone(),
+                        log_prob: p.log_prob,
+                    });
+                }
+            }
+        }
+        self.beam.extend(bridged);
+
+        // Record completed paths (body accepting states).
+        for p in &self.beam {
+            if p.machine_is_body
+                && body.is_accepting(p.state)
+                && self.seen_tokens.insert(p.tokens.clone())
+            {
+                self.completed.push(p.clone());
+            }
+        }
+
+        // Batched scoring of the expandable frontier through the
+        // engine: shared prefixes across steps (and across bridged
+        // paths) come out of the memo table. Paths at the sequence
+        // cap can never extend, so their contexts are not scored.
+        let expandable: Vec<&BeamPath> = self
+            .beam
+            .iter()
+            .filter(|p| p.tokens.len() + 2 < self.engine.max_sequence_len())
+            .collect();
+        let contexts: Vec<Vec<TokenId>> = expandable
+            .iter()
+            .map(|p| {
+                let mut c = Vec::with_capacity(p.tokens.len() + 1);
+                c.push(self.engine.eos());
+                c.extend_from_slice(&p.tokens);
+                c
+            })
+            .collect();
+        if contexts.is_empty() {
+            self.finalize();
+            return;
+        }
+        let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
+        let scores = self.engine.score_batch(&refs);
+        self.stats.lm_calls += contexts.len() as u64;
+        self.stats.expansions += expandable.len() as u64;
+
+        // Expand.
+        let mut next: Vec<BeamPath> = Vec::new();
+        for (&p, log_probs) in expandable.iter().zip(&scores) {
+            if p.machine_is_body {
+                let allowed: HashMap<TokenId, f64> = self
+                    .compiled
+                    .policy
+                    .allowed(log_probs)
+                    .into_iter()
+                    .collect();
+                for (sym, target) in body.transitions(p.state) {
+                    if let Some(&lp) = allowed.get(&sym) {
                         let mut tokens = p.tokens.clone();
                         tokens.push(sym);
-                        let prefix_len = tokens.len();
                         next.push(BeamPath {
-                            machine_is_body: false,
+                            machine_is_body: true,
                             state: target,
                             tokens,
-                            prefix_len,
+                            prefix_len: p.prefix_len,
                             log_prob: p.log_prob + lp,
                         });
                     }
                 }
+            } else {
+                let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
+                for (sym, target) in prefix.transitions(p.state) {
+                    let lp = log_probs[sym as usize];
+                    if !lp.is_finite() {
+                        continue;
+                    }
+                    let mut tokens = p.tokens.clone();
+                    tokens.push(sym);
+                    let prefix_len = tokens.len();
+                    next.push(BeamPath {
+                        machine_is_body: false,
+                        state: target,
+                        tokens,
+                        prefix_len,
+                        log_prob: p.log_prob + lp,
+                    });
+                }
             }
-            if next.is_empty() {
-                break;
-            }
-            next.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
-            next.truncate(self.width);
-            beam = next;
         }
+        if next.is_empty() {
+            self.finalize();
+            return;
+        }
+        next.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
+        next.truncate(self.width);
+        self.beam = next;
+    }
 
-        // Emit in descending probability.
+    /// Sort the completed paths, run the runtime checks, and queue the
+    /// survivors for emission in descending probability.
+    fn finalize(&mut self) {
+        self.beam.clear();
+        let mut completed = std::mem::take(&mut self.completed);
         completed.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
         let mut out = Vec::new();
-        let mut emitted_texts = std::collections::HashSet::new();
+        let mut emitted_texts = HashSet::new();
         for p in completed {
             let text = self.tokenizer.decode(&p.tokens);
             if !emitted_texts.insert(text.clone()) && self.compiled.distinct_texts {
@@ -219,24 +295,15 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
                 canonical,
             });
         }
-        out
-    }
-}
-
-impl<'a, M: LanguageModel> Iterator for BeamIter<'a, M> {
-    type Item = MatchResult;
-
-    fn next(&mut self) -> Option<MatchResult> {
-        if self.finished.is_none() {
-            let results = self.run();
-            self.finished = Some(results.into_iter());
-        }
-        self.finished.as_mut().expect("initialized above").next()
+        self.emit = Some(out.into_iter());
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy one-shot `search` shim stays covered here.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::query::{QueryString, SearchQuery, SearchStrategy};
     use relm_lm::{NGramConfig, NGramLm};

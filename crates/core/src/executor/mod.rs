@@ -42,8 +42,54 @@ pub(crate) use beam::BeamIter;
 pub(crate) use sampling::SamplingIter;
 pub(crate) use shortest::ShortestPathIter;
 
+/// The scoring back end of one executing search: either an engine this
+/// execution owns outright (the classic per-query path), or a borrowed
+/// engine **shared with other in-flight executions** — the boundary that
+/// lets [`crate::Relm::run_many`]'s interleaving driver pump several
+/// [`CompiledSearch`] executions through one engine tick so their
+/// scoring requests coalesce into shared batches.
+///
+/// `Deref`s to the engine, so executor code is identical either way.
+#[derive(Debug)]
+pub(crate) enum EngineHandle<'a, M: LanguageModel> {
+    /// An engine private to this execution (boxed: the engine is ~240
+    /// bytes of counters and cache handle, the shared arm one pointer).
+    Owned(Box<ScoringEngine<&'a M>>),
+    /// An engine owned by a multi-query driver and shared across the
+    /// executions of one query set (its counters pool across them).
+    Shared(&'a ScoringEngine<&'a M>),
+}
+
+impl<'a, M: LanguageModel> std::ops::Deref for EngineHandle<'a, M> {
+    type Target = ScoringEngine<&'a M>;
+
+    fn deref(&self) -> &Self::Target {
+        match self {
+            EngineHandle::Owned(engine) => engine,
+            EngineHandle::Shared(engine) => engine,
+        }
+    }
+}
+
+/// What one bounded unit of executor work produced. The unit is the
+/// natural quantum of each traversal — one Dijkstra pop, one beam level
+/// (or one emission from the finished beam), one sampling episode — so a
+/// driver can interleave several executions fairly without any of them
+/// running away.
+#[derive(Debug)]
+pub(crate) enum StepOutcome {
+    /// The step emitted a match.
+    Match(MatchResult),
+    /// Work was done but nothing emitted yet; step again.
+    Working,
+    /// The search is exhausted (language, expansion cap, or attempt
+    /// budget): no further step can emit.
+    Done,
+}
+
 /// Counters exposed by a finished (or in-progress) search.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ExecutionStats {
     /// Dijkstra node expansions (shortest path) or sampling steps.
     pub expansions: u64,
@@ -119,6 +165,24 @@ pub(crate) struct PlanParts {
 }
 
 impl PlanParts {
+    /// Estimated resident heap bytes of the compiled automata (prefix,
+    /// body, and deferred-filter machines) **plus** the memoized walk
+    /// table when one has been built. At plan-compile time the table is
+    /// still `None` (it is an execute-time artifact sized by
+    /// `max_tokens`), so the session's byte-budgeted plan memo charges
+    /// it by re-costing the entry on later memo hits. Used to charge a
+    /// URL-scale plan its real footprint.
+    pub(crate) fn estimated_bytes(&self) -> usize {
+        let prefix = self.prefix.as_ref().map_or(0, Dfa::estimated_bytes);
+        let filters: usize = self.deferred_filters.iter().map(Dfa::estimated_bytes).sum();
+        let walk_table = self
+            .walk_table
+            .lock()
+            .as_ref()
+            .map_or(0, |t| t.estimated_bytes());
+        prefix + self.body.automaton.estimated_bytes() + filters + walk_table
+    }
+
     /// The walk-count table for the prefix machine covering at least
     /// `max_tokens`, building (or upgrading to the larger budget) and
     /// memoizing it on first use. `None` when the plan has no prefix.
@@ -344,7 +408,11 @@ impl CompiledSearch {
     }
 }
 
-/// Compile `query` into an executable plan without running it.
+/// Compile `query` into an executable plan without running it — the
+/// legacy free-function shim.
+///
+/// Deprecated in favor of [`crate::Relm::plan`], which serves repeated
+/// compilations from the client's plan memo.
 ///
 /// `max_sequence_len` is the model bound used to cap per-match tokens
 /// (pass [`LanguageModel::max_sequence_len`] of the model you will
@@ -354,6 +422,10 @@ impl CompiledSearch {
 ///
 /// The same errors as [`search`]: invalid patterns, empty languages,
 /// inconsistent parameters.
+#[deprecated(
+    since = "0.3.0",
+    note = "use the `Relm` client: `Relm::builder(model, tokenizer).build()?.plan(&query)`"
+)]
 pub fn plan(
     query: &SearchQuery,
     tokenizer: &BpeTokenizer,
@@ -437,24 +509,63 @@ impl<'a, M: LanguageModel> SearchResults<'a, M> {
         self.plan_misses = misses;
         self
     }
+
+    /// Advance one bounded unit of work. [`Iterator::next`] is a loop
+    /// over this; a multi-query driver calls it directly to interleave
+    /// executions between coalescing ticks.
+    pub(crate) fn step(&mut self) -> StepOutcome {
+        match &mut self.inner {
+            Inner::Shortest(it) => it.step(),
+            Inner::Sampling(it) => it.step(),
+            Inner::Beam(it) => it.step(),
+        }
+    }
+
+    /// Up to `limit` *uncached* model contexts this execution is about
+    /// to score — its scoring frontier. A coalescing driver gathers the
+    /// frontiers of every in-flight execution into one shared engine
+    /// tick. Scoring is pure, so pre-scoring these contexts can never
+    /// change what the traversal does; serial-mode executions return
+    /// nothing (their contract is one uncached model call per request).
+    ///
+    /// For sampling executions this may draw the next episode block
+    /// (advancing the RNG) — but only at the same point in the stream
+    /// where sequential execution would draw it, so results stay
+    /// byte-identical.
+    pub(crate) fn frontier_contexts(&mut self, limit: usize) -> Vec<Vec<relm_bpe::TokenId>> {
+        match &mut self.inner {
+            Inner::Shortest(it) => it.frontier_contexts(limit),
+            Inner::Sampling(it) => it.frontier_contexts(limit),
+            Inner::Beam(it) => it.frontier_contexts(limit),
+        }
+    }
 }
 
 impl<'a, M: LanguageModel> Iterator for SearchResults<'a, M> {
     type Item = MatchResult;
 
     fn next(&mut self) -> Option<MatchResult> {
-        match &mut self.inner {
-            Inner::Shortest(it) => it.next(),
-            Inner::Sampling(it) => it.next(),
-            Inner::Beam(it) => it.next(),
+        if let Inner::Sampling(it) = &mut self.inner {
+            // Legacy semantics: every `next()` call starts with a fresh
+            // attempt budget (a driver instead resets on emission).
+            it.reset_attempt_budget();
+        }
+        loop {
+            match self.step() {
+                StepOutcome::Match(m) => return Some(m),
+                StepOutcome::Working => {}
+                StepOutcome::Done => return None,
+            }
         }
     }
 }
 
 /// Run a compiled plan through the given scoring engine — the common
-/// back end of [`execute`] and [`crate::RelmSession::execute`].
+/// back end of [`execute`], [`crate::RelmSession::execute`], and the
+/// multi-query driver of [`crate::Relm::run_many`] (which passes an
+/// [`EngineHandle::Shared`] so several executions pump one engine).
 pub(crate) fn execute_with_engine<'a, M: LanguageModel>(
-    engine: ScoringEngine<&'a M>,
+    engine: EngineHandle<'a, M>,
     tokenizer: &'a BpeTokenizer,
     plan: &CompiledSearch,
 ) -> SearchResults<'a, M> {
@@ -485,37 +596,60 @@ pub(crate) fn execute_with_engine<'a, M: LanguageModel>(
 }
 
 /// Execute a compiled plan against `model` with a fresh private scoring
-/// cache. Pair with [`plan`] to amortize compilation over repeated runs;
-/// use [`crate::RelmSession`] to also share the scoring cache.
+/// cache — the legacy free-function shim.
+///
+/// Deprecated in favor of the [`crate::Relm`] client
+/// ([`crate::Relm::execute`]), which additionally pools compiled plans
+/// and memoized scores across queries; this shim is the client's
+/// one-shot equivalent with nothing retained afterwards.
 ///
 /// # Errors
 ///
 /// [`RelmError::InvalidQuery`] if `tokenizer` is not the tokenizer the
 /// plan was compiled against, or the plan's token budget exceeds
 /// `model`'s maximum sequence length.
+#[deprecated(
+    since = "0.3.0",
+    note = "use the `Relm` client: `Relm::builder(model, tokenizer).build()?.execute(&plan)`"
+)]
 pub fn execute<'a, M: LanguageModel>(
     model: &'a M,
     tokenizer: &'a BpeTokenizer,
     plan: &CompiledSearch,
 ) -> Result<SearchResults<'a, M>, RelmError> {
     plan.check_compatible(tokenizer.fingerprint(), model.max_sequence_len())?;
-    let engine = ScoringEngine::with_mode(model, plan.compiled.scoring);
+    let engine = EngineHandle::Owned(Box::new(ScoringEngine::with_mode(
+        model,
+        plan.compiled.scoring,
+    )));
     Ok(execute_with_engine(engine, tokenizer, plan))
 }
 
-/// Execute `query` against `model`: the ReLM entry point (the `relm.search`
-/// of Figure 4). A thin one-shot session: [`plan`] then [`execute`],
-/// with nothing retained afterwards.
+/// Execute `query` against `model`: the legacy one-shot entry point (the
+/// `relm.search` of Figure 4), a thin shim equal to a single-use client.
+///
+/// Deprecated in favor of the [`crate::Relm`] client
+/// ([`crate::Relm::search`]), which produces byte-identical results
+/// (proven by `tests/client.rs`) while memoizing plans and pooling the
+/// scoring cache across queries — and whose
+/// [`crate::Relm::run_many`] coalesces scoring across whole query sets.
 ///
 /// # Errors
 ///
 /// Returns [`RelmError`] if a pattern fails to parse, a language is
 /// empty, or query parameters are inconsistent.
+#[deprecated(
+    since = "0.3.0",
+    note = "use the `Relm` client: `Relm::builder(model, tokenizer).build()?.search(&query)`"
+)]
 pub fn search<'a, M: LanguageModel>(
     model: &'a M,
     tokenizer: &'a BpeTokenizer,
     query: &SearchQuery,
 ) -> Result<SearchResults<'a, M>, RelmError> {
-    let compiled = plan(query, tokenizer, model.max_sequence_len())?;
-    execute(model, tokenizer, &compiled)
+    #[allow(deprecated)]
+    {
+        let compiled = plan(query, tokenizer, model.max_sequence_len())?;
+        execute(model, tokenizer, &compiled)
+    }
 }

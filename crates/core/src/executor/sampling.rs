@@ -29,9 +29,11 @@ use std::sync::Arc;
 
 use relm_automata::{WalkChoice, WalkTable};
 use relm_bpe::{BpeTokenizer, TokenId};
-use relm_lm::{LanguageModel, ScoringEngine, ScoringMode};
+use relm_lm::{LanguageModel, ScoringMode};
 
-use crate::executor::{passes_runtime_checks, CompiledQuery, ExecutionStats};
+use crate::executor::{
+    passes_runtime_checks, CompiledQuery, EngineHandle, ExecutionStats, StepOutcome,
+};
 use crate::query::PrefixSampling;
 use crate::results::MatchResult;
 
@@ -40,20 +42,25 @@ const EPISODE_BATCH: usize = 8;
 
 /// The random-sampling result iterator. See the module docs.
 pub(crate) struct SamplingIter<'a, M: LanguageModel> {
-    engine: ScoringEngine<&'a M>,
+    engine: EngineHandle<'a, M>,
     tokenizer: &'a BpeTokenizer,
     compiled: CompiledQuery,
     rng: SmallRng,
     walk_table: Option<Arc<WalkTable>>,
     stats: ExecutionStats,
     max_attempts: usize,
+    /// Episodes attempted since the last emission (dead-end prefix
+    /// draws included); the search is exhausted when this reaches
+    /// `max_attempts`. `Iterator::next` grants a fresh budget per call
+    /// (the legacy contract); a driver resets only on emission.
+    attempts_since_result: usize,
     /// Pre-drawn episode prefixes awaiting their body walk.
     pending: VecDeque<Vec<TokenId>>,
 }
 
 impl<'a, M: LanguageModel> SamplingIter<'a, M> {
     pub(crate) fn new(
-        engine: ScoringEngine<&'a M>,
+        engine: EngineHandle<'a, M>,
         tokenizer: &'a BpeTokenizer,
         compiled: CompiledQuery,
         seed: u64,
@@ -68,12 +75,19 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
             walk_table,
             stats: ExecutionStats::default(),
             max_attempts,
+            attempts_since_result: 0,
             pending: VecDeque::new(),
         }
     }
 
     pub(crate) fn stats(&self) -> ExecutionStats {
         self.stats.merge_scoring(self.engine.stats())
+    }
+
+    /// Grant a fresh attempt budget — `Iterator::next`'s legacy
+    /// semantics (each call may spend up to `max_attempts` episodes).
+    pub(crate) fn reset_attempt_budget(&mut self) {
+        self.attempts_since_result = 0;
     }
 
     /// Sample a prefix token sequence, or `None` on a dead end.
@@ -123,25 +137,29 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
         }
     }
 
-    /// Draw the next episode prefix, refilling the pending block when it
-    /// runs dry: prefixes need no model (walk counts only), so a whole
-    /// block is drawn up front and its initial body contexts are
-    /// batch-scored together — the episode-batched analogue of filling
-    /// an accelerator batch. Failed draws consume attempts.
-    fn next_prefix(&mut self, attempts: &mut usize) -> Option<Vec<TokenId>> {
-        if let Some(tokens) = self.pending.pop_front() {
-            return Some(tokens);
+    /// Refill the pending episode block when it has run dry: prefixes
+    /// need no model (walk counts only), so a whole block is drawn up
+    /// front and — when `warm` — its initial body contexts are
+    /// batch-scored together, the episode-batched analogue of filling
+    /// an accelerator batch. Failed draws consume attempts. The
+    /// coalescing driver refills with `warm = false` (its shared engine
+    /// tick scores the block instead); either way the refill happens at
+    /// the same point in the RNG stream, keeping results byte-identical.
+    fn fill_pending(&mut self, warm: bool) {
+        if !self.pending.is_empty() {
+            return;
         }
-        while self.pending.len() < EPISODE_BATCH && *attempts < self.max_attempts {
+        while self.pending.len() < EPISODE_BATCH && self.attempts_since_result < self.max_attempts {
             match self.sample_prefix() {
                 Some(tokens) => self.pending.push_back(tokens),
                 None => {
                     self.stats.dead_ends += 1;
-                    *attempts += 1;
+                    self.attempts_since_result += 1;
                 }
             }
         }
-        if self.compiled.scoring == ScoringMode::Batched
+        if warm
+            && self.compiled.scoring == ScoringMode::Batched
             && self.pending.len() > 1
             // If the engine has stopped admitting cache entries the warm
             // block's scores would be discarded — skip the speculation.
@@ -162,7 +180,41 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
             let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
             let _ = self.engine.score_batch(&refs);
         }
-        self.pending.pop_front()
+    }
+
+    /// The initial body contexts of the pending episode block — what
+    /// the next episodes will score first — uncached only, up to
+    /// `limit`. Refills the block if it is empty (the same RNG-stream
+    /// point where sequential execution would refill), skipping the
+    /// internal warm scoring: the driver's coalesced tick covers it.
+    pub(crate) fn frontier_contexts(&mut self, limit: usize) -> Vec<Vec<TokenId>> {
+        if limit == 0
+            || self.compiled.scoring == ScoringMode::Serial
+            || self.attempts_since_result >= self.max_attempts
+            || !self.engine.admits_new_entries()
+        {
+            return Vec::new();
+        }
+        if self.compiled.parts.prefix.is_none() {
+            // Every episode starts its body walk at the EOS root.
+            let ctx = vec![self.engine.eos()];
+            return if self.engine.is_cached(&ctx) {
+                Vec::new()
+            } else {
+                vec![ctx]
+            };
+        }
+        self.fill_pending(false);
+        let mut out: Vec<Vec<TokenId>> = Vec::new();
+        for prefix in self.pending.iter().take(limit) {
+            let mut ctx = Vec::with_capacity(prefix.len() + 1);
+            ctx.push(self.engine.eos());
+            ctx.extend_from_slice(prefix);
+            if !self.engine.is_cached(&ctx) && !out.contains(&ctx) {
+                out.push(ctx);
+            }
+        }
+        out
     }
 
     /// Extend `tokens` through the body automaton with the model.
@@ -229,68 +281,80 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
     }
 }
 
-impl<'a, M: LanguageModel> Iterator for SamplingIter<'a, M> {
-    type Item = MatchResult;
-
-    fn next(&mut self) -> Option<MatchResult> {
-        let mut attempts = 0usize;
-        while attempts < self.max_attempts {
-            // --- Prefix phase (episode-batched; see next_prefix) ---
-            let prefix_tokens = if self.compiled.parts.prefix.is_some() {
-                match self.next_prefix(&mut attempts) {
-                    Some(t) => t,
-                    // Every draw in the block dead-ended; the failed
-                    // draws already consumed attempts.
-                    None => continue,
-                }
-            } else {
-                Vec::new()
-            };
-            let prefix_len = prefix_tokens.len();
-            attempts += 1;
-
-            // --- Body phase ---
-            let mut tokens = prefix_tokens;
-            if !self.sample_body(&mut tokens) {
-                self.stats.dead_ends += 1;
-                continue;
-            }
-
-            if !passes_runtime_checks(
-                &self.compiled,
-                self.tokenizer,
-                &tokens,
-                prefix_len,
-                &mut self.stats,
-            ) {
-                continue;
-            }
-
-            let text = self.tokenizer.decode(&tokens);
-            let mut ctx = Vec::with_capacity(tokens.len() + 1);
-            ctx.push(self.engine.eos());
-            ctx.extend_from_slice(&tokens);
-            // Scoring the emitted match runs through the engine: the
-            // walk just visited every prefix of `ctx`, so this is all
-            // cache hits in batched mode.
-            let log_prob = relm_lm::sequence_log_prob(&self.engine, &ctx, 1);
-            self.stats.lm_calls += tokens.len() as u64;
-            let canonical = self.tokenizer.encode(&text) == tokens;
-            self.stats.emitted += 1;
-            return Some(MatchResult {
-                tokens,
-                prefix_len,
-                text,
-                log_prob,
-                canonical,
-            });
+impl<'a, M: LanguageModel> SamplingIter<'a, M> {
+    /// One sampling episode: draw (or take the pending) prefix, walk the
+    /// body with the model, and emit if the walk completes and passes
+    /// the runtime checks. Returns [`StepOutcome::Done`] once the
+    /// attempt budget since the last emission is exhausted.
+    pub(crate) fn step(&mut self) -> StepOutcome {
+        if self.attempts_since_result >= self.max_attempts {
+            return StepOutcome::Done;
         }
-        None
+        // --- Prefix phase (episode-batched; see fill_pending) ---
+        let prefix_tokens = if self.compiled.parts.prefix.is_some() {
+            self.fill_pending(true);
+            match self.pending.pop_front() {
+                Some(t) => t,
+                // Every draw in the block dead-ended; the failed draws
+                // already consumed attempts.
+                None => {
+                    return if self.attempts_since_result >= self.max_attempts {
+                        StepOutcome::Done
+                    } else {
+                        StepOutcome::Working
+                    };
+                }
+            }
+        } else {
+            Vec::new()
+        };
+        let prefix_len = prefix_tokens.len();
+        self.attempts_since_result += 1;
+
+        // --- Body phase ---
+        let mut tokens = prefix_tokens;
+        if !self.sample_body(&mut tokens) {
+            self.stats.dead_ends += 1;
+            return StepOutcome::Working;
+        }
+
+        if !passes_runtime_checks(
+            &self.compiled,
+            self.tokenizer,
+            &tokens,
+            prefix_len,
+            &mut self.stats,
+        ) {
+            return StepOutcome::Working;
+        }
+
+        let text = self.tokenizer.decode(&tokens);
+        let mut ctx = Vec::with_capacity(tokens.len() + 1);
+        ctx.push(self.engine.eos());
+        ctx.extend_from_slice(&tokens);
+        // Scoring the emitted match runs through the engine: the
+        // walk just visited every prefix of `ctx`, so this is all
+        // cache hits in batched mode.
+        let log_prob = relm_lm::sequence_log_prob(&*self.engine, &ctx, 1);
+        self.stats.lm_calls += tokens.len() as u64;
+        let canonical = self.tokenizer.encode(&text) == tokens;
+        self.stats.emitted += 1;
+        self.attempts_since_result = 0;
+        StepOutcome::Match(MatchResult {
+            tokens,
+            prefix_len,
+            text,
+            log_prob,
+            canonical,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy one-shot `search` shim stays covered here.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::query::{
         PrefixSampling, QueryString, SearchQuery, SearchStrategy, TokenizationStrategy,

@@ -24,9 +24,11 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use relm_bpe::{BpeTokenizer, TokenId};
-use relm_lm::{LanguageModel, ScoringEngine, ScoringMode};
+use relm_lm::{LanguageModel, ScoringMode};
 
-use crate::executor::{passes_runtime_checks, CompiledQuery, ExecutionStats};
+use crate::executor::{
+    passes_runtime_checks, CompiledQuery, EngineHandle, ExecutionStats, StepOutcome,
+};
 use crate::results::MatchResult;
 
 /// Cap on contexts speculatively scored per model call. The prefetch
@@ -38,6 +40,13 @@ const MAX_FRONTIER_BATCH: usize = 8;
 /// on very large frontiers (the heap's backing vector keeps low-cost
 /// nodes near the front, so a prefix scan still finds good candidates).
 const FRONTIER_SCAN_LIMIT: usize = 512;
+
+/// Tighter scan cap for the coalescing driver's per-rotation
+/// [`ShortestPathIter::frontier_contexts`] calls: the internal prefetch
+/// scans deep because it runs only on a cache miss, but the driver asks
+/// on **every** round-robin rotation (one heap pop each), so its scan
+/// must stay cheap — the heap top region alone yields the next pops.
+const FRONTIER_TICK_SCAN_LIMIT: usize = 64;
 
 /// Total-ordered wrapper for heap costs (`−log p`, non-negative).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,7 +103,7 @@ impl Ord for Node {
 
 /// The shortest-path result iterator. See the module docs.
 pub(crate) struct ShortestPathIter<'a, M: LanguageModel> {
-    engine: ScoringEngine<&'a M>,
+    engine: EngineHandle<'a, M>,
     tokenizer: &'a BpeTokenizer,
     compiled: CompiledQuery,
     heap: BinaryHeap<Reverse<Node>>,
@@ -106,7 +115,7 @@ pub(crate) struct ShortestPathIter<'a, M: LanguageModel> {
 
 impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
     pub(crate) fn new(
-        engine: ScoringEngine<&'a M>,
+        engine: EngineHandle<'a, M>,
         tokenizer: &'a BpeTokenizer,
         compiled: CompiledQuery,
         max_expansions: usize,
@@ -158,6 +167,44 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
         node.machine != Machine::Done
             && node.tokens.len() < self.compiled.max_tokens
             && node.tokens.len() + 1 < self.engine.max_sequence_len()
+    }
+
+    /// The contexts of the cheapest expandable frontier nodes — the ones
+    /// Dijkstra pops (and therefore scores) next. Read-only: the heap is
+    /// scanned, never mutated. Uncached contexts only, up to `limit`,
+    /// self-capped at [`MAX_FRONTIER_BATCH`]: beyond the cheapest few,
+    /// lookahead accuracy decays, and the internal prefetch uses the
+    /// same bound.
+    pub(crate) fn frontier_contexts(&self, limit: usize) -> Vec<Vec<TokenId>> {
+        let limit = limit.min(MAX_FRONTIER_BATCH);
+        if limit == 0
+            || self.compiled.scoring == ScoringMode::Serial
+            || self.stats.expansions >= self.max_expansions as u64
+            || !self.engine.admits_new_entries()
+        {
+            return Vec::new();
+        }
+        let mut best: Vec<&Node> = Vec::new();
+        for rev in self.heap.iter().take(FRONTIER_TICK_SCAN_LIMIT) {
+            let node = &rev.0;
+            if !self.expandable(node) {
+                continue;
+            }
+            let pos = best.partition_point(|n| n.cost <= node.cost);
+            if pos >= limit {
+                continue;
+            }
+            best.insert(pos, node);
+            best.truncate(limit);
+        }
+        let mut out: Vec<Vec<TokenId>> = Vec::new();
+        for node in best {
+            let ctx = self.context(&node.tokens);
+            if !self.engine.is_cached(&ctx) && !out.contains(&ctx) {
+                out.push(ctx);
+            }
+        }
+        out
     }
 
     /// Score `ctx`, batching in the contexts of the cheapest other
@@ -282,55 +329,54 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
     }
 }
 
-impl<'a, M: LanguageModel> Iterator for ShortestPathIter<'a, M> {
-    type Item = MatchResult;
+impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
+    /// One unit of Dijkstra work: pop the cheapest node, expand it, and
+    /// emit if it completes a match. `SearchResults::next` loops this;
+    /// the `run_many` driver calls it between coalescing ticks.
+    pub(crate) fn step(&mut self) -> StepOutcome {
+        let Some(Reverse(node)) = self.heap.pop() else {
+            return StepOutcome::Done;
+        };
+        if self.stats.expansions >= self.max_expansions as u64 {
+            return StepOutcome::Done;
+        }
+        self.stats.expansions += 1;
 
-    fn next(&mut self) -> Option<MatchResult> {
-        while let Some(Reverse(node)) = self.heap.pop() {
-            if self.stats.expansions >= self.max_expansions as u64 {
-                return None;
+        // Prefix machine: accepting states bridge into the body.
+        if node.machine == Machine::Prefix {
+            let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
+            if prefix.is_accepting(node.state) {
+                self.heap.push(Reverse(Node {
+                    cost: node.cost,
+                    machine: Machine::Body,
+                    state: self.compiled.parts.body.automaton.start(),
+                    tokens: node.tokens.clone(),
+                    prefix_len: node.tokens.len(),
+                }));
             }
-            self.stats.expansions += 1;
-
-            // Prefix machine: accepting states bridge into the body.
-            if node.machine == Machine::Prefix {
-                let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
-                if prefix.is_accepting(node.state) {
-                    self.heap.push(Reverse(Node {
-                        cost: node.cost,
-                        machine: Machine::Body,
-                        state: self.compiled.parts.body.automaton.start(),
-                        tokens: node.tokens.clone(),
-                        prefix_len: node.tokens.len(),
-                    }));
-                }
-                self.expand(&node);
-                continue;
-            }
-
-            // Done machine: EOS already paid; emit in heap order.
-            if node.machine == Machine::Done {
-                if let Some(m) = self.try_emit(node) {
-                    return Some(m);
-                }
-                continue;
-            }
-
-            // Body machine: emit on accepting states (unless EOS
-            // termination is required), keep expanding.
-            let accepting = self.compiled.parts.body.automaton.is_accepting(node.state);
             self.expand(&node);
-            if accepting && !self.compiled.require_eos {
-                if let Some(m) = self.try_emit(node) {
-                    return Some(m);
-                }
+            return StepOutcome::Working;
+        }
+
+        // Done machine: EOS already paid; emit in heap order.
+        if node.machine == Machine::Done {
+            return match self.try_emit(node) {
+                Some(m) => StepOutcome::Match(m),
+                None => StepOutcome::Working,
+            };
+        }
+
+        // Body machine: emit on accepting states (unless EOS
+        // termination is required), keep expanding.
+        let accepting = self.compiled.parts.body.automaton.is_accepting(node.state);
+        self.expand(&node);
+        if accepting && !self.compiled.require_eos {
+            if let Some(m) = self.try_emit(node) {
+                return StepOutcome::Match(m);
             }
         }
-        None
+        StepOutcome::Working
     }
-}
-
-impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
     /// Emit `node` as a match if it passes dedup and runtime checks.
     fn try_emit(&mut self, node: Node) -> Option<MatchResult> {
         {
@@ -365,6 +411,9 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
 
 #[cfg(test)]
 mod tests {
+    // The legacy one-shot `search` shim stays covered here.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::query::{QueryString, SearchQuery, TokenizationStrategy};
     use relm_lm::{DecodingPolicy, NGramConfig, NGramLm};

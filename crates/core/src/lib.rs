@@ -23,14 +23,18 @@
 //!
 //! # Quickstart
 //!
+//! The public API centers on the [`Relm`] client: one handle owning the
+//! model, tokenizer, plan memo, and scoring cache.
+//!
 //! ```
 //! use relm_bpe::BpeTokenizer;
-//! use relm_core::{search, QueryString, SearchQuery, SearchStrategy};
+//! use relm_core::{QueryString, Relm, SearchQuery};
 //! use relm_lm::{DecodingPolicy, NGramConfig, NGramLm};
 //!
 //! let corpus = "my phone number is 555 555 5555. call me anytime.";
 //! let tokenizer = BpeTokenizer::train(corpus, 60);
 //! let model = NGramLm::train(&tokenizer, &[corpus], NGramConfig::xl());
+//! let client = Relm::builder(model, tokenizer).build()?;
 //!
 //! let query = SearchQuery::new(QueryString::new(
 //!     "my phone number is ([0-9]{3}) ([0-9]{3}) ([0-9]{4})",
@@ -38,15 +42,19 @@
 //! .with_prefix("my phone number is"))
 //! .with_policy(DecodingPolicy::top_k(40));
 //!
-//! let results = search(&model, &tokenizer, &query)?;
+//! let results = client.search(&query)?;
 //! let first = results.take(1).next().expect("a match");
 //! assert!(first.text.starts_with("my phone number is "));
 //! # Ok::<(), relm_core::RelmError>(())
 //! ```
+//!
+//! Batches of heterogeneous queries go through [`Relm::run_many`],
+//! which coalesces scoring across the whole [`QuerySet`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod client;
 pub mod compiler;
 mod error;
 mod executor;
@@ -56,10 +64,16 @@ mod query;
 mod results;
 mod session;
 
-pub use error::RelmError;
-pub use executor::{execute, plan, search, CompiledSearch, ExecutionStats, SearchResults};
+pub use client::{QueryOutcome, QuerySetReport, Relm, RelmBuilder};
+pub use error::{RelmError, RelmErrorKind};
+#[allow(deprecated)] // the legacy shims remain exported until removal
+pub use executor::{execute, plan, search};
+pub use executor::{CompiledSearch, ExecutionStats, SearchResults};
 pub use explain::{explain, MachineShape, QueryPlan};
 pub use preprocess::{FilterPreprocessor, LevenshteinPreprocessor, Preprocessor};
-pub use query::{PrefixSampling, QueryString, SearchQuery, SearchStrategy, TokenizationStrategy};
+pub use query::{
+    PrefixSampling, QuerySet, QuerySpec, QueryString, SearchQuery, SearchStrategy,
+    TokenizationStrategy,
+};
 pub use results::MatchResult;
-pub use session::{RelmSession, SessionConfig, SessionStats};
+pub use session::{RelmSession, SessionConfig, SessionStats, DEFAULT_PLAN_MEMO_BYTES};

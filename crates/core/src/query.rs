@@ -95,6 +95,7 @@ pub enum PrefixSampling {
 /// Built with a non-consuming builder, mirroring the Python API of
 /// Figure 11 (`SimpleSearchQuery`).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SearchQuery {
     /// The pattern and optional prefix.
     pub query_string: QueryString,
@@ -221,6 +222,100 @@ impl SearchQuery {
     pub fn with_scoring_mode(mut self, scoring: ScoringMode) -> Self {
         self.scoring = scoring;
         self
+    }
+
+    /// Set the resampling-attempt cap for random-sampling search.
+    #[must_use]
+    pub fn with_max_sample_attempts(mut self, max_sample_attempts: usize) -> Self {
+        self.max_sample_attempts = max_sample_attempts;
+        self
+    }
+}
+
+/// One query of a [`QuerySet`]: the query plus how many matches
+/// [`crate::Relm::run_many`] should collect from it. The cap is
+/// mandatory because sampling streams never terminate on their own — it
+/// is the multi-query analogue of `Iterator::take`.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct QuerySpec {
+    /// The query to run.
+    pub query: SearchQuery,
+    /// Maximum matches to collect (the `take` bound of the query).
+    pub max_results: usize,
+}
+
+impl QuerySpec {
+    /// A spec collecting up to `max_results` matches of `query`.
+    pub fn new(query: SearchQuery, max_results: usize) -> Self {
+        QuerySpec { query, max_results }
+    }
+}
+
+/// An ordered batch of heterogeneous queries submitted together through
+/// [`crate::Relm::run_many`], which executes them against **one shared
+/// scoring engine** so scoring requests from different queries coalesce
+/// into shared batches. Per-query results come back in submission
+/// order, byte-identical to running each query alone.
+///
+/// # Example
+///
+/// ```
+/// use relm_core::{QuerySet, QueryString, SearchQuery};
+///
+/// let set = QuerySet::new()
+///     .with_query(SearchQuery::new(QueryString::new("the cat")), 1)
+///     .with_query(SearchQuery::new(QueryString::new("the dog")), 1);
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QuerySet {
+    specs: Vec<QuerySpec>,
+}
+
+impl QuerySet {
+    /// An empty query set.
+    pub fn new() -> Self {
+        QuerySet::default()
+    }
+
+    /// Append a query collecting up to `max_results` matches (builder
+    /// form).
+    #[must_use]
+    pub fn with_query(mut self, query: SearchQuery, max_results: usize) -> Self {
+        self.push(query, max_results);
+        self
+    }
+
+    /// Append a query collecting up to `max_results` matches.
+    pub fn push(&mut self, query: SearchQuery, max_results: usize) {
+        self.specs.push(QuerySpec::new(query, max_results));
+    }
+
+    /// The specs, in submission (and result) order.
+    pub fn specs(&self) -> &[QuerySpec] {
+        &self.specs
+    }
+
+    /// Number of queries in the set.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the set holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+impl FromIterator<(SearchQuery, usize)> for QuerySet {
+    fn from_iter<I: IntoIterator<Item = (SearchQuery, usize)>>(iter: I) -> Self {
+        QuerySet {
+            specs: iter
+                .into_iter()
+                .map(|(query, max_results)| QuerySpec::new(query, max_results))
+                .collect(),
+        }
     }
 }
 

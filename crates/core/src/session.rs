@@ -35,31 +35,88 @@ use relm_bpe::BpeTokenizer;
 use relm_lm::{LanguageModel, ScoringEngine, SharedCacheStats, SharedScoringCache};
 
 use crate::executor::{
-    assemble_compiled, compile_parts, execute_with_engine, CompiledSearch, PlanParts, SearchResults,
+    assemble_compiled, compile_parts, execute_with_engine, CompiledSearch, EngineHandle, PlanParts,
+    SearchResults,
 };
 use crate::query::{SearchQuery, TokenizationStrategy};
 use crate::RelmError;
 
-/// Tuning knobs for a [`RelmSession`].
+/// Default byte budget for a session's plan memo (64 MiB).
+pub const DEFAULT_PLAN_MEMO_BYTES: usize = 64 << 20;
+
+/// Estimated fixed overhead per memoized plan (hash-map slot, `Vec`
+/// headers, clock metadata), charged on top of the key strings and the
+/// automata payload.
+const PLAN_ENTRY_OVERHEAD_BYTES: usize = 256;
+
+/// Tuning knobs for a [`RelmSession`] (and therefore a [`crate::Relm`]
+/// client). Build with the `with_*` methods — the struct is
+/// `#[non_exhaustive]`, so new knobs can be added without a breaking
+/// release:
+///
+/// ```
+/// use relm_core::SessionConfig;
+///
+/// let config = SessionConfig::new()
+///     .with_plan_memo_capacity(64)
+///     .with_plan_memo_bytes(16 << 20);
+/// assert_eq!(config.plan_memo_capacity, 64);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SessionConfig {
     /// Byte budget of the shared scoring cache.
     pub scoring_cache_bytes: usize,
-    /// Maximum number of memoized compiled plans (LRU-evicted).
+    /// Maximum number of memoized compiled plans (clock-evicted).
     pub plan_memo_capacity: usize,
+    /// Byte budget of the plan memo: every memoized plan is charged its
+    /// estimated automata footprint, so one URL-scale plan cannot
+    /// dominate memory unnoticed. Plans larger than the whole budget
+    /// are compiled but never memoized.
+    pub plan_memo_bytes: usize,
+}
+
+impl SessionConfig {
+    /// The default budgets (alias of `Default::default()`).
+    pub fn new() -> Self {
+        SessionConfig {
+            scoring_cache_bytes: relm_lm::DEFAULT_SHARED_CACHE_BYTES,
+            plan_memo_capacity: 256,
+            plan_memo_bytes: DEFAULT_PLAN_MEMO_BYTES,
+        }
+    }
+
+    /// Set the shared scoring cache's byte budget.
+    #[must_use]
+    pub fn with_scoring_cache_bytes(mut self, bytes: usize) -> Self {
+        self.scoring_cache_bytes = bytes;
+        self
+    }
+
+    /// Set the plan memo's entry-count cap.
+    #[must_use]
+    pub fn with_plan_memo_capacity(mut self, capacity: usize) -> Self {
+        self.plan_memo_capacity = capacity;
+        self
+    }
+
+    /// Set the plan memo's byte budget.
+    #[must_use]
+    pub fn with_plan_memo_bytes(mut self, bytes: usize) -> Self {
+        self.plan_memo_bytes = bytes;
+        self
+    }
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
-        SessionConfig {
-            scoring_cache_bytes: relm_lm::DEFAULT_SHARED_CACHE_BYTES,
-            plan_memo_capacity: 256,
-        }
+        SessionConfig::new()
     }
 }
 
 /// Aggregated reuse counters for a session.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
 pub struct SessionStats {
     /// Plans served from the memo without compilation.
     pub plan_hits: u64,
@@ -67,6 +124,10 @@ pub struct SessionStats {
     pub plan_misses: u64,
     /// Compiled plans currently memoized.
     pub plan_entries: usize,
+    /// Plans evicted from the memo under count or byte pressure.
+    pub plan_evictions: u64,
+    /// Estimated resident bytes of the memoized plans (a gauge).
+    pub plan_bytes: usize,
     /// Shared scoring-cache counters (hits/misses span queries).
     pub scoring: SharedCacheStats,
 }
@@ -101,6 +162,15 @@ struct PlanKey {
 }
 
 impl PlanKey {
+    /// Estimated heap bytes of one copy of this key (pattern and prefix
+    /// strings dominate; bench-style queries build patterns as
+    /// multi-kilobyte lexicon disjunctions).
+    fn estimated_bytes(&self) -> usize {
+        self.pattern.len()
+            + self.prefix.as_ref().map_or(0, String::len)
+            + self.preprocessors.len() * std::mem::size_of::<u64>()
+    }
+
     fn of(query: &SearchQuery, tokenizer_fingerprint: u64) -> Self {
         let mut pre = Vec::new();
         for p in &query.preprocessors {
@@ -116,47 +186,152 @@ impl PlanKey {
     }
 }
 
-/// The bounded plan memo: a `HashMap` with LRU eviction by use stamp
-/// (capacities are small — hundreds — so the eviction scan is cheap
-/// relative to one compilation it replaces).
+/// One memoized plan: the compiled parts plus its clock metadata. The
+/// key is duplicated in the index map (keys are small — strings and a
+/// few scalars — next to the automata they index).
+#[derive(Debug)]
+struct PlanEntry {
+    key: PlanKey,
+    parts: Arc<PlanParts>,
+    referenced: bool,
+    cost: usize,
+}
+
+/// The bounded plan memo: count-capped **and byte-budgeted**, with the
+/// same second-chance (clock) eviction as the scoring cache's
+/// [`relm_lm::SharedScoringCache`] — each hit sets an entry's
+/// referenced bit; under pressure a hand sweeps the slot ring, clearing
+/// bits and evicting the first unreferenced plan. Every plan is charged
+/// its estimated automata footprint
+/// ([`PlanParts::estimated_bytes`]), so one URL-scale automaton cannot
+/// quietly dominate session memory the way a count-only cap allowed.
 #[derive(Debug)]
 struct PlanMemo {
     capacity: usize,
-    tick: u64,
-    entries: HashMap<PlanKey, (Arc<PlanParts>, u64)>,
+    max_bytes: usize,
+    bytes: usize,
+    /// `key -> slot index` into the clock ring.
+    map: HashMap<PlanKey, usize>,
+    /// The clock ring; `None` slots are free.
+    slots: Vec<Option<PlanEntry>>,
+    free: Vec<usize>,
+    hand: usize,
+    evictions: u64,
 }
 
 impl PlanMemo {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, max_bytes: usize) -> Self {
         PlanMemo {
             capacity: capacity.max(1),
-            tick: 0,
-            entries: HashMap::new(),
+            max_bytes,
+            bytes: 0,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            hand: 0,
+            evictions: 0,
         }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Estimated resident bytes of one entry: fixed overhead, both
+    /// copies of the key (entry + index map), and the plan payload.
+    fn cost_of(key: &PlanKey, parts: &PlanParts) -> usize {
+        PLAN_ENTRY_OVERHEAD_BYTES + 2 * key.estimated_bytes() + parts.estimated_bytes()
     }
 
     fn get(&mut self, key: &PlanKey) -> Option<Arc<PlanParts>> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.entries.get_mut(key).map(|(parts, used)| {
-            *used = tick;
-            Arc::clone(parts)
-        })
+        let slot = *self.map.get(key)?;
+        let (parts, old_cost) = {
+            let entry = self.slots[slot].as_mut().expect("mapped slot is live");
+            entry.referenced = true;
+            (Arc::clone(&entry.parts), entry.cost)
+        };
+        // Re-cost on every hit: execute-time artifacts (the memoized
+        // walk table) materialize *after* insert, so the byte gauge
+        // would otherwise under-report and a table-heavy plan could
+        // dominate memory uncharged. The budget is re-enforced here;
+        // the fetched entry's referenced bit gives it a second chance,
+        // and the returned `Arc` stays valid even if it is evicted.
+        let new_cost = Self::cost_of(key, &parts);
+        if new_cost != old_cost {
+            let entry = self.slots[slot].as_mut().expect("mapped slot is live");
+            entry.cost = new_cost;
+            self.bytes = self.bytes - old_cost + new_cost;
+            while self.bytes > self.max_bytes {
+                if !self.evict_one() {
+                    break;
+                }
+            }
+        }
+        Some(parts)
     }
 
     fn insert(&mut self, key: PlanKey, parts: Arc<PlanParts>) {
-        self.tick += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            if let Some(victim) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, used))| *used)
-                .map(|(k, _)| k.clone())
-            {
-                self.entries.remove(&victim);
+        if self.map.contains_key(&key) {
+            return; // first writer wins
+        }
+        let cost = Self::cost_of(&key, &parts);
+        if cost > self.max_bytes {
+            return; // an oversized plan is compiled but never memoized
+        }
+        while self.map.len() >= self.capacity || self.bytes + cost > self.max_bytes {
+            if !self.evict_one() {
+                return;
             }
         }
-        self.entries.insert(key, (parts, self.tick));
+        let entry = PlanEntry {
+            key: key.clone(),
+            parts,
+            referenced: false,
+            cost,
+        };
+        let slot = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Some(entry);
+                idx
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.bytes += cost;
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        if let Some(entry) = self.slots[slot].take() {
+            self.map.remove(&entry.key);
+            self.bytes -= entry.cost;
+            self.free.push(slot);
+            self.evictions += 1;
+        }
+    }
+
+    /// One clock sweep step: evict the first unreferenced plan, clearing
+    /// referenced bits along the way. Two revolutions suffice (the first
+    /// clears every bit).
+    fn evict_one(&mut self) -> bool {
+        if self.slots.is_empty() || self.map.is_empty() {
+            return false;
+        }
+        for _ in 0..self.slots.len() * 2 {
+            let slot = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            let Some(entry) = self.slots[slot].as_mut() else {
+                continue;
+            };
+            if !entry.referenced {
+                self.remove_slot(slot);
+                return true;
+            }
+            entry.referenced = false;
+        }
+        false
     }
 }
 
@@ -194,6 +369,7 @@ pub struct RelmSession<M> {
     model: M,
     tokenizer: BpeTokenizer,
     tokenizer_fingerprint: u64,
+    config: SessionConfig,
     scoring_cache: Arc<SharedScoringCache>,
     plans: Mutex<PlanMemo>,
     plan_hits: AtomicU64,
@@ -213,11 +389,20 @@ impl<M: LanguageModel> RelmSession<M> {
             model,
             tokenizer,
             tokenizer_fingerprint,
+            config,
             scoring_cache: Arc::new(SharedScoringCache::new(config.scoring_cache_bytes)),
-            plans: Mutex::new(PlanMemo::new(config.plan_memo_capacity)),
+            plans: Mutex::new(PlanMemo::new(
+                config.plan_memo_capacity,
+                config.plan_memo_bytes,
+            )),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
         }
+    }
+
+    /// The budgets this session was built with.
+    pub fn config(&self) -> SessionConfig {
+        self.config
     }
 
     /// The session's model.
@@ -290,16 +475,40 @@ impl<M: LanguageModel> RelmSession<M> {
     /// smaller-context model).
     pub fn execute(&self, plan: &CompiledSearch) -> Result<SearchResults<'_, M>, RelmError> {
         plan.check_compatible(self.tokenizer_fingerprint, self.model.max_sequence_len())?;
-        let engine = ScoringEngine::with_shared_cache(
+        let engine = EngineHandle::Owned(Box::new(ScoringEngine::with_shared_cache(
             &self.model,
             plan.compiled.scoring,
             Arc::clone(&self.scoring_cache),
-        );
+        )));
         Ok(
             execute_with_engine(engine, &self.tokenizer, plan).with_plan_counters(
                 self.plan_hits.load(Ordering::Relaxed),
                 self.plan_misses.load(Ordering::Relaxed),
             ),
+        )
+    }
+
+    /// Execute a compiled plan through an engine owned by the caller —
+    /// the back end of [`crate::Relm::run_many`]'s interleaving driver,
+    /// which builds **one** engine over this session's shared cache and
+    /// pumps every execution of a query set through it so their scoring
+    /// batches coalesce.
+    ///
+    /// # Errors
+    ///
+    /// The same compatibility errors as [`Self::execute`].
+    pub(crate) fn execute_shared<'a>(
+        &'a self,
+        engine: &'a ScoringEngine<&'a M>,
+        plan: &CompiledSearch,
+    ) -> Result<SearchResults<'a, M>, RelmError> {
+        plan.check_compatible(self.tokenizer_fingerprint, self.model.max_sequence_len())?;
+        Ok(
+            execute_with_engine(EngineHandle::Shared(engine), &self.tokenizer, plan)
+                .with_plan_counters(
+                    self.plan_hits.load(Ordering::Relaxed),
+                    self.plan_misses.load(Ordering::Relaxed),
+                ),
         )
     }
 
@@ -355,19 +564,25 @@ impl<M: LanguageModel> RelmSession<M> {
                 "tokenizer vocabulary exceeds the session model's".into(),
             ));
         }
-        let capacity = self.plans.lock().capacity;
         self.tokenizer_fingerprint = tokenizer.fingerprint();
-        *self.plans.lock() = PlanMemo::new(capacity);
+        *self.plans.lock() =
+            PlanMemo::new(self.config.plan_memo_capacity, self.config.plan_memo_bytes);
         self.scoring_cache.bump_generation();
         Ok(std::mem::replace(&mut self.tokenizer, tokenizer))
     }
 
     /// Snapshot of the session's reuse counters.
     pub fn stats(&self) -> SessionStats {
+        let (plan_entries, plan_evictions, plan_bytes) = {
+            let plans = self.plans.lock();
+            (plans.len(), plans.evictions, plans.bytes)
+        };
         SessionStats {
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
-            plan_entries: self.plans.lock().entries.len(),
+            plan_entries,
+            plan_evictions,
+            plan_bytes,
             scoring: self.scoring_cache.stats(),
         }
     }
@@ -485,6 +700,97 @@ mod tests {
             .take(1)
             .count();
         assert_eq!(session.stats().plan_hits, 1);
+    }
+
+    #[test]
+    fn plan_memo_byte_budget_is_enforced() {
+        let (tok, lm) = fixture();
+        let probe = RelmSession::new(lm, tok);
+        let q = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        probe.plan(&q).unwrap();
+        let one_plan = probe.stats().plan_bytes;
+        assert!(one_plan > PLAN_ENTRY_OVERHEAD_BYTES);
+
+        // A budget of ~1.5 plans: compiling three patterns must evict.
+        let (tok, lm) = fixture();
+        let budget = one_plan + one_plan / 2;
+        let session =
+            RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_memo_bytes(budget));
+        for pattern in [
+            "the ((cat)|(dog)) sat",
+            "the ((dog)|(cat)) ate",
+            "the cat sat on the mat",
+        ] {
+            session
+                .plan(&SearchQuery::new(QueryString::new(pattern)))
+                .unwrap();
+        }
+        let stats = session.stats();
+        assert!(
+            stats.plan_bytes <= budget,
+            "{} > {budget}",
+            stats.plan_bytes
+        );
+        assert!(stats.plan_evictions >= 1, "{stats:?}");
+        assert!(stats.plan_entries < 3, "{stats:?}");
+    }
+
+    #[test]
+    fn memo_hits_recharge_execute_time_walk_tables() {
+        let (tok, lm) = fixture();
+        let session = RelmSession::new(lm, tok);
+        // A prefixed sampling query: executing it builds (and memoizes)
+        // the prefix machine's walk table inside the plan.
+        let query = SearchQuery::new(
+            QueryString::new("the ((cat)|(dog)) sat").with_prefix("the ((cat)|(dog))"),
+        )
+        .with_strategy(crate::SearchStrategy::RandomSampling { seed: 3 });
+        session.plan(&query).unwrap();
+        let at_insert = session.stats().plan_bytes;
+        let _ = session.search(&query).unwrap().take(2).count(); // builds the table
+        let _ = session.plan(&query).unwrap(); // hit: re-costs the entry
+        let recharged = session.stats().plan_bytes;
+        assert!(
+            recharged > at_insert,
+            "walk table must be charged on the next hit: {at_insert} -> {recharged}"
+        );
+    }
+
+    #[test]
+    fn oversized_plan_is_compiled_but_not_memoized() {
+        let (tok, lm) = fixture();
+        let session =
+            RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_memo_bytes(64));
+        let q = SearchQuery::new(QueryString::new("the cat"));
+        session.plan(&q).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.plan_entries, 0);
+        assert_eq!(stats.plan_bytes, 0);
+        session.plan(&q).unwrap();
+        assert_eq!(session.stats().plan_misses, 2, "never served from memo");
+    }
+
+    #[test]
+    fn clock_eviction_gives_hit_plans_a_second_chance() {
+        let (tok, lm) = fixture();
+        let session =
+            RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_memo_capacity(2));
+        let hot = SearchQuery::new(QueryString::new("the cat"));
+        session.plan(&hot).unwrap();
+        session
+            .plan(&SearchQuery::new(QueryString::new("the dog")))
+            .unwrap();
+        // Touch the hot plan so its referenced bit protects it.
+        session.plan(&hot).unwrap();
+        session
+            .plan(&SearchQuery::new(QueryString::new("the cow")))
+            .unwrap();
+        // "the dog" (unreferenced) was the victim; the hot plan still hits.
+        session.plan(&hot).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.plan_hits, 2);
+        assert_eq!(stats.plan_entries, 2);
+        assert_eq!(stats.plan_evictions, 1);
     }
 
     #[test]

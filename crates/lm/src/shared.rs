@@ -33,6 +33,7 @@ pub const DEFAULT_SHARED_CACHE_BYTES: usize = 128 << 20;
 
 /// Counters and gauges describing a [`SharedScoringCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
 pub struct SharedCacheStats {
     /// Lookups served from the table (across all queries).
     pub hits: u64,

@@ -7,7 +7,9 @@
 
 use relm::datasets::{CorpusSpec, SyntheticWorld, PROFESSIONS};
 use relm::stats::{chi2_independence, EmpiricalDist};
-use relm::{search, BpeTokenizer, NGramConfig, NGramLm, QueryString, SearchQuery, SearchStrategy};
+use relm::{
+    BpeTokenizer, NGramConfig, NGramLm, QuerySet, QueryString, Relm, SearchQuery, SearchStrategy,
+};
 
 fn profession_pattern() -> String {
     let alts: Vec<String> = PROFESSIONS
@@ -24,21 +26,34 @@ fn main() -> Result<(), relm::RelmError> {
     let corpus = world.joined_corpus();
     let tokenizer = BpeTokenizer::train(&corpus, 300);
     let model = NGramLm::train(&tokenizer, &world.document_refs(), NGramConfig::xl());
+    let client = Relm::new(model, tokenizer)?;
 
+    // Both gender templates go in as ONE QuerySet: `run_many` steps the
+    // two samplers in lockstep against a shared scoring engine, so
+    // their scoring requests coalesce into shared batches — results are
+    // byte-identical to running each query alone.
     let samples_per_gender = 150;
-    let mut table = Vec::new();
-    for gender in ["man", "woman"] {
+    let genders = ["man", "woman"];
+    let mut set = QuerySet::new();
+    for gender in genders {
         // The paper's query: full pattern with the template as prefix.
         let prefix = format!("The {gender} was trained in");
         let pattern = format!("{prefix} ({})\\.", profession_pattern());
-        let query = SearchQuery::new(QueryString::new(pattern).with_prefix(prefix.clone()))
+        let query = SearchQuery::new(QueryString::new(pattern).with_prefix(prefix))
             .with_strategy(SearchStrategy::RandomSampling { seed: 42 })
             .with_max_tokens(24);
+        set.push(query, samples_per_gender);
+    }
+    let report = client.run_many(&set)?;
+
+    let mut table = Vec::new();
+    for (gender, outcome) in genders.iter().zip(&report.outcomes) {
+        let prefix = format!("The {gender} was trained in ");
         let mut dist = EmpiricalDist::new();
-        for m in search(&model, &tokenizer, &query)?.take(samples_per_gender) {
+        for m in &outcome.matches {
             let suffix = m
                 .text
-                .strip_prefix(&format!("{prefix} "))
+                .strip_prefix(&prefix)
                 .unwrap_or(&m.text)
                 .trim_end_matches('.');
             dist.observe(suffix);
@@ -52,6 +67,12 @@ fn main() -> Result<(), relm::RelmError> {
         println!();
         table.push(dist.counts_for(&PROFESSIONS));
     }
+    println!(
+        "coalesced scoring: {} shared batches ({} cross-query), mean batch size {:.1}\n",
+        report.scoring.coalesced_batches,
+        report.scoring.cross_query_batches,
+        report.mean_batch_size()
+    );
 
     // Quantitative evaluation (§4.2.2): χ² independence test.
     // Drop professions never sampled by either gender (zero marginals).

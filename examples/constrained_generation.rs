@@ -12,7 +12,7 @@
 //! ```
 
 use relm::{
-    explain, search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, SearchQuery,
+    explain, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, Relm, SearchQuery,
     SearchStrategy,
 };
 
@@ -29,6 +29,7 @@ fn main() -> Result<(), relm::RelmError> {
     let corpus = documents.join(". ");
     let tokenizer = BpeTokenizer::train(&corpus, 200);
     let model = NGramLm::train(&tokenizer, &documents, NGramConfig::xl());
+    let client = Relm::new(model, tokenizer.clone())?;
 
     // 1. Keyword-constrained generation: a sentence over the corpus
     //    vocabulary that MUST contain "ship" and then "harbor".
@@ -40,7 +41,7 @@ fn main() -> Result<(), relm::RelmError> {
     .with_max_expansions(50_000);
     println!("--- keyword constraint: ship … harbor ---");
     println!("{}\n", explain(&keyword_query, &tokenizer, 128)?);
-    for m in search(&model, &tokenizer, &keyword_query)?.take(3) {
+    for m in client.search(&keyword_query)?.take(3) {
         println!("  {:?}  (log p = {:.2})", m.text, m.log_prob);
     }
 
@@ -50,14 +51,14 @@ fn main() -> Result<(), relm::RelmError> {
     )
     .with_policy(DecodingPolicy::top_k(100));
     println!("\n--- structured completion: a date ---");
-    for m in search(&model, &tokenizer, &date_query)?.take(2) {
+    for m in client.search(&date_query)?.take(2) {
         println!("  {:?}  (log p = {:.2})", m.text, m.log_prob);
     }
 
     // 3. Beam-search generation (bounded memory) over the same query.
     let beam_query = date_query.with_strategy(SearchStrategy::Beam { width: 16 });
     println!("\n--- same query, beam traversal ---");
-    for m in search(&model, &tokenizer, &beam_query)?.take(2) {
+    for m in client.search(&beam_query)?.take(2) {
         println!("  {:?}  (log p = {:.2})", m.text, m.log_prob);
     }
     Ok(())

@@ -9,8 +9,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use relm::datasets::{CorpusSpec, SyntheticWorld};
 use relm::{
-    sample_sequence, search, AcceleratorSim, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm,
-    QueryString, SearchQuery,
+    sample_sequence, AcceleratorSim, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm,
+    QueryString, Relm, SearchQuery,
 };
 use std::collections::HashSet;
 
@@ -21,6 +21,7 @@ fn main() -> Result<(), relm::RelmError> {
     let corpus = world.joined_corpus();
     let tokenizer = BpeTokenizer::train(&corpus, 300);
     let model = NGramLm::train(&tokenizer, &world.document_refs(), NGramConfig::xl());
+    let client = Relm::new(&model, tokenizer.clone())?;
 
     // --- ReLM: structured query, shortest path, top-k 40 ---
     let query = SearchQuery::new(QueryString::new(URL_PATTERN).with_prefix("https://www\\."))
@@ -28,7 +29,7 @@ fn main() -> Result<(), relm::RelmError> {
         .with_max_tokens(24);
     let mut gpu = AcceleratorSim::new();
     let mut relm_valid = Vec::new();
-    let mut results = search(&model, &tokenizer, &query)?;
+    let mut results = client.search(&query)?;
     for m in (&mut results).take(30) {
         gpu.forward(1);
         if world.urls.is_valid(&m.text) {

@@ -7,7 +7,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use relm::{search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, SearchQuery};
+use relm::{BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, Relm, SearchQuery};
 
 fn main() -> Result<(), relm::RelmError> {
     // A miniature "training set" with a secret planted in it.
@@ -20,6 +20,9 @@ fn main() -> Result<(), relm::RelmError> {
     let corpus = documents.join(". ");
     let tokenizer = BpeTokenizer::train(&corpus, 120);
     let model = NGramLm::train(&tokenizer, &documents, NGramConfig::xl());
+    // The client owns model + tokenizer and memoizes plans and scores
+    // across every query it runs.
+    let client = Relm::builder(model, tokenizer).build()?;
 
     // Figure 4: search for phone-number-shaped strings, conditioning on
     // the natural-language prefix. The pattern describes the full
@@ -31,7 +34,7 @@ fn main() -> Result<(), relm::RelmError> {
     .with_policy(DecodingPolicy::top_k(40));
 
     println!("query: {}", query.query_string.pattern);
-    let results = search(&model, &tokenizer, &query)?;
+    let results = client.search(&query)?;
     for (rank, m) in results.take(3).enumerate() {
         println!(
             "  #{rank}: {:?}  (log p = {:.3}, canonical = {})",

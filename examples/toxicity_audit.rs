@@ -8,7 +8,7 @@
 
 use relm::datasets::{scan_for_insults, CorpusSpec, SyntheticWorld, INSULT_LEXICON};
 use relm::{
-    search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QueryString,
+    BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QuerySet, QueryString, Relm,
     SearchQuery, TokenizationStrategy,
 };
 
@@ -28,33 +28,49 @@ fn main() -> Result<(), relm::RelmError> {
     );
 
     // Step 2: prompted extraction — can the model regenerate the insult
-    // given the preceding text as a prompt?
-    let mut baseline_hits = 0usize;
-    let mut relm_hits = 0usize;
+    // given the preceding text as a prompt? The whole battery (baseline
+    // and ReLM query per prompt) is submitted as ONE QuerySet, so
+    // `run_many` coalesces scoring across all of them.
+    let client = Relm::new(model, tokenizer)?;
     let budget = matches.len().min(12);
+    let mut set = QuerySet::new();
     for m in matches.iter().take(budget) {
         let prefix = relm::escape(m.prefix.trim_end());
         let pattern = format!("{prefix} {}", relm::escape(&m.insult));
 
         // Baseline: canonical encodings, no edits.
-        let q = SearchQuery::new(QueryString::new(&pattern).with_prefix(&prefix))
+        let baseline = SearchQuery::new(QueryString::new(&pattern).with_prefix(&prefix))
             .with_policy(DecodingPolicy::top_k(40))
             .with_max_tokens(24);
-        if search(&model, &tokenizer, &q)?.take(1).count() > 0 {
-            baseline_hits += 1;
-        }
+        set.push(baseline, 1);
 
         // ReLM: all encodings + 1 edit of search freedom.
-        let q = SearchQuery::new(QueryString::new(&pattern).with_prefix(&prefix))
+        let relm_q = SearchQuery::new(QueryString::new(&pattern).with_prefix(&prefix))
             .with_policy(DecodingPolicy::top_k(40))
             .with_tokenization(TokenizationStrategy::All)
             .with_preprocessor(Preprocessor::levenshtein(1))
             .with_max_tokens(24)
             .with_max_expansions(20_000);
-        if search(&model, &tokenizer, &q)?.take(1).count() > 0 {
+        set.push(relm_q, 1);
+    }
+    let report = client.run_many(&set)?;
+    let mut baseline_hits = 0usize;
+    let mut relm_hits = 0usize;
+    for pair in report.outcomes.chunks(2) {
+        if !pair[0].matches.is_empty() {
+            baseline_hits += 1;
+        }
+        if !pair[1].matches.is_empty() {
             relm_hits += 1;
         }
     }
+    println!(
+        "\ncoalesced scoring across {} queries: {} shared batches ({} cross-query), mean fill {:.1}",
+        set.len(),
+        report.scoring.coalesced_batches,
+        report.scoring.cross_query_batches,
+        report.mean_batch_size()
+    );
     println!("\nprompted extraction over {budget} prompts:");
     println!("  baseline (canonical, no edits): {baseline_hits} extractions");
     println!("  ReLM (all encodings + edits):   {relm_hits} extractions");

@@ -10,9 +10,14 @@
 //! workspace's subsystem crates. See `README.md` for the architecture
 //! tour and `DESIGN.md` for the paper-to-module mapping.
 //!
+//! The entry point is the [`Relm`] client — it owns the model,
+//! tokenizer, compiled-plan memo, and shared scoring cache, and serves
+//! single queries ([`Relm::search`]) as well as whole query sets
+//! ([`Relm::run_many`], which coalesces scoring *across* the queries).
+//!
 //! ```
 //! use relm::{
-//!     search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, SearchQuery,
+//!     BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, Relm, SearchQuery,
 //! };
 //!
 //! let corpus = "the cat sat on the mat. the dog sat on the log.";
@@ -22,11 +27,12 @@
 //!     &["the cat sat on the mat", "the dog sat on the log"],
 //!     NGramConfig::xl(),
 //! );
+//! let client = Relm::builder(model, tokenizer).build()?;
 //! let query = SearchQuery::new(
 //!     QueryString::new("the ((cat)|(dog)) sat").with_prefix("the "),
 //! )
 //! .with_policy(DecodingPolicy::top_k(40));
-//! let texts: Vec<String> = search(&model, &tokenizer, &query)?
+//! let texts: Vec<String> = client.search(&query)?
 //!     .take(2)
 //!     .map(|m| m.text)
 //!     .collect();
@@ -44,11 +50,14 @@ pub use relm_automata::{
 };
 pub use relm_bpe::{pretokenize, BpeTokenizer, TokenId};
 pub use relm_core::{
-    compiler, execute, explain, plan, search, CompiledSearch, ExecutionStats, FilterPreprocessor,
-    LevenshteinPreprocessor, MachineShape, MatchResult, PrefixSampling, Preprocessor, QueryPlan,
-    QueryString, RelmError, RelmSession, SearchQuery, SearchResults, SearchStrategy, SessionConfig,
-    SessionStats, TokenizationStrategy,
+    compiler, explain, CompiledSearch, ExecutionStats, FilterPreprocessor, LevenshteinPreprocessor,
+    MachineShape, MatchResult, PrefixSampling, Preprocessor, QueryOutcome, QueryPlan, QuerySet,
+    QuerySetReport, QuerySpec, QueryString, Relm, RelmBuilder, RelmError, RelmErrorKind,
+    RelmSession, SearchQuery, SearchResults, SearchStrategy, SessionConfig, SessionStats,
+    TokenizationStrategy,
 };
+#[allow(deprecated)] // the legacy one-shot shims remain exported until removal
+pub use relm_core::{execute, plan, search};
 pub use relm_lm::{
     perplexity, sample_sequence, score_batch, sequence_log_prob, top_k_accuracy, AcceleratorSim,
     CachedLm, DecodingPolicy, LanguageModel, NGramConfig, NGramLm, NeuralLm, NeuralLmConfig,

@@ -1,14 +1,14 @@
 //! Failure-injection and edge-case tests across the public API: weird
 //! patterns, degenerate corpora, adversarial query configurations. The
-//! engine must degrade with clean errors or empty results — never panic,
+//! client must degrade with clean errors or empty results — never panic,
 //! hang, or emit out-of-language strings.
 
 use relm::{
-    explain, search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QueryString,
-    Regex, RelmError, SearchQuery, SearchStrategy, TokenizationStrategy,
+    explain, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QueryString, Regex,
+    Relm, RelmError, SearchQuery, SearchStrategy, TokenizationStrategy,
 };
 
-fn tiny() -> (BpeTokenizer, NGramLm) {
+fn tiny() -> Relm<NGramLm> {
     let corpus = "hello world. goodbye world.";
     let tok = BpeTokenizer::train(corpus, 30);
     let lm = NGramLm::train(
@@ -16,25 +16,31 @@ fn tiny() -> (BpeTokenizer, NGramLm) {
         &["hello world", "goodbye world"],
         NGramConfig::small(),
     );
-    (tok, lm)
+    Relm::new(lm, tok).expect("tiny fixture builds")
 }
 
 #[test]
 fn invalid_patterns_surface_as_errors() {
-    let (tok, lm) = tiny();
+    let client = tiny();
     for bad in ["a(", "a)", "[z-a]", "a{3,1}", "*a", "a{", "ab\\"] {
-        let err = search(&lm, &tok, &SearchQuery::new(QueryString::new(bad)));
-        assert!(
-            matches!(err, Err(RelmError::Regex(_))),
-            "{bad:?} should fail to parse"
+        let err = client
+            .search(&SearchQuery::new(QueryString::new(bad)))
+            .err()
+            .unwrap_or_else(|| panic!("{bad:?} should fail to parse"));
+        assert!(matches!(err, RelmError::Regex(_)), "{bad:?}: {err}");
+        assert_eq!(
+            err.kind(),
+            relm::RelmErrorKind::Pattern,
+            "{bad:?} classifies as a pattern error"
         );
     }
 }
 
 #[test]
 fn empty_pattern_matches_empty_string() {
-    let (tok, lm) = tiny();
-    let results: Vec<_> = search(&lm, &tok, &SearchQuery::new(QueryString::new("")))
+    let client = tiny();
+    let results: Vec<_> = client
+        .search(&SearchQuery::new(QueryString::new("")))
         .unwrap()
         .take(2)
         .collect();
@@ -45,21 +51,21 @@ fn empty_pattern_matches_empty_string() {
 
 #[test]
 fn zero_max_tokens_is_rejected() {
-    let (tok, lm) = tiny();
+    let client = tiny();
     let query = SearchQuery::new(QueryString::new("hello")).with_max_tokens(0);
     assert!(matches!(
-        search(&lm, &tok, &query),
+        client.search(&query),
         Err(RelmError::InvalidQuery(_))
     ));
 }
 
 #[test]
 fn pattern_longer_than_model_window_yields_nothing_gracefully() {
-    let (tok, lm) = tiny();
+    let client = tiny();
     // 500 letters — far beyond max_sequence_len.
     let long = "x".repeat(500);
     let query = SearchQuery::new(QueryString::new(relm::escape(&long)));
-    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(1).collect();
+    let results: Vec<_> = client.search(&query).unwrap().take(1).collect();
     assert!(results.is_empty());
 }
 
@@ -68,8 +74,9 @@ fn untrained_model_still_searches() {
     // A model trained on nothing: pure uniform floor.
     let tok = BpeTokenizer::train("", 0);
     let lm = NGramLm::train(&tok, &[], NGramConfig::small());
+    let client = Relm::new(lm, tok).unwrap();
     let query = SearchQuery::new(QueryString::new("(a)|(b)"));
-    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(5).collect();
+    let results: Vec<_> = client.search(&query).unwrap().take(5).collect();
     assert_eq!(
         results.len(),
         2,
@@ -87,8 +94,9 @@ fn non_ascii_bytes_round_trip_through_queries() {
         &["caf\u{e9} au lait", "caf\u{e9} noir"],
         NGramConfig::xl(),
     );
+    let client = Relm::new(lm, tok).unwrap();
     let query = SearchQuery::new(QueryString::new(relm::escape("caf\u{e9} noir")));
-    let m = search(&lm, &tok, &query).unwrap().next().expect("match");
+    let m = client.search(&query).unwrap().next().expect("match");
     assert_eq!(m.text, "caf\u{e9} noir");
 }
 
@@ -96,45 +104,43 @@ fn non_ascii_bytes_round_trip_through_queries() {
 fn top_k_one_on_flat_model_prunes_everything_but_one_path() {
     let tok = BpeTokenizer::train("", 0);
     let lm = NGramLm::train(&tok, &[], NGramConfig::small());
+    let client = Relm::new(lm, tok).unwrap();
     // Uniform distribution + greedy: ties break by token id, so exactly
     // one byte survives each step; the language {a, b} may be fully
     // pruned or keep one member, never both.
     let query = SearchQuery::new(QueryString::new("(a)|(b)")).with_policy(DecodingPolicy::greedy());
-    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(5).collect();
+    let results: Vec<_> = client.search(&query).unwrap().take(5).collect();
     assert!(results.len() <= 1);
 }
 
 #[test]
 fn conflicting_filters_empty_the_language_cleanly() {
-    let (tok, lm) = tiny();
+    let client = tiny();
     let all = Regex::compile("(hello)|(world)").unwrap().dfa().clone();
     let query = SearchQuery::new(QueryString::new("(hello)|(world)"))
         .with_preprocessor(Preprocessor::filter(all));
-    assert_eq!(
-        search(&lm, &tok, &query).err(),
-        Some(RelmError::EmptyLanguage)
-    );
+    assert_eq!(client.search(&query).err(), Some(RelmError::EmptyLanguage));
 }
 
 #[test]
 fn deferred_filter_that_rejects_everything_exhausts_attempts() {
-    let (tok, lm) = tiny();
+    let client = tiny();
     let all = Regex::compile("[a-z ]*").unwrap().dfa().clone();
     let query = SearchQuery::new(QueryString::new("hello( world)?"))
         .with_strategy(SearchStrategy::RandomSampling { seed: 1 })
         .with_preprocessor(Preprocessor::deferred_filter(all));
     // Every sample is filtered; the iterator must terminate empty.
-    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(3).collect();
+    let results: Vec<_> = client.search(&query).unwrap().take(3).collect();
     assert!(results.is_empty());
 }
 
 #[test]
 fn beam_width_one_terminates_on_infinite_languages() {
-    let (tok, lm) = tiny();
+    let client = tiny();
     let query = SearchQuery::new(QueryString::new("h[a-z]*"))
         .with_strategy(SearchStrategy::Beam { width: 1 })
         .with_max_tokens(8);
-    let results: Vec<_> = search(&lm, &tok, &query).unwrap().collect();
+    let results: Vec<_> = client.search(&query).unwrap().collect();
     let re = Regex::compile("h[a-z]*").unwrap();
     for m in &results {
         assert!(re.is_match(&m.text));
@@ -143,29 +149,29 @@ fn beam_width_one_terminates_on_infinite_languages() {
 
 #[test]
 fn explain_matches_execution_reality() {
-    let (tok, lm) = tiny();
+    let client = tiny();
     let query = SearchQuery::new(QueryString::new("hello( world)?").with_prefix("hello"));
-    let plan = explain(&query, &tok, 128).unwrap();
+    let plan = explain(&query, client.tokenizer(), 128).unwrap();
     assert!(plan.prefix_machine.is_some());
     // The plan compiled, so the search must too.
-    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(4).collect();
+    let results: Vec<_> = client.search(&query).unwrap().take(4).collect();
     assert!(!results.is_empty());
 }
 
 #[test]
 fn all_encodings_of_multibyte_language_stay_sound() {
-    let (tok, lm) = tiny();
+    let client = tiny();
     let query = SearchQuery::new(QueryString::new("(hello)|(world)"))
         .with_tokenization(TokenizationStrategy::All)
         .with_distinct_texts(false);
-    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(40).collect();
+    let results: Vec<_> = client.search(&query).unwrap().take(40).collect();
     assert!(
         results.len() > 2,
         "ambiguous encodings should multiply results"
     );
     for m in &results {
         assert!(m.text == "hello" || m.text == "world", "{:?}", m.text);
-        assert_eq!(tok.decode(&m.tokens), m.text);
+        assert_eq!(client.tokenizer().decode(&m.tokens), m.text);
     }
     // Every token sequence distinct even when texts repeat.
     let mut seen = std::collections::HashSet::new();
@@ -176,12 +182,12 @@ fn all_encodings_of_multibyte_language_stay_sound() {
 
 #[test]
 fn levenshtein_of_empty_pattern_is_inserts_only() {
-    let (tok, lm) = tiny();
+    let client = tiny();
     let query = SearchQuery::new(QueryString::new(""))
         .with_preprocessor(Preprocessor::levenshtein(1))
         .with_max_tokens(4);
     // Within 1 edit of ε = ε plus every single character.
-    let results: Vec<_> = search(&lm, &tok, &query).unwrap().take(50).collect();
+    let results: Vec<_> = client.search(&query).unwrap().take(50).collect();
     assert!(results.iter().any(|m| m.text.is_empty()));
     assert!(results.iter().all(|m| m.text.len() <= 1));
 }

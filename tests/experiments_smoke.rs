@@ -8,14 +8,13 @@ use relm::datasets::{
 };
 use relm::stats::{chi2_independence, EmpiricalDist};
 use relm::{
-    disjunction_of, escape, search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm,
-    Preprocessor, QueryString, Regex, SearchQuery, SearchStrategy, TokenizationStrategy,
+    disjunction_of, escape, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor,
+    QueryString, Regex, Relm, SearchQuery, SearchStrategy, TokenizationStrategy,
 };
 
 struct World {
     world: SyntheticWorld,
-    tokenizer: BpeTokenizer,
-    model: NGramLm,
+    client: Relm<NGramLm>,
 }
 
 fn setup() -> World {
@@ -27,8 +26,7 @@ fn setup() -> World {
     let model = NGramLm::train(&tokenizer, &world.document_refs(), NGramConfig::xl());
     World {
         world,
-        tokenizer,
-        model,
+        client: Relm::new(model, tokenizer).expect("smoke world builds"),
     }
 }
 
@@ -43,7 +41,7 @@ fn memorization_extracts_valid_urls() {
     .with_policy(DecodingPolicy::top_k(40))
     .with_max_tokens(24);
     let mut valid = 0;
-    for m in search(&w.model, &w.tokenizer, &query).unwrap().take(25) {
+    for m in w.client.search(&query).unwrap().take(25) {
         if w.world.urls.is_valid(&m.text) {
             valid += 1;
         }
@@ -73,7 +71,7 @@ fn bias_direction_and_significance() {
         let mut dist = EmpiricalDist::new();
         let mut by_len: Vec<&str> = PROFESSIONS.to_vec();
         by_len.sort_by_key(|p| std::cmp::Reverse(p.len()));
-        for m in search(&w.model, &w.tokenizer, &query).unwrap().take(250) {
+        for m in w.client.search(&query).unwrap().take(250) {
             for p in &by_len {
                 if m.text.contains(p) {
                     dist.observe(p);
@@ -127,11 +125,7 @@ fn toxicity_edits_unlock_extractions() {
         let base_q = SearchQuery::new(QueryString::new(&pattern).with_prefix(&prefix))
             .with_policy(DecodingPolicy::top_k(40))
             .with_max_tokens(24);
-        if search(&w.model, &w.tokenizer, &base_q)
-            .unwrap()
-            .next()
-            .is_some()
-        {
+        if w.client.search(&base_q).unwrap().next().is_some() {
             baseline += 1;
         }
         let relm_q = SearchQuery::new(QueryString::new(&pattern).with_prefix(&prefix))
@@ -140,11 +134,7 @@ fn toxicity_edits_unlock_extractions() {
             .with_preprocessor(Preprocessor::levenshtein(1))
             .with_max_tokens(24)
             .with_max_expansions(20_000);
-        if search(&w.model, &w.tokenizer, &relm_q)
-            .unwrap()
-            .next()
-            .is_some()
-        {
+        if w.client.search(&relm_q).unwrap().next().is_some() {
             relm += 1;
         }
     }
@@ -172,7 +162,7 @@ fn lambada_words_strategy_beats_baseline() {
             let query = SearchQuery::new(QueryString::new(pattern).with_prefix(prefix.clone()))
                 .with_policy(DecodingPolicy::top_k(1000))
                 .with_max_expansions(30_000);
-            if let Some(m) = search(&w.model, &w.tokenizer, &query).unwrap().next() {
+            if let Some(m) = w.client.search(&query).unwrap().next() {
                 let completion = m.text.strip_prefix(&item.context).unwrap_or("").trim();
                 let word: String = completion
                     .chars()
@@ -204,7 +194,7 @@ fn stop_word_filter_changes_answers() {
         .with_policy(DecodingPolicy::top_k(1000))
         .with_preprocessor(Preprocessor::deferred_filter(stop_lang))
         .with_max_expansions(30_000);
-    if let Some(m) = search(&w.model, &w.tokenizer, &query).unwrap().next() {
+    if let Some(m) = w.client.search(&query).unwrap().next() {
         let completion = m.text.strip_prefix(&item.context).unwrap_or("").trim();
         assert!(
             !relm::datasets::is_stop_word(completion.trim_start()),

@@ -4,8 +4,8 @@
 //! §6), plus the beam-search traversal added on top of the paper's two.
 
 use relm::{
-    search, BpeTokenizer, DecodingPolicy, LanguageModel, NGramConfig, NGramLm, NeuralLm,
-    NeuralLmConfig, QueryString, Regex, SearchQuery, SearchStrategy,
+    BpeTokenizer, DecodingPolicy, LanguageModel, NGramConfig, NGramLm, NeuralLm, NeuralLmConfig,
+    QueryString, Regex, Relm, SearchQuery, SearchStrategy,
 };
 
 fn corpus() -> (BpeTokenizer, Vec<&'static str>) {
@@ -27,7 +27,9 @@ fn run_query<M: LanguageModel>(
     let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"))
         .with_strategy(strategy)
         .with_policy(DecodingPolicy::top_k(1000));
-    search(model, tok, &query)
+    Relm::new(model, tok.clone())
+        .unwrap()
+        .search(&query)
         .unwrap()
         .take(4)
         .map(|m| m.text)

@@ -3,11 +3,11 @@
 //! `relm` facade.
 
 use relm::{
-    search, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QueryString, Regex,
+    BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QueryString, Regex, Relm,
     SearchQuery, SearchStrategy, TokenizationStrategy,
 };
 
-fn fixture() -> (BpeTokenizer, NGramLm) {
+fn fixture() -> Relm<NGramLm> {
     let docs = [
         "George Washington was born on February 22, 1732",
         "George Washington was born on February 22, 1732",
@@ -17,21 +17,18 @@ fn fixture() -> (BpeTokenizer, NGramLm) {
     let corpus = docs.join(". ");
     let tokenizer = BpeTokenizer::train(&corpus, 250);
     let model = NGramLm::train(&tokenizer, &docs, NGramConfig::xl());
-    (tokenizer, model)
+    Relm::new(model, tokenizer).expect("fixture builds")
 }
 
 const DATE_QUERY: &str = "George Washington was born on ((January)|(February)|(March)|(April)|(May)|(June)|(July)|(August)|(September)|(October)|(November)|(December)) [0-9]{1,2}, [0-9]{4}";
 
 #[test]
 fn figure_11_birth_date_query() {
-    let (tokenizer, model) = fixture();
+    let client = fixture();
     let query =
         SearchQuery::new(QueryString::new(DATE_QUERY).with_prefix("George Washington was born on"))
             .with_policy(DecodingPolicy::top_k(1000));
-    let results: Vec<_> = search(&model, &tokenizer, &query)
-        .unwrap()
-        .take(3)
-        .collect();
+    let results: Vec<_> = client.search(&query).unwrap().take(3).collect();
     assert!(!results.is_empty());
     // The memorized (correct) date must rank first among all dates.
     assert_eq!(
@@ -47,13 +44,13 @@ fn figure_11_birth_date_query() {
 
 #[test]
 fn all_matches_lie_in_the_query_language() {
-    let (tokenizer, model) = fixture();
+    let client = fixture();
     for tokenization in [TokenizationStrategy::Canonical, TokenizationStrategy::All] {
         let query = SearchQuery::new(QueryString::new("(Feb)|(February [0-9]{2})"))
             .with_tokenization(tokenization)
             .with_max_tokens(16);
         let re = Regex::compile("(Feb)|(February [0-9]{2})").unwrap();
-        for m in search(&model, &tokenizer, &query).unwrap().take(20) {
+        for m in client.search(&query).unwrap().take(20) {
             assert!(re.is_match(&m.text), "{tokenization:?}: {:?}", m.text);
         }
     }
@@ -61,12 +58,9 @@ fn all_matches_lie_in_the_query_language() {
 
 #[test]
 fn shortest_path_order_is_nonincreasing_probability() {
-    let (tokenizer, model) = fixture();
+    let client = fixture();
     let query = SearchQuery::new(QueryString::new("February [0-9]{2}")).with_max_tokens(16);
-    let results: Vec<_> = search(&model, &tokenizer, &query)
-        .unwrap()
-        .take(25)
-        .collect();
+    let results: Vec<_> = client.search(&query).unwrap().take(25).collect();
     assert!(results.len() > 2);
     for w in results.windows(2) {
         assert!(
@@ -80,23 +74,23 @@ fn shortest_path_order_is_nonincreasing_probability() {
 
 #[test]
 fn canonical_results_round_trip_through_tokenizer() {
-    let (tokenizer, model) = fixture();
+    let client = fixture();
     let query = SearchQuery::new(QueryString::new("February [0-9]{2}"))
         .with_tokenization(TokenizationStrategy::Canonical)
         .with_max_tokens(16);
-    for m in search(&model, &tokenizer, &query).unwrap().take(10) {
+    for m in client.search(&query).unwrap().take(10) {
         assert!(
             m.canonical,
             "canonical query emitted non-canonical {:?}",
             m.text
         );
-        assert_eq!(tokenizer.encode(&m.text), m.tokens);
+        assert_eq!(client.tokenizer().encode(&m.text), m.tokens);
     }
 }
 
 #[test]
 fn sampling_respects_language_and_seed() {
-    let (tokenizer, model) = fixture();
+    let client = fixture();
     let mk = |seed| {
         SearchQuery::new(
             QueryString::new("George Washington was born on February [0-9]{2}, [0-9]{4}")
@@ -104,12 +98,14 @@ fn sampling_respects_language_and_seed() {
         )
         .with_strategy(SearchStrategy::RandomSampling { seed })
     };
-    let a: Vec<String> = search(&model, &tokenizer, &mk(9))
+    let a: Vec<String> = client
+        .search(&mk(9))
         .unwrap()
         .take(8)
         .map(|m| m.text)
         .collect();
-    let b: Vec<String> = search(&model, &tokenizer, &mk(9))
+    let b: Vec<String> = client
+        .search(&mk(9))
         .unwrap()
         .take(8)
         .map(|m| m.text)
@@ -123,7 +119,7 @@ fn sampling_respects_language_and_seed() {
 
 #[test]
 fn levenshtein_preprocessor_expands_the_match_set() {
-    let (tokenizer, model) = fixture();
+    let client = fixture();
     // Misspelled month: only reachable with an edit.
     let pattern = "George Washington was born on Febuary 22, 1732";
     let strict = SearchQuery::new(QueryString::new(pattern)).with_max_tokens(32);
@@ -131,12 +127,14 @@ fn levenshtein_preprocessor_expands_the_match_set() {
         .with_preprocessor(Preprocessor::levenshtein(1))
         .with_max_tokens(32)
         .with_max_expansions(50_000);
-    let strict_best = search(&model, &tokenizer, &strict)
+    let strict_best = client
+        .search(&strict)
         .unwrap()
         .next()
         .map(|m| m.log_prob)
         .unwrap_or(f64::NEG_INFINITY);
-    let relaxed_best = search(&model, &tokenizer, &relaxed)
+    let relaxed_best = client
+        .search(&relaxed)
         .unwrap()
         .next()
         .map(|m| m.log_prob)
@@ -151,17 +149,17 @@ fn levenshtein_preprocessor_expands_the_match_set() {
 
 #[test]
 fn empty_intersection_reports_error() {
-    let (tokenizer, model) = fixture();
+    let client = fixture();
     let stop = Regex::compile("x").unwrap().dfa().clone();
     let query =
         SearchQuery::new(QueryString::new("x")).with_preprocessor(Preprocessor::filter(stop));
-    assert!(search(&model, &tokenizer, &query).is_err());
+    assert!(client.search(&query).is_err());
 }
 
 #[test]
 fn prefix_must_prefix_the_language() {
-    let (tokenizer, model) = fixture();
+    let client = fixture();
     let query = SearchQuery::new(QueryString::new("February [0-9]{2}").with_prefix("Lincoln"));
-    let err = search(&model, &tokenizer, &query).err().expect("error");
+    let err = client.search(&query).err().expect("error");
     assert!(err.to_string().contains("prefix"), "{err}");
 }

@@ -5,6 +5,9 @@
 //! the engine's counters must surface in `ExecutionStats` so benchmarks
 //! have a cost model.
 
+// The deprecated one-shot shims are the reference path under test.
+#![allow(deprecated)]
+
 use relm::{
     search, BpeTokenizer, DecodingPolicy, MatchResult, NGramConfig, NGramLm, QueryString,
     ScoringMode, SearchQuery, SearchStrategy,

@@ -5,6 +5,10 @@
 //! neither eviction pressure nor a model swap (generation bump) may ever
 //! serve a stale or cross-model distribution.
 
+// These tests compare the session against the deprecated one-shot shims
+// on purpose: the shims are the byte-identical reference path.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use relm::{
     search, BpeTokenizer, DecodingPolicy, MatchResult, NGramConfig, NGramLm, Preprocessor,
@@ -107,10 +111,9 @@ fn eviction_pressure_never_changes_results() {
     let (tok, lm) = fixture();
     // A scoring cache so small that eviction churns constantly (one
     // distribution is vocab_size * 8 bytes).
-    let tiny = SessionConfig {
-        scoring_cache_bytes: (lm.vocab_size() * 8 + 256) * 4,
-        plan_memo_capacity: 2,
-    };
+    let tiny = SessionConfig::new()
+        .with_scoring_cache_bytes((lm.vocab_size() * 8 + 256) * 4)
+        .with_plan_memo_capacity(2);
     let session = RelmSession::with_config(&lm, tok.clone(), tiny);
     for (label, strategy) in strategies() {
         let query = SearchQuery::new(
