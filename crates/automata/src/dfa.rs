@@ -1,10 +1,104 @@
 //! Deterministic finite automata: subset construction, Hopcroft
 //! minimization, boolean language operations, and enumeration.
+//!
+//! The graph explorations that dominate compile time — subset
+//! construction ([`Nfa::determinize`]), the quotient determinization
+//! behind [`Dfa::left_quotient`], and the product builder behind the
+//! boolean operations — all share one shape: a BFS over a space of
+//! composite states whose successor sets are expensive to compute but
+//! independent of each other. [`explore_waves`] is that shape factored
+//! out with a shard-parallel work queue: each BFS wave (the frontier)
+//! is partitioned into contiguous shards handed to a crossbeam worker
+//! pool, and the per-shard successor lists are merged back serially in
+//! frontier order. Because the serial algorithms assign state ids in
+//! FIFO discovery order — which is exactly level order with within-level
+//! discovery order — the deterministic merge reproduces the serial
+//! state numbering and transition order bit for bit: sharded and serial
+//! builds are structurally identical (`assert_eq!` on the [`Dfa`]),
+//! which the property tests enforce.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::Hash;
 
 use crate::nfa::Nfa;
+use crate::shard::Parallelism;
 use crate::{StateId, Symbol};
+
+/// Frontier waves smaller than this are expanded on the calling thread
+/// even under [`Parallelism::Sharded`]: a thread spawn costs more than
+/// computing a handful of successor sets.
+const PARALLEL_WAVE_MIN: usize = 8;
+
+/// Deterministic shard-parallel BFS over a composite state space.
+///
+/// `succ` maps a composite state to its `(symbol, successor, accepting)`
+/// triples in strictly increasing symbol order. Waves of the BFS
+/// frontier are partitioned into contiguous shards evaluated by a
+/// worker pool; the merge walks shards in order and assigns new state
+/// ids exactly as the serial FIFO construction would, so the resulting
+/// automaton is structurally identical to a serial build.
+fn explore_waves<K, S>(start: K, start_accepting: bool, par: Parallelism, succ: S) -> Vec<DfaState>
+where
+    K: Clone + Eq + Hash + Send + Sync,
+    S: Fn(&K) -> Vec<(Symbol, K, bool)> + Sync,
+{
+    let threads = par.threads();
+    let mut ids: HashMap<K, StateId> = HashMap::new();
+    let mut states = vec![DfaState {
+        transitions: Vec::new(),
+        accepting: start_accepting,
+    }];
+    ids.insert(start.clone(), 0);
+    let mut frontier: Vec<K> = vec![start];
+    while !frontier.is_empty() {
+        // Expand the wave: sharded across the pool when it is wide
+        // enough to pay for the spawns, inline otherwise. Either way the
+        // result vector is in frontier order.
+        let expansions: Vec<Vec<(Symbol, K, bool)>> = if threads > 1
+            && frontier.len() >= PARALLEL_WAVE_MIN
+        {
+            let chunk = frontier.len().div_ceil(threads);
+            let succ = &succ;
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = frontier
+                    .chunks(chunk)
+                    .map(|shard| scope.spawn(move |_| shard.iter().map(succ).collect::<Vec<_>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+            .expect("wave scope")
+        } else {
+            frontier.iter().map(&succ).collect()
+        };
+        // Deterministic merge: frontier order, then symbol order — the
+        // serial FIFO discovery order.
+        let mut next: Vec<K> = Vec::new();
+        for (idx, moves) in expansions.into_iter().enumerate() {
+            let id = ids[&frontier[idx]];
+            for (sym, target, accepting) in moves {
+                let target_id = match ids.get(&target) {
+                    Some(&t) => t,
+                    None => {
+                        let t = states.len();
+                        states.push(DfaState {
+                            transitions: Vec::new(),
+                            accepting,
+                        });
+                        ids.insert(target.clone(), t);
+                        next.push(target);
+                        t
+                    }
+                };
+                states[id].transitions.push((sym, target_id));
+            }
+        }
+        frontier = next;
+    }
+    states
+}
 
 /// A single DFA state with transitions sorted by symbol (binary-searchable).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -46,6 +140,39 @@ impl Dfa {
     pub fn empty() -> Self {
         Dfa {
             states: vec![DfaState::default()],
+            start: 0,
+        }
+    }
+
+    /// Subset construction from an NFA with a sharded work queue: BFS
+    /// waves are partitioned across `par` workers and merged
+    /// deterministically, so the result is structurally identical to
+    /// the serial [`Dfa::from_nfa`] (which remains the reference path
+    /// and handles `Parallelism::Serial`).
+    pub(crate) fn from_nfa_with(nfa: &Nfa, par: Parallelism) -> Self {
+        if !par.is_parallel() {
+            return Self::from_nfa(nfa);
+        }
+        let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
+        let start_accepting = start_set.iter().any(|&s| nfa.is_accepting(s));
+        let succ = |set: &BTreeSet<StateId>| {
+            let mut moves: BTreeMap<Symbol, BTreeSet<StateId>> = BTreeMap::new();
+            for &s in set {
+                for (sym, t) in nfa.transitions(s) {
+                    moves.entry(sym).or_default().insert(t);
+                }
+            }
+            moves
+                .into_iter()
+                .map(|(sym, targets)| {
+                    let closure = nfa.epsilon_closure(&targets);
+                    let accepting = closure.iter().any(|&s| nfa.is_accepting(s));
+                    (sym, closure, accepting)
+                })
+                .collect()
+        };
+        Dfa {
+            states: explore_waves(start_set, start_accepting, par, succ),
             start: 0,
         }
     }
@@ -439,6 +566,45 @@ impl Dfa {
         completed
     }
 
+    /// Product construction with a sharded work queue: product-state
+    /// waves are partitioned across `par` workers and merged
+    /// deterministically, producing the same automaton as the serial
+    /// [`Dfa::product`] (the reference path, also taken for
+    /// `Parallelism::Serial`).
+    fn product_with<F: Fn(bool, bool) -> bool + Sync>(
+        &self,
+        other: &Dfa,
+        accept: F,
+        par: Parallelism,
+    ) -> Dfa {
+        if !par.is_parallel() {
+            return self.product(other, accept);
+        }
+        let mut alphabet: BTreeSet<Symbol> = self.alphabet().into_iter().collect();
+        alphabet.extend(other.alphabet());
+        let alphabet: Vec<Symbol> = alphabet.into_iter().collect();
+        let a = self.complete(&alphabet);
+        let b = other.complete(&alphabet);
+        let start = (a.start, b.start);
+        let start_accepting = accept(a.is_accepting(start.0), b.is_accepting(start.1));
+        let succ = |&(sa, sb): &(StateId, StateId)| {
+            alphabet
+                .iter()
+                .map(|&sym| {
+                    let ta = a.step(sa, sym).expect("completed DFA");
+                    let tb = b.step(sb, sym).expect("completed DFA");
+                    let accepting = accept(a.is_accepting(ta), b.is_accepting(tb));
+                    (sym, (ta, tb), accepting)
+                })
+                .collect()
+        };
+        Dfa {
+            states: explore_waves(start, start_accepting, par, succ),
+            start: 0,
+        }
+        .trim()
+    }
+
     /// Product construction over the union of both alphabets;
     /// `accept(a, b)` decides acceptance of a product state.
     fn product<F: Fn(bool, bool) -> bool>(&self, other: &Dfa, accept: F) -> Dfa {
@@ -486,16 +652,37 @@ impl Dfa {
         self.product(other, |a, b| a && b)
     }
 
+    /// [`Dfa::intersect`] with a sharded product work queue; the result
+    /// is structurally identical for every [`Parallelism`] setting.
+    #[must_use]
+    pub fn intersect_with(&self, other: &Dfa, par: Parallelism) -> Dfa {
+        self.product_with(other, |a, b| a && b, par)
+    }
+
     /// Language union.
     #[must_use]
     pub fn union(&self, other: &Dfa) -> Dfa {
         self.product(other, |a, b| a || b)
     }
 
+    /// [`Dfa::union`] with a sharded product work queue; the result is
+    /// structurally identical for every [`Parallelism`] setting.
+    #[must_use]
+    pub fn union_with(&self, other: &Dfa, par: Parallelism) -> Dfa {
+        self.product_with(other, |a, b| a || b, par)
+    }
+
     /// Language difference `self \ other`.
     #[must_use]
     pub fn difference(&self, other: &Dfa) -> Dfa {
         self.product(other, |a, b| a && !b)
+    }
+
+    /// [`Dfa::difference`] with a sharded product work queue; the result
+    /// is structurally identical for every [`Parallelism`] setting.
+    #[must_use]
+    pub fn difference_with(&self, other: &Dfa, par: Parallelism) -> Dfa {
+        self.product_with(other, |a, b| a && !b, par)
     }
 
     /// Language equivalence: do both automata accept exactly the same set
@@ -513,6 +700,17 @@ impl Dfa {
     /// suffix machine is the quotient.
     #[must_use]
     pub fn left_quotient(&self, prefix: &Dfa) -> Dfa {
+        self.left_quotient_with(prefix, Parallelism::Serial)
+    }
+
+    /// [`Dfa::left_quotient`] with a sharded quotient-determinization
+    /// work queue; the result is structurally identical for every
+    /// [`Parallelism`] setting. (The product-state sweep that finds the
+    /// quotient start set is a cheap reachability pass and stays
+    /// serial; the subset construction over the start set is where
+    /// URL-scale quotients spend their time.)
+    #[must_use]
+    pub fn left_quotient_with(&self, prefix: &Dfa, par: Parallelism) -> Dfa {
         // Explore the product of (self, prefix); every self-state paired
         // with an accepting prefix state is a valid suffix start.
         let mut starts: BTreeSet<StateId> = BTreeSet::new();
@@ -537,7 +735,36 @@ impl Dfa {
         // NFA with ε from a fresh start into each quotient start, then
         // determinize. Reuse the From<&Dfa> machinery via a direct subset
         // construction seeded with `starts`.
-        self.determinize_from(&starts)
+        self.determinize_from_with(&starts, par)
+    }
+
+    /// [`Dfa::determinize_from`] with a sharded work queue (see
+    /// [`explore_waves`]); structurally identical output.
+    fn determinize_from_with(&self, starts: &BTreeSet<StateId>, par: Parallelism) -> Dfa {
+        if !par.is_parallel() {
+            return self.determinize_from(starts);
+        }
+        let accepting_set = |set: &BTreeSet<StateId>| set.iter().any(|&s| self.states[s].accepting);
+        let succ = |set: &BTreeSet<StateId>| {
+            let mut moves: BTreeMap<Symbol, BTreeSet<StateId>> = BTreeMap::new();
+            for &s in set {
+                for &(a, t) in &self.states[s].transitions {
+                    moves.entry(a).or_default().insert(t);
+                }
+            }
+            moves
+                .into_iter()
+                .map(|(a, targets)| {
+                    let accepting = accepting_set(&targets);
+                    (a, targets, accepting)
+                })
+                .collect()
+        };
+        Dfa {
+            states: explore_waves(starts.clone(), accepting_set(starts), par, succ),
+            start: 0,
+        }
+        .trim()
     }
 
     /// Subset construction over this DFA's transition graph starting from
@@ -934,6 +1161,50 @@ mod tests {
     }
 
     #[test]
+    fn sharded_determinize_is_structurally_identical() {
+        use crate::Parallelism;
+        // Wide alternation: the subset-construction waves exceed the
+        // parallel threshold, so the worker pool really runs.
+        let words: Vec<Nfa> = (0..40)
+            .map(|i| {
+                Nfa::literal(s(&format!(
+                    "word{i}tail{}",
+                    "x".repeat(1 + (i % 5) as usize)
+                )))
+            })
+            .collect();
+        let nfa = words.into_iter().reduce(Nfa::union).unwrap();
+        let serial = nfa.determinize();
+        for threads in [2usize, 3, 8] {
+            let sharded = nfa.determinize_with(Parallelism::sharded(threads));
+            assert_eq!(serial, sharded, "threads={threads}");
+        }
+        // Serial parallelism setting routes to the reference path.
+        assert_eq!(serial, nfa.determinize_with(Parallelism::Serial));
+    }
+
+    #[test]
+    fn sharded_products_are_structurally_identical() {
+        use crate::Parallelism;
+        let many = |stems: &[&str]| -> Dfa {
+            stems
+                .iter()
+                .map(|w| Nfa::literal(s(w)))
+                .reduce(Nfa::union)
+                .unwrap()
+                .determinize()
+        };
+        let a = many(&[
+            "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+        ]);
+        let b = many(&["beta", "delta", "zeta", "theta", "kappa", "lambda", "mu"]);
+        let par = Parallelism::sharded(4);
+        assert_eq!(a.intersect(&b), a.intersect_with(&b, par));
+        assert_eq!(a.union(&b), a.union_with(&b, par));
+        assert_eq!(a.difference(&b), a.difference_with(&b, par));
+    }
+
+    #[test]
     fn run_returns_final_state() {
         let d = dfa(Nfa::literal(s("hi")));
         let end = d.run(s("hi")).unwrap();
@@ -1000,5 +1271,20 @@ mod quotient_tests {
         let q = full.left_quotient(&full);
         assert!(q.contains(str_symbols("")));
         assert!(!q.contains(str_symbols("abc")));
+    }
+
+    #[test]
+    fn sharded_quotient_is_structurally_identical() {
+        use crate::Parallelism;
+        let full = dfa(
+            "the cat sat|the cat ran|the dog sat|the dog ran|the cow ate|\
+             the cow sat|a cat sat|a dog ran|a cow ate|an owl flew",
+        );
+        let prefix = dfa("the |a |an ");
+        let serial = full.left_quotient(&prefix);
+        for threads in [2usize, 4] {
+            let sharded = full.left_quotient_with(&prefix, Parallelism::sharded(threads));
+            assert_eq!(serial, sharded, "threads={threads}");
+        }
     }
 }

@@ -13,6 +13,11 @@
 //!   rather than *edges* uniformly,
 //! * [`levenshtein_within`] — Levenshtein automata (§3.4) describing all
 //!   strings within a bounded edit distance of a regular language,
+//! * [`Parallelism`] / [`ShardIndex`] / [`ShardedDfa`] — state-range
+//!   sharding: subset construction, products, and walk-table builds can
+//!   partition their work queues across a worker pool with a
+//!   deterministic merge, so parallel builds are structurally identical
+//!   to serial ones,
 //! * [`Fst`] — a small weighted finite-state-transducer layer used by the
 //!   preprocessor pipeline.
 //!
@@ -44,6 +49,7 @@ mod fst;
 mod levenshtein;
 mod nfa;
 mod ops;
+mod shard;
 mod walks;
 
 pub use dfa::Dfa;
@@ -52,6 +58,7 @@ pub use fst::{Fst, FstArc};
 pub use levenshtein::levenshtein_within;
 pub use nfa::Nfa;
 pub use ops::{concat, prefix_closure, reverse};
+pub use shard::{Parallelism, ShardIndex, ShardedDfa};
 pub use walks::{ChoiceDistribution, WalkChoice, WalkTable};
 
 /// Identifier of an automaton state (an index into the state table).

@@ -1,0 +1,359 @@
+//! State-range sharding of deterministic automata.
+//!
+//! Large token automata (the full-encoding URL queries of §4.1) spend
+//! their compile and traversal time in loops that are embarrassingly
+//! parallel over *states*: the shortcut-edge vocabulary match visits
+//! every state independently, and each walk-count row sums a state's
+//! out-edges without touching its neighbours' slots. [`ShardIndex`]
+//! partitions a [`Dfa`]'s state space into contiguous ranges — one per
+//! worker — and records the edges that cross shard boundaries, so
+//! builders can split work by range and callers can reason about how
+//! separable the partition is. [`Parallelism`] is the workspace-wide
+//! knob saying how many workers those builders may use.
+//!
+//! Determinism contract: sharding never changes *what* is computed, only
+//! who computes it. Every sharded construction in this crate merges its
+//! per-shard results in a fixed order (shard index, then the serial
+//! iteration order within the shard), so the output is structurally
+//! identical — state numbering, transition order, f64 bit patterns — to
+//! the serial build. `Parallelism::Serial` is the reference path the
+//! identity is tested against.
+
+use std::num::NonZeroUsize;
+
+use crate::{Dfa, StateId, Symbol};
+
+/// How many worker threads sharded automaton construction and traversal
+/// may use.
+///
+/// The default ([`Parallelism::auto`]) matches the host's available
+/// cores. [`Parallelism::Serial`] is the single-threaded reference path:
+/// sharded builds are deterministically merged, so both settings produce
+/// structurally identical automata and bit-identical scores — `Serial`
+/// exists for baselines, reproducibility audits, and hosts where thread
+/// spawn overhead outweighs the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Parallelism {
+    /// Single-threaded reference path (no worker pool is ever spawned).
+    Serial,
+    /// Shard work across up to this many worker threads.
+    Sharded(NonZeroUsize),
+}
+
+impl Parallelism {
+    /// One worker per available core (falls back to [`Self::Serial`]
+    /// when the host reports a single core or no parallelism at all).
+    pub fn auto() -> Self {
+        match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => Parallelism::Sharded(n),
+            _ => Parallelism::Serial,
+        }
+    }
+
+    /// Shard across `threads` workers; `0` and `1` mean [`Self::Serial`].
+    pub fn sharded(threads: usize) -> Self {
+        match NonZeroUsize::new(threads) {
+            Some(n) if n.get() > 1 => Parallelism::Sharded(n),
+            _ => Parallelism::Serial,
+        }
+    }
+
+    /// The worker count this setting resolves to (`1` for serial).
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Sharded(n) => n.get(),
+        }
+    }
+
+    /// Whether more than one worker may run.
+    pub fn is_parallel(self) -> bool {
+        self.threads() > 1
+    }
+}
+
+impl Default for Parallelism {
+    /// [`Parallelism::auto`]: one worker per available core.
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+/// A state-range partition of a [`Dfa`] plus its cross-shard edge index.
+///
+/// Shard `s` owns the contiguous state range `bounds[s]..bounds[s + 1]`.
+/// The cross-shard index records, per shard, the transitions whose
+/// target lies in a *different* shard — the traffic a distributed
+/// traversal would have to hand off, and the measure of how separable
+/// the partition is ([`ShardIndex::cross_edge_fraction`]).
+///
+/// The index is an execute-time artifact sized by the automaton, so
+/// byte-budgeted plan memos charge it via
+/// [`ShardIndex::estimated_bytes`] alongside the automaton itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIndex {
+    /// `bounds[s]..bounds[s + 1]` is shard `s`'s state range.
+    bounds: Vec<StateId>,
+    /// Per shard: transitions `(from, symbol, to)` with `to` outside the
+    /// shard, in `(from, symbol)` order.
+    cross: Vec<Vec<(StateId, Symbol, StateId)>>,
+    /// Total transitions in the underlying automaton (for the fraction).
+    total_edges: usize,
+}
+
+impl ShardIndex {
+    /// Partition `dfa` into at most `shards` contiguous state ranges of
+    /// near-equal size and index the edges crossing between them.
+    ///
+    /// Automata smaller than the requested shard count get one state per
+    /// shard; the empty automaton gets a single empty shard.
+    pub fn build(dfa: &Dfa, shards: usize) -> Self {
+        let n = dfa.state_count();
+        let shards = shards.clamp(1, n.max(1));
+        let base = n / shards;
+        let extra = n % shards;
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0);
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            bounds.push(bounds[s] + len);
+        }
+        let shard_of = |state: StateId| -> usize {
+            // bounds is sorted; partition_point finds the owning range.
+            bounds.partition_point(|&b| b <= state) - 1
+        };
+        let mut cross: Vec<Vec<(StateId, Symbol, StateId)>> = vec![Vec::new(); shards];
+        let mut total_edges = 0usize;
+        for s in 0..shards {
+            for from in bounds[s]..bounds[s + 1] {
+                for (sym, to) in dfa.transitions(from) {
+                    total_edges += 1;
+                    if shard_of(to) != s {
+                        cross[s].push((from, sym, to));
+                    }
+                }
+            }
+        }
+        ShardIndex {
+            bounds,
+            cross,
+            total_edges,
+        }
+    }
+
+    /// Number of shards in the partition.
+    pub fn shard_count(&self) -> usize {
+        self.cross.len()
+    }
+
+    /// The state range owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= shard_count()`.
+    pub fn range(&self, s: usize) -> std::ops::Range<StateId> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// The shard owning `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is outside the partitioned automaton.
+    pub fn shard_of(&self, state: StateId) -> usize {
+        assert!(
+            state < *self.bounds.last().expect("non-empty bounds"),
+            "state {state} outside the partition"
+        );
+        self.bounds.partition_point(|&b| b <= state) - 1
+    }
+
+    /// Transitions leaving shard `s` for another shard, in
+    /// `(from, symbol)` order.
+    pub fn cross_edges(&self, s: usize) -> &[(StateId, Symbol, StateId)] {
+        &self.cross[s]
+    }
+
+    /// Total number of cross-shard transitions.
+    pub fn cross_edge_count(&self) -> usize {
+        self.cross.iter().map(Vec::len).sum()
+    }
+
+    /// Fraction of all transitions that cross shard boundaries (0 when
+    /// the automaton has no transitions) — the partition's separability.
+    pub fn cross_edge_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            return 0.0;
+        }
+        self.cross_edge_count() as f64 / self.total_edges as f64
+    }
+
+    /// Estimated resident heap bytes of the index (bounds and the
+    /// cross-edge lists) — charged by byte-budgeted plan memos on top of
+    /// the automaton's own footprint.
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.bounds.len() * std::mem::size_of::<StateId>()
+            + self.cross.len() * std::mem::size_of::<Vec<(StateId, Symbol, StateId)>>()
+            + self.cross_edge_count() * std::mem::size_of::<(StateId, Symbol, StateId)>()
+    }
+}
+
+/// A [`Dfa`] paired with a [`ShardIndex`] over its states: the view
+/// sharded builders fan out over.
+///
+/// The view borrows both parts, so a cached index (a session plan memo
+/// keeps one per compiled automaton) can be re-combined with its
+/// automaton on every execute without rebuilding either.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedDfa<'a> {
+    dfa: &'a Dfa,
+    index: &'a ShardIndex,
+}
+
+impl<'a> ShardedDfa<'a> {
+    /// Combine an automaton with a shard index built over it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index's partition does not cover exactly the
+    /// automaton's states.
+    pub fn new(dfa: &'a Dfa, index: &'a ShardIndex) -> Self {
+        let covered = *index.bounds.last().expect("non-empty bounds");
+        assert!(
+            covered == dfa.state_count() || (covered == 0 && dfa.state_count() == 0),
+            "shard index covers {covered} states, automaton has {}",
+            dfa.state_count()
+        );
+        ShardedDfa { dfa, index }
+    }
+
+    /// The underlying automaton.
+    pub fn dfa(&self) -> &'a Dfa {
+        self.dfa
+    }
+
+    /// The partition.
+    pub fn index(&self) -> &'a ShardIndex {
+        self.index
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.index.shard_count()
+    }
+
+    /// The state range of shard `s`.
+    pub fn range(&self, s: usize) -> std::ops::Range<StateId> {
+        self.index.range(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{str_symbols, Nfa};
+
+    fn url_like_dfa() -> Dfa {
+        Nfa::literal(str_symbols("http"))
+            .concat(Nfa::symbol_class((b'a'..=b'z').map(u32::from)).plus())
+            .determinize()
+            .minimize()
+    }
+
+    #[test]
+    fn parallelism_resolves_thread_counts() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert!(!Parallelism::Serial.is_parallel());
+        assert_eq!(Parallelism::sharded(0), Parallelism::Serial);
+        assert_eq!(Parallelism::sharded(1), Parallelism::Serial);
+        assert_eq!(Parallelism::sharded(4).threads(), 4);
+        assert!(Parallelism::sharded(4).is_parallel());
+        assert!(Parallelism::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn ranges_cover_all_states_without_overlap() {
+        let dfa = url_like_dfa();
+        let index = ShardIndex::build(&dfa, 3);
+        let mut covered = 0;
+        for s in 0..index.shard_count() {
+            let range = index.range(s);
+            assert_eq!(range.start, covered);
+            covered = range.end;
+            for state in range {
+                assert_eq!(index.shard_of(state), s);
+            }
+        }
+        assert_eq!(covered, dfa.state_count());
+    }
+
+    #[test]
+    fn cross_edges_are_exactly_the_boundary_crossings() {
+        let dfa = url_like_dfa();
+        let index = ShardIndex::build(&dfa, 4);
+        let mut expect = 0usize;
+        for state in 0..dfa.state_count() {
+            for (_, t) in dfa.transitions(state) {
+                if index.shard_of(t) != index.shard_of(state) {
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(index.cross_edge_count(), expect);
+        for s in 0..index.shard_count() {
+            for &(from, sym, to) in index.cross_edges(s) {
+                assert_eq!(index.shard_of(from), s);
+                assert_ne!(index.shard_of(to), s);
+                assert_eq!(dfa.step(from, sym), Some(to));
+            }
+        }
+        let frac = index.cross_edge_fraction();
+        assert!((0.0..=1.0).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn more_shards_than_states_degrades_gracefully() {
+        let dfa = Nfa::literal(str_symbols("ab")).determinize();
+        let index = ShardIndex::build(&dfa, 64);
+        assert_eq!(index.shard_count(), dfa.state_count());
+        let single = ShardIndex::build(&dfa, 1);
+        assert_eq!(single.shard_count(), 1);
+        assert_eq!(single.cross_edge_count(), 0);
+    }
+
+    #[test]
+    fn empty_dfa_gets_one_empty_shard() {
+        let dfa = Dfa::empty();
+        let index = ShardIndex::build(&dfa, 8);
+        assert_eq!(index.shard_count(), 1);
+        assert!(index.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn sharded_view_validates_coverage() {
+        let dfa = url_like_dfa();
+        let index = ShardIndex::build(&dfa, 2);
+        let view = ShardedDfa::new(&dfa, &index);
+        assert_eq!(view.shard_count(), 2);
+        assert_eq!(view.dfa().state_count(), dfa.state_count());
+        assert_eq!(view.index().shard_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index covers")]
+    fn mismatched_view_panics() {
+        let dfa = url_like_dfa();
+        let other = Nfa::literal(str_symbols("x")).determinize();
+        let index = ShardIndex::build(&other, 2);
+        let _ = ShardedDfa::new(&dfa, &index);
+    }
+
+    #[test]
+    fn estimated_bytes_grow_with_cross_edges() {
+        let dfa = url_like_dfa();
+        let one = ShardIndex::build(&dfa, 1);
+        let many = ShardIndex::build(&dfa, 4);
+        assert!(many.estimated_bytes() >= one.estimated_bytes());
+    }
+}

@@ -13,6 +13,7 @@
 //! that "LLMs have finite state" — counting is performed up to a maximum
 //! walk length (the model's max sequence length).
 
+use crate::shard::{Parallelism, ShardIndex, ShardedDfa};
 use crate::{Dfa, StateId, Symbol};
 
 /// Precomputed accepting-walk counts for a [`Dfa`], up to a maximum length.
@@ -50,6 +51,103 @@ pub struct WalkTable {
 }
 
 impl WalkTable {
+    /// Automata smaller than this build their tables on the calling
+    /// thread even under [`Parallelism::Sharded`] — below it, the
+    /// worker pool costs more than the row fills it parallelizes.
+    /// Exported so callers that manage their own [`ShardIndex`] cache
+    /// (a session plan memo) gate on the same threshold.
+    pub const PARALLEL_MIN_STATES: usize = 64;
+
+    /// Build the table with the row fills sharded across `par` workers.
+    ///
+    /// Each length-`len` row assigns `cur[s] = Σ prev[target]` over
+    /// state `s`'s out-edges — states never touch each other's slots, so
+    /// the row partitions cleanly along state ranges. Every slot is
+    /// summed in the same transition order as the serial build, so the
+    /// resulting `f64` tables are **bit-identical** for every
+    /// [`Parallelism`] setting. Small automata (and
+    /// `Parallelism::Serial`) take the serial path.
+    pub fn new_with(dfa: &Dfa, max_len: usize, par: Parallelism) -> Self {
+        if !par.is_parallel() || dfa.state_count() < Self::PARALLEL_MIN_STATES {
+            return Self::new(dfa, max_len);
+        }
+        let index = ShardIndex::build(dfa, par.threads());
+        Self::new_sharded(&ShardedDfa::new(dfa, &index), max_len)
+    }
+
+    /// Build the table over a pre-sharded view (the state-range
+    /// partition a session's plan memo caches), one worker per shard.
+    /// Bit-identical to [`WalkTable::new`] on the same automaton.
+    ///
+    /// Workers are spawned **once** and live for the whole build; each
+    /// row is a request/response exchange over channels (the previous
+    /// row goes out behind an `Arc`, per-shard slot chunks come back
+    /// and are stitched by shard id), so the per-row cost is a message
+    /// round-trip rather than a fresh thread spawn per row.
+    pub fn new_sharded(sharded: &ShardedDfa<'_>, max_len: usize) -> Self {
+        use std::sync::mpsc;
+        use std::sync::Arc;
+
+        let dfa = sharded.dfa();
+        let n = dfa.state_count();
+        let mut exact_by_len: Vec<Vec<f64>> = Vec::with_capacity(max_len + 1);
+        let base: Vec<f64> = (0..n)
+            .map(|s| if dfa.is_accepting(s) { 1.0 } else { 0.0 })
+            .collect();
+        exact_by_len.push(base);
+        if max_len > 0 {
+            let shard_count = sharded.shard_count();
+            crossbeam::scope(|scope| {
+                let (result_tx, result_rx) = mpsc::channel::<(usize, Vec<f64>)>();
+                let mut requests: Vec<mpsc::Sender<Arc<Vec<f64>>>> =
+                    Vec::with_capacity(shard_count);
+                for shard in 0..shard_count {
+                    let range = sharded.range(shard);
+                    let (tx, rx) = mpsc::channel::<Arc<Vec<f64>>>();
+                    requests.push(tx);
+                    let result_tx = result_tx.clone();
+                    scope.spawn(move |_| {
+                        // Each slot sums its transitions in the same
+                        // order as the serial loop: bit-identical rows.
+                        while let Ok(prev) = rx.recv() {
+                            let chunk: Vec<f64> = range
+                                .clone()
+                                .map(|s| {
+                                    let mut acc = 0.0;
+                                    for (_, t) in dfa.transitions(s) {
+                                        acc += prev[t];
+                                    }
+                                    acc
+                                })
+                                .collect();
+                            if result_tx.send((shard, chunk)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(result_tx);
+                for len in 1..=max_len {
+                    let prev = Arc::new(exact_by_len[len - 1].clone());
+                    for tx in &requests {
+                        tx.send(Arc::clone(&prev)).expect("walk-table worker died");
+                    }
+                    let mut cur = vec![0.0f64; n];
+                    for _ in 0..shard_count {
+                        let (shard, chunk) = result_rx.recv().expect("walk-table worker died");
+                        cur[sharded.range(shard)].copy_from_slice(&chunk);
+                    }
+                    exact_by_len.push(cur);
+                }
+                // Dropping the request senders ends the workers' recv
+                // loops; the scope joins them on exit.
+                drop(requests);
+            })
+            .expect("walk-table scope");
+        }
+        Self::from_exact_rows(exact_by_len, max_len)
+    }
+
     /// Build the table for `dfa` with walk lengths up to `max_len`.
     ///
     /// Runs in `O(max_len · E)` for `E` transitions.
@@ -73,6 +171,14 @@ impl WalkTable {
             }
             exact_by_len.push(cur);
         }
+        Self::from_exact_rows(exact_by_len, max_len)
+    }
+
+    /// Finish a table from its exact-length rows: the cumulative rows
+    /// are running sums, identical whichever way the exact rows were
+    /// computed.
+    fn from_exact_rows(exact_by_len: Vec<Vec<f64>>, max_len: usize) -> Self {
+        let n = exact_by_len.first().map_or(0, Vec::len);
         let mut cumulative: Vec<Vec<f64>> = Vec::with_capacity(max_len + 1);
         let mut running = vec![0.0f64; n];
         for row in &exact_by_len {
@@ -375,6 +481,50 @@ mod tests {
         let last = dist.sample(0.999_999);
         assert_eq!(first, dist.choices()[0]);
         assert_eq!(last, *dist.choices().last().unwrap());
+    }
+
+    #[test]
+    fn sharded_table_is_bit_identical_to_serial() {
+        use crate::{Parallelism, ShardIndex, ShardedDfa};
+        // A chain automaton wide enough to clear the parallel threshold.
+        let symbols: Vec<Symbol> = (0..120u32).map(|i| u32::from(b'a') + (i % 26)).collect();
+        let dfa = Nfa::literal(symbols.clone())
+            .union(Nfa::literal(symbols.into_iter().rev().collect::<Vec<_>>()))
+            .determinize();
+        assert!(dfa.state_count() >= WalkTable::PARALLEL_MIN_STATES);
+        let serial = WalkTable::new(&dfa, 24);
+        let auto = WalkTable::new_with(&dfa, 24, Parallelism::sharded(4));
+        let index = ShardIndex::build(&dfa, 3);
+        let explicit = WalkTable::new_sharded(&ShardedDfa::new(&dfa, &index), 24);
+        for table in [&auto, &explicit] {
+            assert_eq!(table.max_len(), serial.max_len());
+            for budget in 0..=24 {
+                for state in 0..dfa.state_count() {
+                    assert_eq!(
+                        table.count(state, budget).to_bits(),
+                        serial.count(state, budget).to_bits(),
+                        "cumulative[{budget}][{state}]"
+                    );
+                    assert_eq!(
+                        table.count_exact_len(state, budget).to_bits(),
+                        serial.count_exact_len(state, budget).to_bits(),
+                        "exact[{budget}][{state}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_automata_take_the_serial_path_under_parallelism() {
+        use crate::Parallelism;
+        let dfa = abbb_dfa();
+        let serial = WalkTable::new(&dfa, 8);
+        let parallel = WalkTable::new_with(&dfa, 8, Parallelism::sharded(8));
+        assert_eq!(
+            parallel.count(dfa.start(), 8).to_bits(),
+            serial.count(dfa.start(), 8).to_bits()
+        );
     }
 
     #[test]

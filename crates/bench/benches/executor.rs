@@ -387,7 +387,13 @@ fn bench_client_run_many(c: &mut Criterion) {
             5,
         ),
     ];
+    // The default (adaptive-tick) set is what the criterion rows time;
+    // the instrumented provenance pass pins TickQuantum::Always so the
+    // coalesced schedule itself stays on record.
     let set: QuerySet = specs.iter().cloned().collect();
+    let set_always = set
+        .clone()
+        .with_tick_quantum(relm_core::TickQuantum::Always);
 
     // One instrumented pass of each mode for the coalescing record.
     let sequential = wb.xl_client();
@@ -401,7 +407,16 @@ fn bench_client_run_many(c: &mut Criterion) {
     }
     let seq_mean = seq_contexts as f64 / seq_batches.max(1) as f64;
     let coalesced = wb.xl_client();
-    let report = coalesced.run_many(&set).unwrap();
+    let report = coalesced.run_many(&set_always).unwrap();
+
+    // The adaptive tick quantum's decision on this host/model pairing
+    // (results are byte-identical either way; only the schedule moves).
+    let adaptive_report = wb.xl_client().run_many(&set).unwrap();
+    let adaptive_stats = adaptive_report.outcomes[0].stats;
+    println!(
+        "[client] adaptive ticks: {} run, {} skipped (model per-tick scoring vs tick overhead)",
+        adaptive_stats.coalesce_ticks, adaptive_stats.coalesce_ticks_skipped,
+    );
     println!(
         "[client] run_many coalescing: {} queries -> mean batch {:.2} vs sequential {:.2}, \
          {} coalesced batches ({} cross-query), {} contexts in coalesced batches",
@@ -463,6 +478,215 @@ fn bench_client_run_many(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sharding tentpole: serial vs sharded token-automaton compile and
+/// serial vs sharded frontier expansion on the fig10 full-encoding URL
+/// workload. Sharded and serial outputs are structurally identical
+/// (asserted here and in `tests/sharding.rs`), so the rows measure
+/// wall-clock only. Thread counts are recorded in every BENCH_JSON row:
+/// on a single-core host the sharded rows price the worker-pool
+/// overhead (they must stay within noise of serial), and the
+/// `compile_sharded_model` row prices the divisible work on `threads`
+/// cores from first principles — measured scan work divided across the
+/// pool on top of the measured non-divisible skeleton.
+fn bench_sharding_compile_and_frontier(_c: &mut Criterion) {
+    use relm_core::compiler::{compile_full, compile_full_with};
+    use relm_core::{Parallelism, SessionConfig};
+    use std::time::Instant;
+
+    let wb = setup();
+    let threads = 4usize;
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // The fig10 full-encoding URL workload: the character automaton the
+    // shortcut-edge compiler lowers into token space with *all*
+    // encodings represented.
+    let char_dfa = relm_regex::Regex::compile(relm_bench::urls::URL_PATTERN)
+        .unwrap()
+        .dfa()
+        .clone();
+    let serial_built = compile_full(&char_dfa, &wb.tokenizer);
+    let sharded_built = compile_full_with(&char_dfa, &wb.tokenizer, Parallelism::sharded(threads));
+    assert_eq!(
+        serial_built, sharded_built,
+        "sharded compile must be structurally identical"
+    );
+    let index = relm_automata::ShardIndex::build(&char_dfa, threads);
+    println!(
+        "[sharding] url_full char automaton: {} states, {} token transitions, \
+         {:.1}% cross-shard edges across {} shards (host cores: {host_cores})",
+        char_dfa.state_count(),
+        serial_built.transition_count(),
+        index.cross_edge_fraction() * 100.0,
+        index.shard_count(),
+    );
+
+    // Manual timed rows so the thread count lands in the JSON record.
+    let reps = 5u32;
+    let timed = |f: &dyn Fn()| -> f64 {
+        f(); // warm-up
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / f64::from(reps)
+    };
+    let serial_ns = timed(&|| {
+        criterion::black_box(compile_full(&char_dfa, &wb.tokenizer));
+    });
+    let sharded_ns = timed(&|| {
+        criterion::black_box(compile_full_with(
+            &char_dfa,
+            &wb.tokenizer,
+            Parallelism::sharded(threads),
+        ));
+    });
+    // First-principles multicore model: the vocabulary scan is the
+    // divisible work (measured as full compile minus the bytes-only
+    // skeleton — single-byte edges + automaton assembly, which stay
+    // serial); on `threads` cores it divides across the pool.
+    let bytes_only = relm_bpe::BpeTokenizer::from_merges(&[]);
+    let skeleton_ns = timed(&|| {
+        criterion::black_box(compile_full(&char_dfa, &bytes_only));
+    });
+    let scan_ns = (serial_ns - skeleton_ns).max(0.0);
+    let modeled_ns = skeleton_ns + scan_ns / threads as f64;
+    println!(
+        "[sharding] compile url_full: serial {:.2} ms, sharded({threads}) {:.2} ms wall on \
+         {host_cores} core(s); divisible scan {:.2} ms of {:.2} ms -> modeled {:.2} ms on \
+         {threads} cores ({:.2}x)",
+        serial_ns / 1e6,
+        sharded_ns / 1e6,
+        scan_ns / 1e6,
+        serial_ns / 1e6,
+        modeled_ns / 1e6,
+        serial_ns / modeled_ns.max(1.0),
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"compile_serial/url_full\",\"mean_ns\":{serial_ns:.1},\
+         \"samples\":{reps},\"threads\":1,\"host_cores\":{host_cores}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"compile_sharded/url_full\",\"mean_ns\":{sharded_ns:.1},\
+         \"samples\":{reps},\"threads\":{threads},\"host_cores\":{host_cores}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"compile_sharded_model/url_full\",\"mean_ns\":{modeled_ns:.1},\
+         \"samples\":{reps},\"threads\":{threads},\"host_cores\":{host_cores}}}"
+    );
+
+    // A lexicon-scale compile (multi-kilobyte alternation, the fig13
+    // bias-grid query shape) — enough `states × vocabulary` work to
+    // clear the compiler's spawn gate, so the sharded row really runs
+    // the worker pool rather than the small-automaton serial fallback.
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let words: Vec<String> = (0..140)
+        .map(|_| {
+            (0..8)
+                .map(|_| {
+                    seed = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    char::from(b'a' + ((seed >> 33) % 26) as u8)
+                })
+                .collect()
+        })
+        .collect();
+    let lexicon_pattern = words
+        .iter()
+        .map(|w| format!("({w})"))
+        .collect::<Vec<_>>()
+        .join("|");
+    let lexicon_dfa = relm_regex::Regex::compile(&lexicon_pattern)
+        .unwrap()
+        .dfa()
+        .clone();
+    assert_eq!(
+        compile_full(&lexicon_dfa, &wb.tokenizer),
+        compile_full_with(&lexicon_dfa, &wb.tokenizer, Parallelism::sharded(threads)),
+    );
+    let lex_serial_ns = timed(&|| {
+        criterion::black_box(compile_full(&lexicon_dfa, &wb.tokenizer));
+    });
+    let lex_sharded_ns = timed(&|| {
+        criterion::black_box(compile_full_with(
+            &lexicon_dfa,
+            &wb.tokenizer,
+            Parallelism::sharded(threads),
+        ));
+    });
+    let lex_skeleton_ns = timed(&|| {
+        criterion::black_box(compile_full(&lexicon_dfa, &bytes_only));
+    });
+    let lex_scan_ns = (lex_serial_ns - lex_skeleton_ns).max(0.0);
+    let lex_modeled_ns = lex_skeleton_ns + lex_scan_ns / threads as f64;
+    println!(
+        "[sharding] compile lexicon_full ({} states): serial {:.2} ms, sharded({threads}) \
+         {:.2} ms wall on {host_cores} core(s); modeled {:.2} ms on {threads} cores ({:.2}x)",
+        lexicon_dfa.state_count(),
+        lex_serial_ns / 1e6,
+        lex_sharded_ns / 1e6,
+        lex_modeled_ns / 1e6,
+        lex_serial_ns / lex_modeled_ns.max(1.0),
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"compile_serial/lexicon_full\",\"mean_ns\":{lex_serial_ns:.1},\
+         \"samples\":{reps},\"threads\":1,\"host_cores\":{host_cores}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"compile_sharded/lexicon_full\",\"mean_ns\":{lex_sharded_ns:.1},\
+         \"samples\":{reps},\"threads\":{threads},\"host_cores\":{host_cores}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"compile_sharded_model/lexicon_full\",\
+         \"mean_ns\":{lex_modeled_ns:.1},\"samples\":{reps},\"threads\":{threads},\
+         \"host_cores\":{host_cores}}}"
+    );
+
+    // Frontier expansion: the same full-encoding workload executed
+    // against the model under serial vs sharded clients (wider frontier
+    // shards per step feed larger engine batches; beam levels fan their
+    // expansion across the pool). Plans are pre-warmed so the rows
+    // isolate execution.
+    let full_query = || {
+        SearchQuery::new(
+            QueryString::new(relm_bench::urls::URL_PATTERN)
+                .with_prefix(relm_bench::urls::URL_PREFIX),
+        )
+        .with_tokenization(relm_core::TokenizationStrategy::All)
+        .with_policy(DecodingPolicy::top_k(40))
+        .with_max_tokens(20)
+        .with_max_expansions(5_000)
+    };
+    let workloads: [(&str, SearchQuery, usize); 2] = [
+        ("url_dijkstra", full_query(), 5),
+        (
+            "url_beam16",
+            full_query().with_strategy(relm_core::SearchStrategy::Beam { width: 16 }),
+            5,
+        ),
+    ];
+    for (mode_label, par) in [
+        ("frontier_serial", Parallelism::Serial),
+        ("frontier_sharded", Parallelism::sharded(threads)),
+    ] {
+        let client = relm_core::Relm::builder(&wb.xl, wb.tokenizer.clone())
+            .config(SessionConfig::new().with_parallelism(par))
+            .build()
+            .unwrap();
+        for (label, query, take) in &workloads {
+            let plan = client.plan(query).unwrap(); // warm the memo
+            let ns = timed(&|| {
+                criterion::black_box(client.execute(&plan).unwrap().take(*take).count());
+            });
+            println!(
+                "BENCH_JSON {{\"id\":\"{mode_label}/{label}\",\"mean_ns\":{ns:.1},\
+                 \"samples\":{reps},\"threads\":{},\"host_cores\":{host_cores}}}",
+                par.threads()
+            );
+        }
+    }
+}
+
 criterion_group!(
     benches,
     bench_first_match_latency,
@@ -471,6 +695,7 @@ criterion_group!(
     bench_scoring_serial_vs_batched,
     bench_engine_throughput,
     bench_session_warm_vs_cold,
-    bench_client_run_many
+    bench_client_run_many,
+    bench_sharding_compile_and_frontier
 );
 criterion_main!(benches);

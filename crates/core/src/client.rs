@@ -23,12 +23,14 @@
 //! deprecated one-shot shims; new code should hold a client.
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use relm_automata::Parallelism;
 use relm_bpe::{BpeTokenizer, TokenId};
 use relm_lm::{LanguageModel, ScoringEngine, ScoringMode, ScoringStats, SharedScoringCache};
 
 use crate::executor::{CompiledSearch, ExecutionStats, SearchResults, StepOutcome};
-use crate::query::{QuerySet, SearchQuery};
+use crate::query::{QuerySet, SearchQuery, TickQuantum};
 use crate::results::MatchResult;
 use crate::session::{RelmSession, SessionConfig, SessionStats};
 use crate::RelmError;
@@ -39,6 +41,13 @@ use crate::RelmError;
 /// of splitting it; executors whose lookahead is speculative (Dijkstra)
 /// self-cap below this at their own prefetch bound.
 const COALESCE_LOOKAHEAD: usize = 32;
+
+/// Coalescing ticks the driver always runs (and measures) before
+/// [`TickQuantum::Adaptive`] may start skipping: enough to observe the
+/// model's real per-tick scoring cost, and a floor that keeps the
+/// cross-query provenance counters meaningful even when the adaptive
+/// policy then turns ticking off.
+const ADAPTIVE_TICK_WARMUP: u64 = 3;
 
 /// Configures and validates a [`Relm`] client. Obtained from
 /// [`Relm::builder`]; consumed by [`RelmBuilder::build`].
@@ -72,6 +81,15 @@ impl<M: LanguageModel> RelmBuilder<M> {
     /// Set the plan memo's byte budget.
     pub fn plan_memo_bytes(mut self, bytes: usize) -> Self {
         self.config = self.config.with_plan_memo_bytes(bytes);
+        self
+    }
+
+    /// Set the worker budget for sharded plan compilation and the
+    /// executors' frontier work (default: one worker per available
+    /// core). [`Parallelism::Serial`] is the single-threaded reference
+    /// path; results are byte-identical for every setting.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config = self.config.with_parallelism(parallelism);
         self
     }
 
@@ -296,6 +314,15 @@ impl<M: LanguageModel> Relm<M> {
     /// their one-call-per-context contract: they are stepped in the
     /// same rotation but neither feed nor read the shared batches.
     ///
+    /// The tick phase is governed by the set's [`TickQuantum`]: under
+    /// the default adaptive policy the driver measures each tick's
+    /// assembly overhead against the model work it front-loads and
+    /// stops ticking (after a short always-on warmup) when the model is
+    /// too cheap for coalescing to win wall-clock — closing the "draw
+    /// on cheap models" gap without touching results. The decision is
+    /// visible in [`ExecutionStats::coalesce_ticks`] /
+    /// [`ExecutionStats::coalesce_ticks_skipped`] on every outcome.
+    ///
     /// # Errors
     ///
     /// If any query fails to plan, the whole set fails with the first
@@ -330,6 +357,23 @@ impl<M: LanguageModel> Relm<M> {
             });
         }
 
+        // Adaptive tick-quantum state: the driver measures what each
+        // tick costs to *assemble* (gather + dedup — pure overhead) and
+        // what it spends *scoring* (model work the executors would do
+        // anyway, front-loaded into a shared batch). When the measured
+        // scoring cost stays below the assembly overhead, coalescing
+        // cannot win wall-clock — the model is too cheap — so Adaptive
+        // stops ticking after the warmup. Skipping is safe by
+        // construction: scoring is pure and executors score their own
+        // frontiers on demand, so only the batch schedule changes,
+        // never a result.
+        let quantum = set.tick_quantum();
+        let mut ticks_run = 0u64;
+        let mut ticks_skipped = 0u64;
+        let mut gather_nanos: u128 = 0;
+        let mut scoring_nanos: u128 = 0;
+        let mut ticks_unprofitable = false;
+
         loop {
             // Phase 1: the coalescing tick. Only worth an engine call
             // while two or more batched executions are in flight — a
@@ -341,28 +385,47 @@ impl<M: LanguageModel> Relm<M> {
                 .zip(&lives)
                 .filter(|(spec, live)| !live.done && spec.query.scoring != ScoringMode::Serial)
                 .count();
-            if batched_live >= 2 {
-                let mut batch: Vec<Vec<TokenId>> = Vec::new();
-                let mut seen: std::collections::HashSet<Vec<TokenId>> =
-                    std::collections::HashSet::new();
-                let mut sources = 0usize;
-                for live in lives.iter_mut().filter(|l| !l.done) {
-                    let frontier = live.results.frontier_contexts(COALESCE_LOOKAHEAD);
-                    if !frontier.is_empty() {
-                        // A query whose frontier duplicates another's is
-                        // still a source: the batch serves both (that
-                        // overlap IS the sharing).
-                        sources += 1;
-                    }
-                    for ctx in frontier {
-                        if seen.insert(ctx.clone()) {
-                            batch.push(ctx);
+            if batched_live >= 2 && quantum != TickQuantum::Never {
+                if ticks_unprofitable {
+                    ticks_skipped += 1;
+                } else {
+                    let gather_start = Instant::now();
+                    let mut batch: Vec<Vec<TokenId>> = Vec::new();
+                    let mut seen: std::collections::HashSet<Vec<TokenId>> =
+                        std::collections::HashSet::new();
+                    let mut sources = 0usize;
+                    for live in lives.iter_mut().filter(|l| !l.done) {
+                        let frontier = live.results.frontier_contexts(COALESCE_LOOKAHEAD);
+                        if !frontier.is_empty() {
+                            // A query whose frontier duplicates another's is
+                            // still a source: the batch serves both (that
+                            // overlap IS the sharing).
+                            sources += 1;
+                        }
+                        for ctx in frontier {
+                            if seen.insert(ctx.clone()) {
+                                batch.push(ctx);
+                            }
                         }
                     }
-                }
-                if !batch.is_empty() {
-                    let refs: Vec<&[TokenId]> = batch.iter().map(Vec::as_slice).collect();
-                    let _ = engine.score_batch_coalesced(&refs, sources);
+                    gather_nanos += gather_start.elapsed().as_nanos();
+                    if !batch.is_empty() {
+                        let refs: Vec<&[TokenId]> = batch.iter().map(Vec::as_slice).collect();
+                        let scoring_start = Instant::now();
+                        let _ = engine.score_batch_coalesced(&refs, sources);
+                        scoring_nanos += scoring_start.elapsed().as_nanos();
+                    }
+                    ticks_run += 1;
+                    if quantum == TickQuantum::Adaptive
+                        && ticks_run >= ADAPTIVE_TICK_WARMUP
+                        && scoring_nanos < gather_nanos
+                    {
+                        // Sticky decision: the model has shown itself
+                        // cheaper than the tick machinery, so stop
+                        // paying for ticks (exposed via
+                        // `ExecutionStats::coalesce_ticks_skipped`).
+                        ticks_unprofitable = true;
+                    }
                 }
             }
 
@@ -391,9 +454,16 @@ impl<M: LanguageModel> Relm<M> {
 
         let outcomes = lives
             .into_iter()
-            .map(|live| QueryOutcome {
-                stats: live.results.stats(),
-                matches: live.matches,
+            .map(|live| {
+                // The tick counters are driver-wide; stamping them on
+                // every outcome keeps ExecutionStats self-contained.
+                let mut stats = live.results.stats();
+                stats.coalesce_ticks = ticks_run;
+                stats.coalesce_ticks_skipped = ticks_skipped;
+                QueryOutcome {
+                    stats,
+                    matches: live.matches,
+                }
             })
             .collect();
         Ok(QuerySetReport {

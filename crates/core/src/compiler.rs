@@ -27,8 +27,21 @@
 
 use std::collections::HashMap;
 
-use relm_automata::{Dfa, Symbol};
+use relm_automata::{Dfa, Parallelism, Symbol};
 use relm_bpe::{BpeTokenizer, TokenId};
+
+/// Minimum `states × multi-byte vocabulary entries` before the
+/// shortcut-edge scan fans out to a worker pool. The scan costs a few
+/// nanoseconds per (state, word) pair, a thread spawn tens of
+/// microseconds: below roughly this much work the pool cannot pay for
+/// itself, so small compiles stay on the calling thread even under
+/// [`Parallelism::Sharded`] (and remain structurally identical — the
+/// gate picks who computes, never what).
+const PARALLEL_COMPILE_MIN_WORK: usize = 1 << 16;
+
+/// Enumerated string sets smaller than this are tokenizer-encoded on
+/// the calling thread (same trade-off as above).
+const PARALLEL_ENCODE_MIN_STRINGS: usize = 64;
 
 /// Limits for the enumeration-based canonical construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +80,22 @@ pub struct CompiledAutomaton {
 /// a DFA over token ids whose accepting paths decode exactly to the
 /// strings of `char_dfa`'s language, with every tokenization represented.
 pub fn compile_full(char_dfa: &Dfa, tokenizer: &BpeTokenizer) -> Dfa {
+    compile_full_with(char_dfa, tokenizer, Parallelism::Serial)
+}
+
+/// [`compile_full`] with the vocabulary-matching loop sharded by state
+/// range across `par` workers.
+///
+/// The shortcut-edge scan visits every `(state, vocabulary word)` pair
+/// independently — `O(V · k · m_max)` work with no shared writes — so
+/// the *character* automaton's state space is partitioned into
+/// contiguous near-equal ranges, one per worker, and each worker
+/// matches the whole multi-byte vocabulary against its range. Per-shard
+/// edge lists are concatenated in shard order, and [`Dfa::from_parts`]
+/// sorts each state's transitions by symbol, so the result is
+/// **structurally identical** to the serial build for every
+/// [`Parallelism`] setting.
+pub fn compile_full_with(char_dfa: &Dfa, tokenizer: &BpeTokenizer, par: Parallelism) -> Dfa {
     let n = char_dfa.state_count();
     let mut transitions: Vec<(usize, Symbol, usize)> = Vec::new();
     let accepting: Vec<usize> = (0..n).filter(|&s| char_dfa.is_accepting(s)).collect();
@@ -82,26 +111,57 @@ pub fn compile_full(char_dfa: &Dfa, tokenizer: &BpeTokenizer) -> Dfa {
     // Multi-byte tokens: DFS-match each vocabulary word from each state
     // (Algorithm 1, "GetConnectingWalks") and add the shortcut edge
     // (Algorithm 2). The DFA walk is unique when it exists.
-    for (token, word) in tokenizer.iter_vocab() {
-        if word.len() <= 1 {
-            continue;
-        }
-        for start in 0..n {
-            let mut state = start;
-            let mut ok = true;
-            for &b in word {
-                match char_dfa.step(state, Symbol::from(b)) {
-                    Some(next) => state = next,
-                    None => {
-                        ok = false;
-                        break;
+    let vocab: Vec<(TokenId, &[u8])> = tokenizer
+        .iter_vocab()
+        .filter(|(_, word)| word.len() > 1)
+        .collect();
+    let match_range = |range: std::ops::Range<usize>| -> Vec<(usize, Symbol, usize)> {
+        let mut out = Vec::new();
+        for start in range {
+            for &(token, word) in &vocab {
+                let mut state = start;
+                let mut ok = true;
+                for &b in word {
+                    match char_dfa.step(state, Symbol::from(b)) {
+                        Some(next) => state = next,
+                        None => {
+                            ok = false;
+                            break;
+                        }
                     }
                 }
-            }
-            if ok {
-                transitions.push((start, token, state));
+                if ok {
+                    out.push((start, token, state));
+                }
             }
         }
+        out
+    };
+    if par.is_parallel() && n.saturating_mul(vocab.len()) >= PARALLEL_COMPILE_MIN_WORK {
+        // Contiguous state ranges, one per worker. The scan only needs
+        // the ranges — a full `ShardIndex` (with its cross-edge pass)
+        // would be wasted work on this hot path.
+        let shards = par.threads().clamp(1, n);
+        let chunk = n.div_ceil(shards);
+        let shard_edges: Vec<Vec<(usize, Symbol, usize)>> = crossbeam::scope(|scope| {
+            let match_range = &match_range;
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let range = (s * chunk)..((s + 1) * chunk).min(n);
+                    scope.spawn(move |_| match_range(range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("compile shard panicked"))
+                .collect()
+        })
+        .expect("compile scope");
+        for edges in shard_edges {
+            transitions.extend(edges);
+        }
+    } else {
+        transitions.extend(match_range(0..n));
     }
     Dfa::from_parts(n, char_dfa.start(), &accepting, &transitions)
 }
@@ -117,6 +177,21 @@ pub fn compile_canonical(
     tokenizer: &BpeTokenizer,
     limits: CanonicalLimits,
 ) -> CompiledAutomaton {
+    compile_canonical_with(char_dfa, tokenizer, limits, Parallelism::Serial)
+}
+
+/// [`compile_canonical`] with its work sharded across `par` workers:
+/// the enumerated strings are tokenizer-encoded in parallel chunks
+/// (encoding is pure; chunk results are concatenated in order, so the
+/// trie is built over the same sequence list), and the oversized/
+/// infinite fallback delegates to [`compile_full_with`]. Structurally
+/// identical output for every [`Parallelism`] setting.
+pub fn compile_canonical_with(
+    char_dfa: &Dfa,
+    tokenizer: &BpeTokenizer,
+    limits: CanonicalLimits,
+    par: Parallelism,
+) -> CompiledAutomaton {
     // Exact pre-checks (both run in `O(max_len · E)`): the language must
     // be finite, no longer than the enumeration depth, and small enough
     // to enumerate. Only then is enumeration guaranteed cheap and exact.
@@ -129,23 +204,41 @@ pub fn compile_canonical(
             });
     if enumerable {
         let strings = char_dfa.enumerate(limits.max_len, limits.max_strings + 1);
-        {
-            let encoded: Vec<Vec<TokenId>> = strings
+        let encode_chunk = |chunk: &[Vec<Symbol>]| -> Vec<Vec<TokenId>> {
+            chunk
                 .iter()
                 .map(|symbols| {
                     let text: Vec<u8> = symbols.iter().map(|&s| s as u8).collect();
                     let text = String::from_utf8_lossy(&text).into_owned();
                     tokenizer.encode(&text)
                 })
-                .collect();
-            return CompiledAutomaton {
-                automaton: trie_dfa(&encoded),
-                needs_canonical_check: false,
+                .collect()
+        };
+        let encoded: Vec<Vec<TokenId>> =
+            if par.is_parallel() && strings.len() >= PARALLEL_ENCODE_MIN_STRINGS {
+                let chunk = strings.len().div_ceil(par.threads());
+                crossbeam::scope(|scope| {
+                    let encode_chunk = &encode_chunk;
+                    let handles: Vec<_> = strings
+                        .chunks(chunk)
+                        .map(|c| scope.spawn(move |_| encode_chunk(c)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("encode shard panicked"))
+                        .collect()
+                })
+                .expect("encode scope")
+            } else {
+                encode_chunk(&strings)
             };
-        }
+        return CompiledAutomaton {
+            automaton: trie_dfa(&encoded),
+            needs_canonical_check: false,
+        };
     }
     CompiledAutomaton {
-        automaton: compile_full(char_dfa, tokenizer),
+        automaton: compile_full_with(char_dfa, tokenizer, par),
         needs_canonical_check: true,
     }
 }
@@ -321,6 +414,60 @@ mod tests {
         let empty = x.intersect(&y);
         let full = compile_full(&empty, &tok);
         assert!(full.is_empty_language());
+    }
+
+    #[test]
+    fn sharded_compile_is_structurally_identical() {
+        // Large enough to clear [`super::PARALLEL_COMPILE_MIN_WORK`].
+        let words = crate::test_lexicon(0x9e3779b97f4a7c15, 140, 8);
+        let corpus = words.join(" ");
+        let tok = BpeTokenizer::train(&corpus, 200);
+        let pattern = words
+            .iter()
+            .map(|w| format!("({w})"))
+            .collect::<Vec<_>>()
+            .join("|");
+        let dfa = char_dfa(&pattern);
+        let multibyte = tok.iter_vocab().filter(|(_, w)| w.len() > 1).count();
+        assert!(
+            dfa.state_count() * multibyte >= super::PARALLEL_COMPILE_MIN_WORK,
+            "fixture below the work gate: {} states x {multibyte} words",
+            dfa.state_count()
+        );
+        let serial = compile_full(&dfa, &tok);
+        for threads in [2usize, 3, 8] {
+            let sharded = compile_full_with(&dfa, &tok, Parallelism::sharded(threads));
+            assert_eq!(serial, sharded, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_canonical_is_structurally_identical() {
+        let corpus = "the cat sat on the mat and the dog sat on the log again and again";
+        let tok = BpeTokenizer::train(corpus, 60);
+        // A finite language with enough strings to clear the parallel
+        // encode threshold (26 * 26 = 676 strings).
+        let dfa = char_dfa("[a-z][a-z]");
+        let limits = CanonicalLimits {
+            max_len: 8,
+            max_strings: 1000,
+        };
+        let serial = compile_canonical(&dfa, &tok, limits);
+        assert!(!serial.needs_canonical_check);
+        let sharded = compile_canonical_with(&dfa, &tok, limits, Parallelism::sharded(4));
+        assert_eq!(serial.automaton, sharded.automaton);
+        assert_eq!(serial.needs_canonical_check, sharded.needs_canonical_check);
+        // The fallback path shards through compile_full_with.
+        let infinite = char_dfa("(ab)+");
+        let serial_fb = compile_canonical(&infinite, &tok, CanonicalLimits::default());
+        let sharded_fb = compile_canonical_with(
+            &infinite,
+            &tok,
+            CanonicalLimits::default(),
+            Parallelism::sharded(4),
+        );
+        assert!(serial_fb.needs_canonical_check);
+        assert_eq!(serial_fb.automaton, sharded_fb.automaton);
     }
 
     #[test]

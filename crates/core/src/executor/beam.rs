@@ -25,6 +25,15 @@ use crate::executor::{
 };
 use crate::results::MatchResult;
 
+/// Minimum `paths × vocabulary size` before a beam level's expansion
+/// fans out to a worker pool. Per-path expansion is dominated by the
+/// policy filter over the whole distribution (`O(V)` per path), so the
+/// product measures the level's real work; below roughly this much a
+/// thread spawn costs more than it parallelizes, and the level expands
+/// on the calling thread (identically — the gate picks who computes,
+/// never what).
+const BEAM_SHARD_MIN_WORK: usize = 1 << 14;
+
 #[derive(Debug, Clone)]
 struct BeamPath {
     machine_is_body: bool,
@@ -211,21 +220,24 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
         self.stats.lm_calls += contexts.len() as u64;
         self.stats.expansions += expandable.len() as u64;
 
-        // Expand.
-        let mut next: Vec<BeamPath> = Vec::new();
-        for (&p, log_probs) in expandable.iter().zip(&scores) {
+        // Expand: one frontier shard per worker. Per-path expansion is
+        // pure (policy filtering over the vocabulary plus automaton edge
+        // walks, no shared writes), shards are contiguous chunks of the
+        // level, and the merge concatenates them in level order — so the
+        // candidate list, and therefore the stable sort and truncation
+        // below, are byte-identical to the serial loop.
+        let compiled = &self.compiled;
+        let expand_path = |p: &BeamPath, log_probs: &Vec<f64>| -> Vec<BeamPath> {
+            let body = &compiled.parts.body.automaton;
+            let mut out = Vec::new();
             if p.machine_is_body {
-                let allowed: HashMap<TokenId, f64> = self
-                    .compiled
-                    .policy
-                    .allowed(log_probs)
-                    .into_iter()
-                    .collect();
+                let allowed: HashMap<TokenId, f64> =
+                    compiled.policy.allowed(log_probs).into_iter().collect();
                 for (sym, target) in body.transitions(p.state) {
                     if let Some(&lp) = allowed.get(&sym) {
                         let mut tokens = p.tokens.clone();
                         tokens.push(sym);
-                        next.push(BeamPath {
+                        out.push(BeamPath {
                             machine_is_body: true,
                             state: target,
                             tokens,
@@ -235,7 +247,7 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
                     }
                 }
             } else {
-                let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
+                let prefix = compiled.parts.prefix.as_ref().expect("prefix machine");
                 for (sym, target) in prefix.transitions(p.state) {
                     let lp = log_probs[sym as usize];
                     if !lp.is_finite() {
@@ -244,7 +256,7 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
                     let mut tokens = p.tokens.clone();
                     tokens.push(sym);
                     let prefix_len = tokens.len();
-                    next.push(BeamPath {
+                    out.push(BeamPath {
                         machine_is_body: false,
                         state: target,
                         tokens,
@@ -253,7 +265,39 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
                     });
                 }
             }
-        }
+            out
+        };
+        let work: Vec<(&BeamPath, &Vec<f64>)> =
+            expandable.iter().copied().zip(scores.iter()).collect();
+        let threads = compiled.parallelism.threads();
+        let vocab = scores.first().map_or(0, Vec::len);
+        let level_work = work.len().saturating_mul(vocab);
+        let mut next: Vec<BeamPath> = if threads > 1 && level_work >= BEAM_SHARD_MIN_WORK {
+            let chunk = work.len().div_ceil(threads);
+            crossbeam::scope(|scope| {
+                let expand_path = &expand_path;
+                let handles: Vec<_> = work
+                    .chunks(chunk)
+                    .map(|shard| {
+                        scope.spawn(move |_| {
+                            shard
+                                .iter()
+                                .flat_map(|&(p, lp)| expand_path(p, lp))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("beam shard panicked"))
+                    .collect()
+            })
+            .expect("beam scope")
+        } else {
+            work.iter()
+                .flat_map(|&(p, lp)| expand_path(p, lp))
+                .collect()
+        };
         if next.is_empty() {
             self.finalize();
             return;

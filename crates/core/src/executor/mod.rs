@@ -28,12 +28,14 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use relm_automata::{Dfa, WalkTable};
+use relm_automata::{Dfa, Parallelism, ShardIndex, ShardedDfa, WalkTable};
 use relm_bpe::{BpeTokenizer, TokenId};
 use relm_lm::{DecodingPolicy, LanguageModel, ScoringEngine, ScoringMode};
 use relm_regex::Regex;
 
-use crate::compiler::{compile_canonical, compile_full, CanonicalLimits, CompiledAutomaton};
+use crate::compiler::{
+    compile_canonical_with, compile_full_with, CanonicalLimits, CompiledAutomaton,
+};
 use crate::query::{PrefixSampling, SearchQuery, SearchStrategy, TokenizationStrategy};
 use crate::results::MatchResult;
 use crate::RelmError;
@@ -126,6 +128,16 @@ pub struct ExecutionStats {
     /// (cumulative session counter; for stateless searches every plan is
     /// compiled fresh, but the stateless path does not count).
     pub plan_cache_misses: u64,
+    /// Coalescing ticks the `run_many` driver ran while this query's
+    /// set executed (a driver-wide counter, stamped identically on
+    /// every query of the set; zero outside `run_many`).
+    pub coalesce_ticks: u64,
+    /// Coalescing ticks the driver *skipped* because the adaptive tick
+    /// quantum measured the model's per-call cost below the tick's own
+    /// overhead (also driver-wide; see
+    /// [`crate::TickQuantum::Adaptive`]). Skipping never changes
+    /// results — scoring is pure — only the batching schedule.
+    pub coalesce_ticks_skipped: u64,
 }
 
 impl ExecutionStats {
@@ -162,16 +174,23 @@ pub(crate) struct PlanParts {
     /// table, not one per budget. Warm sampling queries of a memoized
     /// plan reuse it instead of rebuilding per execute.
     walk_table: Mutex<Option<Arc<WalkTable>>>,
+    /// Lazily built state-range shard index over the prefix machine,
+    /// memoized alongside the walk table it parallelizes: a sharded
+    /// walk-table build partitions its row fills along these ranges.
+    /// `None` until a parallel execute first needs it; rebuilt only if
+    /// a later execute asks for a different worker count.
+    prefix_shards: Mutex<Option<Arc<ShardIndex>>>,
 }
 
 impl PlanParts {
     /// Estimated resident heap bytes of the compiled automata (prefix,
-    /// body, and deferred-filter machines) **plus** the memoized walk
-    /// table when one has been built. At plan-compile time the table is
-    /// still `None` (it is an execute-time artifact sized by
-    /// `max_tokens`), so the session's byte-budgeted plan memo charges
-    /// it by re-costing the entry on later memo hits. Used to charge a
-    /// URL-scale plan its real footprint.
+    /// body, and deferred-filter machines) **plus** the execute-time
+    /// artifacts memoized inside the plan: the walk table and the
+    /// prefix shard index. At plan-compile time both are still `None`
+    /// (they are execute-time artifacts sized by `max_tokens` and the
+    /// worker count), so the session's byte-budgeted plan memo charges
+    /// them by re-costing the entry on later memo hits. Used to charge
+    /// a URL-scale plan its real footprint.
     pub(crate) fn estimated_bytes(&self) -> usize {
         let prefix = self.prefix.as_ref().map_or(0, Dfa::estimated_bytes);
         let filters: usize = self.deferred_filters.iter().map(Dfa::estimated_bytes).sum();
@@ -180,19 +199,54 @@ impl PlanParts {
             .lock()
             .as_ref()
             .map_or(0, |t| t.estimated_bytes());
-        prefix + self.body.automaton.estimated_bytes() + filters + walk_table
+        let shard_index = self
+            .prefix_shards
+            .lock()
+            .as_ref()
+            .map_or(0, |i| i.estimated_bytes());
+        prefix + self.body.automaton.estimated_bytes() + filters + walk_table + shard_index
+    }
+
+    /// The memoized shard index over the prefix machine for `threads`
+    /// workers, building it on first use (or rebuilding if a later
+    /// execute asks for a different worker count).
+    fn prefix_shard_index(&self, prefix: &Dfa, threads: usize) -> Arc<ShardIndex> {
+        let want = threads.clamp(1, prefix.state_count().max(1));
+        let mut cached = self.prefix_shards.lock();
+        match cached.as_ref() {
+            Some(index) if index.shard_count() == want => Arc::clone(index),
+            _ => {
+                let built = Arc::new(ShardIndex::build(prefix, threads));
+                *cached = Some(Arc::clone(&built));
+                built
+            }
+        }
     }
 
     /// The walk-count table for the prefix machine covering at least
     /// `max_tokens`, building (or upgrading to the larger budget) and
-    /// memoizing it on first use. `None` when the plan has no prefix.
-    pub(crate) fn walk_table(&self, max_tokens: usize) -> Option<Arc<WalkTable>> {
+    /// memoizing it on first use. Parallel settings shard the row fills
+    /// along the memoized prefix [`ShardIndex`]; serial and sharded
+    /// builds are bit-identical, so the memo never needs to know which
+    /// setting built the cached table. `None` when the plan has no
+    /// prefix.
+    pub(crate) fn walk_table(&self, max_tokens: usize, par: Parallelism) -> Option<Arc<WalkTable>> {
         let prefix = self.prefix.as_ref()?;
         let mut table = self.walk_table.lock();
         match table.as_ref() {
             Some(existing) if existing.max_len() >= max_tokens => Some(Arc::clone(existing)),
             _ => {
-                let built = Arc::new(WalkTable::new(prefix, max_tokens));
+                let built = if par.is_parallel()
+                    && prefix.state_count() >= WalkTable::PARALLEL_MIN_STATES
+                {
+                    let index = self.prefix_shard_index(prefix, par.threads());
+                    Arc::new(WalkTable::new_sharded(
+                        &ShardedDfa::new(prefix, &index),
+                        max_tokens,
+                    ))
+                } else {
+                    Arc::new(WalkTable::new(prefix, max_tokens))
+                };
                 *table = Some(Arc::clone(&built));
                 Some(built)
             }
@@ -210,6 +264,11 @@ pub(crate) struct CompiledQuery {
     pub require_eos: bool,
     pub distinct_texts: bool,
     pub scoring: ScoringMode,
+    /// Worker budget for the executors' frontier work (shard-wide
+    /// scoring lookahead, beam-level expansion fan-out, sharded walk
+    /// tables). Never part of the plan key: results are byte-identical
+    /// for every setting.
+    pub parallelism: Parallelism,
 }
 
 /// Compile `query`'s patterns into token automata — the expensive,
@@ -219,9 +278,17 @@ pub(crate) struct CompiledQuery {
 /// The query pattern describes the **full** language (prefix included),
 /// as in the paper's Figures 4 and 11; the suffix machine is derived as
 /// the left quotient `prefix⁻¹ · L(pattern)`.
+///
+/// `par` shards the compile-time work queues (subset construction,
+/// quotient determinization, the shortcut-edge vocabulary scan, the
+/// canonical encode) across a worker pool; every shard merge is
+/// deterministic, so the compiled automata are structurally identical
+/// for every setting — which is what keeps parallelism out of the
+/// session's plan-memo key.
 pub(crate) fn compile_parts(
     query: &SearchQuery,
     tokenizer: &BpeTokenizer,
+    par: Parallelism,
 ) -> Result<PlanParts, RelmError> {
     // Parse patterns into Natural Language Automata.
     let full_regex = Regex::compile(&query.query_string.pattern)?;
@@ -246,7 +313,7 @@ pub(crate) fn compile_parts(
         }
     }
 
-    let full_dfa = full_nfa.determinize().minimize();
+    let full_dfa = full_nfa.determinize_with(par).minimize();
     if full_dfa.is_empty_language() {
         return Err(RelmError::EmptyLanguage);
     }
@@ -254,11 +321,11 @@ pub(crate) fn compile_parts(
     let (body_dfa, prefix_nfa) = match prefix_nfa {
         None => (full_dfa, None),
         Some(p) => {
-            let prefix_dfa = p.determinize().minimize();
+            let prefix_dfa = p.determinize_with(par).minimize();
             if prefix_dfa.is_empty_language() {
                 return Err(RelmError::EmptyPrefixLanguage);
             }
-            let quotient = full_dfa.left_quotient(&prefix_dfa).minimize();
+            let quotient = full_dfa.left_quotient_with(&prefix_dfa, par).minimize();
             if quotient.is_empty_language() {
                 return Err(RelmError::InvalidQuery(
                     "prefix is not a prefix of the query language".into(),
@@ -269,11 +336,11 @@ pub(crate) fn compile_parts(
     };
     let body = match query.tokenization {
         TokenizationStrategy::All => CompiledAutomaton {
-            automaton: compile_full(&body_dfa, tokenizer),
+            automaton: compile_full_with(&body_dfa, tokenizer, par),
             needs_canonical_check: false,
         },
         TokenizationStrategy::Canonical => {
-            compile_canonical(&body_dfa, tokenizer, CanonicalLimits::default())
+            compile_canonical_with(&body_dfa, tokenizer, CanonicalLimits::default(), par)
         }
     };
 
@@ -281,9 +348,10 @@ pub(crate) fn compile_parts(
         None => None,
         Some(dfa) => {
             let compiled = match query.tokenization {
-                TokenizationStrategy::All => compile_full(&dfa, tokenizer),
+                TokenizationStrategy::All => compile_full_with(&dfa, tokenizer, par),
                 TokenizationStrategy::Canonical => {
-                    compile_canonical(&dfa, tokenizer, CanonicalLimits::default()).automaton
+                    compile_canonical_with(&dfa, tokenizer, CanonicalLimits::default(), par)
+                        .automaton
                 }
             };
             Some(compiled)
@@ -299,6 +367,7 @@ pub(crate) fn compile_parts(
         },
         deferred_filters,
         walk_table: Mutex::new(None),
+        prefix_shards: Mutex::new(None),
     })
 }
 
@@ -307,6 +376,7 @@ pub(crate) fn assemble_compiled(
     query: &SearchQuery,
     parts: Arc<PlanParts>,
     max_sequence_len: usize,
+    par: Parallelism,
 ) -> Result<CompiledQuery, RelmError> {
     let max_tokens = query
         .max_tokens
@@ -323,6 +393,7 @@ pub(crate) fn assemble_compiled(
         require_eos: query.require_eos,
         distinct_texts: query.distinct_texts,
         scoring: query.scoring,
+        parallelism: par,
     })
 }
 
@@ -331,9 +402,10 @@ pub(crate) fn compile_query(
     query: &SearchQuery,
     tokenizer: &BpeTokenizer,
     max_sequence_len: usize,
+    par: Parallelism,
 ) -> Result<CompiledQuery, RelmError> {
-    let parts = Arc::new(compile_parts(query, tokenizer)?);
-    assemble_compiled(query, parts, max_sequence_len)
+    let parts = Arc::new(compile_parts(query, tokenizer, par)?);
+    assemble_compiled(query, parts, max_sequence_len, par)
 }
 
 /// An executable, compiled ReLM query: the output of [`plan`] and the
@@ -431,7 +503,7 @@ pub fn plan(
     tokenizer: &BpeTokenizer,
     max_sequence_len: usize,
 ) -> Result<CompiledSearch, RelmError> {
-    let compiled = compile_query(query, tokenizer, max_sequence_len)?;
+    let compiled = compile_query(query, tokenizer, max_sequence_len, Parallelism::auto())?;
     Ok(CompiledSearch::from_query(
         query,
         compiled,
@@ -651,5 +723,84 @@ pub fn search<'a, M: LanguageModel>(
     {
         let compiled = plan(query, tokenizer, model.max_sequence_len())?;
         execute(model, tokenizer, &compiled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryString;
+
+    /// A query whose prefix token automaton is wide enough
+    /// (≥ [`WalkTable::PARALLEL_MIN_STATES`]) for the sharded walk-table
+    /// path to really build and memoize a prefix [`ShardIndex`].
+    fn wide_prefix_parts() -> PlanParts {
+        // Pseudo-random words: minimization cannot collapse the prefix
+        // trie below the sharding threshold.
+        let words = crate::test_lexicon(0x2545f4914f6cdd1d, 40, 8);
+        let corpus = words.join(" ");
+        let tokenizer = BpeTokenizer::train(&corpus, 40);
+        let prefix = words
+            .iter()
+            .map(|w| format!("({w})"))
+            .collect::<Vec<_>>()
+            .join("|");
+        let query = SearchQuery::new(
+            QueryString::new(format!("(({prefix})) end")).with_prefix(format!("({prefix})")),
+        )
+        .with_tokenization(crate::query::TokenizationStrategy::All);
+        compile_parts(&query, &tokenizer, Parallelism::Serial).unwrap()
+    }
+
+    #[test]
+    fn parallel_walk_table_memoizes_and_charges_the_shard_index() {
+        let parts = wide_prefix_parts();
+        let prefix_states = parts.prefix.as_ref().unwrap().state_count();
+        assert!(
+            prefix_states >= WalkTable::PARALLEL_MIN_STATES,
+            "fixture too small: {prefix_states} states"
+        );
+        let before = parts.estimated_bytes();
+        let table = parts.walk_table(16, Parallelism::sharded(4)).unwrap();
+        let after = parts.estimated_bytes();
+        let index = parts
+            .prefix_shards
+            .lock()
+            .as_ref()
+            .map(Arc::clone)
+            .expect("shard index memoized by the parallel build");
+        assert_eq!(index.shard_count(), 4);
+        assert!(
+            after >= before + table.estimated_bytes() + index.estimated_bytes(),
+            "estimated_bytes must charge table + shard index: {before} -> {after}"
+        );
+        // The sharded table is bit-identical to a serial build.
+        let serial_parts = wide_prefix_parts();
+        let serial_table = serial_parts.walk_table(16, Parallelism::Serial).unwrap();
+        let prefix = parts.prefix.as_ref().unwrap();
+        for budget in 0..=16 {
+            for state in 0..prefix.state_count() {
+                assert_eq!(
+                    table.count(state, budget).to_bits(),
+                    serial_table.count(state, budget).to_bits()
+                );
+            }
+        }
+        assert!(
+            serial_parts.prefix_shards.lock().is_none(),
+            "serial builds must not pay for an index"
+        );
+    }
+
+    #[test]
+    fn shard_index_is_rebuilt_only_on_worker_count_change() {
+        let parts = wide_prefix_parts();
+        let prefix = parts.prefix.as_ref().unwrap().clone();
+        let first = parts.prefix_shard_index(&prefix, 4);
+        let again = parts.prefix_shard_index(&prefix, 4);
+        assert!(Arc::ptr_eq(&first, &again), "same worker count: reuse");
+        let other = parts.prefix_shard_index(&prefix, 2);
+        assert_eq!(other.shard_count(), 2);
+        assert!(!Arc::ptr_eq(&first, &other));
     }
 }

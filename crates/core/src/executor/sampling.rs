@@ -66,7 +66,9 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
         seed: u64,
         max_attempts: usize,
     ) -> Self {
-        let walk_table = compiled.parts.walk_table(compiled.max_tokens);
+        let walk_table = compiled
+            .parts
+            .walk_table(compiled.max_tokens, compiled.parallelism);
         SamplingIter {
             engine,
             tokenizer,

@@ -31,9 +31,15 @@ use crate::executor::{
 };
 use crate::results::MatchResult;
 
-/// Cap on contexts speculatively scored per model call. The prefetch
-/// picks the *cheapest* frontier nodes — the ones Dijkstra pops next —
-/// so nearly every speculated context is consumed.
+/// Cap on contexts speculatively scored per model call **per worker**.
+/// The prefetch picks the *cheapest* frontier nodes — the ones Dijkstra
+/// pops next — so nearly every speculated context is consumed. Under a
+/// parallel setting the cap scales with the worker count
+/// ([`ShortestPathIter::frontier_cap`]): one `step()` then scores a
+/// whole frontier shard in a single engine batch, which the model's
+/// crossbeam fan-out spreads across cores. Scoring is pure, so the
+/// wider lookahead can never change which node is expanded or emitted —
+/// serial and sharded runs stay byte-identical.
 const MAX_FRONTIER_BATCH: usize = 8;
 
 /// Cap on heap entries scanned per prefetch. Bounds per-miss overhead
@@ -47,6 +53,12 @@ const FRONTIER_SCAN_LIMIT: usize = 512;
 /// on **every** round-robin rotation (one heap pop each), so its scan
 /// must stay cheap — the heap top region alone yields the next pops.
 const FRONTIER_TICK_SCAN_LIMIT: usize = 64;
+
+/// Cap on the worker-count multiplier applied to the frontier batch
+/// and scan bounds: the heap scan that selects the shard is serial, so
+/// its cost must stay bounded on many-core hosts even though the
+/// scoring it feeds parallelizes.
+const FRONTIER_THREADS_CAP: usize = 8;
 
 /// Total-ordered wrapper for heap costs (`−log p`, non-negative).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -169,6 +181,24 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
             && node.tokens.len() + 1 < self.engine.max_sequence_len()
     }
 
+    /// The frontier-shard width: how many of the cheapest frontier
+    /// contexts one step may feed into a single engine batch. Scales
+    /// with the configured worker count so multicore hosts fill wider
+    /// model batches per Dijkstra pop — but bounded: the selection scan
+    /// runs serially on the calling thread, and lookahead accuracy
+    /// decays past the first few dozen nodes, so a many-core host must
+    /// not inflate per-miss overhead linearly in its core count.
+    fn frontier_threads(&self) -> usize {
+        self.compiled
+            .parallelism
+            .threads()
+            .min(FRONTIER_THREADS_CAP)
+    }
+
+    fn frontier_cap(&self) -> usize {
+        MAX_FRONTIER_BATCH * self.frontier_threads()
+    }
+
     /// The contexts of the cheapest expandable frontier nodes — the ones
     /// Dijkstra pops (and therefore scores) next. Read-only: the heap is
     /// scanned, never mutated. Uncached contexts only, up to `limit`,
@@ -176,7 +206,7 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
     /// lookahead accuracy decays, and the internal prefetch uses the
     /// same bound.
     pub(crate) fn frontier_contexts(&self, limit: usize) -> Vec<Vec<TokenId>> {
-        let limit = limit.min(MAX_FRONTIER_BATCH);
+        let limit = limit.min(self.frontier_cap());
         if limit == 0
             || self.compiled.scoring == ScoringMode::Serial
             || self.stats.expansions >= self.max_expansions as u64
@@ -228,19 +258,23 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
         // O(scan × batch), both small constants). The scan is capped:
         // on huge heaps the candidates found early in the backing
         // vector — the nodes nearest the heap top — are good enough,
-        // and a full walk per miss would dominate the traversal.
+        // and a full walk per miss would dominate the traversal. The
+        // shard width (and, proportionally, the scan depth feeding it)
+        // scales with the worker count.
+        let cap = self.frontier_cap();
+        let scan = FRONTIER_SCAN_LIMIT * self.frontier_threads();
         let mut best: Vec<&Node> = Vec::new();
-        for rev in self.heap.iter().take(FRONTIER_SCAN_LIMIT) {
+        for rev in self.heap.iter().take(scan) {
             let node = &rev.0;
             if !self.expandable(node) {
                 continue;
             }
             let pos = best.partition_point(|n| n.cost <= node.cost);
-            if pos >= MAX_FRONTIER_BATCH - 1 {
+            if pos >= cap - 1 {
                 continue;
             }
             best.insert(pos, node);
-            best.truncate(MAX_FRONTIER_BATCH - 1);
+            best.truncate(cap - 1);
         }
         let mut batch: Vec<Vec<TokenId>> = vec![ctx];
         for node in best {

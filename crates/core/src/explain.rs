@@ -81,7 +81,12 @@ pub fn explain(
     tokenizer: &BpeTokenizer,
     max_sequence_len: usize,
 ) -> Result<QueryPlan, RelmError> {
-    let compiled = compile_query(query, tokenizer, max_sequence_len)?;
+    let compiled = compile_query(
+        query,
+        tokenizer,
+        max_sequence_len,
+        relm_automata::Parallelism::auto(),
+    )?;
     Ok(QueryPlan {
         prefix_machine: compiled.parts.prefix.as_ref().map(|p| MachineShape {
             states: p.state_count(),

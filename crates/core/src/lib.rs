@@ -72,8 +72,35 @@ pub use executor::{CompiledSearch, ExecutionStats, SearchResults};
 pub use explain::{explain, MachineShape, QueryPlan};
 pub use preprocess::{FilterPreprocessor, LevenshteinPreprocessor, Preprocessor};
 pub use query::{
-    PrefixSampling, QuerySet, QuerySpec, QueryString, SearchQuery, SearchStrategy,
+    PrefixSampling, QuerySet, QuerySpec, QueryString, SearchQuery, SearchStrategy, TickQuantum,
     TokenizationStrategy,
 };
+// The sharding knob lives in relm-automata (compilation is where the
+// shards run) but is configured through `SessionConfig`/`RelmBuilder`,
+// so it is re-exported as part of this crate's public surface.
+pub use relm_automata::Parallelism;
+
+/// Deterministic pseudo-random word fixtures shared by tests that need
+/// automata large enough to clear the sharding spawn gates: words with
+/// no common structure, so minimization cannot collapse them.
+#[cfg(test)]
+pub(crate) fn test_lexicon(seed: u64, words: usize, len: usize) -> Vec<String> {
+    let mut state = seed;
+    let mut out: Vec<String> = (0..words)
+        .map(|_| {
+            (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    char::from(b'a' + ((state >> 33) % 26) as u8)
+                })
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
 pub use results::MatchResult;
 pub use session::{RelmSession, SessionConfig, SessionStats, DEFAULT_PLAN_MEMO_BYTES};

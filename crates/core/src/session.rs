@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use relm_automata::Parallelism;
 use relm_bpe::BpeTokenizer;
 use relm_lm::{LanguageModel, ScoringEngine, SharedCacheStats, SharedScoringCache};
 
@@ -74,6 +75,15 @@ pub struct SessionConfig {
     /// dominate memory unnoticed. Plans larger than the whole budget
     /// are compiled but never memoized.
     pub plan_memo_bytes: usize,
+    /// Worker budget for sharded plan compilation (subset construction,
+    /// quotient determinization, the shortcut-edge vocabulary scan) and
+    /// the executors' frontier work. Defaults to one worker per
+    /// available core; [`Parallelism::Serial`] is the single-threaded
+    /// reference path. Results are **byte-identical** for every
+    /// setting — sharded builds merge deterministically — so this knob
+    /// trades wall-clock only, never answers, and is deliberately not
+    /// part of the plan-memo key.
+    pub parallelism: Parallelism,
 }
 
 impl SessionConfig {
@@ -83,6 +93,7 @@ impl SessionConfig {
             scoring_cache_bytes: relm_lm::DEFAULT_SHARED_CACHE_BYTES,
             plan_memo_capacity: 256,
             plan_memo_bytes: DEFAULT_PLAN_MEMO_BYTES,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -104,6 +115,13 @@ impl SessionConfig {
     #[must_use]
     pub fn with_plan_memo_bytes(mut self, bytes: usize) -> Self {
         self.plan_memo_bytes = bytes;
+        self
+    }
+
+    /// Set the worker budget for sharded compilation and frontier work.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -145,7 +163,10 @@ impl SessionStats {
 
 /// The compilation-relevant identity of a query. Execution flags
 /// (policy, strategy, seeds, caps) are deliberately absent: they are
-/// attached per-run and do not affect the automata. The pattern, prefix,
+/// attached per-run and do not affect the automata. The session's
+/// [`Parallelism`] is absent too: sharded compilation merges
+/// deterministically, so serial and sharded builds of the same query
+/// produce structurally identical automata and may share a memo entry. The pattern, prefix,
 /// and preprocessor configuration are stored **exactly** (the
 /// preprocessor list as its full structural encoding, not a hash), so a
 /// memo hit can never serve automata compiled from a different query;
@@ -449,12 +470,21 @@ impl<M: LanguageModel> RelmSession<M> {
             }
             None => {
                 self.plan_misses.fetch_add(1, Ordering::Relaxed);
-                let parts = Arc::new(compile_parts(query, &self.tokenizer)?);
+                let parts = Arc::new(compile_parts(
+                    query,
+                    &self.tokenizer,
+                    self.config.parallelism,
+                )?);
                 self.plans.lock().insert(key, Arc::clone(&parts));
                 parts
             }
         };
-        let compiled = assemble_compiled(query, parts, self.model.max_sequence_len())?;
+        let compiled = assemble_compiled(
+            query,
+            parts,
+            self.model.max_sequence_len(),
+            self.config.parallelism,
+        )?;
         Ok(CompiledSearch::from_query(
             query,
             compiled,

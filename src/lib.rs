@@ -45,8 +45,8 @@
 
 pub use relm_automata::{
     ascii_alphabet, byte_alphabet, concat, dfa_to_dot, levenshtein_within, nfa_to_dot,
-    prefix_closure, reverse, str_symbols, symbols_to_string, Dfa, Fst, Nfa, StateId, Symbol,
-    WalkChoice, WalkTable,
+    prefix_closure, reverse, str_symbols, symbols_to_string, Dfa, Fst, Nfa, Parallelism,
+    ShardIndex, ShardedDfa, StateId, Symbol, WalkChoice, WalkTable,
 };
 pub use relm_bpe::{pretokenize, BpeTokenizer, TokenId};
 pub use relm_core::{
@@ -54,7 +54,7 @@ pub use relm_core::{
     MachineShape, MatchResult, PrefixSampling, Preprocessor, QueryOutcome, QueryPlan, QuerySet,
     QuerySetReport, QuerySpec, QueryString, Relm, RelmBuilder, RelmError, RelmErrorKind,
     RelmSession, SearchQuery, SearchResults, SearchStrategy, SessionConfig, SessionStats,
-    TokenizationStrategy,
+    TickQuantum, TokenizationStrategy,
 };
 #[allow(deprecated)] // the legacy one-shot shims remain exported until removal
 pub use relm_core::{execute, plan, search};

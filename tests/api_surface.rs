@@ -79,6 +79,9 @@ fn facade_reexport_list_matches_snapshot() {
         "Dfa",
         "Fst",
         "Nfa",
+        "Parallelism",
+        "ShardIndex",
+        "ShardedDfa",
         "StateId",
         "Symbol",
         "WalkChoice",
@@ -115,6 +118,7 @@ fn facade_reexport_list_matches_snapshot() {
         "SearchStrategy",
         "SessionConfig",
         "SessionStats",
+        "TickQuantum",
         "TokenizationStrategy",
         // relm-core: deprecated one-shot shims (removal is a major)
         "execute",
