@@ -233,15 +233,20 @@ fn bench_engine_throughput(c: &mut Criterion) {
     );
     let ngram = &wb.xl;
     // Frontier-shaped workload: extensions of a handful of shared
-    // prefixes, with revisits.
+    // prefixes, with revisits. Rounds 1–3 repeat round 0's contexts
+    // *exactly* — the duplicate structure real traversals produce when
+    // they re-expand a shared prefix — so every row scores precisely
+    // the labeled stem × tail workload. (An earlier version instead
+    // truncated the last token on odd rounds, which silently scored a
+    // different context set than the labels claimed and made the
+    // engine-throughput rows incomparable across PRs.)
     let stems = ["see https://www", "see https://ww", "see https", "see", ""];
     let mut contexts: Vec<Vec<relm_bpe::TokenId>> = Vec::new();
-    for round in 0..4 {
+    for _round in 0..4 {
         for stem in &stems {
             for tail in ["", ".", "e", "x"] {
                 let mut ctx = vec![wb.xl.eos()];
                 ctx.extend(wb.tokenizer.encode(&format!("{stem}{tail}")));
-                ctx.truncate(ctx.len().saturating_sub(round % 2)); // revisit
                 contexts.push(ctx);
             }
         }
@@ -687,6 +692,131 @@ fn bench_sharding_compile_and_frontier(_c: &mut Criterion) {
     }
 }
 
+/// The serving tentpole: a live `RelmServer` driven by N concurrent
+/// protocol clients, each pipelining a mixed URL workload, vs one
+/// client doing strict sequential roundtrips of the same queries.
+/// Results are byte-identical either way (asserted in `tests/serve.rs`);
+/// these rows record the wall-clock per query and — the number the
+/// serving layer exists to move — the mean model-batch fill under
+/// concurrent admission, where different connections' frontiers
+/// coalesce into shared batches.
+fn bench_serve_concurrent(_c: &mut Criterion) {
+    use relm_serve::{
+        spawn, QueryRequest, RelmServer, Request, Response, ServeClient, ServerConfig, StrategySpec,
+    };
+    use std::time::Instant;
+
+    let clients = 4u64;
+    let url_requests = |base: u64, seed: u64| -> Vec<QueryRequest> {
+        vec![
+            QueryRequest::new(base, relm_bench::urls::URL_PATTERN, 3)
+                .with_prefix(relm_bench::urls::URL_PREFIX)
+                .with_top_k(40)
+                .with_max_tokens(20),
+            QueryRequest::new(base + 1, relm_bench::urls::URL_PATTERN, 3)
+                .with_prefix(relm_bench::urls::URL_PREFIX)
+                .with_strategy(StrategySpec::Beam { width: 16 })
+                .with_top_k(40)
+                .with_max_tokens(20),
+            QueryRequest::new(base + 2, relm_bench::urls::URL_PATTERN, 3)
+                .with_prefix(relm_bench::urls::URL_PREFIX)
+                .with_strategy(StrategySpec::Sampling { seed })
+                .with_top_k(40)
+                .with_max_tokens(20),
+        ]
+    };
+    let queries_per_client = url_requests(0, 0).len() as u64;
+    let total = clients * queries_per_client;
+    // Each phase gets its own *fresh* server (own plan memo, own
+    // scoring cache) so neither measures against the other's warmth.
+    // `Workbench::build` is deterministic, so both serve the same
+    // world; the server owns its model outright (`spawn` needs
+    // `'static`).
+    let fresh_server = || {
+        let wb = setup();
+        let client = relm_core::Relm::new(wb.xl, wb.tokenizer).expect("workbench pair is valid");
+        spawn(
+            RelmServer::with_config(client, ServerConfig::new()),
+            "127.0.0.1:0",
+        )
+        .expect("bind")
+    };
+
+    // Sequential baseline: same queries, one connection, strict
+    // roundtrips — no two queries ever in flight together.
+    let handle = fresh_server();
+    let addr = handle.addr();
+    let sequential_start = Instant::now();
+    {
+        let mut peer = ServeClient::connect(addr).expect("connect");
+        for t in 0..clients {
+            for request in url_requests(10 * t, 7 + t) {
+                match peer.roundtrip(&Request::Query(request)).expect("roundtrip") {
+                    Response::Matches { .. } => {}
+                    other => panic!("serve bench got {other:?}"),
+                }
+            }
+        }
+    }
+    let sequential_ns = sequential_start.elapsed().as_nanos() as f64 / total as f64;
+    let sequential_report = handle.stop().expect("server report");
+
+    // Concurrent phase: N connections, all queries pipelined, so the
+    // driver interleaves every live query through shared ticks.
+    let handle = fresh_server();
+    let addr = handle.addr();
+    let concurrent_start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..clients {
+            scope.spawn(move || {
+                let mut peer = ServeClient::connect(addr).expect("connect");
+                let requests = url_requests(10 * t, 7 + t);
+                for request in &requests {
+                    peer.send(&Request::Query(request.clone())).expect("send");
+                }
+                for _ in 0..requests.len() {
+                    match peer.recv().expect("recv") {
+                        Response::Matches { .. } => {}
+                        other => panic!("serve bench got {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let concurrent_ns = concurrent_start.elapsed().as_nanos() as f64 / total as f64;
+    let concurrent_report = handle.stop().expect("server report");
+    assert!(
+        concurrent_report.cross_query_batches > 0,
+        "concurrent serving must coalesce across queries: {concurrent_report:?}"
+    );
+
+    println!(
+        "[serve] {clients} clients x {queries_per_client} queries: mean batch fill {:.2} \
+         under concurrent admission vs {:.2} sequential ({} cross-query batches), \
+         {:.2} ms/query concurrent vs {:.2} ms/query sequential roundtrips; \
+         {} ticks run, {} skipped",
+        concurrent_report.mean_batch_fill,
+        sequential_report.mean_batch_fill,
+        concurrent_report.cross_query_batches,
+        concurrent_ns / 1e6,
+        sequential_ns / 1e6,
+        concurrent_report.ticks_run,
+        concurrent_report.ticks_skipped,
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"serve/concurrent_mixed\",\"mean_ns\":{concurrent_ns:.1},\
+         \"samples\":{total},\"clients\":{clients},\"mean_batch_fill\":{:.3},\
+         \"cross_query_batches\":{}}}",
+        concurrent_report.mean_batch_fill, concurrent_report.cross_query_batches
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"serve/sequential_roundtrips\",\"mean_ns\":{sequential_ns:.1},\
+         \"samples\":{total},\"clients\":1,\"mean_batch_fill\":{:.3},\
+         \"cross_query_batches\":{}}}",
+        sequential_report.mean_batch_fill, sequential_report.cross_query_batches
+    );
+}
+
 criterion_group!(
     benches,
     bench_first_match_latency,
@@ -696,6 +826,7 @@ criterion_group!(
     bench_engine_throughput,
     bench_session_warm_vs_cold,
     bench_client_run_many,
-    bench_sharding_compile_and_frontier
+    bench_sharding_compile_and_frontier,
+    bench_serve_concurrent
 );
 criterion_main!(benches);

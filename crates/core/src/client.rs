@@ -22,6 +22,7 @@
 //! The legacy free functions (`search`/`plan`/`execute`) remain as
 //! deprecated one-shot shims; new code should hold a client.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,7 +31,7 @@ use relm_bpe::{BpeTokenizer, TokenId};
 use relm_lm::{LanguageModel, ScoringEngine, ScoringMode, ScoringStats, SharedScoringCache};
 
 use crate::executor::{CompiledSearch, ExecutionStats, SearchResults, StepOutcome};
-use crate::query::{QuerySet, SearchQuery, TickQuantum};
+use crate::query::{QueryId, QuerySet, SearchQuery, TickQuantum};
 use crate::results::MatchResult;
 use crate::session::{RelmSession, SessionConfig, SessionStats};
 use crate::RelmError;
@@ -159,12 +160,330 @@ impl QuerySetReport {
     }
 }
 
-/// One in-flight execution of the `run_many` driver.
-struct Live<'a, M: LanguageModel> {
+/// A completion notification from a [`QueryDriver`]: the admitted
+/// query's id plus everything it produced. Returned by
+/// [`QueryDriver::tick`] — the driver invokes no user code mid-tick, so
+/// a caller (the serving layer's admission loop) routes completions to
+/// their submitters itself.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct QueryCompletion {
+    /// The id [`QueryDriver::admit`] returned for this query.
+    pub id: QueryId,
+    /// The query's matches and counters, exactly as [`Relm::run_many`]
+    /// would report them.
+    pub outcome: QueryOutcome,
+}
+
+/// One in-flight execution inside a [`QueryDriver`].
+struct DriverSlot<'a, M: LanguageModel> {
+    id: QueryId,
     results: SearchResults<'a, M>,
     matches: Vec<MatchResult>,
     limit: usize,
+    /// Serial-contract query: stepped in the rotation but never feeding
+    /// or reading the shared coalescing batches.
+    serial: bool,
     done: bool,
+}
+
+/// The open-world multi-query driver: the admission loop behind
+/// [`Relm::run_many`] and the serving layer.
+///
+/// [`Relm::run_many`] executes a *closed* batch — every query is known
+/// up front and the call returns when all finish. A server cannot work
+/// that way: requests arrive while others are mid-flight, and a client
+/// may disconnect mid-query. `QueryDriver` is the same coalescing
+/// engine with the batch opened up:
+///
+/// * [`QueryDriver::admit`] adds a query **at any time** — including
+///   between ticks while other queries are mid-traversal. The newcomer
+///   simply joins the rotation and the next coalescing tick absorbs its
+///   frontier into the shared batches.
+/// * [`QueryDriver::tick`] advances every live query one bounded step
+///   (after one coalescing tick over their combined frontiers) and
+///   returns the completion notifications for queries that finished.
+/// * [`QueryDriver::cancel`] drops a query mid-flight (a disconnected
+///   client); its work so far is discarded, its cache warmth remains.
+///
+/// **Determinism:** scoring is pure and memoized, so neither the
+/// coalesced batches nor the rotation order can change any traversal
+/// decision — every query's matches are byte-identical (f64 bits
+/// included) to running it alone, *no matter when it was admitted*.
+/// `tests/serve.rs` enforces this for mid-flight admission explicitly.
+///
+/// # Example
+///
+/// ```
+/// use relm_bpe::BpeTokenizer;
+/// use relm_core::{QueryString, Relm, SearchQuery};
+/// use relm_lm::{NGramConfig, NGramLm};
+///
+/// let corpus = "the cat sat on the mat. the dog sat on the log.";
+/// let tokenizer = BpeTokenizer::train(corpus, 60);
+/// let model = NGramLm::train(
+///     &tokenizer,
+///     &["the cat sat on the mat", "the dog sat on the log"],
+///     NGramConfig::xl(),
+/// );
+/// let client = Relm::builder(model, tokenizer).build()?;
+/// let mut driver = client.driver();
+/// let first = driver.admit(&SearchQuery::new(QueryString::new("the cat sat")), 1)?;
+/// let mut done = Vec::new();
+/// while !driver.is_idle() {
+///     done.extend(driver.tick());
+///     // ... a server would accept new connections here and `admit`
+///     // their queries mid-flight ...
+/// }
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].id, first);
+/// assert_eq!(done[0].outcome.matches[0].text, "the cat sat");
+/// # Ok::<(), relm_core::RelmError>(())
+/// ```
+pub struct QueryDriver<'a, M: LanguageModel> {
+    session: &'a RelmSession<M>,
+    /// The one engine every batched execution admitted to this driver
+    /// scores through. `Arc`, not a borrow: the executions live inside
+    /// the driver too, and safe Rust cannot hold both a field and a
+    /// borrow of a sibling field.
+    engine: Arc<ScoringEngine<&'a M>>,
+    slots: Vec<DriverSlot<'a, M>>,
+    next_id: u64,
+    quantum: TickQuantum,
+    ticks_run: u64,
+    ticks_skipped: u64,
+    gather_nanos: u128,
+    scoring_nanos: u128,
+    ticks_unprofitable: bool,
+    admitted: u64,
+    completed: u64,
+    cancelled: u64,
+}
+
+impl<'a, M: LanguageModel> QueryDriver<'a, M> {
+    fn new(session: &'a RelmSession<M>, quantum: TickQuantum) -> Self {
+        QueryDriver {
+            session,
+            engine: Arc::new(ScoringEngine::with_shared_cache(
+                session.model(),
+                ScoringMode::Batched,
+                Arc::clone(session.scoring_cache()),
+            )),
+            slots: Vec::new(),
+            next_id: 0,
+            quantum,
+            ticks_run: 0,
+            ticks_skipped: 0,
+            gather_nanos: 0,
+            scoring_nanos: 0,
+            ticks_unprofitable: false,
+            admitted: 0,
+            completed: 0,
+            cancelled: 0,
+        }
+    }
+
+    /// Set the coalescing-tick policy (default [`TickQuantum::Adaptive`]).
+    #[must_use]
+    pub fn with_tick_quantum(mut self, quantum: TickQuantum) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Admit a query, collecting up to `max_results` matches. The query
+    /// may join **mid-flight** — between any two ticks — and its results
+    /// stay byte-identical to a solo run.
+    ///
+    /// # Errors
+    ///
+    /// The same planning errors as [`Relm::plan`]; nothing is admitted
+    /// on error.
+    pub fn admit(&mut self, query: &SearchQuery, max_results: usize) -> Result<QueryId, RelmError> {
+        let plan = self.session.plan(query)?;
+        self.admit_plan(&plan, max_results)
+    }
+
+    /// Admit an already-compiled plan (serving layers that memoize plans
+    /// per route skip re-planning).
+    ///
+    /// # Errors
+    ///
+    /// The same compatibility errors as [`Relm::execute`].
+    pub fn admit_plan(
+        &mut self,
+        plan: &CompiledSearch,
+        max_results: usize,
+    ) -> Result<QueryId, RelmError> {
+        let serial = plan.scoring_mode() == ScoringMode::Serial;
+        let results = if serial {
+            // Serial contract: a private engine, no coalescing.
+            self.session.execute(plan)?
+        } else {
+            self.session.execute_pooled(&self.engine, plan)?
+        };
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.admitted += 1;
+        self.slots.push(DriverSlot {
+            id,
+            results,
+            matches: Vec::new(),
+            limit: max_results,
+            serial,
+            done: max_results == 0,
+        });
+        Ok(id)
+    }
+
+    /// Drop an admitted query mid-flight (its submitter went away).
+    /// Returns `false` if the id already completed or was cancelled.
+    /// The query's traversal state is discarded; any scores it warmed in
+    /// the shared cache stay warm for everyone else.
+    pub fn cancel(&mut self, id: QueryId) -> bool {
+        let before = self.slots.len();
+        self.slots.retain(|slot| slot.id != id);
+        let removed = self.slots.len() < before;
+        if removed {
+            self.cancelled += 1;
+        }
+        removed
+    }
+
+    /// Queries admitted but not yet completed or cancelled.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no admitted query remains — `tick` would be a no-op.
+    pub fn is_idle(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Lifetime counters: `(admitted, completed, cancelled)`.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.admitted, self.completed, self.cancelled)
+    }
+
+    /// Coalescing-tick counters: `(run, skipped)`.
+    pub fn tick_counts(&self) -> (u64, u64) {
+        (self.ticks_run, self.ticks_skipped)
+    }
+
+    /// The shared engine's scoring counters (pooled across every batched
+    /// query this driver ran).
+    pub fn scoring(&self) -> ScoringStats {
+        self.engine.stats()
+    }
+
+    /// One driver rotation: a coalescing tick over every live frontier
+    /// (when two or more batched queries are in flight and the
+    /// [`TickQuantum`] allows), then one bounded step of every live
+    /// query. Returns the completion notifications for queries that
+    /// finished during this rotation — the callback boundary a serving
+    /// loop routes back to its connections.
+    pub fn tick(&mut self) -> Vec<QueryCompletion> {
+        if self.slots.is_empty() {
+            return Vec::new();
+        }
+
+        // Phase 1: the coalescing tick. Only worth an engine call while
+        // two or more batched executions are in flight — a lone query
+        // already batches internally, and serial queries never
+        // participate. See `TickQuantum` for the adaptive policy; the
+        // accounting mirrors the closed-batch driver this generalizes.
+        let batched_live = self
+            .slots
+            .iter()
+            .filter(|slot| !slot.done && !slot.serial)
+            .count();
+        if batched_live >= 2 && self.quantum != TickQuantum::Never {
+            if self.ticks_unprofitable {
+                self.ticks_skipped += 1;
+            } else {
+                let gather_start = Instant::now();
+                let mut batch: Vec<Vec<TokenId>> = Vec::new();
+                let mut seen: std::collections::HashSet<Vec<TokenId>> =
+                    std::collections::HashSet::new();
+                let mut sources = 0usize;
+                for slot in self.slots.iter_mut().filter(|s| !s.done && !s.serial) {
+                    let frontier = slot.results.frontier_contexts(COALESCE_LOOKAHEAD);
+                    if !frontier.is_empty() {
+                        // A query whose frontier duplicates another's is
+                        // still a source: the batch serves both (that
+                        // overlap IS the sharing).
+                        sources += 1;
+                    }
+                    for ctx in frontier {
+                        if seen.insert(ctx.clone()) {
+                            batch.push(ctx);
+                        }
+                    }
+                }
+                self.gather_nanos += gather_start.elapsed().as_nanos();
+                if !batch.is_empty() {
+                    let refs: Vec<&[TokenId]> = batch.iter().map(Vec::as_slice).collect();
+                    let scoring_start = Instant::now();
+                    let _ = self.engine.score_batch_coalesced(&refs, sources);
+                    self.scoring_nanos += scoring_start.elapsed().as_nanos();
+                }
+                self.ticks_run += 1;
+                if self.quantum == TickQuantum::Adaptive
+                    && self.ticks_run >= ADAPTIVE_TICK_WARMUP
+                    && self.scoring_nanos < self.gather_nanos
+                {
+                    // Sticky decision: the model has shown itself cheaper
+                    // than the tick machinery, so stop paying for ticks
+                    // (exposed via `ExecutionStats::coalesce_ticks_skipped`).
+                    self.ticks_unprofitable = true;
+                }
+            }
+        }
+
+        // Phase 2: round-robin stepping, in admission order.
+        for slot in self.slots.iter_mut() {
+            if slot.done {
+                continue;
+            }
+            match slot.results.step() {
+                StepOutcome::Match(m) => {
+                    slot.matches.push(m);
+                    if slot.matches.len() >= slot.limit {
+                        slot.done = true;
+                    }
+                }
+                StepOutcome::Working => {}
+                StepOutcome::Done => slot.done = true,
+            }
+        }
+
+        // Sweep: emit completions and free their slots. The common tick
+        // completes nothing — skip the rebuild (and its allocation)
+        // entirely on that path; a server ticks continuously.
+        if !self.slots.iter().any(|slot| slot.done) {
+            return Vec::new();
+        }
+        let mut completions = Vec::new();
+        let mut kept = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.drain(..) {
+            if slot.done {
+                self.completed += 1;
+                let mut stats = slot.results.stats();
+                stats.coalesce_ticks = self.ticks_run;
+                stats.coalesce_ticks_skipped = self.ticks_skipped;
+                completions.push(QueryCompletion {
+                    id: slot.id,
+                    outcome: QueryOutcome {
+                        stats,
+                        matches: slot.matches,
+                    },
+                });
+            } else {
+                kept.push(slot);
+            }
+        }
+        self.slots = kept;
+        completions
+    }
 }
 
 /// The ReLM client: one handle owning model, tokenizer, session
@@ -328,148 +647,58 @@ impl<M: LanguageModel> Relm<M> {
     /// If any query fails to plan, the whole set fails with the first
     /// error in submission order and nothing executes.
     pub fn run_many(&self, set: &QuerySet) -> Result<QuerySetReport, RelmError> {
+        // Plan everything first: a closed batch fails atomically on the
+        // first bad query, before any execution state exists.
         let plans: Vec<CompiledSearch> = set
             .specs()
             .iter()
             .map(|spec| self.session.plan(&spec.query))
             .collect::<Result<_, _>>()?;
 
-        // The one engine every batched execution of the set scores
-        // through (declared before `lives` so it outlives them).
-        let engine = ScoringEngine::with_shared_cache(
-            self.session.model(),
-            ScoringMode::Batched,
-            Arc::clone(self.session.scoring_cache()),
-        );
-        let mut lives: Vec<Live<'_, M>> = Vec::with_capacity(plans.len());
+        let mut driver = QueryDriver::new(&self.session, set.tick_quantum());
+        let mut ids = Vec::with_capacity(plans.len());
         for (spec, plan) in set.specs().iter().zip(&plans) {
-            let results = if spec.query.scoring == ScoringMode::Serial {
-                // Serial contract: a private engine, no coalescing.
-                self.session.execute(plan)?
-            } else {
-                self.session.execute_shared(&engine, plan)?
-            };
-            lives.push(Live {
-                results,
-                matches: Vec::new(),
-                limit: spec.max_results,
-                done: spec.max_results == 0,
-            });
+            ids.push(driver.admit_plan(plan, spec.max_results)?);
         }
 
-        // Adaptive tick-quantum state: the driver measures what each
-        // tick costs to *assemble* (gather + dedup — pure overhead) and
-        // what it spends *scoring* (model work the executors would do
-        // anyway, front-loaded into a shared batch). When the measured
-        // scoring cost stays below the assembly overhead, coalescing
-        // cannot win wall-clock — the model is too cheap — so Adaptive
-        // stops ticking after the warmup. Skipping is safe by
-        // construction: scoring is pure and executors score their own
-        // frontiers on demand, so only the batch schedule changes,
-        // never a result.
-        let quantum = set.tick_quantum();
-        let mut ticks_run = 0u64;
-        let mut ticks_skipped = 0u64;
-        let mut gather_nanos: u128 = 0;
-        let mut scoring_nanos: u128 = 0;
-        let mut ticks_unprofitable = false;
-
-        loop {
-            // Phase 1: the coalescing tick. Only worth an engine call
-            // while two or more batched executions are in flight — a
-            // lone query already batches internally, and serial queries
-            // never participate.
-            let batched_live = set
-                .specs()
-                .iter()
-                .zip(&lives)
-                .filter(|(spec, live)| !live.done && spec.query.scoring != ScoringMode::Serial)
-                .count();
-            if batched_live >= 2 && quantum != TickQuantum::Never {
-                if ticks_unprofitable {
-                    ticks_skipped += 1;
-                } else {
-                    let gather_start = Instant::now();
-                    let mut batch: Vec<Vec<TokenId>> = Vec::new();
-                    let mut seen: std::collections::HashSet<Vec<TokenId>> =
-                        std::collections::HashSet::new();
-                    let mut sources = 0usize;
-                    for live in lives.iter_mut().filter(|l| !l.done) {
-                        let frontier = live.results.frontier_contexts(COALESCE_LOOKAHEAD);
-                        if !frontier.is_empty() {
-                            // A query whose frontier duplicates another's is
-                            // still a source: the batch serves both (that
-                            // overlap IS the sharing).
-                            sources += 1;
-                        }
-                        for ctx in frontier {
-                            if seen.insert(ctx.clone()) {
-                                batch.push(ctx);
-                            }
-                        }
-                    }
-                    gather_nanos += gather_start.elapsed().as_nanos();
-                    if !batch.is_empty() {
-                        let refs: Vec<&[TokenId]> = batch.iter().map(Vec::as_slice).collect();
-                        let scoring_start = Instant::now();
-                        let _ = engine.score_batch_coalesced(&refs, sources);
-                        scoring_nanos += scoring_start.elapsed().as_nanos();
-                    }
-                    ticks_run += 1;
-                    if quantum == TickQuantum::Adaptive
-                        && ticks_run >= ADAPTIVE_TICK_WARMUP
-                        && scoring_nanos < gather_nanos
-                    {
-                        // Sticky decision: the model has shown itself
-                        // cheaper than the tick machinery, so stop
-                        // paying for ticks (exposed via
-                        // `ExecutionStats::coalesce_ticks_skipped`).
-                        ticks_unprofitable = true;
-                    }
-                }
-            }
-
-            // Phase 2: round-robin stepping.
-            let mut any_live = false;
-            for live in lives.iter_mut() {
-                if live.done {
-                    continue;
-                }
-                any_live = true;
-                match live.results.step() {
-                    StepOutcome::Match(m) => {
-                        live.matches.push(m);
-                        if live.matches.len() >= live.limit {
-                            live.done = true;
-                        }
-                    }
-                    StepOutcome::Working => {}
-                    StepOutcome::Done => live.done = true,
-                }
-            }
-            if !any_live {
-                break;
+        let mut by_id: HashMap<QueryId, QueryOutcome> = HashMap::with_capacity(ids.len());
+        while !driver.is_idle() {
+            for completion in driver.tick() {
+                by_id.insert(completion.id, completion.outcome);
             }
         }
 
-        let outcomes = lives
+        // The tick counters are driver-wide; stamping the final totals
+        // on every outcome keeps ExecutionStats self-contained and
+        // identical across the set (queries that completed early would
+        // otherwise report a snapshot).
+        let (ticks_run, ticks_skipped) = driver.tick_counts();
+        let outcomes = ids
             .into_iter()
-            .map(|live| {
-                // The tick counters are driver-wide; stamping them on
-                // every outcome keeps ExecutionStats self-contained.
-                let mut stats = live.results.stats();
-                stats.coalesce_ticks = ticks_run;
-                stats.coalesce_ticks_skipped = ticks_skipped;
-                QueryOutcome {
-                    stats,
-                    matches: live.matches,
-                }
+            .map(|id| {
+                let mut outcome = by_id
+                    .remove(&id)
+                    .expect("every admitted query of a closed set completes");
+                outcome.stats.coalesce_ticks = ticks_run;
+                outcome.stats.coalesce_ticks_skipped = ticks_skipped;
+                outcome
             })
             .collect();
         Ok(QuerySetReport {
             outcomes,
-            scoring: engine.stats(),
+            scoring: driver.scoring(),
         })
+    }
+
+    /// An open-world multi-query driver over this client — the admission
+    /// loop behind the serving layer. Where [`Self::run_many`] executes
+    /// a closed batch, a [`QueryDriver`] accepts queries **while others
+    /// are mid-flight** ([`QueryDriver::admit`]), cancels them
+    /// ([`QueryDriver::cancel`]), and reports completions from each
+    /// [`QueryDriver::tick`] — all through the same coalescing engine,
+    /// with per-query results byte-identical to solo execution.
+    pub fn driver(&self) -> QueryDriver<'_, M> {
+        QueryDriver::new(&self.session, TickQuantum::default())
     }
 
     /// Aggregated reuse counters (plan memo + shared scoring cache).
@@ -621,6 +850,71 @@ mod tests {
         let set = QuerySet::new().with_query(SearchQuery::new(QueryString::new("the cat")), 0);
         let report = client.run_many(&set).unwrap();
         assert!(report.outcomes[0].matches.is_empty());
+    }
+
+    /// `(text, score bits)` — the identity currency of driver tests.
+    fn bits(matches: &[MatchResult]) -> Vec<(String, u64)> {
+        matches
+            .iter()
+            .map(|m| (m.text.clone(), m.log_prob.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn driver_admits_mid_flight_with_byte_identical_results() {
+        let (tok, lm) = fixture();
+        let client = Relm::new(lm, tok).unwrap();
+        let early = SearchQuery::new(QueryString::new("the ((cat)|(dog)|(cow)) ((sat)|(ate))"));
+        let late = SearchQuery::new(QueryString::new("the cow ate the grass"))
+            .with_strategy(SearchStrategy::Beam { width: 8 });
+        let solo_early: Vec<_> = client.search(&early).unwrap().take(3).collect();
+        let solo_late: Vec<_> = client.search(&late).unwrap().take(1).collect();
+
+        let mut driver = client.driver();
+        let early_id = driver.admit(&early, 3).unwrap();
+        // Let the first query get genuinely mid-flight...
+        let mut completions = Vec::new();
+        for _ in 0..3 {
+            completions.extend(driver.tick());
+        }
+        assert_eq!(driver.in_flight(), 1, "early query still live");
+        // ...then admit a newcomer into the running rotation.
+        let late_id = driver.admit(&late, 1).unwrap();
+        while !driver.is_idle() {
+            completions.extend(driver.tick());
+        }
+        let (admitted, completed, cancelled) = driver.counts();
+        assert_eq!((admitted, completed, cancelled), (2, 2, 0));
+        let by_id: HashMap<QueryId, QueryOutcome> =
+            completions.into_iter().map(|c| (c.id, c.outcome)).collect();
+        assert_eq!(bits(&by_id[&early_id].matches), bits(&solo_early));
+        assert_eq!(bits(&by_id[&late_id].matches), bits(&solo_late));
+    }
+
+    #[test]
+    fn driver_cancel_drops_a_live_query() {
+        let (tok, lm) = fixture();
+        let client = Relm::new(lm, tok).unwrap();
+        let mut driver = client.driver();
+        let slow = driver
+            .admit(
+                &SearchQuery::new(QueryString::new("the ((cat)|(dog)|(cow)) ((sat)|(ate))")),
+                1_000,
+            )
+            .unwrap();
+        let fast = driver
+            .admit(&SearchQuery::new(QueryString::new("the cow ate")), 1)
+            .unwrap();
+        let _ = driver.tick();
+        assert!(driver.cancel(slow), "live query cancels");
+        assert!(!driver.cancel(slow), "second cancel is a no-op");
+        let mut completions = Vec::new();
+        while !driver.is_idle() {
+            completions.extend(driver.tick());
+        }
+        assert_eq!(completions.len(), 1, "cancelled query never completes");
+        assert_eq!(completions[0].id, fast);
+        assert_eq!(driver.counts(), (2, 1, 1));
     }
 
     #[test]

@@ -45,21 +45,24 @@ pub(crate) use sampling::SamplingIter;
 pub(crate) use shortest::ShortestPathIter;
 
 /// The scoring back end of one executing search: either an engine this
-/// execution owns outright (the classic per-query path), or a borrowed
-/// engine **shared with other in-flight executions** — the boundary that
-/// lets [`crate::Relm::run_many`]'s interleaving driver pump several
-/// [`CompiledSearch`] executions through one engine tick so their
-/// scoring requests coalesce into shared batches.
+/// execution owns outright (the classic per-query path), or a handle on
+/// an engine **shared with other in-flight executions** — the boundary
+/// that lets [`crate::QueryDriver`] (and [`crate::Relm::run_many`] on
+/// top of it) pump several [`CompiledSearch`] executions through one
+/// engine tick so their scoring requests coalesce into shared batches.
+/// The shared arm is an `Arc`, not a borrow, because the driver owns
+/// both the engine and the executions: queries join and leave while the
+/// driver lives, so their engine handle must not borrow from it.
 ///
 /// `Deref`s to the engine, so executor code is identical either way.
 #[derive(Debug)]
 pub(crate) enum EngineHandle<'a, M: LanguageModel> {
     /// An engine private to this execution (boxed: the engine is ~240
-    /// bytes of counters and cache handle, the shared arm one pointer).
+    /// bytes of counters and cache handle, the pooled arm one pointer).
     Owned(Box<ScoringEngine<&'a M>>),
-    /// An engine owned by a multi-query driver and shared across the
-    /// executions of one query set (its counters pool across them).
-    Shared(&'a ScoringEngine<&'a M>),
+    /// An engine owned by a multi-query driver and shared across every
+    /// execution admitted to it (its counters pool across them).
+    Pooled(Arc<ScoringEngine<&'a M>>),
 }
 
 impl<'a, M: LanguageModel> std::ops::Deref for EngineHandle<'a, M> {
@@ -68,7 +71,7 @@ impl<'a, M: LanguageModel> std::ops::Deref for EngineHandle<'a, M> {
     fn deref(&self) -> &Self::Target {
         match self {
             EngineHandle::Owned(engine) => engine,
-            EngineHandle::Shared(engine) => engine,
+            EngineHandle::Pooled(engine) => engine,
         }
     }
 }
@@ -472,6 +475,12 @@ impl CompiledSearch {
     /// The traversal strategy this plan executes.
     pub fn strategy(&self) -> SearchStrategy {
         self.strategy
+    }
+
+    /// How executions of this plan service model calls (batched through
+    /// the shared engine, or the serial reference contract).
+    pub fn scoring_mode(&self) -> ScoringMode {
+        self.compiled.scoring
     }
 
     /// States in the body (suffix) token automaton.

@@ -64,7 +64,7 @@ mod query;
 mod results;
 mod session;
 
-pub use client::{QueryOutcome, QuerySetReport, Relm, RelmBuilder};
+pub use client::{QueryCompletion, QueryDriver, QueryOutcome, QuerySetReport, Relm, RelmBuilder};
 pub use error::{RelmError, RelmErrorKind};
 #[allow(deprecated)] // the legacy shims remain exported until removal
 pub use executor::{execute, plan, search};
@@ -72,8 +72,8 @@ pub use executor::{CompiledSearch, ExecutionStats, SearchResults};
 pub use explain::{explain, MachineShape, QueryPlan};
 pub use preprocess::{FilterPreprocessor, LevenshteinPreprocessor, Preprocessor};
 pub use query::{
-    PrefixSampling, QuerySet, QuerySpec, QueryString, SearchQuery, SearchStrategy, TickQuantum,
-    TokenizationStrategy,
+    PrefixSampling, QueryId, QuerySet, QuerySpec, QueryString, SearchQuery, SearchStrategy,
+    TickQuantum, TokenizationStrategy,
 };
 // The sharding knob lives in relm-automata (compilation is where the
 // shards run) but is configured through `SessionConfig`/`RelmBuilder`,

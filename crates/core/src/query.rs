@@ -232,6 +232,27 @@ impl SearchQuery {
     }
 }
 
+/// Stable identity of one query admitted to a [`crate::QueryDriver`] —
+/// the handle an open-world driver (the serving layer's admission loop)
+/// uses to route completions back to their submitter and to cancel a
+/// query whose client went away. Ids are unique within one driver and
+/// never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub(crate) u64);
+
+impl QueryId {
+    /// The raw id (unique within its driver).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
 /// One query of a [`QuerySet`]: the query plus how many matches
 /// [`crate::Relm::run_many`] should collect from it. The cap is
 /// mandatory because sampling streams never terminate on their own — it

@@ -146,6 +146,13 @@ pub struct SessionStats {
     pub plan_evictions: u64,
     /// Estimated resident bytes of the memoized plans (a gauge).
     pub plan_bytes: usize,
+    /// Plan-memo inconsistencies healed on contact instead of panicking —
+    /// partial state left behind when a thread panicked mid-update and
+    /// the memo's poisoned lock was recovered. Each one cost a single
+    /// recompilation; before the recovery path it was a process-killing
+    /// panic in a long-lived server. (The scoring-cache analogue is
+    /// [`SharedCacheStats::recoveries`] under [`Self::scoring`].)
+    pub plan_recoveries: u64,
     /// Shared scoring-cache counters (hits/misses span queries).
     pub scoring: SharedCacheStats,
 }
@@ -238,6 +245,10 @@ struct PlanMemo {
     free: Vec<usize>,
     hand: usize,
     evictions: u64,
+    /// Map/ring inconsistencies healed on contact instead of panicking
+    /// (partial state left by a thread that panicked mid-update, surfaced
+    /// when the memo's poisoned lock is recovered; see [`PlanMemo::get`]).
+    recoveries: u64,
 }
 
 impl PlanMemo {
@@ -251,6 +262,7 @@ impl PlanMemo {
             free: Vec::new(),
             hand: 0,
             evictions: 0,
+            recoveries: 0,
         }
     }
 
@@ -266,10 +278,27 @@ impl PlanMemo {
 
     fn get(&mut self, key: &PlanKey) -> Option<Arc<PlanParts>> {
         let slot = *self.map.get(key)?;
-        let (parts, old_cost) = {
-            let entry = self.slots[slot].as_mut().expect("mapped slot is live");
-            entry.referenced = true;
-            (Arc::clone(&entry.parts), entry.cost)
+        // A mapping that points at an empty slot is partial state left by
+        // a thread that panicked mid-update (surfaced when the memo's
+        // poisoned lock is recovered). Heal it and report a miss — one
+        // recompilation — instead of panicking, which behind the shared
+        // lock would kill every later query of a long-lived server.
+        let (parts, old_cost) = match self.slots.get_mut(slot).and_then(Option::as_mut) {
+            Some(entry) => {
+                entry.referenced = true;
+                (Arc::clone(&entry.parts), entry.cost)
+            }
+            None => {
+                self.map.remove(key);
+                // Return the orphaned slot to the free list (when it was
+                // a real ring slot) so repeated recoveries cannot grow
+                // the ring without bound.
+                if slot < self.slots.len() && !self.free.contains(&slot) {
+                    self.free.push(slot);
+                }
+                self.recoveries += 1;
+                return None;
+            }
         };
         // Re-cost on every hit: execute-time artifacts (the memoized
         // walk table) materialize *after* insert, so the byte gauge
@@ -279,12 +308,13 @@ impl PlanMemo {
         // and the returned `Arc` stays valid even if it is evicted.
         let new_cost = Self::cost_of(key, &parts);
         if new_cost != old_cost {
-            let entry = self.slots[slot].as_mut().expect("mapped slot is live");
-            entry.cost = new_cost;
-            self.bytes = self.bytes - old_cost + new_cost;
-            while self.bytes > self.max_bytes {
-                if !self.evict_one() {
-                    break;
+            if let Some(entry) = self.slots[slot].as_mut() {
+                entry.cost = new_cost;
+                self.bytes = self.bytes - old_cost + new_cost;
+                while self.bytes > self.max_bytes {
+                    if !self.evict_one() {
+                        break;
+                    }
                 }
             }
         }
@@ -518,28 +548,33 @@ impl<M: LanguageModel> RelmSession<M> {
         )
     }
 
-    /// Execute a compiled plan through an engine owned by the caller —
-    /// the back end of [`crate::Relm::run_many`]'s interleaving driver,
-    /// which builds **one** engine over this session's shared cache and
-    /// pumps every execution of a query set through it so their scoring
-    /// batches coalesce.
+    /// Execute a compiled plan through an engine pooled by a caller —
+    /// the back end of [`crate::QueryDriver`] (and therefore of
+    /// [`crate::Relm::run_many`] and the serving layer), which builds
+    /// **one** engine over this session's shared cache and pumps every
+    /// execution admitted to it through that engine so their scoring
+    /// batches coalesce. The engine handle is an `Arc` because admitted
+    /// executions outlive no one — queries join and leave while the
+    /// driver (which also owns the engine) stays live.
     ///
     /// # Errors
     ///
     /// The same compatibility errors as [`Self::execute`].
-    pub(crate) fn execute_shared<'a>(
+    pub(crate) fn execute_pooled<'a>(
         &'a self,
-        engine: &'a ScoringEngine<&'a M>,
+        engine: &Arc<ScoringEngine<&'a M>>,
         plan: &CompiledSearch,
     ) -> Result<SearchResults<'a, M>, RelmError> {
         plan.check_compatible(self.tokenizer_fingerprint, self.model.max_sequence_len())?;
-        Ok(
-            execute_with_engine(EngineHandle::Shared(engine), &self.tokenizer, plan)
-                .with_plan_counters(
-                    self.plan_hits.load(Ordering::Relaxed),
-                    self.plan_misses.load(Ordering::Relaxed),
-                ),
+        Ok(execute_with_engine(
+            EngineHandle::Pooled(Arc::clone(engine)),
+            &self.tokenizer,
+            plan,
         )
+        .with_plan_counters(
+            self.plan_hits.load(Ordering::Relaxed),
+            self.plan_misses.load(Ordering::Relaxed),
+        ))
     }
 
     /// Plan and execute in one call — the session-aware equivalent of
@@ -603,9 +638,9 @@ impl<M: LanguageModel> RelmSession<M> {
 
     /// Snapshot of the session's reuse counters.
     pub fn stats(&self) -> SessionStats {
-        let (plan_entries, plan_evictions, plan_bytes) = {
+        let (plan_entries, plan_evictions, plan_bytes, plan_recoveries) = {
             let plans = self.plans.lock();
-            (plans.len(), plans.evictions, plans.bytes)
+            (plans.len(), plans.evictions, plans.bytes, plans.recoveries)
         };
         SessionStats {
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
@@ -613,6 +648,7 @@ impl<M: LanguageModel> RelmSession<M> {
             plan_entries,
             plan_evictions,
             plan_bytes,
+            plan_recoveries,
             scoring: self.scoring_cache.stats(),
         }
     }
@@ -821,6 +857,42 @@ mod tests {
         assert_eq!(stats.plan_hits, 2);
         assert_eq!(stats.plan_entries, 2);
         assert_eq!(stats.plan_evictions, 1);
+    }
+
+    #[test]
+    fn dangling_plan_memo_entry_is_healed_not_a_panic() {
+        let (tok, lm) = fixture();
+        let session = RelmSession::new(lm, tok);
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        session.plan(&query).unwrap();
+        // Simulate the partial state a mid-update panic leaves behind
+        // once the memo's poisoned lock is recovered: the index maps the
+        // key to a slot that no longer holds an entry.
+        {
+            let mut plans = session.plans.lock();
+            let key = PlanKey::of(&query, session.tokenizer_fingerprint);
+            let slot = *plans.map.get(&key).unwrap();
+            let entry = plans.slots[slot].take().unwrap();
+            plans.bytes -= entry.cost;
+            // Deliberately NOT pushed onto the free list: a mid-panic
+            // thread would not have gotten that far either. The heal
+            // path must reclaim the slot itself.
+        }
+        // Regression: this plan() used to `expect("mapped slot is
+        // live")` — a panic that, behind the session's plan-memo mutex,
+        // killed every later query of a long-lived server. Now it heals:
+        // one recompilation, counted in SessionStats.
+        let replanned = session.plan(&query).unwrap();
+        let solo: Vec<_> = session.execute(&replanned).unwrap().take(2).collect();
+        assert_eq!(solo.len(), 2);
+        let stats = session.stats();
+        assert_eq!(stats.plan_recoveries, 1);
+        assert_eq!(stats.plan_misses, 2, "healed lookup recompiles");
+        // The healed key memoizes again and serves hits — reusing the
+        // reclaimed slot rather than growing the ring.
+        session.plan(&query).unwrap();
+        assert_eq!(session.stats().plan_hits, 1);
+        assert_eq!(session.plans.lock().slots.len(), 1, "slot was reclaimed");
     }
 
     #[test]

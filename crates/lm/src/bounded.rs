@@ -67,6 +67,10 @@ pub(crate) struct ClockCache {
     evictions: u64,
     /// Entries admitted over the cache's lifetime.
     insertions: u64,
+    /// Map/ring inconsistencies healed on contact instead of panicking
+    /// (a thread that panics mid-update can leave partial state behind
+    /// once its poisoned lock is recovered; see [`ClockCache::lookup`]).
+    recoveries: u64,
     /// Live (current-generation) entry count, maintained incrementally
     /// so [`ClockCache::len`] is O(1) — it is read under the owner's
     /// lock on every stats snapshot.
@@ -86,6 +90,7 @@ impl ClockCache {
             generation: 0,
             evictions: 0,
             insertions: 0,
+            recoveries: 0,
             live: 0,
         }
     }
@@ -120,6 +125,13 @@ impl ClockCache {
     /// Total admitted entries.
     pub(crate) fn insertions(&self) -> u64 {
         self.insertions
+    }
+
+    /// Map/ring inconsistencies healed on contact (each one would have
+    /// been a panic — and, behind a shared lock, a poisoned cache —
+    /// before the recovery path existed).
+    pub(crate) fn recoveries(&self) -> u64 {
+        self.recoveries
     }
 
     /// The current generation tag.
@@ -169,21 +181,36 @@ impl ClockCache {
 
     /// Look up `context`, setting its referenced bit on a hit. A stale
     /// (older-generation) entry is removed on contact and reported as a
-    /// miss.
+    /// miss. A mapping that points at an empty or out-of-range slot —
+    /// partial state left by a scoring thread that panicked mid-update,
+    /// surfaced when the owner's poisoned lock is recovered — is healed
+    /// on contact and reported as a miss: in a long-lived server one
+    /// broken slot must cost one recomputation, not poison every later
+    /// query with a cascading panic.
     pub(crate) fn lookup(&mut self, context: &[TokenId]) -> Option<Vec<f64>> {
         let slot = *self.map.get(context)?;
-        let stale = {
-            let entry = self.slots[slot].as_mut().expect("mapped slot is live");
-            if entry.generation == self.generation {
+        match self.slots.get_mut(slot).and_then(Option::as_mut) {
+            Some(entry) if entry.generation == self.generation => {
                 entry.referenced = true;
-                return Some(entry.value.clone());
+                Some(entry.value.clone())
             }
-            true
-        };
-        if stale {
-            self.remove_slot(slot);
+            Some(_) => {
+                self.remove_slot(slot);
+                None
+            }
+            None => {
+                self.map.remove(context);
+                // Return the orphaned slot to the free list (when it was
+                // a real ring slot, not an out-of-range index) so the
+                // ring does not grow monotonically under repeated
+                // recoveries.
+                if slot < self.slots.len() && !self.free.contains(&slot) {
+                    self.free.push(slot);
+                }
+                self.recoveries += 1;
+                None
+            }
         }
-        None
     }
 
     /// Admit `context -> distribution` (first writer wins), evicting as
@@ -344,6 +371,34 @@ mod tests {
         for i in 10..14u32 {
             assert!(c.lookup(&[i]).is_some(), "entry {i} admitted post-bump");
         }
+    }
+
+    #[test]
+    fn dangling_map_entry_is_healed_not_a_panic() {
+        let mut c = ClockCache::new(1 << 20);
+        c.insert(vec![1, 2], dist(4, 0.0));
+        c.insert(vec![3, 4], dist(4, 1.0));
+        // Simulate the partial state a mid-update panic leaves behind
+        // once its poisoned lock is recovered: the index maps a context
+        // to a slot that no longer holds an entry.
+        let slot = *c.map.get(&[1, 2][..]).unwrap();
+        c.slots[slot] = None;
+        c.bytes -= ClockCache::cost_of(&[1, 2], &dist(4, 0.0));
+        c.live -= 1;
+        // Regression: this lookup used to `expect("mapped slot is
+        // live")` — a panic that, behind the shared cache's mutex,
+        // killed every later query of a long-lived server.
+        assert_eq!(c.lookup(&[1, 2]), None);
+        assert_eq!(c.recoveries(), 1);
+        // The cache healed: the dangling mapping is gone, the other
+        // entry still serves, and the healed key can be re-admitted —
+        // into the reclaimed slot, not a fresh one (repeated recoveries
+        // must not grow the ring without bound).
+        assert_eq!(c.lookup(&[3, 4]), Some(dist(4, 1.0)));
+        let ring_before = c.slots.len();
+        c.insert(vec![1, 2], dist(4, 9.0));
+        assert_eq!(c.lookup(&[1, 2]), Some(dist(4, 9.0)));
+        assert_eq!(c.slots.len(), ring_before, "healed slot was reused");
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub fn perplexity<M: LanguageModel>(
     tokenizer: &BpeTokenizer,
     documents: &[&str],
 ) -> f64 {
+    // Clamp the window: the trait does not promise `max_sequence_len()
+    // >= 1`, and `0 - 1` underflows (debug panic / release wrap to a
+    // full-length window).
+    let window = model.max_sequence_len().max(1);
     let mut total = 0.0f64;
     let mut count = 0usize;
     for doc in documents {
@@ -37,7 +41,7 @@ pub fn perplexity<M: LanguageModel>(
         tokens.extend(tokenizer.encode(doc));
         tokens.push(model.eos());
         for i in 1..tokens.len() {
-            let start = i.saturating_sub(model.max_sequence_len() - 1);
+            let start = i.saturating_sub(window - 1);
             let lp = model.next_log_probs(&tokens[start..i]);
             total -= lp[tokens[i] as usize];
             count += 1;
@@ -59,6 +63,7 @@ pub fn top_k_accuracy<M: LanguageModel>(
     documents: &[&str],
     k: usize,
 ) -> f64 {
+    let window = model.max_sequence_len().max(1); // see `perplexity`
     let mut hits = 0usize;
     let mut count = 0usize;
     for doc in documents {
@@ -66,7 +71,7 @@ pub fn top_k_accuracy<M: LanguageModel>(
         tokens.extend(tokenizer.encode(doc));
         tokens.push(model.eos());
         for i in 1..tokens.len() {
-            let start = i.saturating_sub(model.max_sequence_len() - 1);
+            let start = i.saturating_sub(window - 1);
             let lp = model.next_log_probs(&tokens[start..i]);
             let target_lp = lp[tokens[i] as usize];
             let better = lp.iter().filter(|&&p| p > target_lp).count();
@@ -130,6 +135,65 @@ mod tests {
             a100 > 0.9,
             "top-100 on training data should be high: {a100}"
         );
+    }
+
+    /// Wraps a model, overriding the reported context window — the
+    /// trait does not promise `max_sequence_len() >= 1`, so the eval
+    /// window arithmetic must not underflow on a degenerate report.
+    struct ClampedWindow<'a> {
+        inner: &'a NGramLm,
+        window: usize,
+    }
+
+    impl crate::LanguageModel for ClampedWindow<'_> {
+        fn vocab_size(&self) -> usize {
+            self.inner.vocab_size()
+        }
+        fn eos(&self) -> relm_bpe::TokenId {
+            self.inner.eos()
+        }
+        fn max_sequence_len(&self) -> usize {
+            self.window
+        }
+        fn next_log_probs(&self, context: &[relm_bpe::TokenId]) -> Vec<f64> {
+            self.inner.next_log_probs(context)
+        }
+    }
+
+    #[test]
+    fn zero_and_one_length_context_windows_do_not_underflow() {
+        let (tok, docs) = fixture();
+        let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
+        // Regression: `i.saturating_sub(max_sequence_len() - 1)` panicked
+        // in debug (wrapped in release) when a model reported a window
+        // of 0. Both degenerate windows must clamp to context-free
+        // scoring instead.
+        for window in [0usize, 1] {
+            let model = ClampedWindow { inner: &lm, window };
+            let ppl = perplexity(&model, &tok, &docs);
+            assert!(ppl.is_finite() && ppl > 1.0, "window {window}: {ppl}");
+            let acc = top_k_accuracy(&model, &tok, &docs, 5);
+            assert!((0.0..=1.0).contains(&acc), "window {window}: {acc}");
+        }
+        // A zero window behaves exactly like the minimal window of one
+        // (empty context on every step), not like some wrapped huge one.
+        let z = perplexity(
+            &ClampedWindow {
+                inner: &lm,
+                window: 0,
+            },
+            &tok,
+            &docs,
+        );
+        let one = perplexity(
+            &ClampedWindow {
+                inner: &lm,
+                window: 1,
+            },
+            &tok,
+            &docs,
+        );
+        assert_eq!(z.to_bits(), one.to_bits());
     }
 
     #[test]

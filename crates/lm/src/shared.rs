@@ -43,6 +43,12 @@ pub struct SharedCacheStats {
     pub insertions: u64,
     /// Entries discarded (budget pressure + stale collection).
     pub evictions: u64,
+    /// Internal inconsistencies healed on contact instead of panicking —
+    /// partial state left behind when a scoring thread panics mid-update
+    /// and the poisoned lock is recovered. Nonzero means a query somewhere
+    /// paid one recomputation; before the recovery path it meant every
+    /// later query of the process died on the same panic.
+    pub recoveries: u64,
     /// Live entries right now.
     pub entries: usize,
     /// Estimated resident bytes right now.
@@ -161,6 +167,7 @@ impl SharedScoringCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: table.insertions(),
             evictions: table.evictions(),
+            recoveries: table.recoveries(),
             entries: table.len(),
             bytes: table.bytes(),
             max_bytes: table.max_bytes(),

@@ -1,0 +1,80 @@
+//! `relm_client` — a scripted client for a `relm_server` endpoint.
+//!
+//! ```text
+//! relm_client ADDR [--take N] [--stats] PATTERN [PATTERN...]
+//! ```
+//!
+//! Pipelines one query per `PATTERN` (all sent before any response is
+//! read — the server interleaves them through its coalescing driver),
+//! prints one line per match as responses arrive, and with `--stats`
+//! finishes by printing the server's counters. A `PREFIX::PATTERN`
+//! argument attaches a conditioning prefix.
+
+use relm_serve::{QueryRequest, Request, Response, ServeClient};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().expect("usage: relm_client ADDR [PATTERN...]");
+    let mut take = 2usize;
+    let mut want_stats = false;
+    let mut patterns: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--take" => {
+                take = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--take takes a number");
+            }
+            "--stats" => want_stats = true,
+            other => patterns.push(other.to_string()),
+        }
+    }
+
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    for (i, spec) in patterns.iter().enumerate() {
+        let (prefix, pattern) = match spec.split_once("::") {
+            Some((prefix, pattern)) => (Some(prefix), pattern),
+            None => (None, spec.as_str()),
+        };
+        let mut request = QueryRequest::new(i as u64, pattern, take);
+        if let Some(prefix) = prefix {
+            request = request.with_prefix(prefix);
+        }
+        client.send(&Request::Query(request)).expect("send");
+    }
+    for _ in 0..patterns.len() {
+        match client.recv().expect("recv") {
+            Response::Matches { id, matches } => {
+                for m in &matches {
+                    println!(
+                        "match[{id}]: {:?} log_prob={:.6} score_bits={:016x}",
+                        m.text,
+                        m.log_prob(),
+                        m.score_bits
+                    );
+                }
+                if matches.is_empty() {
+                    println!("match[{id}]: (none)");
+                }
+            }
+            Response::Error { id, message } => println!("error[{id}]: {message}"),
+            Response::Stats(_) => unreachable!("no stats requested yet"),
+        }
+    }
+    if want_stats {
+        match client.roundtrip(&Request::Stats).expect("stats") {
+            Response::Stats(stats) => println!(
+                "server stats: {} admitted, {} completed, {} cancelled, in flight {}, \
+                 mean batch fill {:.2} ({} cross-query batches)",
+                stats.admitted,
+                stats.completed,
+                stats.cancelled,
+                stats.in_flight,
+                stats.mean_batch_fill,
+                stats.cross_query_batches,
+            ),
+            other => println!("unexpected stats answer: {other:?}"),
+        }
+    }
+}

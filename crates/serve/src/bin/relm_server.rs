@@ -1,0 +1,71 @@
+//! `relm_server` — a standalone ReLM serving endpoint over a small
+//! built-in demonstration model.
+//!
+//! ```text
+//! relm_server [ADDR] [--max-requests N]
+//! ```
+//!
+//! Binds `ADDR` (default `127.0.0.1:7474`; use port 0 for an ephemeral
+//! port, printed on startup), trains the deterministic toy corpus model
+//! every scripted client knows, and serves until killed — or, with
+//! `--max-requests N`, until `N` queries completed (the deterministic
+//! shutdown CI's smoke job uses). Drive it with the `relm_client` bin.
+
+use std::sync::atomic::AtomicBool;
+
+use relm_bpe::BpeTokenizer;
+use relm_core::Relm;
+use relm_lm::{NGramConfig, NGramLm};
+use relm_serve::{RelmServer, ServerConfig};
+
+/// The deterministic demonstration corpus shared with `relm_client`'s
+/// example queries (and the serve smoke job in CI).
+pub const DEMO_DOCS: [&str; 4] = [
+    "the cat sat on the mat",
+    "the cat sat on the mat",
+    "the dog sat on the log",
+    "the cow ate the grass",
+];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut addr = "127.0.0.1:7474".to_string();
+    let mut config = ServerConfig::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-requests" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-requests takes a number");
+                config = config.with_max_requests(n);
+            }
+            other => addr = other.to_string(),
+        }
+    }
+
+    let corpus = DEMO_DOCS.join(". ");
+    let tokenizer = BpeTokenizer::train(&corpus, 80);
+    let model = NGramLm::train(&tokenizer, &DEMO_DOCS, NGramConfig::xl());
+    let client = Relm::builder(model, tokenizer)
+        .build()
+        .expect("demo model fits its tokenizer");
+
+    let listener = std::net::TcpListener::bind(&addr).expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    println!("relm_server listening on {addr}");
+
+    let server = RelmServer::with_config(client, config);
+    let shutdown = AtomicBool::new(false);
+    let report = server.serve(listener, &shutdown).expect("serve loop");
+    println!(
+        "relm_server done: {} connections, {} admitted, {} completed, {} cancelled, \
+         mean batch fill {:.2} ({} cross-query batches)",
+        report.accepted,
+        report.admitted,
+        report.completed,
+        report.cancelled,
+        report.mean_batch_fill,
+        report.cross_query_batches,
+    );
+}

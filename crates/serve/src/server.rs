@@ -1,0 +1,440 @@
+//! [`RelmServer`]: the serving event loop.
+//!
+//! One thread, one loop, four phases per pass:
+//!
+//! 1. **accept** — adopt new non-blocking connections from the listener;
+//! 2. **read** — pump every connection, decode complete frames, and
+//!    **admit** each query request into the shared [`QueryDriver`]
+//!    (mid-flight admission: newcomers join the rotation between ticks);
+//! 3. **drive** — one [`QueryDriver::tick`]: a coalescing tick over the
+//!    union of every live query's scoring frontier, one bounded step of
+//!    every query, and the completion notifications for queries that
+//!    finished — which become response frames on their submitters'
+//!    write queues;
+//! 4. **write** — flush write queues; sweep closed connections,
+//!    cancelling their in-flight queries.
+//!
+//! When a pass does none of that, the [`Reactor`] parks the thread.
+//!
+//! The executor `step()`/`frontier_contexts()` protocol is exactly the
+//! poll interface this loop needs: a query is a future whose `poll` is
+//! one bounded unit of traversal, the driver is the executor that polls
+//! every live future in rotation, and the coalescing tick is where
+//! "concurrency" pays — frontiers of *different* connections' queries
+//! merge into shared model batches. Because scoring is pure and
+//! memoized, the interleaving can never change a result: every response
+//! carries exactly the match texts and score *bits* a solo
+//! `Relm::search` of the same query produces (`tests/serve.rs`).
+
+use std::collections::HashMap;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use relm_core::{QueryId, Relm, TickQuantum};
+use relm_lm::LanguageModel;
+
+use crate::conn::Connection;
+use crate::protocol::{
+    error_response, Request, Response, WireMatch, WireServerStats, MAX_FRAME_BYTES,
+};
+use crate::reactor::{PollReactor, Reactor};
+
+/// Tuning knobs for a [`RelmServer`].
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct ServerConfig {
+    /// Hard cap on one frame's payload bytes.
+    pub max_frame_bytes: usize,
+    /// How long the reactor parks on an idle pass.
+    pub park: Duration,
+    /// The driver's coalescing-tick policy.
+    pub tick_quantum: TickQuantum,
+    /// Exit the serve loop after this many completed queries (`None` =
+    /// serve until the shutdown flag flips). Scripted smoke tests and
+    /// benches use it for deterministic shutdown.
+    pub max_requests: Option<u64>,
+}
+
+impl ServerConfig {
+    /// The default knobs (1 MiB frames, 500µs park, adaptive ticks).
+    pub fn new() -> Self {
+        ServerConfig {
+            max_frame_bytes: MAX_FRAME_BYTES,
+            park: Duration::from_micros(500),
+            tick_quantum: TickQuantum::default(),
+            max_requests: None,
+        }
+    }
+
+    /// Set the frame-size cap.
+    #[must_use]
+    pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Set the idle-pass park interval.
+    #[must_use]
+    pub fn with_park(mut self, park: Duration) -> Self {
+        self.park = park;
+        self
+    }
+
+    /// Set the coalescing-tick policy.
+    #[must_use]
+    pub fn with_tick_quantum(mut self, quantum: TickQuantum) -> Self {
+        self.tick_quantum = quantum;
+        self
+    }
+
+    /// Exit after `n` completed queries (deterministic smoke shutdown).
+    #[must_use]
+    pub fn with_max_requests(mut self, n: u64) -> Self {
+        self.max_requests = Some(n);
+        self
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::new()
+    }
+}
+
+/// What a serve loop did, returned when it exits.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
+pub struct ServerReport {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Queries admitted to the driver.
+    pub admitted: u64,
+    /// Queries completed and answered.
+    pub completed: u64,
+    /// Queries cancelled because their connection closed mid-flight.
+    pub cancelled: u64,
+    /// Requests rejected (bad pattern, malformed frame payload).
+    pub rejected: u64,
+    /// Idle passes parked by the reactor.
+    pub parks: u64,
+    /// Mean contexts per model batch in the shared engine.
+    pub mean_batch_fill: f64,
+    /// Model batches that mixed two or more queries' contexts — the
+    /// cross-connection coalescing the server exists to produce.
+    pub cross_query_batches: u64,
+    /// Coalescing ticks run / skipped by the adaptive quantum.
+    pub ticks_run: u64,
+    /// See [`ServerReport::ticks_run`].
+    pub ticks_skipped: u64,
+}
+
+/// A ReLM serving front end over one [`Relm`] client. See the module
+/// docs for the loop structure.
+#[derive(Debug)]
+pub struct RelmServer<M> {
+    client: Relm<M>,
+    config: ServerConfig,
+}
+
+impl<M: LanguageModel> RelmServer<M> {
+    /// A server over `client` with default knobs.
+    pub fn new(client: Relm<M>) -> Self {
+        RelmServer {
+            client,
+            config: ServerConfig::default(),
+        }
+    }
+
+    /// A server with explicit knobs.
+    pub fn with_config(client: Relm<M>, config: ServerConfig) -> Self {
+        RelmServer { client, config }
+    }
+
+    /// The client this server executes through.
+    pub fn client(&self) -> &Relm<M> {
+        &self.client
+    }
+
+    /// The server's knobs.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// Run the serve loop on `listener` with the default
+    /// [`PollReactor`] until `shutdown` flips (or `max_requests` is
+    /// reached). Blocks the calling thread; spawn it (or use
+    /// [`spawn`]) to serve in the background.
+    ///
+    /// # Errors
+    ///
+    /// Listener setup failures (`set_nonblocking`) and fatal `accept`
+    /// errors. Per-connection IO errors close that connection only.
+    pub fn serve(
+        &self,
+        listener: TcpListener,
+        shutdown: &AtomicBool,
+    ) -> std::io::Result<ServerReport> {
+        self.serve_with_reactor(listener, shutdown, &mut PollReactor::new())
+    }
+
+    /// [`Self::serve`] with a caller-provided waiting strategy.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::serve`].
+    pub fn serve_with_reactor(
+        &self,
+        listener: TcpListener,
+        shutdown: &AtomicBool,
+        reactor: &mut dyn Reactor,
+    ) -> std::io::Result<ServerReport> {
+        listener.set_nonblocking(true)?;
+        let mut driver = self
+            .client
+            .driver()
+            .with_tick_quantum(self.config.tick_quantum);
+        let mut conns: HashMap<u64, Connection> = HashMap::new();
+        let mut next_token: u64 = 0;
+        // In-flight query -> (connection token, request id to echo).
+        let mut routes: HashMap<QueryId, (u64, u64)> = HashMap::new();
+        let mut report = ServerReport::default();
+
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Some(cap) = self.config.max_requests {
+                if report.completed >= cap {
+                    break;
+                }
+            }
+            let mut progressed = false;
+
+            // Phase 1: accept.
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if let Ok(conn) = Connection::new(stream) {
+                            conns.insert(next_token, conn);
+                            next_token += 1;
+                            report.accepted += 1;
+                            progressed = true;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Phase 2: read + admit.
+            for (&token, conn) in conns.iter_mut() {
+                if conn.read_closed {
+                    continue;
+                }
+                for frame in conn.pump_read(self.config.max_frame_bytes) {
+                    progressed = true;
+                    match Request::decode(&frame) {
+                        Ok(Request::Stats) => {
+                            let scoring = driver.scoring();
+                            let (admitted, completed, cancelled) = driver.counts();
+                            conn.queue_frame(
+                                &Response::Stats(WireServerStats {
+                                    accepted: report.accepted,
+                                    admitted,
+                                    completed,
+                                    cancelled,
+                                    in_flight: driver.in_flight() as u64,
+                                    mean_batch_fill: scoring.mean_batch_size(),
+                                    cross_query_batches: scoring.cross_query_batches,
+                                })
+                                .encode(),
+                            );
+                        }
+                        Ok(Request::Query(request)) => {
+                            let query = request.to_search_query();
+                            match driver.admit(&query, request.max_results) {
+                                Ok(id) => {
+                                    routes.insert(id, (token, request.id));
+                                    report.admitted += 1;
+                                }
+                                Err(error) => {
+                                    report.rejected += 1;
+                                    conn.queue_frame(&error_response(request.id, &error).encode());
+                                }
+                            }
+                        }
+                        Err(error) => {
+                            report.rejected += 1;
+                            conn.queue_frame(
+                                &Response::Error {
+                                    id: 0,
+                                    message: error.to_string(),
+                                }
+                                .encode(),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Phase 3: drive. One rotation: coalescing tick over every
+            // live frontier, one bounded step per query, completions out.
+            if !driver.is_idle() {
+                progressed = true;
+                for completion in driver.tick() {
+                    let Some((token, request_id)) = routes.remove(&completion.id) else {
+                        continue;
+                    };
+                    report.completed += 1;
+                    if let Some(conn) = conns.get_mut(&token) {
+                        if !conn.write_dead {
+                            let matches = completion
+                                .outcome
+                                .matches
+                                .iter()
+                                .map(|m| WireMatch {
+                                    text: m.text.clone(),
+                                    score_bits: m.log_prob.to_bits(),
+                                    canonical: m.canonical,
+                                    num_tokens: m.tokens.len(),
+                                })
+                                .collect();
+                            conn.queue_frame(
+                                &Response::Matches {
+                                    id: request_id,
+                                    matches,
+                                }
+                                .encode(),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Phase 4: write; cancel the in-flight queries of
+            // connections whose read side closed (the protocol
+            // contract: a peer that stops reading requests-in abandons
+            // its outstanding queries, so one disappearing auditor
+            // cannot pin server work forever — responses already queued
+            // still drain); sweep connections once defunct.
+            for conn in conns.values_mut() {
+                if !conn.write_dead && conn.wants_write() {
+                    progressed |= conn.pump_write();
+                }
+            }
+            for (&token, conn) in conns.iter() {
+                if !conn.read_closed {
+                    continue;
+                }
+                // `routes.remove` makes this idempotent across passes.
+                let orphaned: Vec<QueryId> = routes
+                    .iter()
+                    .filter(|(_, &(t, _))| t == token)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in orphaned {
+                    routes.remove(&id);
+                    if driver.cancel(id) {
+                        report.cancelled += 1;
+                        progressed = true;
+                    }
+                }
+            }
+            let before = conns.len();
+            conns.retain(|_, conn| !conn.defunct());
+            progressed |= conns.len() < before;
+
+            if !progressed {
+                reactor.park(self.config.park);
+            }
+        }
+
+        // Final drain: the loop can exit (shutdown flag, request cap)
+        // with response frames still queued — a pipelined client that
+        // was slow to read would otherwise lose answers the server
+        // counted as completed. Bounded: flush until every queue is
+        // empty or dead, or the deadline passes.
+        let drain_deadline = std::time::Instant::now() + Duration::from_millis(250);
+        while conns
+            .values()
+            .any(|conn| !conn.write_dead && conn.wants_write())
+        {
+            let mut progressed = false;
+            for conn in conns.values_mut() {
+                if !conn.write_dead && conn.wants_write() {
+                    progressed |= conn.pump_write();
+                }
+            }
+            if std::time::Instant::now() >= drain_deadline {
+                break;
+            }
+            if !progressed {
+                reactor.park(self.config.park);
+            }
+        }
+
+        let scoring = driver.scoring();
+        report.mean_batch_fill = scoring.mean_batch_size();
+        report.cross_query_batches = scoring.cross_query_batches;
+        let (ticks_run, ticks_skipped) = driver.tick_counts();
+        report.ticks_run = ticks_run;
+        report.ticks_skipped = ticks_skipped;
+        report.parks = reactor.parks();
+        Ok(report)
+    }
+}
+
+/// A running background server: its address plus the handle to stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<std::io::Result<ServerReport>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Flip the shutdown flag and join the serve thread.
+    ///
+    /// # Errors
+    ///
+    /// The serve loop's IO error, if it exited with one.
+    ///
+    /// # Panics
+    ///
+    /// If the serve thread itself panicked.
+    pub fn stop(self) -> std::io::Result<ServerReport> {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.join.join().expect("serve thread panicked")
+    }
+}
+
+/// Bind `addr` and serve `server` on a background thread. The common
+/// test/bench entry: `spawn(server, "127.0.0.1:0")` picks a free port,
+/// [`ServerHandle::addr`] says which.
+///
+/// # Errors
+///
+/// Bind failures.
+pub fn spawn<M: LanguageModel + 'static>(
+    server: RelmServer<M>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let join = std::thread::spawn(move || server.serve(listener, &flag));
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        join,
+    })
+}

@@ -51,10 +51,10 @@ pub use relm_automata::{
 pub use relm_bpe::{pretokenize, BpeTokenizer, TokenId};
 pub use relm_core::{
     compiler, explain, CompiledSearch, ExecutionStats, FilterPreprocessor, LevenshteinPreprocessor,
-    MachineShape, MatchResult, PrefixSampling, Preprocessor, QueryOutcome, QueryPlan, QuerySet,
-    QuerySetReport, QuerySpec, QueryString, Relm, RelmBuilder, RelmError, RelmErrorKind,
-    RelmSession, SearchQuery, SearchResults, SearchStrategy, SessionConfig, SessionStats,
-    TickQuantum, TokenizationStrategy,
+    MachineShape, MatchResult, PrefixSampling, Preprocessor, QueryCompletion, QueryDriver, QueryId,
+    QueryOutcome, QueryPlan, QuerySet, QuerySetReport, QuerySpec, QueryString, Relm, RelmBuilder,
+    RelmError, RelmErrorKind, RelmSession, SearchQuery, SearchResults, SearchStrategy,
+    SessionConfig, SessionStats, TickQuantum, TokenizationStrategy,
 };
 #[allow(deprecated)] // the legacy one-shot shims remain exported until removal
 pub use relm_core::{execute, plan, search};
@@ -64,6 +64,13 @@ pub use relm_lm::{
     ScoringEngine, ScoringMode, ScoringStats, SharedCacheStats, SharedScoringCache,
 };
 pub use relm_regex::{disjunction_of, escape, Regex};
+
+/// The serving front end: a dependency-free TCP protocol server pumping
+/// concurrent connections' queries through one coalescing
+/// [`QueryDriver`] (`RelmServer`, `ServeClient`, the wire protocol).
+pub mod serve {
+    pub use relm_serve::*;
+}
 
 /// Dataset substrates (synthetic corpus, URL world, Pile shard, cloze
 /// set, stop words).

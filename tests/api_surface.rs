@@ -64,6 +64,7 @@ fn facade_reexport_list_matches_snapshot() {
     let expected: BTreeSet<String> = [
         // namespaces
         "mod datasets",
+        "mod serve",
         "mod stats",
         // relm-automata
         "ascii_alphabet",
@@ -97,6 +98,10 @@ fn facade_reexport_list_matches_snapshot() {
         "QuerySpec",
         "QueryOutcome",
         "QuerySetReport",
+        // relm-core: the open-world driver behind the serving layer
+        "QueryCompletion",
+        "QueryDriver",
+        "QueryId",
         // relm-core: queries, plans, sessions
         "compiler",
         "explain",
