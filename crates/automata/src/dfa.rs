@@ -19,30 +19,36 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::hash::Hash;
+use std::sync::Arc;
 
 use crate::nfa::Nfa;
+use crate::pool::WorkerPool;
 use crate::shard::Parallelism;
 use crate::{StateId, Symbol};
 
 /// Frontier waves smaller than this are expanded on the calling thread
-/// even under [`Parallelism::Sharded`]: a thread spawn costs more than
-/// computing a handful of successor sets.
+/// even under [`Parallelism::Sharded`]: dispatching pool jobs costs more
+/// than computing a handful of successor sets.
 const PARALLEL_WAVE_MIN: usize = 8;
 
 /// Deterministic shard-parallel BFS over a composite state space.
 ///
 /// `succ` maps a composite state to its `(symbol, successor, accepting)`
 /// triples in strictly increasing symbol order. Waves of the BFS
-/// frontier are partitioned into contiguous shards evaluated by a
-/// worker pool; the merge walks shards in order and assigns new state
-/// ids exactly as the serial FIFO construction would, so the resulting
-/// automaton is structurally identical to a serial build.
+/// frontier are partitioned into contiguous shards submitted as ordered
+/// jobs to the persistent [`WorkerPool`] for `par` (no threads are
+/// spawned per wave); [`WorkerPool::run`] returns the shard results in
+/// submission order, and the merge walks shards in order and assigns
+/// new state ids exactly as the serial FIFO construction would, so the
+/// resulting automaton is structurally identical to a serial build.
 fn explore_waves<K, S>(start: K, start_accepting: bool, par: Parallelism, succ: S) -> Vec<DfaState>
 where
-    K: Clone + Eq + Hash + Send + Sync,
-    S: Fn(&K) -> Vec<(Symbol, K, bool)> + Sync,
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    S: Fn(&K) -> Vec<(Symbol, K, bool)> + Send + Sync + 'static,
 {
     let threads = par.threads();
+    let pool = WorkerPool::for_parallelism(par);
+    let succ = Arc::new(succ);
     let mut ids: HashMap<K, StateId> = HashMap::new();
     let mut states = vec![DfaState {
         transitions: Vec::new(),
@@ -52,27 +58,23 @@ where
     let mut frontier: Vec<K> = vec![start];
     while !frontier.is_empty() {
         // Expand the wave: sharded across the pool when it is wide
-        // enough to pay for the spawns, inline otherwise. Either way the
-        // result vector is in frontier order.
-        let expansions: Vec<Vec<(Symbol, K, bool)>> = if threads > 1
-            && frontier.len() >= PARALLEL_WAVE_MIN
-        {
-            let chunk = frontier.len().div_ceil(threads);
-            let succ = &succ;
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = frontier
+        // enough to pay for the job dispatch, inline otherwise. Either
+        // way the result vector is in frontier order.
+        let expansions: Vec<Vec<(Symbol, K, bool)>> =
+            if pool.workers() > 0 && threads > 1 && frontier.len() >= PARALLEL_WAVE_MIN {
+                let chunk = frontier.len().div_ceil(threads);
+                let jobs: Vec<_> = frontier
                     .chunks(chunk)
-                    .map(|shard| scope.spawn(move |_| shard.iter().map(succ).collect::<Vec<_>>()))
+                    .map(|shard| {
+                        let shard: Vec<K> = shard.to_vec();
+                        let succ = Arc::clone(&succ);
+                        move || shard.iter().map(|k| (succ)(k)).collect::<Vec<_>>()
+                    })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            })
-            .expect("wave scope")
-        } else {
-            frontier.iter().map(&succ).collect()
-        };
+                pool.run(jobs).into_iter().flatten().collect()
+            } else {
+                frontier.iter().map(|k| (succ)(k)).collect()
+            };
         // Deterministic merge: frontier order, then symbol order — the
         // serial FIFO discovery order.
         let mut next: Vec<K> = Vec::new();
@@ -155,7 +157,10 @@ impl Dfa {
         }
         let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
         let start_accepting = start_set.iter().any(|&s| nfa.is_accepting(s));
-        let succ = |set: &BTreeSet<StateId>| {
+        // One clone of the NFA per parallel build so the successor
+        // closure owns its environment and can ride on pool workers.
+        let nfa = nfa.clone();
+        let succ = move |set: &BTreeSet<StateId>| {
             let mut moves: BTreeMap<Symbol, BTreeSet<StateId>> = BTreeMap::new();
             for &s in set {
                 for (sym, t) in nfa.transitions(s) {
@@ -571,7 +576,7 @@ impl Dfa {
     /// deterministically, producing the same automaton as the serial
     /// [`Dfa::product`] (the reference path, also taken for
     /// `Parallelism::Serial`).
-    fn product_with<F: Fn(bool, bool) -> bool + Sync>(
+    fn product_with<F: Fn(bool, bool) -> bool + Send + Sync + 'static>(
         &self,
         other: &Dfa,
         accept: F,
@@ -587,7 +592,9 @@ impl Dfa {
         let b = other.complete(&alphabet);
         let start = (a.start, b.start);
         let start_accepting = accept(a.is_accepting(start.0), b.is_accepting(start.1));
-        let succ = |&(sa, sb): &(StateId, StateId)| {
+        // The completed operands and alphabet are owned locals; move them
+        // into the closure so pool jobs can hold it without borrows.
+        let succ = move |&(sa, sb): &(StateId, StateId)| {
             alphabet
                 .iter()
                 .map(|&sym| {
@@ -744,24 +751,27 @@ impl Dfa {
         if !par.is_parallel() {
             return self.determinize_from(starts);
         }
-        let accepting_set = |set: &BTreeSet<StateId>| set.iter().any(|&s| self.states[s].accepting);
-        let succ = |set: &BTreeSet<StateId>| {
+        let start_accepting = starts.iter().any(|&s| self.states[s].accepting);
+        // One clone of the transition graph per parallel build so the
+        // successor closure owns its environment (pool jobs are 'static).
+        let dfa = self.clone();
+        let succ = move |set: &BTreeSet<StateId>| {
             let mut moves: BTreeMap<Symbol, BTreeSet<StateId>> = BTreeMap::new();
             for &s in set {
-                for &(a, t) in &self.states[s].transitions {
+                for &(a, t) in &dfa.states[s].transitions {
                     moves.entry(a).or_default().insert(t);
                 }
             }
             moves
                 .into_iter()
                 .map(|(a, targets)| {
-                    let accepting = accepting_set(&targets);
+                    let accepting = targets.iter().any(|&s| dfa.states[s].accepting);
                     (a, targets, accepting)
                 })
                 .collect()
         };
         Dfa {
-            states: explore_waves(starts.clone(), accepting_set(starts), par, succ),
+            states: explore_waves(starts.clone(), start_accepting, par, succ),
             start: 0,
         }
         .trim()

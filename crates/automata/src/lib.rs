@@ -49,6 +49,7 @@ mod fst;
 mod levenshtein;
 mod nfa;
 mod ops;
+pub mod pool;
 mod shard;
 mod walks;
 
@@ -58,6 +59,7 @@ pub use fst::{Fst, FstArc};
 pub use levenshtein::levenshtein_within;
 pub use nfa::Nfa;
 pub use ops::{concat, prefix_closure, reverse};
+pub use pool::WorkerPool;
 pub use shard::{Parallelism, ShardIndex, ShardedDfa};
 pub use walks::{ChoiceDistribution, WalkChoice, WalkTable};
 

@@ -102,12 +102,82 @@ pub struct ShardIndex {
 }
 
 impl ShardIndex {
-    /// Partition `dfa` into at most `shards` contiguous state ranges of
-    /// near-equal size and index the edges crossing between them.
+    /// Partition `dfa` into at most `shards` contiguous state ranges and
+    /// index the edges crossing between them, sliding each cut inside a
+    /// small slack window to a position crossed by fewer edges.
+    ///
+    /// The ideal cut positions are the near-equal split of
+    /// [`ShardIndex::build_equal`]; each cut may move at most
+    /// `n / (4 · shards)` states in either direction, so shards stay
+    /// within 50% of balanced while the `cross_edge_fraction` drops on
+    /// automata whose transitions are locally clustered (BFS state
+    /// numbering makes most of them so). With zero slack — small
+    /// automata — this degenerates to exactly the equal split.
     ///
     /// Automata smaller than the requested shard count get one state per
     /// shard; the empty automaton gets a single empty shard.
     pub fn build(dfa: &Dfa, shards: usize) -> Self {
+        let n = dfa.state_count();
+        let shards = shards.clamp(1, n.max(1));
+        let slack = n / (4 * shards);
+        if shards == 1 || slack == 0 {
+            return Self::build_equal(dfa, shards);
+        }
+        // Crossing profile via a difference array: an edge `u → v`
+        // crosses a boundary at position `p` iff min < p ≤ max, so it
+        // contributes +1 at `min + 1` and −1 past `max`; the prefix sum
+        // is the number of edges a cut at `p` would sever.
+        let mut diff = vec![0i64; n + 2];
+        for u in 0..n {
+            for (_, v) in dfa.transitions(u) {
+                let (lo, hi) = (u.min(v), u.max(v));
+                if lo != hi {
+                    diff[lo + 1] += 1;
+                    diff[hi + 1] -= 1;
+                }
+            }
+        }
+        let mut profile = vec![0i64; n + 1];
+        let mut acc = 0i64;
+        for (p, d) in diff.iter().take(n + 1).enumerate() {
+            acc += d;
+            profile[p] = acc;
+        }
+        let base = n / shards;
+        let extra = n % shards;
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0);
+        for i in 1..shards {
+            let ideal = i * base + i.min(extra);
+            let prev = *bounds.last().expect("non-empty bounds");
+            // Every shard must keep at least one state: the cut stays
+            // past the previous one and leaves room for those after it.
+            let floor = prev + 1;
+            let ceil = n - (shards - i);
+            let lo = floor.max(ideal.saturating_sub(slack));
+            let hi = ceil.min(ideal + slack);
+            let p = if lo > hi {
+                ideal.clamp(floor, ceil)
+            } else {
+                (lo..=hi)
+                    .min_by_key(|&p| profile[p])
+                    .expect("non-empty slack window")
+            };
+            bounds.push(p);
+        }
+        bounds.push(n);
+        Self::from_bounds(dfa, bounds)
+    }
+
+    /// Partition `dfa` into at most `shards` contiguous state ranges of
+    /// near-equal size (the PR 4 reference partition) and index the
+    /// edges crossing between them.
+    ///
+    /// Kept as the baseline [`ShardIndex::build`] is measured against:
+    /// `build(dfa, k).cross_edge_fraction()` should not exceed
+    /// `build_equal(dfa, k).cross_edge_fraction()` on BFS-numbered
+    /// automata.
+    pub fn build_equal(dfa: &Dfa, shards: usize) -> Self {
         let n = dfa.state_count();
         let shards = shards.clamp(1, n.max(1));
         let base = n / shards;
@@ -118,6 +188,12 @@ impl ShardIndex {
             let len = base + usize::from(s < extra);
             bounds.push(bounds[s] + len);
         }
+        Self::from_bounds(dfa, bounds)
+    }
+
+    /// Index the cross-shard edges of a finished `bounds` partition.
+    fn from_bounds(dfa: &Dfa, bounds: Vec<StateId>) -> Self {
+        let shards = bounds.len() - 1;
         let shard_of = |state: StateId| -> usize {
             // bounds is sorted; partition_point finds the owning range.
             bounds.partition_point(|&b| b <= state) - 1
@@ -347,6 +423,47 @@ mod tests {
         let other = Nfa::literal(str_symbols("x")).determinize();
         let index = ShardIndex::build(&other, 2);
         let _ = ShardedDfa::new(&dfa, &index);
+    }
+
+    #[test]
+    fn min_cut_build_does_not_increase_cross_edges() {
+        // Two long chains sharing no states: BFS numbering clusters each
+        // chain, so sliding cuts toward chain boundaries can only help.
+        let symbols: Vec<u32> = (0..160u32).map(|i| u32::from(b'a') + (i % 26)).collect();
+        let dfa = Nfa::literal(symbols.clone())
+            .union(Nfa::literal(symbols.into_iter().rev().collect::<Vec<_>>()))
+            .determinize();
+        for shards in [2, 3, 4, 8] {
+            let tuned = ShardIndex::build(&dfa, shards);
+            let equal = ShardIndex::build_equal(&dfa, shards);
+            assert_eq!(tuned.shard_count(), equal.shard_count());
+            assert!(
+                tuned.cross_edge_fraction() <= equal.cross_edge_fraction(),
+                "shards={shards}: tuned {} > equal {}",
+                tuned.cross_edge_fraction(),
+                equal.cross_edge_fraction()
+            );
+            // The slack window keeps shards within 50% of balanced.
+            let n = dfa.state_count();
+            let slack = n / (4 * shards);
+            for s in 0..tuned.shard_count() {
+                let len = tuned.range(s).len();
+                let ideal = n / shards;
+                assert!(
+                    len + 2 * slack >= ideal && len <= ideal + 1 + 2 * slack,
+                    "shard {s} has {len} states (ideal {ideal}, slack {slack})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_cut_degenerates_to_equal_split_when_slack_is_zero() {
+        // Small automaton: slack = n / (4k) = 0, so the tuned build must
+        // reproduce the equal split bit for bit.
+        let dfa = url_like_dfa();
+        assert!(dfa.state_count() < 4 * 3);
+        assert_eq!(ShardIndex::build(&dfa, 3), ShardIndex::build_equal(&dfa, 3));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! that "LLMs have finite state" — counting is performed up to a maximum
 //! walk length (the model's max sequence length).
 
+use crate::pool::WorkerPool;
 use crate::shard::{Parallelism, ShardIndex, ShardedDfa};
 use crate::{Dfa, StateId, Symbol};
 
@@ -76,16 +77,17 @@ impl WalkTable {
     }
 
     /// Build the table over a pre-sharded view (the state-range
-    /// partition a session's plan memo caches), one worker per shard.
-    /// Bit-identical to [`WalkTable::new`] on the same automaton.
+    /// partition a session's plan memo caches), one pool job per shard
+    /// per row. Bit-identical to [`WalkTable::new`] on the same
+    /// automaton.
     ///
-    /// Workers are spawned **once** and live for the whole build; each
-    /// row is a request/response exchange over channels (the previous
-    /// row goes out behind an `Arc`, per-shard slot chunks come back
-    /// and are stitched by shard id), so the per-row cost is a message
-    /// round-trip rather than a fresh thread spawn per row.
+    /// Rows run on the persistent [`WorkerPool`] for the shard count:
+    /// each row submits one short job per shard (the previous row goes
+    /// out behind an `Arc`), and [`WorkerPool::run`] returns the slot
+    /// chunks in shard order for an in-order stitch. No threads are
+    /// spawned per build — the pool's workers are long-lived and shared
+    /// with every other sharded build at the same width.
     pub fn new_sharded(sharded: &ShardedDfa<'_>, max_len: usize) -> Self {
-        use std::sync::mpsc;
         use std::sync::Arc;
 
         let dfa = sharded.dfa();
@@ -97,21 +99,24 @@ impl WalkTable {
         exact_by_len.push(base);
         if max_len > 0 {
             let shard_count = sharded.shard_count();
-            crossbeam::scope(|scope| {
-                let (result_tx, result_rx) = mpsc::channel::<(usize, Vec<f64>)>();
-                let mut requests: Vec<mpsc::Sender<Arc<Vec<f64>>>> =
-                    Vec::with_capacity(shard_count);
-                for shard in 0..shard_count {
-                    let range = sharded.range(shard);
-                    let (tx, rx) = mpsc::channel::<Arc<Vec<f64>>>();
-                    requests.push(tx);
-                    let result_tx = result_tx.clone();
-                    scope.spawn(move |_| {
-                        // Each slot sums its transitions in the same
-                        // order as the serial loop: bit-identical rows.
-                        while let Ok(prev) = rx.recv() {
-                            let chunk: Vec<f64> = range
-                                .clone()
+            // One clone of the automaton per build so the row jobs own
+            // their transition graph ('static pool jobs can't borrow).
+            let dfa = Arc::new(dfa.clone());
+            let ranges: Vec<std::ops::Range<StateId>> =
+                (0..shard_count).map(|shard| sharded.range(shard)).collect();
+            let pool = WorkerPool::for_parallelism(Parallelism::sharded(shard_count));
+            for len in 1..=max_len {
+                let prev = Arc::new(exact_by_len[len - 1].clone());
+                let jobs: Vec<_> = ranges
+                    .iter()
+                    .map(|range| {
+                        let range = range.clone();
+                        let dfa = Arc::clone(&dfa);
+                        let prev = Arc::clone(&prev);
+                        move || {
+                            // Each slot sums its transitions in the same
+                            // order as the serial loop: bit-identical rows.
+                            range
                                 .map(|s| {
                                     let mut acc = 0.0;
                                     for (_, t) in dfa.transitions(s) {
@@ -119,31 +124,16 @@ impl WalkTable {
                                     }
                                     acc
                                 })
-                                .collect();
-                            if result_tx.send((shard, chunk)).is_err() {
-                                break;
-                            }
+                                .collect::<Vec<f64>>()
                         }
-                    });
+                    })
+                    .collect();
+                let mut cur = vec![0.0f64; n];
+                for (chunk, range) in pool.run(jobs).into_iter().zip(&ranges) {
+                    cur[range.clone()].copy_from_slice(&chunk);
                 }
-                drop(result_tx);
-                for len in 1..=max_len {
-                    let prev = Arc::new(exact_by_len[len - 1].clone());
-                    for tx in &requests {
-                        tx.send(Arc::clone(&prev)).expect("walk-table worker died");
-                    }
-                    let mut cur = vec![0.0f64; n];
-                    for _ in 0..shard_count {
-                        let (shard, chunk) = result_rx.recv().expect("walk-table worker died");
-                        cur[sharded.range(shard)].copy_from_slice(&chunk);
-                    }
-                    exact_by_len.push(cur);
-                }
-                // Dropping the request senders ends the workers' recv
-                // loops; the scope joins them on exit.
-                drop(requests);
-            })
-            .expect("walk-table scope");
+                exact_by_len.push(cur);
+            }
         }
         Self::from_exact_rows(exact_by_len, max_len)
     }

@@ -15,6 +15,25 @@ fn setup() -> Workbench {
     Workbench::build(Scale::Smoke)
 }
 
+/// A deterministic 140-word random lexicon (LCG-generated, fixed seed):
+/// the multi-kilobyte alternation of the fig13 bias-grid query shape,
+/// big enough to clear every parallel work gate.
+fn lexicon_words() -> Vec<String> {
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    (0..140)
+        .map(|_| {
+            (0..8)
+                .map(|_| {
+                    seed = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    char::from(b'a' + ((seed >> 33) % 26) as u8)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 fn bench_first_match_latency(c: &mut Criterion) {
     let wb = setup();
     let mut group = c.benchmark_group("first_match");
@@ -583,19 +602,7 @@ fn bench_sharding_compile_and_frontier(_c: &mut Criterion) {
     // bias-grid query shape) — enough `states × vocabulary` work to
     // clear the compiler's spawn gate, so the sharded row really runs
     // the worker pool rather than the small-automaton serial fallback.
-    let mut seed = 0x9e3779b97f4a7c15u64;
-    let words: Vec<String> = (0..140)
-        .map(|_| {
-            (0..8)
-                .map(|_| {
-                    seed = seed
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    char::from(b'a' + ((seed >> 33) % 26) as u8)
-                })
-                .collect()
-        })
-        .collect();
+    let words = lexicon_words();
     let lexicon_pattern = words
         .iter()
         .map(|w| format!("({w})"))
@@ -690,6 +697,247 @@ fn bench_sharding_compile_and_frontier(_c: &mut Criterion) {
             );
         }
     }
+}
+
+/// The pool tentpole: spawn-backed scoring fan-out vs the persistent
+/// worker pool on the same frontier-shaped batch, plus the scalar vs
+/// vectorized n-gram forward kernel. Pool, spawn, and serial results
+/// are byte-identical (asserted in `tests/pool.rs`; the kernel identity
+/// is re-asserted inline below), so the rows measure wall-clock only.
+/// On a 1-core host the parallel rows price *per-batch overhead* — the
+/// persistent pool must beat a fresh thread spawn per batch — and the
+/// modeled row prices the batch on `threads` cores from first
+/// principles (divisible scoring split across the pool on top of the
+/// measured dispatch overhead). The spawn counter is asserted flat
+/// across the timed batches: steady state spawns zero threads.
+fn bench_pool_vs_spawn(_c: &mut Criterion) {
+    use relm_automata::ShardIndex;
+    use relm_lm::pool::WorkerPool;
+    use relm_lm::{fan_out_scores, pooled_scores, ForwardKernel, LanguageModel, Parallelism};
+    use std::time::Instant;
+
+    let wb = setup();
+    let threads = 4usize;
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Frontier-shaped batch: extensions of shared prefixes, the shape
+    // traversals hand `score_batch` (see `bench_engine_throughput`).
+    let stems = [
+        "see https://www",
+        "see https://ww",
+        "see https",
+        "see",
+        "the",
+        "",
+    ];
+    let mut contexts: Vec<Vec<relm_bpe::TokenId>> = Vec::new();
+    for round in 0..4 {
+        for stem in &stems {
+            for tail in ["", ".", "e", "x"] {
+                let mut ctx = vec![wb.xl.eos()];
+                ctx.extend(wb.tokenizer.encode(&format!("{stem}{tail}")));
+                ctx.truncate(1 + (ctx.len() - 1).min(2 + round));
+                contexts.push(ctx);
+            }
+        }
+    }
+    let refs: Vec<&[relm_bpe::TokenId]> = contexts.iter().map(Vec::as_slice).collect();
+
+    let reps = 5u32;
+    let timed = |f: &dyn Fn()| -> f64 {
+        f(); // warm-up
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        start.elapsed().as_nanos() as f64 / f64::from(reps)
+    };
+
+    let serial_ns = timed(&|| {
+        criterion::black_box(
+            refs.iter()
+                .map(|c| wb.xl.next_log_probs(c))
+                .collect::<Vec<_>>(),
+        );
+    });
+    let spawn_ns = timed(&|| {
+        criterion::black_box(fan_out_scores(&wb.xl, &refs, threads));
+    });
+    let par = Parallelism::sharded(threads);
+    let pool = WorkerPool::for_parallelism(par);
+    let _ = pooled_scores(&wb.xl, &refs, par).expect("batch large enough to pool");
+    let spawned = pool.spawn_count();
+    let pool_ns = timed(&|| {
+        criterion::black_box(pooled_scores(&wb.xl, &refs, par).expect("pooled"));
+    });
+    assert_eq!(
+        pool.spawn_count(),
+        spawned,
+        "steady-state pooled batches must not spawn threads"
+    );
+    // Per-batch parallel overhead on this host (the number the pool
+    // exists to shrink), and the first-principles multicore model: the
+    // scoring work divides across `threads` cores on top of the
+    // measured pool dispatch overhead.
+    let spawn_overhead_ns = (spawn_ns - serial_ns).max(0.0);
+    let pool_overhead_ns = (pool_ns - serial_ns).max(0.0);
+    let modeled_ns = pool_overhead_ns + serial_ns / threads as f64;
+    println!(
+        "[pool] batch of {}: serial {:.3} ms; spawn({threads}) {:.3} ms (overhead {:.3} ms), \
+         pool({threads}) {:.3} ms (overhead {:.3} ms) on {host_cores} core(s); modeled {:.3} ms \
+         on {threads} cores ({:.2}x); pool spawned {spawned} threads total",
+        refs.len(),
+        serial_ns / 1e6,
+        spawn_ns / 1e6,
+        spawn_overhead_ns / 1e6,
+        pool_ns / 1e6,
+        pool_overhead_ns / 1e6,
+        modeled_ns / 1e6,
+        serial_ns / modeled_ns.max(1.0),
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"pool_vs_spawn/serial_batch\",\"mean_ns\":{serial_ns:.1},\
+         \"samples\":{reps},\"threads\":1,\"host_cores\":{host_cores}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"pool_vs_spawn/spawn_batch\",\"mean_ns\":{spawn_ns:.1},\
+         \"samples\":{reps},\"threads\":{threads},\"host_cores\":{host_cores}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"pool_vs_spawn/pool_batch\",\"mean_ns\":{pool_ns:.1},\
+         \"samples\":{reps},\"threads\":{threads},\"host_cores\":{host_cores}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"pool_vs_spawn/pool_model\",\"mean_ns\":{modeled_ns:.1},\
+         \"samples\":{reps},\"threads\":{threads},\"host_cores\":{host_cores}}}"
+    );
+
+    // The paper-shaped regime: an expensive forward pass (the neural
+    // substrate) where the divisible scoring work dwarfs pool dispatch,
+    // so the modeled multicore row shows a real speedup — the CPU
+    // analogue of filling a GPU batch.
+    let neural = relm_lm::NeuralLm::train(
+        &wb.tokenizer,
+        &[
+            "see https://www.example.com today",
+            "see https://www.example.org now",
+            "the cat sat on the mat",
+            "the dog sat on the log",
+        ],
+        relm_lm::NeuralLmConfig {
+            epochs: 2,
+            embed_dim: 24,
+            hidden_dim: 64,
+            ..relm_lm::NeuralLmConfig::default()
+        },
+    );
+    let neural_serial_ns = timed(&|| {
+        criterion::black_box(
+            refs.iter()
+                .map(|c| neural.next_log_probs(c))
+                .collect::<Vec<_>>(),
+        );
+    });
+    let _ = pooled_scores(&neural, &refs, par).expect("pooled");
+    let neural_pool_ns = timed(&|| {
+        criterion::black_box(pooled_scores(&neural, &refs, par).expect("pooled"));
+    });
+    let neural_overhead_ns = (neural_pool_ns - neural_serial_ns).max(0.0);
+    let neural_modeled_ns = neural_overhead_ns + neural_serial_ns / threads as f64;
+    println!(
+        "[pool] neural batch of {}: serial {:.3} ms, pool({threads}) {:.3} ms on {host_cores} \
+         core(s); modeled {:.3} ms on {threads} cores ({:.2}x)",
+        refs.len(),
+        neural_serial_ns / 1e6,
+        neural_pool_ns / 1e6,
+        neural_modeled_ns / 1e6,
+        neural_serial_ns / neural_modeled_ns.max(1.0),
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"pool_vs_spawn/neural_serial_batch\",\
+         \"mean_ns\":{neural_serial_ns:.1},\"samples\":{reps},\"threads\":1,\
+         \"host_cores\":{host_cores}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"pool_vs_spawn/neural_pool_batch\",\
+         \"mean_ns\":{neural_pool_ns:.1},\"samples\":{reps},\"threads\":{threads},\
+         \"host_cores\":{host_cores}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"pool_vs_spawn/neural_pool_model\",\
+         \"mean_ns\":{neural_modeled_ns:.1},\"samples\":{reps},\"threads\":{threads},\
+         \"host_cores\":{host_cores}}}"
+    );
+
+    // Scalar vs vectorized forward kernel, identity asserted inline on
+    // the exact batch the rows time.
+    let scalar_lm = wb.xl.clone().with_kernel(ForwardKernel::Scalar);
+    for ctx in &refs {
+        let a = scalar_lm.next_log_probs(ctx);
+        let b = wb.xl.next_log_probs(ctx);
+        assert_eq!(a.len(), b.len());
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!(p.to_bits(), q.to_bits(), "kernels must be bit-identical");
+        }
+    }
+    let scalar_ns = timed(&|| {
+        criterion::black_box(
+            refs.iter()
+                .map(|c| scalar_lm.next_log_probs(c))
+                .collect::<Vec<_>>(),
+        );
+    });
+    let vectorized_ns = timed(&|| {
+        criterion::black_box(
+            refs.iter()
+                .map(|c| wb.xl.next_log_probs(c))
+                .collect::<Vec<_>>(),
+        );
+    });
+    println!(
+        "[pool] forward kernel over {} contexts: scalar {:.3} ms, vectorized {:.3} ms ({:.2}x)",
+        refs.len(),
+        scalar_ns / 1e6,
+        vectorized_ns / 1e6,
+        scalar_ns / vectorized_ns.max(1.0),
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"score_vectorized/scalar\",\"mean_ns\":{scalar_ns:.1},\
+         \"samples\":{reps},\"threads\":1,\"host_cores\":{host_cores}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"score_vectorized/vectorized\",\"mean_ns\":{vectorized_ns:.1},\
+         \"samples\":{reps},\"threads\":1,\"host_cores\":{host_cores}}}"
+    );
+
+    // The min-cut shard partition vs the equal split it refines: the
+    // fraction of automaton edges crossing shard boundaries (lower =
+    // less cross-shard frontier traffic for every sharded
+    // construction), on the lexicon-scale automaton the sharded
+    // constructions actually fan out over.
+    let lexicon_pattern = lexicon_words()
+        .iter()
+        .map(|w| format!("({w})"))
+        .collect::<Vec<_>>()
+        .join("|");
+    let lexicon_dfa = relm_regex::Regex::compile(&lexicon_pattern)
+        .unwrap()
+        .dfa()
+        .clone();
+    let equal = ShardIndex::build_equal(&lexicon_dfa, threads);
+    let tuned = ShardIndex::build(&lexicon_dfa, threads);
+    assert!(
+        tuned.cross_edge_fraction() <= equal.cross_edge_fraction(),
+        "min-cut must never sever more edges than the equal split"
+    );
+    println!(
+        "[pool] shard partition over {} states, {} shards: cross-edge fraction {:.2}% equal \
+         -> {:.2}% min-cut",
+        lexicon_dfa.state_count(),
+        threads,
+        equal.cross_edge_fraction() * 100.0,
+        tuned.cross_edge_fraction() * 100.0,
+    );
 }
 
 /// The serving tentpole: a live `RelmServer` driven by N concurrent
@@ -827,6 +1075,7 @@ criterion_group!(
     bench_session_warm_vs_cold,
     bench_client_run_many,
     bench_sharding_compile_and_frontier,
+    bench_pool_vs_spawn,
     bench_serve_concurrent
 );
 criterion_main!(benches);

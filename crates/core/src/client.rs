@@ -264,11 +264,14 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
     fn new(session: &'a RelmSession<M>, quantum: TickQuantum) -> Self {
         QueryDriver {
             session,
-            engine: Arc::new(ScoringEngine::with_shared_cache(
-                session.model(),
-                ScoringMode::Batched,
-                Arc::clone(session.scoring_cache()),
-            )),
+            engine: Arc::new(
+                ScoringEngine::with_shared_cache(
+                    session.model(),
+                    ScoringMode::Batched,
+                    Arc::clone(session.scoring_cache()),
+                )
+                .with_parallelism(session.config().parallelism),
+            ),
             slots: Vec::new(),
             next_id: 0,
             quantum,

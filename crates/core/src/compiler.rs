@@ -26,8 +26,9 @@
 //! is deterministic too and is returned as a [`Dfa`] over token ids.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use relm_automata::{Dfa, Parallelism, Symbol};
+use relm_automata::{Dfa, Parallelism, Symbol, WorkerPool};
 use relm_bpe::{BpeTokenizer, TokenId};
 
 /// Minimum `states × multi-byte vocabulary entries` before the
@@ -115,55 +116,63 @@ pub fn compile_full_with(char_dfa: &Dfa, tokenizer: &BpeTokenizer, par: Parallel
         .iter_vocab()
         .filter(|(_, word)| word.len() > 1)
         .collect();
-    let match_range = |range: std::ops::Range<usize>| -> Vec<(usize, Symbol, usize)> {
-        let mut out = Vec::new();
-        for start in range {
-            for &(token, word) in &vocab {
-                let mut state = start;
-                let mut ok = true;
-                for &b in word {
-                    match char_dfa.step(state, Symbol::from(b)) {
-                        Some(next) => state = next,
-                        None => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if ok {
-                    out.push((start, token, state));
-                }
-            }
-        }
-        out
-    };
     if par.is_parallel() && n.saturating_mul(vocab.len()) >= PARALLEL_COMPILE_MIN_WORK {
-        // Contiguous state ranges, one per worker. The scan only needs
+        // Contiguous state ranges, one per pool job. The scan only needs
         // the ranges — a full `ShardIndex` (with its cross-edge pass)
-        // would be wasted work on this hot path.
+        // would be wasted work on this hot path. Pool jobs are `'static`,
+        // so the automaton and vocabulary are owned once behind `Arc`s
+        // and cloned per shard.
         let shards = par.threads().clamp(1, n);
         let chunk = n.div_ceil(shards);
-        let shard_edges: Vec<Vec<(usize, Symbol, usize)>> = crossbeam::scope(|scope| {
-            let match_range = &match_range;
-            let handles: Vec<_> = (0..shards)
-                .map(|s| {
-                    let range = (s * chunk)..((s + 1) * chunk).min(n);
-                    scope.spawn(move |_| match_range(range))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("compile shard panicked"))
-                .collect()
-        })
-        .expect("compile scope");
-        for edges in shard_edges {
+        let dfa = Arc::new(char_dfa.clone());
+        let owned_vocab: Arc<Vec<(TokenId, Vec<u8>)>> =
+            Arc::new(vocab.iter().map(|&(t, w)| (t, w.to_vec())).collect());
+        let pool = WorkerPool::for_parallelism(par);
+        let jobs: Vec<_> = (0..shards)
+            .map(|s| {
+                let range = (s * chunk)..((s + 1) * chunk).min(n);
+                let dfa = Arc::clone(&dfa);
+                let vocab = Arc::clone(&owned_vocab);
+                move || match_words(&dfa, &vocab, range)
+            })
+            .collect();
+        for edges in pool.run(jobs) {
             transitions.extend(edges);
         }
     } else {
-        transitions.extend(match_range(0..n));
+        transitions.extend(match_words(char_dfa, &vocab, 0..n));
     }
     Dfa::from_parts(n, char_dfa.start(), &accepting, &transitions)
+}
+
+/// DFS-match every multi-byte vocabulary word from every state in
+/// `range`, returning the shortcut edges found. Pure; both the serial
+/// arm (borrowed words) and the pooled shards (owned words) call it.
+fn match_words<W: AsRef<[u8]>>(
+    char_dfa: &Dfa,
+    vocab: &[(TokenId, W)],
+    range: std::ops::Range<usize>,
+) -> Vec<(usize, Symbol, usize)> {
+    let mut out = Vec::new();
+    for start in range {
+        for (token, word) in vocab {
+            let mut state = start;
+            let mut ok = true;
+            for &b in word.as_ref() {
+                match char_dfa.step(state, Symbol::from(b)) {
+                    Some(next) => state = next,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                out.push((start, *token, state));
+            }
+        }
+    }
+    out
 }
 
 /// Compile the canonical-encoding automaton.
@@ -204,34 +213,28 @@ pub fn compile_canonical_with(
             });
     if enumerable {
         let strings = char_dfa.enumerate(limits.max_len, limits.max_strings + 1);
-        let encode_chunk = |chunk: &[Vec<Symbol>]| -> Vec<Vec<TokenId>> {
-            chunk
-                .iter()
-                .map(|symbols| {
-                    let text: Vec<u8> = symbols.iter().map(|&s| s as u8).collect();
-                    let text = String::from_utf8_lossy(&text).into_owned();
-                    tokenizer.encode(&text)
+        let encoded: Vec<Vec<TokenId>> = if par.is_parallel()
+            && strings.len() >= PARALLEL_ENCODE_MIN_STRINGS
+        {
+            // Pool jobs are `'static`: each chunk owns its strings
+            // (moved out of the enumeration) and a cheap tokenizer
+            // clone. Chunk results concatenate in submission order,
+            // so the trie sees the same sequence list as serial.
+            let chunk = strings.len().div_ceil(par.threads());
+            let pool = WorkerPool::for_parallelism(par);
+            let chunks: Vec<Vec<Vec<Symbol>>> = strings.chunks(chunk).map(<[_]>::to_vec).collect();
+            let tokenizer = Arc::new(tokenizer.clone());
+            let jobs: Vec<_> = chunks
+                .into_iter()
+                .map(|c| {
+                    let tokenizer = Arc::clone(&tokenizer);
+                    move || encode_strings(&tokenizer, &c)
                 })
-                .collect()
+                .collect();
+            pool.run(jobs).into_iter().flatten().collect()
+        } else {
+            encode_strings(tokenizer, &strings)
         };
-        let encoded: Vec<Vec<TokenId>> =
-            if par.is_parallel() && strings.len() >= PARALLEL_ENCODE_MIN_STRINGS {
-                let chunk = strings.len().div_ceil(par.threads());
-                crossbeam::scope(|scope| {
-                    let encode_chunk = &encode_chunk;
-                    let handles: Vec<_> = strings
-                        .chunks(chunk)
-                        .map(|c| scope.spawn(move |_| encode_chunk(c)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("encode shard panicked"))
-                        .collect()
-                })
-                .expect("encode scope")
-            } else {
-                encode_chunk(&strings)
-            };
         return CompiledAutomaton {
             automaton: trie_dfa(&encoded),
             needs_canonical_check: false,
@@ -241,6 +244,19 @@ pub fn compile_canonical_with(
         automaton: compile_full_with(char_dfa, tokenizer, par),
         needs_canonical_check: true,
     }
+}
+
+/// Tokenizer-encode a chunk of enumerated byte strings. Pure; shared by
+/// the serial arm and the pooled chunk jobs.
+fn encode_strings(tokenizer: &BpeTokenizer, chunk: &[Vec<Symbol>]) -> Vec<Vec<TokenId>> {
+    chunk
+        .iter()
+        .map(|symbols| {
+            let text: Vec<u8> = symbols.iter().map(|&s| s as u8).collect();
+            let text = String::from_utf8_lossy(&text).into_owned();
+            tokenizer.encode(&text)
+        })
+        .collect()
 }
 
 /// Build the trie-shaped DFA accepting exactly the given token sequences.

@@ -16,7 +16,9 @@
 //! bench quantifies the trade-off.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
+use relm_automata::WorkerPool;
 use relm_bpe::{BpeTokenizer, TokenId};
 use relm_lm::{LanguageModel, ScoringMode};
 
@@ -220,84 +222,52 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
         self.stats.lm_calls += contexts.len() as u64;
         self.stats.expansions += expandable.len() as u64;
 
-        // Expand: one frontier shard per worker. Per-path expansion is
+        // Expand: one frontier shard per pool job. Per-path expansion is
         // pure (policy filtering over the vocabulary plus automaton edge
         // walks, no shared writes), shards are contiguous chunks of the
-        // level, and the merge concatenates them in level order — so the
-        // candidate list, and therefore the stable sort and truncation
-        // below, are byte-identical to the serial loop.
-        let compiled = &self.compiled;
-        let expand_path = |p: &BeamPath, log_probs: &Vec<f64>| -> Vec<BeamPath> {
-            let body = &compiled.parts.body.automaton;
-            let mut out = Vec::new();
-            if p.machine_is_body {
-                let allowed: HashMap<TokenId, f64> =
-                    compiled.policy.allowed(log_probs).into_iter().collect();
-                for (sym, target) in body.transitions(p.state) {
-                    if let Some(&lp) = allowed.get(&sym) {
-                        let mut tokens = p.tokens.clone();
-                        tokens.push(sym);
-                        out.push(BeamPath {
-                            machine_is_body: true,
-                            state: target,
-                            tokens,
-                            prefix_len: p.prefix_len,
-                            log_prob: p.log_prob + lp,
-                        });
-                    }
-                }
-            } else {
-                let prefix = compiled.parts.prefix.as_ref().expect("prefix machine");
-                for (sym, target) in prefix.transitions(p.state) {
-                    let lp = log_probs[sym as usize];
-                    if !lp.is_finite() {
-                        continue;
-                    }
-                    let mut tokens = p.tokens.clone();
-                    tokens.push(sym);
-                    let prefix_len = tokens.len();
-                    out.push(BeamPath {
-                        machine_is_body: false,
-                        state: target,
-                        tokens,
-                        prefix_len,
-                        log_prob: p.log_prob + lp,
-                    });
-                }
-            }
-            out
-        };
+        // level, and the merge concatenates them in submission order —
+        // so the candidate list, and therefore the stable sort and
+        // truncation below, are byte-identical to the serial loop.
         let work: Vec<(&BeamPath, &Vec<f64>)> =
             expandable.iter().copied().zip(scores.iter()).collect();
-        let threads = compiled.parallelism.threads();
+        let threads = self.compiled.parallelism.threads();
         let vocab = scores.first().map_or(0, Vec::len);
         let level_work = work.len().saturating_mul(vocab);
-        let mut next: Vec<BeamPath> = if threads > 1 && level_work >= BEAM_SHARD_MIN_WORK {
-            let chunk = work.len().div_ceil(threads);
-            crossbeam::scope(|scope| {
-                let expand_path = &expand_path;
-                let handles: Vec<_> = work
+        let pool = WorkerPool::for_parallelism(self.compiled.parallelism);
+        let mut next: Vec<BeamPath> =
+            if pool.workers() > 0 && threads > 1 && level_work >= BEAM_SHARD_MIN_WORK {
+                // Pool jobs are `'static`: each shard owns clones of its
+                // paths and score rows, plus an `Arc` of the compiled query
+                // (cheap — the automata inside are already `Arc`-shared).
+                let chunk = work.len().div_ceil(threads);
+                let shards: Vec<Vec<(BeamPath, Vec<f64>)>> = work
                     .chunks(chunk)
                     .map(|shard| {
-                        scope.spawn(move |_| {
-                            shard
-                                .iter()
-                                .flat_map(|&(p, lp)| expand_path(p, lp))
-                                .collect::<Vec<_>>()
-                        })
+                        shard
+                            .iter()
+                            .map(|&(p, lp)| (p.clone(), lp.clone()))
+                            .collect()
                     })
                     .collect();
-                handles
+                let compiled = Arc::new(self.compiled.clone());
+                let jobs: Vec<_> = shards
                     .into_iter()
-                    .flat_map(|h| h.join().expect("beam shard panicked"))
+                    .map(|shard| {
+                        let compiled = Arc::clone(&compiled);
+                        move || {
+                            shard
+                                .iter()
+                                .flat_map(|(p, lp)| expand_path(&compiled, p, lp))
+                                .collect::<Vec<_>>()
+                        }
+                    })
+                    .collect();
+                pool.run(jobs).into_iter().flatten().collect()
+            } else {
+                work.iter()
+                    .flat_map(|&(p, lp)| expand_path(&self.compiled, p, lp))
                     .collect()
-            })
-            .expect("beam scope")
-        } else {
-            work.iter()
-                .flat_map(|&(p, lp)| expand_path(p, lp))
-                .collect()
-        };
+            };
         if next.is_empty() {
             self.finalize();
             return;
@@ -341,6 +311,49 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
         }
         self.emit = Some(out.into_iter());
     }
+}
+
+/// Expand one scored path into its automaton-legal successors. Pure;
+/// shared by the serial level loop and the pooled shards.
+fn expand_path(compiled: &CompiledQuery, p: &BeamPath, log_probs: &[f64]) -> Vec<BeamPath> {
+    let body = &compiled.parts.body.automaton;
+    let mut out = Vec::new();
+    if p.machine_is_body {
+        let allowed: HashMap<TokenId, f64> =
+            compiled.policy.allowed(log_probs).into_iter().collect();
+        for (sym, target) in body.transitions(p.state) {
+            if let Some(&lp) = allowed.get(&sym) {
+                let mut tokens = p.tokens.clone();
+                tokens.push(sym);
+                out.push(BeamPath {
+                    machine_is_body: true,
+                    state: target,
+                    tokens,
+                    prefix_len: p.prefix_len,
+                    log_prob: p.log_prob + lp,
+                });
+            }
+        }
+    } else {
+        let prefix = compiled.parts.prefix.as_ref().expect("prefix machine");
+        for (sym, target) in prefix.transitions(p.state) {
+            let lp = log_probs[sym as usize];
+            if !lp.is_finite() {
+                continue;
+            }
+            let mut tokens = p.tokens.clone();
+            tokens.push(sym);
+            let prefix_len = tokens.len();
+            out.push(BeamPath {
+                machine_is_body: false,
+                state: target,
+                tokens,
+                prefix_len,
+                log_prob: p.log_prob + lp,
+            });
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -699,10 +699,10 @@ pub fn execute<'a, M: LanguageModel>(
     plan: &CompiledSearch,
 ) -> Result<SearchResults<'a, M>, RelmError> {
     plan.check_compatible(tokenizer.fingerprint(), model.max_sequence_len())?;
-    let engine = EngineHandle::Owned(Box::new(ScoringEngine::with_mode(
-        model,
-        plan.compiled.scoring,
-    )));
+    let engine = EngineHandle::Owned(Box::new(
+        ScoringEngine::with_mode(model, plan.compiled.scoring)
+            .with_parallelism(plan.compiled.parallelism),
+    ));
     Ok(execute_with_engine(engine, tokenizer, plan))
 }
 

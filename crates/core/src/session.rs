@@ -481,6 +481,7 @@ impl<M: LanguageModel> RelmSession<M> {
             relm_lm::ScoringMode::Batched,
             Arc::clone(&self.scoring_cache),
         )
+        .with_parallelism(self.config.parallelism)
     }
 
     /// Compile `query` into an executable plan, serving the automata
@@ -535,11 +536,14 @@ impl<M: LanguageModel> RelmSession<M> {
     /// smaller-context model).
     pub fn execute(&self, plan: &CompiledSearch) -> Result<SearchResults<'_, M>, RelmError> {
         plan.check_compatible(self.tokenizer_fingerprint, self.model.max_sequence_len())?;
-        let engine = EngineHandle::Owned(Box::new(ScoringEngine::with_shared_cache(
-            &self.model,
-            plan.compiled.scoring,
-            Arc::clone(&self.scoring_cache),
-        )));
+        let engine = EngineHandle::Owned(Box::new(
+            ScoringEngine::with_shared_cache(
+                &self.model,
+                plan.compiled.scoring,
+                Arc::clone(&self.scoring_cache),
+            )
+            .with_parallelism(self.config.parallelism),
+        ));
         Ok(
             execute_with_engine(engine, &self.tokenizer, plan).with_plan_counters(
                 self.plan_hits.load(Ordering::Relaxed),

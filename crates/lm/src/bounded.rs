@@ -42,6 +42,9 @@ struct Entry {
     generation: u64,
     referenced: bool,
     cost: usize,
+    /// Lookups this entry has served — its observed reuse depth, the
+    /// signal the shared cache's admission policy reads.
+    hits: u64,
 }
 
 /// The bounded memo table. Not internally synchronized — owners wrap it
@@ -71,6 +74,10 @@ pub(crate) struct ClockCache {
     /// (a thread that panics mid-update can leave partial state behind
     /// once its poisoned lock is recovered; see [`ClockCache::lookup`]).
     recoveries: u64,
+    /// Lifetime sum of per-entry reuse ([`Entry::hits`]) — survives the
+    /// entries' eviction, so `reuse_hits / insertions` is the mean
+    /// observed reuse depth over everything ever admitted.
+    reuse_hits: u64,
     /// Live (current-generation) entry count, maintained incrementally
     /// so [`ClockCache::len`] is O(1) — it is read under the owner's
     /// lock on every stats snapshot.
@@ -91,6 +98,7 @@ impl ClockCache {
             evictions: 0,
             insertions: 0,
             recoveries: 0,
+            reuse_hits: 0,
             live: 0,
         }
     }
@@ -125,6 +133,21 @@ impl ClockCache {
     /// Total admitted entries.
     pub(crate) fn insertions(&self) -> u64 {
         self.insertions
+    }
+
+    /// Lifetime sum of per-entry reuse (lookups served by entries,
+    /// evicted ones included).
+    pub(crate) fn reuse_hits(&self) -> u64 {
+        self.reuse_hits
+    }
+
+    /// Mean observed reuse depth per admitted entry (0 before any
+    /// admission) — how many times the average entry has been served.
+    pub(crate) fn mean_reuse_depth(&self) -> f64 {
+        if self.insertions == 0 {
+            return 0.0;
+        }
+        self.reuse_hits as f64 / self.insertions as f64
     }
 
     /// Map/ring inconsistencies healed on contact (each one would have
@@ -192,6 +215,8 @@ impl ClockCache {
         match self.slots.get_mut(slot).and_then(Option::as_mut) {
             Some(entry) if entry.generation == self.generation => {
                 entry.referenced = true;
+                entry.hits += 1;
+                self.reuse_hits += 1;
                 Some(entry.value.clone())
             }
             Some(_) => {
@@ -240,6 +265,7 @@ impl ClockCache {
             generation: self.generation,
             referenced: false,
             cost,
+            hits: 0,
         };
         let slot = match self.free.pop() {
             Some(idx) => {

@@ -38,6 +38,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use relm_automata::Parallelism;
 use relm_bpe::TokenId;
 
 use crate::bounded::ClockCache;
@@ -142,6 +143,11 @@ pub struct ScoringEngine<M> {
     model: M,
     cache: CacheHandle,
     mode: ScoringMode,
+    /// Resolved worker budget for miss scoring. `Serial` scores misses
+    /// inline; a sharded setting routes them to the persistent
+    /// [`crate::pool::WorkerPool`]. Sessions thread their configured
+    /// [`Parallelism`] here so a serial session never spawns workers.
+    parallelism: Parallelism,
     hits: AtomicU64,
     misses: AtomicU64,
     batches: AtomicU64,
@@ -271,6 +277,7 @@ impl<M: LanguageModel> ScoringEngine<M> {
             model,
             cache,
             mode,
+            parallelism: Parallelism::auto(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -282,17 +289,20 @@ impl<M: LanguageModel> ScoringEngine<M> {
         }
     }
 
-    /// Whether the memo table still admits new entries. Turns false —
-    /// permanently — once a warmed-up hit rate shows the workload never
-    /// revisits contexts, so memoization is pure overhead.
+    /// Whether the memo table still admits new entries. For a private
+    /// table this turns false — permanently — once a warmed-up hit rate
+    /// shows the workload never revisits contexts, so memoization is
+    /// pure overhead.
     ///
-    /// Applies only to private tables. A shared cache always admits: its
-    /// purpose is to warm *later* queries, so a low hit rate within the
-    /// current query says nothing about an entry's future value, and the
-    /// table is already bounded by its byte budget and eviction policy.
+    /// A shared cache decides for itself
+    /// ([`SharedScoringCache::admission_open`]) from the reuse its
+    /// entries have *observed across all queries* — per-entry hit depth,
+    /// not this engine's hit rate — because its purpose is to warm later
+    /// queries: a cold current query says nothing about an entry's
+    /// future value, but a whole audit of zero-reuse entries does.
     fn admission_open(&self) -> bool {
-        if matches!(self.cache, CacheHandle::Shared(_)) {
-            return true;
+        if let CacheHandle::Shared(cache) = &self.cache {
+            return cache.admission_open();
         }
         if self.write_bypass.load(Ordering::Relaxed) {
             return false;
@@ -304,6 +314,39 @@ impl<M: LanguageModel> ScoringEngine<M> {
             return false;
         }
         true
+    }
+
+    /// Route miss scoring through the given [`Parallelism`] (builder
+    /// style). `Serial` scores misses inline on the calling thread —
+    /// the fix for the old behavior where the model's batch override
+    /// consulted `available_parallelism()` per call and spawned threads
+    /// even for serial sessions. A sharded setting scores misses on the
+    /// persistent worker pool. The default is [`Parallelism::auto`].
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The resolved worker budget for miss scoring.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Evaluate a deduplicated miss set under the configured
+    /// [`Parallelism`]: serial settings map `next_log_probs` inline;
+    /// parallel settings go to the persistent pool, falling back to the
+    /// model's own batch override when the model cannot pool (all paths
+    /// are bit-identical).
+    fn compute_scores(&self, misses: &[&[TokenId]]) -> Vec<Vec<f64>> {
+        if !self.parallelism.is_parallel() {
+            return misses
+                .iter()
+                .map(|ctx| self.model().next_log_probs(ctx))
+                .collect();
+        }
+        crate::pool::pooled_scores(self.model(), misses, self.parallelism)
+            .unwrap_or_else(|| self.model().next_log_probs_batch(misses))
     }
 
     /// The wrapped model.
@@ -402,7 +445,7 @@ impl<M: LanguageModel> ScoringEngine<M> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_contexts
             .fetch_add(miss_count, Ordering::Relaxed);
-        let computed = self.model().next_log_probs_batch(&plan.misses);
+        let computed = self.compute_scores(&plan.misses);
         if self.admission_open() {
             self.cache.insert_many(
                 plan.misses
@@ -629,28 +672,46 @@ mod tests {
     }
 
     #[test]
-    fn shared_cache_keeps_admitting_under_zero_reuse() {
-        // A zero-reuse query must NOT close admission on a shared
-        // cache: the entries exist to warm *later* queries, and the
-        // table is bounded by its own byte budget.
+    fn shared_cache_admission_follows_observed_reuse() {
+        // The shared cache decides admission from reuse it has
+        // *observed*: a long zero-reuse run closes the gate at the
+        // warm-up boundary, and a later query revisiting resident
+        // contexts reopens it without any reset.
         let (_tok, lm) = fixture();
         let cache = Arc::new(SharedScoringCache::new(64 << 20));
         let engine =
             ScoringEngine::with_shared_cache(&lm, ScoringMode::Batched, Arc::clone(&cache));
-        let total = super::ADMISSION_WARMUP + 64;
-        for i in 0..total {
+        let warmup = crate::shared::SHARED_ADMISSION_WARMUP;
+        for i in 0..warmup + 64 {
             let ctx = vec![(i % lm.vocab_size() as u64) as TokenId, (i / 7) as TokenId];
             let _ = engine.score(&ctx);
         }
-        assert_eq!(
-            cache.stats().insertions,
-            total,
-            "every distinct context must be admitted for the next query"
-        );
-        // The next query (a fresh engine) starts warm on those contexts.
+        // Nothing was ever looked up twice, so only the warm-up window
+        // was admitted; the 64 contexts after it were scored, returned,
+        // and dropped.
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, warmup, "gate must close at warm-up");
+        assert!(!stats.admitting);
+        // A later query (fresh engine) hammering one resident context
+        // reopens the gate: 4 hits * 32 >= 128 insertions.
         let warm = ScoringEngine::with_shared_cache(&lm, ScoringMode::Batched, Arc::clone(&cache));
-        let _ = warm.score(&[0 as TokenId, 0]);
-        assert_eq!(warm.stats().cache_hits, 1);
+        let probe = vec![0 as TokenId, 0];
+        for _ in 0..4 {
+            // Bypass the engine's own memo so every round reaches the
+            // shared table.
+            let fresh =
+                ScoringEngine::with_shared_cache(&lm, ScoringMode::Batched, Arc::clone(&cache));
+            let _ = fresh.score(&probe);
+            assert_eq!(fresh.stats().cache_hits, 1);
+        }
+        assert!(
+            cache.stats().admitting,
+            "observed reuse must reopen the gate"
+        );
+        // ... and fresh contexts are admitted again.
+        let before = cache.stats().insertions;
+        let _ = warm.score(&[1 as TokenId, 999]);
+        assert_eq!(cache.stats().insertions, before + 1);
     }
 
     #[test]

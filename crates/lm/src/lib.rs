@@ -24,8 +24,11 @@
 //!   `RelmSession`,
 //! * [`AcceleratorSim`] — a batched-inference latency model standing in
 //!   for the paper's GTX-3080, so throughput figures have a time axis,
-//! * [`score_batch`] — crossbeam-parallel scoring, the CPU analogue of
-//!   batched GPU inference.
+//! * [`score_batch`] / [`pool::pooled_scores`] — batched scoring on the
+//!   persistent [`pool::WorkerPool`], the CPU analogue of batched GPU
+//!   inference ([`fan_out_scores`] is the spawn-backed reference path),
+//! * [`ForwardKernel`] — the portable vectorized n-gram finish kernel
+//!   and its scalar reference, byte-identical by construction.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,8 +42,10 @@ mod eval;
 mod matrix;
 mod neural;
 mod ngram;
+pub mod pool;
 mod sampler;
 mod shared;
+mod simd;
 
 pub use accel::AcceleratorSim;
 pub use cache::{CachedLm, DEFAULT_CACHED_LM_BYTES};
@@ -49,9 +54,12 @@ pub use engine::{ScoringEngine, ScoringMode, ScoringStats, DEFAULT_ENGINE_CACHE_
 pub use eval::{perplexity, top_k_accuracy};
 pub use neural::{NeuralLm, NeuralLmConfig};
 pub use ngram::{NGramConfig, NGramLm};
+pub use pool::pooled_scores;
+pub use relm_automata::Parallelism;
 pub use relm_bpe::TokenId;
-pub use sampler::{sample_sequence, score_batch, sequence_log_prob};
+pub use sampler::{fan_out_scores, sample_sequence, score_batch, sequence_log_prob};
 pub use shared::{SharedCacheStats, SharedScoringCache, DEFAULT_SHARED_CACHE_BYTES};
+pub use simd::ForwardKernel;
 
 /// An autoregressive language model over a token vocabulary.
 ///
@@ -81,13 +89,28 @@ pub trait LanguageModel: Send + Sync {
     ///
     /// The default implementation loops over
     /// [`next_log_probs`](Self::next_log_probs); models whose forward
-    /// pass parallelizes ([`NGramLm`], [`NeuralLm`]) override it with a
-    /// crossbeam fan-out, the CPU analogue of filling a GPU batch.
+    /// pass parallelizes ([`NGramLm`], [`NeuralLm`]) override it with
+    /// the persistent-pool fan-out ([`pool::pooled_scores`]), the CPU
+    /// analogue of filling a GPU batch.
     fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
         contexts
             .iter()
             .map(|ctx| self.next_log_probs(ctx))
             .collect()
+    }
+
+    /// A `'static`, shareable handle to this model for persistent-pool
+    /// workers, or `None` when pooled scoring does not apply.
+    ///
+    /// Pool jobs outlive any borrow of `self`, so [`pool::pooled_scores`]
+    /// needs an owned handle it can clone into each chunk job. Models
+    /// whose clone is cheap ([`NGramLm`] shares its count tables behind
+    /// an `Arc`) or small ([`NeuralLm`]'s matrices) return
+    /// `Some(Arc::new(self.clone()))`; the default `None` keeps wrappers
+    /// with interior state (engines, caches) off the pool and on their
+    /// own scoring paths.
+    fn pooled_handle(&self) -> Option<std::sync::Arc<dyn LanguageModel>> {
+        None
     }
 }
 
@@ -107,6 +130,9 @@ impl<M: LanguageModel + ?Sized> LanguageModel for &M {
     fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
         (**self).next_log_probs_batch(contexts)
     }
+    fn pooled_handle(&self) -> Option<std::sync::Arc<dyn LanguageModel>> {
+        (**self).pooled_handle()
+    }
 }
 
 impl<M: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<M> {
@@ -124,6 +150,9 @@ impl<M: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<M> {
     }
     fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
         (**self).next_log_probs_batch(contexts)
+    }
+    fn pooled_handle(&self) -> Option<std::sync::Arc<dyn LanguageModel>> {
+        (**self).pooled_handle()
     }
 }
 

@@ -261,7 +261,20 @@ impl LanguageModel for NeuralLm {
     }
 
     fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
-        crate::sampler::fan_out_scores(self, contexts)
+        crate::pool::pooled_scores(self, contexts, relm_automata::Parallelism::auto())
+            .unwrap_or_else(|| {
+                contexts
+                    .iter()
+                    .map(|ctx| self.next_log_probs(ctx))
+                    .collect()
+            })
+    }
+
+    fn pooled_handle(&self) -> Option<std::sync::Arc<dyn LanguageModel>> {
+        // The weight matrices are intentionally small (see the module
+        // docs), so an owned snapshot per pooled batch is cheap — and,
+        // trained weights being immutable at inference, exact.
+        Some(std::sync::Arc::new(self.clone()))
     }
 }
 

@@ -17,9 +17,11 @@
 //! continuations — the memorization behaviour §4.1/§4.3 measures.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use relm_bpe::{BpeTokenizer, TokenId};
 
+use crate::simd::{finish_log_probs, ForwardKernel};
 use crate::LanguageModel;
 
 /// Configuration for [`NGramLm`].
@@ -92,6 +94,10 @@ struct ContextCounts {
 }
 
 /// The interpolated back-off n-gram model. See the module docs.
+///
+/// Cloning is cheap: the count tables sit behind an `Arc`, so
+/// [`LanguageModel::pooled_handle`] can hand persistent-pool workers a
+/// shared handle without copying the training data.
 #[derive(Debug, Clone)]
 pub struct NGramLm {
     config: NGramConfig,
@@ -99,7 +105,11 @@ pub struct NGramLm {
     eos: TokenId,
     /// `orders[k]` holds counts for contexts of length `k`
     /// (`orders[0]` is the unigram table with the empty context).
-    orders: Vec<OrderCounts>,
+    /// Shared so clones (pool handles) cost two pointer copies.
+    orders: Arc<Vec<OrderCounts>>,
+    /// Which finish kernel [`LanguageModel::next_log_probs`] runs; both
+    /// produce byte-identical output (see [`crate::simd`]).
+    kernel: ForwardKernel,
 }
 
 impl NGramLm {
@@ -136,13 +146,28 @@ impl NGramLm {
             config,
             vocab_size: tokenizer.vocab_size(),
             eos,
-            orders,
+            orders: Arc::new(orders),
+            kernel: ForwardKernel::default(),
         }
     }
 
     /// The training configuration.
     pub fn config(&self) -> &NGramConfig {
         &self.config
+    }
+
+    /// Select the forward-pass finish kernel (builder style). Both
+    /// kernels are byte-identical; [`ForwardKernel::Scalar`] exists for
+    /// reference tests and benchmark baselines.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: ForwardKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The forward-pass finish kernel in use.
+    pub fn kernel(&self) -> ForwardKernel {
+        self.kernel
     }
 
     /// Natural-log probability of `next` given `context` without
@@ -222,14 +247,22 @@ impl LanguageModel for NGramLm {
         }
         uniform_mass += remaining.max(0.0);
         let floor = uniform_mass / v;
-        for p in &mut probs {
-            *p = (*p + floor).ln();
-        }
+        finish_log_probs(&mut probs, floor, self.kernel);
         probs
     }
 
     fn next_log_probs_batch(&self, contexts: &[&[TokenId]]) -> Vec<Vec<f64>> {
-        crate::sampler::fan_out_scores(self, contexts)
+        crate::pool::pooled_scores(self, contexts, relm_automata::Parallelism::auto())
+            .unwrap_or_else(|| {
+                contexts
+                    .iter()
+                    .map(|ctx| self.next_log_probs(ctx))
+                    .collect()
+            })
+    }
+
+    fn pooled_handle(&self) -> Option<Arc<dyn LanguageModel>> {
+        Some(Arc::new(self.clone()))
     }
 }
 
@@ -334,6 +367,29 @@ mod tests {
             ..NGramConfig::small()
         };
         let _ = NGramLm::train(&tok, &["a"], cfg);
+    }
+
+    #[test]
+    fn scalar_and_vectorized_kernels_are_bit_identical() {
+        let (tok, lm) = corpus_lm(NGramConfig::xl());
+        assert_eq!(lm.kernel(), ForwardKernel::Vectorized);
+        let scalar = lm.clone().with_kernel(ForwardKernel::Scalar);
+        for ctx_text in ["the cat", "the", "", "zzz unseen", "the dog ran"] {
+            let ctx = tok.encode(ctx_text);
+            let vectorized = lm.next_log_probs(&ctx);
+            let reference = scalar.next_log_probs(&ctx);
+            for (i, (a, b)) in vectorized.iter().zip(&reference).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{ctx_text:?} slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_handle_shares_the_count_tables() {
+        let (tok, lm) = corpus_lm(NGramConfig::xl());
+        let handle = lm.pooled_handle().expect("n-gram models pool");
+        let ctx = tok.encode("the cat");
+        assert_eq!(handle.next_log_probs(&ctx), lm.next_log_probs(&ctx));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Persistent-pool batched scoring.
+//!
+//! Every parallel scoring batch used to pay a thread-spawn tax:
+//! [`crate::fan_out_scores`] called `crossbeam::scope` (and consulted
+//! `available_parallelism()`, ignoring the configured
+//! [`Parallelism`]) on **every** batch. This module routes batches to
+//! the workspace-wide [`WorkerPool`] instead — long-lived workers parked
+//! on a condvar, one pool per resolved worker count, shared with the
+//! automata compile waves — so steady-state scoring spawns zero threads
+//! per batch ([`WorkerPool::spawn_count`] stays flat).
+//!
+//! Determinism: [`pooled_scores`] splits the batch into the same
+//! contiguous chunks as the spawn-backed fan-out and
+//! [`WorkerPool::run`] merges chunk results in submission order, so the
+//! output is **bit-identical** to both [`crate::fan_out_scores`] and a
+//! serial `next_log_probs` map (`tests/pool.rs` proves it on
+//! `f64::to_bits`).
+
+use std::sync::Arc;
+
+use relm_automata::Parallelism;
+pub use relm_automata::WorkerPool;
+
+use crate::sampler::FAN_OUT_MIN_CHUNK;
+use crate::{LanguageModel, TokenId};
+
+/// Score a batch through the persistent [`WorkerPool`] for `par`.
+///
+/// Returns `None` when pooling does not apply — the batch is too small
+/// to split, `par` resolves to a single worker, or the model does not
+/// provide a [`LanguageModel::pooled_handle`] — in which case the caller
+/// should score serially (or through its own fallback). `Some` results
+/// keep input order and are bit-identical to a serial map.
+pub fn pooled_scores<M: LanguageModel + ?Sized>(
+    model: &M,
+    contexts: &[&[TokenId]],
+    par: Parallelism,
+) -> Option<Vec<Vec<f64>>> {
+    if contexts.len() <= FAN_OUT_MIN_CHUNK || !par.is_parallel() {
+        return None;
+    }
+    let handle = model.pooled_handle()?;
+    let pool = WorkerPool::for_parallelism(par);
+    let workers = pool
+        .workers()
+        .min(contexts.len().div_ceil(FAN_OUT_MIN_CHUNK));
+    if workers <= 1 {
+        return None;
+    }
+    let chunk = contexts.len().div_ceil(workers);
+    let jobs: Vec<_> = contexts
+        .chunks(chunk)
+        .map(|ctxs| {
+            // Pool jobs are 'static: own the contexts and an Arc'd model.
+            let ctxs: Vec<Vec<TokenId>> = ctxs.iter().map(|c| c.to_vec()).collect();
+            let handle = Arc::clone(&handle);
+            move || {
+                ctxs.iter()
+                    .map(|ctx| handle.next_log_probs(ctx))
+                    .collect::<Vec<_>>()
+            }
+        })
+        .collect();
+    Some(pool.run(jobs).into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fan_out_scores, NGramConfig, NGramLm};
+    use relm_bpe::BpeTokenizer;
+
+    fn fixture() -> (BpeTokenizer, NGramLm) {
+        let corpus = "the cat sat on the mat. the dog sat on the log.";
+        let tok = BpeTokenizer::train(corpus, 40);
+        let lm = NGramLm::train(
+            &tok,
+            &["the cat sat on the mat.", "the dog sat on the log."],
+            NGramConfig::xl(),
+        );
+        (tok, lm)
+    }
+
+    #[test]
+    fn pooled_scores_match_spawned_and_serial_bit_for_bit() {
+        let (tok, lm) = fixture();
+        let contexts: Vec<Vec<TokenId>> = (0..24)
+            .map(|i| tok.encode(["the", "the cat", "the dog sat", ""][i % 4]))
+            .collect();
+        let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
+        let pooled = pooled_scores(&lm, &refs, Parallelism::sharded(4)).expect("pool applies");
+        let spawned = fan_out_scores(&lm, &refs, 4);
+        let serial: Vec<Vec<f64>> = refs.iter().map(|c| lm.next_log_probs(c)).collect();
+        for ((p, s), ser) in pooled.iter().zip(&spawned).zip(&serial) {
+            for ((a, b), c) in p.iter().zip(s).zip(ser) {
+                assert_eq!(a.to_bits(), b.to_bits());
+                assert_eq!(a.to_bits(), c.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn serial_parallelism_declines_to_pool() {
+        let (tok, lm) = fixture();
+        let contexts: Vec<Vec<TokenId>> = (0..16).map(|_| tok.encode("the")).collect();
+        let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
+        assert!(pooled_scores(&lm, &refs, Parallelism::Serial).is_none());
+    }
+
+    #[test]
+    fn tiny_batches_decline_to_pool() {
+        let (tok, lm) = fixture();
+        let ctx = tok.encode("the");
+        let refs: Vec<&[TokenId]> = vec![&ctx; FAN_OUT_MIN_CHUNK];
+        assert!(pooled_scores(&lm, &refs, Parallelism::sharded(4)).is_none());
+    }
+
+    #[test]
+    fn pooled_batches_spawn_no_threads_in_steady_state() {
+        let (tok, lm) = fixture();
+        let contexts: Vec<Vec<TokenId>> = (0..32).map(|_| tok.encode("the cat")).collect();
+        let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
+        let pool = WorkerPool::for_parallelism(Parallelism::sharded(3));
+        let _ = pooled_scores(&lm, &refs, Parallelism::sharded(3)).expect("pool applies");
+        let spawned_after_first = pool.spawn_count();
+        for _ in 0..8 {
+            let _ = pooled_scores(&lm, &refs, Parallelism::sharded(3)).expect("pool applies");
+        }
+        assert_eq!(
+            pool.spawn_count(),
+            spawned_after_first,
+            "zero per-batch spawns"
+        );
+    }
+}

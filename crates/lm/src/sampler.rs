@@ -4,7 +4,8 @@
 //! `run_generation.py`-style loop that samples token-by-token under a
 //! decoding policy until EOS or a stop length (§4.1's random-sampling
 //! comparison). [`score_batch`] is the CPU analogue of batched GPU
-//! inference, parallelized with crossbeam.
+//! inference; [`fan_out_scores`] is the spawn-backed reference the
+//! persistent worker pool is measured against.
 
 use rand::Rng;
 
@@ -88,32 +89,41 @@ pub fn sequence_log_prob<M: LanguageModel>(
 ///
 /// This is a convenience wrapper over
 /// [`LanguageModel::next_log_probs_batch`], which models override with
-/// the crossbeam fan-out in [`fan_out_scores`]; prefer scoring through a
-/// [`crate::ScoringEngine`], which adds deduplication and memoization on
-/// top.
+/// the persistent-pool scoring in [`crate::pool::pooled_scores`]; prefer
+/// scoring through a [`crate::ScoringEngine`], which adds deduplication
+/// and memoization on top.
 pub fn score_batch<M: LanguageModel>(model: &M, contexts: &[Vec<TokenId>]) -> Vec<Vec<f64>> {
     let refs: Vec<&[TokenId]> = contexts.iter().map(Vec::as_slice).collect();
     model.next_log_probs_batch(&refs)
 }
 
-/// Crossbeam-parallel batched scoring: the shared implementation behind
-/// the `next_log_probs_batch` overrides of [`crate::NGramLm`] and
-/// [`crate::NeuralLm`]. Contexts are split into per-worker chunks so
+/// Keep every worker busy with at least this many contexts: dispatching
+/// a worker for a tiny slice costs more than the forward passes it runs.
+pub(crate) const FAN_OUT_MIN_CHUNK: usize = 4;
+
+/// Spawn-backed parallel batched scoring: contexts are split into
+/// per-worker chunks, each scored on a freshly spawned scoped thread, so
 /// results keep input order.
-pub(crate) fn fan_out_scores<M: LanguageModel + ?Sized>(
+///
+/// `workers` is the **resolved** worker budget — callers route it
+/// through their configured [`relm_automata::Parallelism`]
+/// (`par.threads()`), never through `available_parallelism()` directly,
+/// so a `Parallelism::Serial` session really is serial. `workers <= 1`
+/// scores inline.
+///
+/// This is the reference path the persistent-pool scoring
+/// ([`crate::pool::pooled_scores`]) is benchmarked and tested
+/// bit-identical against; production batch overrides go through the
+/// pool, which spawns no threads per batch.
+pub fn fan_out_scores<M: LanguageModel + ?Sized>(
     model: &M,
     contexts: &[&[TokenId]],
+    workers: usize,
 ) -> Vec<Vec<f64>> {
     if contexts.is_empty() {
         return Vec::new();
     }
-    // Keep every worker busy with at least a few contexts: spawning a
-    // thread per tiny slice costs more than the forward passes it runs.
-    const MIN_CHUNK: usize = 4;
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(contexts.len().div_ceil(MIN_CHUNK));
+    let workers = workers.min(contexts.len().div_ceil(FAN_OUT_MIN_CHUNK));
     if workers <= 1 {
         return contexts
             .iter()

@@ -17,7 +17,12 @@
 //!   session bumps the generation, so a stale distribution can never be
 //!   served across the swap;
 //! * **thread-safe** — a `Mutex` around the table plus atomic counters;
-//!   engines on different threads may share one cache.
+//!   engines on different threads may share one cache;
+//! * **reuse-gated admission** — after a warm-up window the cache keeps
+//!   admitting only while its *observed* mean reuse depth stays above a
+//!   floor ([`SharedScoringCache::admission_open`]); workloads whose
+//!   entries are never looked up again stop churning the table, and the
+//!   gate reopens by itself as soon as reuse accumulates.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -30,6 +35,23 @@ use crate::cache::BatchPlan;
 
 /// Default byte budget for a session's shared scoring cache (128 MiB).
 pub const DEFAULT_SHARED_CACHE_BYTES: usize = 128 << 20;
+
+/// Admissions granted unconditionally before the reuse gate engages —
+/// the cache needs a population before "observed reuse" means anything.
+pub(crate) const SHARED_ADMISSION_WARMUP: u64 = 128;
+
+/// Reuse floor for the admission gate: past warm-up the cache admits
+/// while `reuse_hits * DIVISOR >= insertions`, i.e. while at least one
+/// entry in `DIVISOR` has ever been served a second time.
+const SHARED_ADMISSION_MIN_REUSE_DIVISOR: u64 = 32;
+
+/// The pure admission rule, shared by [`SharedScoringCache::admission_open`]
+/// and the inline computation in `stats()` (which already holds the table
+/// lock and must not re-take it).
+fn admission_rule(insertions: u64, reuse_hits: u64) -> bool {
+    insertions < SHARED_ADMISSION_WARMUP
+        || reuse_hits.saturating_mul(SHARED_ADMISSION_MIN_REUSE_DIVISOR) >= insertions
+}
 
 /// Counters and gauges describing a [`SharedScoringCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -57,6 +79,12 @@ pub struct SharedCacheStats {
     pub max_bytes: usize,
     /// Current generation tag (bumped on model/tokenizer swap).
     pub generation: u64,
+    /// Whether the reuse-gated admission policy is currently admitting
+    /// new entries (see [`SharedScoringCache::admission_open`]).
+    pub admitting: bool,
+    /// Mean observed reuse depth per admitted entry over the cache's
+    /// lifetime — lookups served per insertion, evicted entries included.
+    pub mean_reuse_depth: f64,
 }
 
 impl SharedCacheStats {
@@ -159,6 +187,20 @@ impl SharedScoringCache {
         self.len() == 0
     }
 
+    /// Whether the reuse-gated admission policy is currently admitting.
+    ///
+    /// The first [`SHARED_ADMISSION_WARMUP`] insertions are admitted
+    /// unconditionally. Past that, the gate stays open while the table's
+    /// lifetime reuse (`reuse_hits`, one per lookup served) clears the
+    /// floor `reuse_hits * 32 >= insertions` — at least one admitted
+    /// entry in 32 has been served again. The gate is *not* sticky: a
+    /// zero-reuse burst closes it, and hits against the resident
+    /// population reopen it.
+    pub fn admission_open(&self) -> bool {
+        let table = self.table.lock();
+        admission_rule(table.insertions(), table.reuse_hits())
+    }
+
     /// Snapshot of the counters and gauges.
     pub fn stats(&self) -> SharedCacheStats {
         let table = self.table.lock();
@@ -172,6 +214,10 @@ impl SharedScoringCache {
             bytes: table.bytes(),
             max_bytes: table.max_bytes(),
             generation: table.generation(),
+            // Computed inline: the table lock is already held, and
+            // parking_lot mutexes are not reentrant.
+            admitting: admission_rule(table.insertions(), table.reuse_hits()),
+            mean_reuse_depth: table.mean_reuse_depth(),
         }
     }
 }
@@ -218,6 +264,40 @@ mod tests {
         assert!(cache.is_empty());
         cache.insert(vec![5], vec![-3.0]);
         assert_eq!(cache.lookup(&[5]), Some(vec![-3.0]));
+    }
+
+    #[test]
+    fn admission_stays_open_through_warmup() {
+        let cache = SharedScoringCache::new(1 << 20);
+        for i in 0..SHARED_ADMISSION_WARMUP as u32 - 1 {
+            assert!(cache.admission_open(), "closed during warmup at {i}");
+            cache.insert(vec![i], vec![0.0]);
+        }
+        assert!(cache.admission_open());
+        assert!(cache.stats().admitting);
+    }
+
+    #[test]
+    fn zero_reuse_closes_admission_and_reuse_reopens_it() {
+        let cache = SharedScoringCache::new(1 << 20);
+        for i in 0..SHARED_ADMISSION_WARMUP as u32 {
+            cache.insert(vec![i], vec![0.0]);
+        }
+        // Warm-up spent with nothing ever looked up again: gate closes.
+        assert!(!cache.admission_open());
+        let stats = cache.stats();
+        assert!(!stats.admitting);
+        assert_eq!(stats.mean_reuse_depth, 0.0);
+        // 4 hits * 32 = 128 >= 128 insertions: the gate reopens on its
+        // own — no reset, no generation bump.
+        for hit in 0..4 {
+            assert!(!cache.admission_open(), "reopened early at hit {hit}");
+            assert!(cache.lookup(&[0]).is_some());
+        }
+        assert!(cache.admission_open());
+        let stats = cache.stats();
+        assert!(stats.admitting);
+        assert!(stats.mean_reuse_depth > 0.0);
     }
 
     #[test]

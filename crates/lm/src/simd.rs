@@ -1,0 +1,155 @@
+//! Portable vectorized finish pass for the n-gram forward kernel.
+//!
+//! [`crate::NGramLm::next_log_probs`] spends its time in two places: a
+//! sparse accumulation over the observed continuations of each matching
+//! context (O(touched tokens)) and a dense finish loop that adds the
+//! uniform floor and takes the log of **every** vocabulary slot (O(V)).
+//! On realistic vocabularies almost every slot is untouched — its
+//! accumulated mass is exactly `0.0` — yet the scalar finish pays a full
+//! `ln` per slot.
+//!
+//! [`finish_log_probs`] rewrites that finish as a chunked, fixed-width
+//! kernel over [`LANE_WIDTH`]-slot lanes, with no `unsafe`:
+//!
+//! * the `any_touched` reduction over a lane is a stride-8 compare the
+//!   autovectorizer lifts to a SIMD compare + movemask — plain slice
+//!   iteration over a fixed-width chunk is exactly the shape LLVM
+//!   vectorizes, and bounds checks vanish because the chunk length is a
+//!   compile-time constant;
+//! * an all-zero lane is filled with the precomputed `ln(floor)`
+//!   (a memset-like splat), skipping eight `ln` calls;
+//! * a mixed lane falls back to per-slot finishing, where untouched
+//!   slots still reuse the precomputed `ln(floor)`.
+//!
+//! **Bit-identity proof.** Every contribution the accumulation adds is
+//! `w · c / total` with `w > 0`, `c > 0`, `total > 0`, so a slot is
+//! untouched **iff** its value is exactly `+0.0`. IEEE-754 guarantees
+//! `0.0 + floor == floor` exactly (for every `floor`, including `0.0`),
+//! hence `(0.0 + floor).ln()` and the precomputed `floor.ln()` are the
+//! same bit pattern, and touched slots evaluate the identical expression
+//! `(*p + floor).ln()` in both kernels. The vectorized finish is
+//! therefore byte-identical to the scalar reference — tested slot by
+//! slot on `f64::to_bits` in this module and end-to-end in `tests/pool.rs`.
+
+/// Fixed lane width of the vectorized finish pass: eight `f64`s, one
+/// AVX-512 register or two AVX2 registers, and small enough that mixed
+/// lanes stay rare on sparse rows.
+pub const LANE_WIDTH: usize = 8;
+
+/// Which forward-pass finish kernel an [`crate::NGramLm`] uses.
+///
+/// The two kernels produce byte-identical `f64` output (see the module
+/// docs for the proof); `Scalar` is the reference path kept for tests
+/// and benchmark baselines, `Vectorized` is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ForwardKernel {
+    /// One `(*p + floor).ln()` per vocabulary slot — the PR 1 loop,
+    /// kept as the reference the vectorized kernel is proven against.
+    Scalar,
+    /// Lane-chunked finish: skip `ln` for untouched slots, splat
+    /// all-zero lanes (the default).
+    #[default]
+    Vectorized,
+}
+
+/// Finish an accumulated probability row in place: `p ← ln(p + floor)`
+/// for every slot, using the selected kernel. Both kernels are
+/// byte-identical; see the module docs.
+pub(crate) fn finish_log_probs(probs: &mut [f64], floor: f64, kernel: ForwardKernel) {
+    match kernel {
+        ForwardKernel::Scalar => {
+            for p in probs.iter_mut() {
+                *p = (*p + floor).ln();
+            }
+        }
+        ForwardKernel::Vectorized => {
+            let ln_floor = floor.ln();
+            let mut lanes = probs.chunks_exact_mut(LANE_WIDTH);
+            for lane in lanes.by_ref() {
+                // Stride-8 reduction: a fixed-width compare the
+                // autovectorizer turns into one SIMD test per lane.
+                let mut any_touched = false;
+                for p in lane.iter() {
+                    any_touched |= *p != 0.0;
+                }
+                if any_touched {
+                    for p in lane.iter_mut() {
+                        *p = if *p == 0.0 {
+                            ln_floor
+                        } else {
+                            (*p + floor).ln()
+                        };
+                    }
+                } else {
+                    lane.fill(ln_floor);
+                }
+            }
+            for p in lanes.into_remainder() {
+                *p = if *p == 0.0 {
+                    ln_floor
+                } else {
+                    (*p + floor).ln()
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bit_identical(scalar: &[f64], vectorized: &[f64]) {
+        assert_eq!(scalar.len(), vectorized.len());
+        for (i, (s, v)) in scalar.iter().zip(vectorized).enumerate() {
+            assert_eq!(s.to_bits(), v.to_bits(), "slot {i}: {s} vs {v}");
+        }
+    }
+
+    fn check(row: &[f64], floor: f64) {
+        let mut scalar = row.to_vec();
+        let mut vectorized = row.to_vec();
+        finish_log_probs(&mut scalar, floor, ForwardKernel::Scalar);
+        finish_log_probs(&mut vectorized, floor, ForwardKernel::Vectorized);
+        assert_bit_identical(&scalar, &vectorized);
+    }
+
+    #[test]
+    fn kernels_agree_on_sparse_rows() {
+        // Mostly-zero row with touched slots scattered across lane
+        // positions, lane boundaries, and the remainder tail.
+        let mut row = vec![0.0f64; 103];
+        for (i, slot) in row.iter_mut().enumerate() {
+            if i % 17 == 3 {
+                *slot = 0.001 * (i as f64 + 1.0);
+            }
+        }
+        check(&row, 0.01 / 103.0);
+    }
+
+    #[test]
+    fn kernels_agree_on_dense_and_empty_rows() {
+        let dense: Vec<f64> = (0..64).map(|i| 1.0 / (i as f64 + 2.0)).collect();
+        check(&dense, 1e-4);
+        check(&vec![0.0f64; 64], 1e-4);
+        check(&[], 1e-4);
+    }
+
+    #[test]
+    fn kernels_agree_when_floor_is_zero() {
+        // floor = 0: untouched slots must be -inf in both kernels.
+        let mut row = vec![0.0f64; 24];
+        row[5] = 0.25;
+        let mut scalar = row.clone();
+        let mut vectorized = row;
+        finish_log_probs(&mut scalar, 0.0, ForwardKernel::Scalar);
+        finish_log_probs(&mut vectorized, 0.0, ForwardKernel::Vectorized);
+        assert!(scalar[0].is_infinite() && scalar[0] < 0.0);
+        assert_bit_identical(&scalar, &vectorized);
+    }
+
+    #[test]
+    fn kernels_agree_on_short_rows_below_one_lane() {
+        check(&[0.0, 0.5, 0.0], 0.125);
+    }
+}

@@ -46,7 +46,7 @@
 pub use relm_automata::{
     ascii_alphabet, byte_alphabet, concat, dfa_to_dot, levenshtein_within, nfa_to_dot,
     prefix_closure, reverse, str_symbols, symbols_to_string, Dfa, Fst, Nfa, Parallelism,
-    ShardIndex, ShardedDfa, StateId, Symbol, WalkChoice, WalkTable,
+    ShardIndex, ShardedDfa, StateId, Symbol, WalkChoice, WalkTable, WorkerPool,
 };
 pub use relm_bpe::{pretokenize, BpeTokenizer, TokenId};
 pub use relm_core::{
@@ -59,9 +59,10 @@ pub use relm_core::{
 #[allow(deprecated)] // the legacy one-shot shims remain exported until removal
 pub use relm_core::{execute, plan, search};
 pub use relm_lm::{
-    perplexity, sample_sequence, score_batch, sequence_log_prob, top_k_accuracy, AcceleratorSim,
-    CachedLm, DecodingPolicy, LanguageModel, NGramConfig, NGramLm, NeuralLm, NeuralLmConfig,
-    ScoringEngine, ScoringMode, ScoringStats, SharedCacheStats, SharedScoringCache,
+    fan_out_scores, perplexity, pooled_scores, sample_sequence, score_batch, sequence_log_prob,
+    top_k_accuracy, AcceleratorSim, CachedLm, DecodingPolicy, ForwardKernel, LanguageModel,
+    NGramConfig, NGramLm, NeuralLm, NeuralLmConfig, ScoringEngine, ScoringMode, ScoringStats,
+    SharedCacheStats, SharedScoringCache,
 };
 pub use relm_regex::{disjunction_of, escape, Regex};
 

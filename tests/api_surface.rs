@@ -87,6 +87,7 @@ fn facade_reexport_list_matches_snapshot() {
         "Symbol",
         "WalkChoice",
         "WalkTable",
+        "WorkerPool",
         // relm-bpe
         "pretokenize",
         "BpeTokenizer",
@@ -130,7 +131,9 @@ fn facade_reexport_list_matches_snapshot() {
         "plan",
         "search",
         // relm-lm
+        "fan_out_scores",
         "perplexity",
+        "pooled_scores",
         "sample_sequence",
         "score_batch",
         "sequence_log_prob",
@@ -138,6 +141,7 @@ fn facade_reexport_list_matches_snapshot() {
         "AcceleratorSim",
         "CachedLm",
         "DecodingPolicy",
+        "ForwardKernel",
         "LanguageModel",
         "NGramConfig",
         "NGramLm",
