@@ -31,24 +31,53 @@ use crate::{StateId, Symbol};
 /// than computing a handful of successor sets.
 const PARALLEL_WAVE_MIN: usize = 8;
 
-/// Deterministic shard-parallel BFS over a composite state space.
+/// Deterministic shard-parallel BFS over a composite state space, with
+/// a per-wave successor-dedup closure cache.
 ///
-/// `succ` maps a composite state to its `(symbol, successor, accepting)`
-/// triples in strictly increasing symbol order. Waves of the BFS
-/// frontier are partitioned into contiguous shards submitted as ordered
-/// jobs to the persistent [`WorkerPool`] for `par` (no threads are
-/// spawned per wave); [`WorkerPool::run`] returns the shard results in
-/// submission order, and the merge walks shards in order and assigns
-/// new state ids exactly as the serial FIFO construction would, so the
-/// resulting automaton is structurally identical to a serial build.
-fn explore_waves<K, S>(start: K, start_accepting: bool, par: Parallelism, succ: S) -> Vec<DfaState>
+/// The expensive part of each BFS wave splits in two:
+///
+/// * `succ` maps a composite state to its **raw** `(symbol, successor)`
+///   moves in strictly increasing symbol order — cheap bookkeeping
+///   (collecting direct targets per symbol);
+/// * `close` finishes a raw successor `R` into the canonical composite
+///   state and its acceptance `(K, bool)` — the expensive step (the
+///   ε-closure of subset construction, the accepting scan of a quotient
+///   determinization).
+///
+/// Within one wave, converging edges routinely produce the *same* raw
+/// successor from many `(state, symbol)` pairs; the old single-closure
+/// design re-derived the closure for each. Here every wave collects its
+/// distinct raw successors first (in frontier-then-symbol order) and
+/// closes each exactly once — the per-wave closure cache — before the
+/// merge. Speculative lookahead multiplies frontier pressure, so it must
+/// not multiply duplicated closure work.
+///
+/// Waves of the BFS frontier are partitioned into contiguous shards
+/// submitted as ordered jobs to the persistent [`WorkerPool`] for `par`
+/// (no threads are spawned per wave); [`WorkerPool::run`] returns shard
+/// results in submission order, and the merge walks shards in order and
+/// assigns new state ids exactly as the serial FIFO construction would,
+/// so the resulting automaton is structurally identical to a serial
+/// build. Closing distinct successors per wave preserves that: `close`
+/// is pure, so one shared result is indistinguishable from per-edge
+/// recomputation.
+fn explore_waves<K, R, S, C>(
+    start: K,
+    start_accepting: bool,
+    par: Parallelism,
+    succ: S,
+    close: C,
+) -> Vec<DfaState>
 where
     K: Clone + Eq + Hash + Send + Sync + 'static,
-    S: Fn(&K) -> Vec<(Symbol, K, bool)> + Send + Sync + 'static,
+    R: Clone + Eq + Hash + Send + Sync + 'static,
+    S: Fn(&K) -> Vec<(Symbol, R)> + Send + Sync + 'static,
+    C: Fn(&R) -> (K, bool) + Send + Sync + 'static,
 {
     let threads = par.threads();
     let pool = WorkerPool::for_parallelism(par);
     let succ = Arc::new(succ);
+    let close = Arc::new(close);
     let mut ids: HashMap<K, StateId> = HashMap::new();
     let mut states = vec![DfaState {
         transitions: Vec::new(),
@@ -57,10 +86,10 @@ where
     ids.insert(start.clone(), 0);
     let mut frontier: Vec<K> = vec![start];
     while !frontier.is_empty() {
-        // Expand the wave: sharded across the pool when it is wide
-        // enough to pay for the job dispatch, inline otherwise. Either
-        // way the result vector is in frontier order.
-        let expansions: Vec<Vec<(Symbol, K, bool)>> =
+        // Expand the wave into raw moves: sharded across the pool when
+        // it is wide enough to pay for the job dispatch, inline
+        // otherwise. Either way the result vector is in frontier order.
+        let expansions: Vec<Vec<(Symbol, R)>> =
             if pool.workers() > 0 && threads > 1 && frontier.len() >= PARALLEL_WAVE_MIN {
                 let chunk = frontier.len().div_ceil(threads);
                 let jobs: Vec<_> = frontier
@@ -75,22 +104,51 @@ where
             } else {
                 frontier.iter().map(|k| (succ)(k)).collect()
             };
+        // The wave's closure cache: distinct raw successors in
+        // first-appearance (frontier, then symbol) order, each closed
+        // exactly once — sharded when the distinct set is wide enough.
+        let mut raw_index: HashMap<R, usize> = HashMap::new();
+        let mut distinct: Vec<R> = Vec::new();
+        for moves in &expansions {
+            for (_, raw) in moves {
+                if !raw_index.contains_key(raw) {
+                    raw_index.insert(raw.clone(), distinct.len());
+                    distinct.push(raw.clone());
+                }
+            }
+        }
+        let closed: Vec<(K, bool)> =
+            if pool.workers() > 0 && threads > 1 && distinct.len() >= PARALLEL_WAVE_MIN {
+                let chunk = distinct.len().div_ceil(threads);
+                let jobs: Vec<_> = distinct
+                    .chunks(chunk)
+                    .map(|shard| {
+                        let shard: Vec<R> = shard.to_vec();
+                        let close = Arc::clone(&close);
+                        move || shard.iter().map(|r| (close)(r)).collect::<Vec<_>>()
+                    })
+                    .collect();
+                pool.run(jobs).into_iter().flatten().collect()
+            } else {
+                distinct.iter().map(|r| (close)(r)).collect()
+            };
         // Deterministic merge: frontier order, then symbol order — the
         // serial FIFO discovery order.
         let mut next: Vec<K> = Vec::new();
         for (idx, moves) in expansions.into_iter().enumerate() {
             let id = ids[&frontier[idx]];
-            for (sym, target, accepting) in moves {
-                let target_id = match ids.get(&target) {
+            for (sym, raw) in moves {
+                let (target, accepting) = &closed[raw_index[&raw]];
+                let target_id = match ids.get(target) {
                     Some(&t) => t,
                     None => {
                         let t = states.len();
                         states.push(DfaState {
                             transitions: Vec::new(),
-                            accepting,
+                            accepting: *accepting,
                         });
                         ids.insert(target.clone(), t);
-                        next.push(target);
+                        next.push(target.clone());
                         t
                     }
                 };
@@ -157,27 +215,31 @@ impl Dfa {
         }
         let start_set = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
         let start_accepting = start_set.iter().any(|&s| nfa.is_accepting(s));
-        // One clone of the NFA per parallel build so the successor
-        // closure owns its environment and can ride on pool workers.
-        let nfa = nfa.clone();
-        let succ = move |set: &BTreeSet<StateId>| {
-            let mut moves: BTreeMap<Symbol, BTreeSet<StateId>> = BTreeMap::new();
-            for &s in set {
-                for (sym, t) in nfa.transitions(s) {
-                    moves.entry(sym).or_default().insert(t);
+        // One clone of the NFA per parallel build, shared by the raw
+        // successor and closure callbacks so both own their environment
+        // and can ride on pool workers. Raw successors are the direct
+        // target sets per symbol; the expensive ε-closure runs once per
+        // distinct target set per wave in `explore_waves`.
+        let nfa = Arc::new(nfa.clone());
+        let succ = {
+            let nfa = Arc::clone(&nfa);
+            move |set: &BTreeSet<StateId>| {
+                let mut moves: BTreeMap<Symbol, BTreeSet<StateId>> = BTreeMap::new();
+                for &s in set {
+                    for (sym, t) in nfa.transitions(s) {
+                        moves.entry(sym).or_default().insert(t);
+                    }
                 }
+                moves.into_iter().collect()
             }
-            moves
-                .into_iter()
-                .map(|(sym, targets)| {
-                    let closure = nfa.epsilon_closure(&targets);
-                    let accepting = closure.iter().any(|&s| nfa.is_accepting(s));
-                    (sym, closure, accepting)
-                })
-                .collect()
+        };
+        let close = move |targets: &BTreeSet<StateId>| {
+            let closure = nfa.epsilon_closure(targets);
+            let accepting = closure.iter().any(|&s| nfa.is_accepting(s));
+            (closure, accepting)
         };
         Dfa {
-            states: explore_waves(start_set, start_accepting, par, succ),
+            states: explore_waves(start_set, start_accepting, par, succ, close),
             start: 0,
         }
     }
@@ -592,21 +654,32 @@ impl Dfa {
         let b = other.complete(&alphabet);
         let start = (a.start, b.start);
         let start_accepting = accept(a.is_accepting(start.0), b.is_accepting(start.1));
-        // The completed operands and alphabet are owned locals; move them
-        // into the closure so pool jobs can hold it without borrows.
-        let succ = move |&(sa, sb): &(StateId, StateId)| {
-            alphabet
-                .iter()
-                .map(|&sym| {
-                    let ta = a.step(sa, sym).expect("completed DFA");
-                    let tb = b.step(sb, sym).expect("completed DFA");
-                    let accepting = accept(a.is_accepting(ta), b.is_accepting(tb));
-                    (sym, (ta, tb), accepting)
-                })
-                .collect()
+        // The completed operands and alphabet are owned locals, shared
+        // between the raw-move and closing callbacks so pool jobs can
+        // hold them without borrows. Raw successors are the product
+        // pairs; the per-wave dedup collapses converging pairs so the
+        // acceptance check runs once per distinct pair per wave.
+        let a = Arc::new(a);
+        let b = Arc::new(b);
+        let succ = {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            move |&(sa, sb): &(StateId, StateId)| {
+                alphabet
+                    .iter()
+                    .map(|&sym| {
+                        let ta = a.step(sa, sym).expect("completed DFA");
+                        let tb = b.step(sb, sym).expect("completed DFA");
+                        (sym, (ta, tb))
+                    })
+                    .collect()
+            }
+        };
+        let close = move |&(ta, tb): &(StateId, StateId)| {
+            ((ta, tb), accept(a.is_accepting(ta), b.is_accepting(tb)))
         };
         Dfa {
-            states: explore_waves(start, start_accepting, par, succ),
+            states: explore_waves(start, start_accepting, par, succ, close),
             start: 0,
         }
         .trim()
@@ -752,26 +825,29 @@ impl Dfa {
             return self.determinize_from(starts);
         }
         let start_accepting = starts.iter().any(|&s| self.states[s].accepting);
-        // One clone of the transition graph per parallel build so the
-        // successor closure owns its environment (pool jobs are 'static).
-        let dfa = self.clone();
-        let succ = move |set: &BTreeSet<StateId>| {
-            let mut moves: BTreeMap<Symbol, BTreeSet<StateId>> = BTreeMap::new();
-            for &s in set {
-                for &(a, t) in &dfa.states[s].transitions {
-                    moves.entry(a).or_default().insert(t);
+        // One clone of the transition graph per parallel build, shared
+        // by the raw-move and closing callbacks (pool jobs are 'static).
+        // Raw successors are the union target sets; the per-wave dedup
+        // runs the accepting scan once per distinct set per wave.
+        let dfa = Arc::new(self.clone());
+        let succ = {
+            let dfa = Arc::clone(&dfa);
+            move |set: &BTreeSet<StateId>| {
+                let mut moves: BTreeMap<Symbol, BTreeSet<StateId>> = BTreeMap::new();
+                for &s in set {
+                    for &(a, t) in &dfa.states[s].transitions {
+                        moves.entry(a).or_default().insert(t);
+                    }
                 }
+                moves.into_iter().collect()
             }
-            moves
-                .into_iter()
-                .map(|(a, targets)| {
-                    let accepting = targets.iter().any(|&s| dfa.states[s].accepting);
-                    (a, targets, accepting)
-                })
-                .collect()
+        };
+        let close = move |targets: &BTreeSet<StateId>| {
+            let accepting = targets.iter().any(|&s| dfa.states[s].accepting);
+            (targets.clone(), accepting)
         };
         Dfa {
-            states: explore_waves(starts.clone(), start_accepting, par, succ),
+            states: explore_waves(starts.clone(), start_accepting, par, succ, close),
             start: 0,
         }
         .trim()
@@ -1020,6 +1096,35 @@ mod tests {
         assert!(d.contains(s("")));
         assert!(d.contains(s("ababab")));
         assert!(!d.contains(s("aab")));
+    }
+
+    #[test]
+    fn explore_waves_closes_each_distinct_successor_once_per_wave() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Synthetic converging graph: from 0, symbols 1 and 2 reach the
+        // same raw successor 10 while symbol 3 reaches 11; from both 10
+        // and 11 a single symbol converges on 99.
+        let closes = Arc::new(AtomicUsize::new(0));
+        let succ = |k: &u32| -> Vec<(Symbol, u32)> {
+            match *k {
+                0 => vec![(1, 10), (2, 10), (3, 11)],
+                10 => vec![(1, 99)],
+                11 => vec![(1, 99)],
+                _ => Vec::new(),
+            }
+        };
+        let close = {
+            let closes = Arc::clone(&closes);
+            move |r: &u32| {
+                closes.fetch_add(1, Ordering::Relaxed);
+                (*r, false)
+            }
+        };
+        let states = explore_waves(0u32, false, Parallelism::sharded(2), succ, close);
+        // Wave 1 raw successors are {10, 10, 11} → 2 closes; wave 2 has
+        // {99, 99} → 1 more. Per-edge closing would have done 5.
+        assert_eq!(closes.load(Ordering::Relaxed), 3);
+        assert_eq!(states.len(), 4);
     }
 
     #[test]

@@ -1065,6 +1065,187 @@ fn bench_serve_concurrent(_c: &mut Criterion) {
     );
 }
 
+/// The speculation tentpole: the sampling-heavy mixed query set run
+/// through `run_many` with speculative scoring off vs on. Results are
+/// byte-identical either way (asserted in `tests/speculation.rs` for
+/// solo, `run_many`, and the served path); these rows record the
+/// wall-clock delta, the speculation hit rate, and — the number the
+/// driver slack-fill exists to move — the mean fill of the driver's
+/// coalesced tick batches once slack capacity is topped up with
+/// speculative contexts from other queries' walks.
+fn bench_speculation_slack_fill(_c: &mut Criterion) {
+    use relm_core::{QuerySet, SearchStrategy, Speculation, TickQuantum};
+    use relm_datasets::PROFESSIONS;
+    use std::time::Instant;
+
+    let wb = setup();
+    let professions = PROFESSIONS
+        .iter()
+        .map(|p| format!("({})", relm_regex::escape(p)))
+        .collect::<Vec<_>>()
+        .join("|");
+    let bias_query = |gender: &str, seed: u64| {
+        let prefix = format!("The {gender} was trained in");
+        let pattern = format!("{prefix} ({professions})\\.");
+        SearchQuery::new(QueryString::new(pattern).with_prefix(relm_regex::escape(&prefix)))
+            .with_strategy(SearchStrategy::RandomSampling { seed })
+            .with_max_tokens(32)
+            .with_max_expansions(200_000)
+    };
+    let url_sampling = |seed: u64| {
+        SearchQuery::new(
+            QueryString::new(relm_bench::urls::URL_PATTERN)
+                .with_prefix(relm_bench::urls::URL_PREFIX),
+        )
+        .with_strategy(SearchStrategy::RandomSampling { seed })
+        .with_policy(DecodingPolicy::top_k(40))
+        .with_max_tokens(20)
+        .with_max_expansions(5_000)
+    };
+    // Sampling-dominated so the walks' pending successors feed the
+    // driver's slack fill; TickQuantum::Always keeps the coalesced
+    // schedule itself on record rather than the adaptive fallback.
+    let specs: Vec<(SearchQuery, usize)> = vec![
+        (bias_query("man", 7), 8),
+        (bias_query("woman", 8), 8),
+        (url_sampling(11), 5),
+        (url_sampling(29), 5),
+    ];
+    let set: QuerySet = specs.iter().cloned().collect();
+    let set = set.with_tick_quantum(TickQuantum::Always);
+
+    let reps = 3u32;
+    // Fresh client per pass: speculation prices cold scoring caches (a
+    // warm cache leaves it nothing to pre-score).
+    let run = |spec: Speculation| {
+        let client_for = || {
+            relm_core::Relm::builder(&wb.xl, wb.tokenizer.clone())
+                .speculation(spec)
+                .build()
+                .expect("workbench pair is valid")
+        };
+        let report = client_for().run_many(&set).expect("instrumented pass");
+        let start = Instant::now();
+        for _ in 0..reps {
+            criterion::black_box(client_for().run_many(&set).expect("timed pass"));
+        }
+        let ns = start.elapsed().as_nanos() as f64 / f64::from(reps);
+        (ns, report)
+    };
+    let (off_ns, off_report) = run(Speculation::off());
+    let (on_ns, on_report) = run(Speculation::new());
+
+    let agg = |report: &relm_core::QuerySetReport| {
+        let mut s = relm_core::ExecutionStats::default();
+        for outcome in &report.outcomes {
+            s.speculative_scored += outcome.stats.speculative_scored;
+            s.speculation_hits += outcome.stats.speculation_hits;
+            s.speculation_wasted += outcome.stats.speculation_wasted;
+        }
+        s
+    };
+    let off_stats = agg(&off_report);
+    let on_stats = agg(&on_report);
+    assert_eq!(
+        off_stats.speculative_scored, 0,
+        "speculation off must pre-score nothing"
+    );
+    assert!(
+        on_stats.speculative_scored > 0 && on_stats.speculation_hits > 0,
+        "speculation on must pre-score contexts the walks then consume: {on_stats:?}"
+    );
+    assert!(
+        on_report.scoring.speculative_batches > 0,
+        "speculative lookahead must land in attributed engine batches"
+    );
+    relm_bench::report::speculation_stats("run_many_mixed", &on_stats);
+
+    // Mean fill of the driver's coalesced tick batches: slack fill tops
+    // partially-filled ticks up with speculative contexts, so the on
+    // row's fill must not regress (and rises whenever slack exists).
+    let tick_fill = |scoring: &relm_lm::ScoringStats| {
+        scoring.coalesced_contexts as f64 / scoring.coalesced_batches.max(1) as f64
+    };
+    let off_fill = tick_fill(&off_report.scoring);
+    let on_fill = tick_fill(&on_report.scoring);
+    let hit_rate = on_stats.speculation_hits as f64 / on_stats.speculative_scored.max(1) as f64;
+    assert!(
+        on_fill > off_fill,
+        "driver slack fill must raise the mean coalesced tick fill: \
+         {on_fill:.2} on vs {off_fill:.2} off"
+    );
+    println!(
+        "[speculation] driver slack fill: mean tick fill {off_fill:.2} -> {on_fill:.2} \
+         ({} -> {} contexts over {} -> {} coalesced batches), {:.0}% hit rate",
+        off_report.scoring.coalesced_contexts,
+        on_report.scoring.coalesced_contexts,
+        off_report.scoring.coalesced_batches,
+        on_report.scoring.coalesced_batches,
+        100.0 * hit_rate,
+    );
+    // What the two *engine-wide* batch schedules cost on the simulated
+    // accelerator (kernel launches amortize over batch fill): without
+    // speculation every walk step pays a singleton demand forward; with
+    // it the lookahead scores top-K successors per launch and the walk
+    // steps become cache hits, so the schedule trades launches for
+    // batch fill — the inference-bound regime where mis-speculation is
+    // cheaper than an extra kernel launch, even when the 1-core n-gram
+    // wall clock above is not.
+    let sim_schedule = |batches: u64, contexts: u64| {
+        use relm_lm::AcceleratorSim;
+        let mut sim = AcceleratorSim::default();
+        let mut left = contexts as usize;
+        for i in 0..batches as usize {
+            let fill = left.div_ceil((batches as usize - i).max(1));
+            if fill > 0 {
+                sim.forward(fill);
+                left -= fill;
+            }
+        }
+        sim.elapsed_secs()
+    };
+    let off_engine_fill = off_report.scoring.mean_batch_size();
+    let on_engine_fill = on_report.scoring.mean_batch_size();
+    let off_sim_ns = sim_schedule(
+        off_report.scoring.batches,
+        off_report.scoring.batched_contexts,
+    ) * 1e9;
+    let on_sim_ns = sim_schedule(
+        on_report.scoring.batches,
+        on_report.scoring.batched_contexts,
+    ) * 1e9;
+    assert!(
+        on_sim_ns < off_sim_ns,
+        "speculative batching must win on the launch-dominated accelerator sim: \
+         {on_sim_ns:.0} ns on vs {off_sim_ns:.0} ns off"
+    );
+    println!(
+        "[speculation] engine schedule: mean batch fill {off_engine_fill:.2} -> \
+         {on_engine_fill:.2} ({} -> {} launches), accelerator-sim {:.1} ms -> {:.1} ms \
+         ({:.2}x)",
+        off_report.scoring.batches,
+        on_report.scoring.batches,
+        off_sim_ns / 1e6,
+        on_sim_ns / 1e6,
+        off_sim_ns / on_sim_ns.max(1.0),
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"speculation/off\",\"mean_ns\":{off_ns:.1},\"samples\":{reps},\
+         \"hit_rate\":0.000,\"mean_batch_fill\":{off_engine_fill:.3},\
+         \"sim_ns\":{off_sim_ns:.1}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"speculation/on\",\"mean_ns\":{on_ns:.1},\"samples\":{reps},\
+         \"hit_rate\":{hit_rate:.3},\"mean_batch_fill\":{on_engine_fill:.3},\
+         \"sim_ns\":{on_sim_ns:.1}}}"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"driver_slack_fill\",\"mean_ns\":{on_sim_ns:.1},\"samples\":1,\
+         \"hit_rate\":{hit_rate:.3},\"mean_batch_fill\":{on_fill:.3},\
+         \"baseline_fill\":{off_fill:.3}}}"
+    );
+}
+
 criterion_group!(
     benches,
     bench_first_match_latency,
@@ -1076,6 +1257,7 @@ criterion_group!(
     bench_client_run_many,
     bench_sharding_compile_and_frontier,
     bench_pool_vs_spawn,
+    bench_speculation_slack_fill,
     bench_serve_concurrent
 );
 criterion_main!(benches);

@@ -33,7 +33,7 @@ use relm_lm::{LanguageModel, ScoringEngine, ScoringMode, ScoringStats, SharedSco
 use crate::executor::{CompiledSearch, ExecutionStats, SearchResults, StepOutcome};
 use crate::query::{QueryId, QuerySet, SearchQuery, TickQuantum};
 use crate::results::MatchResult;
-use crate::session::{RelmSession, SessionConfig, SessionStats};
+use crate::session::{RelmSession, SessionConfig, SessionStats, Speculation};
 use crate::RelmError;
 
 /// Uncached frontier contexts gathered per in-flight query per
@@ -91,6 +91,15 @@ impl<M: LanguageModel> RelmBuilder<M> {
     /// path; results are byte-identical for every setting.
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.config = self.config.with_parallelism(parallelism);
+        self
+    }
+
+    /// Set the speculative-scoring policy for sampling body walks (see
+    /// [`Speculation`]; default: enabled with top-4 single-level
+    /// lookahead). Speculation trades wasted forward passes for batch
+    /// fill; results are byte-identical for every setting.
+    pub fn speculation(mut self, speculation: Speculation) -> Self {
+        self.config = self.config.with_speculation(speculation);
         self
     }
 
@@ -419,6 +428,26 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
                     for ctx in frontier {
                         if seen.insert(ctx.clone()) {
                             batch.push(ctx);
+                        }
+                    }
+                }
+                // Slack fill: when the demand frontiers leave batch
+                // capacity unused, top it up with speculative successor
+                // contexts from the live sampling walks — strictly
+                // lowest-priority (demand contexts are already in the
+                // batch and are never displaced), and free to be wrong:
+                // scoring is pure and the walks never observe what was
+                // pre-scored, so results are byte-identical either way.
+                if batch.len() < COALESCE_LOOKAHEAD {
+                    for slot in self.slots.iter_mut().filter(|s| !s.done && !s.serial) {
+                        let slack = COALESCE_LOOKAHEAD - batch.len();
+                        if slack == 0 {
+                            break;
+                        }
+                        for ctx in slot.results.speculative_contexts(slack) {
+                            if seen.insert(ctx.clone()) {
+                                batch.push(ctx);
+                            }
                         }
                     }
                 }

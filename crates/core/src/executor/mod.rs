@@ -38,6 +38,7 @@ use crate::compiler::{
 };
 use crate::query::{PrefixSampling, SearchQuery, SearchStrategy, TokenizationStrategy};
 use crate::results::MatchResult;
+use crate::session::Speculation;
 use crate::RelmError;
 
 pub(crate) use beam::BeamIter;
@@ -141,6 +142,17 @@ pub struct ExecutionStats {
     /// [`crate::TickQuantum::Adaptive`]). Skipping never changes
     /// results — scoring is pure — only the batching schedule.
     pub coalesce_ticks_skipped: u64,
+    /// Successor contexts this search pre-scored speculatively (before
+    /// the RNG committed to a walk edge). Speculation never changes
+    /// results — scoring is pure and the RNG stream never observes it —
+    /// it only moves model work earlier and into larger batches.
+    pub speculative_scored: u64,
+    /// Speculatively scored contexts the walk actually stepped into (a
+    /// demand request served warm because a guess landed).
+    pub speculation_hits: u64,
+    /// Speculatively scored contexts the walk never consumed
+    /// (`speculative_scored - speculation_hits`, a derived gauge).
+    pub speculation_wasted: u64,
 }
 
 impl ExecutionStats {
@@ -272,6 +284,11 @@ pub(crate) struct CompiledQuery {
     /// tables). Never part of the plan key: results are byte-identical
     /// for every setting.
     pub parallelism: Parallelism,
+    /// Speculative-scoring policy for sampling body walks. Like
+    /// `parallelism`, never part of the plan key: speculation is
+    /// invisible to the RNG stream and the traversal, so results are
+    /// byte-identical for every setting.
+    pub speculation: Speculation,
 }
 
 /// Compile `query`'s patterns into token automata — the expensive,
@@ -380,6 +397,7 @@ pub(crate) fn assemble_compiled(
     parts: Arc<PlanParts>,
     max_sequence_len: usize,
     par: Parallelism,
+    speculation: Speculation,
 ) -> Result<CompiledQuery, RelmError> {
     let max_tokens = query
         .max_tokens
@@ -397,6 +415,7 @@ pub(crate) fn assemble_compiled(
         distinct_texts: query.distinct_texts,
         scoring: query.scoring,
         parallelism: par,
+        speculation,
     })
 }
 
@@ -408,7 +427,7 @@ pub(crate) fn compile_query(
     par: Parallelism,
 ) -> Result<CompiledQuery, RelmError> {
     let parts = Arc::new(compile_parts(query, tokenizer, par)?);
-    assemble_compiled(query, parts, max_sequence_len, par)
+    assemble_compiled(query, parts, max_sequence_len, par, Speculation::default())
 }
 
 /// An executable, compiled ReLM query: the output of [`plan`] and the
@@ -618,6 +637,23 @@ impl<'a, M: LanguageModel> SearchResults<'a, M> {
             Inner::Shortest(it) => it.frontier_contexts(limit),
             Inner::Sampling(it) => it.frontier_contexts(limit),
             Inner::Beam(it) => it.frontier_contexts(limit),
+        }
+    }
+
+    /// Up to `limit` *speculative* contexts: probable successors of this
+    /// execution's pending walks that demand scoring has not asked for
+    /// (and may never ask for). A coalescing driver uses these as
+    /// lowest-priority fill for slack batch capacity — behind every
+    /// query's demand frontier, never displacing it. Pre-scoring them is
+    /// invisible to the traversal and the RNG stream (scoring is pure
+    /// and the executor reads caches without counting), so results stay
+    /// byte-identical whether or not any of these are scored. Only
+    /// sampling executions speculate; the deterministic executors'
+    /// frontier is already their exact demand set.
+    pub(crate) fn speculative_contexts(&mut self, limit: usize) -> Vec<Vec<relm_bpe::TokenId>> {
+        match &mut self.inner {
+            Inner::Sampling(it) => it.speculative_contexts(limit),
+            Inner::Shortest(_) | Inner::Beam(_) => Vec::new(),
         }
     }
 }

@@ -19,8 +19,18 @@
 //! cache-warm and shared prefixes across episodes are never re-scored.
 //! The RNG stream does not depend on the scoring mode, so serial and
 //! batched runs sample byte-identical episodes.
+//!
+//! On top of that, body walks score **speculatively** (see
+//! [`crate::Speculation`]): before each RNG draw, the walk's own choice
+//! weights — derived from the already-scored parent distribution — rank
+//! the out-edges, and the most probable successor contexts are
+//! batch-scored ahead of the draw. A correct guess makes the next step a
+//! cache hit; a wrong guess wastes a forward pass but cannot change
+//! results, because scoring is pure, speculation never touches the RNG,
+//! and speculative cache reads go through counter-free `peek`s that the
+//! engine's admission heuristics cannot observe.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -32,13 +42,18 @@ use relm_bpe::{BpeTokenizer, TokenId};
 use relm_lm::{LanguageModel, ScoringMode};
 
 use crate::executor::{
-    passes_runtime_checks, CompiledQuery, EngineHandle, ExecutionStats, StepOutcome,
+    passes_runtime_checks, CompiledQuery, EngineHandle, ExecutionStats, PlanParts, StepOutcome,
 };
 use crate::query::PrefixSampling;
 use crate::results::MatchResult;
 
 /// Number of episode prefixes drawn (and batch-scored) per block.
 const EPISODE_BATCH: usize = 8;
+
+/// Cap on the set of speculatively scored contexts awaiting consumption;
+/// the set is cleared wholesale when it would grow past this (losing
+/// hit attribution for the cleared entries, never correctness).
+const SPECULATION_OUTSTANDING_CAP: usize = 4096;
 
 /// The random-sampling result iterator. See the module docs.
 pub(crate) struct SamplingIter<'a, M: LanguageModel> {
@@ -56,6 +71,11 @@ pub(crate) struct SamplingIter<'a, M: LanguageModel> {
     attempts_since_result: usize,
     /// Pre-drawn episode prefixes awaiting their body walk.
     pending: VecDeque<Vec<TokenId>>,
+    /// Contexts scored speculatively but not yet consumed by a demand
+    /// request — the ledger behind `speculation_hits`. Purely
+    /// observability: membership never influences what gets scored or
+    /// sampled.
+    outstanding: HashSet<Vec<TokenId>>,
 }
 
 impl<'a, M: LanguageModel> SamplingIter<'a, M> {
@@ -79,11 +99,41 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
             max_attempts,
             attempts_since_result: 0,
             pending: VecDeque::new(),
+            outstanding: HashSet::new(),
         }
     }
 
     pub(crate) fn stats(&self) -> ExecutionStats {
-        self.stats.merge_scoring(self.engine.stats())
+        let mut stats = self.stats.merge_scoring(self.engine.stats());
+        // Wasted = issued but not (yet) consumed — a snapshot gauge;
+        // still-outstanding contexts may yet become hits.
+        stats.speculation_wasted = stats
+            .speculative_scored
+            .saturating_sub(stats.speculation_hits);
+        stats
+    }
+
+    /// Whether speculative scoring is currently allowed: the policy must
+    /// be enabled and non-degenerate, the engine batched and still
+    /// admitting cache entries (a speculative score that cannot be
+    /// cached is pure waste), and the adaptive throttle open. The
+    /// throttle mirrors the shared cache's admission gate: free during
+    /// warmup, then open only while the observed hit rate clears
+    /// `1/throttle_hit_divisor`. It is re-evaluated continuously — a
+    /// workload that becomes predictable re-engages on its own.
+    fn speculation_open(&self) -> bool {
+        let spec = self.compiled.speculation;
+        spec.enabled
+            && spec.top_k > 0
+            && spec.depth > 0
+            && self.compiled.scoring == ScoringMode::Batched
+            && self.engine.admits_new_entries()
+            && (self.stats.speculative_scored < spec.throttle_warmup
+                || self
+                    .stats
+                    .speculation_hits
+                    .saturating_mul(spec.throttle_hit_divisor)
+                    >= self.stats.speculative_scored)
     }
 
     /// Grant a fresh attempt budget — `Iterator::next`'s legacy
@@ -189,6 +239,12 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
     /// `limit`. Refills the block if it is empty (the same RNG-stream
     /// point where sequential execution would refill), skipping the
     /// internal warm scoring: the driver's coalesced tick covers it.
+    ///
+    /// When the episode roots are already warm (the steady state after
+    /// the first tick) the frontier also surfaces the pending walks'
+    /// most probable *successor* contexts, so a coalescing driver never
+    /// sees an empty frontier mid-stream and ticks with underfilled
+    /// batches.
     pub(crate) fn frontier_contexts(&mut self, limit: usize) -> Vec<Vec<TokenId>> {
         if limit == 0
             || self.compiled.scoring == ScoringMode::Serial
@@ -197,23 +253,134 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
         {
             return Vec::new();
         }
+        let mut out: Vec<Vec<TokenId>> = Vec::new();
         if self.compiled.parts.prefix.is_none() {
             // Every episode starts its body walk at the EOS root.
             let ctx = vec![self.engine.eos()];
-            return if self.engine.is_cached(&ctx) {
-                Vec::new()
-            } else {
-                vec![ctx]
-            };
-        }
-        self.fill_pending(false);
-        let mut out: Vec<Vec<TokenId>> = Vec::new();
-        for prefix in self.pending.iter().take(limit) {
-            let mut ctx = Vec::with_capacity(prefix.len() + 1);
-            ctx.push(self.engine.eos());
-            ctx.extend_from_slice(prefix);
-            if !self.engine.is_cached(&ctx) && !out.contains(&ctx) {
+            if !self.engine.is_cached(&ctx) {
                 out.push(ctx);
+            }
+        } else {
+            self.fill_pending(false);
+            for prefix in self.pending.iter().take(limit) {
+                let mut ctx = Vec::with_capacity(prefix.len() + 1);
+                ctx.push(self.engine.eos());
+                ctx.extend_from_slice(prefix);
+                if !self.engine.is_cached(&ctx) && !out.contains(&ctx) {
+                    out.push(ctx);
+                }
+            }
+        }
+        if out.len() < limit {
+            // Successor contexts are strictly longer than the roots, so
+            // the two sets cannot collide.
+            let successors = self.speculative_contexts(limit - out.len());
+            out.extend(successors);
+        }
+        out
+    }
+
+    /// Up to `limit` speculative contexts: the uncached fringe of the
+    /// pending episode block's most probable body paths, found by a
+    /// best-first descent from each root along cached distributions
+    /// (read through the counter-free [`peek`] so probing cannot
+    /// perturb the engine's admission heuristics). The walks' demand
+    /// scoring and the in-walk lookahead keep the top of that tree
+    /// warm, so the fringe sits one step beyond wherever the walks have
+    /// reached — a coalescing driver uses it as lowest-priority fill
+    /// for slack batch capacity, pushing the warm spine deeper every
+    /// tick. Gated by the same adaptive throttle as in-walk
+    /// speculation; returns nothing while the roots themselves are
+    /// still cold (demand scoring gets there first).
+    ///
+    /// [`peek`]: relm_lm::ScoringEngine::peek
+    pub(crate) fn speculative_contexts(&mut self, limit: usize) -> Vec<Vec<TokenId>> {
+        if limit == 0 || self.attempts_since_result >= self.max_attempts || !self.speculation_open()
+        {
+            return Vec::new();
+        }
+        let parts = Arc::clone(&self.compiled.parts);
+        let body = &parts.body.automaton;
+        let spec = self.compiled.speculation;
+        let roots: Vec<Vec<TokenId>> = if parts.prefix.is_none() {
+            vec![vec![self.engine.eos()]]
+        } else {
+            self.fill_pending(false);
+            let mut seen: HashSet<&[TokenId]> = HashSet::new();
+            self.pending
+                .iter()
+                .filter(|prefix| seen.insert(prefix.as_slice()))
+                .map(|prefix| {
+                    let mut ctx = Vec::with_capacity(prefix.len() + 1);
+                    ctx.push(self.engine.eos());
+                    ctx.extend_from_slice(prefix);
+                    ctx
+                })
+                .collect()
+        };
+        // Best-first descent over the speculation tree. Nodes whose
+        // distribution is cached are the spine — expand their ranked
+        // successors (chaining probabilities, like the in-walk
+        // lookahead) — and uncached nodes are the fringe worth
+        // pre-scoring. Because the walks' own demand scoring and the
+        // in-walk lookahead keep the top of the tree warm, the fringe
+        // sits one level beyond wherever the walks have reached, so
+        // each tick pushes the warm spine deeper along the model's most
+        // probable paths. Roots with no cached distribution are demand
+        // work (`frontier_contexts` surfaces them), never speculation.
+        let mut frontier: Vec<(f64, usize, Vec<TokenId>, bool)> = roots
+            .into_iter()
+            .map(|root| (1.0, body.start(), root, true))
+            .collect();
+        let mut out: Vec<Vec<TokenId>> = Vec::new();
+        // Bounds the spine walk so a tick's gather cost stays
+        // proportional to what it can actually batch.
+        let mut pops = 64 + 4 * limit;
+        while pops > 0 && out.len() < limit {
+            pops -= 1;
+            // Deterministic arg-max scan (ties -> first inserted).
+            let Some(best) =
+                (0..frontier.len()).reduce(
+                    |a, b| {
+                        if frontier[b].0 > frontier[a].0 {
+                            b
+                        } else {
+                            a
+                        }
+                    },
+                )
+            else {
+                break;
+            };
+            let (weight, state, ctx, at_root) = frontier.swap_remove(best);
+            let Some(dist) = self.engine.peek(&ctx) else {
+                if at_root || self.outstanding.contains(&ctx) {
+                    // Uncached roots are demand; outstanding contexts
+                    // are already in flight in this tick's batch.
+                    continue;
+                }
+                if self.outstanding.len() >= SPECULATION_OUTSTANDING_CAP {
+                    self.outstanding.clear();
+                }
+                if self.outstanding.insert(ctx.clone()) {
+                    self.stats.speculative_scored += 1;
+                }
+                out.push(ctx);
+                continue;
+            };
+            let allowed: HashMap<TokenId, f64> =
+                self.compiled.policy.allowed(&dist).into_iter().collect();
+            let mut ranked: Vec<(TokenId, usize, f64)> = body
+                .transitions(state)
+                .filter_map(|(sym, next)| allowed.get(&sym).map(|&lp| (sym, next, lp.exp())))
+                .collect();
+            ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            ranked.truncate(spec.top_k);
+            for (sym, next, p) in ranked {
+                let mut succ = Vec::with_capacity(ctx.len() + 1);
+                succ.extend_from_slice(&ctx);
+                succ.push(sym);
+                frontier.push((weight * p, next, succ, false));
             }
         }
         out
@@ -222,7 +389,8 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
     /// Extend `tokens` through the body automaton with the model.
     /// Returns `false` on a dead end.
     fn sample_body(&mut self, tokens: &mut Vec<TokenId>) -> bool {
-        let body = &self.compiled.parts.body.automaton;
+        let parts = Arc::clone(&self.compiled.parts);
+        let body = &parts.body.automaton;
         let mut state = body.start();
         loop {
             self.stats.expansions += 1;
@@ -236,9 +404,14 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
             let mut ctx = Vec::with_capacity(tokens.len() + 1);
             ctx.push(self.engine.eos());
             ctx.extend_from_slice(&*tokens);
+            if self.outstanding.remove(&ctx) {
+                // A speculated successor is now demanded: the guess
+                // landed and this score is served warm.
+                self.stats.speculation_hits += 1;
+            }
             let log_probs = self.engine.score(&ctx);
             self.stats.lm_calls += 1;
-            let allowed: std::collections::HashMap<TokenId, f64> = self
+            let allowed: HashMap<TokenId, f64> = self
                 .compiled
                 .policy
                 .allowed(&log_probs)
@@ -263,6 +436,12 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
             if choices.is_empty() || total <= 0.0 {
                 return false;
             }
+            // Speculate *before* the draw: pre-score the most probable
+            // successor contexts so the chosen edge's next step is
+            // already warm. This makes no RNG calls and the draw below
+            // never reads anything speculation wrote, so the sampled
+            // episode is byte-identical with speculation off.
+            self.speculate_in_walk(&parts, &ctx, &choices);
             let mut u = self.rng.gen::<f64>() * total;
             let mut picked = choices.len() - 1;
             for (i, &(_, w)) in choices.iter().enumerate() {
@@ -279,6 +458,90 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
                     state = target;
                 }
             }
+        }
+    }
+
+    /// Pre-score the most probable successor contexts of the current
+    /// walk step, ahead of the RNG committing to an edge.
+    ///
+    /// Level 1 ranks the walk's own `Step` choices — weights already
+    /// derived from the demand-scored parent distribution — and
+    /// batch-scores the uncached top-K successor contexts through
+    /// [`relm_lm::ScoringEngine::score_batch_speculative`]. Deeper
+    /// levels chain: each scored candidate's distribution is read back
+    /// through the counter-free `peek` and its own out-edges join the
+    /// next level weighted by the product of edge probabilities.
+    ///
+    /// Purity: no RNG calls, no reads the traversal depends on, and all
+    /// cache probes are counter-free, so enabling or disabling this
+    /// cannot change any sampled episode.
+    fn speculate_in_walk(
+        &mut self,
+        parts: &PlanParts,
+        ctx: &[TokenId],
+        choices: &[(Option<(TokenId, usize)>, f64)],
+    ) {
+        if !self.speculation_open() {
+            return;
+        }
+        let spec = self.compiled.speculation;
+        let body = &parts.body.automaton;
+        // (automaton state, successor context, chained weight)
+        let mut level: Vec<(usize, Vec<TokenId>, f64)> = choices
+            .iter()
+            .filter_map(|&(step, w)| {
+                step.map(|(sym, target)| {
+                    let mut c = Vec::with_capacity(ctx.len() + 1);
+                    c.extend_from_slice(ctx);
+                    c.push(sym);
+                    (target, c, w)
+                })
+            })
+            .collect();
+        for depth in 0..spec.depth {
+            if level.is_empty() {
+                break;
+            }
+            // Stable sort: ties keep transition order, so the candidate
+            // set is deterministic.
+            level.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            level.truncate(spec.top_k);
+            let fresh: Vec<Vec<TokenId>> = level
+                .iter()
+                .filter(|(_, c, _)| !self.engine.is_cached(c) && !self.outstanding.contains(c))
+                .map(|(_, c, _)| c.clone())
+                .collect();
+            if !fresh.is_empty() {
+                if self.outstanding.len() + fresh.len() > SPECULATION_OUTSTANDING_CAP {
+                    self.outstanding.clear();
+                }
+                for c in &fresh {
+                    self.outstanding.insert(c.clone());
+                }
+                self.stats.speculative_scored += fresh.len() as u64;
+                let refs: Vec<&[TokenId]> = fresh.iter().map(Vec::as_slice).collect();
+                let _ = self.engine.score_batch_speculative(&refs);
+            }
+            if depth + 1 >= spec.depth {
+                break;
+            }
+            let mut next: Vec<(usize, Vec<TokenId>, f64)> = Vec::new();
+            for (state, c, w) in &level {
+                let Some(dist) = self.engine.peek(c) else {
+                    continue;
+                };
+                let allowed: HashMap<TokenId, f64> =
+                    self.compiled.policy.allowed(&dist).into_iter().collect();
+                for (sym, target) in body.transitions(*state) {
+                    if let Some(&lp) = allowed.get(&sym) {
+                        let mut cc = Vec::with_capacity(c.len() + 1);
+                        cc.extend_from_slice(c);
+                        cc.push(sym);
+                        next.push((target, cc, w * lp.exp()));
+                    }
+                }
+            }
+            level = next;
         }
     }
 }

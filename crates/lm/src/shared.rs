@@ -133,6 +133,16 @@ impl SharedScoringCache {
         self.table.lock().contains(context)
     }
 
+    /// Read a memoized distribution without perturbing any counter —
+    /// not the hit/miss tallies and, unlike [`Self::lookup`], not the
+    /// per-entry reuse depth that drives the admission gate. This is the
+    /// read speculation uses to rank a cached parent's out-edges: a
+    /// counting read would let speculative probes reopen or hold open
+    /// the admission gate, making speculation observable.
+    pub fn peek(&self, context: &[TokenId]) -> Option<Vec<f64>> {
+        self.table.lock().peek(context)
+    }
+
     /// Partition a scoring batch against the table, holding the mutex
     /// once for the whole batch. No counters are touched here: the
     /// caller reports one miss per *unique* missing context via

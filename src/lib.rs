@@ -54,7 +54,7 @@ pub use relm_core::{
     MachineShape, MatchResult, PrefixSampling, Preprocessor, QueryCompletion, QueryDriver, QueryId,
     QueryOutcome, QueryPlan, QuerySet, QuerySetReport, QuerySpec, QueryString, Relm, RelmBuilder,
     RelmError, RelmErrorKind, RelmSession, SearchQuery, SearchResults, SearchStrategy,
-    SessionConfig, SessionStats, TickQuantum, TokenizationStrategy,
+    SessionConfig, SessionStats, Speculation, TickQuantum, TokenizationStrategy,
 };
 #[allow(deprecated)] // the legacy one-shot shims remain exported until removal
 pub use relm_core::{execute, plan, search};

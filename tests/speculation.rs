@@ -1,0 +1,323 @@
+//! The speculative-scoring contract: speculation must be invisible in
+//! every output, and visible only in the counters.
+//!
+//! * speculative and non-speculative sampling are **byte-identical**
+//!   (f64 bits) — solo, under the coalescing `run_many` driver, and
+//!   over the TCP serving path at `Parallelism::sharded(4)`;
+//! * the deterministic executors are untouched by the knob;
+//! * proptests sweep speculation depth × top-K × seeds;
+//! * on a predictable workload the lookahead actually lands
+//!   (`speculation_hits > 0`); on a trivially cheap high-entropy model
+//!   the adaptive throttle disengages instead of scoring garbage.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use relm::serve::{spawn, QueryRequest, RelmServer, Request, Response, ServeClient, ServerConfig};
+use relm::{
+    BpeTokenizer, DecodingPolicy, MatchResult, NGramConfig, NGramLm, Parallelism, QuerySet,
+    QueryString, Relm, SearchQuery, SearchStrategy, Speculation,
+};
+
+fn fixture() -> (BpeTokenizer, NGramLm) {
+    let docs = [
+        "see https://www.example.com/articles today",
+        "see https://www.example.com/articles today",
+        "see https://www.example.org/posts now",
+        "the cat sat on the mat",
+        "the dog sat on the log",
+        "the cow ate the grass",
+    ];
+    let corpus = docs.join(". ");
+    let tok = BpeTokenizer::train(&corpus, 120);
+    let lm = NGramLm::train(&tok, &docs, NGramConfig::xl());
+    (tok, lm)
+}
+
+fn url_query() -> SearchQuery {
+    SearchQuery::new(QueryString::new("https://www\\.([a-z]|\\.|/)+").with_prefix("https://www\\."))
+        .with_policy(DecodingPolicy::top_k(40))
+        .with_max_tokens(16)
+        .with_max_expansions(3_000)
+}
+
+fn sampling_query(seed: u64) -> SearchQuery {
+    url_query().with_strategy(SearchStrategy::RandomSampling { seed })
+}
+
+fn client<'a>(lm: &'a NGramLm, tok: &BpeTokenizer, spec: Speculation) -> Relm<&'a NGramLm> {
+    Relm::builder(lm, tok.clone())
+        .speculation(spec)
+        .build()
+        .unwrap()
+}
+
+fn assert_bit_identical(label: &str, a: &[MatchResult], b: &[MatchResult]) {
+    assert_eq!(a.len(), b.len(), "{label}: match counts differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.text, y.text, "{label}[{i}]: text");
+        assert_eq!(x.tokens, y.tokens, "{label}[{i}]: tokens");
+        assert_eq!(
+            x.log_prob.to_bits(),
+            y.log_prob.to_bits(),
+            "{label}[{i}]: log_prob bits"
+        );
+    }
+}
+
+#[test]
+fn speculative_and_plain_clients_are_byte_identical_for_all_executors() {
+    let (tok, lm) = fixture();
+    let off = client(&lm, &tok, Speculation::off());
+    let on = client(&lm, &tok, Speculation::new());
+    let aggressive = client(&lm, &tok, Speculation::new().with_top_k(8).with_depth(3));
+    for (label, query, take) in [
+        ("dijkstra", url_query(), 5),
+        (
+            "beam16",
+            url_query().with_strategy(SearchStrategy::Beam { width: 16 }),
+            5,
+        ),
+        ("sampling", sampling_query(13), 8),
+        ("sampling_seed7", sampling_query(7), 8),
+    ] {
+        let a: Vec<MatchResult> = off.search(&query).unwrap().take(take).collect();
+        let b: Vec<MatchResult> = on.search(&query).unwrap().take(take).collect();
+        let c: Vec<MatchResult> = aggressive.search(&query).unwrap().take(take).collect();
+        assert!(!a.is_empty(), "{label}: no matches");
+        assert_bit_identical(label, &a, &b);
+        assert_bit_identical(&format!("{label} aggressive"), &a, &c);
+    }
+}
+
+#[test]
+fn speculation_under_run_many_is_byte_identical_and_observable() {
+    let (tok, lm) = fixture();
+    let off = client(&lm, &tok, Speculation::off());
+    let on = client(&lm, &tok, Speculation::new().with_top_k(8));
+    // A mixed set: several sampling walks plus a deterministic query, so
+    // the driver's slack fill has other queries' walks to draw from.
+    let set = QuerySet::new()
+        .with_query(sampling_query(11), 6)
+        .with_query(sampling_query(29), 6)
+        .with_query(url_query(), 4)
+        .with_query(
+            url_query().with_strategy(SearchStrategy::Beam { width: 16 }),
+            4,
+        );
+    let a = off.run_many(&set).unwrap();
+    let b = on.run_many(&set).unwrap();
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (i, (x, y)) in a.outcomes.iter().zip(&b.outcomes).enumerate() {
+        assert_bit_identical(&format!("run_many[{i}]"), &x.matches, &y.matches);
+    }
+    // Observability: the speculative run issued lookahead work, some of
+    // it landed, and the ledger is consistent; the plain run is silent.
+    let spec_total: u64 = b.outcomes.iter().map(|o| o.stats.speculative_scored).sum();
+    let hit_total: u64 = b.outcomes.iter().map(|o| o.stats.speculation_hits).sum();
+    let wasted_total: u64 = b.outcomes.iter().map(|o| o.stats.speculation_wasted).sum();
+    assert!(spec_total > 0, "speculation never engaged");
+    assert!(hit_total > 0, "no speculative guess ever landed");
+    assert_eq!(wasted_total, spec_total - hit_total);
+    assert!(
+        b.scoring.speculative_batches > 0,
+        "no batch was attributed to speculation: {:?}",
+        b.scoring
+    );
+    let off_total: u64 = a.outcomes.iter().map(|o| o.stats.speculative_scored).sum();
+    assert_eq!(off_total, 0, "Speculation::off() must be silent");
+    assert_eq!(a.scoring.speculative_batches, 0);
+}
+
+#[test]
+fn served_path_with_speculation_is_byte_identical_to_solo_plain() {
+    let (tok, lm) = fixture();
+    let solo = Relm::builder(&lm, tok.clone())
+        .parallelism(Parallelism::Serial)
+        .speculation(Speculation::off())
+        .build()
+        .unwrap();
+    let (tok2, lm2) = fixture();
+    let speculative = Relm::builder(lm2, tok2)
+        .parallelism(Parallelism::sharded(4))
+        .speculation(Speculation::new().with_top_k(8).with_depth(2))
+        .build()
+        .unwrap();
+    let handle = spawn(
+        RelmServer::with_config(speculative, ServerConfig::new()),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let requests = vec![
+        QueryRequest::new(0, "https://www\\.([a-z]|\\.|/)+", 4),
+        QueryRequest::new(1, "the ((cat)|(dog)|(cow)) ((sat)|(ate))", 4)
+            .with_strategy(relm::serve::StrategySpec::Sampling { seed: 5 })
+            .with_max_tokens(16),
+        QueryRequest::new(2, "https://www\\.([a-z]|\\.|/)+", 4)
+            .with_strategy(relm::serve::StrategySpec::Sampling { seed: 41 })
+            .with_max_tokens(16),
+    ];
+    let mut client = ServeClient::connect(handle.addr()).unwrap();
+    for request in &requests {
+        client.send(&Request::Query(request.clone())).unwrap();
+    }
+    let mut served: HashMap<u64, Vec<(String, u64)>> = HashMap::new();
+    for _ in 0..requests.len() {
+        let response = client.recv().unwrap();
+        let Response::Matches { id, matches, .. } = &response else {
+            panic!("expected matches, got {response:?}");
+        };
+        served.insert(
+            *id,
+            matches
+                .iter()
+                .map(|m| (m.text.clone(), m.score_bits))
+                .collect(),
+        );
+    }
+    for request in &requests {
+        let expected: Vec<(String, u64)> = solo
+            .search(&request.to_search_query())
+            .unwrap()
+            .take(request.max_results)
+            .map(|m| (m.text, m.log_prob.to_bits()))
+            .collect();
+        assert_eq!(
+            served.remove(&request.id).unwrap(),
+            expected,
+            "served-vs-solo for {request:?}"
+        );
+    }
+    handle.stop().unwrap();
+}
+
+#[test]
+fn speculation_hits_on_a_predictable_walk() {
+    let (tok, lm) = fixture();
+    let on = client(&lm, &tok, Speculation::new());
+    let mut results = on.search(&sampling_query(3)).unwrap();
+    let n = (&mut results).take(8).count();
+    assert_eq!(n, 8);
+    let stats = results.stats();
+    assert!(stats.speculative_scored > 0, "speculation never engaged");
+    assert!(
+        stats.speculation_hits > 0,
+        "URL walks are narrow; lookahead should land: {stats:?}"
+    );
+    assert_eq!(
+        stats.speculation_wasted,
+        stats.speculative_scored - stats.speculation_hits
+    );
+}
+
+/// A trivially cheap, maximum-entropy model: every token equally likely
+/// in every context. Nothing about the walk is predictable, so
+/// speculative guesses land at chance rate — the workload the adaptive
+/// throttle exists for.
+#[derive(Clone, Debug)]
+struct UniformLm {
+    vocab: usize,
+    eos: relm::TokenId,
+}
+
+impl relm::LanguageModel for UniformLm {
+    fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+    fn eos(&self) -> relm::TokenId {
+        self.eos
+    }
+    fn max_sequence_len(&self) -> usize {
+        64
+    }
+    fn next_log_probs(&self, _context: &[relm::TokenId]) -> Vec<f64> {
+        vec![-(self.vocab as f64).ln(); self.vocab]
+    }
+}
+
+#[test]
+fn throttle_disengages_on_a_trivially_cheap_high_entropy_model() {
+    // The walk draws uniformly over ~26 out-edges, so top-2 guesses
+    // land ~8% of the time — decisively below the default 25% floor.
+    // The throttled run must stop speculating after warmup; the
+    // unthrottled control keeps issuing lookahead forever.
+    let letters: String = ('a'..='z').collect();
+    let tok = BpeTokenizer::train(&letters, 30);
+    let lm = UniformLm {
+        vocab: tok.vocab_size(),
+        eos: tok.eos(),
+    };
+    let query = SearchQuery::new(QueryString::new("([a-z])+"))
+        .with_max_tokens(24)
+        .with_strategy(SearchStrategy::RandomSampling { seed: 17 });
+    let run = |spec: Speculation| {
+        let c = Relm::builder(lm.clone(), tok.clone())
+            .speculation(spec)
+            .build()
+            .unwrap();
+        let mut results = c.search(&query).unwrap();
+        let got = (&mut results).take(20).count();
+        assert!(got > 0, "no samples drawn");
+        results.stats()
+    };
+    let throttled = run(Speculation::new().with_top_k(2));
+    let unthrottled = run(Speculation::new().with_top_k(2).with_throttle(u64::MAX, 1));
+    assert!(
+        throttled.expansions > 100,
+        "fixture too small: {throttled:?}"
+    );
+    assert!(
+        throttled.speculative_scored < unthrottled.speculative_scored / 2,
+        "throttle never disengaged: {} vs unthrottled {}",
+        throttled.speculative_scored,
+        unthrottled.speculative_scored
+    );
+    assert!(
+        throttled.speculative_scored < throttled.expansions / 2,
+        "throttled run kept speculating: {throttled:?}"
+    );
+    // Byte-identity holds regardless of the throttle's decisions.
+    let plain = Relm::builder(lm.clone(), tok.clone())
+        .speculation(Speculation::off())
+        .build()
+        .unwrap();
+    let speculative = Relm::builder(lm.clone(), tok.clone())
+        .speculation(Speculation::new())
+        .build()
+        .unwrap();
+    let a: Vec<MatchResult> = plain.search(&query).unwrap().take(10).collect();
+    let b: Vec<MatchResult> = speculative.search(&query).unwrap().take(10).collect();
+    assert_bit_identical("high-entropy sampling", &a, &b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random speculation depth × top-K × seed: the sampled stream is
+    /// byte-identical to the non-speculative reference.
+    #[test]
+    fn proptest_speculation_is_invisible(
+        depth in 0usize..3,
+        top_k in 0usize..6,
+        seed in 0u64..512,
+    ) {
+        let (tok, lm) = fixture();
+        let spec = Speculation::new().with_depth(depth).with_top_k(top_k);
+        let a: Vec<MatchResult> = client(&lm, &tok, Speculation::off())
+            .search(&sampling_query(seed))
+            .unwrap()
+            .take(6)
+            .collect();
+        let b: Vec<MatchResult> = client(&lm, &tok, spec)
+            .search(&sampling_query(seed))
+            .unwrap()
+            .take(6)
+            .collect();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.text, &y.text);
+            prop_assert_eq!(&x.tokens, &y.tokens);
+            prop_assert_eq!(x.log_prob.to_bits(), y.log_prob.to_bits());
+        }
+    }
+}
