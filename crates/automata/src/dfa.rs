@@ -1043,26 +1043,49 @@ impl Dfa {
         accepting: &[StateId],
         transitions: &[(StateId, Symbol, StateId)],
     ) -> Dfa {
-        assert!(start < state_count, "start out of bounds");
+        Self::try_from_parts(state_count, start, accepting, transitions).expect("invalid DFA parts")
+    }
+
+    /// Fallible [`Dfa::from_parts`]: returns `None` instead of
+    /// panicking when `start` or any transition endpoint is out of
+    /// bounds, or a state has two transitions on the same symbol. This
+    /// is the constructor for data read from outside the process (the
+    /// warm-artifact store), where malformed input must surface as an
+    /// error rather than abort.
+    ///
+    /// Transitions are stored per state in ascending symbol order —
+    /// the same order [`Dfa::transitions`] iterates and every
+    /// in-process construction produces — so a DFA rebuilt from the
+    /// parts of another compares equal (`==`) to it.
+    pub fn try_from_parts(
+        state_count: usize,
+        start: StateId,
+        accepting: &[StateId],
+        transitions: &[(StateId, Symbol, StateId)],
+    ) -> Option<Dfa> {
+        if start >= state_count {
+            return None;
+        }
         let mut states = vec![DfaState::default(); state_count];
         for &s in accepting {
-            assert!(s < state_count, "accepting state out of bounds");
+            if s >= state_count {
+                return None;
+            }
             states[s].accepting = true;
         }
         for &(f, a, t) in transitions {
-            assert!(
-                f < state_count && t < state_count,
-                "transition out of bounds"
-            );
+            if f >= state_count || t >= state_count {
+                return None;
+            }
             states[f].transitions.push((a, t));
         }
         for st in &mut states {
             st.transitions.sort_unstable_by_key(|&(a, _)| a);
-            for w in st.transitions.windows(2) {
-                assert!(w[0].0 != w[1].0, "duplicate transition symbol {}", w[0].0);
+            if st.transitions.windows(2).any(|w| w[0].0 == w[1].0) {
+                return None;
             }
         }
-        Dfa { states, start }
+        Some(Dfa { states, start })
     }
 }
 
@@ -1270,7 +1293,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate transition")]
+    #[should_panic(expected = "invalid DFA parts")]
     fn from_parts_rejects_nondeterminism() {
         let _ = Dfa::from_parts(2, 0, &[1], &[(0, 5, 1), (0, 5, 0)]);
     }

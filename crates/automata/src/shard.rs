@@ -166,7 +166,7 @@ impl ShardIndex {
             bounds.push(p);
         }
         bounds.push(n);
-        Self::from_bounds(dfa, bounds)
+        Self::index_bounds(dfa, bounds)
     }
 
     /// Partition `dfa` into at most `shards` contiguous state ranges of
@@ -188,11 +188,43 @@ impl ShardIndex {
             let len = base + usize::from(s < extra);
             bounds.push(bounds[s] + len);
         }
-        Self::from_bounds(dfa, bounds)
+        Self::index_bounds(dfa, bounds)
+    }
+
+    /// Rebuild an index over `dfa` from a serialized `bounds` partition
+    /// (as returned by [`ShardIndex::bounds`]). The cross-shard edge
+    /// lists and edge total are re-derived from the automaton in the
+    /// same order as [`ShardIndex::build`], so an index restored from
+    /// its bounds is equal (`==`) to the one that produced them.
+    ///
+    /// Returns `None` when the bounds are not a valid partition of the
+    /// automaton's states: they must start at 0, end at the state
+    /// count, and be strictly increasing (the empty automaton's single
+    /// empty shard `[0, 0]` is the one exception).
+    pub fn from_bounds(dfa: &Dfa, bounds: Vec<StateId>) -> Option<Self> {
+        let n = dfa.state_count();
+        if bounds.len() < 2 || bounds[0] != 0 || *bounds.last()? != n {
+            return None;
+        }
+        let strictly_increasing = bounds.windows(2).all(|w| w[0] < w[1]);
+        let empty_single_shard = n == 0 && bounds == [0, 0];
+        if !(strictly_increasing || empty_single_shard) {
+            return None;
+        }
+        Some(Self::index_bounds(dfa, bounds))
+    }
+
+    /// The partition's cut positions: shard `s` owns
+    /// `bounds()[s]..bounds()[s + 1]`. Together with the automaton this
+    /// is the index's entire identity ([`ShardIndex::from_bounds`]
+    /// re-derives the rest), so the warm-artifact store serializes only
+    /// these.
+    pub fn bounds(&self) -> &[StateId] {
+        &self.bounds
     }
 
     /// Index the cross-shard edges of a finished `bounds` partition.
-    fn from_bounds(dfa: &Dfa, bounds: Vec<StateId>) -> Self {
+    fn index_bounds(dfa: &Dfa, bounds: Vec<StateId>) -> Self {
         let shards = bounds.len() - 1;
         let shard_of = |state: StateId| -> usize {
             // bounds is sorted; partition_point finds the owning range.

@@ -135,7 +135,7 @@ impl WalkTable {
                 exact_by_len.push(cur);
             }
         }
-        Self::from_exact_rows(exact_by_len, max_len)
+        Self::from_exact_rows_trusted(exact_by_len, max_len)
     }
 
     /// Build the table for `dfa` with walk lengths up to `max_len`.
@@ -161,13 +161,42 @@ impl WalkTable {
             }
             exact_by_len.push(cur);
         }
-        Self::from_exact_rows(exact_by_len, max_len)
+        Self::from_exact_rows_trusted(exact_by_len, max_len)
+    }
+
+    /// The per-length exact walk-count rows: `exact_rows()[len][state]`
+    /// is the number of accepting walks of length exactly `len` from
+    /// `state`. This is the minimal data from which
+    /// [`WalkTable::from_exact_rows`] rebuilds the full table
+    /// bit-identically — the warm-artifact store serializes only these.
+    pub fn exact_rows(&self) -> &[Vec<f64>] {
+        &self.exact_by_len
+    }
+
+    /// Rebuild a table from its exact-length rows (as produced by
+    /// [`WalkTable::exact_rows`]). The cumulative rows are recomputed
+    /// as running sums in the same slot order as the in-process builds,
+    /// so a round trip through `exact_rows` is bit-identical for every
+    /// `f64` the table can return.
+    ///
+    /// Returns `None` when the rows are structurally invalid: there
+    /// must be exactly `max_len + 1` rows and every row must have the
+    /// same length (one slot per state).
+    pub fn from_exact_rows(exact_by_len: Vec<Vec<f64>>, max_len: usize) -> Option<Self> {
+        if exact_by_len.len() != max_len.checked_add(1)? {
+            return None;
+        }
+        let n = exact_by_len[0].len();
+        if exact_by_len.iter().any(|row| row.len() != n) {
+            return None;
+        }
+        Some(Self::from_exact_rows_trusted(exact_by_len, max_len))
     }
 
     /// Finish a table from its exact-length rows: the cumulative rows
     /// are running sums, identical whichever way the exact rows were
     /// computed.
-    fn from_exact_rows(exact_by_len: Vec<Vec<f64>>, max_len: usize) -> Self {
+    fn from_exact_rows_trusted(exact_by_len: Vec<Vec<f64>>, max_len: usize) -> Self {
         let n = exact_by_len.first().map_or(0, Vec::len);
         let mut cumulative: Vec<Vec<f64>> = Vec::with_capacity(max_len + 1);
         let mut running = vec![0.0f64; n];

@@ -308,7 +308,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
 /// measures the wall-clock gap on the compile-dominated workloads named
 /// by `BENCH_*.json`, and prints the session's reuse counters once.
 fn bench_session_warm_vs_cold(c: &mut Criterion) {
-    use relm_core::{RelmSession, SearchStrategy};
+    use relm_core::{RelmSession, SearchStrategy, SessionConfig};
     let wb = setup();
     let base = || {
         SearchQuery::new(
@@ -369,6 +369,44 @@ fn bench_session_warm_vs_cold(c: &mut Criterion) {
         stats.scoring.entries,
         stats.scoring.evictions,
     );
+
+    // Disk-warm: every iteration boots a *fresh* session (empty memo,
+    // cold scoring cache) over a pre-populated plan store, so the row
+    // prices "restore compiled plan from disk + execute" against
+    // session_cold's "compile + execute" — the serving-replica restart
+    // path relm-store exists for.
+    let dir = std::env::temp_dir().join(format!("relm-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_config = SessionConfig::new().with_plan_store(&dir);
+    {
+        let seeder = RelmSession::with_config(&wb.xl, wb.tokenizer.clone(), store_config.clone());
+        for (_, query, take) in &workloads {
+            seeder.search(query).unwrap().take(*take).count();
+        }
+        seeder.persist_plans().expect("seed the plan store");
+    }
+    let mut group = c.benchmark_group("session_warm_disk");
+    group.sample_size(10);
+    for (label, query, take) in &workloads {
+        group.bench_function(*label, |b| {
+            b.iter(|| {
+                let fresh =
+                    RelmSession::with_config(&wb.xl, wb.tokenizer.clone(), store_config.clone());
+                fresh.search(query).unwrap().take(*take).count()
+            });
+        });
+    }
+    group.finish();
+    let fresh = RelmSession::with_config(&wb.xl, wb.tokenizer.clone(), store_config.clone());
+    for (_, query, take) in &workloads {
+        fresh.search(query).unwrap().take(*take).count();
+    }
+    let stats = fresh.stats();
+    println!(
+        "[session disk-warm] plan store: {} disk hits / {} misses across the battery",
+        stats.store_hits, stats.store_misses,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The client tentpole: a mixed fig5/fig7-style query set (URL

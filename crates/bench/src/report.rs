@@ -65,6 +65,12 @@ pub fn session_stats(label: &str, stats: &relm_core::SessionStats) {
         s.bytes as f64 / (1 << 20) as f64,
         s.evictions
     );
+    println!(
+        "  plan store: {} disk hits / {} misses, {:.1} KiB written",
+        stats.store_hits,
+        stats.store_misses,
+        stats.store_bytes_written as f64 / 1024.0
+    );
 }
 
 /// Print a `run_many` query set's coalescing counters — how much

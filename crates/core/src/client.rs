@@ -184,6 +184,12 @@ pub struct QueryCompletion {
     pub outcome: QueryOutcome,
 }
 
+/// Smoothing factor of the per-query speculation hit-rate EWMA: each
+/// tick's observed rate contributes a quarter, so a query's standing
+/// adapts within a few ticks without thrashing on one lucky (or
+/// unlucky) draw.
+const SPEC_EWMA_ALPHA: f64 = 0.25;
+
 /// One in-flight execution inside a [`QueryDriver`].
 struct DriverSlot<'a, M: LanguageModel> {
     id: QueryId,
@@ -194,6 +200,17 @@ struct DriverSlot<'a, M: LanguageModel> {
     /// or reading the shared coalescing batches.
     serial: bool,
     done: bool,
+    /// EWMA of this query's speculation hit rate, the priority of the
+    /// slack-fill rotation. Starts optimistic (1.0) so a newly admitted
+    /// query gets slack until it proves cold; queries whose guesses
+    /// stop landing decay toward the back of the line. Ordering is a
+    /// scheduling decision only — scoring is pure, so it can never
+    /// change results.
+    spec_hit_ewma: f64,
+    /// `speculative_scored` as of the last EWMA update (delta basis).
+    spec_scored_seen: u64,
+    /// `speculation_hits` as of the last EWMA update (delta basis).
+    spec_hits_seen: u64,
 }
 
 /// The open-world multi-query driver: the admission loop behind
@@ -343,6 +360,9 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
             limit: max_results,
             serial,
             done: max_results == 0,
+            spec_hit_ewma: 1.0,
+            spec_scored_seen: 0,
+            spec_hits_seen: 0,
         });
         Ok(id)
     }
@@ -385,6 +405,44 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
     /// query this driver ran).
     pub fn scoring(&self) -> ScoringStats {
         self.engine.stats()
+    }
+
+    /// The slack-fill rotation: refresh each live batched query's
+    /// speculation hit-rate EWMA from the counters it accumulated since
+    /// the last tick, then order the queries hottest-first. Under the
+    /// old admission-order rotation an early-admitted cold query
+    /// (guesses never landing) burned the whole slack every tick while
+    /// a hot later-admitted query starved; now slack follows the
+    /// queries whose guesses land. The sort is stable, so ties —
+    /// including freshly admitted queries at their optimistic prior —
+    /// still break by admission order. Ordering is a scheduling
+    /// decision only: scoring is pure, so it can never change results.
+    fn slack_rotation(&mut self) -> Vec<usize> {
+        let mut order: Vec<usize> = Vec::new();
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if slot.done || slot.serial {
+                continue;
+            }
+            let stats = slot.results.stats();
+            let d_scored = stats
+                .speculative_scored
+                .saturating_sub(slot.spec_scored_seen);
+            if d_scored > 0 {
+                let d_hits = stats.speculation_hits.saturating_sub(slot.spec_hits_seen);
+                let rate = d_hits.min(d_scored) as f64 / d_scored as f64;
+                slot.spec_hit_ewma =
+                    SPEC_EWMA_ALPHA * rate + (1.0 - SPEC_EWMA_ALPHA) * slot.spec_hit_ewma;
+                slot.spec_scored_seen = stats.speculative_scored;
+                slot.spec_hits_seen = stats.speculation_hits;
+            }
+            order.push(idx);
+        }
+        order.sort_by(|&a, &b| {
+            self.slots[b]
+                .spec_hit_ewma
+                .total_cmp(&self.slots[a].spec_hit_ewma)
+        });
+        order
     }
 
     /// One driver rotation: a coalescing tick over every live frontier
@@ -439,12 +497,12 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
                 // scoring is pure and the walks never observe what was
                 // pre-scored, so results are byte-identical either way.
                 if batch.len() < COALESCE_LOOKAHEAD {
-                    for slot in self.slots.iter_mut().filter(|s| !s.done && !s.serial) {
+                    for idx in self.slack_rotation() {
                         let slack = COALESCE_LOOKAHEAD - batch.len();
                         if slack == 0 {
                             break;
                         }
-                        for ctx in slot.results.speculative_contexts(slack) {
+                        for ctx in self.slots[idx].results.speculative_contexts(slack) {
                             if seen.insert(ctx.clone()) {
                                 batch.push(ctx);
                             }
@@ -738,6 +796,52 @@ impl<M: LanguageModel> Relm<M> {
         self.session.stats()
     }
 
+    /// Restore every compatible plan artifact from the configured
+    /// warm-artifact store into the plan memo. See
+    /// [`RelmSession::preload_plans`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::Store`] if no store is configured or it cannot be
+    /// listed.
+    pub fn preload_plans(&self) -> Result<usize, RelmError> {
+        self.session.preload_plans()
+    }
+
+    /// Re-persist every memoized plan (with its materialized
+    /// execute-time artifacts) to the configured store. See
+    /// [`RelmSession::persist_plans`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::Store`] if no store is configured or a write
+    /// fails.
+    pub fn persist_plans(&self) -> Result<u64, RelmError> {
+        self.session.persist_plans()
+    }
+
+    /// Snapshot the shared scoring cache into the configured store.
+    /// See [`RelmSession::save_scoring_cache`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::Store`] if no store is configured or the write
+    /// fails.
+    pub fn save_scoring_cache(&self) -> Result<u64, RelmError> {
+        self.session.save_scoring_cache()
+    }
+
+    /// Restore a scoring-cache snapshot from the configured store. See
+    /// [`RelmSession::load_scoring_cache`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::Store`] if no store is configured or the snapshot
+    /// is unreadable.
+    pub fn load_scoring_cache(&self) -> Result<usize, RelmError> {
+        self.session.load_scoring_cache()
+    }
+
     /// The budgets this client was built with.
     pub fn config(&self) -> SessionConfig {
         self.session.config()
@@ -947,6 +1051,51 @@ mod tests {
         assert_eq!(completions.len(), 1, "cancelled query never completes");
         assert_eq!(completions[0].id, fast);
         assert_eq!(driver.counts(), (2, 1, 1));
+    }
+
+    #[test]
+    fn cold_query_no_longer_starves_a_hot_querys_slack() {
+        let (tok, lm) = fixture();
+        let client = Relm::new(lm, tok).unwrap();
+        let mut driver = client.driver();
+        // The cold query is admitted FIRST — under the old
+        // admission-order rotation it had first claim on the slack
+        // every tick, no matter how badly its guesses landed.
+        let cold = SearchQuery::new(QueryString::new("the ((cat)|(dog)|(cow)) ((sat)|(ate))"))
+            .with_strategy(SearchStrategy::RandomSampling { seed: 11 })
+            .with_max_expansions(10_000);
+        let hot = SearchQuery::new(QueryString::new(
+            "the ((cat)|(dog)) sat on the ((mat)|(log))",
+        ))
+        .with_strategy(SearchStrategy::RandomSampling { seed: 7 })
+        .with_max_expansions(10_000);
+        driver.admit(&cold, 50).unwrap();
+        driver.admit(&hot, 50).unwrap();
+        // Fresh queries share the optimistic prior: ties break by
+        // admission order, exactly the old rotation.
+        assert_eq!(driver.slack_rotation(), vec![0, 1]);
+        // Run a few ticks so the cold slot accumulates real
+        // speculative-scored counters for the EWMA to consume.
+        for _ in 0..4 {
+            let _ = driver.tick();
+        }
+        assert!(
+            driver.slots[0].results.stats().speculative_scored > 0,
+            "slack fill must have issued speculation for the cold slot"
+        );
+        // Replay the cold slot's history as all-miss: rebase its delta
+        // counters so every speculative context it scored counts as a
+        // miss, then let the rotation consume the delta repeatedly —
+        // the EWMA decays toward zero like a run of landless ticks.
+        for _ in 0..8 {
+            driver.slots[0].spec_scored_seen = 0;
+            driver.slots[0].spec_hits_seen = driver.slots[0].results.stats().speculation_hits;
+            let _ = driver.slack_rotation();
+        }
+        assert!(driver.slots[0].spec_hit_ewma < driver.slots[1].spec_hit_ewma);
+        // Regression: the hot later-admitted query now outranks the
+        // cold early one — slack follows hit rate, not admission order.
+        assert_eq!(driver.slack_rotation(), vec![1, 0]);
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub enum RelmError {
     EmptyPrefixLanguage,
     /// Query parameters are inconsistent (message explains).
     InvalidQuery(String),
+    /// A plan-store operation failed (message carries the underlying
+    /// [`relm_store::StoreError`]). Only *explicit* store operations
+    /// (preload, cache snapshot/restore) surface this; the implicit
+    /// store consult inside [`crate::RelmSession::plan`] treats every
+    /// store failure as "no usable artifact" and falls back to
+    /// compilation.
+    Store(String),
 }
 
 /// The stable, payload-free classification of a [`RelmError`] — what
@@ -40,6 +47,10 @@ pub enum RelmErrorKind {
     /// The query's parameters, plan, model, and tokenizer do not fit
     /// together.
     InvalidQuery,
+    /// A warm-artifact store operation failed (I/O or a corrupt,
+    /// stale, or mismatched artifact surfaced by an explicit store
+    /// call).
+    Store,
 }
 
 impl RelmError {
@@ -53,6 +64,7 @@ impl RelmError {
                 RelmErrorKind::EmptyLanguage
             }
             RelmError::InvalidQuery(_) => RelmErrorKind::InvalidQuery,
+            RelmError::Store(_) => RelmErrorKind::Store,
         }
     }
 }
@@ -64,6 +76,7 @@ impl fmt::Display for RelmError {
             RelmError::EmptyLanguage => write!(f, "query language is empty"),
             RelmError::EmptyPrefixLanguage => write!(f, "prefix language is empty"),
             RelmError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            RelmError::Store(msg) => write!(f, "plan store: {msg}"),
         }
     }
 }
@@ -80,6 +93,12 @@ impl Error for RelmError {
 impl From<ParseRegexError> for RelmError {
     fn from(e: ParseRegexError) -> Self {
         RelmError::Regex(e)
+    }
+}
+
+impl From<relm_store::StoreError> for RelmError {
+    fn from(e: relm_store::StoreError) -> Self {
+        RelmError::Store(e.to_string())
     }
 }
 
@@ -114,6 +133,9 @@ mod tests {
         );
         let parse_err = relm_regex::parse("a(").unwrap_err();
         assert_eq!(RelmError::from(parse_err).kind(), RelmErrorKind::Pattern);
+        let store_err = RelmError::from(relm_store::StoreError::WrongMagic);
+        assert_eq!(store_err.kind(), RelmErrorKind::Store);
+        assert!(store_err.to_string().contains("plan store"));
     }
 
     #[test]

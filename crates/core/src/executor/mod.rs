@@ -198,6 +198,38 @@ pub(crate) struct PlanParts {
 }
 
 impl PlanParts {
+    /// Reassemble a plan from store-loaded artifacts — the inverse of
+    /// tearing one apart for serialization. The walk table and shard
+    /// index arrive already built (if the saving process had
+    /// materialized them); a restored table for budget `L` keeps
+    /// serving any later query with budget `≤ L`, exactly as if this
+    /// process had built it.
+    pub(crate) fn from_restored(
+        prefix: Option<Dfa>,
+        body: CompiledAutomaton,
+        deferred_filters: Vec<Dfa>,
+        walk_table: Option<Arc<WalkTable>>,
+        prefix_shards: Option<Arc<ShardIndex>>,
+    ) -> Self {
+        PlanParts {
+            prefix,
+            body,
+            deferred_filters,
+            walk_table: Mutex::new(walk_table),
+            prefix_shards: Mutex::new(prefix_shards),
+        }
+    }
+
+    /// Snapshot of the memoized walk table (for serialization).
+    pub(crate) fn walk_table_snapshot(&self) -> Option<Arc<WalkTable>> {
+        self.walk_table.lock().clone()
+    }
+
+    /// Snapshot of the memoized prefix shard index (for serialization).
+    pub(crate) fn prefix_shards_snapshot(&self) -> Option<Arc<ShardIndex>> {
+        self.prefix_shards.lock().clone()
+    }
+
     /// Estimated resident heap bytes of the compiled automata (prefix,
     /// body, and deferred-filter machines) **plus** the execute-time
     /// artifacts memoized inside the plan: the walk table and the

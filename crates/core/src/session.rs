@@ -26,6 +26,7 @@
 //! entries can never be served.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -34,7 +35,9 @@ use parking_lot::Mutex;
 use relm_automata::Parallelism;
 use relm_bpe::BpeTokenizer;
 use relm_lm::{LanguageModel, ScoringEngine, SharedCacheStats, SharedScoringCache};
+use relm_store::{ArtifactKey, CacheArtifact, PlanArtifact, PlanStore};
 
+use crate::compiler::CompiledAutomaton;
 use crate::executor::{
     assemble_compiled, compile_parts, execute_with_engine, CompiledSearch, EngineHandle, PlanParts,
     SearchResults,
@@ -164,7 +167,7 @@ impl Default for Speculation {
 ///     .with_plan_memo_bytes(16 << 20);
 /// assert_eq!(config.plan_memo_capacity, 64);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct SessionConfig {
     /// Byte budget of the shared scoring cache.
@@ -193,6 +196,17 @@ pub struct SessionConfig {
     /// never answers, and is deliberately not part of the plan-memo
     /// key.
     pub speculation: Speculation,
+    /// Directory of an on-disk warm-artifact store
+    /// ([`relm_store::PlanStore`]). When set, the session consults the
+    /// store on every plan-memo miss before compiling (a disk hit skips
+    /// compilation entirely — a plan loaded from disk executes
+    /// bit-for-bit identically to a fresh compile) and writes every
+    /// freshly compiled plan back, so warmth survives the process:
+    /// compile once, serve everywhere. `None` (the default) keeps all
+    /// warmth in-memory. Corrupt or mismatched artifacts are treated as
+    /// misses and recompiled — the store can slow a cold start, never
+    /// wrong an answer.
+    pub plan_store: Option<PathBuf>,
 }
 
 impl SessionConfig {
@@ -204,6 +218,7 @@ impl SessionConfig {
             plan_memo_bytes: DEFAULT_PLAN_MEMO_BYTES,
             parallelism: Parallelism::auto(),
             speculation: Speculation::new(),
+            plan_store: None,
         }
     }
 
@@ -241,6 +256,14 @@ impl SessionConfig {
         self.speculation = speculation;
         self
     }
+
+    /// Persist compiled plans to (and restore them from) an on-disk
+    /// warm-artifact store rooted at `path` (created if absent).
+    #[must_use]
+    pub fn with_plan_store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.plan_store = Some(path.into());
+        self
+    }
 }
 
 impl Default for SessionConfig {
@@ -270,6 +293,18 @@ pub struct SessionStats {
     /// panic in a long-lived server. (The scoring-cache analogue is
     /// [`SharedCacheStats::recoveries`] under [`Self::scoring`].)
     pub plan_recoveries: u64,
+    /// Plans restored from the on-disk warm-artifact store instead of
+    /// compiled — at boot preload ([`RelmSession::preload_plans`]) or
+    /// on a plan-memo miss. Zero when no store is configured.
+    pub store_hits: u64,
+    /// Plan-memo misses that consulted the configured store and found
+    /// no usable artifact (missing, corrupt, or mismatched), falling
+    /// back to compilation. Zero when no store is configured.
+    pub store_misses: u64,
+    /// Bytes written to the configured store (plan artifacts on
+    /// compile write-back, cache snapshots on
+    /// [`RelmSession::save_scoring_cache`]).
+    pub store_bytes_written: u64,
     /// Shared scoring-cache counters (hits/misses span queries).
     pub scoring: SharedCacheStats,
 }
@@ -307,6 +342,38 @@ struct PlanKey {
 }
 
 impl PlanKey {
+    /// The on-disk form of this key: field-for-field identical, with
+    /// the tokenization strategy lowered to its stable wire tag.
+    fn to_artifact(&self) -> ArtifactKey {
+        ArtifactKey {
+            pattern: self.pattern.clone(),
+            prefix: self.prefix.clone(),
+            tokenization: match self.tokenization {
+                TokenizationStrategy::Canonical => 0,
+                TokenizationStrategy::All => 1,
+            },
+            preprocessors: self.preprocessors.clone(),
+            tokenizer: self.tokenizer,
+        }
+    }
+
+    /// The in-memory form of a stored key; `None` if the wire tag names
+    /// a tokenization strategy this build does not know.
+    fn from_artifact(key: &ArtifactKey) -> Option<Self> {
+        let tokenization = match key.tokenization {
+            0 => TokenizationStrategy::Canonical,
+            1 => TokenizationStrategy::All,
+            _ => return None,
+        };
+        Some(PlanKey {
+            pattern: key.pattern.clone(),
+            prefix: key.prefix.clone(),
+            tokenization,
+            preprocessors: key.preprocessors.clone(),
+            tokenizer: key.tokenizer,
+        })
+    }
+
     /// Estimated heap bytes of one copy of this key (pattern and prefix
     /// strings dominate; bench-style queries build patterns as
     /// multi-kilobyte lexicon disjunctions).
@@ -503,6 +570,40 @@ impl PlanMemo {
     }
 }
 
+/// Tear a compiled plan apart into its on-disk form. The walk table
+/// and shard index travel only if this process materialized them (they
+/// are execute-time artifacts); a plan saved before its first sampling
+/// execute simply restores without them and rebuilds on demand.
+fn parts_artifact(key: &PlanKey, parts: &PlanParts) -> PlanArtifact {
+    PlanArtifact {
+        key: key.to_artifact(),
+        prefix: parts.prefix.clone(),
+        body: parts.body.automaton.clone(),
+        needs_canonical_check: parts.body.needs_canonical_check,
+        deferred_filters: parts.deferred_filters.clone(),
+        walk_table: parts.walk_table_snapshot().map(|t| (*t).clone()),
+        shard_index: parts.prefix_shards_snapshot().map(|i| (*i).clone()),
+    }
+}
+
+/// Reassemble store-loaded artifacts into an executable plan — the
+/// inverse of [`parts_artifact`]. Restored automata are structurally
+/// identical to freshly compiled ones and the walk table is bit-exact,
+/// so execution downstream of a restore is byte-identical to a cold
+/// compile (enforced by `tests/store.rs`).
+fn restore_parts(artifact: PlanArtifact) -> PlanParts {
+    PlanParts::from_restored(
+        artifact.prefix,
+        CompiledAutomaton {
+            automaton: artifact.body,
+            needs_canonical_check: artifact.needs_canonical_check,
+        },
+        artifact.deferred_filters,
+        artifact.walk_table.map(Arc::new),
+        artifact.shard_index.map(Arc::new),
+    )
+}
+
 /// A persistent ReLM runtime bound to one model and tokenizer. See the
 /// module docs.
 ///
@@ -542,6 +643,14 @@ pub struct RelmSession<M> {
     plans: Mutex<PlanMemo>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    /// The on-disk warm-artifact store, when
+    /// [`SessionConfig::plan_store`] is set and the directory could be
+    /// opened (an unopenable store degrades to the storeless path —
+    /// the session must keep answering queries).
+    store: Option<PlanStore>,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_bytes_written: AtomicU64,
 }
 
 impl<M: LanguageModel> RelmSession<M> {
@@ -553,11 +662,14 @@ impl<M: LanguageModel> RelmSession<M> {
     /// A session with explicit cache/memo budgets.
     pub fn with_config(model: M, tokenizer: BpeTokenizer, config: SessionConfig) -> Self {
         let tokenizer_fingerprint = tokenizer.fingerprint();
+        let store = config
+            .plan_store
+            .as_deref()
+            .and_then(|path| PlanStore::open(path).ok());
         RelmSession {
             model,
             tokenizer,
             tokenizer_fingerprint,
-            config,
             scoring_cache: Arc::new(SharedScoringCache::new(config.scoring_cache_bytes)),
             plans: Mutex::new(PlanMemo::new(
                 config.plan_memo_capacity,
@@ -565,12 +677,17 @@ impl<M: LanguageModel> RelmSession<M> {
             )),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
+            store,
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_bytes_written: AtomicU64::new(0),
+            config,
         }
     }
 
     /// The budgets this session was built with.
     pub fn config(&self) -> SessionConfig {
-        self.config
+        self.config.clone()
     }
 
     /// The session's model.
@@ -618,11 +735,18 @@ impl<M: LanguageModel> RelmSession<M> {
             }
             None => {
                 self.plan_misses.fetch_add(1, Ordering::Relaxed);
-                let parts = Arc::new(compile_parts(
-                    query,
-                    &self.tokenizer,
-                    self.config.parallelism,
-                )?);
+                let parts = match self.load_from_store(&key) {
+                    Some(restored) => restored,
+                    None => {
+                        let parts = Arc::new(compile_parts(
+                            query,
+                            &self.tokenizer,
+                            self.config.parallelism,
+                        )?);
+                        self.write_back(&key, &parts);
+                        parts
+                    }
+                };
                 self.plans.lock().insert(key, Arc::clone(&parts));
                 parts
             }
@@ -639,6 +763,157 @@ impl<M: LanguageModel> RelmSession<M> {
             compiled,
             self.tokenizer_fingerprint,
         ))
+    }
+
+    /// Consult the configured store for `key` on a plan-memo miss.
+    /// Every failure mode — no store, missing file, corruption of any
+    /// kind, a hash-collided file answering a different key — is a
+    /// miss: the caller falls back to compilation, so the store can
+    /// slow a cold start but never wrong an answer or kill a query.
+    fn load_from_store(&self, key: &PlanKey) -> Option<Arc<PlanParts>> {
+        let store = self.store.as_ref()?;
+        match store.load_plan(&key.to_artifact()) {
+            Ok(Some(artifact)) => {
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::new(restore_parts(artifact)))
+            }
+            Ok(None) | Err(_) => {
+                self.store_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persist a freshly compiled plan to the configured store. Write
+    /// failures are swallowed (the gauge simply does not grow): plan
+    /// persistence is a warm-start optimization, never a correctness
+    /// dependency.
+    fn write_back(&self, key: &PlanKey, parts: &PlanParts) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        if let Ok(bytes) = store.save_plan(&parts_artifact(key, parts)) {
+            self.store_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Restore every compatible plan artifact from the configured
+    /// store into the plan memo — the boot-time warm start of a
+    /// serving replica. Artifacts keyed to a different tokenizer are
+    /// skipped (their automata speak different token ids); corrupt
+    /// files are skipped too (an on-demand miss will recompile and
+    /// overwrite them). Returns the number of plans restored; each one
+    /// counts as a store hit.
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::Store`] if no store is configured (or it failed to
+    /// open) or the store directory cannot be listed.
+    pub fn preload_plans(&self) -> Result<usize, RelmError> {
+        let store = self.require_store()?;
+        let mut restored = 0;
+        for path in store.plan_files()? {
+            let Ok(artifact) = PlanStore::read_plan_file(&path) else {
+                continue;
+            };
+            if artifact.key.tokenizer != self.tokenizer_fingerprint {
+                continue;
+            }
+            let Some(key) = PlanKey::from_artifact(&artifact.key) else {
+                continue;
+            };
+            let parts = Arc::new(restore_parts(artifact));
+            self.plans.lock().insert(key, parts);
+            self.store_hits.fetch_add(1, Ordering::Relaxed);
+            restored += 1;
+        }
+        Ok(restored)
+    }
+
+    /// Re-persist every memoized plan to the configured store,
+    /// **including** the execute-time artifacts (walk table, shard
+    /// index) materialized since the compile-time write-back — so a
+    /// replica restoring these plans starts sampling-warm too. Returns
+    /// the total bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::Store`] if no store is configured or a write
+    /// fails.
+    pub fn persist_plans(&self) -> Result<u64, RelmError> {
+        let store = self.require_store()?;
+        let snapshot: Vec<(PlanKey, Arc<PlanParts>)> = {
+            let plans = self.plans.lock();
+            plans
+                .map
+                .iter()
+                .filter_map(|(key, &slot)| {
+                    let entry = plans.slots.get(slot)?.as_ref()?;
+                    Some((key.clone(), Arc::clone(&entry.parts)))
+                })
+                .collect()
+        };
+        let mut total = 0;
+        for (key, parts) in snapshot {
+            total += store.save_plan(&parts_artifact(&key, &parts))?;
+        }
+        self.store_bytes_written.fetch_add(total, Ordering::Relaxed);
+        Ok(total)
+    }
+
+    /// Snapshot the shared scoring cache's live entries into the
+    /// configured store, tagged with the cache's current generation and
+    /// the session tokenizer's fingerprint. Returns the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::Store`] if no store is configured or the write
+    /// fails.
+    pub fn save_scoring_cache(&self) -> Result<u64, RelmError> {
+        let store = self.require_store()?;
+        let (generation, entries) = self.scoring_cache.export_entries();
+        let artifact = CacheArtifact {
+            generation,
+            tokenizer: self.tokenizer_fingerprint,
+            entries,
+        };
+        let bytes = store.save_cache(&artifact)?;
+        self.store_bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    /// Restore a scoring-cache snapshot from the configured store,
+    /// returning how many distributions were imported. The import is a
+    /// silent no-op (returning 0) when no snapshot exists, when the
+    /// snapshot was taken over a different tokenizer, or when its
+    /// generation tag differs from the live cache's — a snapshot taken
+    /// before a [`Self::swap_model`] or [`Self::swap_tokenizer`] can
+    /// never serve a stale distribution afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`RelmError::Store`] if no store is configured or the snapshot
+    /// file exists but cannot be read (corrupt snapshots fail closed
+    /// rather than half-import).
+    pub fn load_scoring_cache(&self) -> Result<usize, RelmError> {
+        let store = self.require_store()?;
+        let Some(artifact) = store.load_cache()? else {
+            return Ok(0);
+        };
+        if artifact.tokenizer != self.tokenizer_fingerprint {
+            return Ok(0);
+        }
+        Ok(self
+            .scoring_cache
+            .import_entries(artifact.generation, artifact.entries))
+    }
+
+    /// The configured store, or the typed error explicit store
+    /// operations surface.
+    fn require_store(&self) -> Result<&PlanStore, RelmError> {
+        self.store.as_ref().ok_or_else(|| {
+            RelmError::Store("no plan store configured (or it failed to open)".into())
+        })
     }
 
     /// Execute a compiled plan against the session's model, scoring
@@ -771,6 +1046,9 @@ impl<M: LanguageModel> RelmSession<M> {
             plan_evictions,
             plan_bytes,
             plan_recoveries,
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
+            store_bytes_written: self.store_bytes_written.load(Ordering::Relaxed),
             scoring: self.scoring_cache.stats(),
         }
     }
@@ -1049,6 +1327,152 @@ mod tests {
         assert_ne!(before[0].text, after[0].text);
         assert_eq!(after[0].text, "the dog sat");
         assert_eq!(session.stats().plan_hits, 1, "plans survive a model swap");
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("relm-session-store-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn plan_store_round_trips_across_sessions() {
+        let dir = temp_store_dir("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let query = SearchQuery::new(
+            QueryString::new("the ((cat)|(dog)) sat").with_prefix("the ((cat)|(dog))"),
+        )
+        .with_strategy(crate::SearchStrategy::RandomSampling { seed: 3 });
+
+        let (tok, lm) = fixture();
+        let cold = RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_store(&dir));
+        let cold_matches: Vec<_> = cold.search(&query).unwrap().take(2).collect();
+        let cold_stats = cold.stats();
+        assert_eq!(cold_stats.store_hits, 0);
+        assert_eq!(cold_stats.store_misses, 1, "consulted before compiling");
+        assert!(cold_stats.store_bytes_written > 0, "plan written back");
+
+        // A brand-new session (fresh memo) over the same store must
+        // serve the plan from disk and produce bit-identical matches.
+        let (tok, lm) = fixture();
+        let warm = RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_store(&dir));
+        let warm_matches: Vec<_> = warm.search(&query).unwrap().take(2).collect();
+        let warm_stats = warm.stats();
+        assert_eq!(warm_stats.store_hits, 1, "{warm_stats:?}");
+        assert_eq!(warm_stats.store_misses, 0);
+        assert_eq!(cold_matches, warm_matches);
+        for (c, w) in cold_matches.iter().zip(&warm_matches) {
+            assert_eq!(c.log_prob.to_bits(), w.log_prob.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_artifact_falls_back_to_compilation() {
+        let dir = temp_store_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        let (tok, lm) = fixture();
+        let writer = RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_store(&dir));
+        writer.plan(&query).unwrap();
+        // Corrupt every artifact in place (flip a payload byte).
+        let mut corrupted = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xff;
+            std::fs::write(&path, bytes).unwrap();
+            corrupted += 1;
+        }
+        assert!(corrupted > 0);
+        let (tok, lm) = fixture();
+        let reader = RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_store(&dir));
+        let matches: Vec<_> = reader.search(&query).unwrap().take(2).collect();
+        assert_eq!(matches.len(), 2, "corruption must not kill the query");
+        let stats = reader.stats();
+        assert_eq!(stats.store_hits, 0);
+        assert_eq!(stats.store_misses, 1, "corrupt artifact is a miss");
+        assert_eq!(stats.plan_misses, 1, "recompiled");
+        // The recompile overwrote the corrupt file: preloading a third
+        // session now restores it cleanly.
+        let (tok, lm) = fixture();
+        let third = RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_store(&dir));
+        assert_eq!(third.preload_plans().unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn preload_skips_other_tokenizers_and_counts_hits() {
+        let dir = temp_store_dir("preload");
+        let _ = std::fs::remove_dir_all(&dir);
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        let (tok, lm) = fixture();
+        let writer = RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_store(&dir));
+        writer.plan(&query).unwrap();
+
+        // Same store, different tokenizer: nothing compatible to load.
+        let other_tok = BpeTokenizer::train("the cat sat on the mat. the dog sat.", 40);
+        let (_, lm) = fixture();
+        let foreign =
+            RelmSession::with_config(lm, other_tok, SessionConfig::new().with_plan_store(&dir));
+        assert_eq!(foreign.preload_plans().unwrap(), 0);
+
+        let (tok, lm) = fixture();
+        let warm = RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_store(&dir));
+        assert_eq!(warm.preload_plans().unwrap(), 1);
+        assert_eq!(warm.stats().store_hits, 1);
+        // The preloaded plan serves from the memo without recompiling.
+        warm.plan(&query).unwrap();
+        let stats = warm.stats();
+        assert_eq!(stats.plan_hits, 1);
+        assert_eq!(stats.plan_misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scoring_cache_snapshot_round_trips_and_respects_generation() {
+        let dir = temp_store_dir("cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)) sat"));
+        let (tok, lm) = fixture();
+        let writer = RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_store(&dir));
+        let _ = writer.search(&query).unwrap().take(2).count();
+        assert!(writer.save_scoring_cache().unwrap() > 0);
+
+        // A fresh session imports the snapshot (same generation 0) and
+        // serves the repeated query without any model misses.
+        let (tok, lm) = fixture();
+        let warm = RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_store(&dir));
+        assert!(warm.load_scoring_cache().unwrap() > 0);
+        let mut results = warm.search(&query).unwrap();
+        let _ = (&mut results).take(2).count();
+        assert_eq!(results.stats().cache_misses, 0, "fully snapshot-served");
+
+        // After a model swap the generation moves on: the same snapshot
+        // must refuse to import.
+        let (tok, lm) = fixture();
+        let mut swapped =
+            RelmSession::with_config(lm, tok, SessionConfig::new().with_plan_store(&dir));
+        let replacement = NGramLm::train(
+            swapped.tokenizer(),
+            &["the dog sat on the log", "the dog sat on the log"],
+            NGramConfig::xl(),
+        );
+        swapped.swap_model(replacement).unwrap();
+        assert_eq!(swapped.load_scoring_cache().unwrap(), 0, "stale generation");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_operations_without_a_store_surface_typed_errors() {
+        let (tok, lm) = fixture();
+        let session = RelmSession::new(lm, tok);
+        for err in [
+            session.preload_plans().unwrap_err(),
+            session.save_scoring_cache().unwrap_err(),
+            session.load_scoring_cache().unwrap_err(),
+        ] {
+            assert_eq!(err.kind(), crate::RelmErrorKind::Store);
+        }
     }
 
     #[test]

@@ -296,6 +296,19 @@ impl ClockCache {
         self.live += 1;
     }
 
+    /// Iterate the live (current-generation) entries as
+    /// `(context, distribution)` pairs in ring-slot order — the export
+    /// path of the warm-artifact store. Touches neither referenced bits
+    /// nor reuse counters: exporting a cache must be unobservable to
+    /// its admission policy.
+    pub(crate) fn live_entries(&self) -> impl Iterator<Item = (&[TokenId], &[f64])> {
+        self.slots.iter().filter_map(|slot| {
+            slot.as_ref()
+                .filter(|e| e.generation == self.generation)
+                .map(|e| (&e.key[..], &e.value[..]))
+        })
+    }
+
     /// One clock sweep step: evict the first stale or unreferenced entry,
     /// clearing referenced bits along the way. Returns `false` when the
     /// ring holds nothing evictable.

@@ -36,6 +36,11 @@ use crate::cache::BatchPlan;
 /// Default byte budget for a session's shared scoring cache (128 MiB).
 pub const DEFAULT_SHARED_CACHE_BYTES: usize = 128 << 20;
 
+/// Owned `(context, distribution)` pairs as exported by
+/// [`SharedScoringCache::export_entries`] and re-admitted by
+/// [`SharedScoringCache::import_entries`].
+pub type CacheEntries = Vec<(Vec<TokenId>, Vec<f64>)>;
+
 /// Admissions granted unconditionally before the reuse gate engages —
 /// the cache needs a population before "observed reuse" means anything.
 pub(crate) const SHARED_ADMISSION_WARMUP: u64 = 128;
@@ -197,6 +202,44 @@ impl SharedScoringCache {
         self.len() == 0
     }
 
+    /// Snapshot the live entries together with the cache's current
+    /// generation tag — the export half of the warm-artifact store's
+    /// optional scoring-cache persistence. Exporting counts as neither
+    /// lookups nor reuse, so persisting a cache is unobservable to its
+    /// admission policy.
+    pub fn export_entries(&self) -> (u64, CacheEntries) {
+        let table = self.table.lock();
+        let entries = table
+            .live_entries()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        (table.generation(), entries)
+    }
+
+    /// Re-admit entries captured by [`Self::export_entries`], gated on
+    /// the generation tag: entries are admitted only when `generation`
+    /// matches this cache's *current* generation, so a snapshot taken
+    /// before a `swap_model`/`swap_tokenizer` (which bumps the
+    /// generation) can never reintroduce stale distributions — the
+    /// import silently becomes a no-op instead. Returns the number of
+    /// entries admitted (first writer wins; oversized entries and
+    /// budget evictions apply as on any insert).
+    pub fn import_entries(
+        &self,
+        generation: u64,
+        entries: impl IntoIterator<Item = (Vec<TokenId>, Vec<f64>)>,
+    ) -> usize {
+        let mut table = self.table.lock();
+        if table.generation() != generation {
+            return 0;
+        }
+        let before = table.insertions();
+        for (context, distribution) in entries {
+            table.insert(context, distribution);
+        }
+        (table.insertions() - before) as usize
+    }
+
     /// Whether the reuse-gated admission policy is currently admitting.
     ///
     /// The first [`SHARED_ADMISSION_WARMUP`] insertions are admitted
@@ -308,6 +351,45 @@ mod tests {
         let stats = cache.stats();
         assert!(stats.admitting);
         assert!(stats.mean_reuse_depth > 0.0);
+    }
+
+    #[test]
+    fn export_import_round_trips_live_entries() {
+        let cache = SharedScoringCache::new(1 << 20);
+        cache.insert(vec![1], vec![-1.0, -2.0]);
+        cache.insert(vec![2, 3], vec![-0.5]);
+        let (generation, entries) = cache.export_entries();
+        assert_eq!(entries.len(), 2);
+
+        let restored = SharedScoringCache::new(1 << 20);
+        let admitted = restored.import_entries(generation, entries);
+        assert_eq!(admitted, 2);
+        assert_eq!(restored.peek(&[1]), Some(vec![-1.0, -2.0]));
+        assert_eq!(restored.peek(&[2, 3]), Some(vec![-0.5]));
+    }
+
+    #[test]
+    fn import_with_stale_generation_is_a_no_op() {
+        let cache = SharedScoringCache::new(1 << 20);
+        cache.insert(vec![7], vec![-4.0]);
+        let (generation, entries) = cache.export_entries();
+        // A model/tokenizer swap after the snapshot: the tagged entries
+        // may describe the *old* model and must never be re-admitted.
+        cache.bump_generation();
+        assert_eq!(cache.import_entries(generation, entries), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn export_does_not_perturb_counters() {
+        let cache = SharedScoringCache::new(1 << 20);
+        cache.insert(vec![1], vec![0.0]);
+        let before = cache.stats();
+        let _ = cache.export_entries();
+        let after = cache.stats();
+        assert_eq!(before.hits, after.hits);
+        assert_eq!(before.misses, after.misses);
+        assert_eq!(before.mean_reuse_depth, after.mean_reuse_depth);
     }
 
     #[test]

@@ -2,19 +2,23 @@
 //! built-in demonstration model.
 //!
 //! ```text
-//! relm_server [ADDR] [--max-requests N]
+//! relm_server [ADDR] [--max-requests N] [--plan-store DIR]
 //! ```
 //!
 //! Binds `ADDR` (default `127.0.0.1:7474`; use port 0 for an ephemeral
 //! port, printed on startup), trains the deterministic toy corpus model
 //! every scripted client knows, and serves until killed — or, with
 //! `--max-requests N`, until `N` queries completed (the deterministic
-//! shutdown CI's smoke job uses). Drive it with the `relm_client` bin.
+//! shutdown CI's smoke job uses). `--plan-store DIR` points at a
+//! warm-artifact store: compiled plans are preloaded from it at boot
+//! (the `relm_store compile` bin fills one ahead of time), written back
+//! on every fresh compile, and the scoring cache is flushed to it on
+//! shutdown. Drive it with the `relm_client` bin.
 
 use std::sync::atomic::AtomicBool;
 
 use relm_bpe::BpeTokenizer;
-use relm_core::Relm;
+use relm_core::{Relm, SessionConfig};
 use relm_lm::{NGramConfig, NGramLm};
 use relm_serve::{RelmServer, ServerConfig};
 
@@ -31,6 +35,8 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut addr = "127.0.0.1:7474".to_string();
     let mut config = ServerConfig::new();
+    let mut session_config = SessionConfig::new();
+    let mut store_configured = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--max-requests" => {
@@ -40,6 +46,12 @@ fn main() {
                     .expect("--max-requests takes a number");
                 config = config.with_max_requests(n);
             }
+            "--plan-store" => {
+                let dir = args.next().expect("--plan-store takes a directory");
+                session_config = session_config.with_plan_store(dir);
+                config = config.with_preload_store(true).with_flush_store(true);
+                store_configured = true;
+            }
             other => addr = other.to_string(),
         }
     }
@@ -48,6 +60,7 @@ fn main() {
     let tokenizer = BpeTokenizer::train(&corpus, 80);
     let model = NGramLm::train(&tokenizer, &DEMO_DOCS, NGramConfig::xl());
     let client = Relm::builder(model, tokenizer)
+        .config(session_config)
         .build()
         .expect("demo model fits its tokenizer");
 
@@ -58,6 +71,19 @@ fn main() {
     let server = RelmServer::with_config(client, config);
     let shutdown = AtomicBool::new(false);
     let report = server.serve(listener, &shutdown).expect("serve loop");
+    if store_configured {
+        let stats = server.client().stats();
+        println!(
+            "relm_server store: {} hits, {} misses, {} bytes written, \
+             {} plans preloaded, {} cache entries preloaded, {} bytes flushed",
+            stats.store_hits,
+            stats.store_misses,
+            stats.store_bytes_written,
+            report.plans_preloaded,
+            report.cache_entries_preloaded,
+            report.store_flush_bytes,
+        );
+    }
     println!(
         "relm_server done: {} connections, {} admitted, {} completed, {} cancelled, \
          mean batch fill {:.2} ({} cross-query batches)",

@@ -55,6 +55,17 @@ pub struct ServerConfig {
     /// serve until the shutdown flag flips). Scripted smoke tests and
     /// benches use it for deterministic shutdown.
     pub max_requests: Option<u64>,
+    /// Warm-boot from the client's configured plan store before
+    /// accepting connections: restore every compatible compiled plan
+    /// into the plan memo and import the scoring-cache snapshot (if
+    /// its generation and tokenizer still match). A no-op when the
+    /// client has no store configured — best-effort, never fatal.
+    pub preload_store: bool,
+    /// Flush the shared scoring cache to the client's plan store when
+    /// the serve loop exits, so the next replica boots score-warm.
+    /// (Compiled plans need no flush: they are written back at compile
+    /// time.) Best-effort, never fatal.
+    pub flush_store: bool,
 }
 
 impl ServerConfig {
@@ -65,6 +76,8 @@ impl ServerConfig {
             park: Duration::from_micros(500),
             tick_quantum: TickQuantum::default(),
             max_requests: None,
+            preload_store: false,
+            flush_store: false,
         }
     }
 
@@ -93,6 +106,20 @@ impl ServerConfig {
     #[must_use]
     pub fn with_max_requests(mut self, n: u64) -> Self {
         self.max_requests = Some(n);
+        self
+    }
+
+    /// Warm-boot from the client's plan store before serving.
+    #[must_use]
+    pub fn with_preload_store(mut self, preload: bool) -> Self {
+        self.preload_store = preload;
+        self
+    }
+
+    /// Flush the scoring cache to the client's plan store on shutdown.
+    #[must_use]
+    pub fn with_flush_store(mut self, flush: bool) -> Self {
+        self.flush_store = flush;
         self
     }
 }
@@ -128,6 +155,15 @@ pub struct ServerReport {
     pub ticks_run: u64,
     /// See [`ServerReport::ticks_run`].
     pub ticks_skipped: u64,
+    /// Compiled plans restored from the warm-artifact store at boot
+    /// ([`ServerConfig::preload_store`]).
+    pub plans_preloaded: u64,
+    /// Scoring-cache distributions imported from the store's snapshot
+    /// at boot ([`ServerConfig::preload_store`]).
+    pub cache_entries_preloaded: u64,
+    /// Bytes flushed to the store on shutdown
+    /// ([`ServerConfig::flush_store`]).
+    pub store_flush_bytes: u64,
 }
 
 /// A ReLM serving front end over one [`Relm`] client. See the module
@@ -191,6 +227,13 @@ impl<M: LanguageModel> RelmServer<M> {
         reactor: &mut dyn Reactor,
     ) -> std::io::Result<ServerReport> {
         listener.set_nonblocking(true)?;
+        let mut report = ServerReport::default();
+        // Warm boot: best-effort — a replica with a missing or corrupt
+        // store must still come up cold and serve.
+        if self.config.preload_store {
+            report.plans_preloaded = self.client.preload_plans().unwrap_or(0) as u64;
+            report.cache_entries_preloaded = self.client.load_scoring_cache().unwrap_or(0) as u64;
+        }
         let mut driver = self
             .client
             .driver()
@@ -199,7 +242,6 @@ impl<M: LanguageModel> RelmServer<M> {
         let mut next_token: u64 = 0;
         // In-flight query -> (connection token, request id to echo).
         let mut routes: HashMap<QueryId, (u64, u64)> = HashMap::new();
-        let mut report = ServerReport::default();
 
         loop {
             if shutdown.load(Ordering::Relaxed) {
@@ -383,6 +425,13 @@ impl<M: LanguageModel> RelmServer<M> {
         report.ticks_run = ticks_run;
         report.ticks_skipped = ticks_skipped;
         report.parks = reactor.parks();
+        if self.config.flush_store {
+            // Plans were written back at compile time, but a re-persist
+            // captures the walk tables and shard indexes materialized
+            // since; the cache snapshot makes the next boot score-warm.
+            report.store_flush_bytes = self.client.persist_plans().unwrap_or(0)
+                + self.client.save_scoring_cache().unwrap_or(0);
+        }
         Ok(report)
     }
 }

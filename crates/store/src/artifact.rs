@@ -1,0 +1,424 @@
+//! The artifact payloads and their encodings.
+//!
+//! A **plan artifact** is everything a session's plan memo holds for
+//! one compiled query: the optional prefix automaton, the body token
+//! automaton (shortcut edges are its transitions) with its
+//! canonical-check flag, the deferred filter automata, and — when they
+//! were built before the snapshot — the walk table and the prefix
+//! shard partition. It is keyed by exactly the in-memory memo key:
+//! pattern, prefix, tokenization strategy, preprocessor fingerprints,
+//! and tokenizer fingerprint.
+//!
+//! A **cache artifact** is a snapshot of a `SharedScoringCache`'s live
+//! entries, tagged with the generation and tokenizer fingerprint they
+//! were computed under so a restore can fail closed.
+//!
+//! Decoding validates structure end to end — a decoded automaton goes
+//! through [`Dfa::try_from_parts`], walk rows through
+//! [`WalkTable::from_exact_rows`], shard bounds through
+//! [`ShardIndex::from_bounds`] — so a corrupt payload that survives the
+//! checksum still surfaces a typed error, never a panic.
+
+use relm_automata::{Dfa, ShardIndex, StateId, WalkTable};
+use relm_bpe::TokenId;
+
+use crate::wire::{Reader, Writer};
+use crate::StoreError;
+
+/// The store's key for a compiled plan — field for field the session
+/// plan memo's in-memory key, so a disk hit is exactly a memo hit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// The query pattern source.
+    pub pattern: String,
+    /// The conditioning prefix, if any.
+    pub prefix: Option<String>,
+    /// The tokenization strategy, encoded as a stable `u8`
+    /// (0 = canonical, 1 = all encodings).
+    pub tokenization: u8,
+    /// Structural fingerprints of the query's preprocessors, in
+    /// application order.
+    pub preprocessors: Vec<u64>,
+    /// The tokenizer fingerprint the plan was compiled against.
+    pub tokenizer: u64,
+}
+
+impl ArtifactKey {
+    fn encode(&self, w: &mut Writer) {
+        w.str(&self.pattern);
+        w.opt_str(self.prefix.as_deref());
+        w.u8(self.tokenization);
+        w.usize(self.preprocessors.len());
+        for &fp in &self.preprocessors {
+            w.u64(fp);
+        }
+        w.u64(self.tokenizer);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let pattern = r.str("key pattern")?;
+        let prefix = r.opt_str("key prefix")?;
+        let tokenization = r.u8("key tokenization")?;
+        let count = r.count(8, "key preprocessors")?;
+        let mut preprocessors = Vec::with_capacity(count);
+        for _ in 0..count {
+            preprocessors.push(r.u64("key preprocessor fingerprint")?);
+        }
+        let tokenizer = r.u64("key tokenizer fingerprint")?;
+        Ok(ArtifactKey {
+            pattern,
+            prefix,
+            tokenization,
+            preprocessors,
+            tokenizer,
+        })
+    }
+
+    /// The bytes hashed into the artifact's file name.
+    pub(crate) fn encoded(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// One compiled plan, ready to be re-seated in a session's memo.
+#[derive(Debug, Clone)]
+pub struct PlanArtifact {
+    /// The memo key this plan answers.
+    pub key: ArtifactKey,
+    /// The prefix token automaton, when the query has a prefix.
+    pub prefix: Option<Dfa>,
+    /// The body token automaton (shortcut edges included).
+    pub body: Dfa,
+    /// Whether executions must re-check canonical tokenization.
+    pub needs_canonical_check: bool,
+    /// Deferred filter automata, in application order.
+    pub deferred_filters: Vec<Dfa>,
+    /// The sampling walk table, when one had been built.
+    pub walk_table: Option<WalkTable>,
+    /// The prefix automaton's shard partition, when one had been built.
+    /// Restored against the stored prefix automaton, so it is only
+    /// present when `prefix` is.
+    pub shard_index: Option<ShardIndex>,
+}
+
+fn encode_dfa(w: &mut Writer, dfa: &Dfa) {
+    w.usize(dfa.state_count());
+    w.usize(dfa.start());
+    let accepting: Vec<StateId> = (0..dfa.state_count())
+        .filter(|&s| dfa.is_accepting(s))
+        .collect();
+    w.usize(accepting.len());
+    for s in accepting {
+        w.usize(s);
+    }
+    w.usize(dfa.transition_count());
+    for from in 0..dfa.state_count() {
+        for (symbol, to) in dfa.transitions(from) {
+            w.usize(from);
+            w.u32(symbol);
+            w.usize(to);
+        }
+    }
+}
+
+fn decode_dfa(r: &mut Reader<'_>, what: &str) -> Result<Dfa, StoreError> {
+    let state_count = r.count(0, &format!("{what} state count"))?;
+    let start = r.u64(&format!("{what} start"))? as StateId;
+    let accepting_count = r.count(8, &format!("{what} accepting count"))?;
+    let mut accepting = Vec::with_capacity(accepting_count);
+    for _ in 0..accepting_count {
+        accepting.push(r.u64(&format!("{what} accepting state"))? as StateId);
+    }
+    let transition_count = r.count(20, &format!("{what} transition count"))?;
+    let mut transitions = Vec::with_capacity(transition_count);
+    for _ in 0..transition_count {
+        let from = r.u64(&format!("{what} transition source"))? as StateId;
+        let symbol = r.u32(&format!("{what} transition symbol"))?;
+        let to = r.u64(&format!("{what} transition target"))? as StateId;
+        transitions.push((from, symbol, to));
+    }
+    // Degenerate special case: a zero-state automaton cannot satisfy
+    // `start < state_count`, and no in-process construction produces
+    // one (`Dfa::empty()` has one state), so reject it outright.
+    Dfa::try_from_parts(state_count, start, &accepting, &transitions)
+        .ok_or_else(|| StoreError::Corrupt(format!("{what} is not a valid DFA")))
+}
+
+fn encode_opt_dfa(w: &mut Writer, dfa: Option<&Dfa>) {
+    match dfa {
+        Some(dfa) => {
+            w.u8(1);
+            encode_dfa(w, dfa);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn decode_opt_dfa(r: &mut Reader<'_>, what: &str) -> Result<Option<Dfa>, StoreError> {
+    match r.u8(&format!("{what} tag"))? {
+        0 => Ok(None),
+        1 => Ok(Some(decode_dfa(r, what)?)),
+        tag => Err(StoreError::Corrupt(format!(
+            "{what} has invalid option tag {tag}"
+        ))),
+    }
+}
+
+impl PlanArtifact {
+    /// Serialize the artifact as a complete framed file image — header
+    /// (magic, version, payload length, checksum) plus payload. These
+    /// are exactly the bytes [`crate::PlanStore::save_plan`] writes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::store::frame(crate::store::PLAN_MAGIC, &self.encode())
+    }
+
+    /// Parse and fully validate a framed file image (the inverse of
+    /// [`PlanArtifact::to_bytes`]). Every corruption mode — bad magic,
+    /// future version, checksum mismatch, truncated or structurally
+    /// invalid payload — is a typed [`StoreError`], never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        Self::decode(crate::store::unframe(bytes, crate::store::PLAN_MAGIC)?)
+    }
+
+    /// Serialize the artifact payload (header and checksum are added by
+    /// the file layer).
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.key.encode(&mut w);
+        encode_opt_dfa(&mut w, self.prefix.as_ref());
+        encode_dfa(&mut w, &self.body);
+        w.u8(u8::from(self.needs_canonical_check));
+        w.usize(self.deferred_filters.len());
+        for filter in &self.deferred_filters {
+            encode_dfa(&mut w, filter);
+        }
+        match &self.walk_table {
+            Some(table) => {
+                w.u8(1);
+                w.usize(table.max_len());
+                let rows = table.exact_rows();
+                w.usize(rows.first().map_or(0, Vec::len));
+                for row in rows {
+                    for &v in row {
+                        w.f64(v);
+                    }
+                }
+            }
+            None => w.u8(0),
+        }
+        match &self.shard_index {
+            Some(index) => {
+                w.u8(1);
+                w.usize(index.bounds().len());
+                for &b in index.bounds() {
+                    w.usize(b);
+                }
+            }
+            None => w.u8(0),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode and structurally validate an artifact payload.
+    pub(crate) fn decode(payload: &[u8]) -> Result<Self, StoreError> {
+        let mut r = Reader::new(payload);
+        let key = ArtifactKey::decode(&mut r)?;
+        let prefix = decode_opt_dfa(&mut r, "prefix automaton")?;
+        let body = decode_dfa(&mut r, "body automaton")?;
+        let needs_canonical_check = match r.u8("canonical-check flag")? {
+            0 => false,
+            1 => true,
+            tag => {
+                return Err(StoreError::Corrupt(format!(
+                    "canonical-check flag has invalid value {tag}"
+                )))
+            }
+        };
+        let filter_count = r.count(1, "deferred filter count")?;
+        let mut deferred_filters = Vec::with_capacity(filter_count);
+        for i in 0..filter_count {
+            deferred_filters.push(decode_dfa(&mut r, &format!("deferred filter {i}"))?);
+        }
+        let walk_table = match r.u8("walk-table tag")? {
+            0 => None,
+            1 => {
+                let max_len = r.count(0, "walk-table max length")?;
+                let states = r.count(0, "walk-table state count")?;
+                let rows = max_len
+                    .checked_add(1)
+                    .ok_or_else(|| StoreError::Corrupt("walk-table max length overflows".into()))?;
+                let cells = rows
+                    .checked_mul(states)
+                    .ok_or_else(|| StoreError::Corrupt("walk-table dimensions overflow".into()))?;
+                if cells.checked_mul(8).is_none_or(|need| need > r.remaining()) {
+                    return Err(StoreError::Corrupt(format!(
+                        "truncated: walk table needs {rows}x{states} cells, {} bytes remain",
+                        r.remaining()
+                    )));
+                }
+                let mut exact = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    let mut row = Vec::with_capacity(states);
+                    for _ in 0..states {
+                        row.push(r.f64("walk-table cell")?);
+                    }
+                    exact.push(row);
+                }
+                // Sampling walks run over the *prefix* automaton, so
+                // the serialized row width must match its state count.
+                let prefix = prefix.as_ref().ok_or_else(|| {
+                    StoreError::Corrupt("walk table present without a prefix automaton".into())
+                })?;
+                if states != prefix.state_count() {
+                    return Err(StoreError::Corrupt(format!(
+                        "walk table covers {states} states, prefix automaton has {}",
+                        prefix.state_count()
+                    )));
+                }
+                Some(WalkTable::from_exact_rows(exact, max_len).ok_or_else(|| {
+                    StoreError::Corrupt("walk table rows are structurally invalid".into())
+                })?)
+            }
+            tag => {
+                return Err(StoreError::Corrupt(format!(
+                    "walk-table tag has invalid value {tag}"
+                )))
+            }
+        };
+        let shard_index = match r.u8("shard-index tag")? {
+            0 => None,
+            1 => {
+                let bound_count = r.count(8, "shard-index bound count")?;
+                let mut bounds = Vec::with_capacity(bound_count);
+                for _ in 0..bound_count {
+                    bounds.push(r.u64("shard-index bound")? as StateId);
+                }
+                let prefix = prefix.as_ref().ok_or_else(|| {
+                    StoreError::Corrupt("shard index present without a prefix automaton".into())
+                })?;
+                Some(ShardIndex::from_bounds(prefix, bounds).ok_or_else(|| {
+                    StoreError::Corrupt("shard bounds do not partition the prefix automaton".into())
+                })?)
+            }
+            tag => {
+                return Err(StoreError::Corrupt(format!(
+                    "shard-index tag has invalid value {tag}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after the artifact payload",
+                r.remaining()
+            )));
+        }
+        Ok(PlanArtifact {
+            key,
+            prefix,
+            body,
+            needs_canonical_check,
+            deferred_filters,
+            walk_table,
+            shard_index,
+        })
+    }
+
+    /// Rough resident size of the artifact's automata and tables, for
+    /// `ls` reports.
+    pub fn estimated_bytes(&self) -> usize {
+        let mut bytes = self.body.estimated_bytes();
+        if let Some(prefix) = &self.prefix {
+            bytes += prefix.estimated_bytes();
+        }
+        for filter in &self.deferred_filters {
+            bytes += filter.estimated_bytes();
+        }
+        if let Some(table) = &self.walk_table {
+            bytes += table.estimated_bytes();
+        }
+        if let Some(index) = &self.shard_index {
+            bytes += index.estimated_bytes();
+        }
+        bytes
+    }
+}
+
+/// A snapshot of a shared scoring cache's live entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheArtifact {
+    /// The cache generation the entries were exported under. A restore
+    /// must refuse entries whose generation does not match the target
+    /// cache's current generation — after a `swap_model` or
+    /// `swap_tokenizer` the tag differs and the import becomes a no-op.
+    pub generation: u64,
+    /// The tokenizer fingerprint the contexts were encoded with.
+    pub tokenizer: u64,
+    /// `(context, next-token log-distribution)` pairs.
+    pub entries: Vec<(Vec<TokenId>, Vec<f64>)>,
+}
+
+impl CacheArtifact {
+    /// Serialize as a complete framed file image (see
+    /// [`PlanArtifact::to_bytes`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::store::frame(crate::store::CACHE_MAGIC, &self.encode())
+    }
+
+    /// Parse and fully validate a framed file image (the inverse of
+    /// [`CacheArtifact::to_bytes`]).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        Self::decode(crate::store::unframe(bytes, crate::store::CACHE_MAGIC)?)
+    }
+
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.generation);
+        w.u64(self.tokenizer);
+        w.usize(self.entries.len());
+        for (context, distribution) in &self.entries {
+            w.usize(context.len());
+            for &token in context {
+                w.u32(token);
+            }
+            w.usize(distribution.len());
+            for &v in distribution {
+                w.f64(v);
+            }
+        }
+        w.into_bytes()
+    }
+
+    pub(crate) fn decode(payload: &[u8]) -> Result<Self, StoreError> {
+        let mut r = Reader::new(payload);
+        let generation = r.u64("cache generation")?;
+        let tokenizer = r.u64("cache tokenizer fingerprint")?;
+        let entry_count = r.count(16, "cache entry count")?;
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let context_len = r.count(4, "cache context length")?;
+            let mut context = Vec::with_capacity(context_len);
+            for _ in 0..context_len {
+                context.push(r.u32("cache context token")?);
+            }
+            let dist_len = r.count(8, "cache distribution length")?;
+            let mut distribution = Vec::with_capacity(dist_len);
+            for _ in 0..dist_len {
+                distribution.push(r.f64("cache distribution value")?);
+            }
+            entries.push((context, distribution));
+        }
+        if !r.is_empty() {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after the cache payload",
+                r.remaining()
+            )));
+        }
+        Ok(CacheArtifact {
+            generation,
+            tokenizer,
+            entries,
+        })
+    }
+}

@@ -1,0 +1,360 @@
+//! The on-disk store: a directory of framed, checksummed artifacts.
+//!
+//! One file per plan, named `plan-<fnv1a(key)>.relm`; the full key is
+//! stored *inside* the file and re-verified on load, so a file-name
+//! hash collision can never serve the wrong plan. The scoring-cache
+//! snapshot, when present, lives in `scoring-cache.relm`. Writes go to
+//! a temporary sibling first and are renamed into place, so a reader
+//! racing a writer sees either the old artifact or the new one, never
+//! a torn file.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::artifact::{ArtifactKey, CacheArtifact, PlanArtifact};
+use crate::wire::fnv1a;
+use crate::StoreError;
+
+/// Current store format version. Readers reject files stamped with a
+/// *newer* version ([`StoreError::UnsupportedVersion`]): an old binary
+/// must fail closed on an artifact whose layout it cannot know.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of a plan artifact file.
+pub(crate) const PLAN_MAGIC: [u8; 8] = *b"RELMPLAN";
+/// Magic prefix of a scoring-cache snapshot file.
+pub(crate) const CACHE_MAGIC: [u8; 8] = *b"RELMCACH";
+/// Header size: magic + version + payload length + checksum.
+const HEADER_BYTES: usize = 8 + 4 + 8 + 8;
+
+/// A directory of warm artifacts. Cheap to clone around — it holds
+/// only the root path; every operation re-touches the filesystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStore {
+    root: PathBuf,
+}
+
+pub(crate) fn frame(magic: [u8; 8], payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_BYTES + payload.len());
+    bytes.extend_from_slice(&magic);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+pub(crate) fn unframe(bytes: &[u8], magic: [u8; 8]) -> Result<&[u8], StoreError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(StoreError::Corrupt(format!(
+            "file holds {} bytes, the header alone needs {HEADER_BYTES}",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != magic {
+        return Err(StoreError::WrongMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    if version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
+    let payload = &bytes[HEADER_BYTES..];
+    if payload_len != payload.len() as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "header says {payload_len} payload bytes, file holds {}",
+            payload.len()
+        )));
+    }
+    let expected = u64::from_le_bytes(bytes[20..28].try_into().expect("8-byte slice"));
+    let actual = fnv1a(payload);
+    if expected != actual {
+        return Err(StoreError::ChecksumMismatch { expected, actual });
+    }
+    Ok(payload)
+}
+
+/// Write `bytes` to `path` via a temporary sibling and an atomic
+/// rename, so concurrent readers never observe a torn file.
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+impl PlanStore {
+    /// Open (creating if needed) the store directory at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<PlanStore, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(PlanStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The file a plan for `key` lives in (whether or not it exists).
+    pub fn plan_path(&self, key: &ArtifactKey) -> PathBuf {
+        self.root
+            .join(format!("plan-{:016x}.relm", fnv1a(&key.encoded())))
+    }
+
+    /// The scoring-cache snapshot file (whether or not it exists).
+    pub fn cache_path(&self) -> PathBuf {
+        self.root.join("scoring-cache.relm")
+    }
+
+    /// Load the plan for `key`, fully validated. `Ok(None)` means the
+    /// store simply has no artifact for this key; every corruption mode
+    /// — truncation, bit flips, wrong magic, future version, a decoded
+    /// key that differs from the requested one — is a typed error the
+    /// caller treats as "compile instead".
+    pub fn load_plan(&self, key: &ArtifactKey) -> Result<Option<PlanArtifact>, StoreError> {
+        let path = self.plan_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(err) => return Err(err.into()),
+        };
+        let artifact = PlanArtifact::decode(unframe(&bytes, PLAN_MAGIC)?)?;
+        if artifact.key != *key {
+            return Err(StoreError::KeyMismatch);
+        }
+        Ok(Some(artifact))
+    }
+
+    /// Persist a plan artifact, overwriting any previous artifact for
+    /// the same key. Returns the number of bytes written to disk.
+    pub fn save_plan(&self, artifact: &PlanArtifact) -> Result<u64, StoreError> {
+        let bytes = frame(PLAN_MAGIC, &artifact.encode());
+        write_atomically(&self.plan_path(&artifact.key), &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Load the scoring-cache snapshot, if one exists.
+    pub fn load_cache(&self) -> Result<Option<CacheArtifact>, StoreError> {
+        let bytes = match fs::read(self.cache_path()) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(err) => return Err(err.into()),
+        };
+        Ok(Some(CacheArtifact::decode(unframe(&bytes, CACHE_MAGIC)?)?))
+    }
+
+    /// Persist a scoring-cache snapshot. Returns bytes written.
+    pub fn save_cache(&self, artifact: &CacheArtifact) -> Result<u64, StoreError> {
+        let bytes = frame(CACHE_MAGIC, &artifact.encode());
+        write_atomically(&self.cache_path(), &bytes)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// The plan artifact files currently in the store, sorted by file
+    /// name (i.e. key hash) for deterministic listings.
+    pub fn plan_files(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let mut files = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("plan-") && name.ends_with(".relm") {
+                files.push(path);
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    /// Decode and validate one plan artifact file (any path — used by
+    /// the `relm_store` CLI's `ls` and `verify` over
+    /// [`PlanStore::plan_files`]).
+    pub fn read_plan_file(path: &Path) -> Result<PlanArtifact, StoreError> {
+        let bytes = fs::read(path)?;
+        PlanArtifact::decode(unframe(&bytes, PLAN_MAGIC)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relm_automata::{str_symbols, Nfa, ShardIndex, WalkTable};
+
+    fn small_artifact() -> PlanArtifact {
+        let body = Nfa::literal(str_symbols("the cat"))
+            .union(Nfa::literal(str_symbols("the dog")))
+            .determinize()
+            .minimize();
+        let prefix = Nfa::literal(str_symbols("the ")).determinize();
+        // Walks run over the prefix automaton, and decode enforces it.
+        let walk_table = WalkTable::new(&prefix, 12);
+        let shard_index = ShardIndex::build(&prefix, 2);
+        PlanArtifact {
+            key: ArtifactKey {
+                pattern: "the ((cat)|(dog))".into(),
+                prefix: Some("the ".into()),
+                tokenization: 0,
+                preprocessors: vec![0xfeed, 0xbeef],
+                tokenizer: 0x1234_5678_9abc_def0,
+            },
+            prefix: Some(prefix),
+            body,
+            needs_canonical_check: true,
+            deferred_filters: vec![Nfa::literal(str_symbols("x")).determinize()],
+            walk_table: Some(walk_table),
+            shard_index: Some(shard_index),
+        }
+    }
+
+    fn temp_store(tag: &str) -> PlanStore {
+        let dir =
+            std::env::temp_dir().join(format!("relm-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        PlanStore::open(dir).expect("store opens")
+    }
+
+    #[test]
+    fn plan_round_trip_is_bit_exact() {
+        let store = temp_store("roundtrip");
+        let artifact = small_artifact();
+        let written = store.save_plan(&artifact).expect("save");
+        assert!(written > 0);
+        let loaded = store
+            .load_plan(&artifact.key)
+            .expect("load")
+            .expect("present");
+        assert_eq!(loaded.key, artifact.key);
+        assert_eq!(loaded.prefix, artifact.prefix);
+        assert_eq!(loaded.body, artifact.body);
+        assert_eq!(loaded.needs_canonical_check, artifact.needs_canonical_check);
+        assert_eq!(loaded.deferred_filters, artifact.deferred_filters);
+        assert_eq!(loaded.shard_index, artifact.shard_index);
+        let (orig, back) = (
+            artifact.walk_table.as_ref().unwrap(),
+            loaded.walk_table.as_ref().unwrap(),
+        );
+        assert_eq!(orig.max_len(), back.max_len());
+        for budget in 0..=orig.max_len() {
+            for state in 0..artifact.prefix.as_ref().unwrap().state_count() {
+                assert_eq!(
+                    orig.count(state, budget).to_bits(),
+                    back.count(state, budget).to_bits(),
+                    "cumulative[{budget}][{state}]"
+                );
+            }
+        }
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn missing_plan_is_none_not_error() {
+        let store = temp_store("missing");
+        assert!(store
+            .load_plan(&small_artifact().key)
+            .expect("load")
+            .is_none());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn cache_round_trip_is_bit_exact() {
+        let store = temp_store("cache");
+        let artifact = CacheArtifact {
+            generation: 3,
+            tokenizer: 42,
+            entries: vec![
+                (vec![1, 2, 3], vec![-0.5, f64::NEG_INFINITY, -2.25]),
+                (vec![], vec![-0.0]),
+            ],
+        };
+        store.save_cache(&artifact).expect("save");
+        let loaded = store.load_cache().expect("load").expect("present");
+        assert_eq!(loaded.generation, artifact.generation);
+        assert_eq!(loaded.tokenizer, artifact.tokenizer);
+        assert_eq!(loaded.entries.len(), artifact.entries.len());
+        for ((ctx_a, dist_a), (ctx_b, dist_b)) in artifact.entries.iter().zip(&loaded.entries) {
+            assert_eq!(ctx_a, ctx_b);
+            let bits_a: Vec<u64> = dist_a.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = dist_b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b);
+        }
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn wrong_magic_fails_typed() {
+        let store = temp_store("magic");
+        let artifact = small_artifact();
+        store.save_plan(&artifact).expect("save");
+        let path = store.plan_path(&artifact.key);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            store.load_plan(&artifact.key).unwrap_err(),
+            StoreError::WrongMagic
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn future_version_fails_typed() {
+        let store = temp_store("version");
+        let artifact = small_artifact();
+        store.save_plan(&artifact).expect("save");
+        let path = store.plan_path(&artifact.key);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            store.load_plan(&artifact.key).unwrap_err(),
+            StoreError::UnsupportedVersion(FORMAT_VERSION + 1)
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn truncation_and_bit_flips_fail_typed() {
+        let store = temp_store("corrupt");
+        let artifact = small_artifact();
+        store.save_plan(&artifact).expect("save");
+        let path = store.plan_path(&artifact.key);
+        let good = fs::read(&path).unwrap();
+        // Truncate at several depths, including inside the header.
+        for cut in [0, HEADER_BYTES - 1, HEADER_BYTES + 3, good.len() - 1] {
+            fs::write(&path, &good[..cut]).unwrap();
+            assert!(
+                store.load_plan(&artifact.key).is_err(),
+                "truncation at {cut} must fail closed"
+            );
+        }
+        // Flip one payload bit: the checksum must catch it.
+        let mut flipped = good.clone();
+        let mid = HEADER_BYTES + (good.len() - HEADER_BYTES) / 2;
+        flipped[mid] ^= 0x10;
+        fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            store.load_plan(&artifact.key).unwrap_err(),
+            StoreError::ChecksumMismatch { .. }
+        ));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn listing_is_sorted_and_readable() {
+        let store = temp_store("listing");
+        let mut a = small_artifact();
+        store.save_plan(&a).expect("save a");
+        a.key.pattern = "another".into();
+        store.save_plan(&a).expect("save b");
+        let files = store.plan_files().expect("list");
+        assert_eq!(files.len(), 2);
+        assert!(files.windows(2).all(|w| w[0] < w[1]));
+        for file in &files {
+            let _ = PlanStore::read_plan_file(file).expect("decodes");
+        }
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

@@ -1,0 +1,212 @@
+//! The store's byte-level wire helpers: little-endian length-checked
+//! reads and writes, and the FNV-1a checksum.
+//!
+//! Everything in a store file is written with `to_le_bytes` and read
+//! back with `from_le_bytes` against an explicit remaining-length check
+//! — no `unsafe`, no serde, and `f64`s travel as IEEE-754 bit patterns
+//! (`to_bits`/`from_bits`) so a round trip is bit-exact. Counts are
+//! validated against the bytes actually remaining *before* any buffer
+//! is allocated, so a corrupt length field costs an error, not an
+//! attempted multi-gigabyte allocation.
+
+use crate::StoreError;
+
+/// FNV-1a over `bytes`: the store's payload checksum. Not
+/// cryptographic — it guards against truncation, bit rot, and torn
+/// writes, the failure modes of a local artifact cache.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub(crate) fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+/// Length-checked little-endian decoder over a borrowed byte slice.
+/// Every read is bounds-checked against the remaining bytes; running
+/// out is a [`StoreError::Corrupt`], never a panic.
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, len: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        if len > self.remaining() {
+            return Err(StoreError::Corrupt(format!(
+                "truncated: {what} needs {len} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, StoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// A `u64` count field, validated so that `count * elem_bytes` does
+    /// not exceed the remaining payload — the guard that keeps a
+    /// corrupt count from driving a huge allocation.
+    pub(crate) fn count(&mut self, elem_bytes: usize, what: &str) -> Result<usize, StoreError> {
+        let raw = self.u64(what)?;
+        let count = usize::try_from(raw)
+            .map_err(|_| StoreError::Corrupt(format!("{what} count {raw} overflows usize")))?;
+        let need = count.checked_mul(elem_bytes.max(1)).ok_or_else(|| {
+            StoreError::Corrupt(format!("{what} count {count} overflows the payload"))
+        })?;
+        if need > self.remaining() {
+            return Err(StoreError::Corrupt(format!(
+                "truncated: {what} count {count} needs {need} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    pub(crate) fn str(&mut self, what: &str) -> Result<String, StoreError> {
+        let len = self.count(1, what)?;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt(format!("{what} is not valid UTF-8")))
+    }
+
+    pub(crate) fn opt_str(&mut self, what: &str) -> Result<Option<String>, StoreError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str(what)?)),
+            tag => Err(StoreError::Corrupt(format!(
+                "{what} has invalid option tag {tag}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_strings() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.f64(-0.0);
+        w.str("héllo");
+        w.opt_str(None);
+        w.opt_str(Some("x"));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xdead_beef);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64("d").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.str("e").unwrap(), "héllo");
+        assert_eq!(r.opt_str("f").unwrap(), None);
+        assert_eq!(r.opt_str("g").unwrap(), Some("x".into()));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u64("v"), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn absurd_count_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.count(8, "rows"), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

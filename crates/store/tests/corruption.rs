@@ -1,0 +1,134 @@
+//! Corruption robustness: any mutation of a valid artifact must
+//! surface a typed [`StoreError`] or decode to a *valid* artifact
+//! (some mutations are caught only semantically, e.g. a flipped bit in
+//! an f64 cell lands on the checksum first) — it must never panic, and
+//! with the checksum in front, any single corrupted byte fails closed.
+
+use proptest::prelude::*;
+
+use relm_automata::{str_symbols, Nfa, ShardIndex, WalkTable};
+use relm_store::{ArtifactKey, CacheArtifact, PlanArtifact, StoreError};
+
+fn valid_plan_bytes() -> Vec<u8> {
+    let body = Nfa::literal(str_symbols("the cat sat"))
+        .union(Nfa::literal(str_symbols("the dog sat")))
+        .determinize()
+        .minimize();
+    let prefix = Nfa::literal(str_symbols("the ")).determinize();
+    let walk_table = WalkTable::new(&prefix, 16);
+    let shard_index = ShardIndex::build(&prefix, 2);
+    PlanArtifact {
+        key: ArtifactKey {
+            pattern: "the ((cat)|(dog)) sat".into(),
+            prefix: Some("the ".into()),
+            tokenization: 0,
+            preprocessors: vec![7, 11],
+            tokenizer: 0xdead_beef_cafe_f00d,
+        },
+        prefix: Some(prefix),
+        body,
+        needs_canonical_check: false,
+        deferred_filters: vec![Nfa::literal(str_symbols("sat")).determinize()],
+        walk_table: Some(walk_table),
+        shard_index: Some(shard_index),
+    }
+    .to_bytes()
+}
+
+fn valid_cache_bytes() -> Vec<u8> {
+    CacheArtifact {
+        generation: 0,
+        tokenizer: 99,
+        entries: vec![(vec![1, 2], vec![-0.25, -1.5]), (vec![3], vec![-0.125])],
+    }
+    .to_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // A single flipped bit anywhere in the file must fail closed: the
+    // header fields are validated directly and the payload is guarded
+    // by the checksum.
+    #[test]
+    fn flipped_bit_in_plan_fails_closed(pos in 0usize..4096, bit in 0u8..8) {
+        let mut bytes = valid_plan_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(PlanArtifact::from_bytes(&bytes).is_err());
+    }
+
+    // Truncation at any depth must fail closed.
+    #[test]
+    fn truncated_plan_fails_closed(keep in 0usize..4096) {
+        let bytes = valid_plan_bytes();
+        let keep = keep % bytes.len();
+        prop_assert!(PlanArtifact::from_bytes(&bytes[..keep]).is_err());
+    }
+
+    // Arbitrary garbage (wrong magic almost surely) must fail closed.
+    #[test]
+    fn random_bytes_fail_closed(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        prop_assert!(PlanArtifact::from_bytes(&bytes).is_err());
+        prop_assert!(CacheArtifact::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn flipped_bit_in_cache_fails_closed(pos in 0usize..4096, bit in 0u8..8) {
+        let mut bytes = valid_cache_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(CacheArtifact::from_bytes(&bytes).is_err());
+    }
+
+    // Even with a *recomputed* checksum over a mutated payload — the
+    // adversarial case the checksum cannot catch — decoding must
+    // return a typed error or a structurally valid artifact, never
+    // panic. This drives the structural validators (DFA bounds, walk
+    // rows, shard bounds, option tags, count guards).
+    #[test]
+    fn resealed_payload_mutations_never_panic(
+        pos in 0usize..4096,
+        value in 0u8..=255,
+    ) {
+        let bytes = valid_plan_bytes();
+        const HEADER: usize = 28; // magic + version + length + checksum
+        let mut payload = bytes[HEADER..].to_vec();
+        let pos = pos % payload.len();
+        payload[pos] = value;
+        // Reseal: rebuild the frame so only structural validation is
+        // left to reject the mutation.
+        let resealed = reframe(&payload);
+        match PlanArtifact::from_bytes(&resealed) {
+            Ok(artifact) => {
+                // The mutation happened to decode — the artifact must
+                // still be internally consistent enough to use.
+                prop_assert!(artifact.body.state_count() > 0);
+            }
+            Err(err) => prop_assert!(matches!(
+                err,
+                StoreError::Corrupt(_)
+                    | StoreError::WrongMagic
+                    | StoreError::UnsupportedVersion(_)
+                    | StoreError::ChecksumMismatch { .. }
+            )),
+        }
+    }
+}
+
+/// Rebuild a framed file image around `payload` with a *correct*
+/// checksum, mirroring the store's layout.
+fn reframe(payload: &[u8]) -> Vec<u8> {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut out = Vec::with_capacity(28 + payload.len());
+    out.extend_from_slice(b"RELMPLAN");
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&h.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}

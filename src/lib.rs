@@ -65,6 +65,9 @@ pub use relm_lm::{
     SharedCacheStats, SharedScoringCache,
 };
 pub use relm_regex::{disjunction_of, escape, Regex};
+pub use relm_store::{
+    ArtifactKey, CacheArtifact, PlanArtifact, PlanStore, StoreError, FORMAT_VERSION,
+};
 
 /// The serving front end: a dependency-free TCP protocol server pumping
 /// concurrent connections' queries through one coalescing

@@ -157,6 +157,13 @@ fn facade_reexport_list_matches_snapshot() {
         "disjunction_of",
         "escape",
         "Regex",
+        // relm-store: the warm-artifact store
+        "ArtifactKey",
+        "CacheArtifact",
+        "PlanArtifact",
+        "PlanStore",
+        "StoreError",
+        "FORMAT_VERSION",
     ]
     .into_iter()
     .map(String::from)
