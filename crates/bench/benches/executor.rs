@@ -1284,6 +1284,170 @@ fn bench_speculation_slack_fill(_c: &mut Criterion) {
     );
 }
 
+/// The sharded-serving tentpole: the same saturating open-loop trace
+/// (heavy-tailed arrivals, 8 pipelined clients, all three executors)
+/// replayed against 1, 2, and 4 driver shards. Results are
+/// byte-identical at every shard count (asserted in
+/// `tests/serve_sharded.rs`); these rows record capacity. The
+/// container pins everything to one core, so the *measured* rows stay
+/// flat — shards contend for the same CPU; the *modeled* rows apply
+/// the measured per-query cost to N cores Amdahl-style, with the
+/// serialized slice (protocol + admission, measured as a pure stats
+/// roundtrip) as the floor no shard count crosses. A final burst
+/// against a tiny global in-flight cap records backpressure doing its
+/// job: typed busy frames, not stalls.
+fn bench_serve_shards(_c: &mut Criterion) {
+    use relm_serve::{
+        loadgen, spawn, LoadgenConfig, QueryRequest, RelmServer, Request, Response, ServeClient,
+        ServerConfig, StrategySpec,
+    };
+    use std::time::Instant;
+
+    // The demo-corpus fixture (`relm_server`'s built-in model): the
+    // loadgen's default trace targets its patterns, mirroring the CI
+    // smoke job.
+    const DOCS: [&str; 4] = [
+        "the cat sat on the mat",
+        "the cat sat on the mat",
+        "the dog sat on the log",
+        "the cow ate the grass",
+    ];
+    let fresh_server = |shards: usize, max_inflight: usize| {
+        let corpus = DOCS.join(". ");
+        let tokenizer = relm_bpe::BpeTokenizer::train(&corpus, 80);
+        let model = relm_lm::NGramLm::train(&tokenizer, &DOCS, relm_lm::NGramConfig::xl());
+        let client = relm_core::Relm::new(model, tokenizer).expect("demo pair is valid");
+        spawn(
+            RelmServer::with_config(
+                client,
+                ServerConfig::new()
+                    .with_shards(shards)
+                    .with_max_inflight(max_inflight),
+            ),
+            "127.0.0.1:0",
+        )
+        .expect("bind")
+    };
+
+    // Offered load well above single-shard capacity, so achieved QPS
+    // reads as capacity, not as the arrival rate echoed back.
+    let trace = LoadgenConfig {
+        clients: 8,
+        arrivals: 48,
+        mean_interarrival_us: 250.0,
+        seed: 29,
+        take: 2,
+        ..LoadgenConfig::default()
+    };
+
+    // The serialized slice of one served query: protocol parse +
+    // frame + connection pump with zero engine work. Measured as a
+    // *pipelined* stats burst (all requests on the wire, then all
+    // responses) so reactor park latency amortizes away and what's
+    // left is per-request processing — the work that still runs
+    // one-at-a-time per connection no matter how many shards exist.
+    let handle = fresh_server(1, 1024);
+    let serial_ns = {
+        let mut peer = ServeClient::connect(handle.addr()).expect("connect");
+        // Warm the path once so the burst measures steady state.
+        peer.roundtrip(&Request::Stats).expect("stats");
+        let reps = 500u32;
+        let start = Instant::now();
+        for _ in 0..reps {
+            peer.send(&Request::Stats).expect("send");
+        }
+        for _ in 0..reps {
+            match peer.recv().expect("recv") {
+                Response::Stats(_) => {}
+                other => panic!("serve_shards bench got {other:?}"),
+            }
+        }
+        start.elapsed().as_nanos() as f64 / f64::from(reps)
+    };
+    handle.stop().expect("server report");
+
+    let mut single_shard_ns = 0.0f64;
+    for shards in [1usize, 2, 4] {
+        let handle = fresh_server(shards, 1024);
+        let report = loadgen::run(handle.addr(), &trace).expect("load run");
+        let server_report = handle.stop().expect("server report");
+        assert_eq!(
+            report.completed, trace.arrivals as u64,
+            "every query answered: {report:?}"
+        );
+        assert_eq!(server_report.shards.len(), shards);
+        let measured_ns = 1e9 / report.achieved_qps;
+        if shards == 1 {
+            single_shard_ns = measured_ns;
+        }
+        // Amdahl on N cores: each core retires total/N of the
+        // per-query work, but the serialized slice is a hard floor.
+        let modeled_ns = serial_ns.max(single_shard_ns / shards as f64);
+        let modeled_qps = 1e9 / modeled_ns;
+        println!(
+            "[serve_shards] {shards} shards: measured {:.1} qps (p99 {} us, 1-core \
+             container), modeled {modeled_qps:.1} qps on {shards} cores \
+             (serial slice {:.1} us)",
+            report.achieved_qps,
+            report.p99_us,
+            serial_ns / 1e3,
+        );
+        println!(
+            "BENCH_JSON {{\"id\":\"serve_shards/{shards}\",\"mean_ns\":{measured_ns:.1},\
+             \"samples\":{},\"shards\":{shards},\"measured_qps\":{:.1},\
+             \"modeled_qps\":{modeled_qps:.1},\"p99_us\":{},\"serial_ns\":{serial_ns:.1}}}",
+            trace.arrivals, report.achieved_qps, report.p99_us
+        );
+        if shards == 4 {
+            let speedup = single_shard_ns / modeled_ns;
+            assert!(
+                speedup >= 2.5,
+                "4-shard modeled speedup must clear 2.5x: got {speedup:.2}x \
+                 (serial {serial_ns:.0} ns vs total {single_shard_ns:.0} ns)"
+            );
+        }
+    }
+
+    // Backpressure under a burst: a global cap of 2 against a 12-deep
+    // pipeline of slow sampling walks must refuse the overflow with
+    // typed busy frames and still answer everything it admitted.
+    let handle = fresh_server(2, 2);
+    let mut peer = ServeClient::connect(handle.addr()).expect("connect");
+    let burst = 12u64;
+    for id in 0..burst {
+        peer.send(&Request::Query(
+            QueryRequest::new(id, "the ((cat)|(dog)|(cow)) ((sat)|(ate))", 20)
+                .with_strategy(StrategySpec::Sampling { seed: 43 + id })
+                .with_max_tokens(16),
+        ))
+        .expect("send");
+    }
+    let (mut completed, mut busy) = (0u64, 0u64);
+    for _ in 0..burst {
+        match peer.recv().expect("recv") {
+            Response::Matches { .. } => completed += 1,
+            Response::Busy { .. } => busy += 1,
+            other => panic!("serve_shards burst got {other:?}"),
+        }
+    }
+    drop(peer);
+    let report = handle.stop().expect("server report");
+    assert!(
+        busy > 0,
+        "a 12-deep burst against a cap of 2 must trip backpressure"
+    );
+    assert_eq!(completed + busy, burst);
+    assert_eq!(report.busy_rejections, busy);
+    println!(
+        "[serve_shards] burst vs cap 2: {completed} completed, {busy} busy-refused \
+         of {burst} pipelined"
+    );
+    println!(
+        "BENCH_JSON {{\"id\":\"serve_shards/busy_burst\",\"mean_ns\":0.0,\
+         \"samples\":{burst},\"completed\":{completed},\"busy\":{busy}}}"
+    );
+}
+
 criterion_group!(
     benches,
     bench_first_match_latency,
@@ -1296,6 +1460,7 @@ criterion_group!(
     bench_sharding_compile_and_frontier,
     bench_pool_vs_spawn,
     bench_speculation_slack_fill,
-    bench_serve_concurrent
+    bench_serve_concurrent,
+    bench_serve_shards
 );
 criterion_main!(benches);

@@ -182,6 +182,10 @@ pub struct QueryCompletion {
     /// The query's matches and counters, exactly as [`Relm::run_many`]
     /// would report them.
     pub outcome: QueryOutcome,
+    /// The query's deadline elapsed before it finished: the driver
+    /// stopped it and `outcome` holds only the matches produced in
+    /// time. A server answers this with a deadline frame, not results.
+    pub expired: bool,
 }
 
 /// Smoothing factor of the per-query speculation hit-rate EWMA: each
@@ -200,6 +204,12 @@ struct DriverSlot<'a, M: LanguageModel> {
     /// or reading the shared coalescing batches.
     serial: bool,
     done: bool,
+    /// Absolute wall-clock instant after which the query is expired
+    /// rather than stepped (`None` = no deadline).
+    deadline: Option<Instant>,
+    /// The deadline fired: `done` was forced, the completion carries
+    /// `expired = true`, and the slot counts as expired, not completed.
+    expired: bool,
     /// EWMA of this query's speculation hit rate, the priority of the
     /// slack-fill rotation. Starts optimistic (1.0) so a newly admitted
     /// query gets slack until it proves cold; queries whose guesses
@@ -284,6 +294,7 @@ pub struct QueryDriver<'a, M: LanguageModel> {
     admitted: u64,
     completed: u64,
     cancelled: u64,
+    expired: u64,
 }
 
 impl<'a, M: LanguageModel> QueryDriver<'a, M> {
@@ -309,6 +320,7 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
             admitted: 0,
             completed: 0,
             cancelled: 0,
+            expired: 0,
         }
     }
 
@@ -332,6 +344,27 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
         self.admit_plan(&plan, max_results)
     }
 
+    /// [`QueryDriver::admit`] with a wall-clock deadline: if the query
+    /// has not completed by `deadline`, the next tick stops it and its
+    /// completion arrives with [`QueryCompletion::expired`] set (the
+    /// matches found in time are still attached). An already-past
+    /// deadline expires the query on the very next tick with whatever
+    /// it produced — nothing, typically.
+    ///
+    /// # Errors
+    ///
+    /// The same planning errors as [`Relm::plan`]; nothing is admitted
+    /// on error.
+    pub fn admit_with_deadline(
+        &mut self,
+        query: &SearchQuery,
+        max_results: usize,
+        deadline: Instant,
+    ) -> Result<QueryId, RelmError> {
+        let plan = self.session.plan(query)?;
+        self.admit_plan_with_deadline(&plan, max_results, Some(deadline))
+    }
+
     /// Admit an already-compiled plan (serving layers that memoize plans
     /// per route skip re-planning).
     ///
@@ -342,6 +375,21 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
         &mut self,
         plan: &CompiledSearch,
         max_results: usize,
+    ) -> Result<QueryId, RelmError> {
+        self.admit_plan_with_deadline(plan, max_results, None)
+    }
+
+    /// [`QueryDriver::admit_plan`] with an optional wall-clock deadline
+    /// (see [`QueryDriver::admit_with_deadline`] for expiry semantics).
+    ///
+    /// # Errors
+    ///
+    /// The same compatibility errors as [`Relm::execute`].
+    pub fn admit_plan_with_deadline(
+        &mut self,
+        plan: &CompiledSearch,
+        max_results: usize,
+        deadline: Option<Instant>,
     ) -> Result<QueryId, RelmError> {
         let serial = plan.scoring_mode() == ScoringMode::Serial;
         let results = if serial {
@@ -360,6 +408,8 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
             limit: max_results,
             serial,
             done: max_results == 0,
+            deadline,
+            expired: false,
             spec_hit_ewma: 1.0,
             spec_scored_seen: 0,
             spec_hits_seen: 0,
@@ -392,8 +442,15 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
     }
 
     /// Lifetime counters: `(admitted, completed, cancelled)`.
+    /// Deadline-expired queries are counted by [`QueryDriver::expired_count`],
+    /// not here — an expiry is neither a completion nor a cancel.
     pub fn counts(&self) -> (u64, u64, u64) {
         (self.admitted, self.completed, self.cancelled)
+    }
+
+    /// Queries whose deadline elapsed before they finished.
+    pub fn expired_count(&self) -> u64 {
+        self.expired
     }
 
     /// Coalescing-tick counters: `(run, skipped)`.
@@ -454,6 +511,25 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
     pub fn tick(&mut self) -> Vec<QueryCompletion> {
         if self.slots.is_empty() {
             return Vec::new();
+        }
+
+        // Phase 0: deadline expiry. One clock read per tick, and only
+        // when some live slot carries a deadline — the deadline-free
+        // server pays nothing. An expired slot is forced `done` before
+        // the coalescing gather, so it neither feeds nor consumes this
+        // tick's batch; the sweep below emits it with `expired` set.
+        if self
+            .slots
+            .iter()
+            .any(|slot| !slot.done && slot.deadline.is_some())
+        {
+            let now = Instant::now();
+            for slot in self.slots.iter_mut().filter(|slot| !slot.done) {
+                if slot.deadline.is_some_and(|deadline| now >= deadline) {
+                    slot.done = true;
+                    slot.expired = true;
+                }
+            }
         }
 
         // Phase 1: the coalescing tick. Only worth an engine call while
@@ -556,7 +632,11 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
         let mut kept = Vec::with_capacity(self.slots.len());
         for slot in self.slots.drain(..) {
             if slot.done {
-                self.completed += 1;
+                if slot.expired {
+                    self.expired += 1;
+                } else {
+                    self.completed += 1;
+                }
                 let mut stats = slot.results.stats();
                 stats.coalesce_ticks = self.ticks_run;
                 stats.coalesce_ticks_skipped = self.ticks_skipped;
@@ -566,6 +646,7 @@ impl<'a, M: LanguageModel> QueryDriver<'a, M> {
                         stats,
                         matches: slot.matches,
                     },
+                    expired: slot.expired,
                 });
             } else {
                 kept.push(slot);

@@ -103,4 +103,6 @@ pub(crate) fn test_lexicon(seed: u64, words: usize, len: usize) -> Vec<String> {
     out
 }
 pub use results::MatchResult;
-pub use session::{RelmSession, SessionConfig, SessionStats, Speculation, DEFAULT_PLAN_MEMO_BYTES};
+pub use session::{
+    PlanSource, RelmSession, SessionConfig, SessionStats, Speculation, DEFAULT_PLAN_MEMO_BYTES,
+};

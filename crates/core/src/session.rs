@@ -417,6 +417,33 @@ struct PlanEntry {
 /// its estimated automata footprint
 /// ([`PlanParts::estimated_bytes`]), so one URL-scale automaton cannot
 /// quietly dominate session memory the way a count-only cap allowed.
+/// What [`PlanMemo::insert`] did with the offered plan — the signal
+/// [`RelmSession::plan_traced`] uses to elect exactly one store
+/// write-back per fresh compile when shards race on the same key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanInsert {
+    /// This caller's plan is now the memoized one: it won the race
+    /// (if there was one) and owns the store write-back.
+    Inserted,
+    /// An equivalent plan was memoized first; this compile is a
+    /// duplicate and must not write back (the winner already did).
+    Duplicate,
+    /// The plan cannot be memoized (oversized, or no room could be
+    /// made). Nothing holds it, so the compiler persists it anyway.
+    NotMemoizable,
+}
+
+/// Where [`RelmSession::plan_traced`] found the plan it returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Served from the in-memory plan memo.
+    Memo,
+    /// Restored from the on-disk plan store on a memo miss.
+    Store,
+    /// Compiled fresh (memo and store both missed).
+    Compiled,
+}
+
 #[derive(Debug)]
 struct PlanMemo {
     capacity: usize,
@@ -505,17 +532,18 @@ impl PlanMemo {
         Some(parts)
     }
 
-    fn insert(&mut self, key: PlanKey, parts: Arc<PlanParts>) {
+    fn insert(&mut self, key: PlanKey, parts: Arc<PlanParts>) -> PlanInsert {
         if self.map.contains_key(&key) {
-            return; // first writer wins
+            return PlanInsert::Duplicate; // first writer wins
         }
         let cost = Self::cost_of(&key, &parts);
         if cost > self.max_bytes {
-            return; // an oversized plan is compiled but never memoized
+            // An oversized plan is compiled but never memoized.
+            return PlanInsert::NotMemoizable;
         }
         while self.map.len() >= self.capacity || self.bytes + cost > self.max_bytes {
             if !self.evict_one() {
-                return;
+                return PlanInsert::NotMemoizable;
             }
         }
         let entry = PlanEntry {
@@ -536,6 +564,7 @@ impl PlanMemo {
         };
         self.map.insert(key, slot);
         self.bytes += cost;
+        PlanInsert::Inserted
     }
 
     fn remove_slot(&mut self, slot: usize) {
@@ -726,29 +755,52 @@ impl<M: LanguageModel> RelmSession<M> {
     /// The same errors as [`crate::search`]. Failed compilations are not
     /// memoized.
     pub fn plan(&self, query: &SearchQuery) -> Result<CompiledSearch, RelmError> {
+        self.plan_traced(query).map(|(plan, _)| plan)
+    }
+
+    /// [`RelmSession::plan`], additionally reporting *where* the plan
+    /// came from ([`PlanSource`]) — the per-shard attribution a sharded
+    /// server needs that the session-global hit counters cannot give.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`RelmSession::plan`].
+    pub fn plan_traced(
+        &self,
+        query: &SearchQuery,
+    ) -> Result<(CompiledSearch, PlanSource), RelmError> {
         let key = PlanKey::of(query, self.tokenizer_fingerprint);
         let memoized = self.plans.lock().get(&key);
-        let parts = match memoized {
+        let (parts, source) = match memoized {
             Some(parts) => {
                 self.plan_hits.fetch_add(1, Ordering::Relaxed);
-                parts
+                (parts, PlanSource::Memo)
             }
             None => {
                 self.plan_misses.fetch_add(1, Ordering::Relaxed);
-                let parts = match self.load_from_store(&key) {
-                    Some(restored) => restored,
+                match self.load_from_store(&key) {
+                    Some(restored) => {
+                        self.plans.lock().insert(key, Arc::clone(&restored));
+                        (restored, PlanSource::Store)
+                    }
                     None => {
                         let parts = Arc::new(compile_parts(
                             query,
                             &self.tokenizer,
                             self.config.parallelism,
                         )?);
-                        self.write_back(&key, &parts);
-                        parts
+                        // Memoize *before* persisting: when N shards
+                        // race on the same fresh key, only the insert
+                        // winner (or an unmemoizable compile nothing
+                        // holds) writes back, so the store sees exactly
+                        // one write per fresh compile.
+                        let claim = self.plans.lock().insert(key.clone(), Arc::clone(&parts));
+                        if claim != PlanInsert::Duplicate {
+                            self.write_back(&key, &parts);
+                        }
+                        (parts, PlanSource::Compiled)
                     }
-                };
-                self.plans.lock().insert(key, Arc::clone(&parts));
-                parts
+                }
             }
         };
         let compiled = assemble_compiled(
@@ -758,10 +810,9 @@ impl<M: LanguageModel> RelmSession<M> {
             self.config.parallelism,
             self.config.speculation,
         )?;
-        Ok(CompiledSearch::from_query(
-            query,
-            compiled,
-            self.tokenizer_fingerprint,
+        Ok((
+            CompiledSearch::from_query(query, compiled, self.tokenizer_fingerprint),
+            source,
         ))
     }
 

@@ -59,6 +59,8 @@ fn main() {
                 }
             }
             Response::Error { id, message } => println!("error[{id}]: {message}"),
+            Response::Busy { id, message } => println!("busy[{id}]: {message}"),
+            Response::DeadlineExceeded { id } => println!("deadline_exceeded[{id}]"),
             Response::Stats(_) => unreachable!("no stats requested yet"),
         }
     }

@@ -1,0 +1,102 @@
+//! `relm_loadgen` — open-loop load harness for a `relm_server` endpoint.
+//!
+//! ```text
+//! relm_loadgen ADDR [--clients N] [--arrivals N] [--mean-us F]
+//!              [--alpha F] [--seed N] [--take N] [--deadline-ms N]
+//!              [--disconnect-every N] [--hostile-every N]
+//!              [--timeout-secs N]
+//! ```
+//!
+//! Replays a deterministic heavy-tailed arrival trace (bounded-Pareto
+//! inter-arrivals — the offered load does not slow down when the server
+//! does) across `--clients` pipelined connections and reports achieved
+//! QPS plus p50/p99/p99.9 scheduled-arrival→response latency. Every Nth
+//! client can be made *doomed* (`--disconnect-every`: drops mid-flight,
+//! a disconnect storm) or *hostile* (`--hostile-every`: opens with a
+//! garbage frame).
+
+use relm_serve::{loadgen, LoadgenConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().expect("usage: relm_loadgen ADDR [flags]");
+    let mut config = LoadgenConfig::default();
+    while let Some(arg) = args.next() {
+        let mut grab = |what: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} takes a value"))
+        };
+        match arg.as_str() {
+            "--clients" => config.clients = grab("--clients").parse().expect("--clients"),
+            "--arrivals" => config.arrivals = grab("--arrivals").parse().expect("--arrivals"),
+            "--mean-us" => {
+                config.mean_interarrival_us = grab("--mean-us").parse().expect("--mean-us");
+            }
+            "--alpha" => config.tail_alpha = grab("--alpha").parse().expect("--alpha"),
+            "--seed" => config.seed = grab("--seed").parse().expect("--seed"),
+            "--take" => config.take = grab("--take").parse().expect("--take"),
+            "--deadline-ms" => {
+                config.deadline_ms = Some(grab("--deadline-ms").parse().expect("--deadline-ms"));
+            }
+            "--disconnect-every" => {
+                config.disconnect_every = grab("--disconnect-every")
+                    .parse()
+                    .expect("--disconnect-every");
+            }
+            "--hostile-every" => {
+                config.hostile_every = grab("--hostile-every").parse().expect("--hostile-every");
+            }
+            "--timeout-secs" => {
+                config.timeout = std::time::Duration::from_secs(
+                    grab("--timeout-secs").parse().expect("--timeout-secs"),
+                );
+            }
+            other => panic!("unknown flag: {other}"),
+        }
+    }
+
+    let offered_qps = 1e6 / config.mean_interarrival_us;
+    println!(
+        "relm_loadgen: {} arrivals over {} clients, offered ~{offered_qps:.0} qps \
+         (alpha {}, seed {})",
+        config.arrivals, config.clients, config.tail_alpha, config.seed
+    );
+    let report = loadgen::run(&addr, &config).expect("load run");
+    println!(
+        "relm_loadgen latency: p50 {}us p99 {}us p999 {}us max {}us",
+        report.p50_us, report.p99_us, report.p999_us, report.max_us
+    );
+    println!(
+        "relm_loadgen qps: {:.1} achieved over {:.3}s wall",
+        report.achieved_qps,
+        report.wall.as_secs_f64()
+    );
+    if report.busy + report.deadline_exceeded + report.errors > 0 {
+        println!(
+            "relm_loadgen refusals: {} busy, {} deadline_exceeded, {} errors",
+            report.busy, report.deadline_exceeded, report.errors
+        );
+    }
+    if report.disconnects + report.hostile_frames > 0 {
+        println!(
+            "relm_loadgen chaos: {} disconnects ({} queries abandoned), \
+             {} hostile frames ({} rejected)",
+            report.disconnects, report.abandoned, report.hostile_frames, report.hostile_rejects
+        );
+    }
+    println!(
+        "relm_loadgen done: {} sent, {} completed, {} abandoned",
+        report.sent, report.completed, report.abandoned
+    );
+    // A clean run answers everything it was owed: completions plus typed
+    // refusals must cover every non-abandoned query.
+    let owed = report.sent - report.abandoned;
+    let answered = report.completed + report.busy + report.deadline_exceeded + report.errors;
+    if answered < owed {
+        eprintln!(
+            "relm_loadgen: {} of {owed} owed responses missing",
+            owed - answered
+        );
+        std::process::exit(1);
+    }
+}

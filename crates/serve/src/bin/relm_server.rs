@@ -2,18 +2,23 @@
 //! built-in demonstration model.
 //!
 //! ```text
-//! relm_server [ADDR] [--max-requests N] [--plan-store DIR]
+//! relm_server [ADDR] [--shards N] [--max-inflight N]
+//!             [--max-inflight-per-conn N] [--max-requests N]
+//!             [--plan-store DIR]
 //! ```
 //!
 //! Binds `ADDR` (default `127.0.0.1:7474`; use port 0 for an ephemeral
 //! port, printed on startup), trains the deterministic toy corpus model
 //! every scripted client knows, and serves until killed — or, with
 //! `--max-requests N`, until `N` queries completed (the deterministic
-//! shutdown CI's smoke job uses). `--plan-store DIR` points at a
-//! warm-artifact store: compiled plans are preloaded from it at boot
-//! (the `relm_store compile` bin fills one ahead of time), written back
-//! on every fresh compile, and the scoring cache is flushed to it on
-//! shutdown. Drive it with the `relm_client` bin.
+//! shutdown CI's smoke job uses). `--shards N` runs N driver shards
+//! with connection affinity (plan memo, scoring cache, and store stay
+//! shared); `--max-inflight` / `--max-inflight-per-conn` set the
+//! backpressure caps. `--plan-store DIR` points at a warm-artifact
+//! store: compiled plans are preloaded from it at boot (the
+//! `relm_store compile` bin fills one ahead of time), written back on
+//! every fresh compile, and the scoring cache is flushed to it on
+//! shutdown. Drive it with the `relm_client` and `relm_loadgen` bins.
 
 use std::sync::atomic::AtomicBool;
 
@@ -45,6 +50,27 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--max-requests takes a number");
                 config = config.with_max_requests(n);
+            }
+            "--shards" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards takes a number");
+                config = config.with_shards(n);
+            }
+            "--max-inflight" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-inflight takes a number");
+                config = config.with_max_inflight(n);
+            }
+            "--max-inflight-per-conn" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-inflight-per-conn takes a number");
+                config = config.with_max_inflight_per_conn(n);
             }
             "--plan-store" => {
                 let dir = args.next().expect("--plan-store takes a directory");
@@ -82,6 +108,22 @@ fn main() {
             report.plans_preloaded,
             report.cache_entries_preloaded,
             report.store_flush_bytes,
+        );
+    }
+    for shard in &report.shards {
+        println!(
+            "relm_server shard {}: {} connections, {} admitted, {} completed, \
+             {} cancelled, {} expired, {} busy_rejections, {} store hits, \
+             {} cross-query batches",
+            shard.shard,
+            shard.connections,
+            shard.admitted,
+            shard.completed,
+            shard.cancelled,
+            shard.expired,
+            shard.busy_rejections,
+            shard.store_hits,
+            shard.cross_query_batches,
         );
     }
     println!(

@@ -41,6 +41,9 @@ pub(crate) struct Connection {
     pub(crate) read_closed: bool,
     /// Set on a fatal write error: queued bytes can never flush.
     pub(crate) write_dead: bool,
+    /// Queries this connection has in flight — the gauge the
+    /// per-connection admission quota is enforced against.
+    pub(crate) inflight: usize,
 }
 
 impl Connection {
@@ -56,6 +59,7 @@ impl Connection {
             written: 0,
             read_closed: false,
             write_dead: false,
+            inflight: 0,
         })
     }
 

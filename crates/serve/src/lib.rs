@@ -19,15 +19,25 @@
 //!   produces, no matter what else is in flight or when it was admitted.
 //! * [`Reactor`] / [`PollReactor`] — the waiting strategy of the event
 //!   loop (readiness-by-retry here; the trait is the slot where an
-//!   epoll implementation would go).
-//! * [`RelmServer`] — the single-threaded event loop: accept → read +
-//!   admit → one driver tick → write. Concurrency comes from the
-//!   *driver*, not from threads: every connection's queries interleave
-//!   through the same stepwise executor protocol
+//!   epoll implementation would go). Each shard owns one.
+//! * [`RelmServer`] — the sharded server: an acceptor assigns each
+//!   connection to one of [`ServerConfig::shards`] shard threads
+//!   (connection affinity), and each shard runs its own event loop —
+//!   adopt → read + admit → one driver tick → write — over its own
+//!   [`relm_core::QueryDriver`]. Within a shard, concurrency comes
+//!   from the *driver*: every connection's queries interleave through
+//!   the same stepwise executor protocol
 //!   (`step()`/`frontier_contexts()`) that `run_many` uses, which is
-//!   exactly the poll interface a reactor needs.
+//!   exactly the poll interface a reactor needs. Across shards, the
+//!   plan memo, scoring cache, plan store, and worker pool stay
+//!   shared, so warmth is global. Backpressure is enforced at admit
+//!   time (per-connection quota + global in-flight cap) with typed
+//!   busy frames.
 //! * [`ServeClient`] — a small blocking client (tests, benches, the
 //!   `relm_client` bin).
+//! * [`loadgen`] — an open-loop load harness (`relm_loadgen` bin):
+//!   heavy-tailed scripted arrival traces, pipelining, disconnect
+//!   storms, hostile frames, and a p50/p99/p999 + achieved-QPS report.
 //!
 //! # Example
 //!
@@ -66,14 +76,16 @@
 
 mod client;
 mod conn;
+pub mod loadgen;
 pub mod protocol;
 mod reactor;
 mod server;
 
 pub use client::ServeClient;
+pub use loadgen::{LoadReport, LoadgenConfig};
 pub use protocol::{
     ProtocolError, QueryRequest, Request, Response, StrategySpec, WireMatch, WireServerStats,
     MAX_FRAME_BYTES,
 };
 pub use reactor::{PollReactor, Reactor};
-pub use server::{spawn, RelmServer, ServerConfig, ServerHandle, ServerReport};
+pub use server::{spawn, RelmServer, ServerConfig, ServerHandle, ServerReport, ShardReport};

@@ -1,0 +1,439 @@
+//! Open-loop load generation against a live ReLM server.
+//!
+//! **Open loop** means arrivals are scheduled by the trace clock, not
+//! by completions: a slow server does not slow the offered load down,
+//! it grows the queue — which is exactly how tail latency is produced
+//! in real serving, and what closed-loop harnesses (request → wait →
+//! request) structurally cannot measure. The generator precomputes a
+//! deterministic, seeded trace of query arrivals with **heavy-tailed**
+//! (bounded-Pareto) inter-arrival gaps — calm stretches punctuated by
+//! bursts — assigns each arrival to one of many scripted clients, and
+//! replays the trace against a live server over real sockets, with
+//! pipelining (a client fires every due request immediately, reading
+//! answers whenever they come), optional **disconnect storms** (every
+//! Nth client vanishes with queries in flight, exercising the server's
+//! cancel path), and optional **hostile frames** (every Nth client
+//! opens with garbage, exercising the reject-without-killing path).
+//!
+//! Latency is measured from the arrival's *scheduled* instant to the
+//! response — so local dispatch backlog counts against the server, as
+//! an open-loop harness requires. The [`LoadReport`] carries p50 /
+//! p99 / p99.9 / max and achieved QPS.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::conn::Connection;
+use crate::protocol::{QueryRequest, Request, Response, StrategySpec, MAX_FRAME_BYTES};
+
+/// The default query mix: the same demo patterns `relm_store compile`
+/// seeds (so a store-backed server serves this trace warm), one per
+/// executor — shortest-path, beam, and sampling.
+fn default_patterns() -> Vec<(String, StrategySpec)> {
+    vec![
+        ("the ((cat)|(dog)) sat".into(), StrategySpec::Shortest),
+        ("the cow ate".into(), StrategySpec::Beam { width: 8 }),
+        (
+            "the ((cat)|(cow)) ((sat)|(ate))".into(),
+            StrategySpec::Sampling { seed: 0 },
+        ),
+    ]
+}
+
+/// Knobs of one load run. Everything is deterministic given `seed` —
+/// the trace, the client assignment, the storm/hostile designations —
+/// so a run is reproducible end to end (server-side timing aside).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Scripted clients (connections). Clients connect lazily at their
+    /// first arrival and close when their script is done, so the
+    /// concurrent-socket footprint stays bounded even with thousands.
+    pub clients: usize,
+    /// Total query arrivals across all clients.
+    pub arrivals: usize,
+    /// Mean inter-arrival gap in microseconds (the offered-load knob:
+    /// offered QPS ≈ 1e6 / `mean_interarrival_us`).
+    pub mean_interarrival_us: f64,
+    /// Pareto shape of the inter-arrival distribution; smaller =
+    /// heavier tail (burstier). Clamped to ≥ 1.05. Gaps are capped at
+    /// 50× the mean so one draw cannot stall the whole trace.
+    pub tail_alpha: f64,
+    /// Seed of the whole trace.
+    pub seed: u64,
+    /// `max_results` per query.
+    pub take: usize,
+    /// Attach this `deadline_ms` to every query (None = no deadlines).
+    pub deadline_ms: Option<u64>,
+    /// Every Nth client is *doomed*: it pipelines its queries, then
+    /// drops the connection without reading the answers — a disconnect
+    /// storm the server must absorb as cancels. 0 disables.
+    pub disconnect_every: usize,
+    /// Every Nth client is *hostile*: its first frame is garbage. The
+    /// server must answer a typed error and keep the connection
+    /// serviceable. 0 disables.
+    pub hostile_every: usize,
+    /// The query mix, rotated across arrivals. Sampling entries get a
+    /// fresh seed per arrival (derived from `seed`).
+    pub patterns: Vec<(String, StrategySpec)>,
+    /// Hard wall-clock bound on the run; whatever completed by then is
+    /// reported. Guards CI against a wedged server.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            clients: 8,
+            arrivals: 64,
+            mean_interarrival_us: 2_000.0,
+            tail_alpha: 1.3,
+            seed: 7,
+            take: 2,
+            deadline_ms: None,
+            disconnect_every: 0,
+            hostile_every: 0,
+            patterns: default_patterns(),
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What an open-loop run observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[non_exhaustive]
+pub struct LoadReport {
+    /// Query frames sent (doomed clients' included).
+    pub sent: u64,
+    /// Queries answered with matches.
+    pub completed: u64,
+    /// Queries refused with a typed busy frame (backpressure).
+    pub busy: u64,
+    /// Queries answered `deadline_exceeded`.
+    pub deadline_exceeded: u64,
+    /// Queries answered with a generic error frame.
+    pub errors: u64,
+    /// Doomed clients' queries abandoned by the disconnect storm (the
+    /// server cancels these; no response is awaited).
+    pub abandoned: u64,
+    /// Disconnect-storm drops performed.
+    pub disconnects: u64,
+    /// Hostile (garbage) frames sent.
+    pub hostile_frames: u64,
+    /// Server rejections observed for hostile frames (error frames
+    /// whose id matches no sent query).
+    pub hostile_rejects: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Completed responses per second of wall clock (matches + typed
+    /// refusals all count: the server answered).
+    pub achieved_qps: f64,
+    /// Median scheduled-arrival→response latency, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile latency, microseconds.
+    pub p999_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+}
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One bounded-Pareto inter-arrival gap in µs: heavy-tailed with mean
+/// ≈ `mean_us`, capped at 50× the mean.
+fn pareto_gap_us(rng: &mut Rng, mean_us: f64, alpha: f64) -> u64 {
+    let alpha = alpha.max(1.05);
+    // Pareto mean = alpha * xm / (alpha - 1); solve xm for our mean.
+    let xm = mean_us * (alpha - 1.0) / alpha;
+    let u = (1.0 - rng.next_f64()).max(1e-12);
+    (xm / u.powf(1.0 / alpha)).min(50.0 * mean_us) as u64
+}
+
+/// One scheduled arrival in the precomputed trace.
+struct Arrival {
+    /// Offset from the run's start.
+    at: Duration,
+    client: usize,
+    request: QueryRequest,
+}
+
+/// Build the deterministic arrival trace. Request ids start at 1: id 0
+/// is the server's "unparseable frame" echo, so hostile-frame
+/// rejections can never collide with a real query's answer.
+fn build_trace(config: &LoadgenConfig) -> Vec<Arrival> {
+    let mut rng = Rng::new(config.seed);
+    let patterns = if config.patterns.is_empty() {
+        default_patterns()
+    } else {
+        config.patterns.clone()
+    };
+    let mut at_us: u64 = 0;
+    let mut trace = Vec::with_capacity(config.arrivals);
+    for i in 0..config.arrivals {
+        at_us += pareto_gap_us(&mut rng, config.mean_interarrival_us, config.tail_alpha);
+        let (pattern, strategy) = &patterns[i % patterns.len()];
+        let mut request = QueryRequest::new(i as u64 + 1, pattern.clone(), config.take);
+        request = match strategy {
+            StrategySpec::Shortest => request,
+            StrategySpec::Beam { width } => {
+                request.with_strategy(StrategySpec::Beam { width: *width })
+            }
+            StrategySpec::Sampling { .. } => request
+                .with_strategy(StrategySpec::Sampling {
+                    seed: rng.next_u64() >> 32,
+                })
+                // A tiny-language sampling stream only ends at its token
+                // cap; bound it so the trace cannot wedge the server.
+                .with_max_tokens(16),
+        };
+        if let Some(ms) = config.deadline_ms {
+            request = request.with_deadline_ms(ms);
+        }
+        trace.push(Arrival {
+            at: Duration::from_micros(at_us),
+            client: i % config.clients.max(1),
+            request,
+        });
+    }
+    trace
+}
+
+/// One scripted client's live state.
+struct SimClient {
+    conn: Option<Connection>,
+    /// Request id → scheduled arrival instant (latency birth time).
+    outstanding: HashMap<u64, Instant>,
+    assigned: usize,
+    dispatched: usize,
+    doomed: bool,
+    hostile: bool,
+    hostile_sent: bool,
+    finished: bool,
+}
+
+/// Replay `config`'s trace against the server at `addr` and report
+/// what happened.
+///
+/// # Errors
+///
+/// Address resolution and connect failures. Per-response protocol
+/// errors are counted, not fatal.
+pub fn run(addr: impl ToSocketAddrs, config: &LoadgenConfig) -> io::Result<LoadReport> {
+    let addr: SocketAddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+    })?;
+    let trace = build_trace(config);
+    let mut report = LoadReport::default();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(trace.len());
+
+    let designated = |i: usize, every: usize| every > 0 && i % every == every - 1;
+    let mut clients: Vec<SimClient> = (0..config.clients.max(1))
+        .map(|i| SimClient {
+            conn: None,
+            outstanding: HashMap::new(),
+            assigned: 0,
+            dispatched: 0,
+            doomed: designated(i, config.disconnect_every),
+            hostile: designated(i, config.hostile_every),
+            hostile_sent: false,
+            finished: false,
+        })
+        .collect();
+    for arrival in &trace {
+        clients[arrival.client].assigned += 1;
+    }
+    // A client with no arrivals has nothing to do.
+    for client in clients.iter_mut() {
+        client.finished = client.assigned == 0;
+    }
+
+    let start = Instant::now();
+    let mut next = 0usize;
+    loop {
+        let now = start.elapsed();
+        let mut progressed = false;
+
+        // Dispatch every due arrival (open loop: due means due, no
+        // matter how many responses are still outstanding).
+        while next < trace.len() && trace[next].at <= now {
+            let arrival = &trace[next];
+            let client = &mut clients[arrival.client];
+            if client.conn.is_none() {
+                client.conn = Some(Connection::new(TcpStream::connect(addr)?)?);
+            }
+            if let Some(conn) = client.conn.as_mut() {
+                if client.hostile && !client.hostile_sent {
+                    conn.queue_frame(b"\x01this is not json{{{");
+                    client.hostile_sent = true;
+                    report.hostile_frames += 1;
+                }
+                conn.queue_frame(&Request::Query(arrival.request.clone()).encode());
+                client
+                    .outstanding
+                    .insert(arrival.request.id, start + arrival.at);
+                client.dispatched += 1;
+                report.sent += 1;
+            }
+            next += 1;
+            progressed = true;
+        }
+
+        // Pump every live client: flush writes, read responses.
+        for client in clients.iter_mut() {
+            let Some(conn) = client.conn.as_mut() else {
+                continue;
+            };
+            if conn.wants_write() {
+                progressed |= conn.pump_write();
+            }
+            for frame in conn.pump_read(MAX_FRAME_BYTES) {
+                progressed = true;
+                let Ok(response) = Response::decode(&frame) else {
+                    report.errors += 1;
+                    continue;
+                };
+                let (id, bucket) = match &response {
+                    Response::Matches { id, .. } => (*id, &mut report.completed),
+                    Response::Busy { id, .. } => (*id, &mut report.busy),
+                    Response::DeadlineExceeded { id } => (*id, &mut report.deadline_exceeded),
+                    Response::Error { id, .. } => (*id, &mut report.errors),
+                    Response::Stats(_) => continue,
+                };
+                match client.outstanding.remove(&id) {
+                    Some(born) => {
+                        *bucket += 1;
+                        latencies_us.push(Instant::now().duration_since(born).as_micros() as u64);
+                    }
+                    // An answer to no query we sent: the hostile
+                    // frame's rejection echo (id 0).
+                    None => report.hostile_rejects += 1,
+                }
+            }
+            // Script done? Doomed clients drop as soon as their last
+            // query is flushed — answers still in flight — while
+            // polite clients wait until everything is answered.
+            if client.dispatched == client.assigned && !client.finished {
+                let flushed = !conn.wants_write();
+                if client.doomed && flushed {
+                    report.disconnects += 1;
+                    report.abandoned += client.outstanding.len() as u64;
+                    client.outstanding.clear();
+                    client.conn = None;
+                    client.finished = true;
+                } else if client.outstanding.is_empty() && flushed {
+                    client.conn = None;
+                    client.finished = true;
+                }
+            }
+        }
+
+        if next == trace.len() && clients.iter().all(|c| c.finished) {
+            break;
+        }
+        if start.elapsed() >= config.timeout {
+            break;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    report.wall = start.elapsed();
+    let answered = report.completed + report.busy + report.deadline_exceeded;
+    report.achieved_qps = answered as f64 / report.wall.as_secs_f64().max(1e-9);
+    latencies_us.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies_us.len() - 1) as f64 * q).round() as usize;
+        latencies_us[idx.min(latencies_us.len() - 1)]
+    };
+    report.p50_us = pct(0.50);
+    report.p99_us = pct(0.99);
+    report.p999_us = pct(0.999);
+    report.max_us = latencies_us.last().copied().unwrap_or(0);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_heavy_tailed() {
+        let config = LoadgenConfig {
+            arrivals: 2_000,
+            ..LoadgenConfig::default()
+        };
+        let a = build_trace(&config);
+        let b = build_trace(&config);
+        assert_eq!(a.len(), 2_000);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.client, y.client);
+            assert_eq!(x.request, y.request);
+        }
+        // Ids start at 1 (0 is the hostile-echo sentinel).
+        assert!(a.iter().all(|ev| ev.request.id >= 1));
+        // Heavy tail: the largest gap dwarfs the median gap.
+        let mut gaps: Vec<u64> = a
+            .windows(2)
+            .map(|w| (w[1].at - w[0].at).as_micros() as u64)
+            .collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2];
+        let max = *gaps.last().unwrap();
+        assert!(
+            max > median * 5,
+            "expected a heavy tail, got median {median}µs max {max}µs"
+        );
+        // Every strategy appears in the mix.
+        assert!(a
+            .iter()
+            .any(|ev| ev.request.strategy == StrategySpec::Shortest));
+        assert!(a
+            .iter()
+            .any(|ev| matches!(ev.request.strategy, StrategySpec::Beam { .. })));
+        assert!(a
+            .iter()
+            .any(|ev| matches!(ev.request.strategy, StrategySpec::Sampling { .. })));
+    }
+
+    #[test]
+    fn pareto_gaps_hit_the_configured_mean_roughly() {
+        let mut rng = Rng::new(42);
+        let n = 200_000;
+        let mean = 1_000.0;
+        let total: u64 = (0..n).map(|_| pareto_gap_us(&mut rng, mean, 1.3)).sum();
+        let observed = total as f64 / n as f64;
+        // The 50×-mean cap trims the true mean; accept a broad band.
+        assert!(
+            observed > mean * 0.5 && observed < mean * 2.0,
+            "observed mean {observed}µs for configured {mean}µs"
+        );
+    }
+}

@@ -433,6 +433,10 @@ pub struct QueryRequest {
     pub require_eos: bool,
     /// Represent all token encodings (`true`) or canonical only.
     pub all_encodings: bool,
+    /// Optional wall-clock budget in milliseconds: if the query has
+    /// not completed this many ms after admission, the server stops it
+    /// and answers [`Response::DeadlineExceeded`] instead of results.
+    pub deadline_ms: Option<u64>,
 }
 
 impl QueryRequest {
@@ -449,6 +453,7 @@ impl QueryRequest {
             top_k: None,
             require_eos: false,
             all_encodings: false,
+            deadline_ms: None,
         }
     }
 
@@ -477,6 +482,13 @@ impl QueryRequest {
     #[must_use]
     pub fn with_top_k(mut self, top_k: usize) -> Self {
         self.top_k = Some(top_k);
+        self
+    }
+
+    /// Set the wall-clock completion deadline in milliseconds.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
         self
     }
 
@@ -558,6 +570,9 @@ impl Request {
                 if q.all_encodings {
                     fields.push(("tokenization".into(), Json::Str("all".into())));
                 }
+                if let Some(deadline_ms) = q.deadline_ms {
+                    fields.push(("deadline_ms".into(), Json::Num(deadline_ms as f64)));
+                }
                 Json::Obj(fields)
             }
         };
@@ -613,6 +628,7 @@ impl Request {
                         .and_then(Json::as_bool)
                         .unwrap_or(false),
                     all_encodings: json.get("tokenization").and_then(Json::as_str) == Some("all"),
+                    deadline_ms: json.get("deadline_ms").and_then(Json::as_u64),
                 }))
             }
             _ => Err(err("request without a known 'op'")),
@@ -652,8 +668,18 @@ pub struct WireServerStats {
     pub completed: u64,
     /// Queries cancelled (client disconnected mid-flight).
     pub cancelled: u64,
-    /// Queries currently in flight.
+    /// Queries stopped because their `deadline_ms` elapsed.
+    pub expired: u64,
+    /// Admissions refused by backpressure (per-connection quota or
+    /// global in-flight cap) — answered with [`Response::Busy`].
+    pub busy_rejections: u64,
+    /// Queries currently in flight (server-wide, all shards).
     pub in_flight: u64,
+    /// The shard that answered this stats request (a connection's
+    /// whole stream lives on one shard).
+    pub shard: u64,
+    /// Total shard count the server is running.
+    pub shards: u64,
     /// Mean contexts per coalesced model batch (set-wide batch fill).
     pub mean_batch_fill: f64,
     /// Model batches that mixed contexts from two or more queries.
@@ -676,6 +702,22 @@ pub enum Response {
         id: u64,
         /// Human-readable cause.
         message: String,
+    },
+    /// Admission refused by backpressure: the connection already has
+    /// its quota of queries in flight, or the server-wide cap is
+    /// reached. Nothing was admitted; the client may retry after its
+    /// outstanding queries drain.
+    Busy {
+        /// The request's `id`, echoed.
+        id: u64,
+        /// Which quota refused the admission.
+        message: String,
+    },
+    /// The query's `deadline_ms` elapsed before it completed; the
+    /// driver stopped it and discarded its partial results.
+    DeadlineExceeded {
+        /// The request's `id`, echoed.
+        id: u64,
     },
     /// Counters (answer to [`Request::Stats`]).
     Stats(WireServerStats),
@@ -713,6 +755,18 @@ impl Response {
                 ("id".into(), Json::Num(*id as f64)),
                 ("error".into(), Json::Str(message.clone())),
             ]),
+            Response::Busy { id, message } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("busy".into(), Json::Bool(true)),
+                ("id".into(), Json::Num(*id as f64)),
+                ("error".into(), Json::Str(message.clone())),
+            ]),
+            Response::DeadlineExceeded { id } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("deadline_exceeded".into(), Json::Bool(true)),
+                ("id".into(), Json::Num(*id as f64)),
+                ("error".into(), Json::Str("deadline exceeded".into())),
+            ]),
             Response::Stats(stats) => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 (
@@ -722,12 +776,19 @@ impl Response {
                         ("admitted".into(), Json::Num(stats.admitted as f64)),
                         ("completed".into(), Json::Num(stats.completed as f64)),
                         ("cancelled".into(), Json::Num(stats.cancelled as f64)),
+                        ("expired".into(), Json::Num(stats.expired as f64)),
+                        (
+                            "busy_rejections".into(),
+                            Json::Num(stats.busy_rejections as f64),
+                        ),
                         ("in_flight".into(), Json::Num(stats.in_flight as f64)),
                         ("mean_batch_fill".into(), Json::Num(stats.mean_batch_fill)),
                         (
                             "cross_query_batches".into(),
                             Json::Num(stats.cross_query_batches as f64),
                         ),
+                        ("shard".into(), Json::Num(stats.shard as f64)),
+                        ("shards".into(), Json::Num(stats.shards as f64)),
                     ]),
                 ),
             ]),
@@ -745,6 +806,22 @@ impl Response {
         let json = Json::parse(text)?;
         let id = json.get("id").and_then(Json::as_u64).unwrap_or(0);
         if json.get("ok").and_then(Json::as_bool) == Some(false) {
+            // Typed refusals carry a marker flag next to `ok:false`;
+            // check them before the generic error so old-style error
+            // frames (no flag) keep decoding as `Error`.
+            if json.get("busy").and_then(Json::as_bool) == Some(true) {
+                return Ok(Response::Busy {
+                    id,
+                    message: json
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("server busy")
+                        .to_string(),
+                });
+            }
+            if json.get("deadline_exceeded").and_then(Json::as_bool) == Some(true) {
+                return Ok(Response::DeadlineExceeded { id });
+            }
             return Ok(Response::Error {
                 id,
                 message: json
@@ -761,12 +838,16 @@ impl Response {
                 admitted: field("admitted"),
                 completed: field("completed"),
                 cancelled: field("cancelled"),
+                expired: field("expired"),
+                busy_rejections: field("busy_rejections"),
                 in_flight: field("in_flight"),
                 mean_batch_fill: server
                     .get("mean_batch_fill")
                     .and_then(Json::as_f64)
                     .unwrap_or(0.0),
                 cross_query_batches: field("cross_query_batches"),
+                shard: field("shard"),
+                shards: field("shards"),
             }));
         }
         let matches = json
@@ -894,6 +975,7 @@ mod tests {
             Request::Query(
                 QueryRequest::new(9, "x", 1).with_strategy(StrategySpec::Beam { width: 16 }),
             ),
+            Request::Query(QueryRequest::new(10, "y", 2).with_deadline_ms(250)),
         ];
         for request in requests {
             assert_eq!(Request::decode(&request.encode()).unwrap(), request);
@@ -933,11 +1015,43 @@ mod tests {
             admitted: 9,
             completed: 8,
             cancelled: 1,
+            expired: 2,
+            busy_rejections: 3,
             in_flight: 0,
             mean_batch_fill: 4.75,
             cross_query_batches: 6,
+            shard: 1,
+            shards: 4,
         });
         assert_eq!(Response::decode(&stats.encode()).unwrap(), stats);
+    }
+
+    #[test]
+    fn typed_refusal_frames_roundtrip_and_stay_distinct_from_errors() {
+        let busy = Response::Busy {
+            id: 11,
+            message: "server at capacity: 1024 queries in flight".into(),
+        };
+        assert_eq!(Response::decode(&busy.encode()).unwrap(), busy);
+
+        let expired = Response::DeadlineExceeded { id: 12 };
+        assert_eq!(Response::decode(&expired.encode()).unwrap(), expired);
+
+        // A plain error frame (no marker flag) still decodes as Error,
+        // and neither refusal ever decodes as a generic Error.
+        let error = Response::Error {
+            id: 13,
+            message: "bad pattern".into(),
+        };
+        assert_eq!(Response::decode(&error.encode()).unwrap(), error);
+        assert!(matches!(
+            Response::decode(&busy.encode()).unwrap(),
+            Response::Busy { .. }
+        ));
+        assert!(matches!(
+            Response::decode(&expired.encode()).unwrap(),
+            Response::DeadlineExceeded { .. }
+        ));
     }
 
     #[test]

@@ -75,13 +75,23 @@ pub(crate) fn unframe(bytes: &[u8], magic: [u8; 8]) -> Result<&[u8], StoreError>
 }
 
 /// Write `bytes` to `path` via a temporary sibling and an atomic
-/// rename, so concurrent readers never observe a torn file.
+/// rename, so concurrent readers never observe a torn file. The
+/// temporary name is unique per writer (process id + counter):
+/// concurrent writers of the *same* artifact — e.g. two server shards
+/// compiling the same fresh plan — each rename their own complete
+/// file into place instead of racing over one shared `.tmp` sibling.
 fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(".{}-{seq}.tmp", std::process::id()));
     let tmp = PathBuf::from(tmp);
     fs::write(&tmp, bytes)?;
-    fs::rename(&tmp, path)?;
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
     Ok(())
 }
 

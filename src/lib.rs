@@ -51,10 +51,11 @@ pub use relm_automata::{
 pub use relm_bpe::{pretokenize, BpeTokenizer, TokenId};
 pub use relm_core::{
     compiler, explain, CompiledSearch, ExecutionStats, FilterPreprocessor, LevenshteinPreprocessor,
-    MachineShape, MatchResult, PrefixSampling, Preprocessor, QueryCompletion, QueryDriver, QueryId,
-    QueryOutcome, QueryPlan, QuerySet, QuerySetReport, QuerySpec, QueryString, Relm, RelmBuilder,
-    RelmError, RelmErrorKind, RelmSession, SearchQuery, SearchResults, SearchStrategy,
-    SessionConfig, SessionStats, Speculation, TickQuantum, TokenizationStrategy,
+    MachineShape, MatchResult, PlanSource, PrefixSampling, Preprocessor, QueryCompletion,
+    QueryDriver, QueryId, QueryOutcome, QueryPlan, QuerySet, QuerySetReport, QuerySpec,
+    QueryString, Relm, RelmBuilder, RelmError, RelmErrorKind, RelmSession, SearchQuery,
+    SearchResults, SearchStrategy, SessionConfig, SessionStats, Speculation, TickQuantum,
+    TokenizationStrategy,
 };
 #[allow(deprecated)] // the legacy one-shot shims remain exported until removal
 pub use relm_core::{execute, plan, search};

@@ -112,6 +112,7 @@ fn facade_reexport_list_matches_snapshot() {
         "LevenshteinPreprocessor",
         "MachineShape",
         "MatchResult",
+        "PlanSource",
         "PrefixSampling",
         "Preprocessor",
         "QueryPlan",

@@ -1,0 +1,249 @@
+//! The sharded server's contract: splitting the driver across N shard
+//! threads changes *throughput*, never *answers*. Served results stay
+//! **byte-identical** (f64 bits included) to solo `Relm::search` at any
+//! shard count — connection affinity pins each connection's pipelined
+//! stream to one driver, so per-connection determinism survives — and
+//! backpressure refuses with typed busy frames instead of stalling or
+//! killing connections.
+
+use std::collections::HashMap;
+
+use relm::serve::{
+    spawn, QueryRequest, RelmServer, Request, Response, ServeClient, ServerConfig, ServerHandle,
+    StrategySpec,
+};
+use relm::{BpeTokenizer, NGramConfig, NGramLm, Relm};
+
+const DOCS: [&str; 4] = [
+    "the cat sat on the mat",
+    "the cat sat on the mat",
+    "the dog sat on the log",
+    "the cow ate the grass",
+];
+
+fn fixture() -> (BpeTokenizer, NGramLm) {
+    let corpus = DOCS.join(". ");
+    let tok = BpeTokenizer::train(&corpus, 80);
+    let lm = NGramLm::train(&tok, &DOCS, NGramConfig::xl());
+    (tok, lm)
+}
+
+fn start_server(config: ServerConfig) -> ServerHandle {
+    let (tok, lm) = fixture();
+    let client = Relm::new(lm, tok).unwrap();
+    spawn(RelmServer::with_config(client, config), "127.0.0.1:0").unwrap()
+}
+
+fn solo_bits(client: &Relm<NGramLm>, request: &QueryRequest) -> Vec<(String, u64)> {
+    client
+        .search(&request.to_search_query())
+        .unwrap()
+        .take(request.max_results)
+        .map(|m| (m.text, m.log_prob.to_bits()))
+        .collect()
+}
+
+fn served_bits(response: &Response) -> Vec<(String, u64)> {
+    match response {
+        Response::Matches { matches, .. } => matches
+            .iter()
+            .map(|m| (m.text.clone(), m.score_bits))
+            .collect(),
+        other => panic!("expected matches, got {other:?}"),
+    }
+}
+
+/// One client's answers: each request paired with its served bits.
+type ClientAnswers = Vec<(QueryRequest, Vec<(String, u64)>)>;
+
+/// All three executors in one pipelined stream, as `tests/serve.rs`
+/// uses — the workload whose answers must not depend on shard count.
+fn mixed_requests(id_base: u64, seed: u64) -> Vec<QueryRequest> {
+    vec![
+        QueryRequest::new(id_base, "the ((cat)|(dog)|(cow)) ((sat)|(ate))", 3),
+        QueryRequest::new(id_base + 1, "the ((cat)|(dog)) sat on the ((mat)|(log))", 2)
+            .with_strategy(StrategySpec::Beam { width: 8 }),
+        QueryRequest::new(id_base + 2, "the ((cat)|(dog)|(cow)) ((sat)|(ate))", 4)
+            .with_strategy(StrategySpec::Sampling { seed })
+            .with_max_tokens(16),
+        QueryRequest::new(id_base + 3, "the cow ate the grass", 1).with_top_k(40),
+    ]
+}
+
+/// Run six interleaved pipelined clients against a server with the
+/// given shard count and return every (request, served bits) pair.
+fn serve_workload(shards: usize) -> (ClientAnswers, relm::serve::ServerReport) {
+    let handle = start_server(ServerConfig::new().with_shards(shards));
+    let addr = handle.addr();
+    let collected: Vec<ClientAnswers> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0u64..6)
+            .map(|t| {
+                scope.spawn(move || {
+                    let requests = mixed_requests(10 * t, 31 + t);
+                    let mut client = ServeClient::connect(addr).unwrap();
+                    // Pipelined: every request on the wire before any
+                    // response is read.
+                    for request in &requests {
+                        client.send(&Request::Query(request.clone())).unwrap();
+                    }
+                    let mut by_id: HashMap<u64, Vec<(String, u64)>> = HashMap::new();
+                    for _ in 0..requests.len() {
+                        let response = client.recv().unwrap();
+                        let Response::Matches { id, .. } = &response else {
+                            panic!("expected matches, got {response:?}");
+                        };
+                        by_id.insert(*id, served_bits(&response));
+                    }
+                    requests
+                        .into_iter()
+                        .map(|request| {
+                            let bits = by_id.remove(&request.id).expect("every request answered");
+                            (request, bits)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let report = handle.stop().unwrap();
+    (collected.into_iter().flatten().collect(), report)
+}
+
+#[test]
+fn sharded_results_are_bit_identical_to_single_shard_and_solo() {
+    let (tok, lm) = fixture();
+    let solo = Relm::new(lm, tok).unwrap();
+
+    let (one_shard, one_report) = serve_workload(1);
+    let (four_shards, four_report) = serve_workload(4);
+
+    // Both configurations answer bit-identically to solo execution —
+    // which also makes them bit-identical to each other.
+    for (request, served) in one_shard.iter().chain(&four_shards) {
+        assert_eq!(
+            served,
+            &solo_bits(&solo, request),
+            "shard-count-dependent answer for {request:?}"
+        );
+    }
+
+    assert_eq!(one_report.shards.len(), 1);
+    assert_eq!(four_report.shards.len(), 4);
+    for report in [&one_report, &four_report] {
+        assert_eq!(report.accepted, 6);
+        assert_eq!(report.admitted, 24);
+        assert_eq!(report.completed, 24);
+        assert_eq!(report.cancelled, 0);
+        // The per-shard sections must add back up to the totals.
+        assert_eq!(
+            report.shards.iter().map(|s| s.connections).sum::<u64>(),
+            report.accepted
+        );
+        assert_eq!(
+            report.shards.iter().map(|s| s.admitted).sum::<u64>(),
+            report.admitted
+        );
+        assert_eq!(
+            report.shards.iter().map(|s| s.completed).sum::<u64>(),
+            report.completed
+        );
+    }
+    // Round-robin affinity: six connections over four shards land 2/2/1/1.
+    let mut conns: Vec<u64> = four_report.shards.iter().map(|s| s.connections).collect();
+    conns.sort_unstable();
+    assert_eq!(conns, vec![1, 1, 2, 2]);
+}
+
+#[test]
+fn greedy_client_is_refused_politely_while_a_polite_client_completes() {
+    let handle = start_server(
+        ServerConfig::new()
+            .with_shards(2)
+            .with_max_inflight_per_conn(2),
+    );
+    let addr = handle.addr();
+
+    // The greedy client pipelines six slow sampling walks at once; its
+    // quota is two, so the overflow must come back as typed busy frames
+    // — not errors, not a dead connection, not a stall.
+    let mut greedy = ServeClient::connect(addr).unwrap();
+    for id in 0..6u64 {
+        greedy
+            .send(&Request::Query(
+                QueryRequest::new(id, "the ((cat)|(dog)|(cow)) ((sat)|(ate))", 30)
+                    .with_strategy(StrategySpec::Sampling { seed: 17 + id })
+                    .with_max_tokens(16),
+            ))
+            .unwrap();
+    }
+    let (mut completed, mut busy) = (0u64, 0u64);
+    for _ in 0..6 {
+        match greedy.recv().unwrap() {
+            Response::Matches { .. } => completed += 1,
+            Response::Busy { message, .. } => {
+                assert!(
+                    message.contains("quota"),
+                    "the refusal names the quota: {message}"
+                );
+                busy += 1;
+            }
+            other => panic!("expected matches or busy, got {other:?}"),
+        }
+    }
+    assert!(
+        busy >= 1,
+        "a six-deep pipeline must overflow a quota of two"
+    );
+    assert_eq!(completed + busy, 6, "every frame answered exactly once");
+
+    // A polite client (one query in flight at a time) rides the same
+    // server untouched by its neighbor's refusals.
+    let (tok, lm) = fixture();
+    let solo = Relm::new(lm, tok).unwrap();
+    let mut polite = ServeClient::connect(addr).unwrap();
+    for id in 100..103u64 {
+        let request = QueryRequest::new(id, "the cow ate the grass", 1);
+        let served = served_bits(&polite.roundtrip(&Request::Query(request.clone())).unwrap());
+        assert_eq!(served, solo_bits(&solo, &request));
+    }
+
+    let report = handle.stop().unwrap();
+    assert_eq!(report.busy_rejections, busy);
+    assert_eq!(report.completed, completed + 3);
+}
+
+#[test]
+fn tiny_deadline_on_a_large_walk_answers_deadline_exceeded() {
+    let handle = start_server(ServerConfig::new().with_shards(2));
+    let addr = handle.addr();
+
+    // An effectively unbounded sampling walk (tiny language: the stream
+    // only ends at the cap) with a 1ms budget must come back as a typed
+    // deadline frame, and the connection must stay serviceable.
+    let mut client = ServeClient::connect(addr).unwrap();
+    let doomed = QueryRequest::new(1, "the ((cat)|(dog)|(cow)) ((sat)|(ate))", 1_000_000)
+        .with_strategy(StrategySpec::Sampling { seed: 5 })
+        .with_max_tokens(16)
+        .with_deadline_ms(1);
+    let response = client.roundtrip(&Request::Query(doomed)).unwrap();
+    assert_eq!(response, Response::DeadlineExceeded { id: 1 });
+
+    let (tok, lm) = fixture();
+    let solo = Relm::new(lm, tok).unwrap();
+    let request = QueryRequest::new(2, "the cow ate the grass", 1);
+    let served = served_bits(&client.roundtrip(&Request::Query(request.clone())).unwrap());
+    assert_eq!(served, solo_bits(&solo, &request));
+
+    // A workable deadline on the same shape completes normally: the
+    // sweep only stops queries whose budget actually elapsed.
+    let roomy =
+        QueryRequest::new(3, "the ((cat)|(dog)|(cow)) ((sat)|(ate))", 3).with_deadline_ms(60_000);
+    let served = served_bits(&client.roundtrip(&Request::Query(roomy.clone())).unwrap());
+    assert_eq!(served, solo_bits(&solo, &roomy));
+
+    let report = handle.stop().unwrap();
+    assert_eq!(report.expired, 1);
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.cancelled, 0, "expiry is not a cancel");
+}

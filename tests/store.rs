@@ -287,3 +287,59 @@ fn bin_verify_catches_corruption_and_sessions_fall_back() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// N racing threads compiling the same fresh query behind one shared
+/// session (the sharded server's exact shape: N shard threads, one
+/// plan store) must elect exactly one writer — one artifact, one
+/// write-back's worth of bytes, and no stray temp files from losers.
+#[test]
+fn concurrent_fresh_compiles_write_back_exactly_once() {
+    let dir = temp_dir("concurrent-compile");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (tok, lm) = fixture();
+    let shared = Relm::builder(lm, tok)
+        .config(SessionConfig::new().with_plan_store(&dir))
+        .build()
+        .unwrap();
+    let query = SearchQuery::new(QueryString::new("the ((cat)|(dog)|(cow)) ((sat)|(ate))"));
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                shared.session().plan(&query).unwrap();
+            });
+        }
+    });
+
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|entry| entry.unwrap().file_name().into_string().unwrap())
+        .collect();
+    let plans: Vec<&String> = names.iter().filter(|n| n.starts_with("plan-")).collect();
+    assert_eq!(
+        plans.len(),
+        1,
+        "one artifact, not one per winner: {names:?}"
+    );
+    assert!(
+        !names.iter().any(|n| n.contains(".tmp")),
+        "losing writers must clean up: {names:?}"
+    );
+
+    // One write-back's worth of bytes: the same as a solo session
+    // compiling the same query once.
+    let solo_dir = temp_dir("concurrent-compile-solo");
+    let _ = std::fs::remove_dir_all(&solo_dir);
+    let (tok, lm) = fixture();
+    let solo = Relm::builder(lm, tok)
+        .config(SessionConfig::new().with_plan_store(&solo_dir))
+        .build()
+        .unwrap();
+    solo.session().plan(&query).unwrap();
+    assert_eq!(
+        shared.stats().store_bytes_written,
+        solo.stats().store_bytes_written,
+        "racing threads wrote more than one back-copy"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&solo_dir);
+}
