@@ -1,0 +1,412 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The analyses in this crate only need a faithful *token stream*, not
+//! a parse tree, so the lexer's one hard job is never confusing code
+//! with non-code: strings (including raw strings with any `#` arity
+//! and byte strings), char literals (including `'\''` and the
+//! lifetime/char ambiguity), and comments (line, doc, and arbitrarily
+//! nested block comments) must each become a single opaque token, so
+//! that an `unwrap()` *inside a string* is data while the one outside
+//! is a finding. Everything else — identifiers, numbers, punctuation —
+//! is kept simple; the analyses match on token sequences, never on
+//! source substrings.
+//!
+//! The scanner is total: any byte sequence produces a token stream,
+//! never a panic (the property tests in `tests/lexer_prop.rs` drive
+//! random and adversarial input through it). Unterminated literals or
+//! comments simply extend to end of file.
+
+/// What a token is. String-like and comment-like tokens are opaque:
+/// their text is carried for diagnostics and `lint: allow` parsing but
+/// the analyses never look inside them for code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `r#match`, …).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Numeric literal (lexed loosely; `1.5` is three tokens).
+    Number,
+    /// `"…"` or `b"…"` string literal, escapes handled.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##` raw (byte) string literal.
+    RawStr,
+    /// `'x'`, `b'x'`, `'\''`, `'\u{…}'` char/byte literal.
+    Char,
+    /// `// …`, `/// …`, `//! …` to end of line.
+    LineComment,
+    /// `/* … */`, nested, including `/** … */` doc blocks.
+    BlockComment,
+    /// Any other single character (`.`, `(`, `!`, `{`, …).
+    Punct,
+}
+
+/// One token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for tokens the analyses treat as code (not comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// The single punctuation character, if this is a `Punct`.
+    pub fn punct(&self) -> Option<char> {
+        match self.kind {
+            TokKind::Punct => self.text.chars().next(),
+            _ => None,
+        }
+    }
+}
+
+/// Lex `source` into a token stream. Total: never fails, never
+/// panics; unterminated constructs run to end of input.
+pub fn lex(source: &str) -> Vec<Tok> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one char, keeping the line counter honest.
+    fn bump(&mut self, out: &mut String) {
+        if let Some(c) = self.peek(0) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            out.push(c);
+            self.pos += 1;
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    let mut sink = String::new();
+                    self.bump(&mut sink);
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'b' if self.peek(1) == Some('"') => self.string(line),
+                'b' if self.peek(1) == Some('\'') => self.char_lit(line),
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(line),
+                '\'' => self.quote(line),
+                _ if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    let mut text = String::new();
+                    self.bump(&mut text);
+                    self.push(TokKind::Punct, text, line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    /// Does a raw (byte) string literal start at the cursor? `r` or
+    /// `br`, then zero or more `#`, then `"`. Note `r#ident` (a raw
+    /// identifier) also starts `r#`, so the quote check is what
+    /// disambiguates.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1;
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump(&mut text);
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        self.bump(&mut text); // '/'
+        self.bump(&mut text); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump(&mut text);
+                    self.bump(&mut text);
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump(&mut text);
+                    self.bump(&mut text);
+                }
+                (Some(_), _) => self.bump(&mut text),
+                (None, _) => break, // unterminated: runs to EOF
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        if self.peek(0) == Some('b') {
+            self.bump(&mut text);
+        }
+        self.bump(&mut text); // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump(&mut text);
+                    self.bump(&mut text); // escaped char (any, incl. '"')
+                }
+                '"' => {
+                    self.bump(&mut text);
+                    break;
+                }
+                _ => self.bump(&mut text),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        let mut text = String::new();
+        if self.peek(0) == Some('b') {
+            self.bump(&mut text);
+        }
+        self.bump(&mut text); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump(&mut text);
+            hashes += 1;
+        }
+        self.bump(&mut text); // opening quote
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // Candidate close: need `hashes` trailing `#`s.
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump(&mut text);
+                    for _ in 0..hashes {
+                        self.bump(&mut text);
+                    }
+                    break 'scan;
+                }
+            }
+            self.bump(&mut text);
+        }
+        self.push(TokKind::RawStr, text, line);
+    }
+
+    fn char_lit(&mut self, line: u32) {
+        let mut text = String::new();
+        if self.peek(0) == Some('b') {
+            self.bump(&mut text);
+        }
+        self.bump(&mut text); // opening '
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump(&mut text);
+                if self.peek(0) == Some('u') {
+                    // '\u{…}': consume through the closing brace.
+                    self.bump(&mut text);
+                    while let Some(c) = self.peek(0) {
+                        let done = c == '}';
+                        self.bump(&mut text);
+                        if done {
+                            break;
+                        }
+                    }
+                } else {
+                    self.bump(&mut text); // the escaped char, incl. '\''
+                }
+            }
+            Some(_) => self.bump(&mut text),
+            None => {}
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump(&mut text); // closing '
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    /// A bare `'`: lifetime (`'a`, `'static`) or char literal (`'x'`,
+    /// `'\''`). A lifetime is `'` + ident-start with *no* closing
+    /// quote right after the first char; everything else is a char.
+    fn quote(&mut self, line: u32) {
+        let is_lifetime = match (self.peek(1), self.peek(2)) {
+            (Some(c), close) => (c == '_' || c.is_alphabetic()) && c != '\\' && close != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            let mut text = String::new();
+            self.bump(&mut text); // '
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump(&mut text);
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+        } else {
+            self.char_lit(line);
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        // `r#match`-style raw identifiers: keep the prefix attached so
+        // the analyses see one token whose tail is the real name.
+        if (self.peek(0) == Some('r') || self.peek(0) == Some('b'))
+            && self.peek(1) == Some('#')
+            && self.peek(2).is_some_and(|c| c == '_' || c.is_alphabetic())
+        {
+            self.bump(&mut text);
+            self.bump(&mut text);
+        }
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump(&mut text);
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    /// Numbers are lexed loosely: a leading digit then any run of
+    /// alphanumerics and underscores (`0xdead_beef`, `1e9`, `42usize`).
+    /// `1.5` deliberately lexes as three tokens — no analysis needs
+    /// numeric structure, and this keeps tuple access (`pair.0`)
+    /// unambiguous.
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump(&mut text);
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_string_containing_unwrap_is_data() {
+        let toks = kinds(r##"let s = r#"x.unwrap()"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawStr && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* a /* b */ c */ after");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn lifetime_vs_char_vs_escaped_quote() {
+        assert_eq!(kinds("'a")[0].0, TokKind::Lifetime);
+        assert_eq!(kinds("'static")[0].0, TokKind::Lifetime);
+        assert_eq!(kinds("'a'")[0].0, TokKind::Char);
+        assert_eq!(kinds(r"'\''")[0].0, TokKind::Char);
+        assert_eq!(kinds(r"'\u{1F600}'")[0].0, TokKind::Char);
+        assert_eq!(kinds("b'x'")[0].0, TokKind::Char);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let toks = kinds(r#""a\"b" rest"#);
+        assert_eq!(toks[0], (TokKind::Str, r#""a\"b""#.into()));
+        assert_eq!(toks[1], (TokKind::Ident, "rest".into()));
+    }
+
+    #[test]
+    fn raw_ident_is_one_token() {
+        let toks = kinds("r#match x");
+        assert_eq!(toks[0], (TokKind::Ident, "r#match".into()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("e"), Some(5));
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof_without_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?} lexes to something");
+        }
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = kinds("/// x.unwrap()\n//! y.unwrap()\nfn f() {}");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| t != "unwrap" || !matches!(k, TokKind::Ident)));
+    }
+}

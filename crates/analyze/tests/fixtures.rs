@@ -1,0 +1,292 @@
+//! Fixture tests: every diagnostic family fires on a known-bad source,
+//! stays silent on the corresponding known-good source, and each
+//! `lint: allow` annotation suppresses exactly one finding. These are
+//! the linter's own acceptance tests — the self-hosted run over the
+//! real workspace only proves the absence of findings there, not that
+//! the analyses would notice a regression.
+
+#![forbid(unsafe_code)]
+
+use relm_analyze::findings::{Baseline, Family, Finding};
+use relm_analyze::workspace::{run, Report};
+
+/// Lint one synthetic file (library code in a result-affecting crate)
+/// against an empty baseline.
+fn lint(path: &str, src: &str) -> Vec<Finding> {
+    report(path, src).findings
+}
+
+fn report(path: &str, src: &str) -> Report {
+    run(&[(path.to_string(), src.to_string())], &Baseline::parse(""))
+}
+
+fn count(findings: &[Finding], family: Family) -> usize {
+    findings.iter().filter(|f| f.family == family).count()
+}
+
+#[test]
+fn every_panic_construct_fires() {
+    for (src, token) in [
+        ("fn f() { x.unwrap(); }", "unwrap"),
+        ("fn f() { x.expect(\"why\"); }", "expect"),
+        ("fn f() { panic!(\"boom\"); }", "panic"),
+        ("fn f() { unreachable!(); }", "unreachable"),
+        ("fn f() { todo!(); }", "todo"),
+        ("fn f() { unimplemented!(); }", "unimplemented"),
+    ] {
+        let findings = lint("crates/core/src/a.rs", src);
+        assert_eq!(count(&findings, Family::Panic), 1, "{src}");
+        assert_eq!(findings[0].token, token, "{src}");
+    }
+}
+
+#[test]
+fn test_regions_are_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}\n\
+               #[test]\nfn g() { y.unwrap(); }\n";
+    assert_eq!(count(&lint("crates/core/src/a.rs", src), Family::Panic), 0);
+}
+
+#[test]
+fn bench_example_and_shim_files_are_exempt() {
+    for path in [
+        "crates/bench/src/lib.rs",
+        "examples/demo.rs",
+        "crates/x/benches/b.rs",
+        "crates/x/tests/t.rs",
+        "crates/shims/proptest/src/lib.rs",
+    ] {
+        let findings = lint(path, "#![forbid(unsafe_code)]\nfn f() { x.unwrap(); }");
+        assert_eq!(count(&findings, Family::Panic), 0, "{path}");
+    }
+}
+
+#[test]
+fn lexer_keeps_tokens_out_of_strings_and_comments() {
+    // `.unwrap()` spelled inside raw strings, strings, comments, and
+    // doc comments is text, not code.
+    let src = "fn f() {\n let s = r#\"x.unwrap()\"#;\n let t = \"y.unwrap()\";\n\
+               // z.unwrap()\n /* a.unwrap() /* nested.unwrap() */ */\n}\n\
+               /// doc.unwrap()\nfn g() {}\n";
+    assert_eq!(count(&lint("crates/core/src/a.rs", src), Family::Panic), 0);
+}
+
+#[test]
+fn allow_suppresses_exactly_one_finding() {
+    let src = "fn f() {\n a.unwrap(); // lint: allow(panic, \"checked above\")\n b.unwrap();\n}";
+    let findings = lint("crates/core/src/a.rs", src);
+    assert_eq!(count(&findings, Family::Panic), 1, "{findings:?}");
+    assert_eq!(
+        findings[0].line, 3,
+        "the unannotated unwrap is the survivor"
+    );
+}
+
+#[test]
+fn allow_on_the_line_above_also_binds() {
+    let src = "fn f() {\n // lint: allow(panic, \"checked\")\n a.unwrap();\n}";
+    assert_eq!(count(&lint("crates/core/src/a.rs", src), Family::Panic), 0);
+}
+
+#[test]
+fn unused_allow_is_itself_a_finding() {
+    let src = "// lint: allow(panic, \"nothing here\")\nfn f() {}\n";
+    let findings = lint("crates/core/src/a.rs", src);
+    assert_eq!(count(&findings, Family::UnusedAllow), 1);
+}
+
+#[test]
+fn prose_mentioning_the_syntax_is_not_an_annotation() {
+    // No family keyword, or no quoted reason: documentation, not an
+    // annotation — and not an unused-allow finding either.
+    let src = "/// write `lint: allow(family, \"why\")` next to the call\n\
+               // lint: allow(panic)\nfn f() {}\n";
+    assert_eq!(lint("crates/core/src/a.rs", src).len(), 0);
+}
+
+#[test]
+fn nondet_fires_only_in_result_affecting_crates() {
+    let src = "fn f() { let t = std::time::Instant::now(); }";
+    let in_core = lint("crates/core/src/a.rs", src);
+    assert_eq!(count(&in_core, Family::Nondet), 1, "{in_core:?}");
+    // relm-serve measures latency for reports; wall time there is fine.
+    let in_serve = lint("crates/serve/src/a.rs", src);
+    assert_eq!(count(&in_serve, Family::Nondet), 0, "{in_serve:?}");
+}
+
+#[test]
+fn nondet_catches_env_and_os_rng() {
+    for src in [
+        "fn f() { let v = std::env::var(\"HOME\"); }",
+        "fn f() { let r = rand::thread_rng(); }",
+        "fn f() { let t = SystemTime::now(); }",
+    ] {
+        let findings = lint("crates/lm/src/a.rs", src);
+        assert_eq!(count(&findings, Family::Nondet), 1, "{src}");
+    }
+}
+
+#[test]
+fn float_fmt_flags_lossy_score_placeholders_only() {
+    let bad = "fn f(score: f64) { println!(\"score={}\", score); }";
+    assert_eq!(count(&lint("crates/lm/src/a.rs", bad), Family::FloatFmt), 1);
+    let bad_named = "fn f(log_prob: f64) { println!(\"lp={log_prob:.4}\"); }";
+    assert_eq!(
+        count(&lint("crates/lm/src/a.rs", bad_named), Family::FloatFmt),
+        1
+    );
+    let good_hex = "fn f(score: f64) { println!(\"bits={:016x}\", score.to_bits()); }";
+    assert_eq!(
+        count(&lint("crates/lm/src/a.rs", good_hex), Family::FloatFmt),
+        0
+    );
+    let good_name = "fn f(elapsed: f64) { println!(\"t={elapsed:.2}\"); }";
+    assert_eq!(
+        count(&lint("crates/lm/src/a.rs", good_name), Family::FloatFmt),
+        0
+    );
+}
+
+#[test]
+fn unsafe_code_and_missing_forbid_fire() {
+    let missing = lint("crates/x/src/lib.rs", "pub fn f() {}");
+    assert_eq!(count(&missing, Family::UnsafeCode), 1, "{missing:?}");
+    let present = lint(
+        "crates/x/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() {}",
+    );
+    assert_eq!(count(&present, Family::UnsafeCode), 0, "{present:?}");
+    let keyword = lint(
+        "crates/x/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() { unsafe { } }",
+    );
+    assert_eq!(count(&keyword, Family::UnsafeCode), 1, "{keyword:?}");
+}
+
+#[test]
+fn lock_order_inversion_and_cycles_are_findings() {
+    // `table` (cache) held while taking `plans` (memo) inverts the
+    // blessed hierarchy.
+    let inverted = "fn f(&self) { let g = self.table.lock(); self.plans.lock().len(); }";
+    let r = report("crates/core/src/a.rs", inverted);
+    assert!(r.findings.iter().any(|f| f.family == Family::LockOrder));
+    assert!(r.locks.cycle.is_none(), "one inverted edge is not a cycle");
+
+    let cyclic = "fn a(&self) { let g = self.plans.lock(); self.table.lock().len(); }\n\
+                  fn b(&self) { let g = self.table.lock(); self.plans.lock().len(); }";
+    let r = report("crates/core/src/a.rs", cyclic);
+    assert!(r.locks.cycle.is_some());
+    assert!(r.findings.iter().any(|f| f.token == "cycle"));
+    assert!(
+        r.lock_graph_lines().iter().any(|l| l.contains("CYCLE")),
+        "{:?}",
+        r.lock_graph_lines()
+    );
+
+    let blessed = "fn f(&self) { let g = self.plans.lock(); self.table.lock().len(); }";
+    let r = report("crates/core/src/a.rs", blessed);
+    assert_eq!(count(&r.findings, Family::LockOrder), 0, "{:?}", r.findings);
+    assert!(r
+        .lock_graph_lines()
+        .iter()
+        .any(|l| l.contains("cycle-free")));
+}
+
+/// A minimal stand-in for the watched artifact schema file.
+fn artifact_fixture(version: u32, extra_field: bool) -> String {
+    let extra = if extra_field { " pub v2: u64," } else { "" };
+    format!(
+        "pub const FORMAT_VERSION: u32 = {version};\n\
+         pub struct ArtifactKey {{ pub pattern: String, }}\n\
+         pub struct PlanArtifact {{ pub key: ArtifactKey,{extra} }}\n\
+         pub struct CacheArtifact {{ pub generation: u64, }}\n"
+    )
+}
+
+#[test]
+fn wire_drift_requires_a_version_bump() {
+    let path = "crates/store/src/artifact.rs";
+    // Bootstrap: no fingerprints on file yet.
+    let first = report(path, &artifact_fixture(1, false));
+    assert_eq!(
+        count(&first.findings, Family::Wire),
+        3,
+        "{:?}",
+        first.findings
+    );
+
+    // Record the fingerprints; the same source is then clean.
+    let accepted = Baseline::render(&[], &first.wire);
+    let clean = run(
+        &[(path.to_string(), artifact_fixture(1, false))],
+        &Baseline::parse(&accepted),
+    );
+    assert_eq!(
+        count(&clean.findings, Family::Wire),
+        0,
+        "{:?}",
+        clean.findings
+    );
+
+    // Grow PlanArtifact without bumping FORMAT_VERSION: drift finding.
+    let drifted = run(
+        &[(path.to_string(), artifact_fixture(1, true))],
+        &Baseline::parse(&accepted),
+    );
+    assert_eq!(
+        count(&drifted.findings, Family::Wire),
+        1,
+        "{:?}",
+        drifted.findings
+    );
+    assert!(drifted.findings[0].message.contains("bump"));
+
+    // Same edit with the bump: accepted.
+    let bumped = run(
+        &[(path.to_string(), artifact_fixture(2, true))],
+        &Baseline::parse(&accepted),
+    );
+    assert_eq!(
+        count(&bumped.findings, Family::Wire),
+        0,
+        "{:?}",
+        bumped.findings
+    );
+}
+
+#[test]
+fn panic_findings_cannot_be_baselined() {
+    let src = "fn f() { x.unwrap(); }";
+    let path = "crates/core/src/a.rs";
+    let first = report(path, src);
+    assert_eq!(count(&first.findings, Family::Panic), 1);
+    // Forge a baseline accepting the exact panic key; the finding must
+    // survive anyway.
+    let forged = format!("{}\n", first.findings[0].key());
+    let again = run(
+        &[(path.to_string(), src.to_string())],
+        &Baseline::parse(&forged),
+    );
+    assert_eq!(
+        count(&again.findings, Family::Panic),
+        1,
+        "{:?}",
+        again.findings
+    );
+}
+
+#[test]
+fn summary_json_is_stable_and_machine_readable() {
+    let r = report("crates/core/src/a.rs", "fn f() { x.unwrap(); }");
+    let line = r.summary_json();
+    assert!(line.starts_with("LINT_JSON {"), "{line}");
+    for key in [
+        "\"files\":",
+        "\"panic_sites\":",
+        "\"lock_cycle\":",
+        "\"wire_types\":",
+        "\"findings\":",
+    ] {
+        assert!(line.contains(key), "{line} missing {key}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: the scanner and the whole analysis pipeline are
+//! total. Arbitrary bytes go in, findings come out — never a panic.
+//! The linter's own panic-freedom claim is load-bearing (it runs in CI
+//! over every future state of this workspace), so it gets the same
+//! adversarial treatment as the automata and regex front ends.
+
+#![forbid(unsafe_code)]
+
+use proptest::prelude::*;
+use relm_analyze::findings::Baseline;
+use relm_analyze::lexer::{lex, TokKind};
+use relm_analyze::workspace::run;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer never panics on printable soup, and every token's line
+    /// number is positive and non-decreasing in source order.
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in "\\PC{0,64}") {
+        let toks = lex(&src);
+        let mut last = 1;
+        for t in &toks {
+            prop_assert!(t.line >= last, "line numbers regressed in {src:?}");
+            last = t.line;
+        }
+    }
+
+    /// Rust-flavored punctuation soup: quote openers, comment openers,
+    /// raw-string hashes, braces — the constructs with state machines
+    /// inside the lexer — in random juxtaposition, including every
+    /// unterminated form.
+    #[test]
+    fn lexer_total_on_punctuation_soup(src in "[{}()\\[\\];,'\"#/*!rbu8a-z0-9_ \n\\\\]{0,48}") {
+        let _ = lex(&src);
+    }
+
+    /// Raw-string-like prefixes followed by arbitrary tails: the raw
+    /// string scanner (hash arity matching) consumes to EOF without
+    /// panicking when the closer never arrives.
+    #[test]
+    fn lexer_total_on_raw_string_prefixes(hashes in "r#{0,4}", tail in "\\PC{0,24}") {
+        let _ = lex(&format!("{hashes}\"{tail}"));
+        let _ = lex(&format!("b{hashes}\"{tail}"));
+    }
+
+    /// Comment text never leaks tokens: whatever sits inside a
+    /// terminated block comment comes back as exactly one comment token
+    /// (nested closers excluded by the class).
+    #[test]
+    fn block_comment_swallows_its_interior(interior in "[a-z0-9 .()'\"!]{0,32}") {
+        let toks = lex(&format!("/* {interior} */"));
+        prop_assert_eq!(toks.len(), 1);
+        prop_assert_eq!(toks[0].kind, TokKind::BlockComment);
+    }
+
+    /// The full pipeline — classification, test masking, every finding
+    /// family, lock extraction and simulation — is total on arbitrary
+    /// source presented as library code.
+    #[test]
+    fn pipeline_total_on_arbitrary_source(src in "[{}()\\[\\];,.'\"#/*!=a-z0-9_ \n]{0,64}") {
+        let files = vec![("crates/core/src/fuzz.rs".to_string(), src)];
+        let report = run(&files, &Baseline::parse(""));
+        for f in &report.findings {
+            prop_assert!(!f.path.is_empty());
+        }
+    }
+
+    /// Baseline parsing is total on arbitrary text, and rendering an
+    /// empty report is stable.
+    #[test]
+    fn baseline_parse_total(text in "\\PC{0,64}") {
+        let _ = Baseline::parse(&text);
+    }
+}

@@ -566,7 +566,7 @@ impl Dfa {
         out.states.push(DfaState::default());
         while let Some(bi) = queue.pop_front() {
             let id = block_remap[&bi];
-            let repr = *partition[bi].iter().next().expect("non-empty block");
+            let repr = *partition[bi].iter().next().expect("non-empty block"); // lint: allow(panic, "Hopcroft blocks are created non-empty and only split into non-empty halves")
             out.states[id].accepting = repr < n && trimmed.states[repr].accepting;
             let mut trans = Vec::new();
             if repr < n {
@@ -668,8 +668,8 @@ impl Dfa {
                 alphabet
                     .iter()
                     .map(|&sym| {
-                        let ta = a.step(sa, sym).expect("completed DFA");
-                        let tb = b.step(sb, sym).expect("completed DFA");
+                        let ta = a.step(sa, sym).expect("completed DFA"); // lint: allow(panic, "operand completed over the shared alphabet just above; step is total")
+                        let tb = b.step(sb, sym).expect("completed DFA"); // lint: allow(panic, "operand completed over the shared alphabet just above; step is total")
                         (sym, (ta, tb))
                     })
                     .collect()
@@ -709,8 +709,8 @@ impl Dfa {
         while let Some((sa, sb)) = queue.pop_front() {
             let id = ids[&(sa, sb)];
             for &sym in &alphabet {
-                let ta = a.step(sa, sym).expect("completed DFA");
-                let tb = b.step(sb, sym).expect("completed DFA");
+                let ta = a.step(sa, sym).expect("completed DFA"); // lint: allow(panic, "operand completed over the shared alphabet just above; step is total")
+                let tb = b.step(sb, sym).expect("completed DFA"); // lint: allow(panic, "operand completed over the shared alphabet just above; step is total")
                 let tid = *ids.entry((ta, tb)).or_insert_with(|| {
                     out.states.push(DfaState {
                         transitions: Vec::new(),
@@ -1043,6 +1043,7 @@ impl Dfa {
         accepting: &[StateId],
         transitions: &[(StateId, Symbol, StateId)],
     ) -> Dfa {
+        // lint: allow(panic, "documented panicking constructor; try_from_parts is the fallible form")
         Self::try_from_parts(state_count, start, accepting, transitions).expect("invalid DFA parts")
     }
 

@@ -96,7 +96,7 @@ pub fn str_symbols(s: &str) -> Vec<Symbol> {
 pub fn symbols_to_string(symbols: &[Symbol]) -> String {
     let bytes: Vec<u8> = symbols
         .iter()
-        .map(|&s| u8::try_from(s).expect("symbol out of byte range"))
+        .map(|&s| u8::try_from(s).expect("symbol out of byte range")) // lint: allow(panic, "documented: panics on symbols above byte range")
         .collect();
     String::from_utf8_lossy(&bytes).into_owned()
 }

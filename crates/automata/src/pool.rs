@@ -193,7 +193,7 @@ impl WorkerPool {
         }
         results
             .into_iter()
-            .map(|slot| slot.expect("pool worker dropped a job result"))
+            .map(|slot| slot.expect("pool worker dropped a job result")) // lint: allow(panic, "the loop above received exactly one result per job index")
             .collect()
     }
 

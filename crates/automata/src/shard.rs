@@ -149,9 +149,9 @@ impl ShardIndex {
         bounds.push(0);
         for i in 1..shards {
             let ideal = i * base + i.min(extra);
-            let prev = *bounds.last().expect("non-empty bounds");
-            // Every shard must keep at least one state: the cut stays
-            // past the previous one and leaves room for those after it.
+            let prev = *bounds.last().expect("non-empty bounds"); // lint: allow(panic, "bounds starts with a pushed 0, never empty")
+                                                                  // Every shard must keep at least one state: the cut stays
+                                                                  // past the previous one and leaves room for those after it.
             let floor = prev + 1;
             let ceil = n - (shards - i);
             let lo = floor.max(ideal.saturating_sub(slack));
@@ -161,7 +161,7 @@ impl ShardIndex {
             } else {
                 (lo..=hi)
                     .min_by_key(|&p| profile[p])
-                    .expect("non-empty slack window")
+                    .expect("non-empty slack window") // lint: allow(panic, "lo <= hi checked by the branch above")
             };
             bounds.push(p);
         }
@@ -270,7 +270,7 @@ impl ShardIndex {
     /// Panics if `state` is outside the partitioned automaton.
     pub fn shard_of(&self, state: StateId) -> usize {
         assert!(
-            state < *self.bounds.last().expect("non-empty bounds"),
+            state < *self.bounds.last().expect("non-empty bounds"), // lint: allow(panic, "bounds is built with 0 and n pushed, never empty")
             "state {state} outside the partition"
         );
         self.bounds.partition_point(|&b| b <= state) - 1
@@ -327,7 +327,7 @@ impl<'a> ShardedDfa<'a> {
     /// Panics if the index's partition does not cover exactly the
     /// automaton's states.
     pub fn new(dfa: &'a Dfa, index: &'a ShardIndex) -> Self {
-        let covered = *index.bounds.last().expect("non-empty bounds");
+        let covered = *index.bounds.last().expect("non-empty bounds"); // lint: allow(panic, "bounds is built with 0 and n pushed, never empty")
         assert!(
             covered == dfa.state_count() || (covered == 0 && dfa.state_count() == 0),
             "shard index covers {covered} states, automaton has {}",

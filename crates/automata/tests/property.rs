@@ -2,6 +2,8 @@
 //! front end: random NFAs are built directly from combinators so the
 //! invariants are checked on shapes regexes might never produce.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 use relm_automata::{ascii_alphabet, Dfa, Fst, Nfa, Symbol, WalkTable};
 

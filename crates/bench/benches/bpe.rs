@@ -1,6 +1,8 @@
 //! Criterion benches for the BPE tokenizer: canonical encode, ambiguous
 //! enumeration, and the encoding-count dynamic program.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use relm_bpe::BpeTokenizer;
 

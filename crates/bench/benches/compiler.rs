@@ -7,6 +7,8 @@
 //! * `minimize_ablation` — token compilation with and without Hopcroft
 //!   minimization of the character automaton first.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use relm_bpe::BpeTokenizer;
 use relm_core::compiler::{compile_canonical, compile_full, CanonicalLimits};

@@ -2,6 +2,7 @@
 //! the transitive top-k pruning ablation (DESIGN.md ablation 3) plus the
 //! prefix cost-heuristic ablation (ablation 4, via measured stats).
 
+#![forbid(unsafe_code)]
 // The deprecated one-shot `search` shim is the cold/stateless baseline
 // these benches measure against — kept on purpose.
 #![allow(deprecated)]

@@ -1,6 +1,8 @@
 //! Criterion benches for Levenshtein-automaton construction and
 //! composition (§3.4): distance 1 directly vs distance 2 via chaining.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use relm_automata::{ascii_alphabet, levenshtein_within, str_symbols, Nfa};
 

@@ -2,6 +2,8 @@
 //! and per-sample cost, normalized vs uniform-edge prefix sampling
 //! (DESIGN.md ablation 2).
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use relm_automata::WalkTable;
 use relm_bench::{Scale, Workbench};

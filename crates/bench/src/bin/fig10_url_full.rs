@@ -3,6 +3,8 @@
 //! observation: smaller n suffers more duplicates (higher collision
 //! probability).
 
+#![forbid(unsafe_code)]
+
 use relm_bench::{report, urls, Scale, Workbench};
 
 fn main() {

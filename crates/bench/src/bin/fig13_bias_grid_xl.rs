@@ -1,6 +1,8 @@
 //! Figure 13: the 2×2 bias grid (all/canonical × edits/no-edits), prefix
 //! conditioning on, for the XL-scale model.
 
+#![forbid(unsafe_code)]
+
 use relm_bench::bias::{run_config, BiasConfig};
 use relm_bench::{report, Scale, Workbench};
 use relm_core::TokenizationStrategy;

@@ -2,6 +2,8 @@
 //! The paper observes the same phenomena as Figure 13 with weaker
 //! separation.
 
+#![forbid(unsafe_code)]
+
 use relm_bench::bias::{run_config, BiasConfig};
 use relm_bench::{report, Scale, Workbench};
 use relm_core::TokenizationStrategy;

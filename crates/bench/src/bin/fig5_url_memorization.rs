@@ -2,6 +2,8 @@
 //! random-sampling baselines. Run with `RELM_SCALE=smoke` for a quick
 //! pass.
 
+#![forbid(unsafe_code)]
+
 use relm_bench::{report, urls, Scale, Workbench};
 
 fn main() {

@@ -2,6 +2,8 @@
 //! stop length. The paper's headline: the best baseline (n = 16) is
 //! still 15× slower than ReLM.
 
+#![forbid(unsafe_code)]
+
 use relm_bench::{report, urls, Scale, Workbench};
 
 fn main() {

@@ -3,6 +3,8 @@
 //! (b) canonical, prefix; (c) canonical + edits, prefix — with χ²
 //! p-values for each.
 
+#![forbid(unsafe_code)]
+
 use relm_bench::bias::{run_config, BiasConfig};
 use relm_bench::{report, Scale, Workbench};
 use relm_core::TokenizationStrategy;

@@ -1,6 +1,8 @@
 //! Figure 8a: prompted toxic-content extraction — cumulative extractions
 //! vs attempts, ReLM (all encodings + edits) vs the canonical baseline.
 
+#![forbid(unsafe_code)]
+
 use relm_bench::{report, toxicity, Scale, Workbench};
 
 fn main() {

@@ -1,6 +1,8 @@
 //! Figure 8b: unprompted extraction volume by (canonical × edits),
 //! bucketed by query length, with the §4.3.2 canonical/edited breakdown.
 
+#![forbid(unsafe_code)]
+
 use relm_bench::{report, toxicity, Scale, Workbench};
 
 fn main() {

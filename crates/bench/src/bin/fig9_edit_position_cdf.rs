@@ -1,6 +1,8 @@
 //! Figure 9 / Appendix C: CDF of edit positions under normalized
 //! (walk-count) vs unnormalized (uniform-edge) prefix sampling.
 
+#![forbid(unsafe_code)]
+
 use relm_bench::{edits, report, Scale, Workbench};
 
 fn main() {

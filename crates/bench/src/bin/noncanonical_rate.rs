@@ -7,6 +7,8 @@
 //! are scored once and served from the client's shared cache
 //! thereafter — the reuse counters are printed at the end.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use relm_bench::{report, Scale, Workbench};

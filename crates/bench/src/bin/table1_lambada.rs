@@ -1,6 +1,8 @@
 //! Table 1: LAMBADA-like zero-shot accuracy for both model sizes under
 //! the four query formulations.
 
+#![forbid(unsafe_code)]
+
 use relm_bench::lambada::{accuracy, ClozeStrategy};
 use relm_bench::{report, Scale, Workbench};
 

@@ -171,7 +171,7 @@ impl<'a, M: LanguageModel> BeamIter<'a, M> {
         let mut bridged = Vec::new();
         for p in &self.beam {
             if !p.machine_is_body {
-                let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
+                let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine"); // lint: allow(panic, "paths sit on the prefix machine only when the plan has one")
                 if prefix.is_accepting(p.state) {
                     bridged.push(BeamPath {
                         machine_is_body: true,
@@ -335,7 +335,7 @@ fn expand_path(compiled: &CompiledQuery, p: &BeamPath, log_probs: &[f64]) -> Vec
             }
         }
     } else {
-        let prefix = compiled.parts.prefix.as_ref().expect("prefix machine");
+        let prefix = compiled.parts.prefix.as_ref().expect("prefix machine"); // lint: allow(panic, "paths sit on the prefix machine only when the plan has one")
         for (sym, target) in prefix.transitions(p.state) {
             let lp = log_probs[sym as usize];
             if !lp.is_finite() {

@@ -148,7 +148,7 @@ impl<'a, M: LanguageModel> SamplingIter<'a, M> {
         let table = self
             .walk_table
             .as_ref()
-            .expect("walk table built with prefix");
+            .expect("walk table built with prefix"); // lint: allow(panic, "the walk table is built whenever the plan has a prefix, checked above")
         let mut state = prefix.start();
         let mut tokens = Vec::new();
         loop {

@@ -301,8 +301,8 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
 
         match node.machine {
             Machine::Prefix => {
-                let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
-                // No decoding rules on prefix edges; original costs kept.
+                let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine"); // lint: allow(panic, "Prefix nodes exist only when the plan has a prefix machine")
+                                                                                           // No decoding rules on prefix edges; original costs kept.
                 for (sym, target) in prefix.transitions(node.state) {
                     let lp = log_probs[sym as usize];
                     if !lp.is_finite() {
@@ -320,7 +320,7 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
                     }));
                 }
             }
-            Machine::Done => unreachable!("Done nodes are never expanded"),
+            Machine::Done => unreachable!("Done nodes are never expanded"), // lint: allow(panic, "Done nodes are popped as results, never pushed for expansion")
             Machine::Body => {
                 let allowed: HashMap<TokenId, f64> = self
                     .compiled
@@ -378,7 +378,7 @@ impl<'a, M: LanguageModel> ShortestPathIter<'a, M> {
 
         // Prefix machine: accepting states bridge into the body.
         if node.machine == Machine::Prefix {
-            let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine");
+            let prefix = self.compiled.parts.prefix.as_ref().expect("prefix machine"); // lint: allow(panic, "Prefix nodes exist only when the plan has a prefix machine")
             if prefix.is_accepting(node.state) {
                 self.heap.push(Reverse(Node {
                     cost: node.cost,

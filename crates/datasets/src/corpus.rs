@@ -189,7 +189,7 @@ impl SyntheticWorld {
                         let mut w: Vec<u8> = insult.bytes().collect();
                         let last = w.len() - 1;
                         w[last] = if w[last] == b'f' { b't' } else { b'f' };
-                        String::from_utf8(w).expect("ascii insult")
+                        String::from_utf8(w).expect("ascii insult") // lint: allow(panic, "a single-byte edit of an ascii literal stays valid utf-8")
                     };
                     documents.push(s.replace(insult, &misspelled));
                     pile_docs.push(s);

@@ -117,7 +117,7 @@ impl DecodingPolicy {
             .filter(|(_, lp)| lp.is_finite())
             .map(|(t, &lp)| (t as TokenId, lp))
             .collect();
-        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         if let Some(k) = self.top_k {
             entries.truncate(k);
         }

@@ -141,7 +141,7 @@ pub fn fan_out_scores<M: LanguageModel + ?Sized>(
             });
         }
     })
-    .expect("scoring thread panicked");
+    .expect("scoring thread panicked"); // lint: allow(panic, "propagates a scoring worker's own panic; nothing to salvage")
     results
 }
 

@@ -2,6 +2,8 @@
 //! normalize, decoding policies must implement their set semantics, and
 //! sampling must respect both.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 use relm_bpe::BpeTokenizer;
 use relm_lm::{DecodingPolicy, LanguageModel, NGramConfig, NGramLm, TokenId};

@@ -90,7 +90,7 @@ impl<'a> Parser<'a> {
             alts.push(self.concat()?);
         }
         Ok(if alts.len() == 1 {
-            alts.pop().expect("one alt")
+            alts.pop().expect("one alt") // lint: allow(panic, "pop of a vec whose len was checked to be 1")
         } else {
             Ast::Alternation(alts)
         })
@@ -107,7 +107,7 @@ impl<'a> Parser<'a> {
         }
         Ok(match parts.len() {
             0 => Ast::Empty,
-            1 => parts.pop().expect("one part"),
+            1 => parts.pop().expect("one part"), // lint: allow(panic, "pop of a vec whose len was checked to be 1")
             _ => Ast::Concat(parts),
         })
     }

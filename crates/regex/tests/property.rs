@@ -2,6 +2,8 @@
 //! escaping must round-trip, and compiled semantics must agree with a
 //! reference matcher on a constrained pattern family.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 use relm_regex::{escape, parse, Regex};
 

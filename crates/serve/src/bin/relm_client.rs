@@ -10,11 +10,25 @@
 //! finishes by printing the server's counters. A `PREFIX::PATTERN`
 //! argument attaches a conditioning prefix.
 
+#![forbid(unsafe_code)]
+
 use relm_serve::{QueryRequest, Request, Response, ServeClient};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("relm_client: {msg}");
+            std::process::ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
-    let addr = args.next().expect("usage: relm_client ADDR [PATTERN...]");
+    let addr = args
+        .next()
+        .ok_or("usage: relm_client ADDR [--take N] [--stats] PATTERN [PATTERN...]")?;
     let mut take = 2usize;
     let mut want_stats = false;
     let mut patterns: Vec<String> = Vec::new();
@@ -24,14 +38,14 @@ fn main() {
                 take = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--take takes a number");
+                    .ok_or("--take takes a number")?;
             }
             "--stats" => want_stats = true,
             other => patterns.push(other.to_string()),
         }
     }
 
-    let mut client = ServeClient::connect(&addr).expect("connect");
+    let mut client = ServeClient::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
     for (i, spec) in patterns.iter().enumerate() {
         let (prefix, pattern) = match spec.split_once("::") {
             Some((prefix, pattern)) => (Some(prefix), pattern),
@@ -41,12 +55,17 @@ fn main() {
         if let Some(prefix) = prefix {
             request = request.with_prefix(prefix);
         }
-        client.send(&Request::Query(request)).expect("send");
+        client
+            .send(&Request::Query(request))
+            .map_err(|e| format!("sending query {i}: {e}"))?;
     }
     for _ in 0..patterns.len() {
-        match client.recv().expect("recv") {
+        match client.recv().map_err(|e| format!("receiving: {e}"))? {
             Response::Matches { id, matches } => {
                 for m in &matches {
+                    // The decimal echo is for human eyes only; the
+                    // bit-exact score travels in `score_bits` beside it.
+                    // lint: allow(float_fmt, "readability echo; exact bits printed alongside")
                     println!(
                         "match[{id}]: {:?} log_prob={:.6} score_bits={:016x}",
                         m.text,
@@ -61,11 +80,16 @@ fn main() {
             Response::Error { id, message } => println!("error[{id}]: {message}"),
             Response::Busy { id, message } => println!("busy[{id}]: {message}"),
             Response::DeadlineExceeded { id } => println!("deadline_exceeded[{id}]"),
-            Response::Stats(_) => unreachable!("no stats requested yet"),
+            Response::Stats(_) => {
+                return Err("protocol violation: stats answer to a query request".into())
+            }
         }
     }
     if want_stats {
-        match client.roundtrip(&Request::Stats).expect("stats") {
+        match client
+            .roundtrip(&Request::Stats)
+            .map_err(|e| format!("stats roundtrip: {e}"))?
+        {
             Response::Stats(stats) => println!(
                 "server stats: {} admitted, {} completed, {} cancelled, in flight {}, \
                  mean batch fill {:.2} ({} cross-query batches)",
@@ -79,4 +103,5 @@ fn main() {
             other => println!("unexpected stats answer: {other:?}"),
         }
     }
+    Ok(())
 }

@@ -15,43 +15,58 @@
 //! a disconnect storm) or *hostile* (`--hostile-every`: opens with a
 //! garbage frame).
 
+#![forbid(unsafe_code)]
+
 use relm_serve::{loadgen, LoadgenConfig};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("relm_loadgen: {msg}");
+            std::process::ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<std::process::ExitCode, String> {
     let mut args = std::env::args().skip(1);
-    let addr = args.next().expect("usage: relm_loadgen ADDR [flags]");
+    let addr = args.next().ok_or("usage: relm_loadgen ADDR [flags]")?;
     let mut config = LoadgenConfig::default();
     while let Some(arg) = args.next() {
-        let mut grab = |what: &str| -> String {
-            args.next()
-                .unwrap_or_else(|| panic!("{what} takes a value"))
+        // Each flag takes one parseable value; report the flag name on
+        // either a missing or malformed one.
+        let mut grab = |what: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{what} takes a value"))
         };
+        fn parse<T: std::str::FromStr>(what: &str, v: String) -> Result<T, String> {
+            v.parse().map_err(|_| format!("{what}: bad value {v:?}"))
+        }
         match arg.as_str() {
-            "--clients" => config.clients = grab("--clients").parse().expect("--clients"),
-            "--arrivals" => config.arrivals = grab("--arrivals").parse().expect("--arrivals"),
+            "--clients" => config.clients = parse("--clients", grab("--clients")?)?,
+            "--arrivals" => config.arrivals = parse("--arrivals", grab("--arrivals")?)?,
             "--mean-us" => {
-                config.mean_interarrival_us = grab("--mean-us").parse().expect("--mean-us");
+                config.mean_interarrival_us = parse("--mean-us", grab("--mean-us")?)?;
             }
-            "--alpha" => config.tail_alpha = grab("--alpha").parse().expect("--alpha"),
-            "--seed" => config.seed = grab("--seed").parse().expect("--seed"),
-            "--take" => config.take = grab("--take").parse().expect("--take"),
+            "--alpha" => config.tail_alpha = parse("--alpha", grab("--alpha")?)?,
+            "--seed" => config.seed = parse("--seed", grab("--seed")?)?,
+            "--take" => config.take = parse("--take", grab("--take")?)?,
             "--deadline-ms" => {
-                config.deadline_ms = Some(grab("--deadline-ms").parse().expect("--deadline-ms"));
+                config.deadline_ms = Some(parse("--deadline-ms", grab("--deadline-ms")?)?);
             }
             "--disconnect-every" => {
-                config.disconnect_every = grab("--disconnect-every")
-                    .parse()
-                    .expect("--disconnect-every");
+                config.disconnect_every = parse("--disconnect-every", grab("--disconnect-every")?)?;
             }
             "--hostile-every" => {
-                config.hostile_every = grab("--hostile-every").parse().expect("--hostile-every");
+                config.hostile_every = parse("--hostile-every", grab("--hostile-every")?)?;
             }
             "--timeout-secs" => {
-                config.timeout = std::time::Duration::from_secs(
-                    grab("--timeout-secs").parse().expect("--timeout-secs"),
-                );
+                config.timeout = std::time::Duration::from_secs(parse(
+                    "--timeout-secs",
+                    grab("--timeout-secs")?,
+                )?);
             }
-            other => panic!("unknown flag: {other}"),
+            other => return Err(format!("unknown flag: {other}")),
         }
     }
 
@@ -61,7 +76,7 @@ fn main() {
          (alpha {}, seed {})",
         config.arrivals, config.clients, config.tail_alpha, config.seed
     );
-    let report = loadgen::run(&addr, &config).expect("load run");
+    let report = loadgen::run(&addr, &config).map_err(|e| format!("load run: {e}"))?;
     println!(
         "relm_loadgen latency: p50 {}us p99 {}us p999 {}us max {}us",
         report.p50_us, report.p99_us, report.p999_us, report.max_us
@@ -97,6 +112,7 @@ fn main() {
             "relm_loadgen: {} of {owed} owed responses missing",
             owed - answered
         );
-        std::process::exit(1);
+        return Ok(std::process::ExitCode::from(1));
     }
+    Ok(std::process::ExitCode::SUCCESS)
 }

@@ -20,6 +20,8 @@
 //! every fresh compile, and the scoring cache is flushed to it on
 //! shutdown. Drive it with the `relm_client` and `relm_loadgen` bins.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::AtomicBool;
 
 use relm_bpe::BpeTokenizer;
@@ -36,7 +38,27 @@ pub const DEMO_DOCS: [&str; 4] = [
     "the cow ate the grass",
 ];
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("relm_server: {msg}");
+            std::process::ExitCode::from(2)
+        }
+    }
+}
+
+/// Parse one numeric flag value or explain which flag wanted it.
+fn numeric_flag<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    args.next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("{flag} takes a number"))
+}
+
+fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let mut addr = "127.0.0.1:7474".to_string();
     let mut config = ServerConfig::new();
@@ -45,35 +67,22 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--max-requests" => {
-                let n = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--max-requests takes a number");
-                config = config.with_max_requests(n);
+                config = config.with_max_requests(numeric_flag(&mut args, "--max-requests")?);
             }
             "--shards" => {
-                let n = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--shards takes a number");
-                config = config.with_shards(n);
+                config = config.with_shards(numeric_flag(&mut args, "--shards")?);
             }
             "--max-inflight" => {
-                let n = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--max-inflight takes a number");
-                config = config.with_max_inflight(n);
+                config = config.with_max_inflight(numeric_flag(&mut args, "--max-inflight")?);
             }
             "--max-inflight-per-conn" => {
-                let n = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--max-inflight-per-conn takes a number");
-                config = config.with_max_inflight_per_conn(n);
+                config = config.with_max_inflight_per_conn(numeric_flag(
+                    &mut args,
+                    "--max-inflight-per-conn",
+                )?);
             }
             "--plan-store" => {
-                let dir = args.next().expect("--plan-store takes a directory");
+                let dir = args.next().ok_or("--plan-store takes a directory")?;
                 session_config = session_config.with_plan_store(dir);
                 config = config.with_preload_store(true).with_flush_store(true);
                 store_configured = true;
@@ -88,15 +97,20 @@ fn main() {
     let client = Relm::builder(model, tokenizer)
         .config(session_config)
         .build()
-        .expect("demo model fits its tokenizer");
+        .map_err(|e| format!("building demo session: {e}"))?;
 
-    let listener = std::net::TcpListener::bind(&addr).expect("bind");
-    let addr = listener.local_addr().expect("local addr");
+    let listener =
+        std::net::TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("reading bound address: {e}"))?;
     println!("relm_server listening on {addr}");
 
     let server = RelmServer::with_config(client, config);
     let shutdown = AtomicBool::new(false);
-    let report = server.serve(listener, &shutdown).expect("serve loop");
+    let report = server
+        .serve(listener, &shutdown)
+        .map_err(|e| format!("serve loop: {e}"))?;
     if store_configured {
         let stats = server.client().stats();
         println!(
@@ -136,4 +150,5 @@ fn main() {
         report.mean_batch_fill,
         report.cross_query_batches,
     );
+    Ok(())
 }

@@ -27,6 +27,11 @@ use relm_lm::DecodingPolicy;
 /// cannot balloon server memory.
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
 
+/// Wire-format version of the request/response frame schema. Bump this
+/// whenever [`Request`] or [`Response`] changes shape — `relm_lint`
+/// fingerprints both types and fails CI on an unversioned edit.
+pub const PROTOCOL_VERSION: u32 = 1;
+
 /// A protocol violation (framing or JSON) — the connection that produced
 /// it is answered with an error response or closed.
 #[derive(Debug, Clone, PartialEq, Eq)]

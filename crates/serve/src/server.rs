@@ -407,7 +407,10 @@ impl<M: LanguageModel> RelmServer<M> {
             shared.stop.store(true, Ordering::Relaxed);
             let mut reports = Vec::with_capacity(shard_count);
             for handle in handles {
-                reports.push(handle.join().expect("shard thread panicked"));
+                let report = handle
+                    .join()
+                    .map_err(|_| std::io::Error::other("shard thread panicked"))?;
+                reports.push(report);
             }
             accept_result.map(|()| reports)
         })?;
@@ -738,14 +741,13 @@ impl ServerHandle {
     ///
     /// # Errors
     ///
-    /// The serve loop's IO error, if it exited with one.
-    ///
-    /// # Panics
-    ///
-    /// If the serve thread itself panicked.
+    /// The serve loop's IO error, if it exited with one — or a synthetic
+    /// one if the serve thread itself panicked.
     pub fn stop(self) -> std::io::Result<ServerReport> {
         self.shutdown.store(true, Ordering::Relaxed);
-        self.join.join().expect("serve thread panicked")
+        self.join
+            .join()
+            .map_err(|_| std::io::Error::other("serve thread panicked"))?
     }
 }
 

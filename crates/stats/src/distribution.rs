@@ -110,7 +110,7 @@ impl Cdf {
     pub fn from_samples(samples: &[f64]) -> Self {
         assert!(samples.iter().all(|v| !v.is_nan()), "NaN sample");
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(f64::total_cmp);
         Cdf { sorted }
     }
 

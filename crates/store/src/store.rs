@@ -12,7 +12,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::artifact::{ArtifactKey, CacheArtifact, PlanArtifact};
-use crate::wire::fnv1a;
+use crate::wire::{fnv1a, le_bytes};
 use crate::StoreError;
 
 /// Current store format version. Readers reject files stamped with a
@@ -54,11 +54,11 @@ pub(crate) fn unframe(bytes: &[u8], magic: [u8; 8]) -> Result<&[u8], StoreError>
     if bytes[..8] != magic {
         return Err(StoreError::WrongMagic);
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    let version = u32::from_le_bytes(le_bytes(&bytes[8..12], "header version")?);
     if version > FORMAT_VERSION {
         return Err(StoreError::UnsupportedVersion(version));
     }
-    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
+    let payload_len = u64::from_le_bytes(le_bytes(&bytes[12..20], "header payload length")?);
     let payload = &bytes[HEADER_BYTES..];
     if payload_len != payload.len() as u64 {
         return Err(StoreError::Corrupt(format!(
@@ -66,7 +66,7 @@ pub(crate) fn unframe(bytes: &[u8], magic: [u8; 8]) -> Result<&[u8], StoreError>
             payload.len()
         )));
     }
-    let expected = u64::from_le_bytes(bytes[20..28].try_into().expect("8-byte slice"));
+    let expected = u64::from_le_bytes(le_bytes(&bytes[20..28], "header checksum")?);
     let actual = fnv1a(payload);
     if expected != actual {
         return Err(StoreError::ChecksumMismatch { expected, actual });

@@ -23,6 +23,15 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Fixed-width slice -> array as a typed decode error, never a panic.
+/// Callers size the slice first (`take`, explicit ranges), so a failure
+/// here means a reader bug — surfaced as corruption, not a crash on a
+/// hostile or bit-rotted artifact.
+pub(crate) fn le_bytes<const N: usize>(b: &[u8], what: &str) -> Result<[u8; N], StoreError> {
+    b.try_into()
+        .map_err(|_| StoreError::Corrupt(format!("{what}: expected {N} bytes, got {}", b.len())))
+}
+
 /// Append-only little-endian encoder.
 #[derive(Debug, Default)]
 pub(crate) struct Writer {
@@ -114,12 +123,12 @@ impl<'a> Reader<'a> {
 
     pub(crate) fn u32(&mut self, what: &str) -> Result<u32, StoreError> {
         let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+        Ok(u32::from_le_bytes(le_bytes(b, what)?))
     }
 
     pub(crate) fn u64(&mut self, what: &str) -> Result<u64, StoreError> {
         let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+        Ok(u64::from_le_bytes(le_bytes(b, what)?))
     }
 
     /// A `u64` count field, validated so that `count * elem_bytes` does

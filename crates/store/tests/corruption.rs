@@ -4,6 +4,8 @@
 //! an f64 cell lands on the checksum first) — it must never panic, and
 //! with the checksum in front, any single corrupted byte fails closed.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 
 use relm_automata::{str_symbols, Nfa, ShardIndex, WalkTable};

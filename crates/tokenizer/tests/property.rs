@@ -1,6 +1,8 @@
 //! Property tests for the BPE tokenizer: lossless round trips, canonical
 //! stability, and enumeration completeness on arbitrary text.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 use relm_bpe::{pretokenize, BpeTokenizer};
 

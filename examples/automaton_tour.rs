@@ -6,6 +6,8 @@
 //! cargo run --example automaton_tour | dot -Tpng > automata.png
 //! ```
 
+#![forbid(unsafe_code)]
+
 use relm::compiler::{compile_canonical, compile_full, CanonicalLimits};
 use relm::{dfa_to_dot, BpeTokenizer, Regex, TokenId};
 

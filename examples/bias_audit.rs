@@ -5,6 +5,8 @@
 //! cargo run --release --example bias_audit
 //! ```
 
+#![forbid(unsafe_code)]
+
 use relm::datasets::{CorpusSpec, SyntheticWorld, PROFESSIONS};
 use relm::stats::{chi2_independence, EmpiricalDist};
 use relm::{

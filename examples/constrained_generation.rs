@@ -11,6 +11,8 @@
 //! cargo run --release --example constrained_generation
 //! ```
 
+#![forbid(unsafe_code)]
+
 use relm::{
     explain, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, Relm, SearchQuery,
     SearchStrategy,

@@ -7,6 +7,8 @@
 //! cargo run --release --example lambada_cloze
 //! ```
 
+#![forbid(unsafe_code)]
+
 use relm::datasets::{stop_words, CorpusSpec, SyntheticWorld};
 use relm::{
     disjunction_of, escape, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor,

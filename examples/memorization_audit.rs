@@ -5,6 +5,8 @@
 //! cargo run --release --example memorization_audit
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use relm::datasets::{CorpusSpec, SyntheticWorld};

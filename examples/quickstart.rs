@@ -7,6 +7,8 @@
 //! cargo run --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use relm::{BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, QueryString, Relm, SearchQuery};
 
 fn main() -> Result<(), relm::RelmError> {

@@ -5,6 +5,8 @@
 //! and a scripted driver, see the `relm_server` / `relm_client` bins in
 //! `crates/serve`.
 
+#![forbid(unsafe_code)]
+
 use relm::serve::{
     spawn, QueryRequest, RelmServer, Request, Response, ServeClient, ServerConfig, StrategySpec,
 };

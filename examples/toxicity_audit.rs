@@ -6,6 +6,8 @@
 //! cargo run --release --example toxicity_audit
 //! ```
 
+#![forbid(unsafe_code)]
+
 use relm::datasets::{scan_for_insults, CorpusSpec, SyntheticWorld, INSULT_LEXICON};
 use relm::{
     BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QuerySet, QueryString, Relm,

@@ -21,6 +21,8 @@
 //! * `verify` decodes every artifact (checksum, structure, key) and
 //!   exits nonzero if any fails.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use relm::{
@@ -74,15 +76,20 @@ fn compile(dir: &str, rest: &[String]) -> ExitCode {
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--prefix" => {
-                prefix = Some(it.next().expect("--prefix takes a pattern").clone());
-            }
-            "--take" => {
-                take = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--take takes a number");
-            }
+            "--prefix" => match it.next() {
+                Some(p) => prefix = Some(p.clone()),
+                None => {
+                    eprintln!("--prefix takes a pattern");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--take" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => take = n,
+                None => {
+                    eprintln!("--take takes a number");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => patterns.push(other.to_string()),
         }
     }
@@ -93,10 +100,16 @@ fn compile(dir: &str, rest: &[String]) -> ExitCode {
     let corpus = DEMO_DOCS.join(". ");
     let tokenizer = BpeTokenizer::train(&corpus, 80);
     let model = NGramLm::train(&tokenizer, &DEMO_DOCS, NGramConfig::xl());
-    let client = Relm::builder(model, tokenizer)
+    let client = match Relm::builder(model, tokenizer)
         .config(SessionConfig::new().with_plan_store(dir))
         .build()
-        .expect("demo model fits its tokenizer");
+    {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("building demo session: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     for pattern in &patterns {
         let mut query_string = QueryString::new(pattern);
@@ -133,9 +146,18 @@ fn compile(dir: &str, rest: &[String]) -> ExitCode {
         }
     }
     if take > 0 {
-        let plan_bytes = client.persist_plans().expect("store configured");
-        let cache_bytes = client.save_scoring_cache().expect("store configured");
-        println!("persisted warm artifacts: {plan_bytes} plan bytes, {cache_bytes} cache bytes");
+        let persisted = client
+            .persist_plans()
+            .and_then(|p| client.save_scoring_cache().map(|c| (p, c)));
+        match persisted {
+            Ok((plan_bytes, cache_bytes)) => println!(
+                "persisted warm artifacts: {plan_bytes} plan bytes, {cache_bytes} cache bytes"
+            ),
+            Err(e) => {
+                eprintln!("persisting warm artifacts: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let stats = client.stats();
     println!(

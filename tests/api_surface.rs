@@ -7,6 +7,8 @@
 //! re-exports — so it also pins the facade's structure: every public
 //! name must come from a `pub use` (or the two `pub mod` namespaces).
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeSet;
 use std::path::Path;
 

@@ -11,6 +11,7 @@
 //!    engine records cross-query coalesced batches that sequential
 //!    execution can never produce.
 
+#![forbid(unsafe_code)]
 // The deprecated one-shot shims are the reference path under test.
 #![allow(deprecated)]
 

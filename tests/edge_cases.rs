@@ -3,6 +3,8 @@
 //! client must degrade with clean errors or empty results — never panic,
 //! hang, or emit out-of-language strings.
 
+#![forbid(unsafe_code)]
+
 use relm::{
     explain, BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QueryString, Regex,
     Relm, RelmError, SearchQuery, SearchStrategy, TokenizationStrategy,

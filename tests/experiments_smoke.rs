@@ -3,6 +3,8 @@
 //! repository's acceptance tests: if one fails, the corresponding figure
 //! binary will not reproduce the paper's shape.
 
+#![forbid(unsafe_code)]
+
 use relm::datasets::{
     scan_for_insults, stop_words, CorpusSpec, SyntheticWorld, INSULT_LEXICON, PROFESSIONS,
 };

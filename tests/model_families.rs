@@ -3,6 +3,8 @@
 //! that the engine is model-agnostic (the paper's planned extension,
 //! §6), plus the beam-search traversal added on top of the paper's two.
 
+#![forbid(unsafe_code)]
+
 use relm::{
     BpeTokenizer, DecodingPolicy, LanguageModel, NGramConfig, NGramLm, NeuralLm, NeuralLmConfig,
     QueryString, Regex, Relm, SearchQuery, SearchStrategy,

@@ -2,6 +2,8 @@
 //! compilation → execution pipeline, exercised end-to-end through the
 //! `relm` facade.
 
+#![forbid(unsafe_code)]
+
 use relm::{
     BpeTokenizer, DecodingPolicy, NGramConfig, NGramLm, Preprocessor, QueryString, Regex, Relm,
     SearchQuery, SearchStrategy, TokenizationStrategy,

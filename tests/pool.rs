@@ -13,6 +13,8 @@
 //! * steady-state batches spawn **zero** new threads (the pool's spawn
 //!   counter stays flat), and dropping a pool drains every queued job.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

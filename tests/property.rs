@@ -9,6 +9,8 @@
 //! * walk counts match brute-force enumeration,
 //! * Levenshtein automata agree with the brute-force edit distance.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 use relm::{
     compiler::compile_full, levenshtein_within, str_symbols, BpeTokenizer, Nfa, Regex, TokenId,

@@ -5,6 +5,7 @@
 //! the engine's counters must surface in `ExecutionStats` so benchmarks
 //! have a cost model.
 
+#![forbid(unsafe_code)]
 // The deprecated one-shot shims are the reference path under test.
 #![allow(deprecated)]
 

@@ -10,6 +10,8 @@
 //! an identically trained model: the *same* wire-to-engine mapping the
 //! server uses, so the reference and the served query can never drift.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 

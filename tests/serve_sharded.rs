@@ -6,6 +6,8 @@
 //! backpressure refuses with typed busy frames instead of stalling or
 //! killing connections.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 
 use relm::serve::{

@@ -5,6 +5,7 @@
 //! neither eviction pressure nor a model swap (generation bump) may ever
 //! serve a stale or cross-model distribution.
 
+#![forbid(unsafe_code)]
 // These tests compare the session against the deprecated one-shot shims
 // on purpose: the shims are the byte-identical reference path.
 #![allow(deprecated)]

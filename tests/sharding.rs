@@ -11,6 +11,8 @@
 //! * the `TickQuantum` knob changes only the batching schedule, never a
 //!   result, and its decision is visible in `ExecutionStats`.
 
+#![forbid(unsafe_code)]
+
 use proptest::prelude::*;
 use relm::{
     BpeTokenizer, DecodingPolicy, MatchResult, NGramConfig, NGramLm, Parallelism, QuerySet,

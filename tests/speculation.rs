@@ -10,6 +10,8 @@
 //!   (`speculation_hits > 0`); on a trivially cheap high-entropy model
 //!   the adaptive throttle disengages instead of scoring garbage.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 
 use proptest::prelude::*;

@@ -6,6 +6,8 @@
 //! memo-evicted plans restore from disk instead of recompiling, and
 //! corrupted artifacts fail closed into compilation.
 
+#![forbid(unsafe_code)]
+
 use std::process::Command;
 
 use relm::serve::{spawn, QueryRequest, RelmServer, ServerConfig};
